@@ -1,0 +1,35 @@
+//! Criterion version of Figure 1: SQL self-join formulation vs ILP
+//! formulation as package cardinality grows (reduced scale: 40 tuples,
+//! cardinalities 1–4, so the exponential SQL curve stays measurable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_core::{naive::NaiveSelfJoin, Direct, Evaluator};
+use paq_datagen::galaxy_table;
+use paq_lang::parse_paql;
+use paq_relational::agg::{aggregate, AggFunc};
+
+fn bench(c: &mut Criterion) {
+    let table = galaxy_table(40, paq_datagen::DEFAULT_SEED);
+    let mean_r = aggregate(&table, AggFunc::Avg, "r").unwrap().as_f64().unwrap();
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    for card in [1u64, 2, 3, 4] {
+        let query = parse_paql(&format!(
+            "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+             SUCH THAT COUNT(P.*) = {card} AND SUM(P.r) <= {:.6} \
+             MINIMIZE SUM(P.extinction_r)",
+            card as f64 * mean_r * 1.05
+        ))
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("sql_self_join", card), &query, |b, q| {
+            b.iter(|| NaiveSelfJoin::unlimited().evaluate(q, &table).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ilp_direct", card), &query, |b, q| {
+            b.iter(|| Direct::default().evaluate(q, &table).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

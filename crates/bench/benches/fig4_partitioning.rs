@@ -1,0 +1,50 @@
+//! Criterion version of Figure 4: offline partitioning cost on both
+//! datasets (reduced scale), plus the k-means baseline for the §4.1
+//! "alternative partitioning approaches" comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paq_bench::{prepare_galaxy, prepare_tpch};
+use paq_partition::kmeans::{kmeans_partition, KMeansConfig};
+use paq_partition::{PartitionConfig, Partitioner};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+
+    let galaxy = prepare_galaxy(4000, paq_datagen::DEFAULT_SEED);
+    group.bench_function("quadtree_galaxy_4k", |b| {
+        b.iter(|| {
+            Partitioner::new(PartitionConfig::by_size(galaxy.workload_attrs.clone(), 400))
+                .partition(&galaxy.table)
+                .unwrap()
+        })
+    });
+
+    let tpch = prepare_tpch(8000, paq_datagen::DEFAULT_SEED);
+    group.bench_function("quadtree_tpch_8k", |b| {
+        b.iter(|| {
+            Partitioner::new(PartitionConfig::by_size(tpch.workload_attrs.clone(), 800))
+                .partition(&tpch.table)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("kmeans_galaxy_4k_k10", |b| {
+        b.iter(|| {
+            kmeans_partition(
+                &galaxy.table,
+                &KMeansConfig {
+                    attributes: galaxy.workload_attrs.clone(),
+                    k: 10,
+                    max_iterations: 20,
+                    seed: 1,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion version of Figures 5/6: DIRECT vs SKETCHREFINE at growing
+//! dataset sizes (reduced scale; one representative easy query per
+//! dataset so the benchmark finishes quickly — the full sweep lives in
+//! the `fig5_*`/`fig6_*` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_bench::experiments::workload_partitioning;
+use paq_bench::{prepare_galaxy, prepare_tpch, run_direct, run_sketchrefine};
+use paq_solver::SolverConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = SolverConfig::default();
+    let mut group = c.benchmark_group("fig5_6");
+    group.sample_size(10);
+
+    for n in [1000usize, 3000] {
+        let galaxy = prepare_galaxy(n, paq_datagen::DEFAULT_SEED);
+        let partitioning = workload_partitioning(&galaxy);
+        let q1 = &galaxy.workload[0];
+        group.bench_with_input(BenchmarkId::new("galaxy_q1_direct", n), &n, |b, _| {
+            b.iter(|| run_direct(&q1.query, &galaxy.table, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("galaxy_q1_sketchrefine", n), &n, |b, _| {
+            b.iter(|| run_sketchrefine(&q1.query, &galaxy.table, &partitioning, &cfg))
+        });
+    }
+
+    let tpch = prepare_tpch(3000, paq_datagen::DEFAULT_SEED);
+    let partitioning = workload_partitioning(&tpch);
+    let q1 = &tpch.workload[0];
+    group.bench_function("tpch_q1_direct_3k", |b| {
+        b.iter(|| run_direct(&q1.query, &tpch.table, &cfg))
+    });
+    group.bench_function("tpch_q1_sketchrefine_3k", |b| {
+        b.iter(|| run_sketchrefine(&q1.query, &tpch.table, &partitioning, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

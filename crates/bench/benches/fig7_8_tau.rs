@@ -1,0 +1,30 @@
+//! Criterion version of Figures 7/8: SKETCHREFINE response time as the
+//! partition size threshold τ varies (reduced scale, Galaxy Q1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_bench::{prepare_galaxy, run_sketchrefine};
+use paq_partition::{PartitionConfig, Partitioner};
+use paq_solver::SolverConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = SolverConfig::default();
+    let data = prepare_galaxy(2000, paq_datagen::DEFAULT_SEED);
+    let q1 = &data.workload[0];
+    let mut group = c.benchmark_group("fig7_8");
+    group.sample_size(10);
+    for tau in [1000usize, 400, 200, 50, 20] {
+        let partitioning =
+            Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
+                .partition(&data.table)
+                .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("galaxy_q1_sketchrefine_tau", tau),
+            &tau,
+            |b, _| b.iter(|| run_sketchrefine(&q1.query, &data.table, &partitioning, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion version of Figure 9: SKETCHREFINE response time under
+//! sub-/exact-/super-set partitioning coverage (reduced scale, Galaxy
+//! Q1 whose attributes are {r, extinction_r}).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_bench::{prepare_galaxy, run_sketchrefine};
+use paq_partition::{PartitionConfig, Partitioner};
+use paq_solver::SolverConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = SolverConfig::default();
+    let data = prepare_galaxy(2000, paq_datagen::DEFAULT_SEED);
+    let q1 = &data.workload[0];
+    let qattrs = q1.attributes.clone();
+    let cases: Vec<(&str, Vec<String>)> = vec![
+        ("subset", qattrs[..1].to_vec()),
+        ("exact", qattrs.clone()),
+        ("superset", {
+            let mut a = qattrs.clone();
+            for extra in ["u", "g", "redshift"] {
+                a.push(extra.to_string());
+            }
+            a
+        }),
+    ];
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for (name, attrs) in cases {
+        let partitioning = Partitioner::new(PartitionConfig::by_size(attrs, 200))
+            .partition(&data.table)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("galaxy_q1_coverage", name),
+            &name,
+            |b, _| b.iter(|| run_sketchrefine(&q1.query, &data.table, &partitioning, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the solver substrate: the bounded-variable
+//! simplex on the characteristic package-query shape (few rows, many
+//! columns) and branch-and-bound on 0/1 knapsacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_solver::{MilpSolver, Model, Sense, SolverConfig, VarId};
+
+fn knapsack_model(n: usize, integer: bool) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..n)
+        .map(|i| {
+            let value = ((i * 37) % 101) as f64 + 1.0;
+            if integer {
+                m.add_int_var(0.0, 1.0, value)
+            } else {
+                m.add_var(0.0, 1.0, value)
+            }
+        })
+        .collect();
+    let weights: Vec<(VarId, f64)> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 53) % 29) as f64 + 1.0))
+        .collect();
+    let budget: f64 = weights.iter().map(|(_, w)| w).sum::<f64>() * 0.3;
+    m.add_le(weights, budget);
+    m.add_le(vars.iter().map(|&v| (v, 1.0)).collect(), (n / 4) as f64);
+    m.set_sense(Sense::Maximize);
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let solver = MilpSolver::new(SolverConfig::default());
+    let mut group = c.benchmark_group("micro_solver");
+    group.sample_size(10);
+    for n in [1000usize, 10_000, 50_000] {
+        let lp = knapsack_model(n, false);
+        group.bench_with_input(BenchmarkId::new("lp_relaxation", n), &n, |b, _| {
+            b.iter(|| solver.solve(&lp))
+        });
+        let milp = knapsack_model(n, true);
+        group.bench_with_input(BenchmarkId::new("milp_knapsack", n), &n, |b, _| {
+            b.iter(|| solver.solve(&milp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

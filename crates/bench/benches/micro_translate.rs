@@ -1,0 +1,29 @@
+//! Micro-benchmarks for the language layer: parsing PaQL text and
+//! running the §3.1 translation over growing inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paq_datagen::{galaxy_table, galaxy_workload};
+use paq_lang::{parse_paql, translate};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_translate");
+    group.sample_size(20);
+
+    let table = galaxy_table(1000, paq_datagen::DEFAULT_SEED);
+    let workload = galaxy_workload(&table).unwrap();
+    let text = workload[0].text.clone();
+    group.bench_function("parse_q1", |b| b.iter(|| parse_paql(&text).unwrap()));
+
+    for n in [1000usize, 10_000] {
+        let table = galaxy_table(n, paq_datagen::DEFAULT_SEED);
+        let workload = galaxy_workload(&table).unwrap();
+        let q = workload[0].query.clone();
+        group.bench_with_input(BenchmarkId::new("translate_q1", n), &n, |b, _| {
+            b.iter(|| translate(&q, &table).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

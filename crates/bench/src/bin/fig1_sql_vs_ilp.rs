@@ -1,0 +1,66 @@
+//! Figure 1: naive SQL self-join formulation vs ILP formulation.
+//!
+//! The paper evaluates a package query expressed as a multi-way
+//! self-join on 100 SDSS tuples, showing runtime exploding with package
+//! cardinality (≈24h at cardinality 7), while the ILP formulation stays
+//! flat. This binary reproduces the experiment: same 100-tuple sample,
+//! cardinalities 1–7, both strategies timed.
+
+use paq_bench::{seed, solver_config, TextTable};
+use paq_core::{naive::NaiveSelfJoin, Direct, Evaluator};
+use paq_datagen::galaxy_table;
+use paq_lang::parse_paql;
+use paq_relational::agg::{aggregate, AggFunc};
+use std::time::Instant;
+
+fn main() {
+    let table = galaxy_table(100, seed());
+    let mean_r = aggregate(&table, AggFunc::Avg, "r").unwrap().as_f64().unwrap();
+
+    let mut out = TextTable::new(&[
+        "cardinality",
+        "SQL formulation (s)",
+        "ILP formulation (s)",
+        "objectives match",
+    ]);
+
+    for c in 1..=7u64 {
+        let query = parse_paql(&format!(
+            "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+             SUCH THAT COUNT(P.*) = {c} \
+             AND SUM(P.r) <= {:.6} \
+             MINIMIZE SUM(P.extinction_r)",
+            c as f64 * mean_r * 1.05
+        ))
+        .unwrap();
+
+        let t0 = Instant::now();
+        let naive = NaiveSelfJoin::unlimited().evaluate(&query, &table);
+        let sql_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let direct = Direct::new(solver_config()).evaluate(&query, &table);
+        let ilp_time = t1.elapsed();
+
+        let matches = match (&naive, &direct) {
+            (Ok(a), Ok(b)) => {
+                let oa = a.objective_value(&query, &table).unwrap();
+                let ob = b.objective_value(&query, &table).unwrap();
+                if (oa - ob).abs() < 1e-6 { "yes" } else { "NO" }
+            }
+            _ => "n/a",
+        };
+        out.row(vec![
+            c.to_string(),
+            format!("{:.4}", sql_time.as_secs_f64()),
+            format!("{:.4}", ilp_time.as_secs_f64()),
+            matches.to_string(),
+        ]);
+    }
+
+    out.print("Figure 1 — SQL self-join vs ILP formulation (100 Galaxy tuples)");
+    println!(
+        "\nExpected shape: the SQL column grows exponentially with \
+         cardinality; the ILP column stays near-constant."
+    );
+}

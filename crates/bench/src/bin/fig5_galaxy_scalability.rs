@@ -1,0 +1,26 @@
+//! Figure 5: scalability on the Galaxy benchmark.
+//!
+//! DIRECT vs SKETCHREFINE on Q1–Q7 at 10%–100% of the dataset, using a
+//! single offline partitioning (workload attributes, τ = 10%·n, no
+//! radius condition) restricted to each fraction. Expected shape (paper
+//! Fig. 5): SKETCHREFINE runs roughly an order of magnitude faster than
+//! DIRECT on the larger fractions; DIRECT *fails* on the hard queries
+//! (Q2, Q6 — including on small fractions); approximation ratios stay
+//! near 1.
+
+use paq_bench::experiments::{print_scalability, scalability};
+use paq_bench::{galaxy_rows, prepare_galaxy, seed, solver_config};
+
+fn main() {
+    let n = galaxy_rows();
+    let data = prepare_galaxy(n, seed());
+    let points = scalability(&data, &[0.1, 0.4, 0.7, 1.0], &solver_config(), seed());
+    print_scalability(
+        &format!("Figure 5 — Galaxy scalability (n = {n}, τ = 10%·n)"),
+        &points,
+    );
+    println!(
+        "\nExpected shape: SketchRefine ≈ an order of magnitude faster \
+         than Direct at full size; Direct FAILs on Q2/Q6; ratios ≈ 1."
+    );
+}

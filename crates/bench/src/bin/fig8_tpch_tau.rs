@@ -1,0 +1,28 @@
+//! Figure 8: impact of the partition size threshold τ (TPC-H, full
+//! dataset).
+//!
+//! Same layout as Figure 7 on the pre-joined TPC-H table. Expected
+//! shape (paper Fig. 8): U-curve with a sweet spot roughly an order of
+//! magnitude under DIRECT; ratios near 1 across the sweep.
+
+use paq_bench::experiments::{print_tau_sweep, tau_sweep};
+use paq_bench::{prepare_tpch, seed, solver_config, tpch_rows};
+
+fn main() {
+    let n = tpch_rows();
+    let data = prepare_tpch(n, seed());
+    let taus: Vec<usize> = [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005]
+        .iter()
+        .map(|f| ((n as f64 * f) as usize).max(2))
+        .collect();
+    let (baselines, points) = tau_sweep(&data, &taus, &solver_config());
+    print_tau_sweep(
+        &format!("Figure 8 — τ sweep on TPC-H (full dataset, n = {n})"),
+        &baselines,
+        &points,
+    );
+    println!(
+        "\nExpected shape: U-curve over τ; sweet spot well below the \
+         Direct baselines; approx ratios ≈ 1 at every τ."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 9: effect of partitioning coverage.
+//!
+//! Coverage = |partitioning attributes| / |query attributes|. For each
+//! workload query we partition on proper subsets (coverage < 1), the
+//! exact query attributes (coverage = 1), and supersets (coverage > 1)
+//! drawn from the dataset's attribute pool, then report each run's time
+//! relative to its coverage-1 run. Expected shape (paper Fig. 9):
+//! supersets match or *improve* runtime (ratio ≤ 1), subsets degrade it
+//! (ratio > 1); approximation ratios stay low throughout — offline
+//! partitioning on the whole workload's attributes is safe.
+
+use paq_bench::experiments::{coverage_sweep, print_coverage};
+use paq_bench::{galaxy_rows, prepare_galaxy, prepare_tpch, seed, solver_config, tpch_rows};
+use paq_datagen::galaxy::GALAXY_ATTRIBUTES;
+use paq_datagen::tpch::TPCH_ATTRIBUTES;
+
+fn main() {
+    let cfg = solver_config();
+
+    let g = prepare_galaxy(galaxy_rows(), seed());
+    let galaxy_pool: Vec<String> = GALAXY_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
+    let points = coverage_sweep(&g, &galaxy_pool, &cfg);
+    print_coverage(
+        &format!("Figure 9a — partitioning coverage (Galaxy, n = {})", galaxy_rows()),
+        &points,
+    );
+
+    let t = prepare_tpch(tpch_rows(), seed());
+    let tpch_pool: Vec<String> = TPCH_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
+    let points = coverage_sweep(&t, &tpch_pool, &cfg);
+    print_coverage(
+        &format!("Figure 9b — partitioning coverage (TPC-H, n = {})", tpch_rows()),
+        &points,
+    );
+
+    println!(
+        "\nExpected shape: time-increase ratios ≤ 1 for supersets of the \
+         query attributes, > 1 for subsets; approx ratios stay low."
+    );
+}

@@ -1,0 +1,60 @@
+//! Environment-driven experiment configuration.
+
+use std::time::Duration;
+
+use paq_solver::SolverConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Base Galaxy row count (`PAQ_SCALE`, default 20 000). The paper's
+/// Galaxy view has 5.5M rows; the default keeps full sweeps in minutes
+/// on a laptop while preserving the relative behavior of the methods.
+pub fn galaxy_rows() -> usize {
+    env_u64("PAQ_SCALE", 20_000) as usize
+}
+
+/// TPC-H pre-joined row count: the paper's ratio (17.5M / 5.5M ≈ 3.2×
+/// the Galaxy size).
+pub fn tpch_rows() -> usize {
+    galaxy_rows() * 16 / 5
+}
+
+/// Experiment RNG seed (`PAQ_SEED`).
+pub fn seed() -> u64 {
+    env_u64("PAQ_SEED", paq_datagen::DEFAULT_SEED)
+}
+
+/// The black-box solver budget used by all experiments
+/// (`PAQ_SOLVER_TIME_MS`, `PAQ_SOLVER_MEM_MB`). Mirrors the paper's
+/// CPLEX setup — 512MB working memory, 1h limit — scaled to laptop
+/// experiments; exceeding either budget is a DIRECT failure.
+pub fn solver_config() -> SolverConfig {
+    let time_ms = env_u64("PAQ_SOLVER_TIME_MS", 20_000);
+    let mem_mb = env_u64("PAQ_SOLVER_MEM_MB", 64);
+    SolverConfig::default()
+        .with_time_limit(Duration::from_millis(time_ms))
+        .with_memory_limit(mem_mb as usize * 1024 * 1024)
+        // CPLEX's default relative MIP gap; the paper's "emphasize
+        // optimality" setting keeps it (it only dampens heuristics).
+        .with_relative_gap(1e-4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Other tests may set these; only check invariants.
+        assert!(galaxy_rows() >= 1);
+        assert_eq!(tpch_rows(), galaxy_rows() * 16 / 5);
+        let cfg = solver_config();
+        assert!(cfg.time_limit >= Duration::from_millis(1));
+        assert!(cfg.memory_limit >= 1024);
+    }
+}

@@ -1,0 +1,408 @@
+//! The full experiment implementations behind the fig5–fig9 binaries.
+//!
+//! Each function takes a [`PreparedDataset`] and returns structured
+//! results so binaries print them and tests can assert on their shape.
+
+use std::time::Duration;
+
+use paq_partition::{PartitionConfig, Partitioner, Partitioning};
+use paq_solver::SolverConfig;
+
+use crate::report::{ratio, TextTable};
+use crate::runner::{
+    approx_ratio, fraction_mask, run_direct, run_sketchrefine, EvalOutcome, PreparedDataset,
+};
+
+/// One scalability datapoint (paper Figs. 5/6).
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Query name.
+    pub query: String,
+    /// Dataset fraction (0.1 … 1.0).
+    pub fraction: f64,
+    /// Rows at this fraction.
+    pub rows: usize,
+    /// DIRECT outcome.
+    pub direct: EvalOutcome,
+    /// SKETCHREFINE outcome.
+    pub sketchrefine: EvalOutcome,
+    /// Empirical approximation ratio (None when DIRECT failed).
+    pub ratio: Option<f64>,
+}
+
+/// Build the paper's experimental partitioning: workload attributes,
+/// τ = 10% of the rows, no radius condition (§5.2.1).
+pub fn workload_partitioning(data: &PreparedDataset) -> Partitioning {
+    let tau = (data.table.num_rows() / 10).max(1);
+    Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
+        .partition(&data.table)
+        .expect("workload partitioning")
+}
+
+/// Scalability experiment (Figs. 5 and 6): DIRECT vs SKETCHREFINE at
+/// increasing dataset fractions, using one offline partitioning of the
+/// full dataset restricted to each fraction.
+pub fn scalability(
+    data: &PreparedDataset,
+    fractions: &[f64],
+    cfg: &SolverConfig,
+    seed: u64,
+) -> Vec<ScalePoint> {
+    let full = workload_partitioning(data);
+    let mut out = Vec::new();
+    for &fraction in fractions {
+        // Derive the smaller dataset by random removal from the original
+        // partitions — preserves the size condition (§5.2.1).
+        let (table, partitioning) = if fraction >= 1.0 {
+            (data.table.clone(), full.clone())
+        } else {
+            let mask = fraction_mask(data.table.num_rows(), fraction, seed);
+            let kept: Vec<usize> =
+                (0..data.table.num_rows()).filter(|&i| mask[i]).collect();
+            let table = data.table.take(&kept);
+            let partitioning = full.restrict(&data.table, &mask).expect("restrict");
+            (table, partitioning)
+        };
+        for q in &data.workload {
+            let direct = run_direct(&q.query, &table, cfg);
+            let sketchrefine = run_sketchrefine(&q.query, &table, &partitioning, cfg);
+            let r = approx_ratio(&q.query, &direct, &sketchrefine);
+            out.push(ScalePoint {
+                query: q.name.clone(),
+                fraction,
+                rows: table.num_rows(),
+                direct,
+                sketchrefine,
+                ratio: r,
+            });
+        }
+    }
+    out
+}
+
+/// Render scalability results in the layout of Figs. 5/6 (one block per
+/// query with mean/median approximation ratios).
+pub fn print_scalability(title: &str, points: &[ScalePoint]) {
+    let mut queries: Vec<String> = Vec::new();
+    for p in points {
+        if !queries.contains(&p.query) {
+            queries.push(p.query.clone());
+        }
+    }
+    let mut table = TextTable::new(&[
+        "query",
+        "fraction",
+        "rows",
+        "Direct (s)",
+        "SketchRefine (s)",
+        "approx ratio",
+    ]);
+    for q in &queries {
+        for p in points.iter().filter(|p| &p.query == q) {
+            table.row(vec![
+                p.query.clone(),
+                format!("{:.0}%", p.fraction * 100.0),
+                p.rows.to_string(),
+                p.direct.time_cell(),
+                p.sketchrefine.time_cell(),
+                ratio(p.ratio),
+            ]);
+        }
+    }
+    table.print(title);
+    // Per-query ratio summary, like the paper's "approx ratio:
+    // Mean/Median" annotations.
+    let mut summary = TextTable::new(&["query", "ratio mean", "ratio median", "Direct failures"]);
+    for q in &queries {
+        let ratios: Vec<f64> =
+            points.iter().filter(|p| &p.query == q).filter_map(|p| p.ratio).collect();
+        let fails = points
+            .iter()
+            .filter(|p| &p.query == q && matches!(p.direct, EvalOutcome::Failed { .. }))
+            .count();
+        summary.row(vec![
+            q.clone(),
+            ratio(mean(&ratios)),
+            ratio(median(&ratios)),
+            fails.to_string(),
+        ]);
+    }
+    summary.print("approximation-ratio summary");
+}
+
+/// One τ-sweep datapoint (paper Figs. 7/8).
+#[derive(Debug, Clone)]
+pub struct TauPoint {
+    /// Query name.
+    pub query: String,
+    /// Partition size threshold used.
+    pub tau: usize,
+    /// Groups produced at this τ.
+    pub groups: usize,
+    /// SKETCHREFINE outcome.
+    pub sketchrefine: EvalOutcome,
+    /// Approximation ratio vs the DIRECT baseline (when available).
+    pub ratio: Option<f64>,
+}
+
+/// Partition-size-threshold sweep (Figs. 7 and 8): fix the dataset,
+/// vary τ, compare SKETCHREFINE against a single DIRECT baseline per
+/// query.
+pub fn tau_sweep(
+    data: &PreparedDataset,
+    taus: &[usize],
+    cfg: &SolverConfig,
+) -> (Vec<(String, EvalOutcome)>, Vec<TauPoint>) {
+    let baselines: Vec<(String, EvalOutcome)> = data
+        .workload
+        .iter()
+        .map(|q| (q.name.clone(), run_direct(&q.query, &data.table, cfg)))
+        .collect();
+    let mut points = Vec::new();
+    for &tau in taus {
+        let partitioning =
+            Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
+                .partition(&data.table)
+                .expect("tau partitioning");
+        for (q, (_, direct)) in data.workload.iter().zip(&baselines) {
+            let sr = run_sketchrefine(&q.query, &data.table, &partitioning, cfg);
+            let r = approx_ratio(&q.query, direct, &sr);
+            points.push(TauPoint {
+                query: q.name.clone(),
+                tau,
+                groups: partitioning.num_groups(),
+                sketchrefine: sr,
+                ratio: r,
+            });
+        }
+    }
+    (baselines, points)
+}
+
+/// Render a τ sweep in the layout of Figs. 7/8.
+pub fn print_tau_sweep(
+    title: &str,
+    baselines: &[(String, EvalOutcome)],
+    points: &[TauPoint],
+) {
+    let mut base = TextTable::new(&["query", "Direct baseline (s)"]);
+    for (q, outcome) in baselines {
+        base.row(vec![q.clone(), outcome.time_cell()]);
+    }
+    base.print(&format!("{title} — DIRECT baselines"));
+
+    let mut table = TextTable::new(&[
+        "query",
+        "τ",
+        "groups",
+        "SketchRefine (s)",
+        "approx ratio",
+    ]);
+    for p in points {
+        table.row(vec![
+            p.query.clone(),
+            p.tau.to_string(),
+            p.groups.to_string(),
+            p.sketchrefine.time_cell(),
+            ratio(p.ratio),
+        ]);
+    }
+    table.print(title);
+}
+
+/// One coverage datapoint (paper Fig. 9).
+#[derive(Debug, Clone)]
+pub struct CoveragePoint {
+    /// Query name.
+    pub query: String,
+    /// Partitioning coverage = |partitioning attrs| / |query attrs|.
+    pub coverage: f64,
+    /// SKETCHREFINE time at this coverage.
+    pub time: Duration,
+    /// Time divided by the same query's coverage-1 time.
+    pub time_increase_ratio: f64,
+    /// Approximation ratio vs DIRECT (when available).
+    pub ratio: Option<f64>,
+}
+
+/// Partitioning-coverage experiment (Fig. 9): for each query, partition
+/// on subsets (coverage < 1), exactly the query attributes
+/// (coverage = 1), and supersets (coverage > 1) drawn from `attribute_pool`,
+/// and report each run's time relative to coverage 1.
+pub fn coverage_sweep(
+    data: &PreparedDataset,
+    attribute_pool: &[String],
+    cfg: &SolverConfig,
+) -> Vec<CoveragePoint> {
+    let tau = (data.table.num_rows() / 10).max(1);
+    let mut out = Vec::new();
+    for q in &data.workload {
+        let qattrs = &q.attributes;
+        if qattrs.is_empty() {
+            continue;
+        }
+        let direct = run_direct(&q.query, &data.table, cfg);
+
+        // Candidate attribute sets, smallest to largest.
+        let mut candidates: Vec<Vec<String>> = Vec::new();
+        for take in 1..qattrs.len() {
+            candidates.push(qattrs[..take].to_vec()); // coverage < 1
+        }
+        candidates.push(qattrs.clone()); // coverage = 1
+        let mut superset = qattrs.clone();
+        for extra in attribute_pool {
+            if !superset.contains(extra) {
+                superset.push(extra.clone());
+                candidates.push(superset.clone()); // coverage > 1
+            }
+        }
+
+        let mut base_time: Option<f64> = None;
+        for attrs in candidates {
+            let coverage = attrs.len() as f64 / qattrs.len() as f64;
+            let partitioning =
+                Partitioner::new(PartitionConfig::by_size(attrs, tau))
+                    .partition(&data.table)
+                    .expect("coverage partitioning");
+            let sr = run_sketchrefine(&q.query, &data.table, &partitioning, cfg);
+            let secs = sr.time().as_secs_f64();
+            if (coverage - 1.0).abs() < 1e-12 {
+                base_time = Some(secs);
+            }
+            let r = approx_ratio(&q.query, &direct, &sr);
+            out.push(CoveragePoint {
+                query: q.name.clone(),
+                coverage,
+                time: sr.time(),
+                time_increase_ratio: secs, // normalized below
+                ratio: r,
+            });
+        }
+        // Normalize this query's points by its coverage-1 time.
+        let base = base_time.unwrap_or(1.0).max(1e-9);
+        for p in out.iter_mut().filter(|p| &p.query == &q.name) {
+            p.time_increase_ratio = p.time.as_secs_f64() / base;
+        }
+    }
+    out
+}
+
+/// Render the coverage experiment in the layout of Fig. 9.
+pub fn print_coverage(title: &str, points: &[CoveragePoint]) {
+    let mut table = TextTable::new(&[
+        "query",
+        "coverage",
+        "SketchRefine (s)",
+        "time increase ratio",
+        "approx ratio",
+    ]);
+    for p in points {
+        table.row(vec![
+            p.query.clone(),
+            format!("{:.2}", p.coverage),
+            format!("{:.3}", p.time.as_secs_f64()),
+            format!("{:.3}", p.time_increase_ratio),
+            ratio(p.ratio),
+        ]);
+    }
+    table.print(title);
+
+    // Aggregate like the paper: mean/median approximation ratio and the
+    // trend of time ratio vs coverage.
+    let ratios: Vec<f64> = points.iter().filter_map(|p| p.ratio).collect();
+    let sub: Vec<f64> = points
+        .iter()
+        .filter(|p| p.coverage < 1.0)
+        .map(|p| p.time_increase_ratio)
+        .collect();
+    let sup: Vec<f64> = points
+        .iter()
+        .filter(|p| p.coverage > 1.0)
+        .map(|p| p.time_increase_ratio)
+        .collect();
+    println!(
+        "\napprox ratio: mean {} median {} | time ratio: subsets mean {} supersets mean {}",
+        ratio(mean(&ratios)),
+        ratio(median(&ratios)),
+        ratio(mean(&sub)),
+        ratio(mean(&sup)),
+    );
+}
+
+/// Arithmetic mean (None for empty).
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Median (None for empty).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare_galaxy;
+
+    fn tiny_cfg() -> SolverConfig {
+        // Small budget keeps the hard workload queries (Q2/Q6) bounded
+        // in debug-mode test runs; failures are legitimate outcomes.
+        SolverConfig::default().with_time_limit(Duration::from_millis(1500))
+    }
+
+    #[test]
+    fn mean_median_helpers() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn scalability_covers_grid() {
+        let data = prepare_galaxy(250, 5);
+        let pts = scalability(&data, &[0.5, 1.0], &tiny_cfg(), 5);
+        assert_eq!(pts.len(), 14, "7 queries × 2 fractions");
+        // Full-fraction rows must equal the dataset size.
+        assert!(pts.iter().filter(|p| p.fraction == 1.0).all(|p| p.rows == 250));
+        // Ratios, when present, are sane.
+        for p in &pts {
+            if let Some(r) = p.ratio {
+                assert!(r > 0.2 && r < 50.0, "{}: ratio {r}", p.query);
+            }
+        }
+    }
+
+    #[test]
+    fn tau_sweep_produces_grid() {
+        let data = prepare_galaxy(200, 6);
+        let (baselines, pts) = tau_sweep(&data, &[100, 25], &tiny_cfg());
+        assert_eq!(baselines.len(), 7);
+        assert_eq!(pts.len(), 14);
+        // Smaller τ ⇒ at least as many groups.
+        let g100 = pts.iter().find(|p| p.tau == 100).unwrap().groups;
+        let g25 = pts.iter().find(|p| p.tau == 25).unwrap().groups;
+        assert!(g25 >= g100);
+    }
+
+    #[test]
+    fn coverage_sweep_normalizes_at_one() {
+        let data = prepare_galaxy(200, 7);
+        let pool: Vec<String> = data.workload_attrs.clone();
+        let pts = coverage_sweep(&data, &pool[..2.min(pool.len())], &tiny_cfg());
+        // Every query has a coverage-1 point with ratio 1.
+        for q in ["Q1", "Q5"] {
+            let base = pts
+                .iter()
+                .find(|p| p.query == q && (p.coverage - 1.0).abs() < 1e-12)
+                .unwrap_or_else(|| panic!("{q} missing coverage-1 point"));
+            assert!((base.time_increase_ratio - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared experiment plumbing: dataset preparation, evaluation wrappers
+//! with timing, dataset-fraction masks, and approximation ratios.
+
+use std::time::{Duration, Instant};
+
+use paq_core::{Direct, EngineError, Evaluator, Package, SketchRefine};
+use paq_datagen::{galaxy_table, galaxy_workload, tpch_table, tpch_workload, NamedQuery};
+use paq_lang::ast::ObjectiveSense;
+use paq_lang::PackageQuery;
+use paq_partition::Partitioning;
+use paq_relational::{Expr, Table};
+use paq_solver::SolverConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A dataset plus its workload, ready for experiments.
+pub struct PreparedDataset {
+    /// Dataset name ("Galaxy" / "TPC-H").
+    pub name: &'static str,
+    /// The full table.
+    pub table: Table,
+    /// The seven workload queries (TPC-H queries carry IS NOT NULL
+    /// guards so evaluation runs on the per-query non-NULL subsets of
+    /// the pre-joined table, as in §5.1).
+    pub workload: Vec<NamedQuery>,
+    /// Union of the workload's query attributes (the partitioning
+    /// attributes of §5.2.1).
+    pub workload_attrs: Vec<String>,
+}
+
+/// Generate the Galaxy dataset and workload.
+pub fn prepare_galaxy(n: usize, seed: u64) -> PreparedDataset {
+    let table = galaxy_table(n, seed);
+    let workload = galaxy_workload(&table).expect("galaxy workload");
+    let workload_attrs = paq_datagen::workload_attributes(&workload);
+    PreparedDataset { name: "Galaxy", table, workload, workload_attrs }
+}
+
+/// Generate the pre-joined TPC-H dataset and workload (with non-NULL
+/// guards installed on every query).
+pub fn prepare_tpch(n: usize, seed: u64) -> PreparedDataset {
+    let table = tpch_table(n, seed);
+    let workload: Vec<NamedQuery> = tpch_workload(&table)
+        .expect("tpch workload")
+        .into_iter()
+        .map(|mut q| {
+            q.query = with_non_null_guards(&q.query, &q.attributes);
+            q.text = q.query.to_string();
+            q
+        })
+        .collect();
+    let workload_attrs = paq_datagen::workload_attributes(&workload);
+    PreparedDataset { name: "TPC-H", table, workload, workload_attrs }
+}
+
+/// Add `attr IS NOT NULL` base predicates for every listed attribute —
+/// how the paper extracts each TPC-H query's effective table from the
+/// full-outer-join result (§5.1).
+pub fn with_non_null_guards(query: &PackageQuery, attrs: &[String]) -> PackageQuery {
+    let mut out = query.clone();
+    for a in attrs {
+        let guard = Expr::col(a.clone()).is_not_null();
+        out.where_clause = Some(match out.where_clause.take() {
+            Some(w) => w.and(guard),
+            None => guard,
+        });
+    }
+    out
+}
+
+/// Number of rows with non-NULL values on all `attrs` (paper Fig. 3).
+pub fn effective_rows(table: &Table, attrs: &[String]) -> usize {
+    let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    table.non_null_indices(&refs).map(|v| v.len()).unwrap_or(0)
+}
+
+/// Outcome of one timed evaluation.
+#[derive(Debug, Clone)]
+pub enum EvalOutcome {
+    /// A package was produced.
+    Solved {
+        /// Wall-clock evaluation time.
+        time: Duration,
+        /// Objective value of the produced package (query sense).
+        objective: f64,
+        /// The package itself.
+        package: Package,
+    },
+    /// The query was reported infeasible.
+    Infeasible {
+        /// Wall-clock time until the verdict.
+        time: Duration,
+    },
+    /// Evaluation failed (solver resource exhaustion — the paper's
+    /// missing DIRECT datapoints).
+    Failed {
+        /// Wall-clock time until the failure.
+        time: Duration,
+        /// Failure description.
+        reason: String,
+    },
+}
+
+impl EvalOutcome {
+    /// The evaluation time regardless of outcome.
+    pub fn time(&self) -> Duration {
+        match self {
+            EvalOutcome::Solved { time, .. }
+            | EvalOutcome::Infeasible { time }
+            | EvalOutcome::Failed { time, .. } => *time,
+        }
+    }
+
+    /// Objective value, if a package was produced.
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            EvalOutcome::Solved { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// Render the time column ("FAIL"/"infeas" for non-answers).
+    pub fn time_cell(&self) -> String {
+        match self {
+            EvalOutcome::Solved { time, .. } => format!("{:.3}", time.as_secs_f64()),
+            EvalOutcome::Infeasible { .. } => "infeas".into(),
+            EvalOutcome::Failed { .. } => "FAIL".into(),
+        }
+    }
+}
+
+fn classify(
+    result: Result<Package, EngineError>,
+    time: Duration,
+    query: &PackageQuery,
+    table: &Table,
+) -> EvalOutcome {
+    match result {
+        Ok(package) => {
+            let objective = package
+                .objective_value(query, table)
+                .expect("objective of produced package");
+            EvalOutcome::Solved { time, objective, package }
+        }
+        Err(e) if e.is_infeasible() => EvalOutcome::Infeasible { time },
+        Err(e) => EvalOutcome::Failed { time, reason: e.to_string() },
+    }
+}
+
+/// Run DIRECT with timing.
+pub fn run_direct(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> EvalOutcome {
+    let evaluator = Direct::new(cfg.clone());
+    let start = Instant::now();
+    let result = evaluator.evaluate(query, table);
+    classify(result, start.elapsed(), query, table)
+}
+
+/// Run SKETCHREFINE against a prebuilt partitioning, with timing.
+pub fn run_sketchrefine(
+    query: &PackageQuery,
+    table: &Table,
+    partitioning: &Partitioning,
+    cfg: &SolverConfig,
+) -> EvalOutcome {
+    let evaluator = SketchRefine::new(cfg.clone());
+    let start = Instant::now();
+    let result = evaluator.evaluate_with(query, table, partitioning);
+    classify(result, start.elapsed(), query, table)
+}
+
+/// Random keep-mask selecting ≈`fraction` of `n` rows (deterministic in
+/// `seed`); used to derive the 10%…100% dataset sizes of §5.2.1.
+pub fn fraction_mask(n: usize, fraction: f64, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (fraction * 1e6) as u64);
+    (0..n).map(|_| rng.gen::<f64>() < fraction).collect()
+}
+
+/// Empirical approximation ratio (§5.1 "Metrics"): `Obj_D / Obj_S` for
+/// maximization, `Obj_S / Obj_D` for minimization; `None` when either
+/// side failed.
+pub fn approx_ratio(
+    query: &PackageQuery,
+    direct: &EvalOutcome,
+    sketchrefine: &EvalOutcome,
+) -> Option<f64> {
+    let d = direct.objective()?;
+    let s = sketchrefine.objective()?;
+    let maximize = matches!(
+        query.objective.as_ref().map(|o| o.sense),
+        Some(ObjectiveSense::Maximize)
+    );
+    let (num, den) = if maximize { (d, s) } else { (s, d) };
+    if den == 0.0 {
+        // Both zero ⇒ perfect; otherwise undefined.
+        return (num == 0.0).then_some(1.0);
+    }
+    Some(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_lang::parse_paql;
+    use paq_partition::{PartitionConfig, Partitioner};
+
+    #[test]
+    fn prepared_galaxy_has_seven_queries() {
+        let d = prepare_galaxy(300, 1);
+        assert_eq!(d.workload.len(), 7);
+        assert!(d.workload_attrs.len() >= 8);
+        assert_eq!(d.table.num_rows(), 300);
+    }
+
+    #[test]
+    fn tpch_guards_restrict_to_non_null_rows() {
+        let d = prepare_tpch(2000, 2);
+        let q5 = &d.workload[4];
+        assert!(q5.query.where_clause.is_some());
+        let eff = effective_rows(&d.table, &q5.attributes);
+        assert!(eff < d.table.num_rows() / 10, "customer subset must be small");
+        // Direct evaluation over the full table only picks guarded rows.
+        let out = run_direct(&q5.query, &d.table, &SolverConfig::default());
+        if let EvalOutcome::Solved { package, .. } = out {
+            assert!(package.satisfies(&q5.query, &d.table, 1e-6).unwrap());
+        }
+    }
+
+    #[test]
+    fn fraction_mask_is_deterministic_and_proportional() {
+        let a = fraction_mask(10_000, 0.3, 7);
+        let b = fraction_mask(10_000, 0.3, 7);
+        assert_eq!(a, b);
+        let kept = a.iter().filter(|&&k| k).count();
+        assert!((2_700..=3_300).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn direct_and_sketchrefine_agree_on_small_galaxy() {
+        let d = prepare_galaxy(400, 3);
+        let q = &d.workload[0]; // Q1
+        let cfg = SolverConfig::default();
+        let direct = run_direct(&q.query, &d.table, &cfg);
+        let partitioning = Partitioner::new(PartitionConfig::by_size(
+            d.workload_attrs.clone(),
+            40,
+        ))
+        .partition(&d.table)
+        .unwrap();
+        let sr = run_sketchrefine(&q.query, &d.table, &partitioning, &cfg);
+        let ratio = approx_ratio(&q.query, &direct, &sr).expect("both solved");
+        assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
+        assert!(ratio < 5.0, "ratio {ratio} unexpectedly bad");
+    }
+
+    #[test]
+    fn ratio_orientation_depends_on_sense() {
+        let max_q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        let min_q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        let mk = |obj: f64| EvalOutcome::Solved {
+            time: Duration::ZERO,
+            objective: obj,
+            package: Package::empty(),
+        };
+        // Direct found 10; SketchRefine found 8 (worse for max).
+        assert!(approx_ratio(&max_q, &mk(10.0), &mk(8.0)).unwrap() > 1.0);
+        // Direct found 8; SketchRefine found 10 (worse for min).
+        assert!(approx_ratio(&min_q, &mk(8.0), &mk(10.0)).unwrap() > 1.0);
+        let failed = EvalOutcome::Failed { time: Duration::ZERO, reason: "x".into() };
+        assert!(approx_ratio(&max_q, &failed, &mk(8.0)).is_none());
+    }
+
+    #[test]
+    fn outcome_cells() {
+        let s = EvalOutcome::Solved {
+            time: Duration::from_millis(1234),
+            objective: 1.0,
+            package: Package::empty(),
+        };
+        assert_eq!(s.time_cell(), "1.234");
+        assert_eq!(
+            EvalOutcome::Failed { time: Duration::ZERO, reason: "m".into() }.time_cell(),
+            "FAIL"
+        );
+        assert_eq!(EvalOutcome::Infeasible { time: Duration::ZERO }.time_cell(), "infeas");
+    }
+}

@@ -1,0 +1,164 @@
+//! DIRECT evaluation (§3.2 of the paper).
+//!
+//! Three steps: (1) translate the PaQL query to an ILP via the §3.1
+//! rules, (2) compute base relations and eliminate non-qualifying
+//! tuples (done inside the translation), (3) run the black-box ILP
+//! solver and decode the variable assignment into a [`Package`].
+//!
+//! DIRECT is exact but inherits the solver's two failure modes: the
+//! whole problem must fit in (configured) memory, and hard instances
+//! can exhaust the time budget — both surface as
+//! [`EngineError::SolverGaveUp`].
+
+use std::sync::Arc;
+
+use paq_lang::{translate, PackageQuery};
+use paq_relational::Table;
+use paq_solver::{MilpSolver, SolveOutcome, SolverConfig, Telemetry};
+
+use crate::error::{EngineError, EngineResult};
+use crate::package::Package;
+use crate::Evaluator;
+
+/// The DIRECT evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct Direct {
+    config: SolverConfig,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl Direct {
+    /// DIRECT with a specific solver configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Direct { config, telemetry: None }
+    }
+
+    /// Attach shared telemetry (solver call counting for experiments).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The solver configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    fn solver(&self) -> MilpSolver {
+        let s = MilpSolver::new(self.config.clone());
+        match &self.telemetry {
+            Some(t) => s.with_telemetry(Arc::clone(t)),
+            None => s,
+        }
+    }
+}
+
+impl Evaluator for Direct {
+    fn name(&self) -> &'static str {
+        "DIRECT"
+    }
+
+    fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package> {
+        let translation = translate(query, table)?;
+        let result = self.solver().solve(&translation.model);
+        match result.outcome {
+            SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
+                Ok(Package::from_pairs(translation.decode(&sol.values)))
+            }
+            SolveOutcome::Infeasible => Err(EngineError::infeasible()),
+            SolveOutcome::Unbounded => Err(EngineError::Unbounded),
+            SolveOutcome::ResourceExhausted(limit) => Err(EngineError::SolverGaveUp(limit)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_lang::parse_paql;
+    use paq_relational::{DataType, Schema, Value};
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("value", DataType::Float),
+            ("weight", DataType::Float),
+        ]));
+        for i in 0..n {
+            let v = ((i * 17) % 13) as f64 + 1.0;
+            let w = ((i * 7) % 5) as f64 + 1.0;
+            t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn optimal_package_is_feasible_and_named() {
+        let t = table(50);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 5 AND SUM(P.weight) <= 12 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let d = Direct::default();
+        assert_eq!(d.name(), "DIRECT");
+        let pkg = d.evaluate(&q, &t).unwrap();
+        assert_eq!(pkg.cardinality(), 5);
+        assert!(pkg.satisfies(&q, &t, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn infeasible_query_reports_proved_infeasibility() {
+        let t = table(10);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 100",
+        )
+        .unwrap();
+        match Direct::default().evaluate(&q, &t) {
+            Err(EngineError::Infeasible { possibly_false: false }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_objective_detected() {
+        let t = table(10);
+        // Unlimited repetition, maximize value, only a lower bound.
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R \
+             SUCH THAT COUNT(P.*) >= 1 MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        assert_eq!(Direct::default().evaluate(&q, &t), Err(EngineError::Unbounded));
+    }
+
+    #[test]
+    fn tiny_memory_budget_reproduces_cplex_failure() {
+        let t = table(200);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 5 AND SUM(P.weight) <= 9 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let d = Direct::new(SolverConfig::default().with_memory_limit(64));
+        match d.evaluate(&q, &t) {
+            Err(EngineError::SolverGaveUp(_)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_one_call() {
+        let t = table(20);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 2",
+        )
+        .unwrap();
+        let tel = Arc::new(Telemetry::new());
+        let d = Direct::default().with_telemetry(Arc::clone(&tel));
+        d.evaluate(&q, &t).unwrap();
+        assert_eq!(tel.calls(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Engine error type.
+
+use std::fmt;
+
+use paq_solver::solution::LimitKind;
+
+/// Errors from package-query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query has no feasible package. For SKETCHREFINE this may be
+    /// *false infeasibility* (§4.4) — `possibly_false` is `true` when
+    /// the verdict came from the approximate pipeline rather than a
+    /// proof on the full problem.
+    Infeasible {
+        /// Whether the verdict could be a false negative.
+        possibly_false: bool,
+    },
+    /// The objective is unbounded (e.g. unlimited REPEAT with an
+    /// unconstrained maximization).
+    Unbounded,
+    /// The black-box solver exhausted a resource budget before
+    /// producing any answer — the CPLEX failure mode of §3.2/§5.2.1.
+    SolverGaveUp(LimitKind),
+    /// Language-level error (parse/validate/translate).
+    Language(paq_lang::PaqlError),
+    /// Relational substrate error.
+    Relational(paq_relational::RelError),
+    /// Evaluator misuse (e.g. the naive evaluator on a query without a
+    /// fixed cardinality).
+    Unsupported(String),
+}
+
+impl EngineError {
+    /// Plain infeasibility (proved on the full problem).
+    pub fn infeasible() -> Self {
+        EngineError::Infeasible { possibly_false: false }
+    }
+
+    /// Infeasibility reported by an approximate pipeline.
+    pub fn maybe_false_infeasible() -> Self {
+        EngineError::Infeasible { possibly_false: true }
+    }
+
+    /// `true` when the error denotes (possibly false) infeasibility.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, EngineError::Infeasible { .. })
+    }
+
+    /// `true` when the evaluation *failed* (as opposed to answering
+    /// "infeasible", which is an answer).
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            EngineError::SolverGaveUp(_)
+                | EngineError::Language(_)
+                | EngineError::Relational(_)
+                | EngineError::Unsupported(_)
+        )
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Infeasible { possibly_false: false } => {
+                write!(f, "the package query is infeasible")
+            }
+            EngineError::Infeasible { possibly_false: true } => {
+                write!(f, "the package query was reported infeasible (possibly falsely)")
+            }
+            EngineError::Unbounded => write!(f, "the package objective is unbounded"),
+            EngineError::SolverGaveUp(limit) => {
+                write!(f, "the ILP solver gave up ({limit} exceeded)")
+            }
+            EngineError::Language(e) => write!(f, "{e}"),
+            EngineError::Relational(e) => write!(f, "{e}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<paq_lang::PaqlError> for EngineError {
+    fn from(e: paq_lang::PaqlError) -> Self {
+        EngineError::Language(e)
+    }
+}
+
+impl From<paq_relational::RelError> for EngineError {
+    fn from(e: paq_relational::RelError) -> Self {
+        EngineError::Relational(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(EngineError::infeasible().is_infeasible());
+        assert!(!EngineError::infeasible().is_failure());
+        assert!(EngineError::maybe_false_infeasible().is_infeasible());
+        assert!(EngineError::SolverGaveUp(LimitKind::Memory).is_failure());
+        assert!(!EngineError::Unbounded.is_failure());
+    }
+
+    #[test]
+    fn display_mentions_limit() {
+        let e = EngineError::SolverGaveUp(LimitKind::Time);
+        assert!(e.to_string().contains("time limit"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: EngineError = paq_relational::RelError::DivisionByZero.into();
+        assert!(matches!(e, EngineError::Relational(_)));
+        let e: EngineError = paq_lang::PaqlError::Semantic("x".into()).into();
+        assert!(matches!(e, EngineError::Language(_)));
+    }
+}

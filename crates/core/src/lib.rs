@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # paq-core — package query evaluation
+//!
+//! The paper's primary contribution: evaluating PaQL package queries on
+//! top of a relational engine and a black-box ILP solver.
+//!
+//! * [`Package`] — the answer object: a multiset of input tuples with
+//!   aggregate accessors, feasibility checking, and materialization.
+//! * [`Direct`] (§3.2) — translate the whole query to one ILP and hand
+//!   it to the solver. Exact, but bound by the solver's memory/time
+//!   behavior on large inputs.
+//! * [`SketchRefine`] (§4) — the scalable evaluator: **sketch** an
+//!   initial package over the partitioning's representative tuples,
+//!   then **refine** group by group with greedy backtracking
+//!   (Algorithm 2), optionally falling back to the hybrid sketch query
+//!   of §4.4 on initial infeasibility. Guarantees (1±ε)⁶-approximate
+//!   objectives when the partitioning obeys the Theorem 3 radius limit.
+//! * [`naive`] — the SQL self-join formulation of §2 used as the
+//!   Figure 1 baseline: exhaustive cardinality-k enumeration.
+
+pub mod direct;
+pub mod error;
+pub mod naive;
+pub mod package;
+pub mod sketchrefine;
+
+pub use direct::Direct;
+pub use error::{EngineError, EngineResult};
+pub use package::Package;
+pub use sketchrefine::{SketchRefine, SketchRefineOptions, SketchRefineReport};
+
+use paq_lang::PackageQuery;
+use paq_relational::Table;
+
+/// A package-query evaluation strategy (DIRECT, SKETCHREFINE, …).
+pub trait Evaluator {
+    /// Human-readable strategy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate `query` against `table`, producing an answer package.
+    ///
+    /// Infeasibility and solver resource failures are reported through
+    /// [`EngineError`].
+    fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package>;
+}

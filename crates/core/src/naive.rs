@@ -1,0 +1,291 @@
+//! The naive SQL self-join formulation (§2 of the paper, Figure 1).
+//!
+//! When a package query fixes its cardinality (`COUNT(P.*) = c`) and
+//! forbids repetition (`REPEAT 0`), traditional SQL can express it as a
+//! `c`-way self-join with `R1.pk < R2.pk < … < Rc.pk` ordering
+//! predicates. This module reproduces that evaluation strategy over the
+//! relational substrate: ordered `c`-subset enumeration with the global
+//! predicates checked on each complete candidate and the best objective
+//! retained — the same work a join-based plan performs, and the
+//! exponential baseline of Figure 1.
+
+use paq_lang::ast::{AggTerm, GlobalPredicate, PackageQuery};
+use paq_lang::{base_relation_rows, linear_system};
+use paq_relational::expr::CmpOp;
+use paq_relational::Table;
+
+use crate::error::{EngineError, EngineResult};
+use crate::package::Package;
+use crate::Evaluator;
+
+/// The self-join baseline evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveSelfJoin {
+    /// Safety valve on enumerated candidates (the real SQL formulation
+    /// has none — it simply runs for hours; Figure 1 stops at ~24h).
+    pub max_candidates: Option<u64>,
+}
+
+impl NaiveSelfJoin {
+    /// Unlimited enumeration (the paper's setting).
+    pub fn unlimited() -> Self {
+        NaiveSelfJoin { max_candidates: None }
+    }
+
+    /// Enumeration capped at `max` candidate packages.
+    pub fn capped(max: u64) -> Self {
+        NaiveSelfJoin { max_candidates: Some(max) }
+    }
+
+    /// Extract the fixed cardinality required by the self-join
+    /// formulation (`COUNT(P.*) = c`).
+    fn fixed_cardinality(query: &PackageQuery) -> Option<u64> {
+        for pred in &query.such_that {
+            match pred {
+                GlobalPredicate::Cmp {
+                    lhs: AggTerm::Agg(paq_lang::AggExpr::Count),
+                    op: CmpOp::Eq,
+                    rhs: AggTerm::Const(c),
+                } if *c >= 0.0 && c.fract() == 0.0 => return Some(*c as u64),
+                GlobalPredicate::Cmp {
+                    lhs: AggTerm::Const(c),
+                    op: CmpOp::Eq,
+                    rhs: AggTerm::Agg(paq_lang::AggExpr::Count),
+                } if *c >= 0.0 && c.fract() == 0.0 => return Some(*c as u64),
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+impl Evaluator for NaiveSelfJoin {
+    fn name(&self) -> &'static str {
+        "SQL self-join"
+    }
+
+    fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package> {
+        let Some(c) = Self::fixed_cardinality(query) else {
+            return Err(EngineError::Unsupported(
+                "the self-join formulation requires a fixed cardinality \
+                 (COUNT(P.*) = c); unbounded packages need recursion (§2)"
+                    .into(),
+            ));
+        };
+        if query.max_multiplicity() != Some(1) {
+            return Err(EngineError::Unsupported(
+                "the self-join formulation requires REPEAT 0 \
+                 (R1.pk < R2.pk < … orders distinct tuples)"
+                    .into(),
+            ));
+        }
+
+        let all: Vec<usize> = (0..table.num_rows()).collect();
+        let rows = base_relation_rows(query, table, &all)?;
+        let system = linear_system(query, table, &rows)?;
+        let minimize = system.sense == paq_solver::Sense::Minimize;
+        let c = c as usize;
+        if c > rows.len() {
+            return Err(EngineError::infeasible());
+        }
+
+        // Ordered c-subset enumeration = the c-way self-join with
+        // R1.pk < R2.pk < … predicates.
+        let mut chosen = vec![0usize; c]; // positions into `rows`
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut candidates = 0u64;
+        enumerate(
+            &mut chosen,
+            0,
+            0,
+            rows.len(),
+            &mut |subset: &[usize]| -> bool {
+                candidates += 1;
+                if let Some(max) = self.max_candidates {
+                    if candidates > max {
+                        return false; // stop enumeration
+                    }
+                }
+                // Check every constraint row on the complete candidate.
+                let feasible = system.rows.iter().all(|row| {
+                    let v: f64 = subset.iter().map(|&s| row.coefs[s]).sum();
+                    let scale = 1.0_f64.max(v.abs());
+                    v >= row.lo - 1e-9 * scale && v <= row.hi + 1e-9 * scale
+                });
+                if feasible {
+                    let obj: f64 = subset.iter().map(|&s| system.objective[s]).sum();
+                    let better = match &best {
+                        None => true,
+                        Some((b, _)) => {
+                            if minimize {
+                                obj < *b
+                            } else {
+                                obj > *b
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((obj, subset.to_vec()));
+                    }
+                }
+                true
+            },
+        );
+
+        match best {
+            Some((_, subset)) => Ok(Package::from_pairs(
+                subset.into_iter().map(|s| (rows[s], 1u64)),
+            )),
+            None => Err(EngineError::infeasible()),
+        }
+    }
+}
+
+/// Recursive ordered-subset enumeration; `visit` returns `false` to
+/// abort. Returns `false` when aborted.
+fn enumerate(
+    chosen: &mut Vec<usize>,
+    depth: usize,
+    start: usize,
+    n: usize,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if depth == chosen.len() {
+        return visit(chosen);
+    }
+    for i in start..n {
+        chosen[depth] = i;
+        if !enumerate(chosen, depth + 1, i + 1, n, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::Direct;
+    use paq_lang::parse_paql;
+    use paq_relational::{DataType, Schema, Value};
+
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("value", DataType::Float),
+            ("weight", DataType::Float),
+        ]));
+        for i in 0..n {
+            t.push_row(vec![
+                Value::Float(((i * 31) % 17) as f64 + 1.0),
+                Value::Float(((i * 13) % 7) as f64 + 1.0),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn matches_direct_on_small_instances() {
+        let t = table(25);
+        for card in 1..=4 {
+            let q = parse_paql(&format!(
+                "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {card} AND SUM(P.weight) <= 12 \
+                 MAXIMIZE SUM(P.value)"
+            ))
+            .unwrap();
+            let naive = NaiveSelfJoin::unlimited().evaluate(&q, &t).unwrap();
+            let direct = Direct::default().evaluate(&q, &t).unwrap();
+            let obj_n = naive.objective_value(&q, &t).unwrap();
+            let obj_d = direct.objective_value(&q, &t).unwrap();
+            assert!(
+                (obj_n - obj_d).abs() < 1e-9,
+                "cardinality {card}: naive {obj_n} vs direct {obj_d}"
+            );
+            assert!(naive.satisfies(&q, &t, 1e-9).unwrap());
+        }
+    }
+
+    #[test]
+    fn requires_fixed_cardinality() {
+        let t = table(5);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) <= 3",
+        )
+        .unwrap();
+        match NaiveSelfJoin::unlimited().evaluate(&q, &t) {
+            Err(EngineError::Unsupported(msg)) => assert!(msg.contains("cardinality")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requires_repeat_zero() {
+        let t = table(5);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 2",
+        )
+        .unwrap();
+        match NaiveSelfJoin::unlimited().evaluate(&q, &t) {
+            Err(EngineError::Unsupported(msg)) => assert!(msg.contains("REPEAT 0")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_when_no_subset_qualifies() {
+        let t = table(6);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 3 AND SUM(P.weight) <= 0.5",
+        )
+        .unwrap();
+        assert_eq!(
+            NaiveSelfJoin::unlimited().evaluate(&q, &t),
+            Err(EngineError::infeasible())
+        );
+    }
+
+    #[test]
+    fn cardinality_larger_than_relation_is_infeasible() {
+        let t = table(3);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 10",
+        )
+        .unwrap();
+        assert_eq!(
+            NaiveSelfJoin::unlimited().evaluate(&q, &t),
+            Err(EngineError::infeasible())
+        );
+    }
+
+    #[test]
+    fn base_predicate_prefilters() {
+        let t = table(12);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             WHERE R.weight <= 3 \
+             SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let pkg = NaiveSelfJoin::unlimited().evaluate(&q, &t).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-9).unwrap());
+    }
+
+    #[test]
+    fn candidate_cap_stops_early() {
+        let t = table(30);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 4 MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        // The cap makes the result a best-effort answer over the first
+        // few candidates (or infeasible if none qualified in time).
+        let capped = NaiveSelfJoin::capped(10).evaluate(&q, &t);
+        match capped {
+            Ok(pkg) => assert_eq!(pkg.cardinality(), 4),
+            Err(e) => assert!(e.is_infeasible()),
+        }
+    }
+}

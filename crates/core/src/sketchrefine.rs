@@ -1,0 +1,1230 @@
+//! SKETCHREFINE (§4 of the paper): scalable approximate evaluation.
+//!
+//! Given an offline [`Partitioning`] of the input into groups of similar
+//! tuples, evaluation proceeds in two phases:
+//!
+//! * **SKETCH** (§4.2.1): solve the query over the *representative
+//!   relation* `R̃` (one centroid tuple per group), with the extra
+//!   global constraints `COUNT(p_S WHERE gid = j) ≤ |G_j|·(1+K)` capping
+//!   every representative by its group size. The resulting ILP has only
+//!   `m` variables.
+//! * **REFINE** (§4.2.2, Algorithm 2): replace each group's
+//!   representatives with actual tuples by solving a per-group ILP of at
+//!   most τ variables whose constraint bounds are shifted by the
+//!   contribution of every other group's current contents. Refinements
+//!   are greedy; when one renders the remainder infeasible, the search
+//!   **backtracks**, re-prioritizing the failed groups (lines 13–24 of
+//!   Algorithm 2).
+//!
+//! On sketch infeasibility the evaluator falls back to the **hybrid
+//! sketch query** of §4.4 (strategy 1, and the strategy used by the
+//! paper's experiments): re-sketch with one group's original tuples
+//! inlined, trying groups in order until one succeeds. Remaining
+//! failures are reported as (possibly false) infeasibility.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use paq_lang::{base_relation_rows, linear_system, validate, LinearSystem, PackageQuery};
+use paq_partition::partitioning::GID_COLUMN;
+use paq_partition::{PartitionConfig, Partitioner, Partitioning};
+use paq_relational::Table;
+use paq_solver::{MilpSolver, Model, SolveOutcome, SolverConfig, Telemetry};
+
+use crate::error::{EngineError, EngineResult};
+use crate::package::Package;
+use crate::Evaluator;
+
+/// Tuning knobs for SKETCHREFINE.
+#[derive(Debug, Clone)]
+pub struct SketchRefineOptions {
+    /// Use the hybrid sketch query (§4.4, strategy 1) when the plain
+    /// sketch is infeasible. This matches the paper's experimental
+    /// configuration.
+    pub use_hybrid_sketch: bool,
+    /// Budget on black-box solver calls across sketch + refine +
+    /// backtracking; prevents the worst-case exponential ordering
+    /// search (§4.2.2 "Run time complexity").
+    pub max_solver_calls: u64,
+    /// Default group count used by [`SketchRefine::evaluate`] when no
+    /// partitioning is supplied (τ = n / default_groups).
+    pub default_groups: usize,
+    /// §4.4 strategy 2 (*further partitioning*): on a possibly-false
+    /// infeasibility verdict, rebuild the partitioning with τ halved
+    /// and retry, up to this many rounds. Requires the supplied
+    /// partitioning to carry its attribute list.
+    pub repartition_rounds: u32,
+    /// §4.4 strategy 3 (*dropping partitioning attributes*): on a
+    /// possibly-false infeasibility verdict, use the solver's
+    /// IIS-style diagnostic from the failed sketch (which constraint
+    /// rows cannot be satisfied) to identify the attributes involved,
+    /// drop them from the partitioning attributes (merging groups along
+    /// those dimensions), rebuild, and retry — up to this many rounds.
+    pub drop_attribute_rounds: u32,
+    /// §4.4 strategy 4 (*iterative group merging*): after any
+    /// repartition rounds, merge groups pairwise and retry, up to this
+    /// many rounds. Each round halves the group count, so the limit is
+    /// the unpartitioned problem — which cannot be falsely infeasible.
+    pub merge_rounds: u32,
+    /// Cap on the sketch problem size (the paper's recursive-sketch
+    /// device for very large `m`, §4.2.1): when the partitioning has
+    /// more groups than this, spatially-adjacent groups are merged
+    /// pairwise until the sketch ILP fits the cap.
+    pub sketch_group_limit: Option<usize>,
+    /// Overall wall-clock deadline for one evaluation (sketch + refine
+    /// + backtracking). `None` derives `(2·m + 4) ×` the per-solve time
+    /// limit (one budgeted solve per group plus backtracking slack).
+    /// On expiry the evaluation reports (possibly false) infeasibility,
+    /// matching Algorithm 1's failure semantics.
+    pub total_time_limit: Option<Duration>,
+}
+
+impl Default for SketchRefineOptions {
+    fn default() -> Self {
+        SketchRefineOptions {
+            use_hybrid_sketch: true,
+            max_solver_calls: 10_000,
+            default_groups: 10,
+            repartition_rounds: 0,
+            drop_attribute_rounds: 0,
+            merge_rounds: 0,
+            sketch_group_limit: None,
+            total_time_limit: None,
+        }
+    }
+}
+
+/// Work counters for one SKETCHREFINE evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct SketchRefineReport {
+    /// Wall-clock time in the SKETCH phase (including hybrid retries).
+    pub sketch_time: Duration,
+    /// Wall-clock time in the REFINE phase.
+    pub refine_time: Duration,
+    /// Total black-box solver invocations.
+    pub solver_calls: u64,
+    /// Number of backtracking events (failed refine subproblems).
+    pub backtracks: u64,
+    /// Whether the hybrid sketch fallback was used.
+    pub used_hybrid: bool,
+    /// Number of groups with at least one representative in the sketch
+    /// package (the groups REFINE must process).
+    pub groups_refined: usize,
+    /// §4.4 strategy-2 retries performed (τ-halving repartitions).
+    pub repartitions: u32,
+    /// §4.4 strategy-3 retries performed (attribute drops guided by the
+    /// sketch's infeasibility diagnostic).
+    pub attribute_drops: u32,
+    /// §4.4 strategy-4 retries performed (pairwise group merges).
+    pub merges: u32,
+}
+
+/// The SKETCHREFINE evaluator.
+#[derive(Debug, Clone, Default)]
+pub struct SketchRefine {
+    config: SolverConfig,
+    options: SketchRefineOptions,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl SketchRefine {
+    /// SKETCHREFINE with a specific solver configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        SketchRefine { config, options: SketchRefineOptions::default(), telemetry: None }
+    }
+
+    /// Override options.
+    pub fn with_options(mut self, options: SketchRefineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach shared telemetry.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Evaluate against a prebuilt offline partitioning.
+    pub fn evaluate_with(
+        &self,
+        query: &PackageQuery,
+        table: &Table,
+        partitioning: &Partitioning,
+    ) -> EngineResult<Package> {
+        self.evaluate_with_report(query, table, partitioning).map(|(p, _)| p)
+    }
+
+    /// Evaluate against a prebuilt partitioning, returning work
+    /// counters alongside the package.
+    ///
+    /// On a possibly-false infeasibility verdict this applies the
+    /// configured §4.4 fallback ladder: first τ-halving repartitions
+    /// (strategy 2), then pairwise group merges (strategy 4).
+    pub fn evaluate_with_report(
+        &self,
+        query: &PackageQuery,
+        table: &Table,
+        partitioning: &Partitioning,
+    ) -> EngineResult<(Package, SketchRefineReport)> {
+        validate(query, table.schema())?;
+
+        // Recursive-sketch device: coarsen an oversized partitioning
+        // before the first attempt.
+        let mut current = self.coarsen(partitioning, table)?;
+        let mut repartitions = 0u32;
+        let mut attribute_drops = 0u32;
+        let mut merges = 0u32;
+        loop {
+            let (attempt, violated_rows) = {
+                let p = current.as_ref().map(|c| c as &Partitioning).unwrap_or(partitioning);
+                let mut session = Session::new(self, query, table, p)?;
+                let attempt = session.run();
+                (attempt, session.sketch_violated_rows.clone())
+            };
+            match attempt {
+                Ok((pkg, mut report)) => {
+                    report.repartitions = repartitions;
+                    report.attribute_drops = attribute_drops;
+                    report.merges = merges;
+                    return Ok((pkg, report));
+                }
+                Err(EngineError::Infeasible { possibly_false: true }) => {
+                    let active = current.as_ref().unwrap_or(partitioning);
+                    if repartitions < self.options.repartition_rounds
+                        && !active.attributes.is_empty()
+                        && active.max_group_size() > 1
+                    {
+                        // Strategy 2: further partitioning (halve τ).
+                        let tau = (active.max_group_size() / 2).max(1);
+                        let rebuilt = Partitioner::new(PartitionConfig::by_size(
+                            active.attributes.clone(),
+                            tau,
+                        ))
+                        .partition(table)?;
+                        current = Some(rebuilt);
+                        repartitions += 1;
+                    } else if attribute_drops < self.options.drop_attribute_rounds
+                        && active.attributes.len() > 1
+                    {
+                        // Strategy 3: drop the partitioning attributes
+                        // implicated by the sketch's infeasibility
+                        // diagnostic — groups merge along those
+                        // dimensions, increasing the odds that the
+                        // previously unreachable combination appears.
+                        let implicated =
+                            implicated_attributes(query, &violated_rows);
+                        let mut kept: Vec<String> = active
+                            .attributes
+                            .iter()
+                            .filter(|a| !implicated.contains(*a))
+                            .cloned()
+                            .collect();
+                        if kept.is_empty() || kept.len() == active.attributes.len() {
+                            // Diagnostic unusable: drop the *last*
+                            // attribute as a deterministic fallback.
+                            kept = active.attributes
+                                [..active.attributes.len() - 1]
+                                .to_vec();
+                        }
+                        let tau = active.max_group_size().max(1);
+                        let rebuilt = Partitioner::new(PartitionConfig::by_size(kept, tau))
+                            .partition(table)?;
+                        current = Some(rebuilt);
+                        attribute_drops += 1;
+                    } else if merges < self.options.merge_rounds
+                        && active.num_groups() > 1
+                    {
+                        // Strategy 4: iterative group merging.
+                        current = Some(active.merged_pairwise(table)?);
+                        merges += 1;
+                    } else {
+                        return Err(EngineError::maybe_false_infeasible());
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Apply the sketch-group-size cap by pairwise merging (the
+    /// recursive-sketch device of §4.2.1). Returns `None` when no
+    /// coarsening is needed.
+    fn coarsen(
+        &self,
+        partitioning: &Partitioning,
+        table: &Table,
+    ) -> EngineResult<Option<Partitioning>> {
+        let Some(limit) = self.options.sketch_group_limit else {
+            return Ok(None);
+        };
+        if partitioning.num_groups() <= limit.max(1) {
+            return Ok(None);
+        }
+        let mut current = partitioning.merged_pairwise(table)?;
+        while current.num_groups() > limit.max(1) && current.num_groups() > 1 {
+            current = current.merged_pairwise(table)?;
+        }
+        Ok(Some(current))
+    }
+
+    fn solver(&self) -> MilpSolver {
+        let s = MilpSolver::new(self.config.clone());
+        match &self.telemetry {
+            Some(t) => s.with_telemetry(Arc::clone(t)),
+            None => s,
+        }
+    }
+}
+
+impl Evaluator for SketchRefine {
+    fn name(&self) -> &'static str {
+        "SKETCHREFINE"
+    }
+
+    /// Convenience entry point: builds an on-the-fly partitioning on
+    /// the query attributes with τ = n / `default_groups` (no radius
+    /// condition), then evaluates. Production use should prebuild the
+    /// partitioning offline (§4.1 "One-time cost").
+    fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package> {
+        let mut attrs = query.query_attributes();
+        if attrs.is_empty() {
+            attrs = table
+                .schema()
+                .numeric_names()
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
+        }
+        if attrs.is_empty() {
+            return Err(EngineError::Unsupported(
+                "SKETCHREFINE needs at least one numeric attribute to partition on".into(),
+            ));
+        }
+        let tau = (table.num_rows() / self.options.default_groups.max(1)).max(2);
+        let partitioning =
+            Partitioner::new(PartitionConfig::by_size(attrs, tau)).partition(table)?;
+        self.evaluate_with(query, table, &partitioning)
+    }
+}
+
+/// A group after base-predicate filtering.
+struct EffGroup {
+    /// Qualifying row indices.
+    rows: Vec<usize>,
+}
+
+/// Per-group refinement record: chosen tuples plus their contribution
+/// to each constraint row (and the contribution the representative used
+/// to make, for undo).
+struct Refined {
+    pairs: Vec<(usize, u64)>,
+    contrib: Vec<f64>,
+}
+
+struct Session<'a> {
+    engine: &'a SketchRefine,
+    query: &'a PackageQuery,
+    /// Query with the WHERE clause stripped (rows are pre-filtered).
+    stripped: PackageQuery,
+    table: &'a Table,
+    groups: Vec<EffGroup>,
+    /// Linear system over the representative relation (one row per
+    /// group, aligned with `groups`).
+    rep_system: LinearSystem,
+    /// Representative multiplicities from the sketch solution.
+    rep_mult: Vec<u64>,
+    /// Refinement state per group.
+    refined: Vec<Option<Refined>>,
+    /// Current total contribution of all groups to each constraint row.
+    totals: Vec<f64>,
+    report: SketchRefineReport,
+    solver: MilpSolver,
+    /// Overall wall-clock deadline for this evaluation.
+    deadline: Instant,
+    /// Constraint rows the plain sketch could not satisfy (the solver's
+    /// IIS-style diagnostic), captured for §4.4 strategy 3.
+    sketch_violated_rows: Vec<u32>,
+}
+
+impl<'a> Session<'a> {
+    fn new(
+        engine: &'a SketchRefine,
+        query: &'a PackageQuery,
+        table: &'a Table,
+        partitioning: &Partitioning,
+    ) -> EngineResult<Self> {
+        // Base-predicate filtering per group (the paper pre-processes
+        // base predicates with a standard SQL query, §5.1).
+        let mut groups = Vec::new();
+        for g in &partitioning.groups {
+            let rows = base_relation_rows(query, table, &g.rows)?;
+            if !rows.is_empty() {
+                groups.push(EffGroup { rows });
+            }
+        }
+
+        let mut stripped = query.clone();
+        stripped.where_clause = None;
+
+        // Representative relation over the *filtered* groups: group
+        // means of every query attribute (this also covers partitionings
+        // whose attributes differ from the query's — §5.2.3).
+        let eff_partitioning = Partitioning {
+            attributes: Vec::new(),
+            groups: groups
+                .iter()
+                .enumerate()
+                .map(|(j, g)| paq_partition::Group {
+                    gid: j as i64 + 1,
+                    rows: g.rows.clone(),
+                    representative: Vec::new(),
+                    radius: 0.0,
+                })
+                .collect(),
+            build_time: Duration::ZERO,
+        };
+        let mut attrs = query.query_attributes();
+        attrs.retain(|a| a != GID_COLUMN);
+        let rep_table = eff_partitioning.representative_table(table, &attrs)?;
+        let rep_rows: Vec<usize> = (0..rep_table.num_rows()).collect();
+        let rep_system = linear_system(&stripped, &rep_table, &rep_rows)?;
+
+        let num_rows = rep_system.rows.len();
+        // Default deadline scales with the work REFINE may legitimately
+        // need: up to one budgeted solve per group plus backtracking
+        // slack (each call individually honors the solver time limit).
+        let deadline = Instant::now()
+            + engine.options.total_time_limit.unwrap_or_else(|| {
+                engine
+                    .config
+                    .time_limit
+                    .saturating_mul(2 * groups.len() as u32 + 4)
+            });
+        Ok(Session {
+            engine,
+            query,
+            stripped,
+            table,
+            rep_mult: vec![0; groups.len()],
+            refined: groups.iter().map(|_| None).collect(),
+            groups,
+            rep_system,
+            totals: vec![0.0; num_rows],
+            report: SketchRefineReport::default(),
+            solver: engine.solver(),
+            deadline,
+            sketch_violated_rows: Vec::new(),
+        })
+    }
+
+    fn run(&mut self) -> EngineResult<(Package, SketchRefineReport)> {
+        let sketch_started = Instant::now();
+        self.sketch()?;
+        self.report.sketch_time = sketch_started.elapsed();
+
+        let refine_started = Instant::now();
+        let remaining: BTreeSet<usize> = (0..self.groups.len())
+            .filter(|&j| self.rep_mult[j] > 0 && self.refined[j].is_none())
+            .collect();
+        self.report.groups_refined = remaining.len();
+        let order: Vec<usize> = remaining.iter().copied().collect();
+        let outcome = self.refine_rec(&remaining, &order, 0);
+        self.report.refine_time = refine_started.elapsed();
+        match outcome {
+            Ok(()) => {
+                let mut pairs = Vec::new();
+                for r in self.refined.iter().flatten() {
+                    pairs.extend_from_slice(&r.pairs);
+                }
+                Ok((Package::from_pairs(pairs), self.report.clone()))
+            }
+            Err(RefineFail::Budget) => Err(EngineError::maybe_false_infeasible()),
+            Err(RefineFail::Failed(_)) => Err(EngineError::maybe_false_infeasible()),
+            Err(RefineFail::Fatal(e)) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SKETCH
+    // ------------------------------------------------------------------
+
+    /// Per-representative usage cap: `|G_j|·(1+K)` with `REPEAT K`,
+    /// unbounded otherwise (§4.2.1).
+    fn rep_cap(&self, j: usize) -> f64 {
+        match self.query.max_multiplicity() {
+            Some(m) => (self.groups[j].rows.len() as u64 * m) as f64,
+            None => f64::INFINITY,
+        }
+    }
+
+    fn sketch(&mut self) -> EngineResult<()> {
+        // Plain sketch: variables = representatives with group-size caps.
+        let mut model = Model::new();
+        let vars: Vec<paq_solver::VarId> = (0..self.groups.len())
+            .map(|j| model.add_int_var(0.0, self.rep_cap(j), self.rep_system.objective[j]))
+            .collect();
+        for row in &self.rep_system.rows {
+            model.add_range(
+                vars.iter().copied().zip(row.coefs.iter().copied()).collect(),
+                row.lo,
+                row.hi,
+            );
+        }
+        model.set_sense(self.rep_system.sense);
+
+        self.report.solver_calls += 1;
+        let result = self.solver.solve(&model);
+        self.sketch_violated_rows = result.stats.root_infeasible_rows.clone();
+        match result.outcome {
+            SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
+                for j in 0..self.groups.len() {
+                    self.rep_mult[j] = sol.values[j].round().max(0.0) as u64;
+                }
+                self.recompute_totals();
+                Ok(())
+            }
+            SolveOutcome::Unbounded => Err(EngineError::Unbounded),
+            // A choking sketch gets the same fallback as an infeasible
+            // one: the hybrid variants restructure the problem and are
+            // often easier for the black box.
+            SolveOutcome::ResourceExhausted(_) | SolveOutcome::Infeasible => {
+                if self.engine.options.use_hybrid_sketch {
+                    self.hybrid_sketch()
+                } else {
+                    Err(EngineError::maybe_false_infeasible())
+                }
+            }
+        }
+    }
+
+    /// Hybrid sketch (§4.4, strategy 1): inline one group's original
+    /// tuples next to the other groups' representatives; try groups in
+    /// order until one such query is feasible.
+    fn hybrid_sketch(&mut self) -> EngineResult<()> {
+        self.report.used_hybrid = true;
+        for inlined in 0..self.groups.len() {
+            if self.report.solver_calls >= self.engine.options.max_solver_calls
+                || Instant::now() > self.deadline
+            {
+                return Err(EngineError::maybe_false_infeasible());
+            }
+            let group_system =
+                linear_system(&self.stripped, self.table, &self.groups[inlined].rows)?;
+            let mut model = Model::new();
+            // Original tuples of the inlined group...
+            let tuple_vars: Vec<paq_solver::VarId> = group_system
+                .objective
+                .iter()
+                .map(|&c| model.add_int_var(0.0, group_system.var_ub, c))
+                .collect();
+            // ...plus representatives of every other group.
+            let rep_vars: Vec<Option<paq_solver::VarId>> = (0..self.groups.len())
+                .map(|j| {
+                    (j != inlined).then(|| {
+                        model.add_int_var(0.0, self.rep_cap(j), self.rep_system.objective[j])
+                    })
+                })
+                .collect();
+            for (r, row) in self.rep_system.rows.iter().enumerate() {
+                let mut terms: Vec<(paq_solver::VarId, f64)> = tuple_vars
+                    .iter()
+                    .copied()
+                    .zip(group_system.rows[r].coefs.iter().copied())
+                    .collect();
+                for (j, v) in rep_vars.iter().enumerate() {
+                    if let Some(v) = v {
+                        terms.push((*v, row.coefs[j]));
+                    }
+                }
+                model.add_range(terms, row.lo, row.hi);
+            }
+            model.set_sense(self.rep_system.sense);
+
+            self.report.solver_calls += 1;
+            match self.solver.solve(&model).outcome {
+                SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
+                    // The inlined group is immediately refined.
+                    let pairs: Vec<(usize, u64)> = self.groups[inlined]
+                        .rows
+                        .iter()
+                        .zip(&sol.values[..tuple_vars.len()])
+                        .filter_map(|(&row, &v)| {
+                            let m = v.round() as i64;
+                            (m > 0).then_some((row, m as u64))
+                        })
+                        .collect();
+                    let contrib = contribution(&group_system, &self.groups[inlined].rows, &pairs);
+                    self.refined[inlined] = Some(Refined { pairs, contrib });
+                    self.rep_mult[inlined] = 0;
+                    let mut vi = tuple_vars.len();
+                    for (j, v) in rep_vars.iter().enumerate() {
+                        if v.is_some() {
+                            self.rep_mult[j] = sol.values[vi].round().max(0.0) as u64;
+                            vi += 1;
+                        }
+                    }
+                    self.recompute_totals();
+                    return Ok(());
+                }
+                SolveOutcome::Unbounded => return Err(EngineError::Unbounded),
+                // A choking hybrid subproblem is treated like an
+                // infeasible one: try inlining a different group.
+                SolveOutcome::ResourceExhausted(_) | SolveOutcome::Infeasible => continue,
+            }
+        }
+        Err(EngineError::maybe_false_infeasible())
+    }
+
+    /// Recompute `totals[r]` = contribution of the full current state
+    /// (refined tuples + representative multiplicities) to row `r`.
+    fn recompute_totals(&mut self) {
+        let m = self.rep_system.rows.len();
+        self.totals = vec![0.0; m];
+        for (r, row) in self.rep_system.rows.iter().enumerate() {
+            for j in 0..self.groups.len() {
+                match &self.refined[j] {
+                    Some(refined) => self.totals[r] += refined.contrib[r],
+                    None => self.totals[r] += row.coefs[j] * self.rep_mult[j] as f64,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // REFINE (Algorithm 2)
+    // ------------------------------------------------------------------
+
+    fn refine_rec(
+        &mut self,
+        remaining: &BTreeSet<usize>,
+        order: &[usize],
+        depth: u32,
+    ) -> Result<(), RefineFail> {
+        if remaining.is_empty() {
+            return Ok(());
+        }
+        let mut failed: BTreeSet<usize> = BTreeSet::new();
+        // Priority queue: failed groups first, then the inherited order.
+        let mut pending: Vec<usize> =
+            order.iter().copied().filter(|j| remaining.contains(j)).collect();
+
+        while let Some(j) = pending.first().copied() {
+            pending.remove(0);
+            if self.report.solver_calls >= self.engine.options.max_solver_calls
+                || Instant::now() > self.deadline
+            {
+                return Err(RefineFail::Budget);
+            }
+            match self.solve_refine(j)? {
+                None => {
+                    // Q[G_j] infeasible.
+                    self.report.backtracks += 1;
+                    failed.insert(j);
+                    if depth > 0 {
+                        // Greedily backtrack with the non-refinable group
+                        // (Algorithm 2, lines 14–17).
+                        return Err(RefineFail::Failed(failed));
+                    }
+                    // At the root (S = P) keep trying other first groups.
+                    continue;
+                }
+                Some(refined) => {
+                    let undo = self.apply(j, refined);
+                    let mut rest = remaining.clone();
+                    rest.remove(&j);
+                    let child_order: Vec<usize> = {
+                        // Prioritize previously-failed groups (line 24).
+                        let mut o: Vec<usize> =
+                            failed.iter().copied().filter(|g| rest.contains(g)).collect();
+                        o.extend(order.iter().copied().filter(|g| {
+                            rest.contains(g) && !failed.contains(g)
+                        }));
+                        o
+                    };
+                    match self.refine_rec(&rest, &child_order, depth + 1) {
+                        Ok(()) => return Ok(()),
+                        Err(RefineFail::Failed(f)) => {
+                            self.undo(j, undo);
+                            failed.extend(f.iter().copied());
+                            // Re-prioritize the local queue: failed
+                            // groups first (stable within each class).
+                            pending.sort_by_key(|g| !failed.contains(g));
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
+        }
+        // None of the groups in S can be refined first (invariant F = S).
+        Err(RefineFail::Failed(failed))
+    }
+
+    /// Solve the refine query `Q[G_j]`: pick actual tuples from group
+    /// `j` such that, combined with every other group's current
+    /// contents (`p̄_j`), all global constraints hold. Returns `None`
+    /// on infeasibility.
+    fn solve_refine(&mut self, j: usize) -> Result<Option<Refined>, RefineFail> {
+        let rows = &self.groups[j].rows;
+        let system = linear_system(&self.stripped, self.table, rows)
+            .map_err(|e| RefineFail::Fatal(e.into()))?;
+        let mut model = Model::new();
+        let vars: Vec<paq_solver::VarId> = system
+            .objective
+            .iter()
+            .map(|&c| model.add_int_var(0.0, system.var_ub, c))
+            .collect();
+        for (r, row) in system.rows.iter().enumerate() {
+            // Offset = contribution of all *other* groups.
+            let own = match &self.refined[j] {
+                Some(refined) => refined.contrib[r],
+                None => self.rep_system.rows[r].coefs[j] * self.rep_mult[j] as f64,
+            };
+            let offset = self.totals[r] - own;
+            let lo = if row.lo.is_finite() { row.lo - offset } else { row.lo };
+            let hi = if row.hi.is_finite() { row.hi - offset } else { row.hi };
+            model.add_range(
+                vars.iter().copied().zip(row.coefs.iter().copied()).collect(),
+                lo,
+                hi,
+            );
+        }
+        model.set_sense(system.sense);
+
+        self.report.solver_calls += 1;
+        match self.solver.solve(&model).outcome {
+            SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
+                let pairs: Vec<(usize, u64)> = rows
+                    .iter()
+                    .zip(&sol.values)
+                    .filter_map(|(&row, &v)| {
+                        let m = v.round() as i64;
+                        (m > 0).then_some((row, m as u64))
+                    })
+                    .collect();
+                let contrib = contribution(&system, rows, &pairs);
+                Ok(Some(Refined { pairs, contrib }))
+            }
+            SolveOutcome::Infeasible => Ok(None),
+            SolveOutcome::Unbounded => {
+                // A refine subproblem of a bounded sketch can only be
+                // unbounded if the query itself is unbounded.
+                Err(RefineFail::Fatal(EngineError::Unbounded))
+            }
+            SolveOutcome::ResourceExhausted(_) => {
+                // The black box choked on this subproblem. Treat the
+                // group as non-refinable *in this order* and let the
+                // greedy backtracking try a different ordering — a
+                // different p̄_j often yields an easier subproblem.
+                // (If every ordering fails, the budget/ladder logic in
+                // `run`/`evaluate_with_report` takes over.)
+                Ok(None)
+            }
+        }
+    }
+
+    /// Install a refinement, returning the undo record.
+    fn apply(&mut self, j: usize, refined: Refined) -> UndoRecord {
+        let old_mult = self.rep_mult[j];
+        let old_refined = self.refined[j].take();
+        for (r, row) in self.rep_system.rows.iter().enumerate() {
+            let before = match &old_refined {
+                Some(old) => old.contrib[r],
+                None => row.coefs[j] * old_mult as f64,
+            };
+            self.totals[r] += refined.contrib[r] - before;
+        }
+        self.rep_mult[j] = 0;
+        self.refined[j] = Some(refined);
+        UndoRecord { old_mult, old_refined }
+    }
+
+    /// Roll back a refinement installed by [`Session::apply`].
+    fn undo(&mut self, j: usize, undo: UndoRecord) {
+        let new = self.refined[j].take().expect("undo of an unapplied group");
+        for (r, row) in self.rep_system.rows.iter().enumerate() {
+            let before = match &undo.old_refined {
+                Some(old) => old.contrib[r],
+                None => row.coefs[j] * undo.old_mult as f64,
+            };
+            self.totals[r] += before - new.contrib[r];
+        }
+        self.rep_mult[j] = undo.old_mult;
+        self.refined[j] = undo.old_refined;
+    }
+}
+
+struct UndoRecord {
+    old_mult: u64,
+    old_refined: Option<Refined>,
+}
+
+enum RefineFail {
+    /// Backtracking failure carrying the non-refinable groups.
+    Failed(BTreeSet<usize>),
+    /// Solver-call budget exhausted.
+    Budget,
+    /// Hard error (solver resource failure, unbounded, substrate error).
+    Fatal(EngineError),
+}
+
+impl From<EngineError> for RefineFail {
+    fn from(e: EngineError) -> Self {
+        RefineFail::Fatal(e)
+    }
+}
+
+/// Attributes referenced by the global predicates behind the given
+/// constraint-row indices. Row numbering mirrors
+/// [`paq_lang::linear_system`]: one row per predicate, except an AVG
+/// `BETWEEN`, which expands to two.
+fn implicated_attributes(query: &PackageQuery, rows: &[u32]) -> Vec<String> {
+    use paq_lang::ast::{AggExpr, AggTerm, GlobalPredicate};
+    let mut row_attrs: Vec<Vec<String>> = Vec::new();
+    for pred in &query.such_that {
+        match pred {
+            GlobalPredicate::Between { agg, .. } => {
+                let attrs = agg.referenced_attributes();
+                if matches!(agg, AggExpr::Avg(_)) {
+                    row_attrs.push(attrs.clone()); // lo row
+                }
+                row_attrs.push(attrs); // hi / single row
+            }
+            GlobalPredicate::Cmp { lhs, rhs, .. } => {
+                let mut attrs = Vec::new();
+                for side in [lhs, rhs] {
+                    if let AggTerm::Agg(a) = side {
+                        attrs.extend(a.referenced_attributes());
+                    }
+                }
+                attrs.sort();
+                attrs.dedup();
+                row_attrs.push(attrs);
+            }
+        }
+    }
+    let mut out: Vec<String> = rows
+        .iter()
+        .filter_map(|&r| row_attrs.get(r as usize))
+        .flatten()
+        .cloned()
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Contribution of chosen `(row, mult)` pairs to each constraint row of
+/// `system` (whose coefficients are indexed by position within `rows`).
+fn contribution(system: &LinearSystem, rows: &[usize], pairs: &[(usize, u64)]) -> Vec<f64> {
+    let mut out = vec![0.0; system.rows.len()];
+    for (r, row) in system.rows.iter().enumerate() {
+        for &(tuple, mult) in pairs {
+            let slot = rows
+                .iter()
+                .position(|&x| x == tuple)
+                .expect("pair row must come from the group");
+            out[r] += row.coefs[slot] * mult as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::Direct;
+    use paq_lang::parse_paql;
+    use paq_relational::{DataType, Schema, Value};
+
+    /// Deterministic table of `n` tuples with two numeric attributes.
+    fn table(n: usize) -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("value", DataType::Float),
+            ("weight", DataType::Float),
+            ("grade", DataType::Str),
+        ]));
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..n {
+            let v = (next() % 100) as f64 / 10.0 + 1.0;
+            let w = (next() % 50) as f64 / 10.0 + 0.5;
+            let g = if next() % 4 == 0 { "low" } else { "high" };
+            t.push_row(vec![Value::Float(v), Value::Float(w), g.into()]).unwrap();
+        }
+        t
+    }
+
+    fn partition(t: &Table, tau: usize) -> Partitioning {
+        Partitioner::new(PartitionConfig::by_size(
+            vec!["value".into(), "weight".into()],
+            tau,
+        ))
+        .partition(t)
+        .unwrap()
+    }
+
+    #[test]
+    fn produces_feasible_package() {
+        let t = table(200);
+        let p = partition(&t, 25);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 8 AND SUM(P.weight) <= 20 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let sr = SketchRefine::default();
+        let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap(), "package must be feasible");
+        assert_eq!(pkg.cardinality(), 8);
+        assert!(report.solver_calls >= 2, "sketch + at least one refine");
+        assert!(report.groups_refined >= 1);
+    }
+
+    #[test]
+    fn approximation_close_to_direct() {
+        let t = table(150);
+        let p = partition(&t, 20);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 6 AND SUM(P.weight) <= 18 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let direct_pkg = Direct::default().evaluate(&q, &t).unwrap();
+        let sr_pkg = SketchRefine::default().evaluate_with(&q, &t, &p).unwrap();
+        let obj_d = direct_pkg.objective_value(&q, &t).unwrap();
+        let obj_s = sr_pkg.objective_value(&q, &t).unwrap();
+        // Approximation ratio Obj_D / Obj_S for maximization; the paper
+        // observes ratios close to 1 and we only require sanity here.
+        let ratio = obj_d / obj_s;
+        assert!(ratio >= 1.0 - 1e-9, "SKETCHREFINE cannot beat DIRECT: {ratio}");
+        assert!(ratio < 3.0, "approximation unexpectedly bad: {ratio}");
+    }
+
+    #[test]
+    fn minimization_query_feasible_and_sane() {
+        let t = table(150);
+        let p = partition(&t, 20);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 5 AND SUM(P.value) >= 20 \
+             MINIMIZE SUM(P.weight)",
+        )
+        .unwrap();
+        let direct_obj = Direct::default()
+            .evaluate(&q, &t)
+            .unwrap()
+            .objective_value(&q, &t)
+            .unwrap();
+        let pkg = SketchRefine::default().evaluate_with(&q, &t, &p).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+        let obj = pkg.objective_value(&q, &t).unwrap();
+        assert!(obj >= direct_obj - 1e-9, "cannot beat the optimum");
+    }
+
+    #[test]
+    fn base_predicate_filters_groups() {
+        let t = table(120);
+        let p = partition(&t, 15);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             WHERE R.grade = 'high' \
+             SUCH THAT COUNT(P.*) = 4 MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let pkg = SketchRefine::default().evaluate_with(&q, &t, &p).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+        for &(row, _) in pkg.members() {
+            assert_eq!(t.value(row, "grade").unwrap(), Value::from("high"));
+        }
+    }
+
+    #[test]
+    fn repeat_constraint_respected_through_refine() {
+        let t = table(60);
+        let p = partition(&t, 10);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 1 \
+             SUCH THAT COUNT(P.*) = 10 MINIMIZE SUM(P.weight)",
+        )
+        .unwrap();
+        let pkg = SketchRefine::default().evaluate_with(&q, &t, &p).unwrap();
+        assert!(pkg.max_multiplicity() <= 2);
+        assert_eq!(pkg.cardinality(), 10);
+    }
+
+    #[test]
+    fn infeasible_query_reported() {
+        let t = table(30);
+        let p = partition(&t, 8);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 500",
+        )
+        .unwrap();
+        match SketchRefine::default().evaluate_with(&q, &t, &p) {
+            Err(e) if e.is_infeasible() => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_group_degenerates_to_near_direct() {
+        let t = table(40);
+        let p = partition(&t, 1000); // one group
+        assert_eq!(p.num_groups(), 1);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 5 MINIMIZE SUM(P.weight)",
+        )
+        .unwrap();
+        let direct_obj = Direct::default()
+            .evaluate(&q, &t)
+            .unwrap()
+            .objective_value(&q, &t)
+            .unwrap();
+        let pkg = SketchRefine::default().evaluate_with(&q, &t, &p).unwrap();
+        let obj = pkg.objective_value(&q, &t).unwrap();
+        // With a single group the refine step solves the full problem.
+        assert!((obj - direct_obj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_evaluate_builds_partitioning() {
+        let t = table(100);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 12 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let pkg = SketchRefine::default().evaluate(&q, &t).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn hybrid_sketch_rescues_tight_equality() {
+        // An equality constraint on an attribute whose group means
+        // cannot hit the target exactly: the plain sketch is likely
+        // infeasible, the hybrid sketch (inlining real tuples) is not.
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for v in [1.0, 2.0, 3.0, 10.0, 20.0, 30.0] {
+            t.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        // Quad-tree splits into groups like {1,2,3} (mean 2), {10},
+        // {20,30} — no multiset of group means with these caps sums to
+        // exactly 13, so the plain sketch is infeasible.
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 3))
+            .partition(&t)
+            .unwrap();
+        assert!(p.num_groups() >= 2);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 13 MINIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        // Exact package: {3, 10}.
+        let sr = SketchRefine::default();
+        let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+        assert_eq!(pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(), 13.0);
+        assert!(report.used_hybrid, "plain sketch cannot hit 13 from means 2/20");
+    }
+
+    #[test]
+    fn hybrid_disabled_reports_possibly_false_infeasibility() {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for v in [1.0, 2.0, 3.0, 10.0, 20.0, 30.0] {
+            t.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 3))
+            .partition(&t)
+            .unwrap();
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 13 MINIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            use_hybrid_sketch: false,
+            ..SketchRefineOptions::default()
+        });
+        match sr.evaluate_with(&q, &t, &p) {
+            Err(EngineError::Infeasible { possibly_false: true }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Data where the required package needs non-centroid tuples from
+    /// *two* groups at once: the plain sketch AND every hybrid sketch
+    /// are infeasible, so only the §4.4 strategy-2/4 fallbacks succeed.
+    fn two_group_trap() -> (Table, Partitioning, paq_lang::PackageQuery) {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for v in [1.0, 2.0, 3.0, 10.0, 20.0, 31.0] {
+            t.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 3))
+            .partition(&t)
+            .unwrap();
+        // Only {3, 31} = 34 works; 3 and 31 live in different groups
+        // and neither is its group's centroid.
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 34 MINIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        (t, p, q)
+    }
+
+    #[test]
+    fn merge_fallback_rescues_two_group_trap() {
+        let (t, p, q) = two_group_trap();
+        // Without fallbacks: (possibly false) infeasibility.
+        match SketchRefine::default().evaluate_with(&q, &t, &p) {
+            Err(EngineError::Infeasible { possibly_false: true }) => {}
+            other => panic!("expected false infeasibility, got {other:?}"),
+        }
+        // Strategy 4: merging reduces toward the unpartitioned problem.
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            merge_rounds: 3,
+            ..SketchRefineOptions::default()
+        });
+        let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
+        assert!(report.merges >= 1);
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+        assert_eq!(pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(), 34.0);
+    }
+
+    #[test]
+    fn attribute_drop_fallback_uses_infeasibility_diagnostic() {
+        // Tuples (x, y) where the required pair {x=3, x=31} shares
+        // y = 0.5. x has the dominant spread, so the quad tree splits
+        // on x and separates the pair into sketch-hostile groups; the
+        // sketch's infeasibility diagnostic implicates x, strategy 3
+        // drops it, and the resulting y-partitioning puts the pair in
+        // one group.
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ]));
+        for (x, y) in [
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (3.0, 0.5),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (31.0, 0.5),
+        ] {
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(
+            vec!["x".into(), "y".into()],
+            3,
+        ))
+        .partition(&t)
+        .unwrap();
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 34 MINIMIZE SUM(P.x)",
+        )
+        .unwrap();
+        // Hybrid off to force the ladder; only strategy 3 enabled.
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            use_hybrid_sketch: false,
+            drop_attribute_rounds: 2,
+            ..SketchRefineOptions::default()
+        });
+        match sr.evaluate_with_report(&q, &t, &p) {
+            Ok((pkg, report)) => {
+                assert!(report.attribute_drops >= 1);
+                assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+                assert_eq!(
+                    pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(),
+                    34.0
+                );
+            }
+            Err(e) => panic!("strategy 3 should rescue this query: {e}"),
+        }
+    }
+
+    #[test]
+    fn repartition_fallback_rescues_two_group_trap() {
+        let (t, p, q) = two_group_trap();
+        // Strategy 2: τ halves 3 → 1; singleton groups make the sketch
+        // exact. Hybrid disabled to isolate the strategy.
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            use_hybrid_sketch: false,
+            repartition_rounds: 4,
+            ..SketchRefineOptions::default()
+        });
+        let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
+        assert!(report.repartitions >= 1);
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn sketch_group_limit_coarsens_but_still_solves() {
+        let t = table(120);
+        let p = partition(&t, 2); // many tiny groups
+        assert!(p.num_groups() > 16);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 5 AND SUM(P.weight) <= 14 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            sketch_group_limit: Some(8),
+            ..SketchRefineOptions::default()
+        });
+        let (pkg, _) = sr.evaluate_with_report(&q, &t, &p).unwrap();
+        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn solver_call_budget_bounds_backtracking() {
+        let t = table(100);
+        let p = partition(&t, 10);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 6 AND SUM(P.weight) <= 15 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        let sr = SketchRefine::default().with_options(SketchRefineOptions {
+            max_solver_calls: 3,
+            ..SketchRefineOptions::default()
+        });
+        // Either it finishes within 3 calls or reports infeasibility —
+        // never panics or exceeds the budget wildly.
+        match sr.evaluate_with_report(&q, &t, &p) {
+            Ok((pkg, report)) => {
+                assert!(report.solver_calls <= 4);
+                assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
+            }
+            Err(e) => assert!(e.is_infeasible()),
+        }
+    }
+
+    #[test]
+    fn telemetry_sees_many_small_calls() {
+        let t = table(120);
+        let p = partition(&t, 12);
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 6 MINIMIZE SUM(P.weight)",
+        )
+        .unwrap();
+        let tel = Arc::new(Telemetry::new());
+        let sr = SketchRefine::default().with_telemetry(Arc::clone(&tel));
+        sr.evaluate_with(&q, &t, &p).unwrap();
+        assert!(tel.calls() >= 2, "sketch + refines, got {}", tel.calls());
+    }
+}

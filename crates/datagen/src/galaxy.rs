@@ -1,0 +1,185 @@
+//! Synthetic SDSS Galaxy view.
+//!
+//! Thirteen numeric attributes modeled on the SDSS DR12 `Galaxy` view
+//! columns the sample queries touch: sky position (`ra`, `dec`), CCD
+//! position (`rowc`, `colc`), Petrosian radii (`petror50_r`,
+//! `petror90_r`), the five photometric magnitudes (`u`, `g`, `r`, `i`,
+//! `z` — correlated through a latent brightness), dust `extinction_r`,
+//! and `redshift` (skewed, correlated with faintness). All attributes
+//! are strictly positive except `dec`, which we shift to [0, 180] so the
+//! Theorem 3 radius derivation (which scales with `|t̃.attr|`) behaves
+//! like it does on the real data's mostly-positive columns.
+
+use paq_relational::{DataType, Schema, Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of the Galaxy table's numeric attributes, in schema order.
+pub const GALAXY_ATTRIBUTES: [&str; 13] = [
+    "ra",
+    "dec",
+    "rowc",
+    "colc",
+    "petror50_r",
+    "petror90_r",
+    "u",
+    "g",
+    "r",
+    "i",
+    "z",
+    "extinction_r",
+    "redshift",
+];
+
+/// Schema of the synthetic Galaxy table (an `objid` key plus the
+/// numeric attributes).
+pub fn galaxy_schema() -> Schema {
+    let mut cols = vec![("objid", DataType::Int)];
+    cols.extend(GALAXY_ATTRIBUTES.iter().map(|a| (*a, DataType::Float)));
+    Schema::from_pairs(&cols)
+}
+
+/// Sample from an approximately normal distribution (sum of uniforms —
+/// cheap, deterministic, and close enough for workload shape).
+fn approx_normal(rng: &mut SmallRng, mean: f64, std: f64) -> f64 {
+    // Sum of 6 uniforms − 3 has variance 6/12 = 0.5 ⇒ scale by √2.
+    let s: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0;
+    mean + std * s * std::f64::consts::SQRT_2
+}
+
+/// Generate `n` Galaxy rows with deterministic `seed`.
+pub fn galaxy_table(n: usize, seed: u64) -> Table {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Table::with_capacity(galaxy_schema(), n);
+    for objid in 0..n {
+        let ra = rng.gen::<f64>() * 360.0;
+        let dec = rng.gen::<f64>() * 180.0; // shifted declination
+        let rowc = rng.gen::<f64>() * 2048.0;
+        let colc = rng.gen::<f64>() * 2048.0;
+
+        // Latent brightness drives all five magnitudes; brighter
+        // objects (smaller magnitude) are rarer — mild skew via max.
+        let b = approx_normal(&mut rng, 19.0, 1.4)
+            .max(approx_normal(&mut rng, 18.0, 1.4))
+            .clamp(12.0, 26.0);
+        let u = (b + 1.8 + approx_normal(&mut rng, 0.0, 0.35)).clamp(10.0, 30.0);
+        let g = (b + 0.6 + approx_normal(&mut rng, 0.0, 0.20)).clamp(10.0, 30.0);
+        let r = b;
+        let i = (b - 0.35 + approx_normal(&mut rng, 0.0, 0.18)).clamp(10.0, 30.0);
+        let z = (b - 0.55 + approx_normal(&mut rng, 0.0, 0.22)).clamp(10.0, 30.0);
+
+        // Petrosian radii: log-normal-ish, r90 > r50.
+        let r50 = (0.8 + rng.gen::<f64>().powi(2) * 8.0).max(0.3);
+        let r90 = r50 * (1.8 + rng.gen::<f64>() * 1.2);
+
+        let extinction = 0.02 + rng.gen::<f64>().powi(3) * 0.5;
+
+        // Redshift: skewed toward 0, correlated with faintness.
+        let faint = ((b - 15.0) / 10.0).clamp(0.0, 1.0);
+        let redshift = (rng.gen::<f64>().powi(2) * 0.55 * (0.4 + 0.6 * faint)).max(1e-4);
+
+        t.push_row(vec![
+            Value::Int(objid as i64),
+            Value::Float(ra),
+            Value::Float(dec),
+            Value::Float(rowc),
+            Value::Float(colc),
+            Value::Float(r50),
+            Value::Float(r90),
+            Value::Float(u),
+            Value::Float(g),
+            Value::Float(r),
+            Value::Float(i),
+            Value::Float(z),
+            Value::Float(extinction),
+            Value::Float(redshift),
+        ])
+        .expect("row matches schema");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::agg::{aggregate, AggFunc};
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = galaxy_table(500, 7);
+        let b = galaxy_table(500, 7);
+        assert_eq!(a, b, "same seed ⇒ same table");
+        assert_eq!(a.num_rows(), 500);
+        assert_eq!(a.schema().arity(), 14);
+        let c = galaxy_table(500, 8);
+        assert_ne!(a, c, "different seed ⇒ different table");
+    }
+
+    #[test]
+    fn attribute_ranges_are_physical() {
+        let t = galaxy_table(2000, 42);
+        let check = |attr: &str, lo: f64, hi: f64| {
+            let min = aggregate(&t, AggFunc::Min, attr).unwrap().as_f64().unwrap();
+            let max = aggregate(&t, AggFunc::Max, attr).unwrap().as_f64().unwrap();
+            assert!(min >= lo, "{attr} min {min} < {lo}");
+            assert!(max <= hi, "{attr} max {max} > {hi}");
+        };
+        check("ra", 0.0, 360.0);
+        check("dec", 0.0, 180.0);
+        check("r", 12.0, 26.0);
+        check("u", 10.0, 30.0);
+        check("redshift", 0.0, 0.6);
+        check("petror50_r", 0.3, 9.0);
+    }
+
+    #[test]
+    fn magnitudes_are_correlated() {
+        let t = galaxy_table(3000, 11);
+        let g = t.column("g").unwrap();
+        let r = t.column("r").unwrap();
+        let n = t.num_rows() as f64;
+        let (mut sg, mut sr, mut sgr, mut sg2, mut sr2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for idx in 0..t.num_rows() {
+            let gv = g.f64_at(idx).unwrap();
+            let rv = r.f64_at(idx).unwrap();
+            sg += gv;
+            sr += rv;
+            sgr += gv * rv;
+            sg2 += gv * gv;
+            sr2 += rv * rv;
+        }
+        let cov = sgr / n - (sg / n) * (sr / n);
+        let corr = cov / ((sg2 / n - (sg / n).powi(2)).sqrt() * (sr2 / n - (sr / n).powi(2)).sqrt());
+        assert!(corr > 0.8, "g and r should be strongly correlated, got {corr}");
+    }
+
+    #[test]
+    fn petrosian_radii_ordered() {
+        let t = galaxy_table(1000, 3);
+        let r50 = t.column("petror50_r").unwrap();
+        let r90 = t.column("petror90_r").unwrap();
+        for i in 0..t.num_rows() {
+            assert!(r90.f64_at(i).unwrap() > r50.f64_at(i).unwrap());
+        }
+    }
+
+    #[test]
+    fn redshift_skewed_toward_zero() {
+        let t = galaxy_table(4000, 5);
+        let mean = aggregate(&t, AggFunc::Avg, "redshift").unwrap().as_f64().unwrap();
+        let max = aggregate(&t, AggFunc::Max, "redshift").unwrap().as_f64().unwrap();
+        assert!(mean < max / 2.5, "mean {mean} vs max {max} — expected strong skew");
+    }
+
+    #[test]
+    fn all_attributes_numeric_and_non_null() {
+        let t = galaxy_table(200, 9);
+        for attr in GALAXY_ATTRIBUTES {
+            let col = t.column(attr).unwrap();
+            assert!(col.data_type().is_numeric());
+            for i in 0..t.num_rows() {
+                assert!(!col.is_null_at(i), "{attr} row {i} is NULL");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # paq-datagen — synthetic datasets and workloads (§5.1)
+//!
+//! The paper evaluates on two datasets we cannot redistribute:
+//!
+//! * the **Galaxy** view of the Sloan Digital Sky Survey (≈5.5M rows,
+//!   data release 12), and
+//! * a **pre-joined TPC-H** table (full outer joins over the benchmark
+//!   relations, ≈17.5M rows, NULLs where a join partner is absent).
+//!
+//! This crate generates tables with the same *shape*: matching column
+//! mix, realistic correlations (e.g. SDSS magnitudes sharing a latent
+//! brightness, redshift correlated with faintness), skew, and — for
+//! TPC-H — the outer-join NULL structure that gives each query a
+//! different non-NULL subset size (paper Fig. 3). Scales are arbitrary:
+//! generators take a row count, so experiments run at laptop scale while
+//! preserving who-beats-whom behavior.
+//!
+//! The 2×7 package-query workloads are synthesized exactly as §5.1
+//! describes: global-constraint bounds derived from attribute statistics
+//! multiplied by the expected feasible package size.
+
+pub mod galaxy;
+pub mod recipes;
+pub mod tpch;
+pub mod workload;
+
+pub use galaxy::galaxy_table;
+pub use recipes::recipes_table;
+pub use tpch::tpch_table;
+pub use workload::{galaxy_workload, tpch_workload, workload_attributes, NamedQuery};
+
+/// Default deterministic seed used across examples and benches.
+pub const DEFAULT_SEED: u64 = 0x5D55_AA96;

@@ -1,0 +1,99 @@
+//! Synthetic recipes table for the paper's running example
+//! (Example 1: the meal planner) and the quickstart example binary.
+
+use paq_relational::{DataType, Schema, Table, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Schema: name, gluten marker, kilocalories (in thousands, like the
+/// paper's 2.0–2.5 running-example bounds), saturated fat, carbs,
+/// protein.
+pub fn recipes_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("name", DataType::Str),
+        ("gluten", DataType::Str),
+        ("kcal", DataType::Float),
+        ("saturated_fat", DataType::Float),
+        ("carbs", DataType::Float),
+        ("protein", DataType::Float),
+    ])
+}
+
+const BASES: [&str; 12] = [
+    "oat bowl",
+    "lentil soup",
+    "grilled salmon",
+    "quinoa salad",
+    "tofu stir-fry",
+    "rye bread",
+    "chicken wrap",
+    "mushroom risotto",
+    "bean chili",
+    "greek yogurt",
+    "pasta primavera",
+    "rice pilaf",
+];
+
+/// Generate `n` recipes with deterministic `seed`. Roughly 70% of the
+/// recipes are gluten-free (the paper's base predicate selects these).
+pub fn recipes_table(n: usize, seed: u64) -> Table {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Table::with_capacity(recipes_schema(), n);
+    for i in 0..n {
+        let base = BASES[rng.gen_range(0..BASES.len())];
+        let name = format!("{base} #{i}");
+        let gluten = if rng.gen::<f64>() < 0.7 { "free" } else { "full" };
+        // kcal in thousands: meals between 0.15 and 1.2 kkcal.
+        let kcal = 0.15 + rng.gen::<f64>() * 1.05;
+        // Fat loosely increases with kcal.
+        let saturated_fat = (kcal * 4.0 * rng.gen::<f64>() + 0.1).max(0.05);
+        let carbs = 5.0 + rng.gen::<f64>() * 80.0;
+        let protein = 2.0 + rng.gen::<f64>() * 40.0;
+        t.push_row(vec![
+            Value::Str(name),
+            Value::Str(gluten.into()),
+            Value::Float(kcal),
+            Value::Float(saturated_fat),
+            Value::Float(carbs),
+            Value::Float(protein),
+        ])
+        .expect("row matches schema");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::Expr;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = recipes_table(100, 1);
+        let b = recipes_table(100, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.num_rows(), 100);
+    }
+
+    #[test]
+    fn gluten_free_majority() {
+        let t = recipes_table(2000, 2);
+        let free = t
+            .filter_indices(&Expr::col("gluten").eq(Expr::lit("free")))
+            .unwrap()
+            .len() as f64;
+        let frac = free / 2000.0;
+        assert!((0.6..=0.8).contains(&frac), "gluten-free fraction {frac}");
+    }
+
+    #[test]
+    fn kcal_supports_running_example_bounds() {
+        // Three meals summing into [2.0, 2.5] must exist: mean kcal
+        // ≈ 0.675 ⇒ 3 × mean ≈ 2.0 — comfortably feasible.
+        let t = recipes_table(500, 3);
+        let kcal = t.column("kcal").unwrap();
+        let mean: f64 =
+            (0..500).map(|i| kcal.f64_at(i).unwrap()).sum::<f64>() / 500.0;
+        assert!((0.5..=0.85).contains(&mean), "mean kcal {mean}");
+    }
+}

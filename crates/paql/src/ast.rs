@@ -1,0 +1,326 @@
+//! Abstract syntax tree for PaQL queries.
+//!
+//! The AST mirrors the grammar in Appendix A.4 of the paper, restricted
+//! (as the paper's evaluation is) to single-relation queries with linear
+//! aggregate functions. Base (`WHERE`) predicates reuse the relational
+//! engine's [`Expr`] with alias-qualified column names resolved at parse
+//! time.
+
+use std::fmt;
+
+use paq_relational::expr::CmpOp;
+use paq_relational::Expr;
+
+/// Aggregate expressions allowed at the package level.
+///
+/// Each maps to a linear function over the ILP variables (§3.1, rule 3):
+/// `COUNT(P.*) → Σ x_i`, `SUM(P.a) → Σ a_i·x_i`, the `WHERE`-filtered
+/// subquery forms multiply by an indicator, and `AVG` is linearized
+/// against its comparison constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggExpr {
+    /// `COUNT(P.*)`
+    Count,
+    /// `SUM(P.attr)`
+    Sum(String),
+    /// `AVG(P.attr)` — only comparable against constants (the
+    /// linearization needs the constant).
+    Avg(String),
+    /// `(SELECT COUNT(*) FROM P WHERE cond)`
+    CountWhere(Expr),
+    /// `(SELECT SUM(attr) FROM P WHERE cond)`
+    SumWhere(String, Expr),
+}
+
+impl AggExpr {
+    /// Attribute referenced by the aggregate, if any.
+    pub fn attribute(&self) -> Option<&str> {
+        match self {
+            AggExpr::Count | AggExpr::CountWhere(_) => None,
+            AggExpr::Sum(a) | AggExpr::Avg(a) | AggExpr::SumWhere(a, _) => Some(a),
+        }
+    }
+
+    /// All attributes this aggregate touches (including the filter's).
+    pub fn referenced_attributes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(a) = self.attribute() {
+            out.push(a.to_owned());
+        }
+        match self {
+            AggExpr::CountWhere(e) | AggExpr::SumWhere(_, e) => {
+                out.extend(e.referenced_columns());
+            }
+            _ => {}
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggExpr::Count => write!(f, "COUNT(P.*)"),
+            AggExpr::Sum(a) => write!(f, "SUM(P.{a})"),
+            AggExpr::Avg(a) => write!(f, "AVG(P.{a})"),
+            AggExpr::CountWhere(e) => write!(f, "(SELECT COUNT(*) FROM P WHERE {e})"),
+            AggExpr::SumWhere(a, e) => write!(f, "(SELECT SUM({a}) FROM P WHERE {e})"),
+        }
+    }
+}
+
+/// One side of a global-predicate comparison: an aggregate or a
+/// constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggTerm {
+    /// An aggregate over the package.
+    Agg(AggExpr),
+    /// A numeric literal.
+    Const(f64),
+}
+
+impl fmt::Display for AggTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggTerm::Agg(a) => write!(f, "{a}"),
+            AggTerm::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A global predicate from the `SUCH THAT` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalPredicate {
+    /// `lhs ⊙ rhs` with `⊙ ∈ {=, <>, <, <=, >, >=}` (only the linear
+    /// subset `=, <=, >=, <, >` survives validation; `<`/`>` are treated
+    /// as their closed counterparts over continuous data, as is standard
+    /// in the paper's constraint language).
+    Cmp {
+        /// Left-hand term.
+        lhs: AggTerm,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand term.
+        rhs: AggTerm,
+    },
+    /// `agg BETWEEN lo AND hi`.
+    Between {
+        /// The aggregate being bounded.
+        agg: AggExpr,
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (inclusive).
+        hi: f64,
+    },
+}
+
+impl fmt::Display for GlobalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalPredicate::Cmp { lhs, op, rhs } => {
+                write!(f, "{lhs} {} {rhs}", op.symbol())
+            }
+            GlobalPredicate::Between { agg, lo, hi } => {
+                write!(f, "{agg} BETWEEN {lo} AND {hi}")
+            }
+        }
+    }
+}
+
+/// Optimization direction of the objective clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveSense {
+    /// `MINIMIZE`
+    Minimize,
+    /// `MAXIMIZE`
+    Maximize,
+}
+
+impl fmt::Display for ObjectiveSense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveSense::Minimize => write!(f, "MINIMIZE"),
+            ObjectiveSense::Maximize => write!(f, "MAXIMIZE"),
+        }
+    }
+}
+
+/// The objective clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Direction.
+    pub sense: ObjectiveSense,
+    /// The aggregate being optimized (must be linear: COUNT/SUM forms).
+    pub agg: AggExpr,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.sense, self.agg)
+    }
+}
+
+/// A parsed PaQL package query (single relation, per §2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageQuery {
+    /// Name bound to the package result (`AS P`).
+    pub package_name: String,
+    /// Input relation name.
+    pub relation: String,
+    /// Relation alias used in the query text.
+    pub relation_alias: String,
+    /// `REPEAT K`: each tuple may appear at most `K + 1` times;
+    /// `None` means unlimited repetition.
+    pub repeat: Option<u32>,
+    /// Base predicate (`WHERE`), with alias qualifiers resolved to bare
+    /// column names.
+    pub where_clause: Option<Expr>,
+    /// Conjunction of global predicates (`SUCH THAT`).
+    pub such_that: Vec<GlobalPredicate>,
+    /// Optional objective clause.
+    pub objective: Option<Objective>,
+}
+
+impl PackageQuery {
+    /// All attributes referenced by global predicates and the objective
+    /// — the *query attributes* used for partitioning coverage (§5.2.3).
+    pub fn query_attributes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.such_that {
+            match p {
+                GlobalPredicate::Cmp { lhs, rhs, .. } => {
+                    for t in [lhs, rhs] {
+                        if let AggTerm::Agg(a) = t {
+                            out.extend(a.referenced_attributes());
+                        }
+                    }
+                }
+                GlobalPredicate::Between { agg, .. } => out.extend(agg.referenced_attributes()),
+            }
+        }
+        if let Some(obj) = &self.objective {
+            out.extend(obj.agg.referenced_attributes());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Maximum multiplicity allowed per tuple (`REPEAT K` ⇒ `K + 1`),
+    /// or `None` for unlimited.
+    pub fn max_multiplicity(&self) -> Option<u64> {
+        self.repeat.map(|k| k as u64 + 1)
+    }
+}
+
+impl fmt::Display for PackageQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SELECT PACKAGE({}) AS {} FROM {} {}",
+            self.relation_alias, self.package_name, self.relation, self.relation_alias
+        )?;
+        if let Some(k) = self.repeat {
+            write!(f, " REPEAT {k}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.such_that.is_empty() {
+            write!(f, " SUCH THAT ")?;
+            for (i, p) in self.such_that.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        if let Some(obj) = &self.objective {
+            write!(f, " {obj}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn running_example() -> PackageQuery {
+        PackageQuery {
+            package_name: "P".into(),
+            relation: "Recipes".into(),
+            relation_alias: "R".into(),
+            repeat: Some(0),
+            where_clause: Some(Expr::col("gluten").eq(Expr::lit("free"))),
+            such_that: vec![
+                GlobalPredicate::Cmp {
+                    lhs: AggTerm::Agg(AggExpr::Count),
+                    op: CmpOp::Eq,
+                    rhs: AggTerm::Const(3.0),
+                },
+                GlobalPredicate::Between {
+                    agg: AggExpr::Sum("kcal".into()),
+                    lo: 2.0,
+                    hi: 2.5,
+                },
+            ],
+            objective: Some(Objective {
+                sense: ObjectiveSense::Minimize,
+                agg: AggExpr::Sum("saturated_fat".into()),
+            }),
+        }
+    }
+
+    #[test]
+    fn display_regenerates_paql() {
+        let q = running_example();
+        let text = q.to_string();
+        assert!(text.starts_with("SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0"));
+        assert!(text.contains("WHERE gluten = 'free'"));
+        assert!(text.contains("COUNT(P.*) = 3"));
+        assert!(text.contains("SUM(P.kcal) BETWEEN 2 AND 2.5"));
+        assert!(text.ends_with("MINIMIZE SUM(P.saturated_fat)"));
+    }
+
+    #[test]
+    fn query_attributes_cover_objective_and_predicates() {
+        let q = running_example();
+        assert_eq!(q.query_attributes(), vec!["kcal", "saturated_fat"]);
+    }
+
+    #[test]
+    fn query_attributes_include_subquery_filters() {
+        let mut q = running_example();
+        q.such_that.push(GlobalPredicate::Cmp {
+            lhs: AggTerm::Agg(AggExpr::CountWhere(Expr::col("carbs").gt(Expr::lit(0.0)))),
+            op: CmpOp::Ge,
+            rhs: AggTerm::Agg(AggExpr::CountWhere(Expr::col("protein").le(Expr::lit(5.0)))),
+        });
+        let attrs = q.query_attributes();
+        assert!(attrs.contains(&"carbs".to_string()));
+        assert!(attrs.contains(&"protein".to_string()));
+    }
+
+    #[test]
+    fn max_multiplicity_semantics() {
+        let mut q = running_example();
+        assert_eq!(q.max_multiplicity(), Some(1), "REPEAT 0 = no repeats");
+        q.repeat = Some(2);
+        assert_eq!(q.max_multiplicity(), Some(3));
+        q.repeat = None;
+        assert_eq!(q.max_multiplicity(), None);
+    }
+
+    #[test]
+    fn agg_display_forms() {
+        assert_eq!(AggExpr::Count.to_string(), "COUNT(P.*)");
+        assert_eq!(AggExpr::Sum("a".into()).to_string(), "SUM(P.a)");
+        assert_eq!(
+            AggExpr::CountWhere(Expr::col("carbs").gt(Expr::lit(0.0))).to_string(),
+            "(SELECT COUNT(*) FROM P WHERE carbs > 0)"
+        );
+    }
+}

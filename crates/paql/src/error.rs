@@ -1,0 +1,70 @@
+//! PaQL error type.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, validating, or translating PaQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaqlError {
+    /// Tokenizer error with byte offset.
+    Lex {
+        /// Byte position in the input.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Parser error.
+    Parse {
+        /// Byte position of the offending token.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Semantic validation error (unknown attribute, non-linear
+    /// construct, …).
+    Semantic(String),
+    /// Error surfaced from the relational engine during translation.
+    Relational(paq_relational::RelError),
+}
+
+impl fmt::Display for PaqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            PaqlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            PaqlError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            PaqlError::Relational(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PaqlError {}
+
+impl From<paq_relational::RelError> for PaqlError {
+    fn from(e: paq_relational::RelError) -> Self {
+        PaqlError::Relational(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type PaqlResult<T> = Result<T, PaqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = PaqlError::Parse { position: 17, message: "expected FROM".into() };
+        assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
+    }
+
+    #[test]
+    fn relational_errors_convert() {
+        let e: PaqlError = paq_relational::RelError::UnknownColumn("x".into()).into();
+        assert!(matches!(e, PaqlError::Relational(_)));
+    }
+}

@@ -1,0 +1,337 @@
+//! PaQL tokenizer.
+//!
+//! Hand-written, byte-offset-tracking lexer. Keywords are
+//! case-insensitive (as in SQL); identifiers preserve case. String
+//! literals use single quotes with `''` as the escape for a quote.
+
+use crate::error::{PaqlError, PaqlResult};
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (uppercased keyword matching happens in the
+    /// parser via [`TokenKind::is_keyword`]).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword test for identifier tokens.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a PaQL string.
+pub fn tokenize(input: &str) -> PaqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(PaqlError::Lex {
+                        position: start,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(PaqlError::Lex {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+            }
+            '.' => {
+                // Disambiguate attribute dot from a leading-dot float
+                // like ".5".
+                if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (num, len) = lex_number(&input[i..], start)?;
+                    tokens.push(Token { kind: TokenKind::Number(num), position: start });
+                    i += len;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Dot, position: start });
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (num, len) = lex_number(&input[i..], start)?;
+                tokens.push(Token { kind: TokenKind::Number(num), position: start });
+                i += len;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = i + 1;
+                while end < bytes.len() {
+                    let b = bytes[end] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[i..end].to_owned()),
+                    position: start,
+                });
+                i = end;
+            }
+            other => {
+                return Err(PaqlError::Lex {
+                    position: start,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, position: bytes.len() });
+    Ok(tokens)
+}
+
+/// Lex a numeric literal starting at the beginning of `rest`; returns
+/// the value and consumed byte length.
+fn lex_number(rest: &str, position: usize) -> PaqlResult<(f64, usize)> {
+    let bytes = rest.as_bytes();
+    let mut end = 0;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while end < bytes.len() {
+        let b = bytes[end] as char;
+        match b {
+            '0'..='9' => end += 1,
+            '.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                end += 1;
+            }
+            'e' | 'E' if !seen_exp && end > 0 => {
+                seen_exp = true;
+                end += 1;
+                if matches!(bytes.get(end), Some(b'+') | Some(b'-')) {
+                    end += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    rest[..end]
+        .parse::<f64>()
+        .map(|v| (v, end))
+        .map_err(|e| PaqlError::Lex { position, message: format!("bad number: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_running_example_fragment() {
+        let toks = kinds("SELECT PACKAGE(R) AS P");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("PACKAGE".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("R".into()),
+                TokenKind::RParen,
+                TokenKind::Ident("AS".into()),
+                TokenKind::Ident("P".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_in_all_shapes() {
+        assert_eq!(kinds("2 2.5 .5 1e3 1.5E-2")[..5], [
+            TokenKind::Number(2.0),
+            TokenKind::Number(2.5),
+            TokenKind::Number(0.5),
+            TokenKind::Number(1000.0),
+            TokenKind::Number(0.015),
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("= <> != < <= > >=")[..7], [
+            TokenKind::Eq,
+            TokenKind::Ne,
+            TokenKind::Ne,
+            TokenKind::Lt,
+            TokenKind::Le,
+            TokenKind::Gt,
+            TokenKind::Ge,
+        ]);
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds("'free' 'it''s'")[..2],
+            [TokenKind::Str("free".into()), TokenKind::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn dotted_attribute_vs_decimal() {
+        assert_eq!(kinds("R.kcal")[..3], [
+            TokenKind::Ident("R".into()),
+            TokenKind::Dot,
+            TokenKind::Ident("kcal".into()),
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        match tokenize("WHERE x = 'oops").unwrap_err() {
+            PaqlError::Lex { position, .. } => assert_eq!(position, 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stray_character_rejected() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_test_is_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].kind.is_keyword("SELECT"));
+        assert!(t[0].kind.is_keyword("select"));
+        assert!(!t[0].kind.is_keyword("FROM"));
+    }
+}

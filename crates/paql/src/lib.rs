@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # paq-lang — PaQL, the Package Query Language
+//!
+//! PaQL (§2.1 of the paper) extends SQL with package semantics:
+//!
+//! ```sql
+//! SELECT PACKAGE(R) AS P
+//! FROM   Recipes R REPEAT 0
+//! WHERE  R.gluten = 'free'
+//! SUCH THAT COUNT(P.*) = 3
+//!       AND SUM(P.kcal) BETWEEN 2.0 AND 2.5
+//! MINIMIZE SUM(P.saturated_fat)
+//! ```
+//!
+//! This crate provides:
+//! * [`ast`] — the abstract syntax tree ([`PackageQuery`] et al.) with a
+//!   pretty-printer that regenerates valid PaQL text;
+//! * [`lexer`] / [`parser`] — a hand-written tokenizer and
+//!   recursive-descent parser for the full grammar of Appendix A.4;
+//! * [`validate`] — semantic checks against a table schema (attributes
+//!   exist and are numeric where required, linearity restrictions, …);
+//! * [`translate`] — the PaQL → ILP translation rules of §3.1, producing
+//!   a [`paq_solver::Model`] plus the variable↔tuple mapping;
+//! * [`reduction`] — the constructive ILP → PaQL reduction from the
+//!   proof of Theorem 1 (used to property-test expressiveness).
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod reduction;
+pub mod translate;
+pub mod validate;
+
+pub use ast::{AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery};
+pub use error::{PaqlError, PaqlResult};
+pub use parser::parse_paql;
+pub use translate::{
+    base_relation_rows, linear_system, translate, translate_over, LinearRow, LinearSystem,
+    Translation,
+};
+pub use validate::validate;

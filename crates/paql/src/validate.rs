@@ -1,0 +1,222 @@
+//! Semantic validation of PaQL queries against a table schema.
+//!
+//! Checks performed (beyond what the parser enforces syntactically):
+//!
+//! * every attribute referenced anywhere exists in the schema;
+//! * aggregated attributes are numeric;
+//! * global predicates stay within the linear fragment the paper's
+//!   evaluation supports: `AVG` only compares against constants, `<>` is
+//!   rejected, and strict `<`/`>` are rejected at the package level
+//!   (they have no faithful ILP encoding over the reals);
+//! * the objective is a linear aggregate (`AVG` objectives are ratios —
+//!   rejected);
+//! * at least one side of every comparison involves the package.
+
+use paq_relational::expr::CmpOp;
+use paq_relational::{Expr, Schema};
+
+use crate::ast::{AggExpr, AggTerm, GlobalPredicate, PackageQuery};
+use crate::error::{PaqlError, PaqlResult};
+
+/// Validate `query` against `schema`. Returns `Ok(())` when the query
+/// is translatable.
+pub fn validate(query: &PackageQuery, schema: &Schema) -> PaqlResult<()> {
+    if let Some(w) = &query.where_clause {
+        check_scalar_expr(w, schema, "WHERE clause")?;
+    }
+    for (i, pred) in query.such_that.iter().enumerate() {
+        let ctx = format!("SUCH THAT predicate #{}", i + 1);
+        match pred {
+            GlobalPredicate::Between { agg, lo, hi } => {
+                check_agg(agg, schema, &ctx)?;
+                if matches!(agg, AggExpr::Avg(_)) && lo > hi {
+                    return Err(PaqlError::Semantic(format!("{ctx}: empty AVG range")));
+                }
+            }
+            GlobalPredicate::Cmp { lhs, op, rhs } => {
+                if *op == CmpOp::Ne {
+                    return Err(PaqlError::Semantic(format!(
+                        "{ctx}: <> is not expressible as a linear constraint"
+                    )));
+                }
+                if matches!(op, CmpOp::Lt | CmpOp::Gt) {
+                    return Err(PaqlError::Semantic(format!(
+                        "{ctx}: strict {} has no ILP encoding over continuous \
+                         aggregates; use {} instead",
+                        op.symbol(),
+                        if *op == CmpOp::Lt { "<=" } else { ">=" },
+                    )));
+                }
+                let mut saw_agg = false;
+                for side in [lhs, rhs] {
+                    if let AggTerm::Agg(a) = side {
+                        saw_agg = true;
+                        check_agg(a, schema, &ctx)?;
+                    }
+                }
+                if !saw_agg {
+                    // Constant ⊙ constant is legal (it is just checked at
+                    // translation) but deserves no further checks.
+                }
+                // AVG may only face a constant (the linearization needs it).
+                let avg_lhs = matches!(lhs, AggTerm::Agg(AggExpr::Avg(_)));
+                let avg_rhs = matches!(rhs, AggTerm::Agg(AggExpr::Avg(_)));
+                if (avg_lhs && !matches!(rhs, AggTerm::Const(_)))
+                    || (avg_rhs && !matches!(lhs, AggTerm::Const(_)))
+                {
+                    return Err(PaqlError::Semantic(format!(
+                        "{ctx}: AVG can only be compared against a constant \
+                         (the linearization Σ(attr−v)·x needs the constant v)"
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(obj) = &query.objective {
+        if matches!(obj.agg, AggExpr::Avg(_)) {
+            return Err(PaqlError::Semantic(
+                "AVG objectives are ratios of linear functions and are not \
+                 supported (the paper restricts objectives to linear functions)"
+                    .into(),
+            ));
+        }
+        check_agg(&obj.agg, schema, "objective clause")?;
+    }
+    Ok(())
+}
+
+fn check_agg(agg: &AggExpr, schema: &Schema, ctx: &str) -> PaqlResult<()> {
+    if let Some(attr) = agg.attribute() {
+        check_numeric_attr(attr, schema, ctx)?;
+    }
+    match agg {
+        AggExpr::CountWhere(f) | AggExpr::SumWhere(_, f) => {
+            check_scalar_expr(f, schema, ctx)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn check_numeric_attr(attr: &str, schema: &Schema, ctx: &str) -> PaqlResult<()> {
+    let col = schema
+        .column(attr)
+        .map_err(|_| PaqlError::Semantic(format!("{ctx}: unknown attribute {attr:?}")))?;
+    if !col.ty.is_numeric() {
+        return Err(PaqlError::Semantic(format!(
+            "{ctx}: attribute {attr:?} has type {} but aggregation requires a numeric type",
+            col.ty
+        )));
+    }
+    Ok(())
+}
+
+fn check_scalar_expr(e: &Expr, schema: &Schema, ctx: &str) -> PaqlResult<()> {
+    for col in e.referenced_columns() {
+        if !schema.contains(&col) {
+            return Err(PaqlError::Semantic(format!(
+                "{ctx}: unknown attribute {col:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_paql;
+    use paq_relational::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("kcal", DataType::Float),
+            ("fat", DataType::Float),
+        ])
+    }
+
+    fn check(q: &str) -> PaqlResult<()> {
+        validate(&parse_paql(q).unwrap(), &schema())
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        check(
+            "SELECT PACKAGE(R) AS P FROM R WHERE R.kcal > 0 \
+             SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 1 AND 2 \
+             MINIMIZE SUM(P.fat)",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_attribute_in_where() {
+        let err = check("SELECT PACKAGE(R) AS P FROM R WHERE R.missing > 0").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn unknown_attribute_in_such_that() {
+        let err =
+            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.nope) <= 1").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn non_numeric_aggregate_rejected() {
+        let err =
+            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.name) <= 1").unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn strict_inequality_rejected_at_package_level() {
+        let err = check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.kcal) < 5").unwrap_err();
+        assert!(err.to_string().contains("strict"));
+    }
+
+    #[test]
+    fn not_equal_rejected() {
+        let err =
+            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) <> 3").unwrap_err();
+        assert!(err.to_string().contains("linear"));
+    }
+
+    #[test]
+    fn avg_vs_aggregate_rejected() {
+        let err = check(
+            "SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= SUM(P.fat)",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("AVG"));
+    }
+
+    #[test]
+    fn avg_vs_constant_allowed_either_side() {
+        check("SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= 2").unwrap();
+        check("SELECT PACKAGE(R) AS P FROM R SUCH THAT 2 >= AVG(P.kcal)").unwrap();
+    }
+
+    #[test]
+    fn avg_objective_rejected() {
+        let err = check("SELECT PACKAGE(R) AS P FROM R MINIMIZE AVG(P.kcal)").unwrap_err();
+        assert!(err.to_string().contains("AVG objectives"));
+    }
+
+    #[test]
+    fn subquery_filter_attributes_checked() {
+        let err = check(
+            "SELECT PACKAGE(R) AS P FROM R SUCH THAT \
+             (SELECT COUNT(*) FROM P WHERE P.ghost > 0) >= 1",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn count_objective_allowed() {
+        check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.kcal) <= 5 MAXIMIZE COUNT(P.*)")
+            .unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Partitioning configuration: attributes, τ, ω, and the ε → ω mapping.
+
+use paq_relational::{RelError, RelResult, Table};
+
+/// Configuration for the offline partitioner.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// The numeric partitioning attributes `A` (§4.1). For workload
+    /// partitioning this is the union of all query attributes.
+    pub attributes: Vec<String>,
+    /// Size threshold τ (Definition 1): every group holds at most τ
+    /// original tuples.
+    pub size_threshold: usize,
+    /// Radius limit ω (Definition 2): every group's radius is at most
+    /// ω. `None` disables the radius condition, matching the paper's
+    /// main experimental setup.
+    pub radius_limit: Option<f64>,
+    /// Recursion depth cap (a safety valve; the paper's method always
+    /// terminates because splits strictly shrink groups, but degenerate
+    /// duplicate-heavy data is chunked instead once this depth is hit).
+    pub max_depth: u32,
+}
+
+impl PartitionConfig {
+    /// Partition on `attributes` with size threshold `tau` and no radius
+    /// condition — the configuration used for Figures 4–8.
+    pub fn by_size(attributes: Vec<String>, tau: usize) -> Self {
+        PartitionConfig {
+            attributes,
+            size_threshold: tau.max(1),
+            radius_limit: None,
+            max_depth: 64,
+        }
+    }
+
+    /// Add a radius limit ω.
+    pub fn with_radius_limit(mut self, omega: f64) -> Self {
+        assert!(omega >= 0.0, "radius limit must be nonnegative");
+        self.radius_limit = Some(omega);
+        self
+    }
+
+    /// The Theorem 3 radius limit (Eq. 1) for approximation parameter
+    /// `ε`:
+    ///
+    /// ```text
+    /// ω = min_{j, attr} γ·|t̃_j.attr|,   γ = ε        (maximization)
+    ///                                    γ = ε/(1+ε)  (minimization)
+    /// ```
+    ///
+    /// The representatives `t̃_j` depend on the partitioning itself, so
+    /// this helper computes the *conservative* instantiation
+    /// `γ · min_{i, attr} |t_i.attr|` over the raw tuples — every
+    /// centroid of nonnegative data dominates that minimum, hence the
+    /// bound still guarantees `(1±ε)⁶`. Returns an error if any
+    /// partitioning attribute is missing or non-numeric.
+    pub fn omega_for_epsilon(
+        table: &Table,
+        attributes: &[String],
+        epsilon: f64,
+        maximization: bool,
+    ) -> RelResult<f64> {
+        assert!(epsilon >= 0.0, "epsilon must be nonnegative");
+        let gamma = if maximization { epsilon } else { epsilon / (1.0 + epsilon) };
+        let mut min_abs = f64::INFINITY;
+        for attr in attributes {
+            let col = table.column(attr)?;
+            if !col.data_type().is_numeric() {
+                return Err(RelError::TypeMismatch {
+                    expected: "numeric partitioning attribute".into(),
+                    found: format!("{attr} ({})", col.data_type()),
+                });
+            }
+            for i in 0..col.len() {
+                if let Some(v) = col.f64_at(i) {
+                    min_abs = min_abs.min(v.abs());
+                }
+            }
+        }
+        if min_abs.is_infinite() {
+            min_abs = 0.0;
+        }
+        Ok(gamma * min_abs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::{DataType, Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+            ("s", DataType::Str),
+        ]));
+        for (x, y) in [(2.0, 8.0), (4.0, 6.0), (3.0, 10.0)] {
+            t.push_row(vec![Value::Float(x), Value::Float(y), "t".into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn by_size_defaults() {
+        let c = PartitionConfig::by_size(vec!["x".into()], 100);
+        assert_eq!(c.size_threshold, 100);
+        assert_eq!(c.radius_limit, None);
+        let zero = PartitionConfig::by_size(vec!["x".into()], 0);
+        assert_eq!(zero.size_threshold, 1, "τ is clamped to ≥ 1");
+    }
+
+    #[test]
+    fn omega_uses_gamma_epsilon_for_maximization() {
+        let t = table();
+        // min |value| over x,y is 2.0; γ = ε = 0.5 ⇒ ω = 1.0.
+        let omega = PartitionConfig::omega_for_epsilon(
+            &t,
+            &["x".into(), "y".into()],
+            0.5,
+            true,
+        )
+        .unwrap();
+        assert_eq!(omega, 1.0);
+    }
+
+    #[test]
+    fn omega_uses_gamma_over_one_plus_eps_for_minimization() {
+        let t = table();
+        // γ = ε/(1+ε) = 0.5/1.5 = 1/3 ⇒ ω = 2/3.
+        let omega = PartitionConfig::omega_for_epsilon(
+            &t,
+            &["x".into(), "y".into()],
+            0.5,
+            false,
+        )
+        .unwrap();
+        assert!((omega - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_means_zero_radius() {
+        let t = table();
+        let omega =
+            PartitionConfig::omega_for_epsilon(&t, &["x".into()], 0.0, true).unwrap();
+        assert_eq!(omega, 0.0);
+    }
+
+    #[test]
+    fn non_numeric_attribute_rejected() {
+        let t = table();
+        assert!(
+            PartitionConfig::omega_for_epsilon(&t, &["s".into()], 0.1, true).is_err()
+        );
+        assert!(
+            PartitionConfig::omega_for_epsilon(&t, &["zzz".into()], 0.1, true).is_err()
+        );
+    }
+}

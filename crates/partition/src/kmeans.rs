@@ -1,0 +1,236 @@
+//! k-means baseline partitioner.
+//!
+//! §4.1 ("Alternative partitioning approaches") explains why
+//! off-the-shelf clustering is a poor fit for SKETCHREFINE: algorithms
+//! like k-means take the number of clusters as input and offer no way
+//! to bound group **size** (τ) or **radius** (ω). This module implements
+//! plain Lloyd's iterations so the benchmark suite can quantify that
+//! comparison (group-size spread, radius spread, build time) against the
+//! quad-tree method.
+
+use std::time::Instant;
+
+use paq_relational::{Column, RelError, RelResult, Table};
+
+use crate::partitioning::{centroid_and_radius, Group, Partitioning};
+
+/// Configuration for the k-means baseline.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Partitioning attributes.
+    pub attributes: Vec<String>,
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: u32,
+    /// Seed for the deterministic centroid initialization.
+    pub seed: u64,
+}
+
+/// Run Lloyd's algorithm and package the result as a [`Partitioning`].
+///
+/// Note the contrast with the quad-tree partitioner: the result carries
+/// **no τ/ω guarantee** — groups can be arbitrarily large or wide.
+pub fn kmeans_partition(table: &Table, config: &KMeansConfig) -> RelResult<Partitioning> {
+    assert!(config.k >= 1, "k must be at least 1");
+    let start = Instant::now();
+    let columns: Vec<&Column> = config
+        .attributes
+        .iter()
+        .map(|a| {
+            let col = table.column(a)?;
+            if !col.data_type().is_numeric() {
+                return Err(RelError::TypeMismatch {
+                    expected: "numeric attribute".into(),
+                    found: format!("{a} ({})", col.data_type()),
+                });
+            }
+            Ok(col)
+        })
+        .collect::<RelResult<_>>()?;
+    let n = table.num_rows();
+    let d = columns.len();
+    let k = config.k.min(n.max(1));
+
+    // Materialize coordinates (NULL → 0, consistent with the quad-tree's
+    // low-side placement).
+    let mut coords = vec![0.0f64; n * d];
+    for (a, col) in columns.iter().enumerate() {
+        for i in 0..n {
+            coords[i * d + a] = col.f64_at(i).unwrap_or(0.0);
+        }
+    }
+
+    // Deterministic init: pick k distinct rows via xorshift.
+    let mut centroids = vec![0.0f64; k * d];
+    let mut state = config.seed | 1;
+    let mut chosen = Vec::with_capacity(k);
+    while chosen.len() < k && n > 0 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let cand = (state % n as u64) as usize;
+        if !chosen.contains(&cand) {
+            chosen.push(cand);
+        }
+        if chosen.len() == n {
+            break;
+        }
+    }
+    for (c, &row) in chosen.iter().enumerate() {
+        centroids[c * d..(c + 1) * d].copy_from_slice(&coords[row * d..(row + 1) * d]);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        // Assign.
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let mut dist = 0.0;
+                for a in 0..d {
+                    let diff = coords[i * d + a] - centroids[c * d + a];
+                    dist += diff * diff;
+                }
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i];
+            counts[c] += 1;
+            for a in 0..d {
+                sums[c * d + a] += coords[i * d + a];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for a in 0..d {
+                    centroids[c * d + a] = sums[c * d + a] / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    // Package non-empty clusters.
+    let mut groups: Vec<Group> = Vec::new();
+    for c in 0..k {
+        let rows: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let (representative, radius) = centroid_and_radius(&columns, &rows);
+        groups.push(Group { gid: groups.len() as i64 + 1, rows, representative, radius });
+    }
+    if groups.is_empty() {
+        groups.push(Group { gid: 1, rows: vec![], representative: vec![0.0; d], radius: 0.0 });
+    }
+
+    Ok(Partitioning {
+        attributes: config.attributes.clone(),
+        groups,
+        build_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::{DataType, Schema, Value};
+
+    fn two_blob_table() -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ]));
+        for i in 0..20 {
+            let off = (i % 5) as f64 * 0.1;
+            t.push_row(vec![Value::Float(off), Value::Float(off)]).unwrap();
+            t.push_row(vec![Value::Float(100.0 + off), Value::Float(100.0 + off)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn config(k: usize) -> KMeansConfig {
+        KMeansConfig {
+            attributes: vec!["x".into(), "y".into()],
+            k,
+            max_iterations: 50,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let t = two_blob_table();
+        let p = kmeans_partition(&t, &config(2)).unwrap();
+        assert_eq!(p.num_groups(), 2);
+        assert!(p.is_disjoint_cover(40));
+        let mut sizes: Vec<usize> = p.groups.iter().map(Group::size).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![20, 20]);
+        // Each blob's radius is small; a τ/ω-blind k=1 run would not be.
+        assert!(p.max_radius() < 1.0);
+    }
+
+    #[test]
+    fn k_one_degenerates_to_single_wide_group() {
+        let t = two_blob_table();
+        let p = kmeans_partition(&t, &config(1)).unwrap();
+        assert_eq!(p.num_groups(), 1);
+        // This is the paper's point: no radius control.
+        assert!(p.max_radius() > 40.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t = two_blob_table();
+        let a = kmeans_partition(&t, &config(3)).unwrap();
+        let b = kmeans_partition(&t, &config(3)).unwrap();
+        assert_eq!(a.num_groups(), b.num_groups());
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        t.push_row(vec![Value::Float(2.0)]).unwrap();
+        let p = kmeans_partition(
+            &t,
+            &KMeansConfig { attributes: vec!["x".into()], k: 10, max_iterations: 5, seed: 7 },
+        )
+        .unwrap();
+        assert!(p.num_groups() <= 2);
+        assert!(p.is_disjoint_cover(2));
+    }
+
+    #[test]
+    fn empty_table_yields_one_empty_group() {
+        let t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        let p = kmeans_partition(
+            &t,
+            &KMeansConfig { attributes: vec!["x".into()], k: 3, max_iterations: 5, seed: 7 },
+        )
+        .unwrap();
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.num_rows(), 0);
+    }
+}

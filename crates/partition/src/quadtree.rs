@@ -1,0 +1,526 @@
+//! k-dimensional quad-tree partitioner (§4.1, "Partitioning method").
+//!
+//! The paper's procedure, restated over this crate's substrate:
+//!
+//! 1. start with a single group holding every tuple;
+//! 2. compute each group's size, centroid and radius (the group-by
+//!    query of §4.1, here [`partitioning::centroid_and_radius`]);
+//! 3. any group violating the size threshold τ or the radius limit ω is
+//!    split into up to `2^k` sub-quadrants around its centroid pivot;
+//! 4. recurse until every group satisfies both conditions.
+//!
+//! The full hierarchy is retained in a [`QuadTree`], enabling the
+//! *dynamic partitioning* variant discussed in §4.1: extracting, at
+//! query time, the coarsest partitioning satisfying a required radius.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use paq_relational::{Column, RelError, RelResult, Table};
+
+use crate::config::PartitionConfig;
+use crate::partitioning::{centroid_and_radius, Group, Partitioning};
+
+/// A node of the retained quad-tree hierarchy.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Rows covered by this node.
+    pub rows: Vec<usize>,
+    /// Centroid over the partitioning attributes.
+    pub centroid: Vec<f64>,
+    /// Radius (Definition 2) of the node's row set.
+    pub radius: f64,
+    /// Child node indices (empty = leaf).
+    pub children: Vec<u32>,
+    /// Depth in the tree (root = 0).
+    pub depth: u32,
+}
+
+/// The retained partitioning hierarchy.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Partitioning attributes.
+    pub attributes: Vec<String>,
+    /// Nodes; index 0 is the root.
+    pub nodes: Vec<TreeNode>,
+    /// Build wall-clock time.
+    pub build_time: std::time::Duration,
+}
+
+/// The offline partitioner.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    config: PartitionConfig,
+}
+
+impl Partitioner {
+    /// A partitioner with the given configuration.
+    pub fn new(config: PartitionConfig) -> Self {
+        assert!(
+            !config.attributes.is_empty(),
+            "partitioning requires at least one attribute"
+        );
+        Partitioner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PartitionConfig {
+        &self.config
+    }
+
+    /// Build the full hierarchy for `table`.
+    pub fn build_tree(&self, table: &Table) -> RelResult<QuadTree> {
+        let start = Instant::now();
+        let columns: Vec<&Column> = self
+            .config
+            .attributes
+            .iter()
+            .map(|a| {
+                let col = table.column(a)?;
+                if !col.data_type().is_numeric() {
+                    return Err(RelError::TypeMismatch {
+                        expected: "numeric partitioning attribute".into(),
+                        found: format!("{a} ({})", col.data_type()),
+                    });
+                }
+                Ok(col)
+            })
+            .collect::<RelResult<_>>()?;
+
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let all_rows: Vec<usize> = (0..table.num_rows()).collect();
+        let (centroid, radius) = centroid_and_radius(&columns, &all_rows);
+        // Full-table per-attribute ranges: the normalization scales for
+        // split-dimension selection.
+        let scales: Vec<f64> = columns
+            .iter()
+            .map(|col| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for r in 0..col.len() {
+                    if let Some(v) = col.f64_at(r) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                if hi >= lo {
+                    hi - lo
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        nodes.push(TreeNode { rows: all_rows, centroid, radius, children: vec![], depth: 0 });
+
+        // Iterative worklist over node indices needing a split check.
+        let mut work = vec![0usize];
+        while let Some(idx) = work.pop() {
+            let (rows, radius, depth) = {
+                let n = &nodes[idx];
+                (n.rows.clone(), n.radius, n.depth)
+            };
+            let size_ok = rows.len() <= self.config.size_threshold;
+            let radius_ok = self
+                .config
+                .radius_limit
+                .is_none_or(|omega| radius <= omega);
+            if (size_ok && radius_ok) || rows.len() <= 1 {
+                continue; // satisfied leaf
+            }
+
+            let sub_groups = if depth >= self.config.max_depth || radius <= 0.0 {
+                // Degenerate group (duplicates / depth cap): chunk into
+                // τ-sized pieces to honor the size threshold. The radius
+                // of each chunk equals the parent's (0 for duplicates).
+                chunk_rows(&rows, self.config.size_threshold)
+            } else {
+                let split_dims = split_attributes(
+                    &columns,
+                    &rows,
+                    &scales,
+                    self.config.size_threshold,
+                    self.config.radius_limit,
+                );
+                let quads =
+                    quadrant_split(&columns, &nodes[idx].centroid, &rows, &split_dims);
+                if quads.len() <= 1 {
+                    chunk_rows(&rows, self.config.size_threshold)
+                } else {
+                    quads
+                }
+            };
+
+            let mut child_ids = Vec::with_capacity(sub_groups.len());
+            for sub in sub_groups {
+                let (centroid, radius) = centroid_and_radius(&columns, &sub);
+                let child = TreeNode {
+                    rows: sub,
+                    centroid,
+                    radius,
+                    children: vec![],
+                    depth: depth + 1,
+                };
+                let id = nodes.len();
+                nodes.push(child);
+                child_ids.push(id as u32);
+                work.push(id);
+            }
+            nodes[idx].children = child_ids;
+        }
+
+        Ok(QuadTree {
+            attributes: self.config.attributes.clone(),
+            nodes,
+            build_time: start.elapsed(),
+        })
+    }
+
+    /// Build the flat partitioning (the tree's leaves). This is the
+    /// paper's *static* partitioning artifact.
+    pub fn partition(&self, table: &Table) -> RelResult<Partitioning> {
+        let tree = self.build_tree(table)?;
+        Ok(tree.leaves())
+    }
+}
+
+/// Choose the attributes a split should pivot on.
+///
+/// A naive `2^k` quadrant split over many partitioning attributes
+/// explodes the group count far past the paper's intended `m ≈ n/τ`
+/// (13 workload attributes would give 8192-way splits). Instead we
+/// split only on the attributes that *matter*: enough of the
+/// **relatively** widest dimensions — spread normalized by each
+/// attribute's full-table range in `scales`, so a [0, 400 000] price
+/// column cannot starve a [1, 1000] cost column of splits — to reach
+/// the size threshold in one level (`2^s ≥ |G|/τ`), plus every
+/// dimension whose absolute spread alone violates the radius limit.
+/// The recursion still guarantees both conditions.
+fn split_attributes(
+    columns: &[&Column],
+    rows: &[usize],
+    scales: &[f64],
+    tau: usize,
+    omega: Option<f64>,
+) -> Vec<usize> {
+    let mut spreads: Vec<(usize, f64, f64)> = columns
+        .iter()
+        .enumerate()
+        .map(|(a, col)| {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &r in rows {
+                if let Some(v) = col.f64_at(r) {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let spread = if hi >= lo { hi - lo } else { 0.0 };
+            let relative = if scales[a] > 0.0 { spread / scales[a] } else { 0.0 };
+            (a, relative, spread)
+        })
+        .collect();
+    // Relatively widest dimensions first; index tie-break keeps
+    // determinism.
+    spreads.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    let from_size = if rows.len() > tau && tau > 0 {
+        (rows.len() as f64 / tau as f64).log2().ceil().max(1.0) as usize
+    } else {
+        0
+    };
+    let from_radius = match omega {
+        // A dimension with spread ≤ ω can never be the radius culprit
+        // on its own; count the ones that can.
+        Some(w) => spreads.iter().filter(|(_, _, abs)| *abs / 2.0 > w).count(),
+        None => 0,
+    };
+    let s = from_size.max(from_radius).clamp(1, columns.len().min(16));
+    spreads.into_iter().take(s).map(|(a, _, _)| a).collect()
+}
+
+/// Split rows into sub-quadrants around the centroid, using only the
+/// chosen `dims`: each contributes one bit (`value ≥ pivot`); NULLs
+/// fall on the low side.
+fn quadrant_split(
+    columns: &[&Column],
+    centroid: &[f64],
+    rows: &[usize],
+    dims: &[usize],
+) -> Vec<Vec<usize>> {
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    for &r in rows {
+        let mut mask = 0u64;
+        for (bit, &a) in dims.iter().enumerate() {
+            if let Some(v) = columns[a].f64_at(r) {
+                if v >= centroid[a] {
+                    mask |= 1 << bit.min(63);
+                }
+            }
+        }
+        buckets.entry(mask).or_default().push(r);
+    }
+    // Deterministic order: sort by mask.
+    let mut keys: Vec<u64> = buckets.keys().copied().collect();
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| buckets.remove(&k).expect("bucket exists"))
+        .collect()
+}
+
+/// Chunk rows into consecutive pieces of at most `tau` rows.
+fn chunk_rows(rows: &[usize], tau: usize) -> Vec<Vec<usize>> {
+    rows.chunks(tau.max(1)).map(|c| c.to_vec()).collect()
+}
+
+impl QuadTree {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The flat leaf partitioning.
+    pub fn leaves(&self) -> Partitioning {
+        let mut groups = Vec::new();
+        for node in &self.nodes {
+            if node.children.is_empty() {
+                groups.push(Group {
+                    gid: groups.len() as i64 + 1,
+                    rows: node.rows.clone(),
+                    representative: node.centroid.clone(),
+                    radius: node.radius,
+                });
+            }
+        }
+        Partitioning {
+            attributes: self.attributes.clone(),
+            groups,
+            build_time: self.build_time,
+        }
+    }
+
+    /// Dynamic partitioning (§4.1): traverse the hierarchy and return
+    /// the *coarsest* partitioning whose groups all satisfy radius ≤
+    /// `omega` and size ≤ `tau`. Leaves are taken as-is when no
+    /// ancestor qualifies (they already satisfy the build-time
+    /// conditions).
+    pub fn coarsest_for(&self, omega: f64, tau: usize) -> Partitioning {
+        let mut groups = Vec::new();
+        let mut stack = vec![0usize];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx];
+            let qualifies = node.radius <= omega && node.rows.len() <= tau;
+            if qualifies || node.children.is_empty() {
+                groups.push(Group {
+                    gid: groups.len() as i64 + 1,
+                    rows: node.rows.clone(),
+                    representative: node.centroid.clone(),
+                    radius: node.radius,
+                });
+            } else {
+                stack.extend(node.children.iter().map(|&c| c as usize));
+            }
+        }
+        Partitioning {
+            attributes: self.attributes.clone(),
+            groups,
+            build_time: self.build_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::{DataType, Schema, Value};
+
+    /// A deterministic 2-D table with `n` points on a jittered grid.
+    fn grid_table(n: usize) -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ]));
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            t.push_row(vec![
+                Value::Float(next() * 100.0),
+                Value::Float(next() * 100.0),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn attrs() -> Vec<String> {
+        vec!["x".into(), "y".into()]
+    }
+
+    #[test]
+    fn size_threshold_is_enforced() {
+        let t = grid_table(500);
+        let p = Partitioner::new(PartitionConfig::by_size(attrs(), 40))
+            .partition(&t)
+            .unwrap();
+        assert!(p.max_group_size() <= 40, "max size {}", p.max_group_size());
+        assert!(p.is_disjoint_cover(500));
+        assert!(p.num_groups() >= 500 / 40);
+    }
+
+    #[test]
+    fn radius_limit_is_enforced() {
+        let t = grid_table(300);
+        let p = Partitioner::new(
+            PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(10.0),
+        )
+        .partition(&t)
+        .unwrap();
+        assert!(p.max_radius() <= 10.0, "max radius {}", p.max_radius());
+        assert!(p.is_disjoint_cover(300));
+    }
+
+    #[test]
+    fn both_conditions_together() {
+        let t = grid_table(400);
+        let p = Partitioner::new(
+            PartitionConfig::by_size(attrs(), 25).with_radius_limit(15.0),
+        )
+        .partition(&t)
+        .unwrap();
+        assert!(p.max_group_size() <= 25);
+        assert!(p.max_radius() <= 15.0);
+    }
+
+    #[test]
+    fn single_group_when_thresholds_are_loose() {
+        let t = grid_table(100);
+        let p = Partitioner::new(PartitionConfig::by_size(attrs(), 1000))
+            .partition(&t)
+            .unwrap();
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.groups[0].size(), 100);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_is_chunked() {
+        // 100 identical points: no spatial split possible, but τ=10
+        // must still be met via chunking.
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for _ in 0..100 {
+            t.push_row(vec![Value::Float(5.0)]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 10))
+            .partition(&t)
+            .unwrap();
+        assert_eq!(p.num_groups(), 10);
+        assert!(p.max_group_size() <= 10);
+        assert_eq!(p.max_radius(), 0.0);
+        assert!(p.is_disjoint_cover(100));
+    }
+
+    #[test]
+    fn representatives_are_centroids() {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for v in [1.0, 3.0, 101.0, 103.0] {
+            t.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 2))
+            .partition(&t)
+            .unwrap();
+        assert_eq!(p.num_groups(), 2);
+        let mut reps: Vec<f64> = p.groups.iter().map(|g| g.representative[0]).collect();
+        reps.sort_by(f64::total_cmp);
+        assert_eq!(reps, vec![2.0, 102.0]);
+    }
+
+    #[test]
+    fn nulls_fall_to_the_low_side_and_are_covered() {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for v in [Value::Float(0.0), Value::Null, Value::Float(100.0), Value::Float(99.0)] {
+            t.push_row(vec![v]).unwrap();
+        }
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 2))
+            .partition(&t)
+            .unwrap();
+        assert!(p.is_disjoint_cover(4));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let t = grid_table(200);
+        let mk = || {
+            Partitioner::new(PartitionConfig::by_size(attrs(), 20))
+                .partition(&t)
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.num_groups(), b.num_groups());
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn tree_retains_hierarchy_and_dynamic_extraction_coarsens() {
+        let t = grid_table(400);
+        let tree = Partitioner::new(
+            PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(5.0),
+        )
+        .build_tree(&t)
+        .unwrap();
+        assert!(tree.num_nodes() > 1);
+
+        let fine = tree.coarsest_for(5.0, usize::MAX);
+        let coarse = tree.coarsest_for(40.0, usize::MAX);
+        assert!(coarse.num_groups() <= fine.num_groups());
+        assert!(coarse.max_radius() <= 40.0);
+        assert!(fine.max_radius() <= 5.0);
+        assert!(fine.is_disjoint_cover(400));
+        assert!(coarse.is_disjoint_cover(400));
+    }
+
+    #[test]
+    fn empty_table_yields_single_empty_group() {
+        let t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 10))
+            .partition(&t)
+            .unwrap();
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.num_rows(), 0);
+    }
+
+    #[test]
+    fn non_numeric_attribute_rejected() {
+        let mut t = Table::new(Schema::from_pairs(&[("s", DataType::Str)]));
+        t.push_row(vec!["a".into()]).unwrap();
+        let r = Partitioner::new(PartitionConfig::by_size(vec!["s".into()], 10)).partition(&t);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn no_attributes_panics() {
+        Partitioner::new(PartitionConfig::by_size(vec![], 10));
+    }
+
+    #[test]
+    fn skewed_data_respects_size_threshold() {
+        // Heavy cluster near origin plus a few outliers: recursion must
+        // keep splitting the dense region.
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        for i in 0..256 {
+            t.push_row(vec![Value::Float((i % 16) as f64 * 0.001)]).unwrap();
+        }
+        t.push_row(vec![Value::Float(1e6)]).unwrap();
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 16))
+            .partition(&t)
+            .unwrap();
+        assert!(p.max_group_size() <= 16);
+        assert!(p.is_disjoint_cover(257));
+    }
+}

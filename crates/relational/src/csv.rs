@@ -1,0 +1,290 @@
+//! CSV import/export for tables.
+//!
+//! A minimal, dependency-free CSV codec sufficient for persisting
+//! synthetic datasets and materialized packages. Quoted fields, embedded
+//! commas/quotes/newlines, and an `\N`-style NULL marker are supported.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{RelError, RelResult};
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Marker used for NULL cells.
+pub const NULL_MARKER: &str = "\\N";
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Split one CSV record into fields, honoring quotes.
+fn split_record(line: &str) -> RelResult<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelError::Parse("unterminated quoted field".into()));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Write `table` as CSV (header row of column names first).
+pub fn write_csv<W: Write>(table: &Table, out: W) -> RelResult<()> {
+    let mut w = BufWriter::new(out);
+    let names = table.schema().names();
+    writeln!(w, "{}", names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","))?;
+    for i in 0..table.num_rows() {
+        let row: Vec<String> = table
+            .row(i)
+            .iter()
+            .map(|v| match v {
+                Value::Null => NULL_MARKER.to_owned(),
+                Value::Str(s) => escape(s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write `table` to a file path.
+pub fn write_csv_file(table: &Table, path: impl AsRef<Path>) -> RelResult<()> {
+    write_csv(table, std::fs::File::create(path)?)
+}
+
+fn parse_cell(s: &str, ty: DataType) -> RelResult<Value> {
+    // `\N` is NULL everywhere; an *empty* field is NULL for typed
+    // columns but the empty string for Str columns (so `Str("")`
+    // round-trips).
+    if s == NULL_MARKER || (s.is_empty() && ty != DataType::Str) {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(
+            s.parse::<i64>()
+                .map_err(|e| RelError::Parse(format!("bad int {s:?}: {e}")))?,
+        ),
+        DataType::Float => Value::Float(
+            s.parse::<f64>()
+                .map_err(|e| RelError::Parse(format!("bad float {s:?}: {e}")))?,
+        ),
+        DataType::Bool => match s {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(RelError::Parse(format!("bad bool {s:?}"))),
+        },
+        DataType::Str => Value::Str(s.to_owned()),
+    })
+}
+
+/// Pull one logical record from the line iterator, stitching together
+/// physical lines while a quoted field is still open (quoted fields may
+/// contain embedded newlines).
+fn next_record(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+) -> RelResult<Option<Vec<String>>> {
+    let Some(first) = lines.next() else {
+        return Ok(None);
+    };
+    let mut record = first?;
+    loop {
+        match split_record(&record) {
+            Ok(fields) => return Ok(Some(fields)),
+            Err(RelError::Parse(msg)) if msg.contains("unterminated") => {
+                match lines.next() {
+                    Some(next) => {
+                        record.push('\n');
+                        record.push_str(&next?);
+                    }
+                    None => return Err(RelError::Parse(msg)),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read CSV with a known schema. The header row must match the schema's
+/// column names exactly (order included). Quoted fields may span
+/// multiple lines.
+pub fn read_csv<R: Read>(schema: Schema, input: R) -> RelResult<Table> {
+    let mut lines = BufReader::new(input).lines();
+    let header_fields = next_record(&mut lines)?
+        .ok_or_else(|| RelError::Parse("empty csv".into()))?;
+    let expected = schema.names();
+    if header_fields != expected {
+        return Err(RelError::SchemaMismatch(format!(
+            "csv header {header_fields:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut table = Table::new(schema);
+    while let Some(fields) = next_record(&mut lines)? {
+        if fields.len() == 1 && fields[0].is_empty() {
+            continue; // blank line
+        }
+        if fields.len() != table.schema().arity() {
+            return Err(RelError::ArityMismatch {
+                expected: table.schema().arity(),
+                found: fields.len(),
+            });
+        }
+        let row: Vec<Value> = fields
+            .iter()
+            .zip(table.schema().columns().to_vec())
+            .map(|(f, def)| parse_cell(f, def.ty))
+            .collect::<RelResult<_>>()?;
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Read CSV from a file path with a known schema.
+pub fn read_csv_file(schema: Schema, path: impl AsRef<Path>) -> RelResult<Table> {
+    read_csv(schema, std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("name", DataType::Str),
+            ("kcal", DataType::Float),
+            ("n", DataType::Int),
+            ("ok", DataType::Bool),
+        ])
+    }
+
+    fn sample() -> Table {
+        let mut t = Table::new(schema());
+        t.push_row(vec!["plain".into(), Value::Float(1.5), Value::Int(3), true.into()])
+            .unwrap();
+        t.push_row(vec![
+            "with,comma \"q\"".into(),
+            Value::Null,
+            Value::Int(-1),
+            Value::Null,
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(schema(), buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn quoting_of_special_chars() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"with,comma \"\"q\"\"\""));
+        assert!(text.contains("\\N"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "wrong,kcal,n,ok\n";
+        assert!(matches!(
+            read_csv(schema(), csv.as_bytes()).unwrap_err(),
+            RelError::SchemaMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn bad_cells_error_with_context() {
+        let csv = "name,kcal,n,ok\nx,notanumber,1,t\n";
+        let err = read_csv(schema(), csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, RelError::Parse(_)), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_in_row_rejected() {
+        let csv = "name,kcal,n,ok\nx,1.0,2\n";
+        assert!(matches!(
+            read_csv(schema(), csv.as_bytes()).unwrap_err(),
+            RelError::ArityMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(split_record("a,\"b").is_err());
+    }
+
+    #[test]
+    fn empty_cell_semantics_depend_on_type() {
+        // Empty string column stays the empty string; empty numeric
+        // column is NULL; `\N` is NULL everywhere.
+        let csv = "name,kcal,n,ok\n,,2,t\n\\N,1.0,\\N,f\n";
+        let t = read_csv(schema(), csv.as_bytes()).unwrap();
+        assert_eq!(t.value(0, "name").unwrap(), Value::Str(String::new()));
+        assert!(t.value(0, "kcal").unwrap().is_null());
+        assert!(t.value(1, "name").unwrap().is_null());
+        assert!(t.value(1, "n").unwrap().is_null());
+    }
+
+    #[test]
+    fn multiline_quoted_fields_round_trip() {
+        let mut t = Table::new(schema());
+        t.push_row(vec![
+            "line1\nline2,with comma".into(),
+            Value::Float(1.0),
+            Value::Int(1),
+            true.into(),
+        ])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(schema(), buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("paq_rel_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv_file(&sample(), &path).unwrap();
+        let back = read_csv_file(schema(), &path).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by all relational-engine operations.
+
+use std::fmt;
+
+/// Errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// An operation was applied to a value of an incompatible type.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        found: String,
+    },
+    /// Row construction or append with the wrong number of fields.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of fields supplied.
+        found: usize,
+    },
+    /// Two schemas that must match do not.
+    SchemaMismatch(String),
+    /// CSV or other textual input failed to parse.
+    Parse(String),
+    /// I/O error (CSV read/write).
+    Io(String),
+    /// Division by zero (or an aggregate over an empty input where
+    /// undefined, e.g. AVG of nothing).
+    DivisionByZero,
+    /// Any other invariant violation.
+    Invalid(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} fields, found {found}")
+            }
+            RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RelError::Io(msg) => write!(f, "io error: {msg}"),
+            RelError::DivisionByZero => write!(f, "division by zero"),
+            RelError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl From<std::io::Error> for RelError {
+    fn from(e: std::io::Error) -> Self {
+        RelError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type RelResult<T> = Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            RelError::UnknownColumn("kcal".into()).to_string(),
+            "unknown column: kcal"
+        );
+        assert_eq!(
+            RelError::ArityMismatch { expected: 3, found: 2 }.to_string(),
+            "arity mismatch: expected 3 fields, found 2"
+        );
+        assert_eq!(RelError::DivisionByZero.to_string(), "division by zero");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let rel: RelError = io.into();
+        assert!(matches!(rel, RelError::Io(_)));
+    }
+}

@@ -1,0 +1,417 @@
+//! Scalar expressions over table rows.
+//!
+//! These expressions implement the *base predicates* of PaQL — the
+//! `WHERE` clause that each tuple must satisfy individually (§2.1 of the
+//! paper) — as well as general row-level arithmetic used by derived
+//! attributes in the data generators.
+//!
+//! Evaluation follows SQL three-valued logic: comparisons involving NULL
+//! are *unknown* (`None`), `AND`/`OR`/`NOT` propagate unknown per SQL, and
+//! a `WHERE` clause selects a row only when the predicate is *true*.
+
+use crate::error::RelResult;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering produced by
+    /// [`Value::sql_cmp`].
+    pub fn test(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// Text form, matching PaQL/SQL syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Arithmetic between two sub-expressions.
+    Arith(Box<Expr>, BinOp, Box<Expr>),
+    /// Comparison between two sub-expressions.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// `x BETWEEN lo AND hi` (inclusive on both ends, like SQL).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `x IS NULL`.
+    IsNull(Box<Expr>),
+    /// `x IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(rhs))
+    }
+    /// `self <> rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(rhs))
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(rhs))
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(rhs))
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(rhs))
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(rhs))
+    }
+    /// `self BETWEEN lo AND hi`
+    pub fn between(self, lo: Expr, hi: Expr) -> Expr {
+        Expr::Between(Box::new(self), Box::new(lo), Box::new(hi))
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+    /// `NOT self`
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// `self IS NOT NULL`
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNotNull(Box::new(self))
+    }
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Arith(Box::new(self), BinOp::Add, Box::new(rhs))
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Arith(Box::new(self), BinOp::Sub, Box::new(rhs))
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Arith(Box::new(self), BinOp::Mul, Box::new(rhs))
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Arith(Box::new(self), BinOp::Div, Box::new(rhs))
+    }
+
+    /// Evaluate to a [`Value`] against row `row` of `table`.
+    pub fn eval(&self, table: &Table, row: usize) -> RelResult<Value> {
+        match self {
+            Expr::Col(name) => table.value(row, name),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Arith(l, op, r) => {
+                let a = l.eval(table, row)?;
+                let b = r.eval(table, row)?;
+                match op {
+                    BinOp::Add => a.add(&b),
+                    BinOp::Sub => a.sub(&b),
+                    BinOp::Mul => a.mul(&b),
+                    BinOp::Div => a.div(&b),
+                }
+            }
+            Expr::Cmp(..)
+            | Expr::Between(..)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::IsNull(..)
+            | Expr::IsNotNull(..) => Ok(match self.eval_bool(table, row)? {
+                Some(b) => Value::Bool(b),
+                None => Value::Null,
+            }),
+        }
+    }
+
+    /// Evaluate as a predicate with three-valued logic:
+    /// `Some(true)` / `Some(false)` / `None` (= SQL unknown).
+    pub fn eval_bool(&self, table: &Table, row: usize) -> RelResult<Option<bool>> {
+        match self {
+            Expr::Cmp(l, op, r) => {
+                let a = l.eval(table, row)?;
+                let b = r.eval(table, row)?;
+                Ok(a.sql_cmp(&b).map(|ord| op.test(ord)))
+            }
+            Expr::Between(x, lo, hi) => {
+                let v = x.eval(table, row)?;
+                let l = lo.eval(table, row)?;
+                let h = hi.eval(table, row)?;
+                let ge = v.sql_cmp(&l).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&h).map(|o| o != std::cmp::Ordering::Greater);
+                Ok(and3(ge, le))
+            }
+            Expr::And(l, r) => Ok(and3(l.eval_bool(table, row)?, r.eval_bool(table, row)?)),
+            Expr::Or(l, r) => Ok(or3(l.eval_bool(table, row)?, r.eval_bool(table, row)?)),
+            Expr::Not(e) => Ok(e.eval_bool(table, row)?.map(|b| !b)),
+            Expr::IsNull(e) => Ok(Some(e.eval(table, row)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Some(!e.eval(table, row)?.is_null())),
+            // Non-boolean expressions used in boolean position: a
+            // Bool-typed column or literal works; others are a type error.
+            other => {
+                let v = other.eval(table, row)?;
+                match v {
+                    Value::Null => Ok(None),
+                    Value::Bool(b) => Ok(Some(b)),
+                    v => Err(crate::error::RelError::TypeMismatch {
+                        expected: "bool".into(),
+                        found: v.type_name().into(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The set of column names referenced anywhere in the expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(n) => out.push(n.clone()),
+            Expr::Lit(_) => {}
+            Expr::Arith(l, _, r) | Expr::Cmp(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Between(x, lo, hi) => {
+                x.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => e.collect_columns(out),
+        }
+    }
+}
+
+/// SQL three-valued AND.
+fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// SQL three-valued OR.
+fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(n) => write!(f, "{n}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Arith(l, op, r) => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+            Expr::Cmp(l, op, r) => write!(f, "{l} {} {r}", op.symbol()),
+            Expr::Between(x, lo, hi) => write!(f, "{x} BETWEEN {lo} AND {hi}"),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "NOT ({e})"),
+            Expr::IsNull(e) => write!(f, "{e} IS NULL"),
+            Expr::IsNotNull(e) => write!(f, "{e} IS NOT NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("tag", DataType::Str),
+            ("flag", DataType::Bool),
+        ]));
+        t.push_row(vec![Value::Float(1.0), "a".into(), true.into()]).unwrap();
+        t.push_row(vec![Value::Float(2.0), "b".into(), false.into()]).unwrap();
+        t.push_row(vec![Value::Null, "c".into(), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn comparisons_and_nulls() {
+        let t = table();
+        let pred = Expr::col("x").gt(Expr::lit(1.5));
+        assert_eq!(pred.eval_bool(&t, 0).unwrap(), Some(false));
+        assert_eq!(pred.eval_bool(&t, 1).unwrap(), Some(true));
+        assert_eq!(pred.eval_bool(&t, 2).unwrap(), None, "NULL compare is unknown");
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let t = table();
+        let pred = Expr::col("x").between(Expr::lit(1.0), Expr::lit(2.0));
+        assert_eq!(pred.eval_bool(&t, 0).unwrap(), Some(true));
+        assert_eq!(pred.eval_bool(&t, 1).unwrap(), Some(true));
+        assert_eq!(pred.eval_bool(&t, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        // false AND unknown = false; true AND unknown = unknown
+        assert_eq!(and3(Some(false), None), Some(false));
+        assert_eq!(and3(Some(true), None), None);
+        // true OR unknown = true; false OR unknown = unknown
+        assert_eq!(or3(Some(true), None), Some(true));
+        assert_eq!(or3(Some(false), None), None);
+    }
+
+    #[test]
+    fn logical_operators_on_rows() {
+        let t = table();
+        let p = Expr::col("x")
+            .ge(Expr::lit(1.0))
+            .and(Expr::col("tag").eq(Expr::lit("a")));
+        assert_eq!(p.eval_bool(&t, 0).unwrap(), Some(true));
+        assert_eq!(p.eval_bool(&t, 1).unwrap(), Some(false));
+        // x IS NULL on row 2, so (x >= 1.0) unknown AND (tag='c' false) = false
+        let q = Expr::col("x")
+            .ge(Expr::lit(1.0))
+            .and(Expr::col("tag").eq(Expr::lit("x")));
+        assert_eq!(q.eval_bool(&t, 2).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let t = table();
+        assert_eq!(Expr::col("x").is_null().eval_bool(&t, 2).unwrap(), Some(true));
+        assert_eq!(Expr::col("x").is_not_null().eval_bool(&t, 0).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        let t = table();
+        let e = Expr::col("x").mul(Expr::lit(10.0)).add(Expr::lit(1.0));
+        assert_eq!(e.eval(&t, 1).unwrap(), Value::Float(21.0));
+        assert_eq!(e.eval(&t, 2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn bool_column_usable_as_predicate() {
+        let t = table();
+        let p = Expr::col("flag");
+        assert_eq!(p.eval_bool(&t, 0).unwrap(), Some(true));
+        assert_eq!(p.eval_bool(&t, 1).unwrap(), Some(false));
+        assert_eq!(p.eval_bool(&t, 2).unwrap(), None);
+    }
+
+    #[test]
+    fn non_bool_in_predicate_position_errors() {
+        let t = table();
+        assert!(Expr::col("tag").eval_bool(&t, 0).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_deduplicates() {
+        let e = Expr::col("b")
+            .add(Expr::col("a"))
+            .gt(Expr::col("a").mul(Expr::lit(2.0)));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::col("kcal").between(Expr::lit(2.0), Expr::lit(2.5));
+        assert_eq!(e.to_string(), "kcal BETWEEN 2 AND 2.5");
+        let p = Expr::col("gluten").eq(Expr::lit("free"));
+        assert_eq!(p.to_string(), "gluten = 'free'");
+    }
+}

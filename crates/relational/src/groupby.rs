@@ -1,0 +1,203 @@
+//! Group-by aggregation keyed on an integer column.
+//!
+//! The offline partitioner (§4.1 of the paper) drives its recursion with
+//! a *group-by query* over the `gid` column that computes, per group:
+//! the group size, the per-attribute centroid (mean), and the
+//! per-attribute min/max (from which the radius follows). This module is
+//! that query.
+
+use std::collections::HashMap;
+
+use crate::agg::NumericAccumulator;
+use crate::error::{RelError, RelResult};
+use crate::table::{Column, Table};
+
+/// Per-group statistics for one numeric attribute.
+#[derive(Debug, Clone, Default)]
+pub struct AttrStats {
+    /// Mean over non-NULL cells (the centroid coordinate).
+    pub mean: f64,
+    /// Minimum over non-NULL cells.
+    pub min: f64,
+    /// Maximum over non-NULL cells.
+    pub max: f64,
+}
+
+/// Statistics for one group produced by [`group_stats`].
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// The group id (value of the key column).
+    pub gid: i64,
+    /// Number of rows in the group.
+    pub size: usize,
+    /// Per-attribute statistics, parallel to the `attrs` argument of
+    /// [`group_stats`].
+    pub attrs: Vec<AttrStats>,
+    /// Row indices belonging to the group, in table order.
+    pub rows: Vec<usize>,
+}
+
+impl GroupStats {
+    /// Chebyshev-style group radius (Definition 2 of the paper): the
+    /// greatest absolute distance between the centroid and any member,
+    /// across all partitioning attributes. Computed from min/max, since
+    /// `max(|c−x|) = max(c−min, max−c)` per attribute.
+    pub fn radius(&self) -> f64 {
+        self.attrs
+            .iter()
+            .map(|a| (a.mean - a.min).abs().max((a.max - a.mean).abs()))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Group rows of `table` by the integer column `key`, computing size,
+/// mean, min and max for each of the named numeric attributes.
+///
+/// Rows whose key is NULL are skipped (they belong to no group). Rows
+/// with NULL in an attribute contribute to the group but not to that
+/// attribute's statistics — matching SQL aggregate semantics.
+pub fn group_stats(table: &Table, key: &str, attrs: &[&str]) -> RelResult<Vec<GroupStats>> {
+    let key_col = table.column(key)?;
+    let attr_cols: Vec<&Column> = attrs
+        .iter()
+        .map(|a| table.column(a))
+        .collect::<RelResult<_>>()?;
+    for (name, col) in attrs.iter().zip(&attr_cols) {
+        if !col.data_type().is_numeric() {
+            return Err(RelError::TypeMismatch {
+                expected: "numeric attribute".into(),
+                found: format!("{} ({})", name, col.data_type()),
+            });
+        }
+    }
+
+    // Accumulate per group, preserving first-seen order for determinism.
+    let mut order: Vec<i64> = Vec::new();
+    let mut accs: HashMap<i64, (Vec<NumericAccumulator>, Vec<usize>)> = HashMap::new();
+    for i in 0..table.num_rows() {
+        let gid = match key_col.f64_at(i) {
+            Some(g) => g as i64,
+            None => continue,
+        };
+        let entry = accs.entry(gid).or_insert_with(|| {
+            order.push(gid);
+            (vec![NumericAccumulator::new(); attr_cols.len()], Vec::new())
+        });
+        entry.1.push(i);
+        for (acc, col) in entry.0.iter_mut().zip(&attr_cols) {
+            acc.push(col.f64_at(i));
+        }
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for gid in order {
+        let (attr_accs, rows) = accs.remove(&gid).expect("present by construction");
+        let attrs = attr_accs
+            .iter()
+            .map(|a| AttrStats {
+                mean: a.avg().unwrap_or(0.0),
+                min: a.min().unwrap_or(0.0),
+                max: a.max().unwrap_or(0.0),
+            })
+            .collect();
+        out.push(GroupStats { gid, size: rows.len(), attrs, rows });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("gid", DataType::Int),
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ]));
+        let rows = [
+            (1, 0.0, 10.0),
+            (2, 5.0, 5.0),
+            (1, 2.0, 20.0),
+            (2, 7.0, 5.0),
+            (1, 4.0, 30.0),
+        ];
+        for (g, x, y) in rows {
+            t.push_row(vec![Value::Int(g), Value::Float(x), Value::Float(y)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn groups_preserve_first_seen_order() {
+        let t = table();
+        let gs = group_stats(&t, "gid", &["x"]).unwrap();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].gid, 1);
+        assert_eq!(gs[1].gid, 2);
+    }
+
+    #[test]
+    fn sizes_and_rows() {
+        let t = table();
+        let gs = group_stats(&t, "gid", &["x"]).unwrap();
+        assert_eq!(gs[0].size, 3);
+        assert_eq!(gs[0].rows, vec![0, 2, 4]);
+        assert_eq!(gs[1].rows, vec![1, 3]);
+    }
+
+    #[test]
+    fn centroid_is_per_attribute_mean() {
+        let t = table();
+        let gs = group_stats(&t, "gid", &["x", "y"]).unwrap();
+        assert_eq!(gs[0].attrs[0].mean, 2.0);
+        assert_eq!(gs[0].attrs[1].mean, 20.0);
+        assert_eq!(gs[1].attrs[0].mean, 6.0);
+    }
+
+    #[test]
+    fn radius_matches_definition_2() {
+        let t = table();
+        let gs = group_stats(&t, "gid", &["x", "y"]).unwrap();
+        // Group 1: x in [0,4] mean 2 → 2; y in [10,30] mean 20 → 10.
+        assert_eq!(gs[0].radius(), 10.0);
+        // Group 2: x in [5,7] mean 6 → 1; y constant → 0.
+        assert_eq!(gs[1].radius(), 1.0);
+    }
+
+    #[test]
+    fn null_keys_are_skipped_and_null_attrs_ignored() {
+        let mut t = table();
+        t.push_row(vec![Value::Null, Value::Float(100.0), Value::Float(0.0)]).unwrap();
+        t.push_row(vec![Value::Int(1), Value::Null, Value::Float(20.0)]).unwrap();
+        let gs = group_stats(&t, "gid", &["x"]).unwrap();
+        assert_eq!(gs[0].size, 4, "NULL x row still belongs to group 1");
+        assert_eq!(gs[0].attrs[0].mean, 2.0, "NULL x does not shift the centroid");
+        assert_eq!(gs.iter().map(|g| g.size).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn non_numeric_attribute_rejected() {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("gid", DataType::Int),
+            ("s", DataType::Str),
+        ]));
+        t.push_row(vec![Value::Int(1), "a".into()]).unwrap();
+        assert!(group_stats(&t, "gid", &["s"]).is_err());
+    }
+
+    #[test]
+    fn singleton_groups_have_zero_radius() {
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("gid", DataType::Int),
+            ("x", DataType::Float),
+        ]));
+        t.push_row(vec![Value::Int(9), Value::Float(42.0)]).unwrap();
+        let gs = group_stats(&t, "gid", &["x"]).unwrap();
+        assert_eq!(gs[0].radius(), 0.0);
+        assert_eq!(gs[0].attrs[0].mean, 42.0);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # paq-relational — in-memory relational engine substrate
+//!
+//! The package-query system of Brucato et al. (VLDB 2016) is implemented
+//! "on top of a traditional database engine" (PostgreSQL in the paper).
+//! This crate is that substrate: a small, dependency-free, in-memory
+//! columnar relational engine providing exactly the operations the
+//! package-query stack needs:
+//!
+//! * typed values ([`Value`]) and schemas ([`Schema`]),
+//! * columnar tables ([`Table`]) with append / filter / project / take,
+//! * a scalar expression language ([`Expr`]) for base (`WHERE`) predicates,
+//! * aggregation ([`agg`]) and group-by ([`groupby`]) used by the offline
+//!   partitioner's centroid/radius queries,
+//! * CSV import/export ([`csv`]) for persisting datasets and packages.
+//!
+//! The engine is deliberately simple — no buffer pool, no SQL front end —
+//! but it is the *only* data access path used by the rest of the system,
+//! mirroring how the paper's implementation funnels every data operation
+//! through the DBMS.
+
+pub mod agg;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod groupby;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use error::{RelError, RelResult};
+pub use expr::{BinOp, CmpOp, Expr};
+pub use schema::{ColumnDef, DataType, Schema};
+pub use table::{Column, Table};
+pub use value::Value;

@@ -1,0 +1,248 @@
+//! Table schemas: ordered, named, typed columns.
+
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+use crate::value::Value;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Whether a [`Value`] is storable in a column of this type
+    /// (NULL is storable everywhere).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Float, Value::Float(_))
+                | (DataType::Float, Value::Int(_))
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::Str, Value::Str(_))
+        )
+    }
+
+    /// `true` for types that support arithmetic/aggregation.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Bool => "BOOL",
+            DataType::Str => "STR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    /// Construct a column definition.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// An ordered collection of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name — schemas are tiny and built
+    /// statically, so this is a programming error, not a runtime one.
+    pub fn new(cols: Vec<ColumnDef>) -> Self {
+        for (i, c) in cols.iter().enumerate() {
+            for other in &cols[i + 1..] {
+                assert_ne!(c.name, other.name, "duplicate column name {:?}", c.name);
+            }
+        }
+        Schema { columns: cols }
+    }
+
+    /// Convenience constructor from `(&str, DataType)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> RelResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| RelError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> RelResult<&ColumnDef> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// `true` if a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// Names of all columns, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Names of all numeric columns, in order. The offline partitioner
+    /// partitions on numeric attributes only (§4.1 of the paper).
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .filter(|c| c.ty.is_numeric())
+            .map(|c| c.name.as_str())
+            .collect()
+    }
+
+    /// A new schema extending this one with an extra column (used by the
+    /// partitioner to add the `gid` group-id column).
+    pub fn with_column(&self, def: ColumnDef) -> RelResult<Schema> {
+        if self.contains(&def.name) {
+            return Err(RelError::SchemaMismatch(format!(
+                "column {:?} already exists",
+                def.name
+            )));
+        }
+        let mut cols = self.columns.clone();
+        cols.push(def);
+        Ok(Schema { columns: cols })
+    }
+
+    /// A new schema restricted to the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> RelResult<Schema> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            cols.push(self.column(n)?.clone());
+        }
+        Ok(Schema { columns: cols })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("kcal", DataType::Float),
+            ("gluten", DataType::Str),
+            ("id", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = sample();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("gluten").unwrap(), 1);
+        assert!(s.contains("kcal"));
+        assert!(!s.contains("fat"));
+        assert!(matches!(
+            s.index_of("fat").unwrap_err(),
+            RelError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Float)]);
+    }
+
+    #[test]
+    fn numeric_names_filters() {
+        let s = sample();
+        assert_eq!(s.numeric_names(), vec!["kcal", "id"]);
+    }
+
+    #[test]
+    fn with_column_extends() {
+        let s = sample().with_column(ColumnDef::new("gid", DataType::Int)).unwrap();
+        assert_eq!(s.arity(), 4);
+        assert!(s.contains("gid"));
+        assert!(s.with_column(ColumnDef::new("gid", DataType::Int)).is_err());
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample().project(&["id", "kcal"]).unwrap();
+        assert_eq!(s.names(), vec!["id", "kcal"]);
+        assert!(sample().project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn admits_values() {
+        assert!(DataType::Float.admits(&Value::Int(1)));
+        assert!(DataType::Float.admits(&Value::Null));
+        assert!(!DataType::Int.admits(&Value::Float(0.5)));
+        assert!(!DataType::Str.admits(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            sample().to_string(),
+            "(kcal FLOAT, gluten STR, id INT)"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Dynamically-typed scalar values.
+//!
+//! A [`Value`] is what a single table cell holds and what scalar
+//! expressions evaluate to. The engine supports the types needed by the
+//! package-query workloads: 64-bit integers, 64-bit floats, booleans,
+//! strings, and SQL-style `NULL`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+
+/// A single scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL: absent / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// `true` if this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (`Int` and `Float` only).
+    ///
+    /// This is the workhorse accessor for aggregate computation: package
+    /// queries only aggregate over numeric attributes.
+    pub fn as_f64(&self) -> RelResult<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(RelError::TypeMismatch {
+                expected: "numeric".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Integer view (exact for `Int`; `Float` must be integral).
+    pub fn as_i64(&self) -> RelResult<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            other => Err(RelError::TypeMismatch {
+                expected: "integer".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> RelResult<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(RelError::TypeMismatch {
+                expected: "bool".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> RelResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RelError::TypeMismatch {
+                expected: "string".into(),
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Human-readable type tag for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// SQL three-valued-logic comparison.
+    ///
+    /// Returns `None` when either side is NULL (the comparison is
+    /// *unknown*), mirroring SQL semantics where `NULL = NULL` is not
+    /// true. Numeric types compare cross-type (`Int` vs `Float`).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            _ => None,
+        }
+    }
+
+    /// Arithmetic: `self + other`. Numeric only; NULL propagates.
+    pub fn add(&self, other: &Value) -> RelResult<Value> {
+        numeric_binop(self, other, |a, b| a + b, |a, b| a.checked_add(b))
+    }
+
+    /// Arithmetic: `self - other`. Numeric only; NULL propagates.
+    pub fn sub(&self, other: &Value) -> RelResult<Value> {
+        numeric_binop(self, other, |a, b| a - b, |a, b| a.checked_sub(b))
+    }
+
+    /// Arithmetic: `self * other`. Numeric only; NULL propagates.
+    pub fn mul(&self, other: &Value) -> RelResult<Value> {
+        numeric_binop(self, other, |a, b| a * b, |a, b| a.checked_mul(b))
+    }
+
+    /// Arithmetic: `self / other`. Always produces a float; errors on a
+    /// zero divisor; NULL propagates.
+    pub fn div(&self, other: &Value) -> RelResult<Value> {
+        if self.is_null() || other.is_null() {
+            return Ok(Value::Null);
+        }
+        let b = other.as_f64()?;
+        if b == 0.0 {
+            return Err(RelError::DivisionByZero);
+        }
+        Ok(Value::Float(self.as_f64()? / b))
+    }
+}
+
+fn numeric_binop(
+    lhs: &Value,
+    rhs: &Value,
+    float_op: impl Fn(f64, f64) -> f64,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+) -> RelResult<Value> {
+    use Value::*;
+    match (lhs, rhs) {
+        (Null, _) | (_, Null) => Ok(Null),
+        (Int(a), Int(b)) => match int_op(*a, *b) {
+            Some(v) => Ok(Int(v)),
+            // Overflow falls back to float arithmetic rather than
+            // panicking: package objective sums can exceed i64 on
+            // adversarial synthetic data.
+            None => Ok(Float(float_op(*a as f64, *b as f64))),
+        },
+        _ => Ok(Float(float_op(lhs.as_f64()?, rhs.as_f64()?))),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(2.5)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").sql_cmp(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incompatible_types_do_not_compare() {
+        assert_eq!(Value::from("x").sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn arithmetic_preserves_int_when_possible() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(Value::Int(2).mul(&Value::Int(3)).unwrap(), Value::Int(6));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn int_overflow_degrades_to_float() {
+        let big = Value::Int(i64::MAX);
+        match big.add(&Value::Int(1)).unwrap() {
+            Value::Float(f) => assert!(f >= i64::MAX as f64),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_always_floats_and_checks_zero() {
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)).unwrap_err(),
+            RelError::DivisionByZero
+        );
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(Value::Null.add(&Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(Value::Int(1).mul(&Value::Null).unwrap(), Value::Null);
+        assert_eq!(Value::Null.div(&Value::Int(0)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn as_f64_accepts_all_numerics() {
+        assert_eq!(Value::Int(4).as_f64().unwrap(), 4.0);
+        assert_eq!(Value::Float(0.25).as_f64().unwrap(), 0.25);
+        assert_eq!(Value::Bool(true).as_f64().unwrap(), 1.0);
+        assert!(Value::from("no").as_f64().is_err());
+    }
+
+    #[test]
+    fn as_i64_requires_integral() {
+        assert_eq!(Value::Float(3.0).as_i64().unwrap(), 3);
+        assert!(Value::Float(3.5).as_i64().is_err());
+    }
+
+    #[test]
+    fn display_round_trip_readable() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+    }
+}

@@ -1,0 +1,341 @@
+//! LP/MILP model builder.
+//!
+//! A [`Model`] is the solver's input: a set of variables with bounds and
+//! integrality markers, a set of range constraints `L ≤ a·x ≤ U`, and a
+//! linear objective. The PaQL→ILP translation (§3.1 of the paper)
+//! produces exactly these models: one nonnegative integer variable per
+//! tuple, one range constraint per global predicate, and the objective
+//! from the `MAXIMIZE`/`MINIMIZE` clause.
+
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+impl Sense {
+    /// +1 for minimize, −1 for maximize — the factor converting the
+    /// model objective into internal minimization form.
+    pub(crate) fn min_factor(&self) -> f64 {
+        match self {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        }
+    }
+}
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Position of the variable in the model (also in
+    /// [`crate::Solution::values`]).
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to a model constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) u32);
+
+/// A model variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    pub lb: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub ub: f64,
+    /// Objective coefficient.
+    pub obj: f64,
+    /// Whether the variable must take an integer value.
+    pub integer: bool,
+}
+
+/// A range constraint `lo ≤ Σ coef·x ≤ hi`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse terms as `(variable, coefficient)`; duplicate variables
+    /// are summed during standardization.
+    pub terms: Vec<(VarId, f64)>,
+    /// Row lower bound (`f64::NEG_INFINITY` for pure `≤`).
+    pub lo: f64,
+    /// Row upper bound (`f64::INFINITY` for pure `≥`).
+    pub hi: f64,
+}
+
+/// An LP/MILP model.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    sense: Option<Sense>,
+}
+
+impl Model {
+    /// An empty model. With no explicit objective the model gets the
+    /// paper's *vacuous objective* `max Σ 0·x` (§3.1, rule 4).
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Add a continuous variable with bounds and objective coefficient.
+    pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.push_var(Variable { lb, ub, obj, integer: false })
+    }
+
+    /// Add an integer variable with bounds and objective coefficient.
+    pub fn add_int_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
+        self.push_var(Variable { lb, ub, obj, integer: true })
+    }
+
+    fn push_var(&mut self, v: Variable) -> VarId {
+        assert!(
+            v.lb <= v.ub,
+            "variable bounds inverted: [{}, {}]",
+            v.lb,
+            v.ub
+        );
+        assert!(!v.lb.is_nan() && !v.ub.is_nan() && v.obj.is_finite());
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(v);
+        id
+    }
+
+    /// Add a range constraint `lo ≤ Σ coef·x ≤ hi`. A one-sided
+    /// constraint uses an infinite bound on the open side; an equality
+    /// uses `lo == hi`.
+    pub fn add_range(&mut self, terms: Vec<(VarId, f64)>, lo: f64, hi: f64) -> ConstraintId {
+        assert!(lo <= hi, "constraint bounds inverted: [{lo}, {hi}]");
+        for (v, c) in &terms {
+            assert!((v.0 as usize) < self.vars.len(), "unknown variable");
+            assert!(c.is_finite(), "non-finite coefficient");
+        }
+        let id = ConstraintId(self.constraints.len() as u32);
+        self.constraints.push(Constraint { terms, lo, hi });
+        id
+    }
+
+    /// Add `Σ coef·x ≤ hi`.
+    pub fn add_le(&mut self, terms: Vec<(VarId, f64)>, hi: f64) -> ConstraintId {
+        self.add_range(terms, f64::NEG_INFINITY, hi)
+    }
+
+    /// Add `Σ coef·x ≥ lo`.
+    pub fn add_ge(&mut self, terms: Vec<(VarId, f64)>, lo: f64) -> ConstraintId {
+        self.add_range(terms, lo, f64::INFINITY)
+    }
+
+    /// Add `Σ coef·x = rhs`.
+    pub fn add_eq(&mut self, terms: Vec<(VarId, f64)>, rhs: f64) -> ConstraintId {
+        self.add_range(terms, rhs, rhs)
+    }
+
+    /// Set the optimization direction. Objective coefficients live on
+    /// the variables (set at `add_var` time or via
+    /// [`Model::set_obj_coef`]).
+    pub fn set_sense(&mut self, sense: Sense) {
+        self.sense = Some(sense);
+    }
+
+    /// Overwrite a variable's objective coefficient.
+    pub fn set_obj_coef(&mut self, var: VarId, coef: f64) {
+        assert!(coef.is_finite());
+        self.vars[var.index()].obj = coef;
+    }
+
+    /// Tighten a variable's bounds (intersection with existing bounds).
+    /// Returns `false` if the intersection is empty (model infeasible).
+    pub fn tighten_bounds(&mut self, var: VarId, lb: f64, ub: f64) -> bool {
+        let v = &mut self.vars[var.index()];
+        v.lb = v.lb.max(lb);
+        v.ub = v.ub.min(ub);
+        v.lb <= v.ub
+    }
+
+    /// The optimization sense; defaults to the vacuous
+    /// `Maximize Σ 0·x` when unset.
+    pub fn sense(&self) -> Sense {
+        self.sense.unwrap_or(Sense::Maximize)
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable accessor.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Indices of the integer variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// Objective value of an assignment under the model's sense-free
+    /// objective (`Σ obj_j · x_j`).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, xi)| v.obj * xi)
+            .sum()
+    }
+
+    /// Check an assignment against all bounds and constraints with
+    /// tolerance `tol`. Returns the first violation, if any.
+    pub fn check_feasible(&self, x: &[f64], tol: f64) -> Option<String> {
+        if x.len() != self.vars.len() {
+            return Some(format!(
+                "assignment has {} values for {} variables",
+                x.len(),
+                self.vars.len()
+            ));
+        }
+        for (i, (v, xi)) in self.vars.iter().zip(x).enumerate() {
+            if *xi < v.lb - tol || *xi > v.ub + tol {
+                return Some(format!("x{} = {} outside [{}, {}]", i, xi, v.lb, v.ub));
+            }
+            if v.integer && (xi - xi.round()).abs() > crate::INT_EPS {
+                return Some(format!("x{i} = {xi} not integral"));
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let lhs: f64 = c.terms.iter().map(|(v, coef)| coef * x[v.index()]).sum();
+            // Scale the tolerance with the row magnitude so large-sum
+            // rows are not spuriously flagged.
+            let scale = 1.0_f64.max(lhs.abs());
+            if lhs < c.lo - tol * scale || lhs > c.hi + tol * scale {
+                return Some(format!(
+                    "constraint {} value {} outside [{}, {}]",
+                    ci, lhs, c.lo, c.hi
+                ));
+            }
+        }
+        None
+    }
+
+    /// Rough memory footprint estimate of the model in bytes, used for
+    /// the CPLEX-style memory budget emulation.
+    pub fn memory_estimate(&self) -> usize {
+        let var_bytes = self.vars.len() * std::mem::size_of::<Variable>();
+        let term_bytes: usize = self
+            .constraints
+            .iter()
+            .map(|c| c.terms.len() * std::mem::size_of::<(VarId, f64)>())
+            .sum();
+        var_bytes + term_bytes
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:?} model: {} vars ({} integer), {} constraints",
+            self.sense(),
+            self.num_vars(),
+            self.vars.iter().filter(|v| v.integer).count(),
+            self.num_constraints()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_model() {
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 5.0, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, -2.0);
+        m.add_le(vec![(x, 1.0), (y, 1.0)], 4.0);
+        m.set_sense(Sense::Maximize);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.integer_vars(), vec![x]);
+        assert_eq!(m.objective_value(&[2.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn default_sense_is_vacuous_maximize() {
+        let m = Model::new();
+        assert_eq!(m.sense(), Sense::Maximize);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn inverted_bounds_panic() {
+        Model::new().add_var(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn check_feasible_reports_violations() {
+        let mut m = Model::new();
+        let x = m.add_int_var(0.0, 10.0, 1.0);
+        m.add_range(vec![(x, 2.0)], 4.0, 8.0);
+        assert_eq!(m.check_feasible(&[3.0], 1e-9), None);
+        assert!(m.check_feasible(&[1.0], 1e-9).unwrap().contains("constraint"));
+        assert!(m.check_feasible(&[-1.0], 1e-9).unwrap().contains("outside"));
+        assert!(m.check_feasible(&[2.5], 1e-9).unwrap().contains("not integral"));
+        assert!(m.check_feasible(&[], 1e-9).is_some());
+    }
+
+    #[test]
+    fn tighten_bounds_detects_empty() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 0.0);
+        assert!(m.tighten_bounds(x, 2.0, 8.0));
+        assert_eq!(m.var(x).lb, 2.0);
+        assert_eq!(m.var(x).ub, 8.0);
+        assert!(!m.tighten_bounds(x, 9.0, 12.0));
+    }
+
+    #[test]
+    fn equality_is_a_degenerate_range() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0, 0.0);
+        m.add_eq(vec![(x, 1.0)], 3.0);
+        let c = &m.constraints()[0];
+        assert_eq!(c.lo, 3.0);
+        assert_eq!(c.hi, 3.0);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_model() {
+        let mut m = Model::new();
+        let base = m.memory_estimate();
+        let x = m.add_var(0.0, 1.0, 0.0);
+        m.add_le(vec![(x, 1.0)], 1.0);
+        assert!(m.memory_estimate() > base);
+    }
+}

@@ -1,0 +1,158 @@
+//! Solve outcomes, solutions, and statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// A (possibly optimal) assignment found by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// One value per model variable, in [`crate::VarId`] order.
+    pub values: Vec<f64>,
+    /// Objective value under the model's own sense.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// The value of variable `i`, rounded to the nearest integer (for
+    /// reading integer variables out of a MILP solution).
+    pub fn int_value(&self, i: usize) -> i64 {
+        self.values[i].round() as i64
+    }
+}
+
+/// Terminal state of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOutcome {
+    /// Proved optimal (within the configured relative gap).
+    Optimal(Solution),
+    /// A feasible solution was found but a resource budget expired
+    /// before optimality was proved.
+    Feasible {
+        /// The incumbent at interruption.
+        best: Solution,
+        /// Remaining relative gap between incumbent and best bound.
+        gap: f64,
+        /// Which budget expired.
+        limit: LimitKind,
+    },
+    /// The model has no feasible assignment.
+    Infeasible,
+    /// The LP relaxation is unbounded in the optimization direction.
+    Unbounded,
+    /// A resource budget expired before *any* feasible solution was
+    /// found — the CPLEX "choke" emulation (§3.2 of the paper).
+    ResourceExhausted(LimitKind),
+}
+
+/// Which resource budget expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Wall-clock limit.
+    Time,
+    /// Branch-and-bound node limit.
+    Nodes,
+    /// Total simplex iteration limit.
+    Iterations,
+    /// Memory-estimate limit.
+    Memory,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LimitKind::Time => "time limit",
+            LimitKind::Nodes => "node limit",
+            LimitKind::Iterations => "iteration limit",
+            LimitKind::Memory => "memory limit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl SolveOutcome {
+    /// The best solution carried by this outcome, if any.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveOutcome::Optimal(s) => Some(s),
+            SolveOutcome::Feasible { best, .. } => Some(best),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Optimal`.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, SolveOutcome::Optimal(_))
+    }
+
+    /// `true` when the solve *failed to produce an answer* (infeasible
+    /// models are answers; resource exhaustion is not).
+    pub fn is_failure(&self) -> bool {
+        matches!(self, SolveOutcome::ResourceExhausted(_))
+    }
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: u64,
+    /// LP relaxations solved.
+    pub lp_solves: u64,
+    /// Wall-clock duration of the solve.
+    pub wall_time: Duration,
+    /// Peak estimated memory in bytes (model + open nodes).
+    pub peak_memory_estimate: usize,
+    /// Union of row indices violated at *any* infeasible node
+    /// relaxation, as reported by the simplex phase-1 diagnostic
+    /// (IIS-lite; see [`crate::simplex::LpResult::violated_rows`]).
+    /// Names the conflicting constraints when the model is infeasible
+    /// or when whole subtrees keep dying on the same rows.
+    pub root_infeasible_rows: Vec<u32>,
+}
+
+/// Outcome plus statistics.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Terminal state.
+    pub outcome: SolveOutcome,
+    /// Work counters.
+    pub stats: SolveStats,
+}
+
+impl SolveResult {
+    /// Shorthand for `outcome.solution()`.
+    pub fn solution(&self) -> Option<&Solution> {
+        self.outcome.solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_solution_access() {
+        let s = Solution { values: vec![1.0, 2.49999999], objective: 3.0 };
+        assert_eq!(s.int_value(1), 2);
+        let opt = SolveOutcome::Optimal(s.clone());
+        assert!(opt.is_optimal());
+        assert_eq!(opt.solution().unwrap().objective, 3.0);
+        assert!(!opt.is_failure());
+
+        let fail = SolveOutcome::ResourceExhausted(LimitKind::Memory);
+        assert!(fail.is_failure());
+        assert!(fail.solution().is_none());
+
+        let feas = SolveOutcome::Feasible { best: s, gap: 0.1, limit: LimitKind::Time };
+        assert!(feas.solution().is_some());
+        assert!(!feas.is_optimal());
+    }
+
+    #[test]
+    fn limit_kind_displays() {
+        assert_eq!(LimitKind::Memory.to_string(), "memory limit");
+        assert_eq!(LimitKind::Time.to_string(), "time limit");
+    }
+}

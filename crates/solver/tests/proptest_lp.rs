@@ -1,0 +1,161 @@
+//! Property-based tests for the solver: random LPs and MILPs checked
+//! against first principles (feasibility of reported solutions, weak
+//! duality via the relaxation, agreement with exhaustive search).
+
+use paq_solver::{MilpSolver, Model, Sense, SolveOutcome, SolverConfig, VarId};
+use proptest::prelude::*;
+
+/// Build a random bounded model from generated data.
+fn build_model(
+    objs: &[f64],
+    rows: &[(Vec<f64>, f64, f64)],
+    ub: f64,
+    integer: bool,
+    maximize: bool,
+) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = objs
+        .iter()
+        .map(|&c| if integer { m.add_int_var(0.0, ub, c) } else { m.add_var(0.0, ub, c) })
+        .collect();
+    for (coefs, lo, hi) in rows {
+        let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
+        m.add_range(vars.iter().copied().zip(coefs.iter().copied()).collect(), lo, hi);
+    }
+    m.set_sense(if maximize { Sense::Maximize } else { Sense::Minimize });
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any reported LP/MILP solution must actually satisfy the model,
+    /// and the MILP optimum can never beat the LP relaxation.
+    #[test]
+    fn solutions_are_feasible_and_bounded_by_relaxation(
+        objs in prop::collection::vec(-10.0f64..10.0, 2..7),
+        raw_rows in prop::collection::vec(
+            (prop::collection::vec(-5.0f64..5.0, 7), -20.0f64..20.0, -20.0f64..20.0),
+            1..4,
+        ),
+        ub in 1.0f64..6.0,
+        maximize in any::<bool>(),
+    ) {
+        let n = objs.len();
+        let rows: Vec<(Vec<f64>, f64, f64)> = raw_rows
+            .into_iter()
+            .map(|(c, lo, hi)| (c[..n].to_vec(), lo, hi))
+            .collect();
+        let solver = MilpSolver::new(SolverConfig::default());
+
+        let milp = build_model(&objs, &rows, ub.floor(), true, maximize);
+        let lp = build_model(&objs, &rows, ub.floor(), false, maximize);
+        let milp_out = solver.solve(&milp).outcome;
+        let lp_out = solver.solve(&lp).outcome;
+
+        if let SolveOutcome::Optimal(sol) = &milp_out {
+            prop_assert!(milp.check_feasible(&sol.values, 1e-6).is_none(),
+                "infeasible 'optimal' solution: {:?}", sol.values);
+            // Weak duality against the relaxation.
+            if let SolveOutcome::Optimal(rel) = &lp_out {
+                if maximize {
+                    prop_assert!(sol.objective <= rel.objective + 1e-6);
+                } else {
+                    prop_assert!(sol.objective >= rel.objective - 1e-6);
+                }
+            }
+        }
+        // An infeasible MILP with a feasible LP is possible; the
+        // reverse is not (integer points are LP points).
+        if matches!(lp_out, SolveOutcome::Infeasible) {
+            prop_assert!(
+                matches!(milp_out, SolveOutcome::Infeasible),
+                "LP infeasible but MILP {milp_out:?}"
+            );
+        }
+    }
+
+    /// On tiny domains the MILP optimum matches exhaustive enumeration.
+    #[test]
+    fn milp_matches_exhaustive_enumeration(
+        objs in prop::collection::vec(-6.0f64..6.0, 2..5),
+        raw_rows in prop::collection::vec(
+            (prop::collection::vec(-4.0f64..4.0, 5), -12.0f64..12.0, 0.0f64..14.0),
+            1..3,
+        ),
+        maximize in any::<bool>(),
+    ) {
+        let n = objs.len();
+        let rows: Vec<(Vec<f64>, f64, f64)> = raw_rows
+            .into_iter()
+            .map(|(c, lo, hi)| (c[..n].to_vec(), lo, lo.max(hi)))
+            .collect();
+        let model = build_model(&objs, &rows, 2.0, true, maximize);
+
+        // Exhaustive search over {0,1,2}^n.
+        let mut best: Option<f64> = None;
+        let mut assignment = vec![0.0; n];
+        let total = 3usize.pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            for slot in assignment.iter_mut() {
+                *slot = (c % 3) as f64;
+                c /= 3;
+            }
+            if model.check_feasible(&assignment, 1e-9).is_none() {
+                let obj = model.objective_value(&assignment);
+                let better = match best {
+                    None => true,
+                    Some(b) => if maximize { obj > b } else { obj < b },
+                };
+                if better {
+                    best = Some(obj);
+                }
+            }
+        }
+
+        let out = MilpSolver::new(SolverConfig::default()).solve(&model).outcome;
+        match (best, out) {
+            (None, SolveOutcome::Infeasible) => {}
+            (Some(b), SolveOutcome::Optimal(sol)) => {
+                prop_assert!((b - sol.objective).abs() < 1e-6,
+                    "exhaustive {b} vs solver {}", sol.objective);
+            }
+            (b, o) => prop_assert!(false, "mismatch: exhaustive {b:?} vs solver {o:?}"),
+        }
+    }
+
+    /// Ablation switches never change the reported optimum.
+    #[test]
+    fn ablations_preserve_answers(
+        objs in prop::collection::vec(0.0f64..8.0, 2..6),
+        weights in prop::collection::vec(1.0f64..5.0, 6),
+        budget in 2.0f64..15.0,
+    ) {
+        let n = objs.len();
+        let mut configs = vec![SolverConfig::default()];
+        configs.push(SolverConfig::default().with_fold_singletons(false));
+        configs.push(SolverConfig::default().with_flip_batching(false));
+
+        let mut objective = None;
+        for cfg in configs {
+            let mut m = Model::new();
+            let vars: Vec<VarId> =
+                objs.iter().map(|&c| m.add_int_var(0.0, 1.0, c)).collect();
+            m.add_le(
+                vars.iter().copied().zip(weights[..n].iter().copied()).collect(),
+                budget,
+            );
+            for &v in &vars {
+                m.add_le(vec![(v, 1.0)], 1.0); // singleton rows to fold
+            }
+            m.set_sense(Sense::Maximize);
+            let out = MilpSolver::new(cfg).solve(&m).outcome;
+            let obj = out.solution().expect("always feasible: empty set").objective;
+            match objective {
+                None => objective = Some(obj),
+                Some(prev) => prop_assert!((prev - obj).abs() < 1e-9),
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! A fuller meal-planning scenario: weekly plans with repetition
+//! bounds, nutritional balance via indicator-count constraints (the
+//! §3.1 subquery encoding), and CSV export of the materialized package.
+//!
+//! Run with: `cargo run --release --example meal_planner`
+
+use package_queries::prelude::*;
+use package_queries::relational::csv::write_csv_file;
+
+fn main() {
+    let table = package_queries::datagen::recipes_table(500, 3);
+
+    // A week of meals: 21 meals, a repeated favorite is fine up to 3
+    // times total (REPEAT 2), calories within a weekly window, at least
+    // as many high-protein meals as high-carb ones, minimize saturated
+    // fat.
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 2 \
+         WHERE R.gluten = 'free' \
+         SUCH THAT COUNT(P.*) = 21 \
+               AND SUM(P.kcal) BETWEEN 13.0 AND 15.5 \
+               AND (SELECT COUNT(*) FROM P WHERE P.protein > 20) >= \
+                   (SELECT COUNT(*) FROM P WHERE P.carbs > 50) \
+         MINIMIZE SUM(P.saturated_fat)",
+    )
+    .expect("valid PaQL");
+
+    println!("weekly meal-plan query:\n  {query}\n");
+
+    let plan = SketchRefine::default()
+        .evaluate(&query, &table)
+        .expect("a weekly plan exists");
+
+    assert!(plan.satisfies(&query, &table, 1e-6).unwrap());
+    println!(
+        "plan: {} meals ({} distinct recipes, max repetition {})",
+        plan.cardinality(),
+        plan.distinct_tuples(),
+        plan.max_multiplicity(),
+    );
+    for (agg, attr) in [
+        (AggFunc::Sum, "kcal"),
+        (AggFunc::Sum, "saturated_fat"),
+        (AggFunc::Avg, "protein"),
+        (AggFunc::Avg, "carbs"),
+    ] {
+        let v = plan.aggregate(&table, agg, attr).unwrap();
+        println!("  {}({attr}) = {v:.2}", agg.keyword());
+    }
+
+    // Packages are relations: materialize and persist like any table
+    // (§5.1 "We represent a package in the relational model …").
+    let materialized = plan.materialize(&table);
+    let path = std::env::temp_dir().join("weekly_meal_plan.csv");
+    write_csv_file(&materialized, &path).expect("csv export");
+    println!("\nmaterialized plan written to {}", path.display());
+    println!("{}", materialized.head(7).render(7));
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # package-queries
+//!
+//! Umbrella crate for the package-query system — a complete Rust
+//! reproduction of *"Scalable Package Queries in Relational Database
+//! Systems"* (Brucato, Beltran, Abouzied, Meliou — VLDB 2016).
+//!
+//! A **package query** extends a traditional relational query with
+//! *global predicates* over the answer set: instead of returning every
+//! tuple that satisfies a `WHERE` clause, it returns a *package* — a
+//! multiset of tuples that collectively satisfy constraints such as
+//! `SUM(P.kcal) BETWEEN 2.0 AND 2.5` while optimizing an objective like
+//! `MINIMIZE SUM(P.saturated_fat)`.
+//!
+//! ## Crates
+//!
+//! | Crate | Role |
+//! |-------|------|
+//! | [`relational`] | in-memory columnar relational engine (the PostgreSQL stand-in) |
+//! | [`solver`] | bounded-variable simplex LP + branch-and-bound MILP solver (the CPLEX stand-in) |
+//! | [`paql`] | the PaQL language: parser, AST, validation, ILP translation (§3.1) |
+//! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
+//! | [`engine`] | package evaluation: DIRECT (§3.2) and SKETCHREFINE (§4.2) |
+//! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use package_queries::prelude::*;
+//!
+//! // A tiny recipes table.
+//! let mut table = Table::new(Schema::from_pairs(&[
+//!     ("name", DataType::Str),
+//!     ("gluten", DataType::Str),
+//!     ("kcal", DataType::Float),
+//!     ("saturated_fat", DataType::Float),
+//! ]));
+//! for (name, gluten, kcal, fat) in [
+//!     ("oats", "free", 0.8, 1.0),
+//!     ("bread", "full", 0.9, 2.0),
+//!     ("salad", "free", 0.5, 0.2),
+//!     ("steak", "free", 1.1, 5.0),
+//!     ("rice", "free", 0.7, 0.4),
+//! ] {
+//!     table.push_row(vec![name.into(), gluten.into(), kcal.into(), fat.into()]).unwrap();
+//! }
+//!
+//! // The paper's running example: three gluten-free meals, 2.0–2.5
+//! // total kcal, minimizing saturated fat.
+//! let query = parse_paql(
+//!     "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
+//!      WHERE R.gluten = 'free' \
+//!      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
+//!      MINIMIZE SUM(P.saturated_fat)",
+//! ).unwrap();
+//!
+//! let pkg = Direct::default().evaluate(&query, &table).unwrap();
+//! assert_eq!(pkg.cardinality(), 3);
+//! let kcal = pkg.aggregate(&table, AggFunc::Sum, "kcal").unwrap();
+//! assert!(kcal >= 2.0 && kcal <= 2.5);
+//! ```
+
+pub use paq_core as engine;
+pub use paq_datagen as datagen;
+pub use paq_lang as paql;
+pub use paq_partition as partition;
+pub use paq_relational as relational;
+pub use paq_solver as solver;
+
+/// Commonly-used items, re-exported for examples and applications.
+pub mod prelude {
+    pub use paq_core::{Direct, Evaluator, Package, SketchRefine};
+    pub use paq_lang::parse_paql;
+    pub use paq_partition::{PartitionConfig, Partitioner};
+    pub use paq_relational::agg::AggFunc;
+    pub use paq_relational::{DataType, Expr, Schema, Table, Value};
+    pub use paq_solver::{MilpSolver, SolverConfig};
+}

@@ -1,0 +1,170 @@
+//! Empirical verification of the paper's approximation guarantees
+//! (Theorem 3): with the radius limit ω derived from ε via Eq. 1,
+//! SKETCHREFINE's objective is within (1−ε)⁶ (max) / (1+ε)⁶ (min) of
+//! DIRECT's.
+
+use package_queries::prelude::*;
+use package_queries::relational::{DataType, Table, Value};
+
+/// Strictly positive 2-attribute data (the Theorem 3 bound scales with
+/// |t̃.attr|, so positive data gives a nonzero ω).
+fn positive_table(n: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        package_queries::relational::Schema::from_pairs(&[
+            ("profit", DataType::Float),
+            ("cost", DataType::Float),
+        ]),
+    );
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        let profit = 10.0 + next() * 90.0;
+        let cost = 10.0 + next() * 40.0;
+        t.push_row(vec![Value::Float(profit), Value::Float(cost)]).unwrap();
+    }
+    t
+}
+
+fn partition_for_epsilon(
+    table: &Table,
+    attrs: &[String],
+    epsilon: f64,
+    maximization: bool,
+) -> package_queries::partition::Partitioning {
+    let omega =
+        PartitionConfig::omega_for_epsilon(table, attrs, epsilon, maximization).unwrap();
+    assert!(omega > 0.0, "positive data must give a positive radius limit");
+    let config = PartitionConfig::by_size(attrs.to_vec(), usize::MAX).with_radius_limit(omega);
+    let p = Partitioner::new(config).partition(table).unwrap();
+    assert!(p.max_radius() <= omega + 1e-9);
+    p
+}
+
+#[test]
+fn maximization_respects_one_minus_eps_sixth() {
+    let table = positive_table(400, 77);
+    let attrs = vec!["profit".to_string(), "cost".to_string()];
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 8 AND SUM(P.cost) <= 250 \
+         MAXIMIZE SUM(P.profit)",
+    )
+    .unwrap();
+    let direct_obj = Direct::default()
+        .evaluate(&query, &table)
+        .unwrap()
+        .objective_value(&query, &table)
+        .unwrap();
+
+    for epsilon in [0.05, 0.2, 0.5] {
+        let partitioning = partition_for_epsilon(&table, &attrs, epsilon, true);
+        let pkg = SketchRefine::default()
+            .evaluate_with(&query, &table, &partitioning)
+            .unwrap();
+        assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
+        let obj = pkg.objective_value(&query, &table).unwrap();
+        let bound = (1.0 - epsilon).powi(6) * direct_obj;
+        assert!(
+            obj >= bound - 1e-6,
+            "ε={epsilon}: objective {obj} below (1−ε)⁶·OPT = {bound} (OPT {direct_obj})"
+        );
+    }
+}
+
+#[test]
+fn minimization_respects_one_plus_eps_sixth() {
+    let table = positive_table(400, 99);
+    let attrs = vec!["profit".to_string(), "cost".to_string()];
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 8 AND SUM(P.profit) >= 500 \
+         MINIMIZE SUM(P.cost)",
+    )
+    .unwrap();
+    let direct_obj = Direct::default()
+        .evaluate(&query, &table)
+        .unwrap()
+        .objective_value(&query, &table)
+        .unwrap();
+
+    for epsilon in [0.05, 0.2, 0.5] {
+        let partitioning = partition_for_epsilon(&table, &attrs, epsilon, false);
+        let pkg = SketchRefine::default()
+            .evaluate_with(&query, &table, &partitioning)
+            .unwrap();
+        assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
+        let obj = pkg.objective_value(&query, &table).unwrap();
+        let bound = (1.0 + epsilon).powi(6) * direct_obj;
+        assert!(
+            obj <= bound + 1e-6,
+            "ε={epsilon}: objective {obj} above (1+ε)⁶·OPT = {bound} (OPT {direct_obj})"
+        );
+    }
+}
+
+#[test]
+fn epsilon_zero_forces_exactness() {
+    // ε = 0 ⇒ ω = 0 ⇒ every group is a point mass; representatives are
+    // indistinguishable from tuples and SKETCHREFINE must match DIRECT
+    // exactly (the paper notes this below Eq. 3).
+    let table = positive_table(60, 5);
+    let attrs = vec!["profit".to_string(), "cost".to_string()];
+    let config =
+        PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(0.0);
+    let partitioning = Partitioner::new(config).partition(&table).unwrap();
+    assert_eq!(partitioning.max_radius(), 0.0);
+
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 5 AND SUM(P.cost) <= 160 \
+         MAXIMIZE SUM(P.profit)",
+    )
+    .unwrap();
+    let direct_obj = Direct::default()
+        .evaluate(&query, &table)
+        .unwrap()
+        .objective_value(&query, &table)
+        .unwrap();
+    let sr_obj = SketchRefine::default()
+        .evaluate_with(&query, &table, &partitioning)
+        .unwrap()
+        .objective_value(&query, &table)
+        .unwrap();
+    assert!(
+        (direct_obj - sr_obj).abs() < 1e-6,
+        "ω=0 must be exact: direct {direct_obj} vs sketchrefine {sr_obj}"
+    );
+}
+
+#[test]
+fn tighter_epsilon_never_hurts_quality_on_average() {
+    // Sanity trend: ε = 0.05 partitions should give an objective at
+    // least as good as ε = 0.5 on a maximization query.
+    let table = positive_table(300, 123);
+    let attrs = vec!["profit".to_string(), "cost".to_string()];
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 6 AND SUM(P.cost) <= 200 \
+         MAXIMIZE SUM(P.profit)",
+    )
+    .unwrap();
+    let obj_at = |eps: f64| {
+        let p = partition_for_epsilon(&table, &attrs, eps, true);
+        SketchRefine::default()
+            .evaluate_with(&query, &table, &p)
+            .unwrap()
+            .objective_value(&query, &table)
+            .unwrap()
+    };
+    let tight = obj_at(0.05);
+    let loose = obj_at(0.5);
+    assert!(
+        tight >= loose - 1e-6,
+        "tight ε gave {tight}, loose ε gave {loose}"
+    );
+}

@@ -1,0 +1,153 @@
+//! End-to-end integration tests spanning every crate: PaQL text →
+//! parse → validate → translate → solve → package → verify, through
+//! both evaluation strategies, plus the Theorem 1 reduction round trip
+//! and relational persistence of packages.
+
+use package_queries::paql::reduction::{ilp_to_paql, IlpInstance};
+use package_queries::prelude::*;
+use package_queries::relational::csv;
+
+const RUNNING_EXAMPLE: &str = "SELECT PACKAGE(R) AS P \
+     FROM Recipes R REPEAT 0 \
+     WHERE R.gluten = 'free' \
+     SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
+     MINIMIZE SUM(P.saturated_fat)";
+
+#[test]
+fn running_example_direct_vs_sketchrefine() {
+    let table = package_queries::datagen::recipes_table(300, 9);
+    let query = parse_paql(RUNNING_EXAMPLE).unwrap();
+
+    let direct = Direct::default().evaluate(&query, &table).unwrap();
+    assert!(direct.satisfies(&query, &table, 1e-9).unwrap());
+    assert_eq!(direct.cardinality(), 3);
+
+    let sr = SketchRefine::default().evaluate(&query, &table).unwrap();
+    assert!(sr.satisfies(&query, &table, 1e-6).unwrap());
+    assert_eq!(sr.cardinality(), 3);
+
+    // DIRECT is exact; SKETCHREFINE approximates from above (min).
+    let d = direct.objective_value(&query, &table).unwrap();
+    let s = sr.objective_value(&query, &table).unwrap();
+    assert!(s >= d - 1e-9, "sketchrefine {s} beat the optimum {d}");
+}
+
+#[test]
+fn package_round_trips_through_csv() {
+    let table = package_queries::datagen::recipes_table(100, 4);
+    let query = parse_paql(RUNNING_EXAMPLE).unwrap();
+    let pkg = Direct::default().evaluate(&query, &table).unwrap();
+    let materialized = pkg.materialize(&table);
+    assert_eq!(materialized.schema(), table.schema(), "packages follow the input schema");
+
+    let mut buf = Vec::new();
+    csv::write_csv(&materialized, &mut buf).unwrap();
+    let back = csv::read_csv(table.schema().clone(), buf.as_slice()).unwrap();
+    assert_eq!(back, materialized);
+}
+
+#[test]
+fn theorem_1_reduction_round_trip() {
+    // A production-planning ILP: maximize profit under two resource
+    // budgets; solve it directly and through its PaQL encoding.
+    let ilp = IlpInstance {
+        objective: vec![5.0, 4.0, 3.0, 6.0],
+        constraints: vec![
+            (vec![2.0, 3.0, 1.0, 4.0], 40.0),
+            (vec![1.0, 1.0, 2.0, 3.0], 30.0),
+        ],
+    };
+    let direct_model = ilp.to_model();
+    let solver = MilpSolver::new(SolverConfig::default());
+    let direct_obj = solver
+        .solve(&direct_model)
+        .solution()
+        .expect("bounded, feasible")
+        .objective;
+
+    let (table, query) = ilp_to_paql(&ilp).unwrap();
+    let translation = package_queries::paql::translate(&query, &table).unwrap();
+    let via_paql_obj = solver
+        .solve(&translation.model)
+        .solution()
+        .expect("bounded, feasible")
+        .objective;
+    assert!((direct_obj - via_paql_obj).abs() < 1e-9);
+}
+
+#[test]
+fn multiset_semantics_respected_end_to_end() {
+    let table = package_queries::datagen::recipes_table(50, 5);
+    // REPEAT 1 ⇒ each recipe at most twice.
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 1 \
+         SUCH THAT COUNT(P.*) = 8 MINIMIZE SUM(P.kcal)",
+    )
+    .unwrap();
+    let pkg = Direct::default().evaluate(&query, &table).unwrap();
+    assert_eq!(pkg.cardinality(), 8);
+    assert!(pkg.max_multiplicity() <= 2);
+    // The materialized package has 8 physical rows.
+    assert_eq!(pkg.materialize(&table).num_rows(), 8);
+}
+
+#[test]
+fn infeasibility_is_consistent_across_strategies() {
+    let table = package_queries::datagen::recipes_table(40, 6);
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 39 AND SUM(P.kcal) <= 0.5",
+    )
+    .unwrap();
+    assert!(Direct::default().evaluate(&query, &table).is_err());
+    assert!(SketchRefine::default().evaluate(&query, &table).is_err());
+}
+
+#[test]
+fn workloads_run_end_to_end_on_both_datasets() {
+    // Every Galaxy and TPC-H workload query must produce a verified
+    // package, a consistent infeasibility verdict, or — for the
+    // deliberately hard queries (Galaxy Q2/Q6) — a budgeted solver
+    // failure (the DIRECT failure mode the paper studies).
+    let budget = SolverConfig::default()
+        .with_time_limit(std::time::Duration::from_secs(3));
+    let mut solved = 0;
+    let galaxy = package_queries::datagen::galaxy_table(600, 1);
+    for q in package_queries::datagen::galaxy_workload(&galaxy).unwrap() {
+        match Direct::new(budget.clone()).evaluate(&q.query, &galaxy) {
+            Ok(pkg) => {
+                solved += 1;
+                assert!(
+                    pkg.satisfies(&q.query, &galaxy, 1e-6).unwrap(),
+                    "galaxy {} produced an infeasible package",
+                    q.name
+                );
+            }
+            Err(e) => assert!(
+                e.is_infeasible() || e.is_failure(),
+                "galaxy {}: {e}",
+                q.name
+            ),
+        }
+    }
+
+    let tpch = package_queries::datagen::tpch_table(1500, 2);
+    for q in package_queries::datagen::tpch_workload(&tpch).unwrap() {
+        match Direct::new(budget.clone()).evaluate(&q.query, &tpch) {
+            Ok(pkg) => {
+                solved += 1;
+                assert!(
+                    pkg.satisfies(&q.query, &tpch, 1e-6).unwrap(),
+                    "tpch {} produced an infeasible package",
+                    q.name
+                );
+            }
+            Err(e) => assert!(
+                e.is_infeasible() || e.is_failure(),
+                "tpch {}: {e}",
+                q.name
+            ),
+        }
+    }
+    assert!(solved >= 8, "most workload queries must actually solve, got {solved}");
+}

@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) over the full stack: solver
+//! correctness against brute force, partitioner invariants, and the
+//! SKETCHREFINE feasibility/approximation contract on random inputs.
+
+use package_queries::prelude::*;
+use package_queries::relational::{DataType, Table, Value};
+use proptest::prelude::*;
+
+fn table_from_rows(rows: &[(f64, f64)]) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("a", DataType::Float),
+        ("b", DataType::Float),
+    ]));
+    for &(a, b) in rows {
+        t.push_row(vec![Value::Float(a), Value::Float(b)]).unwrap();
+    }
+    t
+}
+
+/// Exhaustive optimum for: COUNT = k, SUM(b) ≤ budget, MAXIMIZE SUM(a),
+/// REPEAT 0.
+fn brute_force_max(rows: &[(f64, f64)], k: usize, budget: f64) -> Option<f64> {
+    fn rec(
+        rows: &[(f64, f64)],
+        start: usize,
+        k: usize,
+        budget: f64,
+        acc: f64,
+        best: &mut Option<f64>,
+    ) {
+        if k == 0 {
+            if best.is_none() || acc > best.unwrap() {
+                *best = Some(acc);
+            }
+            return;
+        }
+        for i in start..rows.len() {
+            let (a, b) = rows[i];
+            if b <= budget + 1e-12 {
+                rec(rows, i + 1, k - 1, budget - b, acc + a, best);
+            }
+        }
+    }
+    let mut best = None;
+    rec(rows, 0, k, budget, 0.0, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DIRECT matches exhaustive enumeration on random small instances.
+    #[test]
+    fn direct_matches_brute_force(
+        rows in prop::collection::vec((1.0f64..50.0, 1.0f64..20.0), 4..10),
+        k in 1usize..4,
+        budget_scale in 0.3f64..1.2,
+    ) {
+        prop_assume!(k <= rows.len());
+        let total_b: f64 = rows.iter().map(|(_, b)| b).sum();
+        let budget = (total_b * budget_scale / rows.len() as f64 * k as f64).max(1.0);
+        let table = table_from_rows(&rows);
+        let query = parse_paql(&format!(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = {k} AND SUM(P.b) <= {budget:.9} \
+             MAXIMIZE SUM(P.a)"
+        )).unwrap();
+        let reference = brute_force_max(&rows, k, budget);
+        match (reference, Direct::default().evaluate(&query, &table)) {
+            (None, Err(e)) => prop_assert!(e.is_infeasible()),
+            (Some(opt), Ok(pkg)) => {
+                let obj = pkg.objective_value(&query, &table).unwrap();
+                prop_assert!((obj - opt).abs() < 1e-6,
+                    "solver {obj} vs brute force {opt}");
+                prop_assert!(pkg.satisfies(&query, &table, 1e-7).unwrap());
+            }
+            (r, o) => prop_assert!(false, "mismatch: brute force {r:?} vs {o:?}"),
+        }
+    }
+
+    /// The quad-tree partitioner always yields a disjoint cover with
+    /// every group within the size threshold.
+    #[test]
+    fn partitioner_invariants(
+        rows in prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..120),
+        tau in 1usize..40,
+    ) {
+        let table = table_from_rows(&rows);
+        let p = Partitioner::new(PartitionConfig::by_size(
+            vec!["a".into(), "b".into()], tau,
+        )).partition(&table).unwrap();
+        prop_assert!(p.is_disjoint_cover(rows.len()));
+        prop_assert!(p.max_group_size() <= tau.max(1));
+        // Representatives are inside the group's bounding box.
+        for g in &p.groups {
+            for (ai, attr) in ["a", "b"].iter().enumerate() {
+                let col = table.column(attr).unwrap();
+                let vals: Vec<f64> =
+                    g.rows.iter().map(|&r| col.f64_at(r).unwrap()).collect();
+                if vals.is_empty() { continue; }
+                let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(g.representative[ai] >= lo - 1e-9);
+                prop_assert!(g.representative[ai] <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// Radius limits are honored whenever requested.
+    #[test]
+    fn partitioner_radius_limit(
+        rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80),
+        omega in 1.0f64..50.0,
+    ) {
+        let table = table_from_rows(&rows);
+        let p = Partitioner::new(
+            PartitionConfig::by_size(vec!["a".into(), "b".into()], usize::MAX)
+                .with_radius_limit(omega),
+        ).partition(&table).unwrap();
+        prop_assert!(p.max_radius() <= omega + 1e-9, "radius {}", p.max_radius());
+        prop_assert!(p.is_disjoint_cover(rows.len()));
+    }
+
+    /// SKETCHREFINE never produces an infeasible package, never beats
+    /// the true optimum, and respects REPEAT 0.
+    #[test]
+    fn sketchrefine_contract(
+        rows in prop::collection::vec((1.0f64..50.0, 1.0f64..20.0), 12..40),
+        tau in 3usize..12,
+        k in 2usize..5,
+    ) {
+        let table = table_from_rows(&rows);
+        let budget: f64 = rows.iter().map(|(_, b)| b).sum::<f64>() * 0.4;
+        let query = parse_paql(&format!(
+            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = {k} AND SUM(P.b) <= {budget:.9} \
+             MAXIMIZE SUM(P.a)"
+        )).unwrap();
+        let partitioning = Partitioner::new(PartitionConfig::by_size(
+            vec!["a".into(), "b".into()], tau,
+        )).partition(&table).unwrap();
+
+        let direct = Direct::default().evaluate(&query, &table);
+        let sr = SketchRefine::default().evaluate_with(&query, &table, &partitioning);
+        match (direct, sr) {
+            (Ok(d), Ok(s)) => {
+                prop_assert!(s.satisfies(&query, &table, 1e-6).unwrap());
+                prop_assert!(s.max_multiplicity() <= 1);
+                let od = d.objective_value(&query, &table).unwrap();
+                let os = s.objective_value(&query, &table).unwrap();
+                prop_assert!(os <= od + 1e-6, "sketchrefine {os} beat optimum {od}");
+            }
+            (Err(ed), Err(es)) => {
+                prop_assert!(ed.is_infeasible());
+                prop_assert!(es.is_infeasible());
+            }
+            // SKETCHREFINE may falsely report infeasibility (§4.4) but
+            // must never "solve" a truly infeasible query.
+            (Ok(_), Err(es)) => prop_assert!(es.is_infeasible()),
+            (Err(ed), Ok(_)) => prop_assert!(
+                !ed.is_infeasible(),
+                "sketchrefine solved a query DIRECT proved infeasible"
+            ),
+        }
+    }
+
+    /// PaQL display round-trips through the parser on synthesized
+    /// numeric bounds.
+    #[test]
+    fn paql_display_parse_round_trip(
+        c in 1u64..50,
+        lo in 0.0f64..100.0,
+        width in 0.0f64..50.0,
+        repeat in 0u32..4,
+    ) {
+        let text = format!(
+            "SELECT PACKAGE(R) AS P FROM Rel R REPEAT {repeat} \
+             SUCH THAT COUNT(P.*) = {c} AND SUM(P.x) BETWEEN {lo} AND {} \
+             MINIMIZE SUM(P.y)",
+            lo + width,
+        );
+        let q1 = parse_paql(&text).unwrap();
+        let q2 = parse_paql(&q1.to_string()).unwrap();
+        prop_assert_eq!(q1, q2);
+    }
+}

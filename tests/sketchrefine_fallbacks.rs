@@ -1,0 +1,174 @@
+//! Integration tests for the §4.4 false-infeasibility machinery at the
+//! whole-system level: hybrid sketch, repartitioning, group merging,
+//! and the false-infeasibility probability claim (Theorem 4: low
+//! selectivity ⇒ SKETCHREFINE almost always finds a feasible package).
+
+use package_queries::engine::{SketchRefineOptions, EngineError};
+use package_queries::prelude::*;
+use package_queries::relational::{DataType, Table, Value};
+
+fn uniform_table(n: usize, seed: u64) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("x", DataType::Float),
+        ("y", DataType::Float),
+    ]));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..n {
+        t.push_row(vec![Value::Float(next() * 100.0), Value::Float(next() * 10.0)])
+            .unwrap();
+    }
+    t
+}
+
+/// Theorem 4 flavor: on low-selectivity queries (wide bounds), the
+/// default pipeline (hybrid sketch enabled) finds a feasible package
+/// for every partitioning granularity we throw at it.
+#[test]
+fn low_selectivity_queries_never_go_falsely_infeasible() {
+    let table = uniform_table(400, 21);
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) BETWEEN 4 AND 12 \
+         AND SUM(P.x) BETWEEN 100 AND 900 \
+         MAXIMIZE SUM(P.y)",
+    )
+    .unwrap();
+    for tau in [400, 100, 40, 10, 3] {
+        let partitioning = Partitioner::new(PartitionConfig::by_size(
+            vec!["x".into(), "y".into()],
+            tau,
+        ))
+        .partition(&table)
+        .unwrap();
+        let pkg = SketchRefine::default()
+            .evaluate_with(&query, &table, &partitioning)
+            .unwrap_or_else(|e| panic!("τ={tau}: {e}"));
+        assert!(pkg.satisfies(&query, &table, 1e-6).unwrap(), "τ={tau}");
+    }
+}
+
+/// High-selectivity queries may be falsely infeasible without
+/// fallbacks, but the full ladder (hybrid → repartition → merge)
+/// recovers whenever DIRECT proves feasibility.
+#[test]
+fn fallback_ladder_matches_direct_verdicts() {
+    let table = uniform_table(120, 33);
+    // Narrow two-sided window: selective.
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 3 AND SUM(P.x) BETWEEN 149.0 AND 151.0 \
+         MINIMIZE SUM(P.y)",
+    )
+    .unwrap();
+    let direct = Direct::default().evaluate(&query, &table);
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["x".into(), "y".into()],
+        30,
+    ))
+    .partition(&table)
+    .unwrap();
+    let sr = SketchRefine::default()
+        .with_options(SketchRefineOptions {
+            repartition_rounds: 3,
+            merge_rounds: 6,
+            ..SketchRefineOptions::default()
+        })
+        .evaluate_with(&query, &table, &partitioning);
+    match (direct, sr) {
+        (Ok(_), Ok(pkg)) => {
+            assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
+        }
+        (Err(d), Err(s)) => {
+            assert!(d.is_infeasible());
+            assert!(s.is_infeasible());
+        }
+        (d, s) => panic!("verdicts diverged: direct {d:?} vs sketchrefine {s:?}"),
+    }
+}
+
+/// The merge ladder monotonically coarsens: every round halves the
+/// group count, so `merge_rounds = log2(groups)` is always enough to
+/// reach one group.
+#[test]
+fn merge_ladder_reaches_single_group() {
+    let table = uniform_table(64, 55);
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["x".into(), "y".into()],
+        4,
+    ))
+    .partition(&table)
+    .unwrap();
+    let mut current = partitioning;
+    let mut rounds = 0;
+    while current.num_groups() > 1 {
+        current = current.merged_pairwise(&table).unwrap();
+        rounds += 1;
+        assert!(rounds <= 10, "merging must terminate");
+    }
+    assert_eq!(current.num_groups(), 1);
+    assert!(current.is_disjoint_cover(64));
+}
+
+/// Sketch-group-limit coarsening composes with the fallback ladder.
+#[test]
+fn coarsened_sketch_still_consistent_with_direct() {
+    let table = uniform_table(200, 77);
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 5 AND SUM(P.x) <= 300 \
+         MAXIMIZE SUM(P.y)",
+    )
+    .unwrap();
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["x".into(), "y".into()],
+        4, // many groups
+    ))
+    .partition(&table)
+    .unwrap();
+    assert!(partitioning.num_groups() > 20);
+    let sr = SketchRefine::default().with_options(SketchRefineOptions {
+        sketch_group_limit: Some(10),
+        merge_rounds: 4,
+        ..SketchRefineOptions::default()
+    });
+    let pkg = sr.evaluate_with(&query, &table, &partitioning).unwrap();
+    assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
+    let d = Direct::default()
+        .evaluate(&query, &table)
+        .unwrap()
+        .objective_value(&query, &table)
+        .unwrap();
+    let s = pkg.objective_value(&query, &table).unwrap();
+    assert!(s <= d + 1e-6);
+}
+
+/// Error classification is preserved through the ladder.
+#[test]
+fn truly_infeasible_stays_infeasible_through_ladder() {
+    let table = uniform_table(30, 88);
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 1000",
+    )
+    .unwrap();
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["x".into()],
+        8,
+    ))
+    .partition(&table)
+    .unwrap();
+    let sr = SketchRefine::default().with_options(SketchRefineOptions {
+        repartition_rounds: 2,
+        merge_rounds: 8,
+        ..SketchRefineOptions::default()
+    });
+    match sr.evaluate_with(&query, &table, &partitioning) {
+        Err(EngineError::Infeasible { .. }) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+}

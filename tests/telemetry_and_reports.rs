@@ -1,0 +1,116 @@
+//! Integration tests for the work-accounting claims of the paper:
+//! DIRECT makes exactly one black-box call; SKETCHREFINE's best case is
+//! one sketch call plus at most one refine call per group with
+//! representatives in the sketch package (§4.2.2 "Run time
+//! complexity"), observable through the shared [`Telemetry`] sink and
+//! the [`SketchRefineReport`].
+
+use std::sync::Arc;
+
+use package_queries::engine::SketchRefineReport;
+use package_queries::prelude::*;
+use package_queries::solver::Telemetry;
+
+fn setup() -> (Table, package_queries::partition::Partitioning, package_queries::paql::PackageQuery)
+{
+    let table = package_queries::datagen::galaxy_table(1500, 13);
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["r".into(), "extinction_r".into()],
+        150,
+    ))
+    .partition(&table)
+    .unwrap();
+    let query = parse_paql(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 10 AND SUM(P.r) <= 200 \
+         MINIMIZE SUM(P.extinction_r)",
+    )
+    .unwrap();
+    (table, partitioning, query)
+}
+
+#[test]
+fn direct_makes_exactly_one_solver_call() {
+    let (table, _, query) = setup();
+    let telemetry = Arc::new(Telemetry::new());
+    Direct::default()
+        .with_telemetry(Arc::clone(&telemetry))
+        .evaluate(&query, &table)
+        .unwrap();
+    assert_eq!(telemetry.calls(), 1);
+    assert_eq!(telemetry.failures(), 0);
+    assert!(telemetry.total_simplex_iterations() > 0);
+}
+
+#[test]
+fn sketchrefine_best_case_is_m_plus_one_calls() {
+    let (table, partitioning, query) = setup();
+    let telemetry = Arc::new(Telemetry::new());
+    let sr = SketchRefine::default().with_telemetry(Arc::clone(&telemetry));
+    let (pkg, report): (Package, SketchRefineReport) =
+        sr.evaluate_with_report(&query, &table, &partitioning).unwrap();
+    assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
+
+    // Telemetry and the report agree on the call count.
+    assert_eq!(telemetry.calls(), report.solver_calls);
+    // Best case (no backtracking): 1 sketch + one refine per group that
+    // had representatives in the sketch package.
+    if report.backtracks == 0 && !report.used_hybrid {
+        assert_eq!(
+            report.solver_calls,
+            1 + report.groups_refined as u64,
+            "best case is m+1 calls (report: {report:?})"
+        );
+    }
+    // Never more refine work than groups allow without backtracking.
+    assert!(report.groups_refined <= partitioning.num_groups());
+    // Phase timings cover the work.
+    assert!(report.sketch_time.as_nanos() > 0);
+}
+
+#[test]
+fn sketchrefine_calls_are_small_where_direct_is_large() {
+    // The whole point of the decomposition: every SKETCHREFINE solver
+    // call touches at most max(m, τ) variables. We verify via the
+    // telemetry history that no single call did more simplex work than
+    // the one big DIRECT call.
+    let (table, partitioning, query) = setup();
+
+    let direct_tel = Arc::new(Telemetry::new());
+    Direct::default()
+        .with_telemetry(Arc::clone(&direct_tel))
+        .evaluate(&query, &table)
+        .unwrap();
+    let direct_iters = direct_tel.total_simplex_iterations();
+
+    let sr_tel = Arc::new(Telemetry::new());
+    SketchRefine::default()
+        .with_telemetry(Arc::clone(&sr_tel))
+        .evaluate_with(&query, &table, &partitioning)
+        .unwrap();
+    let max_single_call = sr_tel
+        .history()
+        .iter()
+        .map(|r| r.simplex_iterations)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_single_call <= direct_iters.max(1) * 2,
+        "a single SKETCHREFINE subproblem ({max_single_call} iters) should not dwarf \
+         the full DIRECT solve ({direct_iters} iters)"
+    );
+}
+
+#[test]
+fn telemetry_resets_between_experiments() {
+    let (table, partitioning, query) = setup();
+    let telemetry = Arc::new(Telemetry::new());
+    let sr = SketchRefine::default().with_telemetry(Arc::clone(&telemetry));
+    sr.evaluate_with(&query, &table, &partitioning).unwrap();
+    assert!(telemetry.calls() > 0);
+    telemetry.reset();
+    assert_eq!(telemetry.calls(), 0);
+    assert!(telemetry.history().is_empty());
+    sr.evaluate_with(&query, &table, &partitioning).unwrap();
+    assert!(telemetry.calls() > 0, "sink keeps working after reset");
+}
