@@ -59,8 +59,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solver.solve(&sketch))
     });
     group.bench_function("singleton_folding_off", |b| {
-        let solver =
-            MilpSolver::new(SolverConfig::default().with_fold_singletons(false));
+        let solver = MilpSolver::new(SolverConfig::default().with_fold_singletons(false));
         b.iter(|| solver.solve(&sketch))
     });
 

@@ -10,7 +10,10 @@ use paq_relational::agg::{aggregate, AggFunc};
 
 fn bench(c: &mut Criterion) {
     let table = galaxy_table(40, paq_datagen::DEFAULT_SEED);
-    let mean_r = aggregate(&table, AggFunc::Avg, "r").unwrap().as_f64().unwrap();
+    let mean_r = aggregate(&table, AggFunc::Avg, "r")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);
     for card in [1u64, 2, 3, 4] {

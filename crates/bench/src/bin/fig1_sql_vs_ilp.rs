@@ -15,7 +15,10 @@ use std::time::Instant;
 
 fn main() {
     let table = galaxy_table(100, seed());
-    let mean_r = aggregate(&table, AggFunc::Avg, "r").unwrap().as_f64().unwrap();
+    let mean_r = aggregate(&table, AggFunc::Avg, "r")
+        .unwrap()
+        .as_f64()
+        .unwrap();
 
     let mut out = TextTable::new(&[
         "cardinality",
@@ -46,7 +49,11 @@ fn main() {
             (Ok(a), Ok(b)) => {
                 let oa = a.objective_value(&query, &table).unwrap();
                 let ob = b.objective_value(&query, &table).unwrap();
-                if (oa - ob).abs() < 1e-6 { "yes" } else { "NO" }
+                if (oa - ob).abs() < 1e-6 {
+                    "yes"
+                } else {
+                    "NO"
+                }
             }
             _ => "n/a",
         };

@@ -13,7 +13,12 @@ fn main() {
     let n = tpch_rows();
     let data = prepare_tpch(n, seed());
 
-    let mut out = TextTable::new(&["TPC-H query", "max # of tuples", "fraction of table", "paper fraction"]);
+    let mut out = TextTable::new(&[
+        "TPC-H query",
+        "max # of tuples",
+        "fraction of table",
+        "paper fraction",
+    ]);
     // Paper Fig. 3 sizes over the 17.5M-row join result.
     let paper = [
         ("Q1", 6.0 / 17.5),

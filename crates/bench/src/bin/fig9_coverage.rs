@@ -21,7 +21,10 @@ fn main() {
     let galaxy_pool: Vec<String> = GALAXY_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
     let points = coverage_sweep(&g, &galaxy_pool, &cfg);
     print_coverage(
-        &format!("Figure 9a — partitioning coverage (Galaxy, n = {})", galaxy_rows()),
+        &format!(
+            "Figure 9a — partitioning coverage (Galaxy, n = {})",
+            galaxy_rows()
+        ),
         &points,
     );
 
@@ -29,7 +32,10 @@ fn main() {
     let tpch_pool: Vec<String> = TPCH_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
     let points = coverage_sweep(&t, &tpch_pool, &cfg);
     print_coverage(
-        &format!("Figure 9b — partitioning coverage (TPC-H, n = {})", tpch_rows()),
+        &format!(
+            "Figure 9b — partitioning coverage (TPC-H, n = {})",
+            tpch_rows()
+        ),
         &points,
     );
 

@@ -57,8 +57,7 @@ pub fn scalability(
             (data.table.clone(), full.clone())
         } else {
             let mask = fraction_mask(data.table.num_rows(), fraction, seed);
-            let kept: Vec<usize> =
-                (0..data.table.num_rows()).filter(|&i| mask[i]).collect();
+            let kept: Vec<usize> = (0..data.table.num_rows()).filter(|&i| mask[i]).collect();
             let table = data.table.take(&kept);
             let partitioning = full.restrict(&data.table, &mask).expect("restrict");
             (table, partitioning)
@@ -114,8 +113,11 @@ pub fn print_scalability(title: &str, points: &[ScalePoint]) {
     // Mean/Median" annotations.
     let mut summary = TextTable::new(&["query", "ratio mean", "ratio median", "Direct failures"]);
     for q in &queries {
-        let ratios: Vec<f64> =
-            points.iter().filter(|p| &p.query == q).filter_map(|p| p.ratio).collect();
+        let ratios: Vec<f64> = points
+            .iter()
+            .filter(|p| &p.query == q)
+            .filter_map(|p| p.ratio)
+            .collect();
         let fails = points
             .iter()
             .filter(|p| &p.query == q && matches!(p.direct, EvalOutcome::Failed { .. }))
@@ -180,24 +182,14 @@ pub fn tau_sweep(
 }
 
 /// Render a τ sweep in the layout of Figs. 7/8.
-pub fn print_tau_sweep(
-    title: &str,
-    baselines: &[(String, EvalOutcome)],
-    points: &[TauPoint],
-) {
+pub fn print_tau_sweep(title: &str, baselines: &[(String, EvalOutcome)], points: &[TauPoint]) {
     let mut base = TextTable::new(&["query", "Direct baseline (s)"]);
     for (q, outcome) in baselines {
         base.row(vec![q.clone(), outcome.time_cell()]);
     }
     base.print(&format!("{title} — DIRECT baselines"));
 
-    let mut table = TextTable::new(&[
-        "query",
-        "τ",
-        "groups",
-        "SketchRefine (s)",
-        "approx ratio",
-    ]);
+    let mut table = TextTable::new(&["query", "τ", "groups", "SketchRefine (s)", "approx ratio"]);
     for p in points {
         table.row(vec![
             p.query.clone(),
@@ -260,10 +252,9 @@ pub fn coverage_sweep(
         let mut base_time: Option<f64> = None;
         for attrs in candidates {
             let coverage = attrs.len() as f64 / qattrs.len() as f64;
-            let partitioning =
-                Partitioner::new(PartitionConfig::by_size(attrs, tau))
-                    .partition(&data.table)
-                    .expect("coverage partitioning");
+            let partitioning = Partitioner::new(PartitionConfig::by_size(attrs, tau))
+                .partition(&data.table)
+                .expect("coverage partitioning");
             let sr = run_sketchrefine(&q.query, &data.table, &partitioning, cfg);
             let secs = sr.time().as_secs_f64();
             if (coverage - 1.0).abs() < 1e-12 {
@@ -280,7 +271,7 @@ pub fn coverage_sweep(
         }
         // Normalize this query's points by its coverage-1 time.
         let base = base_time.unwrap_or(1.0).max(1e-9);
-        for p in out.iter_mut().filter(|p| &p.query == &q.name) {
+        for p in out.iter_mut().filter(|p| p.query == q.name) {
             p.time_increase_ratio = p.time.as_secs_f64() / base;
         }
     }
@@ -342,7 +333,11 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     let mut v = xs.to_vec();
     v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
-    Some(if v.len() % 2 == 1 { v[mid] } else { (v[mid - 1] + v[mid]) / 2.0 })
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    })
 }
 
 #[cfg(test)]
@@ -370,7 +365,10 @@ mod tests {
         let pts = scalability(&data, &[0.5, 1.0], &tiny_cfg(), 5);
         assert_eq!(pts.len(), 14, "7 queries × 2 fractions");
         // Full-fraction rows must equal the dataset size.
-        assert!(pts.iter().filter(|p| p.fraction == 1.0).all(|p| p.rows == 250));
+        assert!(pts
+            .iter()
+            .filter(|p| p.fraction == 1.0)
+            .all(|p| p.rows == 250));
         // Ratios, when present, are sane.
         for p in &pts {
             if let Some(r) = p.ratio {

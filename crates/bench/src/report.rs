@@ -117,6 +117,6 @@ mod tests {
         assert_eq!(secs(Duration::from_millis(1500)), "1.500");
         assert_eq!(ratio(Some(1.0)), "1.000");
         assert_eq!(ratio(None), "—");
-        assert!(!TextTable::new(&["a"]).is_empty() == false);
+        assert!(TextTable::new(&["a"]).is_empty());
     }
 }

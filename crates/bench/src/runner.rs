@@ -1,14 +1,21 @@
 //! Shared experiment plumbing: dataset preparation, evaluation wrappers
 //! with timing, dataset-fraction masks, and approximation ratios.
+//!
+//! Evaluations run through [`paq_db::PackageDb`] with forced routing —
+//! the same session layer production callers use — so experiments
+//! exercise the catalog/cache/planner path. The low-level
+//! [`paq_core::Evaluator`] trait remains available for
+//! micro-benchmarks and ablations that must bypass the session.
 
 use std::time::{Duration, Instant};
 
-use paq_core::{Direct, EngineError, Evaluator, Package, SketchRefine};
+use paq_core::Package;
 use paq_datagen::{galaxy_table, galaxy_workload, tpch_table, tpch_workload, NamedQuery};
+use paq_db::{DbConfig, DbError, PackageDb, Route};
 use paq_lang::ast::ObjectiveSense;
 use paq_lang::PackageQuery;
 use paq_partition::Partitioning;
-use paq_relational::{Expr, Table};
+use paq_relational::Table;
 use paq_solver::SolverConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -33,7 +40,12 @@ pub fn prepare_galaxy(n: usize, seed: u64) -> PreparedDataset {
     let table = galaxy_table(n, seed);
     let workload = galaxy_workload(&table).expect("galaxy workload");
     let workload_attrs = paq_datagen::workload_attributes(&workload);
-    PreparedDataset { name: "Galaxy", table, workload, workload_attrs }
+    PreparedDataset {
+        name: "Galaxy",
+        table,
+        workload,
+        workload_attrs,
+    }
 }
 
 /// Generate the pre-joined TPC-H dataset and workload (with non-NULL
@@ -50,22 +62,19 @@ pub fn prepare_tpch(n: usize, seed: u64) -> PreparedDataset {
         })
         .collect();
     let workload_attrs = paq_datagen::workload_attributes(&workload);
-    PreparedDataset { name: "TPC-H", table, workload, workload_attrs }
+    PreparedDataset {
+        name: "TPC-H",
+        table,
+        workload,
+        workload_attrs,
+    }
 }
 
 /// Add `attr IS NOT NULL` base predicates for every listed attribute —
 /// how the paper extracts each TPC-H query's effective table from the
 /// full-outer-join result (§5.1).
 pub fn with_non_null_guards(query: &PackageQuery, attrs: &[String]) -> PackageQuery {
-    let mut out = query.clone();
-    for a in attrs {
-        let guard = Expr::col(a.clone()).is_not_null();
-        out.where_clause = Some(match out.where_clause.take() {
-            Some(w) => w.and(guard),
-            None => guard,
-        });
-    }
-    out
+    paq_datagen::add_non_null_guards(query, attrs)
 }
 
 /// Number of rows with non-NULL values on all `attrs` (paper Fig. 3).
@@ -130,7 +139,7 @@ impl EvalOutcome {
 }
 
 fn classify(
-    result: Result<Package, EngineError>,
+    result: Result<Package, DbError>,
     time: Duration,
     query: &PackageQuery,
     table: &Table,
@@ -140,31 +149,59 @@ fn classify(
             let objective = package
                 .objective_value(query, table)
                 .expect("objective of produced package");
-            EvalOutcome::Solved { time, objective, package }
+            EvalOutcome::Solved {
+                time,
+                objective,
+                package,
+            }
         }
         Err(e) if e.is_infeasible() => EvalOutcome::Infeasible { time },
-        Err(e) => EvalOutcome::Failed { time, reason: e.to_string() },
+        Err(e) => EvalOutcome::Failed {
+            time,
+            reason: e.to_string(),
+        },
     }
 }
 
-/// Run DIRECT with timing.
+/// A single-table session with the experiment's solver budget, the
+/// table registered under the query's own `FROM` relation name, and
+/// the planner's DIRECT fallback disabled (experiments want the raw
+/// per-strategy verdicts).
+fn session_for(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> PackageDb {
+    let mut db = PackageDb::with_config(DbConfig {
+        solver: cfg.clone(),
+        fallback_to_direct: false,
+        ..DbConfig::default()
+    });
+    db.register_table(query.relation.clone(), table.clone());
+    db
+}
+
+/// Run DIRECT (through the `PackageDb` session layer) with timing.
 pub fn run_direct(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> EvalOutcome {
-    let evaluator = Direct::new(cfg.clone());
+    let mut db = session_for(query, table, cfg);
     let start = Instant::now();
-    let result = evaluator.evaluate(query, table);
+    let result = db
+        .execute_with(query, Route::ForceDirect)
+        .map(|e| e.package);
     classify(result, start.elapsed(), query, table)
 }
 
-/// Run SKETCHREFINE against a prebuilt partitioning, with timing.
+/// Run SKETCHREFINE against a prebuilt partitioning (installed into the
+/// session's partition cache), with timing.
 pub fn run_sketchrefine(
     query: &PackageQuery,
     table: &Table,
     partitioning: &Partitioning,
     cfg: &SolverConfig,
 ) -> EvalOutcome {
-    let evaluator = SketchRefine::new(cfg.clone());
+    let mut db = session_for(query, table, cfg);
+    db.install_partitioning(&query.relation, partitioning.clone())
+        .expect("partitioning must cover the registered table");
     let start = Instant::now();
-    let result = evaluator.evaluate_with(query, table, partitioning);
+    let result = db
+        .execute_with(query, Route::ForceSketchRefine)
+        .map(|e| e.package);
     classify(result, start.elapsed(), query, table)
 }
 
@@ -217,7 +254,10 @@ mod tests {
         let q5 = &d.workload[4];
         assert!(q5.query.where_clause.is_some());
         let eff = effective_rows(&d.table, &q5.attributes);
-        assert!(eff < d.table.num_rows() / 10, "customer subset must be small");
+        assert!(
+            eff < d.table.num_rows() / 10,
+            "customer subset must be small"
+        );
         // Direct evaluation over the full table only picks guarded rows.
         let out = run_direct(&q5.query, &d.table, &SolverConfig::default());
         if let EvalOutcome::Solved { package, .. } = out {
@@ -240,12 +280,9 @@ mod tests {
         let q = &d.workload[0]; // Q1
         let cfg = SolverConfig::default();
         let direct = run_direct(&q.query, &d.table, &cfg);
-        let partitioning = Partitioner::new(PartitionConfig::by_size(
-            d.workload_attrs.clone(),
-            40,
-        ))
-        .partition(&d.table)
-        .unwrap();
+        let partitioning = Partitioner::new(PartitionConfig::by_size(d.workload_attrs.clone(), 40))
+            .partition(&d.table)
+            .unwrap();
         let sr = run_sketchrefine(&q.query, &d.table, &partitioning, &cfg);
         let ratio = approx_ratio(&q.query, &direct, &sr).expect("both solved");
         assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
@@ -254,14 +291,12 @@ mod tests {
 
     #[test]
     fn ratio_orientation_depends_on_sense() {
-        let max_q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.x)",
-        )
-        .unwrap();
-        let min_q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.x)",
-        )
-        .unwrap();
+        let max_q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MAXIMIZE SUM(P.x)")
+                .unwrap();
+        let min_q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.x)")
+                .unwrap();
         let mk = |obj: f64| EvalOutcome::Solved {
             time: Duration::ZERO,
             objective: obj,
@@ -271,7 +306,10 @@ mod tests {
         assert!(approx_ratio(&max_q, &mk(10.0), &mk(8.0)).unwrap() > 1.0);
         // Direct found 8; SketchRefine found 10 (worse for min).
         assert!(approx_ratio(&min_q, &mk(8.0), &mk(10.0)).unwrap() > 1.0);
-        let failed = EvalOutcome::Failed { time: Duration::ZERO, reason: "x".into() };
+        let failed = EvalOutcome::Failed {
+            time: Duration::ZERO,
+            reason: "x".into(),
+        };
         assert!(approx_ratio(&max_q, &failed, &mk(8.0)).is_none());
     }
 
@@ -284,9 +322,19 @@ mod tests {
         };
         assert_eq!(s.time_cell(), "1.234");
         assert_eq!(
-            EvalOutcome::Failed { time: Duration::ZERO, reason: "m".into() }.time_cell(),
+            EvalOutcome::Failed {
+                time: Duration::ZERO,
+                reason: "m".into()
+            }
+            .time_cell(),
             "FAIL"
         );
-        assert_eq!(EvalOutcome::Infeasible { time: Duration::ZERO }.time_cell(), "infeas");
+        assert_eq!(
+            EvalOutcome::Infeasible {
+                time: Duration::ZERO
+            }
+            .time_cell(),
+            "infeas"
+        );
     }
 }

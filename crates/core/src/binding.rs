@@ -1,0 +1,137 @@
+//! Legacy table-binding checks for catalog-less evaluation.
+//!
+//! `Evaluator::evaluate(&query, &table)` binds the table argument
+//! *positionally*: the query's `FROM Recipes R` relation name is never
+//! consulted, because a bare [`Table`] carries no name. That silent
+//! mismatch bit callers who passed the wrong table. This module makes
+//! the legacy path defensive:
+//!
+//! * [`check_table_binding`] validates that the passed table actually
+//!   provides every attribute the query references (so a wrong-table
+//!   mistake fails loudly, with the FROM relation named in the error);
+//! * the first catalog-less evaluation in a process emits a one-line
+//!   stderr note pointing at `paq_db::PackageDb`, which resolves
+//!   relations by name.
+//!
+//! `PackageDb` itself resolves and validates queries against the
+//! catalog *before* invoking an evaluator, so it wraps those calls in
+//! a [`catalog_scope`] guard: inside the scope the check is a no-op —
+//! no re-validation, no enrichment, no note — while genuinely
+//! catalog-less callers elsewhere in the process keep the diagnostic.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use paq_lang::{validate, PackageQuery, PaqlError};
+use paq_relational::Table;
+
+use crate::error::EngineResult;
+
+static NOTE_EMITTED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static IN_CATALOG_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard marking the current thread as evaluating on behalf of a
+/// name-resolving catalog; see [`catalog_scope`].
+pub struct CatalogScopeGuard {
+    was_set: bool,
+}
+
+impl Drop for CatalogScopeGuard {
+    fn drop(&mut self) {
+        IN_CATALOG_SCOPE.with(|f| f.set(self.was_set));
+    }
+}
+
+/// Enter a catalog-resolved evaluation scope: until the returned guard
+/// drops, [`check_table_binding`] on this thread is a no-op (the
+/// catalog has already validated the query against the resolved
+/// table).
+pub fn catalog_scope() -> CatalogScopeGuard {
+    let was_set = IN_CATALOG_SCOPE.with(|f| f.replace(true));
+    CatalogScopeGuard { was_set }
+}
+
+/// Validate `query` against the positionally-bound `table`, naming the
+/// query's `FROM` relation in any failure so wrong-table mistakes are
+/// diagnosable. Emits a one-time stderr note on the first catalog-less
+/// use in the process. Inside a [`catalog_scope`], does nothing.
+pub fn check_table_binding(query: &PackageQuery, table: &Table) -> EngineResult<()> {
+    if IN_CATALOG_SCOPE.with(Cell::get) {
+        return Ok(());
+    }
+    if let Err(e) = validate(query, table.schema()) {
+        let enriched = match e {
+            PaqlError::Semantic(msg) => PaqlError::Semantic(format!(
+                "table bound positionally for FROM relation '{}': {msg}",
+                query.relation
+            )),
+            other => other,
+        };
+        return Err(enriched.into());
+    }
+    if !NOTE_EMITTED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "[paq-core] note: Evaluator::evaluate() binds the table argument positionally; \
+             the FROM relation name ('{}') is not resolved against a catalog. \
+             Use paq_db::PackageDb to bind tables by name.",
+            query.relation
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+    use paq_lang::parse_paql;
+    use paq_relational::{DataType, Schema, Value};
+
+    #[test]
+    fn wrong_table_names_the_from_relation() {
+        let mut t = Table::new(Schema::from_pairs(&[("other", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM(P.kcal) <= 2.5")
+            .unwrap();
+        match check_table_binding(&q, &t) {
+            Err(EngineError::Language(PaqlError::Semantic(msg))) => {
+                assert!(
+                    msg.contains("Recipes"),
+                    "error must name the relation: {msg}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_table_passes() {
+        let mut t = Table::new(Schema::from_pairs(&[("kcal", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM(P.kcal) <= 2.5")
+            .unwrap();
+        assert!(check_table_binding(&q, &t).is_ok());
+    }
+
+    #[test]
+    fn catalog_scope_skips_the_check_and_restores_on_drop() {
+        let t = Table::new(Schema::from_pairs(&[("other", DataType::Float)]));
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM(P.kcal) <= 2.5")
+            .unwrap();
+        {
+            let _guard = catalog_scope();
+            // Inside the scope the (invalid) binding is not re-checked:
+            // the catalog is presumed to have validated already.
+            assert!(check_table_binding(&q, &t).is_ok());
+            // Scopes nest.
+            let inner = catalog_scope();
+            drop(inner);
+            assert!(check_table_binding(&q, &t).is_ok());
+        }
+        // Outside the scope the check is live again.
+        assert!(check_table_binding(&q, &t).is_err());
+    }
+}

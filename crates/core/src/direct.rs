@@ -30,7 +30,10 @@ pub struct Direct {
 impl Direct {
     /// DIRECT with a specific solver configuration.
     pub fn new(config: SolverConfig) -> Self {
-        Direct { config, telemetry: None }
+        Direct {
+            config,
+            telemetry: None,
+        }
     }
 
     /// Attach shared telemetry (solver call counting for experiments).
@@ -59,6 +62,7 @@ impl Evaluator for Direct {
     }
 
     fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package> {
+        crate::binding::check_table_binding(query, table)?;
         let translation = translate(query, table)?;
         let result = self.solver().solve(&translation.model);
         match result.outcome {
@@ -116,7 +120,9 @@ mod tests {
         )
         .unwrap();
         match Direct::default().evaluate(&q, &t) {
-            Err(EngineError::Infeasible { possibly_false: false }) => {}
+            Err(EngineError::Infeasible {
+                possibly_false: false,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -130,7 +136,10 @@ mod tests {
              SUCH THAT COUNT(P.*) >= 1 MAXIMIZE SUM(P.value)",
         )
         .unwrap();
-        assert_eq!(Direct::default().evaluate(&q, &t), Err(EngineError::Unbounded));
+        assert_eq!(
+            Direct::default().evaluate(&q, &t),
+            Err(EngineError::Unbounded)
+        );
     }
 
     #[test]
@@ -152,10 +161,8 @@ mod tests {
     #[test]
     fn telemetry_counts_one_call() {
         let t = table(20);
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 2",
-        )
-        .unwrap();
+        let q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 2").unwrap();
         let tel = Arc::new(Telemetry::new());
         let d = Direct::default().with_telemetry(Arc::clone(&tel));
         d.evaluate(&q, &t).unwrap();

@@ -33,12 +33,16 @@ pub enum EngineError {
 impl EngineError {
     /// Plain infeasibility (proved on the full problem).
     pub fn infeasible() -> Self {
-        EngineError::Infeasible { possibly_false: false }
+        EngineError::Infeasible {
+            possibly_false: false,
+        }
     }
 
     /// Infeasibility reported by an approximate pipeline.
     pub fn maybe_false_infeasible() -> Self {
-        EngineError::Infeasible { possibly_false: true }
+        EngineError::Infeasible {
+            possibly_false: true,
+        }
     }
 
     /// `true` when the error denotes (possibly false) infeasibility.
@@ -62,11 +66,18 @@ impl EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Infeasible { possibly_false: false } => {
+            EngineError::Infeasible {
+                possibly_false: false,
+            } => {
                 write!(f, "the package query is infeasible")
             }
-            EngineError::Infeasible { possibly_false: true } => {
-                write!(f, "the package query was reported infeasible (possibly falsely)")
+            EngineError::Infeasible {
+                possibly_false: true,
+            } => {
+                write!(
+                    f,
+                    "the package query was reported infeasible (possibly falsely)"
+                )
             }
             EngineError::Unbounded => write!(f, "the package objective is unbounded"),
             EngineError::SolverGaveUp(limit) => {

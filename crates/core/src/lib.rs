@@ -19,12 +19,14 @@
 //! * [`naive`] — the SQL self-join formulation of §2 used as the
 //!   Figure 1 baseline: exhaustive cardinality-k enumeration.
 
+pub mod binding;
 pub mod direct;
 pub mod error;
 pub mod naive;
 pub mod package;
 pub mod sketchrefine;
 
+pub use binding::{catalog_scope, check_table_binding};
 pub use direct::Direct;
 pub use error::{EngineError, EngineResult};
 pub use package::Package;

@@ -29,12 +29,16 @@ pub struct NaiveSelfJoin {
 impl NaiveSelfJoin {
     /// Unlimited enumeration (the paper's setting).
     pub fn unlimited() -> Self {
-        NaiveSelfJoin { max_candidates: None }
+        NaiveSelfJoin {
+            max_candidates: None,
+        }
     }
 
     /// Enumeration capped at `max` candidate packages.
     pub fn capped(max: u64) -> Self {
-        NaiveSelfJoin { max_candidates: Some(max) }
+        NaiveSelfJoin {
+            max_candidates: Some(max),
+        }
     }
 
     /// Extract the fixed cardinality required by the self-join
@@ -209,10 +213,8 @@ mod tests {
     #[test]
     fn requires_fixed_cardinality() {
         let t = table(5);
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) <= 3",
-        )
-        .unwrap();
+        let q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) <= 3").unwrap();
         match NaiveSelfJoin::unlimited().evaluate(&q, &t) {
             Err(EngineError::Unsupported(msg)) => assert!(msg.contains("cardinality")),
             other => panic!("unexpected {other:?}"),
@@ -222,10 +224,7 @@ mod tests {
     #[test]
     fn requires_repeat_zero() {
         let t = table(5);
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 2",
-        )
-        .unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) = 2").unwrap();
         match NaiveSelfJoin::unlimited().evaluate(&q, &t) {
             Err(EngineError::Unsupported(msg)) => assert!(msg.contains("REPEAT 0")),
             other => panic!("unexpected {other:?}"),
@@ -249,10 +248,8 @@ mod tests {
     #[test]
     fn cardinality_larger_than_relation_is_infeasible() {
         let t = table(3);
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 10",
-        )
-        .unwrap();
+        let q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 10").unwrap();
         assert_eq!(
             NaiveSelfJoin::unlimited().evaluate(&q, &t),
             Err(EngineError::infeasible())

@@ -24,14 +24,15 @@ pub struct Package {
 impl Package {
     /// The empty package.
     pub fn empty() -> Self {
-        Package { members: Vec::new() }
+        Package {
+            members: Vec::new(),
+        }
     }
 
     /// Build from `(row, multiplicity)` pairs; zero multiplicities are
     /// dropped, duplicates merged, order normalized.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (usize, u64)>) -> Self {
-        let mut members: Vec<(usize, u64)> =
-            pairs.into_iter().filter(|(_, m)| *m > 0).collect();
+        let mut members: Vec<(usize, u64)> = pairs.into_iter().filter(|(_, m)| *m > 0).collect();
         members.sort_by_key(|(r, _)| *r);
         members.dedup_by(|later, earlier| {
             if later.0 == earlier.0 {
@@ -165,12 +166,7 @@ impl Package {
     /// Check this package against *all* of the query's conditions:
     /// base predicate on every member, the repetition bound, and every
     /// global predicate (with tolerance `tol` on aggregate bounds).
-    pub fn satisfies(
-        &self,
-        query: &PackageQuery,
-        table: &Table,
-        tol: f64,
-    ) -> EngineResult<bool> {
+    pub fn satisfies(&self, query: &PackageQuery, table: &Table, tol: f64) -> EngineResult<bool> {
         if let Some(maxm) = query.max_multiplicity() {
             if self.max_multiplicity() > maxm {
                 return Ok(false);
@@ -257,7 +253,8 @@ mod tests {
             (2.0, 4.0, "full"),
             (0.25, 0.5, "free"),
         ] {
-            t.push_row(vec![Value::Float(k), Value::Float(f), g.into()]).unwrap();
+            t.push_row(vec![Value::Float(k), Value::Float(f), g.into()])
+                .unwrap();
         }
         t
     }
@@ -354,8 +351,14 @@ mod tests {
         let p = Package::from_pairs(vec![(1, 2), (3, 1)]);
         match (&q.such_that[0], &q.such_that[1]) {
             (
-                GlobalPredicate::Cmp { lhs: AggTerm::Agg(cw), .. },
-                GlobalPredicate::Cmp { lhs: AggTerm::Agg(sw), .. },
+                GlobalPredicate::Cmp {
+                    lhs: AggTerm::Agg(cw),
+                    ..
+                },
+                GlobalPredicate::Cmp {
+                    lhs: AggTerm::Agg(sw),
+                    ..
+                },
             ) => {
                 assert_eq!(p.agg_expr_value(&t, cw).unwrap(), 2.0);
                 assert_eq!(p.agg_expr_value(&t, sw).unwrap(), 4.0);

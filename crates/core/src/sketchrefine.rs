@@ -26,7 +26,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use paq_lang::{base_relation_rows, linear_system, validate, LinearSystem, PackageQuery};
+use paq_lang::{base_relation_rows, linear_system, LinearSystem, PackageQuery};
 use paq_partition::partitioning::GID_COLUMN;
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::Table;
@@ -72,9 +72,10 @@ pub struct SketchRefineOptions {
     /// more groups than this, spatially-adjacent groups are merged
     /// pairwise until the sketch ILP fits the cap.
     pub sketch_group_limit: Option<usize>,
-    /// Overall wall-clock deadline for one evaluation (sketch + refine
-    /// + backtracking). `None` derives `(2·m + 4) ×` the per-solve time
-    /// limit (one budgeted solve per group plus backtracking slack).
+    /// Overall wall-clock deadline for one evaluation, covering the
+    /// sketch, refine, and backtracking phases. `None` derives
+    /// `(2·m + 4) ×` the per-solve time limit (one budgeted solve per
+    /// group plus backtracking slack).
     /// On expiry the evaluation reports (possibly false) infeasibility,
     /// matching Algorithm 1's failure semantics.
     pub total_time_limit: Option<Duration>,
@@ -131,7 +132,11 @@ pub struct SketchRefine {
 impl SketchRefine {
     /// SKETCHREFINE with a specific solver configuration.
     pub fn new(config: SolverConfig) -> Self {
-        SketchRefine { config, options: SketchRefineOptions::default(), telemetry: None }
+        SketchRefine {
+            config,
+            options: SketchRefineOptions::default(),
+            telemetry: None,
+        }
     }
 
     /// Override options.
@@ -153,7 +158,8 @@ impl SketchRefine {
         table: &Table,
         partitioning: &Partitioning,
     ) -> EngineResult<Package> {
-        self.evaluate_with_report(query, table, partitioning).map(|(p, _)| p)
+        self.evaluate_with_report(query, table, partitioning)
+            .map(|(p, _)| p)
     }
 
     /// Evaluate against a prebuilt partitioning, returning work
@@ -168,7 +174,7 @@ impl SketchRefine {
         table: &Table,
         partitioning: &Partitioning,
     ) -> EngineResult<(Package, SketchRefineReport)> {
-        validate(query, table.schema())?;
+        crate::binding::check_table_binding(query, table)?;
 
         // Recursive-sketch device: coarsen an oversized partitioning
         // before the first attempt.
@@ -178,7 +184,10 @@ impl SketchRefine {
         let mut merges = 0u32;
         loop {
             let (attempt, violated_rows) = {
-                let p = current.as_ref().map(|c| c as &Partitioning).unwrap_or(partitioning);
+                let p = current
+                    .as_ref()
+                    .map(|c| c as &Partitioning)
+                    .unwrap_or(partitioning);
                 let mut session = Session::new(self, query, table, p)?;
                 let attempt = session.run();
                 (attempt, session.sketch_violated_rows.clone())
@@ -190,7 +199,9 @@ impl SketchRefine {
                     report.merges = merges;
                     return Ok((pkg, report));
                 }
-                Err(EngineError::Infeasible { possibly_false: true }) => {
+                Err(EngineError::Infeasible {
+                    possibly_false: true,
+                }) => {
                     let active = current.as_ref().unwrap_or(partitioning);
                     if repartitions < self.options.repartition_rounds
                         && !active.attributes.is_empty()
@@ -213,8 +224,7 @@ impl SketchRefine {
                         // diagnostic — groups merge along those
                         // dimensions, increasing the odds that the
                         // previously unreachable combination appears.
-                        let implicated =
-                            implicated_attributes(query, &violated_rows);
+                        let implicated = implicated_attributes(query, &violated_rows);
                         let mut kept: Vec<String> = active
                             .attributes
                             .iter()
@@ -224,18 +234,14 @@ impl SketchRefine {
                         if kept.is_empty() || kept.len() == active.attributes.len() {
                             // Diagnostic unusable: drop the *last*
                             // attribute as a deterministic fallback.
-                            kept = active.attributes
-                                [..active.attributes.len() - 1]
-                                .to_vec();
+                            kept = active.attributes[..active.attributes.len() - 1].to_vec();
                         }
                         let tau = active.max_group_size().max(1);
                         let rebuilt = Partitioner::new(PartitionConfig::by_size(kept, tau))
                             .partition(table)?;
                         current = Some(rebuilt);
                         attribute_drops += 1;
-                    } else if merges < self.options.merge_rounds
-                        && active.num_groups() > 1
-                    {
+                    } else if merges < self.options.merge_rounds && active.num_groups() > 1 {
                         // Strategy 4: iterative group merging.
                         current = Some(active.merged_pairwise(table)?);
                         merges += 1;
@@ -467,7 +473,10 @@ impl<'a> Session<'a> {
             .collect();
         for row in &self.rep_system.rows {
             model.add_range(
-                vars.iter().copied().zip(row.coefs.iter().copied()).collect(),
+                vars.iter()
+                    .copied()
+                    .zip(row.coefs.iter().copied())
+                    .collect(),
                 row.lo,
                 row.hi,
             );
@@ -607,8 +616,11 @@ impl<'a> Session<'a> {
         }
         let mut failed: BTreeSet<usize> = BTreeSet::new();
         // Priority queue: failed groups first, then the inherited order.
-        let mut pending: Vec<usize> =
-            order.iter().copied().filter(|j| remaining.contains(j)).collect();
+        let mut pending: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|j| remaining.contains(j))
+            .collect();
 
         while let Some(j) = pending.first().copied() {
             pending.remove(0);
@@ -636,11 +648,17 @@ impl<'a> Session<'a> {
                     rest.remove(&j);
                     let child_order: Vec<usize> = {
                         // Prioritize previously-failed groups (line 24).
-                        let mut o: Vec<usize> =
-                            failed.iter().copied().filter(|g| rest.contains(g)).collect();
-                        o.extend(order.iter().copied().filter(|g| {
-                            rest.contains(g) && !failed.contains(g)
-                        }));
+                        let mut o: Vec<usize> = failed
+                            .iter()
+                            .copied()
+                            .filter(|g| rest.contains(g))
+                            .collect();
+                        o.extend(
+                            order
+                                .iter()
+                                .copied()
+                                .filter(|g| rest.contains(g) && !failed.contains(g)),
+                        );
                         o
                     };
                     match self.refine_rec(&rest, &child_order, depth + 1) {
@@ -682,10 +700,21 @@ impl<'a> Session<'a> {
                 None => self.rep_system.rows[r].coefs[j] * self.rep_mult[j] as f64,
             };
             let offset = self.totals[r] - own;
-            let lo = if row.lo.is_finite() { row.lo - offset } else { row.lo };
-            let hi = if row.hi.is_finite() { row.hi - offset } else { row.hi };
+            let lo = if row.lo.is_finite() {
+                row.lo - offset
+            } else {
+                row.lo
+            };
+            let hi = if row.hi.is_finite() {
+                row.hi - offset
+            } else {
+                row.hi
+            };
             model.add_range(
-                vars.iter().copied().zip(row.coefs.iter().copied()).collect(),
+                vars.iter()
+                    .copied()
+                    .zip(row.coefs.iter().copied())
+                    .collect(),
                 lo,
                 hi,
             );
@@ -737,7 +766,10 @@ impl<'a> Session<'a> {
         }
         self.rep_mult[j] = 0;
         self.refined[j] = Some(refined);
-        UndoRecord { old_mult, old_refined }
+        UndoRecord {
+            old_mult,
+            old_refined,
+        }
     }
 
     /// Roll back a refinement installed by [`Session::apply`].
@@ -856,7 +888,8 @@ mod tests {
             let v = (next() % 100) as f64 / 10.0 + 1.0;
             let w = (next() % 50) as f64 / 10.0 + 0.5;
             let g = if next() % 4 == 0 { "low" } else { "high" };
-            t.push_row(vec![Value::Float(v), Value::Float(w), g.into()]).unwrap();
+            t.push_row(vec![Value::Float(v), Value::Float(w), g.into()])
+                .unwrap();
         }
         t
     }
@@ -882,7 +915,10 @@ mod tests {
         .unwrap();
         let sr = SketchRefine::default();
         let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
-        assert!(pkg.satisfies(&q, &t, 1e-6).unwrap(), "package must be feasible");
+        assert!(
+            pkg.satisfies(&q, &t, 1e-6).unwrap(),
+            "package must be feasible"
+        );
         assert_eq!(pkg.cardinality(), 8);
         assert!(report.solver_calls >= 2, "sketch + at least one refine");
         assert!(report.groups_refined >= 1);
@@ -905,7 +941,10 @@ mod tests {
         // Approximation ratio Obj_D / Obj_S for maximization; the paper
         // observes ratios close to 1 and we only require sanity here.
         let ratio = obj_d / obj_s;
-        assert!(ratio >= 1.0 - 1e-9, "SKETCHREFINE cannot beat DIRECT: {ratio}");
+        assert!(
+            ratio >= 1.0 - 1e-9,
+            "SKETCHREFINE cannot beat DIRECT: {ratio}"
+        );
         assert!(ratio < 3.0, "approximation unexpectedly bad: {ratio}");
     }
 
@@ -965,10 +1004,8 @@ mod tests {
     fn infeasible_query_reported() {
         let t = table(30);
         let p = partition(&t, 8);
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 500",
-        )
-        .unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM R REPEAT 0 SUCH THAT COUNT(P.*) = 500")
+            .unwrap();
         match SketchRefine::default().evaluate_with(&q, &t, &p) {
             Err(e) if e.is_infeasible() => {}
             other => panic!("unexpected {other:?}"),
@@ -1034,8 +1071,15 @@ mod tests {
         let sr = SketchRefine::default();
         let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
         assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
-        assert_eq!(pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(), 13.0);
-        assert!(report.used_hybrid, "plain sketch cannot hit 13 from means 2/20");
+        assert_eq!(
+            pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x")
+                .unwrap(),
+            13.0
+        );
+        assert!(
+            report.used_hybrid,
+            "plain sketch cannot hit 13 from means 2/20"
+        );
     }
 
     #[test]
@@ -1057,7 +1101,9 @@ mod tests {
             ..SketchRefineOptions::default()
         });
         match sr.evaluate_with(&q, &t, &p) {
-            Err(EngineError::Infeasible { possibly_false: true }) => {}
+            Err(EngineError::Infeasible {
+                possibly_false: true,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1088,7 +1134,9 @@ mod tests {
         let (t, p, q) = two_group_trap();
         // Without fallbacks: (possibly false) infeasibility.
         match SketchRefine::default().evaluate_with(&q, &t, &p) {
-            Err(EngineError::Infeasible { possibly_false: true }) => {}
+            Err(EngineError::Infeasible {
+                possibly_false: true,
+            }) => {}
             other => panic!("expected false infeasibility, got {other:?}"),
         }
         // Strategy 4: merging reduces toward the unpartitioned problem.
@@ -1099,7 +1147,11 @@ mod tests {
         let (pkg, report) = sr.evaluate_with_report(&q, &t, &p).unwrap();
         assert!(report.merges >= 1);
         assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
-        assert_eq!(pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(), 34.0);
+        assert_eq!(
+            pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x")
+                .unwrap(),
+            34.0
+        );
     }
 
     #[test]
@@ -1124,12 +1176,9 @@ mod tests {
         ] {
             t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
         }
-        let p = Partitioner::new(PartitionConfig::by_size(
-            vec!["x".into(), "y".into()],
-            3,
-        ))
-        .partition(&t)
-        .unwrap();
+        let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into(), "y".into()], 3))
+            .partition(&t)
+            .unwrap();
         let q = parse_paql(
             "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
              SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 34 MINIMIZE SUM(P.x)",
@@ -1146,7 +1195,8 @@ mod tests {
                 assert!(report.attribute_drops >= 1);
                 assert!(pkg.satisfies(&q, &t, 1e-6).unwrap());
                 assert_eq!(
-                    pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x").unwrap(),
+                    pkg.aggregate(&t, paq_relational::agg::AggFunc::Sum, "x")
+                        .unwrap(),
                     34.0
                 );
             }

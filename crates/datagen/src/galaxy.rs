@@ -149,8 +149,12 @@ mod tests {
             sr2 += rv * rv;
         }
         let cov = sgr / n - (sg / n) * (sr / n);
-        let corr = cov / ((sg2 / n - (sg / n).powi(2)).sqrt() * (sr2 / n - (sr / n).powi(2)).sqrt());
-        assert!(corr > 0.8, "g and r should be strongly correlated, got {corr}");
+        let corr =
+            cov / ((sg2 / n - (sg / n).powi(2)).sqrt() * (sr2 / n - (sr / n).powi(2)).sqrt());
+        assert!(
+            corr > 0.8,
+            "g and r should be strongly correlated, got {corr}"
+        );
     }
 
     #[test]
@@ -166,9 +170,18 @@ mod tests {
     #[test]
     fn redshift_skewed_toward_zero() {
         let t = galaxy_table(4000, 5);
-        let mean = aggregate(&t, AggFunc::Avg, "redshift").unwrap().as_f64().unwrap();
-        let max = aggregate(&t, AggFunc::Max, "redshift").unwrap().as_f64().unwrap();
-        assert!(mean < max / 2.5, "mean {mean} vs max {max} — expected strong skew");
+        let mean = aggregate(&t, AggFunc::Avg, "redshift")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let max = aggregate(&t, AggFunc::Max, "redshift")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(
+            mean < max / 2.5,
+            "mean {mean} vs max {max} — expected strong skew"
+        );
     }
 
     #[test]

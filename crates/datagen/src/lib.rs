@@ -29,7 +29,9 @@ pub mod workload;
 pub use galaxy::galaxy_table;
 pub use recipes::recipes_table;
 pub use tpch::tpch_table;
-pub use workload::{galaxy_workload, tpch_workload, workload_attributes, NamedQuery};
+pub use workload::{
+    add_non_null_guards, galaxy_workload, tpch_workload, workload_attributes, NamedQuery,
+};
 
 /// Default deterministic seed used across examples and benches.
 pub const DEFAULT_SEED: u64 = 0x5D55_AA96;

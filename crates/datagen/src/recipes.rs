@@ -42,7 +42,11 @@ pub fn recipes_table(n: usize, seed: u64) -> Table {
     for i in 0..n {
         let base = BASES[rng.gen_range(0..BASES.len())];
         let name = format!("{base} #{i}");
-        let gluten = if rng.gen::<f64>() < 0.7 { "free" } else { "full" };
+        let gluten = if rng.gen::<f64>() < 0.7 {
+            "free"
+        } else {
+            "full"
+        };
         // kcal in thousands: meals between 0.15 and 1.2 kkcal.
         let kcal = 0.15 + rng.gen::<f64>() * 1.05;
         // Fat loosely increases with kcal.
@@ -92,8 +96,7 @@ mod tests {
         // ≈ 0.675 ⇒ 3 × mean ≈ 2.0 — comfortably feasible.
         let t = recipes_table(500, 3);
         let kcal = t.column("kcal").unwrap();
-        let mean: f64 =
-            (0..500).map(|i| kcal.f64_at(i).unwrap()).sum::<f64>() / 500.0;
+        let mean: f64 = (0..500).map(|i| kcal.f64_at(i).unwrap()).sum::<f64>() / 500.0;
         assert!((0.5..=0.85).contains(&mean), "mean kcal {mean}");
     }
 }

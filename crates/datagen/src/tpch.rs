@@ -129,13 +129,34 @@ mod tests {
     fn null_family_fractions_match_paper_shape() {
         let n = 20_000;
         let t = tpch_table(n, 99);
-        let li = t.non_null_indices(&["quantity", "extendedprice"]).unwrap().len() as f64;
-        let ps = t.non_null_indices(&["availqty", "supplycost"]).unwrap().len() as f64;
-        let cu = t.non_null_indices(&["acctbal", "ordertotal"]).unwrap().len() as f64;
+        let li = t
+            .non_null_indices(&["quantity", "extendedprice"])
+            .unwrap()
+            .len() as f64;
+        let ps = t
+            .non_null_indices(&["availqty", "supplycost"])
+            .unwrap()
+            .len() as f64;
+        let cu = t
+            .non_null_indices(&["acctbal", "ordertotal"])
+            .unwrap()
+            .len() as f64;
         let nf = n as f64;
-        assert!((li / nf - P_LINEITEM).abs() < 0.02, "lineitem fraction {}", li / nf);
-        assert!((ps / nf - P_PARTSUPP).abs() < 0.02, "partsupp fraction {}", ps / nf);
-        assert!((cu / nf - P_CUSTOMER).abs() < 0.01, "customer fraction {}", cu / nf);
+        assert!(
+            (li / nf - P_LINEITEM).abs() < 0.02,
+            "lineitem fraction {}",
+            li / nf
+        );
+        assert!(
+            (ps / nf - P_PARTSUPP).abs() < 0.02,
+            "partsupp fraction {}",
+            ps / nf
+        );
+        assert!(
+            (cu / nf - P_CUSTOMER).abs() < 0.01,
+            "customer fraction {}",
+            cu / nf
+        );
     }
 
     #[test]

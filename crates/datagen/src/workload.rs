@@ -15,7 +15,7 @@
 
 use paq_lang::{parse_paql, validate, PackageQuery};
 use paq_relational::agg::{aggregate, AggFunc};
-use paq_relational::{RelResult, Table};
+use paq_relational::{Expr, RelResult, Table};
 
 /// A workload query: name, PaQL text, parsed form, and the attribute
 /// set whose non-NULL projection defines the effective input (Fig. 3).
@@ -34,8 +34,38 @@ pub struct NamedQuery {
     pub expected_size: u64,
 }
 
+impl NamedQuery {
+    /// Install `attr IS NOT NULL` base predicates for every query
+    /// attribute — how the paper evaluates each TPC-H query on its
+    /// non-NULL subset of the pre-joined outer-join table (§5.1). The
+    /// ILP otherwise treats NULL coefficients as zero contribution,
+    /// which diverges from SQL aggregate semantics over the package.
+    pub fn with_non_null_guards(&self) -> NamedQuery {
+        let mut out = self.clone();
+        out.query = add_non_null_guards(&self.query, &self.attributes);
+        out.text = out.query.to_string();
+        out
+    }
+}
+
+/// AND `attr IS NOT NULL` guards for every listed attribute onto the
+/// query's base predicate (see [`NamedQuery::with_non_null_guards`]).
+pub fn add_non_null_guards(query: &PackageQuery, attrs: &[String]) -> PackageQuery {
+    let mut out = query.clone();
+    for a in attrs {
+        let guard = Expr::col(a.clone()).is_not_null();
+        out.where_clause = Some(match out.where_clause.take() {
+            Some(w) => w.and(guard),
+            None => guard,
+        });
+    }
+    out
+}
+
 fn mean(table: &Table, attr: &str) -> RelResult<f64> {
-    Ok(aggregate(table, AggFunc::Avg, attr)?.as_f64().unwrap_or(0.0))
+    Ok(aggregate(table, AggFunc::Avg, attr)?
+        .as_f64()
+        .unwrap_or(0.0))
 }
 
 fn named(name: &str, text: String, table: &Table, expected_size: u64) -> NamedQuery {
@@ -44,7 +74,13 @@ fn named(name: &str, text: String, table: &Table, expected_size: u64) -> NamedQu
     validate(&query, table.schema())
         .unwrap_or_else(|e| panic!("workload query {name} failed validation: {e}"));
     let attributes = query.query_attributes();
-    NamedQuery { name: name.to_owned(), text, query, attributes, expected_size }
+    NamedQuery {
+        name: name.to_owned(),
+        text,
+        query,
+        attributes,
+        expected_size,
+    }
 }
 
 /// The seven Galaxy package queries.
@@ -328,7 +364,10 @@ mod tests {
             }
         }
         let union = workload_attributes(&ws);
-        assert!(union.len() >= 8, "workload should span many attributes: {union:?}");
+        assert!(
+            union.len() >= 8,
+            "workload should span many attributes: {union:?}"
+        );
     }
 
     #[test]
@@ -338,9 +377,15 @@ mod tests {
         assert_eq!(ws.len(), 7);
         // Q5 touches only the customer family; Q6 only partsupp.
         let q5 = &ws[4];
-        assert!(q5.attributes.iter().all(|a| a == "acctbal" || a == "ordertotal"));
+        assert!(q5
+            .attributes
+            .iter()
+            .all(|a| a == "acctbal" || a == "ordertotal"));
         let q6 = &ws[5];
-        assert!(q6.attributes.iter().all(|a| a == "availqty" || a == "supplycost"));
+        assert!(q6
+            .attributes
+            .iter()
+            .all(|a| a == "availqty" || a == "supplycost"));
     }
 
     #[test]
@@ -355,7 +400,10 @@ mod tests {
         let q1 = size(&ws[0]);
         let q5 = size(&ws[4]);
         let q6 = size(&ws[5]);
-        assert!(q5 < q1 / 5, "customer query must be much smaller: {q5} vs {q1}");
+        assert!(
+            q5 < q1 / 5,
+            "customer query must be much smaller: {q5} vs {q1}"
+        );
         assert!(q6 > q1, "partsupp query must be the largest: {q6} vs {q1}");
     }
 

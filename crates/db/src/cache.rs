@@ -1,0 +1,250 @@
+//! The partition cache.
+//!
+//! SKETCHREFINE's partitionings are an *offline* artifact (§4.1 of the
+//! paper: "One-time cost"): built once, reused by every query whose
+//! attributes they cover. The cache keys each [`Partitioning`] by
+//! (table, table **version**, attribute set, build spec); a table
+//! mutation bumps the version, so stale partitionings can never be
+//! served — they are evicted and counted as invalidations the next time
+//! the table is touched.
+
+use std::sync::Arc;
+
+use paq_partition::Partitioning;
+
+/// How a cached partitioning was produced (part of the cache key: the
+/// same attributes at a different granularity are a different artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionSpec {
+    /// Built by the planner: quad tree with size threshold τ.
+    BySize {
+        /// The τ used.
+        tau: usize,
+    },
+    /// Installed by the caller (e.g. a radius-limited or dynamically
+    /// extracted partitioning); the id keeps distinct installations
+    /// distinct.
+    External {
+        /// Installation sequence number.
+        id: u64,
+    },
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    table_key: String,
+    version: u64,
+    attributes: Vec<String>,
+    spec: PartitionSpec,
+    partitioning: Arc<Partitioning>,
+    last_used: u64,
+}
+
+/// Observable cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required building a partitioning.
+    pub misses: u64,
+    /// Entries evicted because their table version went stale.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+/// Cache of offline partitionings keyed by (table, version, attributes,
+/// spec). See the module docs.
+#[derive(Debug, Default)]
+pub struct PartitionCache {
+    entries: Vec<CacheEntry>,
+    tick: u64,
+    next_external_id: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PartitionCache {
+    /// Drop entries for `table_key` whose version is not
+    /// `current_version`, counting them as invalidations.
+    pub fn invalidate_stale(&mut self, table_key: &str, current_version: u64) {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| e.table_key != table_key || e.version == current_version);
+        self.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Drop every entry for `table_key` (table dropped from the
+    /// catalog).
+    pub fn invalidate_table(&mut self, table_key: &str) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.table_key != table_key);
+        self.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// Find a usable partitioning for the table at `version`.
+    ///
+    /// Preference order: entries whose attribute set covers
+    /// `query_attributes` (representatives then carry exact centroids
+    /// for every constrained attribute), most recently used first; then
+    /// any current entry (usable per §5.2.3 — missing attributes are
+    /// materialized as group means), most recently used first.
+    pub fn lookup(
+        &mut self,
+        table_key: &str,
+        version: u64,
+        query_attributes: &[String],
+    ) -> Option<(Arc<Partitioning>, Vec<String>, PartitionSpec)> {
+        self.invalidate_stale(table_key, version);
+        let covers = |e: &CacheEntry| query_attributes.iter().all(|a| e.attributes.contains(a));
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.table_key == table_key && e.version == version)
+            .max_by_key(|(_, e)| (covers(e), e.last_used))
+            .map(|(i, _)| i)?;
+        self.tick += 1;
+        self.hits += 1;
+        let entry = &mut self.entries[best];
+        entry.last_used = self.tick;
+        Some((
+            Arc::clone(&entry.partitioning),
+            entry.attributes.clone(),
+            entry.spec.clone(),
+        ))
+    }
+
+    /// Record a lookup miss (the caller is about to build).
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Insert a partitioning built or installed for the table at
+    /// `version`. Replaces any previous entry with the same key.
+    pub fn insert(
+        &mut self,
+        table_key: impl Into<String>,
+        version: u64,
+        attributes: Vec<String>,
+        spec: PartitionSpec,
+        partitioning: Arc<Partitioning>,
+    ) {
+        let table_key = table_key.into();
+        self.tick += 1;
+        self.entries.retain(|e| {
+            e.table_key != table_key
+                || e.version != version
+                || e.attributes != attributes
+                || e.spec != spec
+        });
+        self.entries.push(CacheEntry {
+            table_key,
+            version,
+            attributes,
+            spec,
+            partitioning,
+            last_used: self.tick,
+        });
+    }
+
+    /// Allocate an id for an externally installed partitioning.
+    pub fn next_external_id(&mut self) -> u64 {
+        self.next_external_id += 1;
+        self.next_external_id
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn partitioning(attrs: &[&str]) -> Arc<Partitioning> {
+        Arc::new(Partitioning {
+            attributes: attrs.iter().map(|s| s.to_string()).collect(),
+            groups: vec![],
+            build_time: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn hit_prefers_covering_attributes() {
+        let mut c = PartitionCache::default();
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        c.insert(
+            "t",
+            1,
+            vec!["a".into(), "b".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a", "b"]),
+        );
+        let (_, attrs, _) = c.lookup("t", 1, &["b".into()]).unwrap();
+        assert_eq!(attrs, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn version_mismatch_evicts_and_counts() {
+        let mut c = PartitionCache::default();
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        assert!(c.lookup("t", 2, &[]).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn non_covering_entry_still_usable() {
+        let mut c = PartitionCache::default();
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        assert!(
+            c.lookup("t", 1, &["z".into()]).is_some(),
+            "§5.2.3: coverage < 1 is usable"
+        );
+    }
+
+    #[test]
+    fn same_key_replaces() {
+        let mut c = PartitionCache::default();
+        for _ in 0..3 {
+            c.insert(
+                "t",
+                1,
+                vec!["a".into()],
+                PartitionSpec::BySize { tau: 4 },
+                partitioning(&["a"]),
+            );
+        }
+        assert_eq!(c.stats().entries, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The table catalog: named, versioned relations.
+//!
+//! SQL identifiers are case-insensitive, so `FROM Recipes R` resolves a
+//! table registered as `recipes`. Every mutation (re-registration or
+//! in-place edit) bumps the entry's **version counter**, which the
+//! partition cache uses to invalidate partitionings built over stale
+//! contents.
+
+use std::collections::BTreeMap;
+
+use paq_relational::Table;
+
+use crate::error::{DbError, DbResult};
+
+/// One registered relation.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    name: String,
+    table: Table,
+    version: u64,
+}
+
+impl TableEntry {
+    /// The name the table was registered under (original casing).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table contents.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Monotone version counter; bumped on every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Name → table map with case-insensitive resolution.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Keyed by lower-cased name; entries keep the original casing.
+    tables: BTreeMap<String, TableEntry>,
+}
+
+impl Catalog {
+    /// Canonical catalog key for a relation name.
+    pub fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Register (or replace) a table, returning its new version.
+    /// Replacement bumps the previous version rather than restarting at
+    /// 1, so cached artifacts keyed by older versions stay invalid.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> u64 {
+        let name = name.into();
+        let key = Self::key(&name);
+        let version = self.tables.get(&key).map_or(1, |e| e.version + 1);
+        self.tables.insert(
+            key,
+            TableEntry {
+                name,
+                table,
+                version,
+            },
+        );
+        version
+    }
+
+    /// Remove a table; `Err` if it was never registered.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<TableEntry> {
+        self.tables
+            .remove(&Self::key(name))
+            .ok_or_else(|| self.unknown(name))
+    }
+
+    /// Resolve a relation name (case-insensitive).
+    pub fn resolve(&self, name: &str) -> DbResult<&TableEntry> {
+        self.tables
+            .get(&Self::key(name))
+            .ok_or_else(|| self.unknown(name))
+    }
+
+    /// Mutate a table in place through `f`, bumping its version when
+    /// `f` succeeds. A failed mutation that left the table untouched
+    /// (as atomic operations like [`Table::push_row`] do — they
+    /// validate before mutating) keeps the version, so artifacts
+    /// cached over the unchanged contents stay valid; if `f` errors
+    /// *after* observably changing the table (row count or schema),
+    /// the version is bumped anyway so stale caches cannot be served.
+    ///
+    /// Contract: an `f` that errors after editing cells in place
+    /// (without changing row count or schema) must undo its edits.
+    pub fn mutate<R>(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> paq_relational::RelResult<R>,
+    ) -> DbResult<(R, u64)> {
+        let key = Self::key(name);
+        match self.tables.get_mut(&key) {
+            Some(entry) => {
+                let rows_before = entry.table.num_rows();
+                let arity_before = entry.table.schema().arity();
+                match f(&mut entry.table) {
+                    Ok(out) => {
+                        entry.version += 1;
+                        Ok((out, entry.version))
+                    }
+                    Err(e) => {
+                        if entry.table.num_rows() != rows_before
+                            || entry.table.schema().arity() != arity_before
+                        {
+                            entry.version += 1;
+                        }
+                        Err(e.into())
+                    }
+                }
+            }
+            None => Err(self.unknown(name)),
+        }
+    }
+
+    /// Registered table names (original casing, sorted by key).
+    pub fn names(&self) -> Vec<String> {
+        self.tables.values().map(|e| e.name.clone()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    fn unknown(&self, name: &str) -> DbError {
+        DbError::UnknownTable {
+            name: name.to_owned(),
+            known: self.names(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_relational::{DataType, Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn resolution_is_case_insensitive() {
+        let mut c = Catalog::default();
+        c.register("Recipes", table());
+        assert_eq!(c.resolve("recipes").unwrap().name(), "Recipes");
+        assert_eq!(c.resolve("RECIPES").unwrap().version(), 1);
+        assert!(matches!(
+            c.resolve("Galaxy"),
+            Err(DbError::UnknownTable { ref name, ref known })
+                if name == "Galaxy" && known == &["Recipes".to_string()]
+        ));
+    }
+
+    #[test]
+    fn versions_bump_on_mutation_and_replacement() {
+        let mut c = Catalog::default();
+        assert_eq!(c.register("T", table()), 1);
+        let ((), v) = c
+            .mutate("t", |t| t.push_row(vec![Value::Float(2.0)]))
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(c.resolve("T").unwrap().table().num_rows(), 2);
+        // Replacement continues the counter.
+        assert_eq!(c.register("T", table()), 3);
+    }
+
+    #[test]
+    fn failed_mutation_does_not_bump_the_version() {
+        let mut c = Catalog::default();
+        c.register("T", table());
+        // Wrong arity: push_row rejects atomically.
+        assert!(c.mutate("T", |t| t.push_row(vec![])).is_err());
+        let entry = c.resolve("T").unwrap();
+        assert_eq!(entry.version(), 1, "no mutation happened");
+        assert_eq!(entry.table().num_rows(), 1);
+    }
+
+    #[test]
+    fn partial_mutation_before_error_still_bumps_the_version() {
+        let mut c = Catalog::default();
+        c.register("T", table());
+        // First push lands, second fails: the table changed, so caches
+        // over the old contents must go stale.
+        assert!(c
+            .mutate("T", |t| {
+                t.push_row(vec![Value::Float(2.0)])?;
+                t.push_row(vec![]) // arity error
+            })
+            .is_err());
+        let entry = c.resolve("T").unwrap();
+        assert_eq!(entry.table().num_rows(), 2, "partial mutation persisted");
+        assert_eq!(
+            entry.version(),
+            2,
+            "observable change must bump the version"
+        );
+    }
+
+    #[test]
+    fn drop_removes_entry() {
+        let mut c = Catalog::default();
+        c.register("T", table());
+        assert!(c.drop_table("t").is_ok());
+        assert!(c.is_empty());
+        assert!(c.drop_table("t").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Session-level error type.
+
+use std::fmt;
+
+use paq_core::EngineError;
+use paq_lang::PaqlError;
+use paq_relational::RelError;
+
+/// Errors from the [`PackageDb`](crate::PackageDb) session layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The query's `FROM` relation is not registered in the catalog.
+    UnknownTable {
+        /// The relation name the query asked for.
+        name: String,
+        /// Names currently registered (for the error message).
+        known: Vec<String>,
+    },
+    /// The resolved table does not provide every attribute the query
+    /// references.
+    SchemaMismatch {
+        /// The resolved relation name.
+        relation: String,
+        /// Referenced attributes missing from the table's schema.
+        missing: Vec<String>,
+    },
+    /// An externally installed partitioning does not cover the table.
+    InvalidPartitioning {
+        /// The relation the partitioning was installed for.
+        relation: String,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// PaQL parse/validation/translation error.
+    Language(PaqlError),
+    /// Evaluation error (infeasibility, solver resource exhaustion, …).
+    Engine(EngineError),
+    /// Relational substrate error.
+    Relational(RelError),
+}
+
+impl DbError {
+    /// `true` when the error is an (possibly false) infeasibility
+    /// verdict — an *answer*, not a failure.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, DbError::Engine(e) if e.is_infeasible())
+    }
+
+    /// `true` when evaluation failed rather than answered (mirrors
+    /// [`EngineError::is_failure`]).
+    pub fn is_failure(&self) -> bool {
+        match self {
+            DbError::Engine(e) => e.is_failure(),
+            DbError::Language(_) | DbError::Relational(_) => true,
+            DbError::UnknownTable { .. }
+            | DbError::SchemaMismatch { .. }
+            | DbError::InvalidPartitioning { .. } => true,
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable { name, known } => {
+                write!(f, "unknown table '{name}'")?;
+                if known.is_empty() {
+                    write!(f, " (no tables registered)")
+                } else {
+                    write!(f, " (registered: {})", known.join(", "))
+                }
+            }
+            DbError::SchemaMismatch { relation, missing } => write!(
+                f,
+                "table '{relation}' is missing query attribute(s): {}",
+                missing.join(", ")
+            ),
+            DbError::InvalidPartitioning { relation, detail } => {
+                write!(f, "invalid partitioning for table '{relation}': {detail}")
+            }
+            DbError::Language(e) => write!(f, "{e}"),
+            DbError::Engine(e) => write!(f, "{e}"),
+            DbError::Relational(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<PaqlError> for DbError {
+    fn from(e: PaqlError) -> Self {
+        DbError::Language(e)
+    }
+}
+
+impl From<EngineError> for DbError {
+    fn from(e: EngineError) -> Self {
+        DbError::Engine(e)
+    }
+}
+
+impl From<RelError> for DbError {
+    fn from(e: RelError) -> Self {
+        DbError::Relational(e)
+    }
+}
+
+/// Result alias for the session layer.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_known_tables() {
+        let e = DbError::UnknownTable {
+            name: "Recipes".into(),
+            known: vec!["Galaxy".into(), "Tpch".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("Recipes") && s.contains("Galaxy") && s.contains("Tpch"));
+        let none = DbError::UnknownTable {
+            name: "X".into(),
+            known: vec![],
+        };
+        assert!(none.to_string().contains("no tables registered"));
+    }
+
+    #[test]
+    fn classification() {
+        let inf: DbError = EngineError::infeasible().into();
+        assert!(inf.is_infeasible());
+        assert!(!inf.is_failure());
+        let unk = DbError::UnknownTable {
+            name: "X".into(),
+            known: vec![],
+        };
+        assert!(!unk.is_infeasible());
+        assert!(unk.is_failure());
+    }
+}

@@ -1,0 +1,264 @@
+//! The structured result of one `PackageDb::execute` call.
+
+use std::fmt;
+use std::time::Duration;
+
+use paq_core::{Package, SketchRefineReport};
+
+/// The evaluation strategy the planner chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One monolithic ILP over the full base relation (§3.2).
+    Direct,
+    /// Sketch over representatives, then refine group by group (§4).
+    SketchRefine,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Direct => write!(f, "DIRECT"),
+            Strategy::SketchRefine => write!(f, "SKETCHREFINE"),
+        }
+    }
+}
+
+/// Why the planner picked the strategy it picked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteReason {
+    /// The caller forced the strategy (`Route::Force*`).
+    Forced,
+    /// Unlimited `REPEAT`: the sketch's per-representative caps
+    /// `|G_j|·(1+K)` are all infinite, so sketching degenerates —
+    /// DIRECT handles unbounded multiplicity natively.
+    UnboundedRepeat,
+    /// The base table is at or below the direct-threshold; one exact
+    /// ILP is cheap.
+    SmallTable {
+        /// Table row count.
+        rows: usize,
+        /// The configured threshold it did not exceed.
+        threshold: usize,
+    },
+    /// The base table exceeds the direct-threshold; route to
+    /// SKETCHREFINE over a (cached or lazily built) partitioning.
+    LargeTable {
+        /// Table row count.
+        rows: usize,
+        /// The configured threshold it exceeded.
+        threshold: usize,
+    },
+    /// SKETCHREFINE was indicated but no numeric attribute exists to
+    /// partition on, so DIRECT is the only executable plan.
+    NoPartitionAttributes,
+}
+
+impl fmt::Display for RouteReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteReason::Forced => write!(f, "strategy forced by caller"),
+            RouteReason::UnboundedRepeat => {
+                write!(f, "unlimited REPEAT makes sketch group caps infinite")
+            }
+            RouteReason::SmallTable { rows, threshold } => {
+                write!(
+                    f,
+                    "table within direct-threshold ({rows} <= {threshold} rows)"
+                )
+            }
+            RouteReason::LargeTable { rows, threshold } => {
+                write!(
+                    f,
+                    "table above direct-threshold ({rows} > {threshold} rows)"
+                )
+            }
+            RouteReason::NoPartitionAttributes => {
+                write!(f, "no numeric attributes available for partitioning")
+            }
+        }
+    }
+}
+
+/// How the partition cache participated in the execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// DIRECT route: no partitioning involved.
+    NotUsed,
+    /// An offline partitioning built earlier was reused.
+    Hit {
+        /// Number of groups in the reused partitioning.
+        groups: usize,
+        /// Its partitioning attributes.
+        attributes: Vec<String>,
+    },
+    /// No usable partitioning was cached; one was built (and cached for
+    /// the next query).
+    Miss {
+        /// Number of groups in the freshly built partitioning.
+        groups: usize,
+        /// Its partitioning attributes.
+        attributes: Vec<String>,
+    },
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheOutcome::NotUsed => write!(f, "not used"),
+            CacheOutcome::Hit { groups, attributes } => {
+                write!(f, "hit ({groups} groups on [{}])", attributes.join(", "))
+            }
+            CacheOutcome::Miss { groups, attributes } => {
+                write!(
+                    f,
+                    "miss — built {groups} groups on [{}]",
+                    attributes.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// Wall-clock breakdown of one execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Name resolution, validation, and route selection.
+    pub plan: Duration,
+    /// Partitioning build time (zero on DIRECT routes and cache hits).
+    pub partitioning: Duration,
+    /// Evaluator time (including any DIRECT fallback).
+    pub evaluate: Duration,
+    /// End-to-end time of the `execute` call.
+    pub total: Duration,
+}
+
+/// The structured answer of one [`PackageDb`](crate::PackageDb)
+/// execution: the package plus everything needed to understand *how*
+/// it was produced.
+///
+/// ```
+/// use paq_db::PackageDb;
+/// use paq_relational::{DataType, Schema, Table, Value};
+///
+/// let mut table = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     table.push_row(vec![Value::Float(v)]).unwrap();
+/// }
+/// let mut db = PackageDb::new();
+/// db.register_table("Points", table);
+/// let exec = db
+///     .execute("SELECT PACKAGE(R) AS P FROM Points R REPEAT 0 \
+///               SUCH THAT COUNT(P.*) = 2 MINIMIZE SUM(P.x)")
+///     .unwrap();
+/// assert_eq!(exec.package.cardinality(), 2);
+/// println!("{}", exec.explain());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The answer package.
+    pub package: Package,
+    /// Resolved relation name (original casing from the catalog).
+    pub relation: String,
+    /// Row count of the input table at execution time.
+    pub rows: usize,
+    /// Catalog version of the input table at execution time.
+    pub table_version: u64,
+    /// The strategy that produced [`Execution::package`].
+    pub strategy: Strategy,
+    /// Why the planner routed there.
+    pub reason: RouteReason,
+    /// Partition-cache participation.
+    pub cache: CacheOutcome,
+    /// SKETCHREFINE work counters (`None` on DIRECT executions).
+    pub report: Option<SketchRefineReport>,
+    /// `true` when SKETCHREFINE reported possibly-false infeasibility
+    /// and the planner re-ran the query with DIRECT (§4.4 discussion:
+    /// the unpartitioned problem cannot be falsely infeasible).
+    pub fell_back_to_direct: bool,
+    /// Wall-clock breakdown.
+    pub timings: Timings,
+}
+
+impl Execution {
+    /// Human-readable account of the plan: chosen strategy, routing
+    /// reason, cache participation, timings, and (for SKETCHREFINE)
+    /// work counters.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "relation:     {} ({} rows, catalog version {})\n",
+            self.relation, self.rows, self.table_version
+        ));
+        out.push_str(&format!(
+            "strategy:     {} — {}\n",
+            self.strategy, self.reason
+        ));
+        if self.fell_back_to_direct {
+            out.push_str(
+                "fallback:     SKETCHREFINE reported possibly-false infeasibility; \
+                 re-ran with DIRECT\n",
+            );
+        }
+        out.push_str(&format!("partitioning: {}\n", self.cache));
+        if let Some(r) = &self.report {
+            out.push_str(&format!(
+                "sketchrefine: {} solver calls, {} backtracks, {} groups refined{}\n",
+                r.solver_calls,
+                r.backtracks,
+                r.groups_refined,
+                if r.used_hybrid {
+                    ", hybrid sketch used"
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str(&format!(
+            "timings:      plan {:.3}ms, partitioning {:.3}ms, evaluate {:.3}ms, total {:.3}ms",
+            self.timings.plan.as_secs_f64() * 1e3,
+            self.timings.partitioning.as_secs_f64() * 1e3,
+            self.timings.evaluate.as_secs_f64() * 1e3,
+            self.timings.total.as_secs_f64() * 1e3,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_mentions_strategy_reason_and_cache() {
+        let exec = Execution {
+            package: Package::empty(),
+            relation: "Recipes".into(),
+            rows: 5000,
+            table_version: 2,
+            strategy: Strategy::SketchRefine,
+            reason: RouteReason::LargeTable {
+                rows: 5000,
+                threshold: 2000,
+            },
+            cache: CacheOutcome::Hit {
+                groups: 12,
+                attributes: vec!["kcal".into()],
+            },
+            report: Some(SketchRefineReport::default()),
+            fell_back_to_direct: false,
+            timings: Timings::default(),
+        };
+        let text = exec.explain();
+        assert!(text.contains("SKETCHREFINE"));
+        assert!(text.contains("above direct-threshold"));
+        assert!(text.contains("hit (12 groups on [kcal])"));
+        assert!(text.contains("solver calls"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Strategy::Direct.to_string(), "DIRECT");
+        assert!(CacheOutcome::NotUsed.to_string().contains("not used"));
+        assert!(RouteReason::Forced.to_string().contains("forced"));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # paq-db — the `PackageDb` session layer
+//!
+//! The paper presents PaQL + DIRECT + SKETCHREFINE as one *system*
+//! (PackageBuilder) sitting on top of a DBMS. This crate is that front
+//! door: a stateful session that owns tables, reuses offline
+//! partitionings across queries, and routes each query to the right
+//! evaluator.
+//!
+//! * [`PackageDb`] — the session object:
+//!   * a **catalog** ([`catalog`]) of named, versioned tables, so
+//!     `FROM Recipes R` binds by name (case-insensitively) and unknown
+//!     tables produce a typed error;
+//!   * a **partition cache** ([`cache`]) keyed by
+//!     (table, version, attribute set, build spec): partitionings are
+//!     built lazily on first SKETCHREFINE use, reused by later queries
+//!     (§4.1 "One-time cost"), and invalidated when the table mutates;
+//!   * a **planner** ([`PackageDb::execute`]) that inspects row count
+//!     vs. a configurable direct-threshold, `REPEAT` bounds, and
+//!     partitioning availability, then routes to DIRECT or
+//!     SKETCHREFINE — returning an [`Execution`] whose
+//!     [`explain`](Execution::explain) says why.
+//! * [`DbConfig`] / [`Route`] — session tuning and routing control (the
+//!   low-level [`paq_core::Evaluator`] trait stays public for
+//!   benchmarks and ablations).
+//! * [`DbError`] — typed session errors (unknown table, schema
+//!   mismatch, invalid partitioning, plus language/engine passthrough).
+//!
+//! Programmatic queries come from [`paq_lang::Paql`], whose builder
+//! produces exactly the AST the parser yields; [`PackageDb::execute_query`]
+//! accepts both.
+
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod execution;
+pub mod session;
+
+pub use cache::{CacheStats, PartitionSpec};
+pub use catalog::{Catalog, TableEntry};
+pub use error::{DbError, DbResult};
+pub use execution::{CacheOutcome, Execution, RouteReason, Strategy, Timings};
+pub use session::{DbConfig, PackageDb, Route};

@@ -1,0 +1,97 @@
+//! Property test: the fluent `Paql` builder and the text parser produce
+//! identical ASTs across randomized clause combinations — so
+//! programmatic and textual queries are interchangeable everywhere
+//! `PackageDb` accepts them.
+
+use paq_lang::{parse_paql, Paql, PaqlBuilder};
+use proptest::prelude::*;
+
+const ATTRS: [&str; 4] = ["kcal", "weight", "value", "redshift"];
+
+/// Apply one randomly chosen constraint to both representations.
+fn apply_constraint(
+    builder: PaqlBuilder,
+    text: &mut Vec<String>,
+    choice: usize,
+    attr: &str,
+    a: f64,
+    b: f64,
+) -> PaqlBuilder {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    match choice % 5 {
+        0 => {
+            text.push(format!("SUM(P.{attr}) <= {hi}"));
+            builder.sum_le(attr, hi)
+        }
+        1 => {
+            text.push(format!("SUM(P.{attr}) >= {lo}"));
+            builder.sum_ge(attr, lo)
+        }
+        2 => {
+            text.push(format!("SUM(P.{attr}) BETWEEN {lo} AND {hi}"));
+            builder.sum_between(attr, lo, hi)
+        }
+        3 => {
+            text.push(format!("AVG(P.{attr}) <= {hi}"));
+            builder.avg_le(attr, hi)
+        }
+        _ => {
+            text.push(format!("AVG(P.{attr}) BETWEEN {lo} AND {hi}"));
+            builder.avg_between(attr, lo, hi)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_matches_parser(
+        count in 1u64..40,
+        repeat in 0u32..4,
+        use_repeat in any::<bool>(),
+        constraints in prop::collection::vec(
+            (0usize..5, 0usize..4, 0.5f64..90.0, 0.5f64..90.0),
+            0..4,
+        ),
+        objective in 0usize..5,
+        obj_attr in 0usize..4,
+    ) {
+        let mut builder = Paql::package("R").from("Rel");
+        let mut clauses = vec![format!("COUNT(P.*) = {count}")];
+        builder = builder.count_eq(count);
+        if use_repeat {
+            builder = builder.repeat(repeat);
+        }
+        for (choice, attr_idx, a, b) in &constraints {
+            builder = apply_constraint(
+                builder, &mut clauses, *choice, ATTRS[*attr_idx], *a, *b,
+            );
+        }
+        let obj_attr = ATTRS[obj_attr];
+        let objective_text;
+        match objective % 4 {
+            0 => { builder = builder.minimize_sum(obj_attr);
+                   objective_text = format!(" MINIMIZE SUM(P.{obj_attr})"); }
+            1 => { builder = builder.maximize_sum(obj_attr);
+                   objective_text = format!(" MAXIMIZE SUM(P.{obj_attr})"); }
+            2 => { builder = builder.minimize_count();
+                   objective_text = " MINIMIZE COUNT(P.*)".to_string(); }
+            _ => { objective_text = String::new(); }
+        }
+
+        let text = format!(
+            "SELECT PACKAGE(R) AS P FROM Rel R{} SUCH THAT {}{}",
+            if use_repeat { format!(" REPEAT {repeat}") } else { String::new() },
+            clauses.join(" AND "),
+            objective_text,
+        );
+        let parsed = parse_paql(&text).unwrap();
+        let built = builder.build();
+        prop_assert_eq!(&built, &parsed, "text: {}", text);
+
+        // And the builder's AST round-trips through its own display.
+        let redisplayed = parse_paql(&built.to_string()).unwrap();
+        prop_assert_eq!(built, redisplayed);
+    }
+}

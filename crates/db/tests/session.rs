@@ -1,0 +1,342 @@
+//! Integration tests for the `PackageDb` session: planner routing at
+//! and around the direct-threshold, partition-cache hit/miss/
+//! invalidation, typed catalog errors, forced routes, and the
+//! DIRECT fallback on possibly-false infeasibility.
+
+use paq_core::SketchRefineOptions;
+use paq_db::{CacheOutcome, DbConfig, DbError, PackageDb, Route, RouteReason, Strategy};
+use paq_lang::{parse_paql, Paql};
+use paq_partition::{PartitionConfig, Partitioner};
+use paq_relational::{DataType, Schema, Table, Value};
+
+/// Deterministic table with two numeric and one string attribute.
+fn table(n: usize) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+        ("grade", DataType::Str),
+    ]));
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        let g = if next() % 4 == 0 { "low" } else { "high" };
+        t.push_row(vec![Value::Float(v), Value::Float(w), g.into()])
+            .unwrap();
+    }
+    t
+}
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 \
+     MAXIMIZE SUM(P.value)";
+
+fn db_with(threshold: usize, rows: usize) -> PackageDb {
+    let mut db = PackageDb::with_config(DbConfig {
+        direct_threshold: threshold,
+        ..DbConfig::default()
+    });
+    db.register_table("Items", table(rows));
+    db
+}
+
+#[test]
+fn small_table_routes_direct() {
+    let mut db = db_with(100, 60);
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(
+        exec.reason,
+        RouteReason::SmallTable {
+            rows: 60,
+            threshold: 100
+        }
+    );
+    assert_eq!(exec.cache, CacheOutcome::NotUsed);
+    assert!(exec.report.is_none());
+    assert!(exec
+        .package
+        .satisfies(
+            &parse_paql(QUERY).unwrap(),
+            db.table("Items").unwrap(),
+            1e-6
+        )
+        .unwrap());
+}
+
+#[test]
+fn threshold_boundary_is_inclusive() {
+    // Exactly at the threshold: DIRECT. One row past it: SKETCHREFINE.
+    let mut db = db_with(60, 60);
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct, "{}", exec.explain());
+
+    db.append_row(
+        "Items",
+        vec![Value::Float(5.0), Value::Float(2.0), "high".into()],
+    )
+    .unwrap();
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::SketchRefine, "{}", exec.explain());
+    assert_eq!(
+        exec.reason,
+        RouteReason::LargeTable {
+            rows: 61,
+            threshold: 60
+        }
+    );
+    assert!(exec.report.is_some());
+}
+
+#[test]
+fn unbounded_repeat_routes_direct() {
+    let mut db = db_with(10, 80); // well above the threshold
+    let no_repeat = "SELECT PACKAGE(R) AS P FROM Items R \
+         SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 MINIMIZE SUM(P.value)";
+    let exec = db.execute(no_repeat).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(exec.reason, RouteReason::UnboundedRepeat);
+}
+
+#[test]
+fn partitioning_is_reused_across_queries() {
+    let mut db = db_with(20, 150);
+
+    // First query: no partitioning exists — built lazily (miss).
+    let first = db.execute(QUERY).unwrap();
+    assert_eq!(first.strategy, Strategy::SketchRefine);
+    assert!(
+        matches!(first.cache, CacheOutcome::Miss { .. }),
+        "{}",
+        first.explain()
+    );
+
+    // A *different* query over the same attributes: cache hit.
+    let second = db
+        .execute(
+            "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 6 AND SUM(P.weight) <= 20 \
+             MAXIMIZE SUM(P.value)",
+        )
+        .unwrap();
+    assert!(
+        matches!(second.cache, CacheOutcome::Hit { .. }),
+        "{}",
+        second.explain()
+    );
+    if let (CacheOutcome::Miss { groups: g1, .. }, CacheOutcome::Hit { groups: g2, .. }) =
+        (&first.cache, &second.cache)
+    {
+        assert_eq!(g1, g2, "the very same partitioning must be served");
+    }
+
+    let stats = db.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.entries, 1);
+    // The hit skipped the build entirely.
+    assert_eq!(
+        second.timings.partitioning.as_nanos(),
+        0,
+        "cache hit must not rebuild"
+    );
+}
+
+#[test]
+fn table_mutation_invalidates_cached_partitionings() {
+    let mut db = db_with(20, 150);
+    db.execute(QUERY).unwrap(); // build + cache
+    assert_eq!(db.cache_stats().entries, 1);
+
+    db.append_row(
+        "Items",
+        vec![Value::Float(9.0), Value::Float(1.0), "high".into()],
+    )
+    .unwrap();
+
+    let exec = db.execute(QUERY).unwrap();
+    assert!(
+        matches!(exec.cache, CacheOutcome::Miss { .. }),
+        "stale partitioning must not be served: {}",
+        exec.explain()
+    );
+    let stats = db.cache_stats();
+    assert!(stats.invalidations >= 1, "{stats:?}");
+    assert_eq!(stats.misses, 2);
+}
+
+#[test]
+fn unknown_table_is_a_typed_error() {
+    let mut db = PackageDb::new();
+    db.register_table("Items", table(10));
+    match db.execute("SELECT PACKAGE(R) AS P FROM Nope R SUCH THAT COUNT(P.*) = 1") {
+        Err(DbError::UnknownTable { name, known }) => {
+            assert_eq!(name, "Nope");
+            assert_eq!(known, vec!["Items".to_string()]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn missing_attribute_is_a_schema_mismatch() {
+    let mut db = PackageDb::new();
+    db.register_table("Items", table(10));
+    match db.execute(
+        "SELECT PACKAGE(R) AS P FROM Items R \
+         SUCH THAT COUNT(P.*) = 1 MINIMIZE SUM(P.no_such_column)",
+    ) {
+        Err(DbError::SchemaMismatch { relation, missing }) => {
+            assert_eq!(relation, "Items");
+            assert_eq!(missing, vec!["no_such_column".to_string()]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn resolution_is_case_insensitive() {
+    let mut db = db_with(100, 40);
+    let exec = db
+        .execute("SELECT PACKAGE(R) AS P FROM items R REPEAT 0 SUCH THAT COUNT(P.*) = 2")
+        .unwrap();
+    assert_eq!(exec.relation, "Items", "original casing reported");
+}
+
+#[test]
+fn forced_routes_override_the_planner() {
+    let mut db = db_with(10_000, 120); // tiny vs. threshold
+    let q = parse_paql(QUERY).unwrap();
+    let direct = db.execute_with(&q, Route::ForceDirect).unwrap();
+    assert_eq!(direct.strategy, Strategy::Direct);
+    assert_eq!(direct.reason, RouteReason::Forced);
+
+    let sr = db.execute_with(&q, Route::ForceSketchRefine).unwrap();
+    assert_eq!(sr.strategy, Strategy::SketchRefine);
+    assert_eq!(sr.reason, RouteReason::Forced);
+    assert!(sr.report.is_some());
+
+    // SKETCHREFINE can never beat the DIRECT optimum (maximization).
+    let table = db.table("Items").unwrap();
+    let od = direct.package.objective_value(&q, table).unwrap();
+    let os = sr.package.objective_value(&q, table).unwrap();
+    assert!(os <= od + 1e-6);
+}
+
+#[test]
+fn installed_partitioning_is_served_as_a_hit() {
+    let mut db = db_with(20, 150);
+    let partitioning = Partitioner::new(PartitionConfig::by_size(
+        vec!["value".into(), "weight".into()],
+        25,
+    ))
+    .partition(db.table("Items").unwrap())
+    .unwrap();
+    let groups = partitioning.num_groups();
+    db.install_partitioning("Items", partitioning).unwrap();
+
+    let exec = db.execute(QUERY).unwrap();
+    match &exec.cache {
+        CacheOutcome::Hit { groups: g, .. } => assert_eq!(*g, groups),
+        other => panic!("installed partitioning not served: {other:?}"),
+    }
+}
+
+#[test]
+fn installing_a_non_covering_partitioning_fails() {
+    let mut db = db_with(20, 150);
+    let partitioning = Partitioner::new(PartitionConfig::by_size(vec!["value".into()], 25))
+        .partition(&table(60)) // built over the WRONG table size
+        .unwrap();
+    match db.install_partitioning("Items", partitioning) {
+        Err(DbError::InvalidPartitioning { relation, .. }) => assert_eq!(relation, "Items"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Data where the required package needs non-centroid tuples from two
+/// groups at once (cf. the core sketchrefine tests): the plain and
+/// hybrid sketches are infeasible, so the auto planner's DIRECT
+/// fallback is what rescues the answer.
+fn trap_db(fallback: bool) -> (PackageDb, String) {
+    let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+    for v in [1.0, 2.0, 3.0, 10.0, 20.0, 31.0] {
+        t.push_row(vec![Value::Float(v)]).unwrap();
+    }
+    let mut db = PackageDb::with_config(DbConfig {
+        direct_threshold: 3, // 6 rows > 3 ⇒ SKETCHREFINE route
+        fallback_to_direct: fallback,
+        sketchrefine: SketchRefineOptions {
+            use_hybrid_sketch: false,
+            ..SketchRefineOptions::default()
+        },
+        ..DbConfig::default()
+    });
+    db.register_table("Nums", t);
+    let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 3))
+        .partition(db.table("Nums").unwrap())
+        .unwrap();
+    db.install_partitioning("Nums", p).unwrap();
+    let q = "SELECT PACKAGE(R) AS P FROM Nums R REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 2 AND SUM(P.x) = 34 MINIMIZE SUM(P.x)"
+        .to_string();
+    (db, q)
+}
+
+#[test]
+fn possibly_false_infeasibility_falls_back_to_direct() {
+    let (mut db, q) = trap_db(true);
+    let exec = db.execute(&q).unwrap();
+    assert!(exec.fell_back_to_direct, "{}", exec.explain());
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(exec.package.cardinality(), 2);
+    assert!(exec.explain().contains("possibly-false infeasibility"));
+}
+
+#[test]
+fn fallback_can_be_disabled() {
+    let (mut db, q) = trap_db(false);
+    match db.execute(&q) {
+        Err(e) => assert!(e.is_infeasible(), "{e}"),
+        Ok(exec) => panic!("expected raw verdict, got {}", exec.explain()),
+    }
+}
+
+#[test]
+fn builder_and_text_queries_are_interchangeable() {
+    let mut db = db_with(100, 60);
+    let text = db.execute(QUERY).unwrap();
+    let built = db
+        .execute_query(
+            Paql::package("R")
+                .from("Items")
+                .repeat(0)
+                .count_eq(4)
+                .sum_le("weight", 14.0)
+                .maximize_sum("value"),
+        )
+        .unwrap();
+    let q = parse_paql(QUERY).unwrap();
+    let table = db.table("Items").unwrap();
+    assert_eq!(
+        text.package.objective_value(&q, table).unwrap(),
+        built.package.objective_value(&q, table).unwrap(),
+    );
+}
+
+#[test]
+fn explain_reports_route_and_cache() {
+    let mut db = db_with(20, 150);
+    let exec = db.execute(QUERY).unwrap();
+    let text = exec.explain();
+    assert!(text.contains("SKETCHREFINE"), "{text}");
+    assert!(text.contains("above direct-threshold"), "{text}");
+    assert!(text.contains("miss"), "{text}");
+    assert!(text.contains("timings"), "{text}");
+}

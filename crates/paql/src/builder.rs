@@ -1,0 +1,297 @@
+//! Fluent, programmatic construction of PaQL queries.
+//!
+//! [`Paql::package`] starts a [`PaqlBuilder`] that produces exactly the
+//! same [`PackageQuery`] AST the text parser yields, so programmatic and
+//! textual queries are interchangeable everywhere (including
+//! `paq_db::PackageDb::execute_query`):
+//!
+//! ```
+//! use paq_lang::{parse_paql, Paql};
+//!
+//! let built = Paql::package("R")
+//!     .from("Recipes")
+//!     .repeat(0)
+//!     .count_eq(3)
+//!     .sum_between("kcal", 2.0, 2.5)
+//!     .minimize_sum("saturated_fat")
+//!     .build();
+//!
+//! let parsed = parse_paql(
+//!     "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
+//!      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2 AND 2.5 \
+//!      MINIMIZE SUM(P.saturated_fat)",
+//! )
+//! .unwrap();
+//! assert_eq!(built, parsed);
+//! ```
+
+use paq_relational::expr::CmpOp;
+use paq_relational::Expr;
+
+use crate::ast::{AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery};
+
+/// Entry point for the fluent query builder.
+pub struct Paql;
+
+impl Paql {
+    /// Start building `SELECT PACKAGE(alias) AS P FROM alias alias`.
+    ///
+    /// The relation defaults to the alias (as in `FROM R R`); call
+    /// [`PaqlBuilder::from`] to name the input relation and
+    /// [`PaqlBuilder::named`] to rename the package.
+    pub fn package(alias: impl Into<String>) -> PaqlBuilder {
+        let alias = alias.into();
+        PaqlBuilder {
+            query: PackageQuery {
+                package_name: "P".into(),
+                relation: alias.clone(),
+                relation_alias: alias,
+                repeat: None,
+                where_clause: None,
+                such_that: Vec::new(),
+                objective: None,
+            },
+        }
+    }
+}
+
+/// Fluent builder for [`PackageQuery`]; see [`Paql::package`].
+#[derive(Debug, Clone)]
+pub struct PaqlBuilder {
+    query: PackageQuery,
+}
+
+impl PaqlBuilder {
+    /// Set the package name (`AS name`); defaults to `P`.
+    ///
+    /// Note: the AST pretty-printer renders aggregates with the
+    /// conventional `P.` qualifier, so only `P`-named packages
+    /// round-trip through `to_string()` + `parse_paql` (evaluation is
+    /// unaffected — the package name is cosmetic).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.query.package_name = name.into();
+        self
+    }
+
+    /// Set the input relation name (`FROM relation alias`).
+    pub fn from(mut self, relation: impl Into<String>) -> Self {
+        self.query.relation = relation.into();
+        self
+    }
+
+    /// `REPEAT k`: allow each tuple at most `k + 1` times.
+    pub fn repeat(mut self, k: u32) -> Self {
+        self.query.repeat = Some(k);
+        self
+    }
+
+    /// Add a base (`WHERE`) predicate; multiple calls are AND-ed.
+    ///
+    /// Column references use bare names (`Expr::col("gluten")`), exactly
+    /// what the parser produces after resolving alias qualifiers.
+    pub fn filter(mut self, predicate: Expr) -> Self {
+        self.query.where_clause = Some(match self.query.where_clause.take() {
+            Some(w) => w.and(predicate),
+            None => predicate,
+        });
+        self
+    }
+
+    /// Add a raw `SUCH THAT` predicate (escape hatch for forms without
+    /// a dedicated method, e.g. indicator-count comparisons).
+    pub fn such_that(mut self, predicate: GlobalPredicate) -> Self {
+        self.query.such_that.push(predicate);
+        self
+    }
+
+    fn cmp(self, lhs: AggExpr, op: CmpOp, rhs: f64) -> Self {
+        self.such_that(GlobalPredicate::Cmp {
+            lhs: AggTerm::Agg(lhs),
+            op,
+            rhs: AggTerm::Const(rhs),
+        })
+    }
+
+    /// `COUNT(P.*) = n`.
+    pub fn count_eq(self, n: u64) -> Self {
+        self.cmp(AggExpr::Count, CmpOp::Eq, n as f64)
+    }
+
+    /// `COUNT(P.*) <= n`.
+    pub fn count_le(self, n: u64) -> Self {
+        self.cmp(AggExpr::Count, CmpOp::Le, n as f64)
+    }
+
+    /// `COUNT(P.*) >= n`.
+    pub fn count_ge(self, n: u64) -> Self {
+        self.cmp(AggExpr::Count, CmpOp::Ge, n as f64)
+    }
+
+    /// `COUNT(P.*) BETWEEN lo AND hi`.
+    pub fn count_between(self, lo: u64, hi: u64) -> Self {
+        self.such_that(GlobalPredicate::Between {
+            agg: AggExpr::Count,
+            lo: lo as f64,
+            hi: hi as f64,
+        })
+    }
+
+    /// `SUM(P.attr) = v`.
+    pub fn sum_eq(self, attr: impl Into<String>, v: f64) -> Self {
+        self.cmp(AggExpr::Sum(attr.into()), CmpOp::Eq, v)
+    }
+
+    /// `SUM(P.attr) <= v`.
+    pub fn sum_le(self, attr: impl Into<String>, v: f64) -> Self {
+        self.cmp(AggExpr::Sum(attr.into()), CmpOp::Le, v)
+    }
+
+    /// `SUM(P.attr) >= v`.
+    pub fn sum_ge(self, attr: impl Into<String>, v: f64) -> Self {
+        self.cmp(AggExpr::Sum(attr.into()), CmpOp::Ge, v)
+    }
+
+    /// `SUM(P.attr) BETWEEN lo AND hi`.
+    pub fn sum_between(self, attr: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.such_that(GlobalPredicate::Between {
+            agg: AggExpr::Sum(attr.into()),
+            lo,
+            hi,
+        })
+    }
+
+    /// `AVG(P.attr) <= v`.
+    pub fn avg_le(self, attr: impl Into<String>, v: f64) -> Self {
+        self.cmp(AggExpr::Avg(attr.into()), CmpOp::Le, v)
+    }
+
+    /// `AVG(P.attr) >= v`.
+    pub fn avg_ge(self, attr: impl Into<String>, v: f64) -> Self {
+        self.cmp(AggExpr::Avg(attr.into()), CmpOp::Ge, v)
+    }
+
+    /// `AVG(P.attr) BETWEEN lo AND hi`.
+    pub fn avg_between(self, attr: impl Into<String>, lo: f64, hi: f64) -> Self {
+        self.such_that(GlobalPredicate::Between {
+            agg: AggExpr::Avg(attr.into()),
+            lo,
+            hi,
+        })
+    }
+
+    /// Set an explicit objective clause.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.query.objective = Some(objective);
+        self
+    }
+
+    /// `MINIMIZE SUM(P.attr)`.
+    pub fn minimize_sum(self, attr: impl Into<String>) -> Self {
+        self.objective(Objective {
+            sense: ObjectiveSense::Minimize,
+            agg: AggExpr::Sum(attr.into()),
+        })
+    }
+
+    /// `MAXIMIZE SUM(P.attr)`.
+    pub fn maximize_sum(self, attr: impl Into<String>) -> Self {
+        self.objective(Objective {
+            sense: ObjectiveSense::Maximize,
+            agg: AggExpr::Sum(attr.into()),
+        })
+    }
+
+    /// `MINIMIZE COUNT(P.*)`.
+    pub fn minimize_count(self) -> Self {
+        self.objective(Objective {
+            sense: ObjectiveSense::Minimize,
+            agg: AggExpr::Count,
+        })
+    }
+
+    /// `MAXIMIZE COUNT(P.*)`.
+    pub fn maximize_count(self) -> Self {
+        self.objective(Objective {
+            sense: ObjectiveSense::Maximize,
+            agg: AggExpr::Count,
+        })
+    }
+
+    /// Finish, yielding the assembled AST.
+    pub fn build(self) -> PackageQuery {
+        self.query
+    }
+}
+
+impl From<PaqlBuilder> for PackageQuery {
+    fn from(b: PaqlBuilder) -> PackageQuery {
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_paql;
+
+    #[test]
+    fn builder_matches_parser_on_running_example() {
+        let built = Paql::package("R")
+            .from("Recipes")
+            .repeat(0)
+            .filter(Expr::col("gluten").eq(Expr::lit("free")))
+            .count_eq(3)
+            .sum_between("kcal", 2.0, 2.5)
+            .minimize_sum("saturated_fat")
+            .build();
+        let parsed = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
+             WHERE R.gluten = 'free' \
+             SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
+             MINIMIZE SUM(P.saturated_fat)",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn relation_defaults_to_alias() {
+        let q = Paql::package("R").count_eq(1).build();
+        assert_eq!(q.relation, "R");
+        assert_eq!(q.relation_alias, "R");
+        assert_eq!(q.package_name, "P");
+        assert_eq!(q.repeat, None, "repetition is unlimited by default");
+        let named = Paql::package("R").named("Pkg").count_eq(1).build();
+        assert_eq!(named.package_name, "Pkg");
+    }
+
+    #[test]
+    fn built_query_display_reparses_identically() {
+        let q = Paql::package("G")
+            .from("Galaxy")
+            .repeat(2)
+            .count_between(8, 12)
+            .sum_le("u", 310.0)
+            .avg_ge("redshift", 0.01)
+            .maximize_sum("petror90_r")
+            .build();
+        let reparsed = parse_paql(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn filters_accumulate_with_and() {
+        let q = Paql::package("T")
+            .filter(Expr::col("a").is_not_null())
+            .filter(Expr::col("b").gt(Expr::lit(0.0)))
+            .count_eq(1)
+            .build();
+        let w = q.where_clause.expect("where clause");
+        assert_eq!(
+            w,
+            Expr::col("a")
+                .is_not_null()
+                .and(Expr::col("b").gt(Expr::lit(0.0)))
+        );
+    }
+}

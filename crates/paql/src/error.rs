@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = PaqlError::Parse { position: 17, message: "expected FROM".into() };
+        let e = PaqlError::Parse {
+            position: 17,
+            message: "expected FROM".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 17: expected FROM");
     }
 

@@ -77,40 +77,67 @@ pub fn tokenize(input: &str) -> PaqlResult<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    position: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(PaqlError::Lex {
@@ -121,24 +148,39 @@ pub fn tokenize(input: &str) -> PaqlResult<Vec<Token>> {
             }
             '<' => match bytes.get(i + 1) {
                 Some(&b'=') => {
-                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
                     i += 2;
                 }
                 Some(&b'>') => {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
                     i += 1;
                 }
             },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
@@ -168,23 +210,35 @@ pub fn tokenize(input: &str) -> PaqlResult<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    position: start,
+                });
             }
             '.' => {
                 // Disambiguate attribute dot from a leading-dot float
                 // like ".5".
                 if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
                     let (num, len) = lex_number(&input[i..], start)?;
-                    tokens.push(Token { kind: TokenKind::Number(num), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Number(num),
+                        position: start,
+                    });
                     i += len;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Dot, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             c if c.is_ascii_digit() => {
                 let (num, len) = lex_number(&input[i..], start)?;
-                tokens.push(Token { kind: TokenKind::Number(num), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(num),
+                    position: start,
+                });
                 i += len;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -211,7 +265,10 @@ pub fn tokenize(input: &str) -> PaqlResult<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, position: bytes.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: bytes.len(),
+    });
     Ok(tokens)
 }
 
@@ -243,7 +300,10 @@ fn lex_number(rest: &str, position: usize) -> PaqlResult<(f64, usize)> {
     rest[..end]
         .parse::<f64>()
         .map(|v| (v, end))
-        .map_err(|e| PaqlError::Lex { position, message: format!("bad number: {e}") })
+        .map_err(|e| PaqlError::Lex {
+            position,
+            message: format!("bad number: {e}"),
+        })
 }
 
 #[cfg(test)]
@@ -251,7 +311,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -274,26 +338,32 @@ mod tests {
 
     #[test]
     fn numbers_in_all_shapes() {
-        assert_eq!(kinds("2 2.5 .5 1e3 1.5E-2")[..5], [
-            TokenKind::Number(2.0),
-            TokenKind::Number(2.5),
-            TokenKind::Number(0.5),
-            TokenKind::Number(1000.0),
-            TokenKind::Number(0.015),
-        ]);
+        assert_eq!(
+            kinds("2 2.5 .5 1e3 1.5E-2")[..5],
+            [
+                TokenKind::Number(2.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(0.5),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.015),
+            ]
+        );
     }
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(kinds("= <> != < <= > >=")[..7], [
-            TokenKind::Eq,
-            TokenKind::Ne,
-            TokenKind::Ne,
-            TokenKind::Lt,
-            TokenKind::Le,
-            TokenKind::Gt,
-            TokenKind::Ge,
-        ]);
+        assert_eq!(
+            kinds("= <> != < <= > >=")[..7],
+            [
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+            ]
+        );
     }
 
     #[test]
@@ -306,11 +376,14 @@ mod tests {
 
     #[test]
     fn dotted_attribute_vs_decimal() {
-        assert_eq!(kinds("R.kcal")[..3], [
-            TokenKind::Ident("R".into()),
-            TokenKind::Dot,
-            TokenKind::Ident("kcal".into()),
-        ]);
+        assert_eq!(
+            kinds("R.kcal")[..3],
+            [
+                TokenKind::Ident("R".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("kcal".into()),
+            ]
+        );
     }
 
     #[test]

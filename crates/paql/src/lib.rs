@@ -18,6 +18,8 @@
 //!   pretty-printer that regenerates valid PaQL text;
 //! * [`lexer`] / [`parser`] — a hand-written tokenizer and
 //!   recursive-descent parser for the full grammar of Appendix A.4;
+//! * [`builder`] — a fluent programmatic constructor ([`Paql`]) that
+//!   yields the same AST as the parser;
 //! * [`validate`] — semantic checks against a table schema (attributes
 //!   exist and are numeric where required, linearity restrictions, …);
 //! * [`translate`] — the PaQL → ILP translation rules of §3.1, producing
@@ -26,6 +28,7 @@
 //!   proof of Theorem 1 (used to property-test expressiveness).
 
 pub mod ast;
+pub mod builder;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -34,6 +37,7 @@ pub mod translate;
 pub mod validate;
 
 pub use ast::{AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery};
+pub use builder::{Paql, PaqlBuilder};
 pub use error::{PaqlError, PaqlResult};
 pub use parser::parse_paql;
 pub use translate::{

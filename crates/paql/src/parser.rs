@@ -3,9 +3,7 @@
 use paq_relational::expr::CmpOp;
 use paq_relational::{Expr, Value};
 
-use crate::ast::{
-    AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery,
-};
+use crate::ast::{AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery};
 use crate::error::{PaqlError, PaqlResult};
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -46,7 +44,10 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> PaqlResult<T> {
-        Err(PaqlError::Parse { position: self.position(), message: message.into() })
+        Err(PaqlError::Parse {
+            position: self.position(),
+            message: message.into(),
+        })
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
@@ -205,11 +206,7 @@ impl Parser {
     // ------------------------------------------------------------------
     // Global predicates
     // ------------------------------------------------------------------
-    fn global_predicate(
-        &mut self,
-        pkg: &str,
-        quals: &[String],
-    ) -> PaqlResult<GlobalPredicate> {
+    fn global_predicate(&mut self, pkg: &str, quals: &[String]) -> PaqlResult<GlobalPredicate> {
         let lhs = self.agg_term(pkg, quals)?;
         if self.eat_kw("BETWEEN") {
             let agg = match lhs {
@@ -338,9 +335,9 @@ impl Parser {
             ("AVG", _, Some(_)) => {
                 self.error("AVG with a WHERE filter is not supported (non-linear)")
             }
-            ("MIN" | "MAX", ..) => self.error(
-                "MIN/MAX package aggregates are non-linear and unsupported",
-            ),
+            ("MIN" | "MAX", ..) => {
+                self.error("MIN/MAX package aggregates are non-linear and unsupported")
+            }
             _ => self.error(format!("unknown aggregate function {func}")),
         }
     }
@@ -420,7 +417,11 @@ impl Parser {
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(if negated { lhs.is_not_null() } else { lhs.is_null() });
+            return Ok(if negated {
+                lhs.is_not_null()
+            } else {
+                lhs.is_null()
+            });
         }
         let op = match self.peek() {
             TokenKind::Eq => Some(CmpOp::Eq),
@@ -561,7 +562,11 @@ mod tests {
         );
         assert_eq!(
             q.such_that[1],
-            GlobalPredicate::Between { agg: AggExpr::Sum("kcal".into()), lo: 2.0, hi: 2.5 }
+            GlobalPredicate::Between {
+                agg: AggExpr::Sum("kcal".into()),
+                lo: 2.0,
+                hi: 2.5
+            }
         );
         let obj = q.objective.unwrap();
         assert_eq!(obj.sense, ObjectiveSense::Minimize);
@@ -634,7 +639,10 @@ mod tests {
         )
         .unwrap();
         match &q.such_that[0] {
-            GlobalPredicate::Cmp { lhs: AggTerm::Agg(AggExpr::SumWhere(attr, f)), .. } => {
+            GlobalPredicate::Cmp {
+                lhs: AggTerm::Agg(AggExpr::SumWhere(attr, f)),
+                ..
+            } => {
                 assert_eq!(attr, "kcal");
                 assert_eq!(f.to_string(), "fat < 1");
             }
@@ -644,22 +652,21 @@ mod tests {
 
     #[test]
     fn avg_constraint_parses() {
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= 0.8",
-        )
-        .unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= 0.8").unwrap();
         assert!(matches!(
             q.such_that[0],
-            GlobalPredicate::Cmp { lhs: AggTerm::Agg(AggExpr::Avg(_)), op: CmpOp::Le, .. }
+            GlobalPredicate::Cmp {
+                lhs: AggTerm::Agg(AggExpr::Avg(_)),
+                op: CmpOp::Le,
+                ..
+            }
         ));
     }
 
     #[test]
     fn min_max_rejected_as_nonlinear() {
-        let err = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT MIN(P.kcal) >= 1",
-        )
-        .unwrap_err();
+        let err =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT MIN(P.kcal) >= 1").unwrap_err();
         assert!(err.to_string().contains("non-linear"));
     }
 
@@ -704,18 +711,15 @@ mod tests {
 
     #[test]
     fn arithmetic_in_where() {
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R WHERE R.a * 2 + 1 >= R.b / 4 - 3",
-        )
-        .unwrap();
+        let q =
+            parse_paql("SELECT PACKAGE(R) AS P FROM R WHERE R.a * 2 + 1 >= R.b / 4 - 3").unwrap();
         let w = q.where_clause.unwrap();
         assert_eq!(w.to_string(), "((a * 2) + 1) >= ((b / 4) - 3)");
     }
 
     #[test]
     fn unknown_qualifier_rejected() {
-        let err =
-            parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R WHERE X.kcal > 1").unwrap_err();
+        let err = parse_paql("SELECT PACKAGE(R) AS P FROM Recipes R WHERE X.kcal > 1").unwrap_err();
         assert!(err.to_string().contains("unknown qualifier"));
     }
 
@@ -736,10 +740,9 @@ mod tests {
 
     #[test]
     fn empty_between_range_rejected() {
-        assert!(parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.x) BETWEEN 5 AND 2"
-        )
-        .is_err());
+        assert!(
+            parse_paql("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.x) BETWEEN 5 AND 2").is_err()
+        );
     }
 
     #[test]
@@ -765,10 +768,8 @@ mod tests {
 
     #[test]
     fn null_and_boolean_literals_in_where() {
-        let q = parse_paql(
-            "SELECT PACKAGE(R) AS P FROM R WHERE R.x IS NOT NULL AND R.ok = TRUE",
-        )
-        .unwrap();
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM R WHERE R.x IS NOT NULL AND R.ok = TRUE")
+            .unwrap();
         let w = q.where_clause.unwrap().to_string();
         assert!(w.contains("IS NOT NULL"), "{w}");
         assert!(w.contains("ok = true"), "{w}");

@@ -25,9 +25,7 @@
 
 use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
 
-use crate::ast::{
-    AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery,
-};
+use crate::ast::{AggExpr, AggTerm, GlobalPredicate, Objective, ObjectiveSense, PackageQuery};
 use crate::error::{PaqlError, PaqlResult};
 use paq_relational::expr::CmpOp;
 
@@ -57,7 +55,10 @@ impl IlpInstance {
             .map(|&a| m.add_int_var(0.0, f64::INFINITY, a))
             .collect();
         for (row, rhs) in &self.constraints {
-            m.add_le(vars.iter().copied().zip(row.iter().copied()).collect(), *rhs);
+            m.add_le(
+                vars.iter().copied().zip(row.iter().copied()).collect(),
+                *rhs,
+            );
         }
         m.set_sense(paq_solver::Sense::Maximize);
         m
@@ -143,10 +144,7 @@ mod tests {
         // max 7x1 + 4x2 + 3x3 s.t. 3x1+2x2+x3 ≤ 10, x1 ≤ 2 (as a row).
         let ilp = IlpInstance {
             objective: vec![7.0, 4.0, 3.0],
-            constraints: vec![
-                (vec![3.0, 2.0, 1.0], 10.0),
-                (vec![1.0, 0.0, 0.0], 2.0),
-            ],
+            constraints: vec![(vec![3.0, 2.0, 1.0], 10.0), (vec![1.0, 0.0, 0.0], 2.0)],
         };
         let direct = objective_of(&solve_model(&ilp.to_model()));
         let (table, query) = ilp_to_paql(&ilp).unwrap();
@@ -217,7 +215,10 @@ mod tests {
                     (row, rhs)
                 })
                 .collect();
-            let ilp = IlpInstance { objective, constraints };
+            let ilp = IlpInstance {
+                objective,
+                constraints,
+            };
             let direct = objective_of(&solve_model(&ilp.to_model()));
             let (table, query) = ilp_to_paql(&ilp).unwrap();
             let tr = translate(&query, &table).unwrap();

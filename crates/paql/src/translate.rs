@@ -74,7 +74,10 @@ pub fn translate_over(
     let base_rows = base_relation_rows(query, table, &candidate_rows)?;
     let ls = linear_system(query, table, &base_rows)?;
     let model = ls.to_model();
-    Ok(Translation { model, tuple_of_var: base_rows })
+    Ok(Translation {
+        model,
+        tuple_of_var: base_rows,
+    })
 }
 
 /// Row indices of `candidates` surviving the query's base predicate
@@ -140,7 +143,10 @@ impl LinearSystem {
             .collect();
         for row in &self.rows {
             model.add_range(
-                vars.iter().copied().zip(row.coefs.iter().copied()).collect(),
+                vars.iter()
+                    .copied()
+                    .zip(row.coefs.iter().copied())
+                    .collect(),
                 row.lo,
                 row.hi,
             );
@@ -208,7 +214,12 @@ pub fn linear_system(
         None => (vec![0.0; rows.len()], Sense::Maximize),
     };
 
-    Ok(LinearSystem { rows: out_rows, objective, sense, var_ub })
+    Ok(LinearSystem {
+        rows: out_rows,
+        objective,
+        sense,
+        var_ub,
+    })
 }
 
 /// Per-tuple linear coefficients of an aggregate (rule 3).
@@ -233,7 +244,11 @@ fn agg_coefs(table: &Table, rows: &[usize], agg: &AggExpr) -> PaqlResult<Vec<f64
             let col = table.column(attr)?;
             for &row in rows {
                 let hit = filter.eval_bool(table, row)?.unwrap_or(false);
-                out.push(if hit { col.f64_at(row).unwrap_or(0.0) } else { 0.0 });
+                out.push(if hit {
+                    col.f64_at(row).unwrap_or(0.0)
+                } else {
+                    0.0
+                });
             }
         }
         AggExpr::Avg(_) => {
@@ -271,7 +286,11 @@ fn cmp_row(
     }
     if let (AggTerm::Const(v), AggTerm::Agg(AggExpr::Avg(attr))) = (lhs, rhs) {
         // v ⊙ AVG ≡ AVG ⊙⁻¹ v.
-        return Ok(bounded_row(avg_coefs(table, rows, attr, *v)?, flip(op), 0.0));
+        return Ok(bounded_row(
+            avg_coefs(table, rows, attr, *v)?,
+            flip(op),
+            0.0,
+        ));
     }
 
     // General linear form: (lhs_lin − rhs_lin)·x ⊙ (rhs_const − lhs_const).
@@ -305,9 +324,21 @@ fn accumulate(
 
 fn bounded_row(coefs: Vec<f64>, op: CmpOp, bound: f64) -> LinearRow {
     match op {
-        CmpOp::Le | CmpOp::Lt => LinearRow { coefs, lo: f64::NEG_INFINITY, hi: bound },
-        CmpOp::Ge | CmpOp::Gt => LinearRow { coefs, lo: bound, hi: f64::INFINITY },
-        CmpOp::Eq => LinearRow { coefs, lo: bound, hi: bound },
+        CmpOp::Le | CmpOp::Lt => LinearRow {
+            coefs,
+            lo: f64::NEG_INFINITY,
+            hi: bound,
+        },
+        CmpOp::Ge | CmpOp::Gt => LinearRow {
+            coefs,
+            lo: bound,
+            hi: f64::INFINITY,
+        },
+        CmpOp::Eq => LinearRow {
+            coefs,
+            lo: bound,
+            hi: bound,
+        },
         CmpOp::Ne => unreachable!("validation rejects <> in global predicates"),
     }
 }
@@ -347,8 +378,15 @@ mod tests {
             ("tofu", "free", 0.6, 0.6, 3.0, 12.0),
         ];
         for (n, g, k, f, c, p) in rows {
-            t.push_row(vec![n.into(), g.into(), k.into(), f.into(), c.into(), p.into()])
-                .unwrap();
+            t.push_row(vec![
+                n.into(),
+                g.into(),
+                k.into(),
+                f.into(),
+                c.into(),
+                p.into(),
+            ])
+            .unwrap();
         }
         t
     }
@@ -356,7 +394,9 @@ mod tests {
     fn solve(query: &str, table: &Table) -> (Translation, SolveOutcome) {
         let q = parse_paql(query).unwrap();
         let tr = translate(&q, table).unwrap();
-        let out = MilpSolver::new(SolverConfig::default()).solve(&tr.model).outcome;
+        let out = MilpSolver::new(SolverConfig::default())
+            .solve(&tr.model)
+            .outcome;
         (tr, out)
     }
 
@@ -402,16 +442,18 @@ mod tests {
                     if (2.0..=2.5).contains(&kc) {
                         let fat: f64 = trio
                             .iter()
-                            .map(|&t| {
-                                table.value(t, "saturated_fat").unwrap().as_f64().unwrap()
-                            })
+                            .map(|&t| table.value(t, "saturated_fat").unwrap().as_f64().unwrap())
                             .sum();
                         best = best.min(fat);
                     }
                 }
             }
         }
-        assert!((sol.objective - best).abs() < 1e-9, "{} vs {best}", sol.objective);
+        assert!(
+            (sol.objective - best).abs() < 1e-9,
+            "{} vs {best}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -576,13 +618,18 @@ mod tests {
         )
         .unwrap();
         let tr = translate(&q, &t).unwrap();
-        let out = MilpSolver::new(SolverConfig::default()).solve(&tr.model).outcome;
+        let out = MilpSolver::new(SolverConfig::default())
+            .solve(&tr.model)
+            .outcome;
         assert_eq!(out.solution().unwrap().objective, 5.0);
     }
 
     #[test]
     fn decode_reports_multiplicities() {
-        let tr = Translation { model: Model::new(), tuple_of_var: vec![7, 9, 11] };
+        let tr = Translation {
+            model: Model::new(),
+            tuple_of_var: vec![7, 9, 11],
+        };
         assert_eq!(tr.decode(&[2.0, 0.0, 1.0]), vec![(7, 2), (11, 1)]);
     }
 

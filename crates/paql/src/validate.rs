@@ -158,15 +158,13 @@ mod tests {
 
     #[test]
     fn unknown_attribute_in_such_that() {
-        let err =
-            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.nope) <= 1").unwrap_err();
+        let err = check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.nope) <= 1").unwrap_err();
         assert!(err.to_string().contains("nope"));
     }
 
     #[test]
     fn non_numeric_aggregate_rejected() {
-        let err =
-            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.name) <= 1").unwrap_err();
+        let err = check("SELECT PACKAGE(R) AS P FROM R SUCH THAT SUM(P.name) <= 1").unwrap_err();
         assert!(err.to_string().contains("numeric"));
     }
 
@@ -178,17 +176,14 @@ mod tests {
 
     #[test]
     fn not_equal_rejected() {
-        let err =
-            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) <> 3").unwrap_err();
+        let err = check("SELECT PACKAGE(R) AS P FROM R SUCH THAT COUNT(P.*) <> 3").unwrap_err();
         assert!(err.to_string().contains("linear"));
     }
 
     #[test]
     fn avg_vs_aggregate_rejected() {
-        let err = check(
-            "SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= SUM(P.fat)",
-        )
-        .unwrap_err();
+        let err =
+            check("SELECT PACKAGE(R) AS P FROM R SUCH THAT AVG(P.kcal) <= SUM(P.fat)").unwrap_err();
         assert!(err.to_string().contains("AVG"));
     }
 

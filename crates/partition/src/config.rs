@@ -61,7 +61,11 @@ impl PartitionConfig {
         maximization: bool,
     ) -> RelResult<f64> {
         assert!(epsilon >= 0.0, "epsilon must be nonnegative");
-        let gamma = if maximization { epsilon } else { epsilon / (1.0 + epsilon) };
+        let gamma = if maximization {
+            epsilon
+        } else {
+            epsilon / (1.0 + epsilon)
+        };
         let mut min_abs = f64::INFINITY;
         for attr in attributes {
             let col = table.column(attr)?;
@@ -96,7 +100,8 @@ mod tests {
             ("s", DataType::Str),
         ]));
         for (x, y) in [(2.0, 8.0), (4.0, 6.0), (3.0, 10.0)] {
-            t.push_row(vec![Value::Float(x), Value::Float(y), "t".into()]).unwrap();
+            t.push_row(vec![Value::Float(x), Value::Float(y), "t".into()])
+                .unwrap();
         }
         t
     }
@@ -114,13 +119,8 @@ mod tests {
     fn omega_uses_gamma_epsilon_for_maximization() {
         let t = table();
         // min |value| over x,y is 2.0; γ = ε = 0.5 ⇒ ω = 1.0.
-        let omega = PartitionConfig::omega_for_epsilon(
-            &t,
-            &["x".into(), "y".into()],
-            0.5,
-            true,
-        )
-        .unwrap();
+        let omega =
+            PartitionConfig::omega_for_epsilon(&t, &["x".into(), "y".into()], 0.5, true).unwrap();
         assert_eq!(omega, 1.0);
     }
 
@@ -128,32 +128,22 @@ mod tests {
     fn omega_uses_gamma_over_one_plus_eps_for_minimization() {
         let t = table();
         // γ = ε/(1+ε) = 0.5/1.5 = 1/3 ⇒ ω = 2/3.
-        let omega = PartitionConfig::omega_for_epsilon(
-            &t,
-            &["x".into(), "y".into()],
-            0.5,
-            false,
-        )
-        .unwrap();
+        let omega =
+            PartitionConfig::omega_for_epsilon(&t, &["x".into(), "y".into()], 0.5, false).unwrap();
         assert!((omega - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn epsilon_zero_means_zero_radius() {
         let t = table();
-        let omega =
-            PartitionConfig::omega_for_epsilon(&t, &["x".into()], 0.0, true).unwrap();
+        let omega = PartitionConfig::omega_for_epsilon(&t, &["x".into()], 0.0, true).unwrap();
         assert_eq!(omega, 0.0);
     }
 
     #[test]
     fn non_numeric_attribute_rejected() {
         let t = table();
-        assert!(
-            PartitionConfig::omega_for_epsilon(&t, &["s".into()], 0.1, true).is_err()
-        );
-        assert!(
-            PartitionConfig::omega_for_epsilon(&t, &["zzz".into()], 0.1, true).is_err()
-        );
+        assert!(PartitionConfig::omega_for_epsilon(&t, &["s".into()], 0.1, true).is_err());
+        assert!(PartitionConfig::omega_for_epsilon(&t, &["zzz".into()], 0.1, true).is_err());
     }
 }

@@ -134,10 +134,20 @@ pub fn kmeans_partition(table: &Table, config: &KMeansConfig) -> RelResult<Parti
             continue;
         }
         let (representative, radius) = centroid_and_radius(&columns, &rows);
-        groups.push(Group { gid: groups.len() as i64 + 1, rows, representative, radius });
+        groups.push(Group {
+            gid: groups.len() as i64 + 1,
+            rows,
+            representative,
+            radius,
+        });
     }
     if groups.is_empty() {
-        groups.push(Group { gid: 1, rows: vec![], representative: vec![0.0; d], radius: 0.0 });
+        groups.push(Group {
+            gid: 1,
+            rows: vec![],
+            representative: vec![0.0; d],
+            radius: 0.0,
+        });
     }
 
     Ok(Partitioning {
@@ -159,7 +169,8 @@ mod tests {
         ]));
         for i in 0..20 {
             let off = (i % 5) as f64 * 0.1;
-            t.push_row(vec![Value::Float(off), Value::Float(off)]).unwrap();
+            t.push_row(vec![Value::Float(off), Value::Float(off)])
+                .unwrap();
             t.push_row(vec![Value::Float(100.0 + off), Value::Float(100.0 + off)])
                 .unwrap();
         }
@@ -215,7 +226,12 @@ mod tests {
         t.push_row(vec![Value::Float(2.0)]).unwrap();
         let p = kmeans_partition(
             &t,
-            &KMeansConfig { attributes: vec!["x".into()], k: 10, max_iterations: 5, seed: 7 },
+            &KMeansConfig {
+                attributes: vec!["x".into()],
+                k: 10,
+                max_iterations: 5,
+                seed: 7,
+            },
         )
         .unwrap();
         assert!(p.num_groups() <= 2);
@@ -227,7 +243,12 @@ mod tests {
         let t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
         let p = kmeans_partition(
             &t,
-            &KMeansConfig { attributes: vec!["x".into()], k: 3, max_iterations: 5, seed: 7 },
+            &KMeansConfig {
+                attributes: vec!["x".into()],
+                k: 3,
+                max_iterations: 5,
+                seed: 7,
+            },
         )
         .unwrap();
         assert_eq!(p.num_groups(), 1);

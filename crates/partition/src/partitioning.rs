@@ -117,7 +117,11 @@ impl Partitioning {
                             cnt += 1;
                         }
                     }
-                    if cnt == 0 { 0.0 } else { sum / cnt as f64 }
+                    if cnt == 0 {
+                        0.0
+                    } else {
+                        sum / cnt as f64
+                    }
                 };
                 row.push(Value::Float(value));
             }
@@ -135,7 +139,11 @@ impl Partitioning {
     /// (§5.2.1). Representatives and radii are recomputed over the
     /// surviving rows; empty groups are dropped.
     pub fn restrict(&self, table: &Table, keep: &[bool]) -> RelResult<Partitioning> {
-        assert_eq!(keep.len(), table.num_rows(), "keep mask must cover the table");
+        assert_eq!(
+            keep.len(),
+            table.num_rows(),
+            "keep mask must cover the table"
+        );
         // New index of every kept row.
         let mut new_index = vec![usize::MAX; keep.len()];
         let mut next = 0usize;
@@ -153,8 +161,7 @@ impl Partitioning {
 
         let mut groups = Vec::new();
         for g in &self.groups {
-            let survivors: Vec<usize> =
-                g.rows.iter().copied().filter(|&r| keep[r]).collect();
+            let survivors: Vec<usize> = g.rows.iter().copied().filter(|&r| keep[r]).collect();
             if survivors.is_empty() {
                 continue;
             }

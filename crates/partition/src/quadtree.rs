@@ -110,7 +110,13 @@ impl Partitioner {
                 }
             })
             .collect();
-        nodes.push(TreeNode { rows: all_rows, centroid, radius, children: vec![], depth: 0 });
+        nodes.push(TreeNode {
+            rows: all_rows,
+            centroid,
+            radius,
+            children: vec![],
+            depth: 0,
+        });
 
         // Iterative worklist over node indices needing a split check.
         let mut work = vec![0usize];
@@ -120,10 +126,7 @@ impl Partitioner {
                 (n.rows.clone(), n.radius, n.depth)
             };
             let size_ok = rows.len() <= self.config.size_threshold;
-            let radius_ok = self
-                .config
-                .radius_limit
-                .is_none_or(|omega| radius <= omega);
+            let radius_ok = self.config.radius_limit.is_none_or(|omega| radius <= omega);
             if (size_ok && radius_ok) || rows.len() <= 1 {
                 continue; // satisfied leaf
             }
@@ -141,8 +144,7 @@ impl Partitioner {
                     self.config.size_threshold,
                     self.config.radius_limit,
                 );
-                let quads =
-                    quadrant_split(&columns, &nodes[idx].centroid, &rows, &split_dims);
+                let quads = quadrant_split(&columns, &nodes[idx].centroid, &rows, &split_dims);
                 if quads.len() <= 1 {
                     chunk_rows(&rows, self.config.size_threshold)
                 } else {
@@ -215,7 +217,11 @@ fn split_attributes(
                 }
             }
             let spread = if hi >= lo { hi - lo } else { 0.0 };
-            let relative = if scales[a] > 0.0 { spread / scales[a] } else { 0.0 };
+            let relative = if scales[a] > 0.0 {
+                spread / scales[a]
+            } else {
+                0.0
+            };
             (a, relative, spread)
         })
         .collect();
@@ -374,11 +380,10 @@ mod tests {
     #[test]
     fn radius_limit_is_enforced() {
         let t = grid_table(300);
-        let p = Partitioner::new(
-            PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(10.0),
-        )
-        .partition(&t)
-        .unwrap();
+        let p =
+            Partitioner::new(PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(10.0))
+                .partition(&t)
+                .unwrap();
         assert!(p.max_radius() <= 10.0, "max radius {}", p.max_radius());
         assert!(p.is_disjoint_cover(300));
     }
@@ -386,11 +391,9 @@ mod tests {
     #[test]
     fn both_conditions_together() {
         let t = grid_table(400);
-        let p = Partitioner::new(
-            PartitionConfig::by_size(attrs(), 25).with_radius_limit(15.0),
-        )
-        .partition(&t)
-        .unwrap();
+        let p = Partitioner::new(PartitionConfig::by_size(attrs(), 25).with_radius_limit(15.0))
+            .partition(&t)
+            .unwrap();
         assert!(p.max_group_size() <= 25);
         assert!(p.max_radius() <= 15.0);
     }
@@ -440,7 +443,12 @@ mod tests {
     #[test]
     fn nulls_fall_to_the_low_side_and_are_covered() {
         let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
-        for v in [Value::Float(0.0), Value::Null, Value::Float(100.0), Value::Float(99.0)] {
+        for v in [
+            Value::Float(0.0),
+            Value::Null,
+            Value::Float(100.0),
+            Value::Float(99.0),
+        ] {
             t.push_row(vec![v]).unwrap();
         }
         let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 2))
@@ -468,11 +476,10 @@ mod tests {
     #[test]
     fn tree_retains_hierarchy_and_dynamic_extraction_coarsens() {
         let t = grid_table(400);
-        let tree = Partitioner::new(
-            PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(5.0),
-        )
-        .build_tree(&t)
-        .unwrap();
+        let tree =
+            Partitioner::new(PartitionConfig::by_size(attrs(), usize::MAX).with_radius_limit(5.0))
+                .build_tree(&t)
+                .unwrap();
         assert!(tree.num_nodes() > 1);
 
         let fine = tree.coarsest_for(5.0, usize::MAX);
@@ -514,7 +521,8 @@ mod tests {
         // keep splitting the dense region.
         let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
         for i in 0..256 {
-            t.push_row(vec![Value::Float((i % 16) as f64 * 0.001)]).unwrap();
+            t.push_row(vec![Value::Float((i % 16) as f64 * 0.001)])
+                .unwrap();
         }
         t.push_row(vec![Value::Float(1e6)]).unwrap();
         let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 16))

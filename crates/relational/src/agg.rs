@@ -153,7 +153,12 @@ mod tests {
 
     fn table() -> Table {
         let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
-        for v in [Value::Float(1.0), Value::Float(4.0), Value::Null, Value::Float(-2.0)] {
+        for v in [
+            Value::Float(1.0),
+            Value::Float(4.0),
+            Value::Null,
+            Value::Float(-2.0),
+        ] {
             t.push_row(vec![v]).unwrap();
         }
         t
@@ -180,7 +185,10 @@ mod tests {
     #[test]
     fn min_max() {
         let t = table();
-        assert_eq!(aggregate(&t, AggFunc::Min, "x").unwrap(), Value::Float(-2.0));
+        assert_eq!(
+            aggregate(&t, AggFunc::Min, "x").unwrap(),
+            Value::Float(-2.0)
+        );
         assert_eq!(aggregate(&t, AggFunc::Max, "x").unwrap(), Value::Float(4.0));
     }
 
@@ -218,7 +226,13 @@ mod tests {
 
     #[test]
     fn keyword_round_trip() {
-        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+        for f in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
             assert_eq!(AggFunc::from_keyword(f.keyword()), Some(f));
         }
         assert_eq!(AggFunc::from_keyword("median"), None);

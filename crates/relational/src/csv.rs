@@ -60,7 +60,15 @@ fn split_record(line: &str) -> RelResult<Vec<String>> {
 pub fn write_csv<W: Write>(table: &Table, out: W) -> RelResult<()> {
     let mut w = BufWriter::new(out);
     let names = table.schema().names();
-    writeln!(w, "{}", names.iter().map(|n| escape(n)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        w,
+        "{}",
+        names
+            .iter()
+            .map(|n| escape(n))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for i in 0..table.num_rows() {
         let row: Vec<String> = table
             .row(i)
@@ -120,15 +128,13 @@ fn next_record(
     loop {
         match split_record(&record) {
             Ok(fields) => return Ok(Some(fields)),
-            Err(RelError::Parse(msg)) if msg.contains("unterminated") => {
-                match lines.next() {
-                    Some(next) => {
-                        record.push('\n');
-                        record.push_str(&next?);
-                    }
-                    None => return Err(RelError::Parse(msg)),
+            Err(RelError::Parse(msg)) if msg.contains("unterminated") => match lines.next() {
+                Some(next) => {
+                    record.push('\n');
+                    record.push_str(&next?);
                 }
-            }
+                None => return Err(RelError::Parse(msg)),
+            },
             Err(e) => return Err(e),
         }
     }
@@ -139,8 +145,8 @@ fn next_record(
 /// multiple lines.
 pub fn read_csv<R: Read>(schema: Schema, input: R) -> RelResult<Table> {
     let mut lines = BufReader::new(input).lines();
-    let header_fields = next_record(&mut lines)?
-        .ok_or_else(|| RelError::Parse("empty csv".into()))?;
+    let header_fields =
+        next_record(&mut lines)?.ok_or_else(|| RelError::Parse("empty csv".into()))?;
     let expected = schema.names();
     if header_fields != expected {
         return Err(RelError::SchemaMismatch(format!(
@@ -189,8 +195,13 @@ mod tests {
 
     fn sample() -> Table {
         let mut t = Table::new(schema());
-        t.push_row(vec!["plain".into(), Value::Float(1.5), Value::Int(3), true.into()])
-            .unwrap();
+        t.push_row(vec![
+            "plain".into(),
+            Value::Float(1.5),
+            Value::Int(3),
+            true.into(),
+        ])
+        .unwrap();
         t.push_row(vec![
             "with,comma \"q\"".into(),
             Value::Null,

@@ -42,7 +42,10 @@ impl fmt::Display for RelError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             RelError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} fields, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} fields, found {found}"
+                )
             }
             RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelError::Parse(msg) => write!(f, "parse error: {msg}"),
@@ -75,7 +78,11 @@ mod tests {
             "unknown column: kcal"
         );
         assert_eq!(
-            RelError::ArityMismatch { expected: 3, found: 2 }.to_string(),
+            RelError::ArityMismatch {
+                expected: 3,
+                found: 2
+            }
+            .to_string(),
             "arity mismatch: expected 3 fields, found 2"
         );
         assert_eq!(RelError::DivisionByZero.to_string(), "division by zero");

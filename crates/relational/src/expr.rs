@@ -144,6 +144,7 @@ impl Expr {
         Expr::Or(Box::new(self), Box::new(rhs))
     }
     /// `NOT self`
+    #[allow(clippy::should_implement_trait)] // fluent builder, not an operator impl
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -156,18 +157,22 @@ impl Expr {
         Expr::IsNotNull(Box::new(self))
     }
     /// `self + rhs`
+    #[allow(clippy::should_implement_trait)] // fluent builder, not an operator impl
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Arith(Box::new(self), BinOp::Add, Box::new(rhs))
     }
     /// `self - rhs`
+    #[allow(clippy::should_implement_trait)] // fluent builder, not an operator impl
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Arith(Box::new(self), BinOp::Sub, Box::new(rhs))
     }
     /// `self * rhs`
+    #[allow(clippy::should_implement_trait)] // fluent builder, not an operator impl
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Arith(Box::new(self), BinOp::Mul, Box::new(rhs))
     }
     /// `self / rhs`
+    #[allow(clippy::should_implement_trait)] // fluent builder, not an operator impl
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Arith(Box::new(self), BinOp::Div, Box::new(rhs))
     }
@@ -320,9 +325,12 @@ mod tests {
             ("tag", DataType::Str),
             ("flag", DataType::Bool),
         ]));
-        t.push_row(vec![Value::Float(1.0), "a".into(), true.into()]).unwrap();
-        t.push_row(vec![Value::Float(2.0), "b".into(), false.into()]).unwrap();
-        t.push_row(vec![Value::Null, "c".into(), Value::Null]).unwrap();
+        t.push_row(vec![Value::Float(1.0), "a".into(), true.into()])
+            .unwrap();
+        t.push_row(vec![Value::Float(2.0), "b".into(), false.into()])
+            .unwrap();
+        t.push_row(vec![Value::Null, "c".into(), Value::Null])
+            .unwrap();
         t
     }
 
@@ -332,7 +340,11 @@ mod tests {
         let pred = Expr::col("x").gt(Expr::lit(1.5));
         assert_eq!(pred.eval_bool(&t, 0).unwrap(), Some(false));
         assert_eq!(pred.eval_bool(&t, 1).unwrap(), Some(true));
-        assert_eq!(pred.eval_bool(&t, 2).unwrap(), None, "NULL compare is unknown");
+        assert_eq!(
+            pred.eval_bool(&t, 2).unwrap(),
+            None,
+            "NULL compare is unknown"
+        );
     }
 
     #[test]
@@ -372,8 +384,14 @@ mod tests {
     #[test]
     fn is_null_checks() {
         let t = table();
-        assert_eq!(Expr::col("x").is_null().eval_bool(&t, 2).unwrap(), Some(true));
-        assert_eq!(Expr::col("x").is_not_null().eval_bool(&t, 0).unwrap(), Some(true));
+        assert_eq!(
+            Expr::col("x").is_null().eval_bool(&t, 2).unwrap(),
+            Some(true)
+        );
+        assert_eq!(
+            Expr::col("x").is_not_null().eval_bool(&t, 0).unwrap(),
+            Some(true)
+        );
     }
 
     #[test]
@@ -404,7 +422,10 @@ mod tests {
         let e = Expr::col("b")
             .add(Expr::col("a"))
             .gt(Expr::col("a").mul(Expr::lit(2.0)));
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

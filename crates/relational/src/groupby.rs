@@ -100,7 +100,12 @@ pub fn group_stats(table: &Table, key: &str, attrs: &[&str]) -> RelResult<Vec<Gr
                 max: a.max().unwrap_or(0.0),
             })
             .collect();
-        out.push(GroupStats { gid, size: rows.len(), attrs, rows });
+        out.push(GroupStats {
+            gid,
+            size: rows.len(),
+            attrs,
+            rows,
+        });
     }
     Ok(out)
 }
@@ -171,11 +176,16 @@ mod tests {
     #[test]
     fn null_keys_are_skipped_and_null_attrs_ignored() {
         let mut t = table();
-        t.push_row(vec![Value::Null, Value::Float(100.0), Value::Float(0.0)]).unwrap();
-        t.push_row(vec![Value::Int(1), Value::Null, Value::Float(20.0)]).unwrap();
+        t.push_row(vec![Value::Null, Value::Float(100.0), Value::Float(0.0)])
+            .unwrap();
+        t.push_row(vec![Value::Int(1), Value::Null, Value::Float(20.0)])
+            .unwrap();
         let gs = group_stats(&t, "gid", &["x"]).unwrap();
         assert_eq!(gs[0].size, 4, "NULL x row still belongs to group 1");
-        assert_eq!(gs[0].attrs[0].mean, 2.0, "NULL x does not shift the centroid");
+        assert_eq!(
+            gs[0].attrs[0].mean, 2.0,
+            "NULL x does not shift the centroid"
+        );
         assert_eq!(gs.iter().map(|g| g.size).sum::<usize>(), 6);
     }
 

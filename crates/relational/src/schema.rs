@@ -63,7 +63,10 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// Construct a column definition.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        ColumnDef { name: name.into(), ty }
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -90,12 +93,7 @@ impl Schema {
 
     /// Convenience constructor from `(&str, DataType)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect())
     }
 
     /// Number of columns.
@@ -217,7 +215,9 @@ mod tests {
 
     #[test]
     fn with_column_extends() {
-        let s = sample().with_column(ColumnDef::new("gid", DataType::Int)).unwrap();
+        let s = sample()
+            .with_column(ColumnDef::new("gid", DataType::Int))
+            .unwrap();
         assert_eq!(s.arity(), 4);
         assert!(s.contains("gid"));
         assert!(s.with_column(ColumnDef::new("gid", DataType::Int)).is_err());
@@ -240,9 +240,6 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(
-            sample().to_string(),
-            "(kcal FLOAT, gluten STR, id INT)"
-        );
+        assert_eq!(sample().to_string(), "(kcal FLOAT, gluten STR, id INT)");
     }
 }

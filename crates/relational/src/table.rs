@@ -47,10 +47,22 @@ impl Column {
     /// An empty column of the given type.
     pub fn new(ty: DataType) -> Self {
         match ty {
-            DataType::Int => Column::Int { data: vec![], nulls: vec![] },
-            DataType::Float => Column::Float { data: vec![], nulls: vec![] },
-            DataType::Bool => Column::Bool { data: vec![], nulls: vec![] },
-            DataType::Str => Column::Str { data: vec![], nulls: vec![] },
+            DataType::Int => Column::Int {
+                data: vec![],
+                nulls: vec![],
+            },
+            DataType::Float => Column::Float {
+                data: vec![],
+                nulls: vec![],
+            },
+            DataType::Bool => Column::Bool {
+                data: vec![],
+                nulls: vec![],
+            },
+            DataType::Str => Column::Str {
+                data: vec![],
+                nulls: vec![],
+            },
         }
     }
 
@@ -156,16 +168,32 @@ impl Column {
     pub fn get(&self, i: usize) -> Value {
         match self {
             Column::Int { data, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Int(data[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int(data[i])
+                }
             }
             Column::Float { data, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Float(data[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Float(data[i])
+                }
             }
             Column::Bool { data, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Bool(data[i]) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Bool(data[i])
+                }
             }
             Column::Str { data, nulls } => {
-                if nulls[i] { Value::Null } else { Value::Str(data[i].clone()) }
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Str(data[i].clone())
+                }
             }
         }
     }
@@ -231,7 +259,11 @@ impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
         let columns = schema.columns().iter().map(|c| Column::new(c.ty)).collect();
-        Table { schema, columns, rows: 0 }
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// An empty table with reserved row capacity.
@@ -241,7 +273,11 @@ impl Table {
             .iter()
             .map(|c| Column::with_capacity(c.ty, cap))
             .collect();
-        Table { schema, columns, rows: 0 }
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
     }
 
     /// The table's schema.
@@ -345,7 +381,11 @@ impl Table {
         for n in names {
             columns.push(self.column(n)?.clone());
         }
-        Ok(Table { schema, columns, rows: self.rows })
+        Ok(Table {
+            schema,
+            columns,
+            rows: self.rows,
+        })
     }
 
     /// A new table that keeps only the first `n` rows.
@@ -357,7 +397,10 @@ impl Table {
     /// Extend this table with an extra column of values.
     pub fn add_column(&mut self, def: ColumnDef, values: Vec<Value>) -> RelResult<()> {
         if values.len() != self.rows {
-            return Err(RelError::ArityMismatch { expected: self.rows, found: values.len() });
+            return Err(RelError::ArityMismatch {
+                expected: self.rows,
+                found: values.len(),
+            });
         }
         let mut col = Column::with_capacity(def.ty, values.len());
         for v in values {
@@ -457,7 +500,8 @@ mod tests {
             ("steak", 0.9, "free", 6.0),
         ];
         for (n, k, g, s) in rows {
-            t.push_row(vec![n.into(), k.into(), g.into(), s.into()]).unwrap();
+            t.push_row(vec![n.into(), k.into(), g.into(), s.into()])
+                .unwrap();
         }
         t
     }
@@ -504,7 +548,8 @@ mod tests {
             ("s", DataType::Str),
         ]);
         let mut t = Table::new(schema);
-        t.push_row(vec![Value::Null, Value::Null, Value::Null, Value::Null]).unwrap();
+        t.push_row(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
         for name in ["i", "f", "b", "s"] {
             assert!(t.value(0, name).unwrap().is_null(), "column {name}");
             assert!(t.column(name).unwrap().is_null_at(0));
@@ -542,11 +587,8 @@ mod tests {
     #[test]
     fn add_column_and_mutate() {
         let mut t = recipes();
-        t.add_column(
-            ColumnDef::new("gid", DataType::Int),
-            vec![Value::Int(1); 4],
-        )
-        .unwrap();
+        t.add_column(ColumnDef::new("gid", DataType::Int), vec![Value::Int(1); 4])
+            .unwrap();
         assert_eq!(t.value(2, "gid").unwrap(), Value::Int(1));
         if let Column::Int { data, .. } = t.column_mut("gid").unwrap() {
             data[2] = 7;
@@ -569,7 +611,8 @@ mod tests {
         let schema = Schema::from_pairs(&[("a", DataType::Float), ("b", DataType::Float)]);
         let mut t = Table::new(schema);
         t.push_row(vec![Value::Float(1.0), Value::Null]).unwrap();
-        t.push_row(vec![Value::Float(1.0), Value::Float(2.0)]).unwrap();
+        t.push_row(vec![Value::Float(1.0), Value::Float(2.0)])
+            .unwrap();
         t.push_row(vec![Value::Null, Value::Float(2.0)]).unwrap();
         assert_eq!(t.non_null_indices(&["a", "b"]).unwrap(), vec![1]);
         assert_eq!(t.non_null_indices(&["a"]).unwrap(), vec![0, 1]);

@@ -211,9 +211,18 @@ mod tests {
 
     #[test]
     fn cross_type_numeric_comparison() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(2.5)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -251,7 +260,10 @@ mod tests {
 
     #[test]
     fn division_always_floats_and_checks_zero() {
-        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(7).div(&Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
         assert_eq!(
             Value::Int(1).div(&Value::Int(0)).unwrap_err(),
             RelError::DivisionByZero

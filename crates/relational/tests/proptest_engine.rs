@@ -9,10 +9,7 @@ use paq_relational::{DataType, Expr, Schema, Table, Value};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        (-1.0e6f64..1.0e6).prop_map(Value::Float),
-    ]
+    prop_oneof![Just(Value::Null), (-1.0e6f64..1.0e6).prop_map(Value::Float),]
 }
 
 fn arb_string_cell() -> impl Strategy<Value = Value> {
@@ -120,7 +117,7 @@ proptest! {
         let picks: Vec<usize> = picks.into_iter().map(|p| p % t.num_rows()).collect();
         let direct = t.take(&picks);
         // Equivalent two-step take.
-        let first: Vec<usize> = picks.iter().map(|&p| p).collect();
+        let first: Vec<usize> = picks.to_vec();
         let ids: Vec<usize> = (0..first.len()).collect();
         let two_step = t.take(&first).take(&ids);
         prop_assert_eq!(direct, two_step);

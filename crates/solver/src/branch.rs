@@ -15,7 +15,7 @@ use crate::config::SolverConfig;
 use crate::model::Model;
 use crate::presolve::{presolve_opts, Presolved, StandardForm, VarBounds};
 use crate::simplex::{solve_lp, LpOptions, LpStatus};
-use crate::solution::{LimitKind, SolveOutcome, SolveResult, SolveStats, Solution};
+use crate::solution::{LimitKind, Solution, SolveOutcome, SolveResult, SolveStats};
 use crate::telemetry::Telemetry;
 use crate::INT_EPS;
 
@@ -43,9 +43,7 @@ impl Node {
     /// this is what makes frontier blow-up hit the memory budget the
     /// way it hits CPLEX's working memory in the paper's experiments.
     fn memory_estimate(&self) -> usize {
-        std::mem::size_of::<Node>()
-            + self.diffs.len() * std::mem::size_of::<BoundDiff>()
-            + 1024
+        std::mem::size_of::<Node>() + self.diffs.len() * std::mem::size_of::<BoundDiff>() + 1024
     }
 }
 
@@ -85,7 +83,10 @@ pub struct MilpSolver {
 impl MilpSolver {
     /// A solver with the given budgets.
     pub fn new(config: SolverConfig) -> Self {
-        MilpSolver { config, telemetry: None }
+        MilpSolver {
+            config,
+            telemetry: None,
+        }
     }
 
     /// Attach a shared telemetry sink; every solve reports its counters
@@ -110,15 +111,13 @@ impl MilpSolver {
         if let Some(t) = &self.telemetry {
             t.record(&stats, &result);
         }
-        SolveResult { outcome: result, stats }
+        SolveResult {
+            outcome: result,
+            stats,
+        }
     }
 
-    fn solve_inner(
-        &self,
-        model: &Model,
-        started: Instant,
-        stats: &mut SolveStats,
-    ) -> SolveOutcome {
+    fn solve_inner(&self, model: &Model, started: Instant, stats: &mut SolveStats) -> SolveOutcome {
         let (form, root_bounds) = match presolve_opts(model, self.config.fold_singletons) {
             Presolved::Infeasible => return SolveOutcome::Infeasible,
             Presolved::Ready(form, bounds) => (form, bounds),
@@ -161,7 +160,11 @@ struct Search<'a> {
 impl Search<'_> {
     fn run(&mut self) -> SolveOutcome {
         let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-        heap.push(Node { bound: f64::NEG_INFINITY, depth: 0, diffs: Vec::new() });
+        heap.push(Node {
+            bound: f64::NEG_INFINITY,
+            depth: 0,
+            diffs: Vec::new(),
+        });
         let mut open_bytes = 0usize;
         let base_bytes = self.model.memory_estimate() + self.form.n * 32;
 
@@ -231,9 +234,7 @@ impl Search<'_> {
                     // unboundedness is a root property.
                     return SolveOutcome::Unbounded;
                 }
-                LpStatus::IterationLimit => {
-                    return self.abort(LimitKind::Iterations, &heap, &node)
-                }
+                LpStatus::IterationLimit => return self.abort(LimitKind::Iterations, &heap, &node),
                 LpStatus::Optimal { x, objective } => (x, objective),
             };
             let internal = model_obj * self.form.obj_factor;
@@ -262,7 +263,10 @@ impl Search<'_> {
                         .as_ref()
                         .is_none_or(|inc| sn_internal < inc.internal)
                     {
-                        self.incumbent = Some(Incumbent { internal: sn_internal, values: snapped });
+                        self.incumbent = Some(Incumbent {
+                            internal: sn_internal,
+                            values: snapped,
+                        });
                     }
                 }
                 Some((j, xj)) => {
@@ -272,11 +276,23 @@ impl Search<'_> {
 
                     // Branch.
                     let mut down = node.diffs.clone();
-                    down.push(BoundDiff { var: j as u32, upper: true, value: xj.floor() });
+                    down.push(BoundDiff {
+                        var: j as u32,
+                        upper: true,
+                        value: xj.floor(),
+                    });
                     let mut up = node.diffs.clone();
-                    up.push(BoundDiff { var: j as u32, upper: false, value: xj.ceil() });
+                    up.push(BoundDiff {
+                        var: j as u32,
+                        upper: false,
+                        value: xj.ceil(),
+                    });
                     for diffs in [down, up] {
-                        let child = Node { bound: internal, depth: node.depth + 1, diffs };
+                        let child = Node {
+                            bound: internal,
+                            depth: node.depth + 1,
+                            diffs,
+                        };
                         open_bytes += child.memory_estimate();
                         heap.push(child);
                     }
@@ -397,7 +413,10 @@ impl Search<'_> {
             .as_ref()
             .is_none_or(|inc| internal < inc.internal)
         {
-            self.incumbent = Some(Incumbent { internal, values: snapped });
+            self.incumbent = Some(Incumbent {
+                internal,
+                values: snapped,
+            });
         }
     }
 }
@@ -409,7 +428,9 @@ mod tests {
     use std::time::Duration;
 
     fn solve(model: &Model) -> SolveOutcome {
-        MilpSolver::new(SolverConfig::default()).solve(model).outcome
+        MilpSolver::new(SolverConfig::default())
+            .solve(model)
+            .outcome
     }
 
     fn assert_optimal(outcome: &SolveOutcome, expect: f64) -> Vec<f64> {
@@ -437,7 +458,10 @@ mod tests {
         m.add_le(vec![(a, 10.0), (b, 20.0), (c, 30.0)], 50.0);
         m.set_sense(Sense::Maximize);
         let x = assert_optimal(&solve(&m), 220.0);
-        assert_eq!(x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(), vec![0, 1, 1]);
+        assert_eq!(
+            x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
+            vec![0, 1, 1]
+        );
     }
 
     #[test]
@@ -675,7 +699,11 @@ mod tests {
                 let b = a + (next() % 15) as f64;
                 m.add_range(terms, a, b);
             }
-            m.set_sense(if next() % 2 == 0 { Sense::Maximize } else { Sense::Minimize });
+            m.set_sense(if next() % 2 == 0 {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            });
 
             let reference = brute_force(&m, 3);
             let outcome = solve(&m);

@@ -87,12 +87,22 @@ impl Model {
 
     /// Add a continuous variable with bounds and objective coefficient.
     pub fn add_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
-        self.push_var(Variable { lb, ub, obj, integer: false })
+        self.push_var(Variable {
+            lb,
+            ub,
+            obj,
+            integer: false,
+        })
     }
 
     /// Add an integer variable with bounds and objective coefficient.
     pub fn add_int_var(&mut self, lb: f64, ub: f64, obj: f64) -> VarId {
-        self.push_var(Variable { lb, ub, obj, integer: true })
+        self.push_var(Variable {
+            lb,
+            ub,
+            obj,
+            integer: true,
+        })
     }
 
     fn push_var(&mut self, v: Variable) -> VarId {
@@ -203,11 +213,7 @@ impl Model {
     /// Objective value of an assignment under the model's sense-free
     /// objective (`Σ obj_j · x_j`).
     pub fn objective_value(&self, x: &[f64]) -> f64 {
-        self.vars
-            .iter()
-            .zip(x)
-            .map(|(v, xi)| v.obj * xi)
-            .sum()
+        self.vars.iter().zip(x).map(|(v, xi)| v.obj * xi).sum()
     }
 
     /// Check an assignment against all bounds and constraints with
@@ -304,9 +310,15 @@ mod tests {
         let x = m.add_int_var(0.0, 10.0, 1.0);
         m.add_range(vec![(x, 2.0)], 4.0, 8.0);
         assert_eq!(m.check_feasible(&[3.0], 1e-9), None);
-        assert!(m.check_feasible(&[1.0], 1e-9).unwrap().contains("constraint"));
+        assert!(m
+            .check_feasible(&[1.0], 1e-9)
+            .unwrap()
+            .contains("constraint"));
         assert!(m.check_feasible(&[-1.0], 1e-9).unwrap().contains("outside"));
-        assert!(m.check_feasible(&[2.5], 1e-9).unwrap().contains("not integral"));
+        assert!(m
+            .check_feasible(&[2.5], 1e-9)
+            .unwrap()
+            .contains("not integral"));
         assert!(m.check_feasible(&[], 1e-9).is_some());
     }
 

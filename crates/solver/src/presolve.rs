@@ -76,6 +76,7 @@ pub fn presolve_opts(model: &Model, fold_singletons: bool) -> Presolved {
     let mut ub: Vec<f64> = model.vars().iter().map(|v| v.ub).collect();
     let integer: Vec<bool> = model.vars().iter().map(|v| v.integer).collect();
 
+    #[allow(clippy::type_complexity)] // sparse range row: (terms, lo, hi)
     let mut rows: Vec<(Vec<(u32, f64)>, f64, f64)> = Vec::new();
     let mut merged: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
     for c in model.constraints() {
@@ -86,8 +87,11 @@ pub fn presolve_opts(model: &Model, fold_singletons: bool) -> Presolved {
             }
         }
         let terms: Vec<(u32, f64)> = {
-            let mut t: Vec<(u32, f64)> =
-                merged.iter().filter(|(_, c)| **c != 0.0).map(|(v, c)| (*v, *c)).collect();
+            let mut t: Vec<(u32, f64)> = merged
+                .iter()
+                .filter(|(_, c)| **c != 0.0)
+                .map(|(v, c)| (*v, *c))
+                .collect();
             t.sort_by_key(|(v, _)| *v);
             t
         };

@@ -20,6 +20,11 @@
 //! * every solve ends with a full refactorization + primal recompute, so
 //!   reported solutions are numerically fresh.
 
+// Dense numeric kernels: indexed loops mirror the textbook algebra and
+// often touch several parallel arrays at once.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::while_let_loop)]
+
 use crate::presolve::{StandardForm, VarBounds};
 use crate::EPS;
 
@@ -71,7 +76,11 @@ pub struct LpOptions {
 
 impl Default for LpOptions {
     fn default() -> Self {
-        LpOptions { max_iterations: u64::MAX, refactor_interval: 64, flip_batching: true }
+        LpOptions {
+            max_iterations: u64::MAX,
+            refactor_interval: 64,
+            flip_batching: true,
+        }
     }
 }
 
@@ -127,7 +136,7 @@ impl<'a> Simplex<'a> {
         ub.extend_from_slice(&form.row_hi);
         let mut cost = Vec::with_capacity(n_total);
         cost.extend_from_slice(&form.obj_min);
-        cost.extend(std::iter::repeat(0.0).take(m));
+        cost.extend(std::iter::repeat_n(0.0, m));
 
         // Nonbasic structurals start at their "cheapest finite" bound;
         // logicals start basic (basis matrix = −I).
@@ -275,8 +284,16 @@ impl<'a> Simplex<'a> {
     /// Feasibility tolerance, lightly scaled by (finite) bound magnitude.
     #[inline]
     fn ftol(&self, j: usize) -> f64 {
-        let l = if self.lb[j].is_finite() { self.lb[j].abs() } else { 0.0 };
-        let u = if self.ub[j].is_finite() { self.ub[j].abs() } else { 0.0 };
+        let l = if self.lb[j].is_finite() {
+            self.lb[j].abs()
+        } else {
+            0.0
+        };
+        let u = if self.ub[j].is_finite() {
+            self.ub[j].abs()
+        } else {
+            0.0
+        };
         EPS * 1.0_f64.max(l.max(u))
     }
 
@@ -378,7 +395,13 @@ impl<'a> Simplex<'a> {
     /// the bound it hits) or `None` when the entering variable's own
     /// opposite bound is the limit (a bound flip). `f64::INFINITY` step
     /// ⇒ unbounded direction.
-    fn ratio_test(&self, q: usize, dir: f64, w: &[f64], bland: bool) -> (f64, Option<(usize, bool)>) {
+    fn ratio_test(
+        &self,
+        q: usize,
+        dir: f64,
+        w: &[f64],
+        bland: bool,
+    ) -> (f64, Option<(usize, bool)>) {
         // Flip length of the entering variable itself.
         let mut t_best = if self.lb[q].is_finite() && self.ub[q].is_finite() {
             self.ub[q] - self.lb[q]
@@ -481,8 +504,16 @@ impl<'a> Simplex<'a> {
             self.xb[s] += -dir * w[s] * t;
         }
         let leaving = self.basis[slot];
-        self.status[leaving] = if leaves_upper { Status::AtUpper } else { Status::AtLower };
-        self.xn[leaving] = if leaves_upper { self.ub[leaving] } else { self.lb[leaving] };
+        self.status[leaving] = if leaves_upper {
+            Status::AtUpper
+        } else {
+            Status::AtLower
+        };
+        self.xn[leaving] = if leaves_upper {
+            self.ub[leaving]
+        } else {
+            self.lb[leaving]
+        };
 
         self.basis[slot] = q;
         self.status[q] = Status::Basic(slot as u32);
@@ -546,8 +577,7 @@ impl<'a> Simplex<'a> {
         let mut out = Vec::new();
         for (i, act) in activity.iter().enumerate() {
             let scale = 1.0_f64.max(act.abs());
-            if *act < self.form.row_lo[i] - EPS * scale
-                || *act > self.form.row_hi[i] + EPS * scale
+            if *act < self.form.row_lo[i] - EPS * scale || *act > self.form.row_hi[i] + EPS * scale
             {
                 out.push(i as u32);
             }
@@ -593,7 +623,11 @@ impl<'a> Simplex<'a> {
                 let (t, blocker) = self.ratio_test(q, dir, &w, bland);
                 self.iterations += 1;
                 if t.is_infinite() {
-                    return if phase2 { LpStatus::Unbounded } else { LpStatus::Infeasible };
+                    return if phase2 {
+                        LpStatus::Unbounded
+                    } else {
+                        LpStatus::Infeasible
+                    };
                 }
                 match blocker {
                     None => {
@@ -648,18 +682,19 @@ impl<'a> Simplex<'a> {
                     continue;
                 }
                 let x = self.extract_solution();
-                let internal: f64 = self
-                    .form
-                    .obj_min
-                    .iter()
-                    .zip(&x)
-                    .map(|(c, xi)| c * xi)
-                    .sum();
-                return LpStatus::Optimal { x, objective: self.form.model_objective(internal) };
+                let internal: f64 = self.form.obj_min.iter().zip(&x).map(|(c, xi)| c * xi).sum();
+                return LpStatus::Optimal {
+                    x,
+                    objective: self.form.model_objective(internal),
+                };
             }
 
             // Stall detection for Bland fallback.
-            let obj = if phase2 { self.current_objective() } else { self.infeasibility().0 };
+            let obj = if phase2 {
+                self.current_objective()
+            } else {
+                self.infeasibility().0
+            };
             if obj < last_obj - 1e-10 {
                 self.stall = 0;
             } else {
@@ -726,7 +761,10 @@ pub fn solve_lp(form: &StandardForm, bounds: &VarBounds, opts: &LpOptions) -> Lp
         }
         let internal: f64 = form.obj_min.iter().zip(&x).map(|(c, xi)| c * xi).sum();
         return LpResult {
-            status: LpStatus::Optimal { x, objective: form.model_objective(internal) },
+            status: LpStatus::Optimal {
+                x,
+                objective: form.model_objective(internal),
+            },
             iterations: 0,
             violated_rows: vec![],
         };
@@ -739,7 +777,11 @@ pub fn solve_lp(form: &StandardForm, bounds: &VarBounds, opts: &LpOptions) -> Lp
     } else {
         vec![]
     };
-    LpResult { status, iterations: s.iterations, violated_rows }
+    LpResult {
+        status,
+        iterations: s.iterations,
+        violated_rows,
+    }
 }
 
 #[cfg(test)]
@@ -751,12 +793,17 @@ mod tests {
     fn lp(model: &Model) -> LpStatus {
         match presolve(model) {
             Presolved::Infeasible => LpStatus::Infeasible,
-            Presolved::Ready(form, bounds) => solve_lp(
-                &form,
-                &bounds,
-                &LpOptions { max_iterations: 100_000, ..LpOptions::default() },
-            )
-            .status,
+            Presolved::Ready(form, bounds) => {
+                solve_lp(
+                    &form,
+                    &bounds,
+                    &LpOptions {
+                        max_iterations: 100_000,
+                        ..LpOptions::default()
+                    },
+                )
+                .status
+            }
         }
     }
 
@@ -932,10 +979,7 @@ mod tests {
                 assert!(w <= 400.0 + 1e-5, "weight {w}");
                 assert!(c <= 60.0 + 1e-5, "count {c}");
                 // At most 2 fractional values (m = 2 rows).
-                let frac = x
-                    .iter()
-                    .filter(|v| (*v - v.round()).abs() > 1e-6)
-                    .count();
+                let frac = x.iter().filter(|v| (*v - v.round()).abs() > 1e-6).count();
                 assert!(frac <= 2, "{frac} fractional values");
             }
             other => panic!("unexpected {other:?}"),
@@ -964,7 +1008,14 @@ mod tests {
         m.set_sense(Sense::Minimize);
         match presolve(&m) {
             Presolved::Ready(form, bounds) => {
-                let r = solve_lp(&form, &bounds, &LpOptions { max_iterations: 0, ..LpOptions::default() });
+                let r = solve_lp(
+                    &form,
+                    &bounds,
+                    &LpOptions {
+                        max_iterations: 0,
+                        ..LpOptions::default()
+                    },
+                );
                 assert_eq!(r.status, LpStatus::IterationLimit);
             }
             other => panic!("unexpected {other:?}"),

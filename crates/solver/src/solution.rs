@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn outcome_solution_access() {
-        let s = Solution { values: vec![1.0, 2.49999999], objective: 3.0 };
+        let s = Solution {
+            values: vec![1.0, 2.49999999],
+            objective: 3.0,
+        };
         assert_eq!(s.int_value(1), 2);
         let opt = SolveOutcome::Optimal(s.clone());
         assert!(opt.is_optimal());
@@ -145,7 +148,11 @@ mod tests {
         assert!(fail.is_failure());
         assert!(fail.solution().is_none());
 
-        let feas = SolveOutcome::Feasible { best: s, gap: 0.1, limit: LimitKind::Time };
+        let feas = SolveOutcome::Feasible {
+            best: s,
+            gap: 0.1,
+            limit: LimitKind::Time,
+        };
         assert!(feas.solution().is_some());
         assert!(!feas.is_optimal());
     }

@@ -124,9 +124,15 @@ mod tests {
     #[test]
     fn aggregates_accumulate() {
         let t = Telemetry::new();
-        let sol = Solution { values: vec![], objective: 0.0 };
+        let sol = Solution {
+            values: vec![],
+            objective: 0.0,
+        };
         t.record(&stats(2), &SolveOutcome::Optimal(sol));
-        t.record(&stats(3), &SolveOutcome::ResourceExhausted(LimitKind::Memory));
+        t.record(
+            &stats(3),
+            &SolveOutcome::ResourceExhausted(LimitKind::Memory),
+        );
         assert_eq!(t.calls(), 2);
         assert_eq!(t.failures(), 1);
         assert_eq!(t.total_nodes(), 5);

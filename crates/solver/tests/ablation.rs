@@ -50,8 +50,7 @@ fn folding_ablation_preserves_optimum() {
 fn flip_batching_ablation_preserves_optimum() {
     let model = sketchy_model(300);
     let with = MilpSolver::new(SolverConfig::default()).solve(&model);
-    let without =
-        MilpSolver::new(SolverConfig::default().with_flip_batching(false)).solve(&model);
+    let without = MilpSolver::new(SolverConfig::default().with_flip_batching(false)).solve(&model);
     assert_eq!(objective(&with.outcome), objective(&without.outcome));
 }
 

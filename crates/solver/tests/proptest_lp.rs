@@ -16,13 +16,27 @@ fn build_model(
     let mut m = Model::new();
     let vars: Vec<VarId> = objs
         .iter()
-        .map(|&c| if integer { m.add_int_var(0.0, ub, c) } else { m.add_var(0.0, ub, c) })
+        .map(|&c| {
+            if integer {
+                m.add_int_var(0.0, ub, c)
+            } else {
+                m.add_var(0.0, ub, c)
+            }
+        })
         .collect();
     for (coefs, lo, hi) in rows {
         let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
-        m.add_range(vars.iter().copied().zip(coefs.iter().copied()).collect(), lo, hi);
+        m.add_range(
+            vars.iter().copied().zip(coefs.iter().copied()).collect(),
+            lo,
+            hi,
+        );
     }
-    m.set_sense(if maximize { Sense::Maximize } else { Sense::Minimize });
+    m.set_sense(if maximize {
+        Sense::Maximize
+    } else {
+        Sense::Minimize
+    });
     m
 }
 

@@ -1,37 +1,55 @@
 //! A fuller meal-planning scenario: weekly plans with repetition
 //! bounds, nutritional balance via indicator-count constraints (the
-//! §3.1 subquery encoding), and CSV export of the materialized package.
+//! §3.1 subquery encoding), programmatic query construction with the
+//! fluent `Paql` builder, and CSV export of the materialized package.
 //!
 //! Run with: `cargo run --release --example meal_planner`
 
+use package_queries::paql::ast::{AggExpr, AggTerm, GlobalPredicate};
 use package_queries::prelude::*;
 use package_queries::relational::csv::write_csv_file;
+use package_queries::relational::expr::CmpOp;
 
 fn main() {
-    let table = package_queries::datagen::recipes_table(500, 3);
+    // A low direct-threshold pushes this 500-recipe table onto the
+    // SKETCHREFINE route, exercising the partition cache.
+    let mut db = PackageDb::with_config(DbConfig {
+        direct_threshold: 100,
+        ..DbConfig::default()
+    });
+    db.register_table("Recipes", package_queries::datagen::recipes_table(500, 3));
 
     // A week of meals: 21 meals, a repeated favorite is fine up to 3
     // times total (REPEAT 2), calories within a weekly window, at least
     // as many high-protein meals as high-carb ones, minimize saturated
-    // fat.
-    let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 2 \
-         WHERE R.gluten = 'free' \
-         SUCH THAT COUNT(P.*) = 21 \
-               AND SUM(P.kcal) BETWEEN 13.0 AND 15.5 \
-               AND (SELECT COUNT(*) FROM P WHERE P.protein > 20) >= \
-                   (SELECT COUNT(*) FROM P WHERE P.carbs > 50) \
-         MINIMIZE SUM(P.saturated_fat)",
-    )
-    .expect("valid PaQL");
+    // fat. Built fluently — the indicator-count comparison uses the raw
+    // `such_that` escape hatch.
+    let query = Paql::package("R")
+        .from("Recipes")
+        .repeat(2)
+        .filter(Expr::col("gluten").eq(Expr::lit("free")))
+        .count_eq(21)
+        .sum_between("kcal", 13.0, 15.5)
+        .such_that(GlobalPredicate::Cmp {
+            lhs: AggTerm::Agg(AggExpr::CountWhere(
+                Expr::col("protein").gt(Expr::lit(20.0)),
+            )),
+            op: CmpOp::Ge,
+            rhs: AggTerm::Agg(AggExpr::CountWhere(Expr::col("carbs").gt(Expr::lit(50.0)))),
+        })
+        .minimize_sum("saturated_fat")
+        .build();
 
     println!("weekly meal-plan query:\n  {query}\n");
 
-    let plan = SketchRefine::default()
-        .evaluate(&query, &table)
+    let exec = db
+        .execute_query(query.clone())
         .expect("a weekly plan exists");
+    println!("--- plan ---\n{}\n", exec.explain());
 
-    assert!(plan.satisfies(&query, &table, 1e-6).unwrap());
+    let plan = &exec.package;
+    let table = db.table("Recipes").unwrap();
+    assert!(plan.satisfies(&query, table, 1e-6).unwrap());
     println!(
         "plan: {} meals ({} distinct recipes, max repetition {})",
         plan.cardinality(),
@@ -44,13 +62,13 @@ fn main() {
         (AggFunc::Avg, "protein"),
         (AggFunc::Avg, "carbs"),
     ] {
-        let v = plan.aggregate(&table, agg, attr).unwrap();
+        let v = plan.aggregate(table, agg, attr).unwrap();
         println!("  {}({attr}) = {v:.2}", agg.keyword());
     }
 
     // Packages are relations: materialize and persist like any table
     // (§5.1 "We represent a package in the relational model …").
-    let materialized = plan.materialize(&table);
+    let materialized = plan.materialize(table);
     let path = std::env::temp_dir().join("weekly_meal_plan.csv");
     write_csv_file(&materialized, &path).expect("csv export");
     println!("\nmaterialized plan written to {}", path.display());

@@ -1,30 +1,44 @@
 //! Night sky exploration (Example 2 of the paper): find a set of sky
 //! objects whose collective redshift stays within bounds while
-//! maximizing the chance of interesting structure — evaluated with
-//! SKETCHREFINE over an offline partitioning, and compared against
-//! DIRECT for quality.
+//! maximizing the chance of interesting structure — the planner routes
+//! the 20k-row table to SKETCHREFINE over an offline partitioning, and
+//! a forced-DIRECT run provides the quality baseline.
 //!
 //! Run with: `cargo run --release --example night_sky`
 
 use package_queries::prelude::*;
 
 fn main() {
-    // A synthetic SDSS Galaxy view (13 numeric attributes).
-    let table = package_queries::datagen::galaxy_table(20_000, 7);
-    println!("Galaxy view: {} objects", table.num_rows());
+    // A synthetic SDSS Galaxy view (13 numeric attributes), owned by a
+    // session.
+    let mut db = PackageDb::new();
+    db.register_table("Galaxy", package_queries::datagen::galaxy_table(20_000, 7));
+    println!(
+        "Galaxy view: {} objects",
+        db.table("Galaxy").unwrap().num_rows()
+    );
 
     // Offline partitioning (§4.1): quad tree on the query's attributes,
-    // τ = 5% of the data, no radius condition — built once, reused by
-    // any number of queries.
-    let attrs = vec!["redshift".to_string(), "petror90_r".to_string(), "u".to_string()];
+    // τ = 5% of the data, no radius condition — built once, installed
+    // into the session's partition cache, reused by any number of
+    // queries until the table mutates.
+    let attrs = vec![
+        "redshift".to_string(),
+        "petror90_r".to_string(),
+        "u".to_string(),
+    ];
     let partitioner = Partitioner::new(PartitionConfig::by_size(attrs, 1_000));
-    let partitioning = partitioner.partition(&table).expect("partitioning");
+    let partitioning = partitioner
+        .partition(db.table("Galaxy").unwrap())
+        .expect("partitioning");
     println!(
         "offline partitioning: {} groups in {:.3}s (max size {})",
         partitioning.num_groups(),
         partitioning.build_time.as_secs_f64(),
         partitioning.max_group_size(),
     );
+    db.install_partitioning("Galaxy", partitioning)
+        .expect("covers the table");
 
     // The astrophysicist's query: 15 objects, bounded total redshift,
     // bright in u, maximizing the 90%-light Petrosian radius.
@@ -37,30 +51,39 @@ fn main() {
     )
     .expect("valid PaQL");
 
-    let t0 = std::time::Instant::now();
-    let sr_pkg = SketchRefine::default()
-        .evaluate_with(&query, &table, &partitioning)
+    // Auto routing: 20k rows is far above the direct-threshold, and the
+    // installed partitioning is served straight from the cache.
+    let sr_exec = db.execute_query(query.clone()).expect("feasible");
+    assert_eq!(sr_exec.strategy, Strategy::SketchRefine);
+    println!("\n--- auto plan ---\n{}", sr_exec.explain());
+
+    // Quality baseline: the same query forced through DIRECT.
+    let direct_exec = db
+        .execute_with(&query, Route::ForceDirect)
         .expect("feasible");
-    let sr_time = t0.elapsed();
 
-    let t1 = std::time::Instant::now();
-    let direct_pkg = Direct::default().evaluate(&query, &table).expect("feasible");
-    let direct_time = t1.elapsed();
-
-    let sr_obj = sr_pkg.objective_value(&query, &table).unwrap();
-    let d_obj = direct_pkg.objective_value(&query, &table).unwrap();
-    println!("\nSKETCHREFINE: {:>8.3}s objective {sr_obj:.3}", sr_time.as_secs_f64());
-    println!("DIRECT:       {:>8.3}s objective {d_obj:.3}", direct_time.as_secs_f64());
+    let table = db.table("Galaxy").unwrap();
+    let sr_obj = sr_exec.package.objective_value(&query, table).unwrap();
+    let d_obj = direct_exec.package.objective_value(&query, table).unwrap();
+    println!(
+        "\nSKETCHREFINE: {:>8.3}s objective {sr_obj:.3}",
+        sr_exec.timings.evaluate.as_secs_f64()
+    );
+    println!(
+        "DIRECT:       {:>8.3}s objective {d_obj:.3}",
+        direct_exec.timings.evaluate.as_secs_f64()
+    );
     println!("empirical approximation ratio: {:.4}", d_obj / sr_obj);
 
     println!("\nselected sky region (first 5 objects):");
     println!(
         "{}",
-        sr_pkg
-            .materialize(&table)
+        sr_exec
+            .package
+            .materialize(table)
             .project(&["objid", "redshift", "u", "petror90_r"])
             .unwrap()
             .render(5)
     );
-    assert!(sr_pkg.satisfies(&query, &table, 1e-6).unwrap());
+    assert!(sr_exec.package.satisfies(&query, table, 1e-6).unwrap());
 }

@@ -1,6 +1,7 @@
 //! Quickstart: the paper's running example (Example 1, the meal
-//! planner) end to end — build a table, write a PaQL query, evaluate it
-//! with DIRECT, and inspect the resulting package.
+//! planner) end to end — register a table with `PackageDb`, write a
+//! PaQL query, let the planner route it, and inspect the resulting
+//! package plus the plan explanation.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -13,32 +14,45 @@ fn main() {
     println!("input relation: {} recipes", table.num_rows());
     println!("{}", table.head(5).render(5));
 
+    // The session front door: tables are registered once and resolved
+    // by name — `FROM Recipes R` binds against the catalog.
+    let mut db = PackageDb::new();
+    db.register_table("Recipes", table);
+
     // The dietitian's query, verbatim from the paper (§2.1):
     // three gluten-free meals, 2.0–2.5 total (kilo)kcal, minimizing
     // saturated fat.
-    let query = parse_paql(
-        "SELECT PACKAGE(R) AS P \
-         FROM Recipes R REPEAT 0 \
-         WHERE R.gluten = 'free' \
-         SUCH THAT COUNT(P.*) = 3 \
-               AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
-         MINIMIZE SUM(P.saturated_fat)",
-    )
-    .expect("valid PaQL");
-    println!("query: {query}\n");
-
-    // DIRECT evaluation: PaQL → ILP → black-box solver (§3.2).
-    let package = Direct::default()
-        .evaluate(&query, &table)
+    let exec = db
+        .execute(
+            "SELECT PACKAGE(R) AS P \
+             FROM Recipes R REPEAT 0 \
+             WHERE R.gluten = 'free' \
+             SUCH THAT COUNT(P.*) = 3 \
+                   AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
+             MINIMIZE SUM(P.saturated_fat)",
+        )
         .expect("the meal plan is feasible");
 
-    println!("meal plan ({} meals):", package.cardinality());
-    println!("{}", package.materialize(&table).render(10));
+    println!("--- plan ---\n{}\n", exec.explain());
 
-    let kcal = package.aggregate(&table, AggFunc::Sum, "kcal").unwrap();
-    let fat = package.aggregate(&table, AggFunc::Sum, "saturated_fat").unwrap();
+    let table = db.table("Recipes").unwrap();
+    println!("meal plan ({} meals):", exec.package.cardinality());
+    println!("{}", exec.package.materialize(table).render(10));
+
+    let kcal = exec.package.aggregate(table, AggFunc::Sum, "kcal").unwrap();
+    let fat = exec
+        .package
+        .aggregate(table, AggFunc::Sum, "saturated_fat")
+        .unwrap();
     println!("total kcal: {kcal:.3} (required: 2.0–2.5)");
     println!("total saturated fat: {fat:.3} (minimized)");
-    assert!(package.satisfies(&query, &table, 1e-9).unwrap());
+
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 WHERE R.gluten = 'free' \
+         SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
+         MINIMIZE SUM(P.saturated_fat)",
+    )
+    .unwrap();
+    assert!(exec.package.satisfies(&query, table, 1e-9).unwrap());
     println!("\npackage verified against every query condition ✓");
 }

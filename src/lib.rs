@@ -19,9 +19,10 @@
 //! |-------|------|
 //! | [`relational`] | in-memory columnar relational engine (the PostgreSQL stand-in) |
 //! | [`solver`] | bounded-variable simplex LP + branch-and-bound MILP solver (the CPLEX stand-in) |
-//! | [`paql`] | the PaQL language: parser, AST, validation, ILP translation (§3.1) |
+//! | [`paql`] | the PaQL language: parser, AST, fluent builder, validation, ILP translation (§3.1) |
 //! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
 //! | [`engine`] | package evaluation: DIRECT (§3.2) and SKETCHREFINE (§4.2) |
+//! | [`db`] | `PackageDb`: table catalog, partition cache, Direct/SketchRefine planner |
 //! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
 //!
 //! ## Quickstart
@@ -46,23 +47,39 @@
 //!     table.push_row(vec![name.into(), gluten.into(), kcal.into(), fat.into()]).unwrap();
 //! }
 //!
+//! // A session owns tables; `FROM Recipes R` resolves by name.
+//! let mut db = PackageDb::new();
+//! db.register_table("Recipes", table);
+//!
 //! // The paper's running example: three gluten-free meals, 2.0–2.5
-//! // total kcal, minimizing saturated fat.
-//! let query = parse_paql(
+//! // total kcal, minimizing saturated fat. The planner routes it to
+//! // DIRECT or SKETCHREFINE; `explain()` says which and why.
+//! let exec = db.execute(
 //!     "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
 //!      WHERE R.gluten = 'free' \
 //!      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
 //!      MINIMIZE SUM(P.saturated_fat)",
 //! ).unwrap();
+//! assert_eq!(exec.package.cardinality(), 3);
 //!
-//! let pkg = Direct::default().evaluate(&query, &table).unwrap();
-//! assert_eq!(pkg.cardinality(), 3);
-//! let kcal = pkg.aggregate(&table, AggFunc::Sum, "kcal").unwrap();
+//! // The same query, built fluently — identical AST, identical answer.
+//! let built = Paql::package("R")
+//!     .from("Recipes")
+//!     .repeat(0)
+//!     .filter(Expr::col("gluten").eq(Expr::lit("free")))
+//!     .count_eq(3)
+//!     .sum_between("kcal", 2.0, 2.5)
+//!     .minimize_sum("saturated_fat");
+//! let again = db.execute_query(built).unwrap();
+//!
+//! let table = db.table("Recipes").unwrap();
+//! let kcal = again.package.aggregate(table, AggFunc::Sum, "kcal").unwrap();
 //! assert!(kcal >= 2.0 && kcal <= 2.5);
 //! ```
 
 pub use paq_core as engine;
 pub use paq_datagen as datagen;
+pub use paq_db as db;
 pub use paq_lang as paql;
 pub use paq_partition as partition;
 pub use paq_relational as relational;
@@ -71,7 +88,10 @@ pub use paq_solver as solver;
 /// Commonly-used items, re-exported for examples and applications.
 pub mod prelude {
     pub use paq_core::{Direct, Evaluator, Package, SketchRefine};
-    pub use paq_lang::parse_paql;
+    pub use paq_db::{
+        CacheOutcome, DbConfig, DbError, Execution, PackageDb, Route, RouteReason, Strategy,
+    };
+    pub use paq_lang::{parse_paql, Paql, PaqlBuilder};
     pub use paq_partition::{PartitionConfig, Partitioner};
     pub use paq_relational::agg::AggFunc;
     pub use paq_relational::{DataType, Expr, Schema, Table, Value};

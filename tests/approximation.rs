@@ -1,7 +1,8 @@
 //! Empirical verification of the paper's approximation guarantees
 //! (Theorem 3): with the radius limit ω derived from ε via Eq. 1,
 //! SKETCHREFINE's objective is within (1−ε)⁶ (max) / (1+ε)⁶ (min) of
-//! DIRECT's.
+//! DIRECT's. Radius-limited partitionings are installed into the
+//! `PackageDb` session, which serves them from its partition cache.
 
 use package_queries::prelude::*;
 use package_queries::relational::{DataType, Table, Value};
@@ -9,12 +10,10 @@ use package_queries::relational::{DataType, Table, Value};
 /// Strictly positive 2-attribute data (the Theorem 3 bound scales with
 /// |t̃.attr|, so positive data gives a nonzero ω).
 fn positive_table(n: usize, seed: u64) -> Table {
-    let mut t = Table::new(
-        package_queries::relational::Schema::from_pairs(&[
-            ("profit", DataType::Float),
-            ("cost", DataType::Float),
-        ]),
-    );
+    let mut t = Table::new(package_queries::relational::Schema::from_pairs(&[
+        ("profit", DataType::Float),
+        ("cost", DataType::Float),
+    ]));
     let mut state = seed | 1;
     let mut next = move || {
         state ^= state << 13;
@@ -25,49 +24,61 @@ fn positive_table(n: usize, seed: u64) -> Table {
     for _ in 0..n {
         let profit = 10.0 + next() * 90.0;
         let cost = 10.0 + next() * 40.0;
-        t.push_row(vec![Value::Float(profit), Value::Float(cost)]).unwrap();
+        t.push_row(vec![Value::Float(profit), Value::Float(cost)])
+            .unwrap();
     }
     t
 }
 
-fn partition_for_epsilon(
-    table: &Table,
+fn db_for(table: Table) -> PackageDb {
+    let mut db = PackageDb::new();
+    db.register_table("Assets", table);
+    db
+}
+
+/// Build the ε-derived radius-limited partitioning and install it for
+/// the session's `Assets` table.
+fn install_epsilon_partitioning(
+    db: &mut PackageDb,
     attrs: &[String],
     epsilon: f64,
     maximization: bool,
-) -> package_queries::partition::Partitioning {
-    let omega =
-        PartitionConfig::omega_for_epsilon(table, attrs, epsilon, maximization).unwrap();
-    assert!(omega > 0.0, "positive data must give a positive radius limit");
+) {
+    let table = db.table("Assets").unwrap();
+    let omega = PartitionConfig::omega_for_epsilon(table, attrs, epsilon, maximization).unwrap();
+    assert!(
+        omega > 0.0,
+        "positive data must give a positive radius limit"
+    );
     let config = PartitionConfig::by_size(attrs.to_vec(), usize::MAX).with_radius_limit(omega);
     let p = Partitioner::new(config).partition(table).unwrap();
     assert!(p.max_radius() <= omega + 1e-9);
-    p
+    db.install_partitioning("Assets", p).unwrap();
 }
 
 #[test]
 fn maximization_respects_one_minus_eps_sixth() {
-    let table = positive_table(400, 77);
+    let mut db = db_for(positive_table(400, 77));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+        "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 8 AND SUM(P.cost) <= 250 \
          MAXIMIZE SUM(P.profit)",
     )
     .unwrap();
-    let direct_obj = Direct::default()
-        .evaluate(&query, &table)
-        .unwrap()
-        .objective_value(&query, &table)
-        .unwrap();
+    let direct_obj = {
+        let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
+        exec.package
+            .objective_value(&query, db.table("Assets").unwrap())
+            .unwrap()
+    };
 
     for epsilon in [0.05, 0.2, 0.5] {
-        let partitioning = partition_for_epsilon(&table, &attrs, epsilon, true);
-        let pkg = SketchRefine::default()
-            .evaluate_with(&query, &table, &partitioning)
-            .unwrap();
-        assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
-        let obj = pkg.objective_value(&query, &table).unwrap();
+        install_epsilon_partitioning(&mut db, &attrs, epsilon, true);
+        let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+        let table = db.table("Assets").unwrap();
+        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, table).unwrap();
         let bound = (1.0 - epsilon).powi(6) * direct_obj;
         assert!(
             obj >= bound - 1e-6,
@@ -78,27 +89,27 @@ fn maximization_respects_one_minus_eps_sixth() {
 
 #[test]
 fn minimization_respects_one_plus_eps_sixth() {
-    let table = positive_table(400, 99);
+    let mut db = db_for(positive_table(400, 99));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+        "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 8 AND SUM(P.profit) >= 500 \
          MINIMIZE SUM(P.cost)",
     )
     .unwrap();
-    let direct_obj = Direct::default()
-        .evaluate(&query, &table)
-        .unwrap()
-        .objective_value(&query, &table)
-        .unwrap();
+    let direct_obj = {
+        let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
+        exec.package
+            .objective_value(&query, db.table("Assets").unwrap())
+            .unwrap()
+    };
 
     for epsilon in [0.05, 0.2, 0.5] {
-        let partitioning = partition_for_epsilon(&table, &attrs, epsilon, false);
-        let pkg = SketchRefine::default()
-            .evaluate_with(&query, &table, &partitioning)
-            .unwrap();
-        assert!(pkg.satisfies(&query, &table, 1e-6).unwrap());
-        let obj = pkg.objective_value(&query, &table).unwrap();
+        install_epsilon_partitioning(&mut db, &attrs, epsilon, false);
+        let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+        let table = db.table("Assets").unwrap();
+        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, table).unwrap();
         let bound = (1.0 + epsilon).powi(6) * direct_obj;
         assert!(
             obj <= bound + 1e-6,
@@ -112,29 +123,26 @@ fn epsilon_zero_forces_exactness() {
     // ε = 0 ⇒ ω = 0 ⇒ every group is a point mass; representatives are
     // indistinguishable from tuples and SKETCHREFINE must match DIRECT
     // exactly (the paper notes this below Eq. 3).
-    let table = positive_table(60, 5);
+    let mut db = db_for(positive_table(60, 5));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
-    let config =
-        PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(0.0);
-    let partitioning = Partitioner::new(config).partition(&table).unwrap();
+    let config = PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(0.0);
+    let partitioning = Partitioner::new(config)
+        .partition(db.table("Assets").unwrap())
+        .unwrap();
     assert_eq!(partitioning.max_radius(), 0.0);
+    db.install_partitioning("Assets", partitioning).unwrap();
 
     let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+        "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 5 AND SUM(P.cost) <= 160 \
          MAXIMIZE SUM(P.profit)",
     )
     .unwrap();
-    let direct_obj = Direct::default()
-        .evaluate(&query, &table)
-        .unwrap()
-        .objective_value(&query, &table)
-        .unwrap();
-    let sr_obj = SketchRefine::default()
-        .evaluate_with(&query, &table, &partitioning)
-        .unwrap()
-        .objective_value(&query, &table)
-        .unwrap();
+    let direct = db.execute_with(&query, Route::ForceDirect).unwrap();
+    let sr = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+    let table = db.table("Assets").unwrap();
+    let direct_obj = direct.package.objective_value(&query, table).unwrap();
+    let sr_obj = sr.package.objective_value(&query, table).unwrap();
     assert!(
         (direct_obj - sr_obj).abs() < 1e-6,
         "ω=0 must be exact: direct {direct_obj} vs sketchrefine {sr_obj}"
@@ -145,20 +153,19 @@ fn epsilon_zero_forces_exactness() {
 fn tighter_epsilon_never_hurts_quality_on_average() {
     // Sanity trend: ε = 0.05 partitions should give an objective at
     // least as good as ε = 0.5 on a maximization query.
-    let table = positive_table(300, 123);
+    let mut db = db_for(positive_table(300, 123));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+        "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 6 AND SUM(P.cost) <= 200 \
          MAXIMIZE SUM(P.profit)",
     )
     .unwrap();
-    let obj_at = |eps: f64| {
-        let p = partition_for_epsilon(&table, &attrs, eps, true);
-        SketchRefine::default()
-            .evaluate_with(&query, &table, &p)
-            .unwrap()
-            .objective_value(&query, &table)
+    let mut obj_at = |eps: f64| {
+        install_epsilon_partitioning(&mut db, &attrs, eps, true);
+        let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+        exec.package
+            .objective_value(&query, db.table("Assets").unwrap())
             .unwrap()
     };
     let tight = obj_at(0.05);

@@ -1,7 +1,8 @@
 //! Integration tests for dynamic partitioning (§4.1 "Dynamic
 //! partitioning"): keep the full quad-tree hierarchy and, at query
 //! time, extract the coarsest partitioning satisfying the radius limit
-//! required by the query's ε — then evaluate with SKETCHREFINE.
+//! required by the query's ε — install the extraction into the
+//! `PackageDb` session and evaluate through it.
 
 use package_queries::partition::quadtree::Partitioner as TreePartitioner;
 use package_queries::prelude::*;
@@ -31,46 +32,51 @@ fn table(n: usize) -> Table {
 
 #[test]
 fn one_tree_serves_many_epsilons() {
-    let t = table(300);
+    let mut db = PackageDb::new();
+    db.register_table("Assets", table(300));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     // Build the hierarchy once, down to a fine radius.
     let fine_omega =
-        PartitionConfig::omega_for_epsilon(&t, &attrs, 0.05, true).unwrap();
+        PartitionConfig::omega_for_epsilon(db.table("Assets").unwrap(), &attrs, 0.05, true)
+            .unwrap();
     let tree = TreePartitioner::new(
         PartitionConfig::by_size(attrs.clone(), usize::MAX).with_radius_limit(fine_omega),
     )
-    .build_tree(&t)
+    .build_tree(db.table("Assets").unwrap())
     .unwrap();
 
     let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+        "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 6 AND SUM(P.cost) <= 160 \
          MAXIMIZE SUM(P.profit)",
     )
     .unwrap();
-    let opt = Direct::default()
-        .evaluate(&query, &t)
-        .unwrap()
-        .objective_value(&query, &t)
-        .unwrap();
+    let opt = {
+        let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
+        exec.package
+            .objective_value(&query, db.table("Assets").unwrap())
+            .unwrap()
+    };
 
-    // Traverse the same tree at different ε at query time.
+    // Traverse the same tree at different ε at query time; each
+    // extraction becomes the session's current partitioning.
     let mut previous_groups = usize::MAX;
     for epsilon in [0.05, 0.2, 0.6] {
         let omega =
-            PartitionConfig::omega_for_epsilon(&t, &attrs, epsilon, true).unwrap();
+            PartitionConfig::omega_for_epsilon(db.table("Assets").unwrap(), &attrs, epsilon, true)
+                .unwrap();
         let partitioning = tree.coarsest_for(omega, usize::MAX);
         assert!(partitioning.max_radius() <= omega + 1e-9);
-        assert!(partitioning.is_disjoint_cover(t.num_rows()));
+        assert!(partitioning.is_disjoint_cover(db.table("Assets").unwrap().num_rows()));
         // Looser ε ⇒ coarser partitioning (fewer groups).
         assert!(partitioning.num_groups() <= previous_groups);
         previous_groups = partitioning.num_groups();
 
-        let pkg = SketchRefine::default()
-            .evaluate_with(&query, &t, &partitioning)
-            .unwrap();
-        assert!(pkg.satisfies(&query, &t, 1e-6).unwrap());
-        let obj = pkg.objective_value(&query, &t).unwrap();
+        db.install_partitioning("Assets", partitioning).unwrap();
+        let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+        let table = db.table("Assets").unwrap();
+        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, table).unwrap();
         let bound = (1.0 - epsilon).powi(6) * opt;
         assert!(
             obj >= bound - 1e-6,
@@ -88,11 +94,10 @@ fn dynamic_extraction_is_coarsest() {
     // group's radius splits it further.
     let t = table(200);
     let attrs = vec!["profit".to_string(), "cost".to_string()];
-    let tree = TreePartitioner::new(
-        PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(2.0),
-    )
-    .build_tree(&t)
-    .unwrap();
+    let tree =
+        TreePartitioner::new(PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(2.0))
+            .build_tree(&t)
+            .unwrap();
     let coarse = tree.coarsest_for(30.0, usize::MAX);
     let max_radius = coarse.max_radius();
     assert!(max_radius <= 30.0);

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning every crate: PaQL text →
-//! parse → validate → translate → solve → package → verify, through
-//! both evaluation strategies, plus the Theorem 1 reduction round trip
-//! and relational persistence of packages.
+//! `PackageDb` catalog resolution → plan → evaluate → package → verify,
+//! through both evaluation strategies, plus the Theorem 1 reduction
+//! round trip and relational persistence of packages.
 
 use package_queries::paql::reduction::{ilp_to_paql, IlpInstance};
 use package_queries::prelude::*;
@@ -13,32 +13,61 @@ const RUNNING_EXAMPLE: &str = "SELECT PACKAGE(R) AS P \
      SUCH THAT COUNT(P.*) = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5 \
      MINIMIZE SUM(P.saturated_fat)";
 
+fn recipes_db(n: usize, seed: u64) -> PackageDb {
+    let mut db = PackageDb::new();
+    db.register_table("Recipes", package_queries::datagen::recipes_table(n, seed));
+    db
+}
+
 #[test]
 fn running_example_direct_vs_sketchrefine() {
-    let table = package_queries::datagen::recipes_table(300, 9);
+    let mut db = recipes_db(300, 9);
     let query = parse_paql(RUNNING_EXAMPLE).unwrap();
 
-    let direct = Direct::default().evaluate(&query, &table).unwrap();
-    assert!(direct.satisfies(&query, &table, 1e-9).unwrap());
-    assert_eq!(direct.cardinality(), 3);
+    let direct = db.execute_with(&query, Route::ForceDirect).unwrap();
+    assert_eq!(direct.strategy, Strategy::Direct);
+    let table = db.table("Recipes").unwrap();
+    assert!(direct.package.satisfies(&query, table, 1e-9).unwrap());
+    assert_eq!(direct.package.cardinality(), 3);
 
-    let sr = SketchRefine::default().evaluate(&query, &table).unwrap();
-    assert!(sr.satisfies(&query, &table, 1e-6).unwrap());
-    assert_eq!(sr.cardinality(), 3);
+    let sr = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+    assert_eq!(sr.strategy, Strategy::SketchRefine);
+    assert!(
+        sr.report.is_some(),
+        "SKETCHREFINE must report work counters"
+    );
+    let table = db.table("Recipes").unwrap();
+    assert!(sr.package.satisfies(&query, table, 1e-6).unwrap());
+    assert_eq!(sr.package.cardinality(), 3);
 
     // DIRECT is exact; SKETCHREFINE approximates from above (min).
-    let d = direct.objective_value(&query, &table).unwrap();
-    let s = sr.objective_value(&query, &table).unwrap();
+    let d = direct.package.objective_value(&query, table).unwrap();
+    let s = sr.package.objective_value(&query, table).unwrap();
     assert!(s >= d - 1e-9, "sketchrefine {s} beat the optimum {d}");
 }
 
 #[test]
+fn auto_route_explains_itself() {
+    let mut db = recipes_db(300, 9);
+    let exec = db.execute(RUNNING_EXAMPLE).unwrap();
+    // 300 rows sit under the default direct-threshold.
+    assert_eq!(exec.strategy, Strategy::Direct);
+    let text = exec.explain();
+    assert!(text.contains("DIRECT"), "{text}");
+    assert!(text.contains("direct-threshold"), "{text}");
+}
+
+#[test]
 fn package_round_trips_through_csv() {
-    let table = package_queries::datagen::recipes_table(100, 4);
-    let query = parse_paql(RUNNING_EXAMPLE).unwrap();
-    let pkg = Direct::default().evaluate(&query, &table).unwrap();
-    let materialized = pkg.materialize(&table);
-    assert_eq!(materialized.schema(), table.schema(), "packages follow the input schema");
+    let mut db = recipes_db(100, 4);
+    let exec = db.execute(RUNNING_EXAMPLE).unwrap();
+    let table = db.table("Recipes").unwrap();
+    let materialized = exec.package.materialize(table);
+    assert_eq!(
+        materialized.schema(),
+        table.schema(),
+        "packages follow the input schema"
+    );
 
     let mut buf = Vec::new();
     csv::write_csv(&materialized, &mut buf).unwrap();
@@ -65,42 +94,46 @@ fn theorem_1_reduction_round_trip() {
         .expect("bounded, feasible")
         .objective;
 
+    // The reduction's query evaluates through the session like any
+    // other (its relation name binds the generated table).
     let (table, query) = ilp_to_paql(&ilp).unwrap();
-    let translation = package_queries::paql::translate(&query, &table).unwrap();
-    let via_paql_obj = solver
-        .solve(&translation.model)
-        .solution()
-        .expect("bounded, feasible")
-        .objective;
+    let mut db = PackageDb::new();
+    db.register_table(query.relation.clone(), table);
+    let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
+    let via_paql_obj = exec
+        .package
+        .objective_value(&query, db.table(&query.relation).unwrap())
+        .unwrap();
     assert!((direct_obj - via_paql_obj).abs() < 1e-9);
 }
 
 #[test]
 fn multiset_semantics_respected_end_to_end() {
-    let table = package_queries::datagen::recipes_table(50, 5);
+    let mut db = recipes_db(50, 5);
     // REPEAT 1 ⇒ each recipe at most twice.
-    let query = parse_paql(
-        "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 1 \
-         SUCH THAT COUNT(P.*) = 8 MINIMIZE SUM(P.kcal)",
-    )
-    .unwrap();
-    let pkg = Direct::default().evaluate(&query, &table).unwrap();
-    assert_eq!(pkg.cardinality(), 8);
-    assert!(pkg.max_multiplicity() <= 2);
+    let exec = db
+        .execute(
+            "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 1 \
+             SUCH THAT COUNT(P.*) = 8 MINIMIZE SUM(P.kcal)",
+        )
+        .unwrap();
+    assert_eq!(exec.package.cardinality(), 8);
+    assert!(exec.package.max_multiplicity() <= 2);
     // The materialized package has 8 physical rows.
-    assert_eq!(pkg.materialize(&table).num_rows(), 8);
+    let table = db.table("Recipes").unwrap();
+    assert_eq!(exec.package.materialize(table).num_rows(), 8);
 }
 
 #[test]
 fn infeasibility_is_consistent_across_strategies() {
-    let table = package_queries::datagen::recipes_table(40, 6);
+    let mut db = recipes_db(40, 6);
     let query = parse_paql(
         "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 39 AND SUM(P.kcal) <= 0.5",
     )
     .unwrap();
-    assert!(Direct::default().evaluate(&query, &table).is_err());
-    assert!(SketchRefine::default().evaluate(&query, &table).is_err());
+    assert!(db.execute_with(&query, Route::ForceDirect).is_err());
+    assert!(db.execute_with(&query, Route::ForceSketchRefine).is_err());
 }
 
 #[test]
@@ -109,16 +142,24 @@ fn workloads_run_end_to_end_on_both_datasets() {
     // package, a consistent infeasibility verdict, or — for the
     // deliberately hard queries (Galaxy Q2/Q6) — a budgeted solver
     // failure (the DIRECT failure mode the paper studies).
-    let budget = SolverConfig::default()
-        .with_time_limit(std::time::Duration::from_secs(3));
+    let config = DbConfig {
+        solver: SolverConfig::default().with_time_limit(std::time::Duration::from_secs(3)),
+        ..DbConfig::default()
+    };
     let mut solved = 0;
-    let galaxy = package_queries::datagen::galaxy_table(600, 1);
-    for q in package_queries::datagen::galaxy_workload(&galaxy).unwrap() {
-        match Direct::new(budget.clone()).evaluate(&q.query, &galaxy) {
-            Ok(pkg) => {
+
+    let mut db = PackageDb::with_config(config.clone());
+    db.register_table("Galaxy", package_queries::datagen::galaxy_table(600, 1));
+    let galaxy_queries =
+        package_queries::datagen::galaxy_workload(db.table("Galaxy").unwrap()).unwrap();
+    for q in galaxy_queries {
+        match db.execute_with(&q.query, Route::ForceDirect) {
+            Ok(exec) => {
                 solved += 1;
                 assert!(
-                    pkg.satisfies(&q.query, &galaxy, 1e-6).unwrap(),
+                    exec.package
+                        .satisfies(&q.query, db.table("Galaxy").unwrap(), 1e-6)
+                        .unwrap(),
                     "galaxy {} produced an infeasible package",
                     q.name
                 );
@@ -131,23 +172,30 @@ fn workloads_run_end_to_end_on_both_datasets() {
         }
     }
 
-    let tpch = package_queries::datagen::tpch_table(1500, 2);
-    for q in package_queries::datagen::tpch_workload(&tpch).unwrap() {
-        match Direct::new(budget.clone()).evaluate(&q.query, &tpch) {
-            Ok(pkg) => {
+    let mut db = PackageDb::with_config(config);
+    db.register_table("Tpch", package_queries::datagen::tpch_table(1500, 2));
+    let tpch_queries = package_queries::datagen::tpch_workload(db.table("Tpch").unwrap()).unwrap();
+    for q in tpch_queries {
+        // §5.1: each TPC-H query runs on the non-NULL subset of its
+        // attributes (the ILP would otherwise treat NULL contributions
+        // as zero, diverging from SQL aggregate semantics).
+        let q = q.with_non_null_guards();
+        match db.execute_with(&q.query, Route::ForceDirect) {
+            Ok(exec) => {
                 solved += 1;
                 assert!(
-                    pkg.satisfies(&q.query, &tpch, 1e-6).unwrap(),
+                    exec.package
+                        .satisfies(&q.query, db.table("Tpch").unwrap(), 1e-6)
+                        .unwrap(),
                     "tpch {} produced an infeasible package",
                     q.name
                 );
             }
-            Err(e) => assert!(
-                e.is_infeasible() || e.is_failure(),
-                "tpch {}: {e}",
-                q.name
-            ),
+            Err(e) => assert!(e.is_infeasible() || e.is_failure(), "tpch {}: {e}", q.name),
         }
     }
-    assert!(solved >= 8, "most workload queries must actually solve, got {solved}");
+    assert!(
+        solved >= 8,
+        "most workload queries must actually solve, got {solved}"
+    );
 }

@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the full stack: solver
 //! correctness against brute force, partitioner invariants, and the
-//! SKETCHREFINE feasibility/approximation contract on random inputs.
+//! SKETCHREFINE feasibility/approximation contract on random inputs —
+//! all evaluations driven through the `PackageDb` session layer.
 
 use package_queries::prelude::*;
 use package_queries::relational::{DataType, Table, Value};
@@ -15,6 +16,12 @@ fn table_from_rows(rows: &[(f64, f64)]) -> Table {
         t.push_row(vec![Value::Float(a), Value::Float(b)]).unwrap();
     }
     t
+}
+
+fn db_from_rows(rows: &[(f64, f64)]) -> PackageDb {
+    let mut db = PackageDb::new();
+    db.register_table("R", table_from_rows(rows));
+    db
 }
 
 /// Exhaustive optimum for: COUNT = k, SUM(b) ≤ budget, MAXIMIZE SUM(a),
@@ -49,7 +56,8 @@ fn brute_force_max(rows: &[(f64, f64)], k: usize, budget: f64) -> Option<f64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// DIRECT matches exhaustive enumeration on random small instances.
+    /// DIRECT (via the session) matches exhaustive enumeration on
+    /// random small instances.
     #[test]
     fn direct_matches_brute_force(
         rows in prop::collection::vec((1.0f64..50.0, 1.0f64..20.0), 4..10),
@@ -59,20 +67,21 @@ proptest! {
         prop_assume!(k <= rows.len());
         let total_b: f64 = rows.iter().map(|(_, b)| b).sum();
         let budget = (total_b * budget_scale / rows.len() as f64 * k as f64).max(1.0);
-        let table = table_from_rows(&rows);
+        let mut db = db_from_rows(&rows);
         let query = parse_paql(&format!(
             "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
              SUCH THAT COUNT(P.*) = {k} AND SUM(P.b) <= {budget:.9} \
              MAXIMIZE SUM(P.a)"
         )).unwrap();
         let reference = brute_force_max(&rows, k, budget);
-        match (reference, Direct::default().evaluate(&query, &table)) {
+        match (reference, db.execute_with(&query, Route::ForceDirect)) {
             (None, Err(e)) => prop_assert!(e.is_infeasible()),
-            (Some(opt), Ok(pkg)) => {
-                let obj = pkg.objective_value(&query, &table).unwrap();
+            (Some(opt), Ok(exec)) => {
+                let table = db.table("R").unwrap();
+                let obj = exec.package.objective_value(&query, table).unwrap();
                 prop_assert!((obj - opt).abs() < 1e-6,
                     "solver {obj} vs brute force {opt}");
-                prop_assert!(pkg.satisfies(&query, &table, 1e-7).unwrap());
+                prop_assert!(exec.package.satisfies(&query, table, 1e-7).unwrap());
             }
             (r, o) => prop_assert!(false, "mismatch: brute force {r:?} vs {o:?}"),
         }
@@ -129,7 +138,7 @@ proptest! {
         tau in 3usize..12,
         k in 2usize..5,
     ) {
-        let table = table_from_rows(&rows);
+        let mut db = db_from_rows(&rows);
         let budget: f64 = rows.iter().map(|(_, b)| b).sum::<f64>() * 0.4;
         let query = parse_paql(&format!(
             "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
@@ -138,16 +147,18 @@ proptest! {
         )).unwrap();
         let partitioning = Partitioner::new(PartitionConfig::by_size(
             vec!["a".into(), "b".into()], tau,
-        )).partition(&table).unwrap();
+        )).partition(db.table("R").unwrap()).unwrap();
+        db.install_partitioning("R", partitioning).unwrap();
 
-        let direct = Direct::default().evaluate(&query, &table);
-        let sr = SketchRefine::default().evaluate_with(&query, &table, &partitioning);
+        let direct = db.execute_with(&query, Route::ForceDirect);
+        let sr = db.execute_with(&query, Route::ForceSketchRefine);
+        let table = db.table("R").unwrap();
         match (direct, sr) {
             (Ok(d), Ok(s)) => {
-                prop_assert!(s.satisfies(&query, &table, 1e-6).unwrap());
-                prop_assert!(s.max_multiplicity() <= 1);
-                let od = d.objective_value(&query, &table).unwrap();
-                let os = s.objective_value(&query, &table).unwrap();
+                prop_assert!(s.package.satisfies(&query, table, 1e-6).unwrap());
+                prop_assert!(s.package.max_multiplicity() <= 1);
+                let od = d.package.objective_value(&query, table).unwrap();
+                let os = s.package.objective_value(&query, table).unwrap();
                 prop_assert!(os <= od + 1e-6, "sketchrefine {os} beat optimum {od}");
             }
             (Err(ed), Err(es)) => {
@@ -182,5 +193,28 @@ proptest! {
         let q1 = parse_paql(&text).unwrap();
         let q2 = parse_paql(&q1.to_string()).unwrap();
         prop_assert_eq!(q1, q2);
+    }
+
+    /// The fluent builder and the parser agree on synthesized bounds,
+    /// and the session accepts both interchangeably.
+    #[test]
+    fn builder_parser_equivalence(
+        c in 1u64..20,
+        budget in 1.0f64..400.0,
+        repeat in 0u32..3,
+    ) {
+        let built = Paql::package("R")
+            .from("Rel")
+            .repeat(repeat)
+            .count_eq(c)
+            .sum_le("b", budget)
+            .maximize_sum("a")
+            .build();
+        let parsed = parse_paql(&format!(
+            "SELECT PACKAGE(R) AS P FROM Rel R REPEAT {repeat} \
+             SUCH THAT COUNT(P.*) = {c} AND SUM(P.b) <= {budget} \
+             MAXIMIZE SUM(P.a)"
+        )).unwrap();
+        prop_assert_eq!(built, parsed);
     }
 }
