@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("quadtree_galaxy_4k", |b| {
         b.iter(|| {
             Partitioner::new(PartitionConfig::by_size(galaxy.workload_attrs.clone(), 400))
-                .partition(&galaxy.table)
+                .partition(galaxy.table())
                 .unwrap()
         })
     });
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("quadtree_tpch_8k", |b| {
         b.iter(|| {
             Partitioner::new(PartitionConfig::by_size(tpch.workload_attrs.clone(), 800))
-                .partition(&tpch.table)
+                .partition(tpch.table())
                 .unwrap()
         })
     });
@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("kmeans_galaxy_4k_k10", |b| {
         b.iter(|| {
             kmeans_partition(
-                &galaxy.table,
+                galaxy.table(),
                 &KMeansConfig {
                     attributes: galaxy.workload_attrs.clone(),
                     k: 10,

@@ -18,10 +18,10 @@ fn bench(c: &mut Criterion) {
         let partitioning = workload_partitioning(&galaxy);
         let q1 = &galaxy.workload[0];
         group.bench_with_input(BenchmarkId::new("galaxy_q1_direct", n), &n, |b, _| {
-            b.iter(|| run_direct(&q1.query, &galaxy.table, &cfg))
+            b.iter(|| run_direct(&q1.query, galaxy.table(), &cfg))
         });
         group.bench_with_input(BenchmarkId::new("galaxy_q1_sketchrefine", n), &n, |b, _| {
-            b.iter(|| run_sketchrefine(&q1.query, &galaxy.table, &partitioning, &cfg))
+            b.iter(|| run_sketchrefine(&q1.query, galaxy.table(), &partitioning, &cfg))
         });
     }
 
@@ -29,10 +29,10 @@ fn bench(c: &mut Criterion) {
     let partitioning = workload_partitioning(&tpch);
     let q1 = &tpch.workload[0];
     group.bench_function("tpch_q1_direct_3k", |b| {
-        b.iter(|| run_direct(&q1.query, &tpch.table, &cfg))
+        b.iter(|| run_direct(&q1.query, tpch.table(), &cfg))
     });
     group.bench_function("tpch_q1_sketchrefine_3k", |b| {
-        b.iter(|| run_sketchrefine(&q1.query, &tpch.table, &partitioning, &cfg))
+        b.iter(|| run_sketchrefine(&q1.query, tpch.table(), &partitioning, &cfg))
     });
     group.finish();
 }

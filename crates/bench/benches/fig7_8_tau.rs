@@ -15,12 +15,12 @@ fn bench(c: &mut Criterion) {
     for tau in [1000usize, 400, 200, 50, 20] {
         let partitioning =
             Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
-                .partition(&data.table)
+                .partition(data.table())
                 .unwrap();
         group.bench_with_input(
             BenchmarkId::new("galaxy_q1_sketchrefine_tau", tau),
             &tau,
-            |b, _| b.iter(|| run_sketchrefine(&q1.query, &data.table, &partitioning, &cfg)),
+            |b, _| b.iter(|| run_sketchrefine(&q1.query, data.table(), &partitioning, &cfg)),
         );
     }
     group.finish();

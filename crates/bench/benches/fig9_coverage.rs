@@ -27,12 +27,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (name, attrs) in cases {
         let partitioning = Partitioner::new(PartitionConfig::by_size(attrs, 200))
-            .partition(&data.table)
+            .partition(data.table())
             .unwrap();
         group.bench_with_input(
             BenchmarkId::new("galaxy_q1_coverage", name),
             &name,
-            |b, _| b.iter(|| run_sketchrefine(&q1.query, &data.table, &partitioning, &cfg)),
+            |b, _| b.iter(|| run_sketchrefine(&q1.query, data.table(), &partitioning, &cfg)),
         );
     }
     group.finish();

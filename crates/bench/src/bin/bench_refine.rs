@@ -1,0 +1,260 @@
+//! REFINE perf smoke: sequential vs wave-based parallel REFINE.
+//!
+//! Runs a REFINE-heavy Galaxy workload — bulk-selection queries whose
+//! sketch spreads representatives across many groups — over a ≥ 64-group
+//! partitioning, once with `threads = 1` (the sequential Algorithm 2
+//! path) and once with `threads = N`, and records per-query REFINE
+//! wall-clock, wave counters, and the package-identity check in
+//! `BENCH_refine.json`. This is the repo's perf-trajectory artifact:
+//! CI uploads the JSON so speedups (and regressions) are visible over
+//! time.
+//!
+//! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
+//! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
+//! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
+//! `PAQ_SEED`, and `PAQ_REFINE_OUT` (output path).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use paq_bench::seed;
+use paq_core::SketchRefineReport;
+use paq_datagen::galaxy_table;
+use paq_db::{DbConfig, PackageDb};
+use paq_lang::{parse_paql, PackageQuery};
+use paq_partition::{PartitionConfig, Partitioner, Partitioning};
+use paq_relational::agg::{aggregate, AggFunc};
+use paq_relational::Table;
+use paq_solver::SolverConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One query's sequential-vs-parallel measurement.
+struct QueryResult {
+    name: &'static str,
+    text: String,
+    groups_refined: usize,
+    seq_refine: Duration,
+    par_refine: Duration,
+    par_report: SketchRefineReport,
+    identical: bool,
+}
+
+/// The REFINE-heavy workload: bulk selections whose COUNT pins far more
+/// tuples than one group holds, so the sketch spreads across many
+/// groups and REFINE has wide waves to solve; plus one windowed query
+/// whose commits shift sibling bounds, exercising (and recording) the
+/// conflict re-queue path.
+fn workload(table: &Table) -> Vec<(&'static str, PackageQuery)> {
+    let n = table.num_rows();
+    let mean_r = aggregate(table, AggFunc::Avg, "r")
+        .expect("mean r")
+        .as_f64()
+        .unwrap_or(0.0);
+    let mk = |text: String| parse_paql(&text).expect("bench query parses");
+    vec![
+        (
+            "R1-bulk-max",
+            mk(format!(
+                "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MAXIMIZE SUM(P.r)",
+                n / 2
+            )),
+        ),
+        (
+            "R2-bulk-min",
+            mk(format!(
+                "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MINIMIZE SUM(P.extinction_r)",
+                n / 3
+            )),
+        ),
+        (
+            "R3-bulk-redshift",
+            mk(format!(
+                "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MAXIMIZE SUM(P.redshift)",
+                2 * n / 5
+            )),
+        ),
+        (
+            "R4-window",
+            mk(format!(
+                "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 10 \
+                 AND SUM(P.r) BETWEEN {:.6} AND {:.6} \
+                 MINIMIZE SUM(P.extinction_r)",
+                10.0 * mean_r * 0.95,
+                10.0 * mean_r * 1.05
+            )),
+        ),
+    ]
+}
+
+/// Best-of-`reps` REFINE time at the given thread count, with the last
+/// run's package and report.
+fn measure(
+    db: &mut PackageDb,
+    query: &PackageQuery,
+    partitioning: &Arc<Partitioning>,
+    threads: usize,
+    reps: u64,
+) -> (Duration, paq_core::Package, SketchRefineReport) {
+    db.config_mut().sketchrefine.threads = threads;
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let exec = db
+            .execute_with_partitioning(query, Arc::clone(partitioning))
+            .expect("bench query must solve");
+        let report = exec.report.expect("SKETCHREFINE produces a report");
+        best = best.min(report.refine_time);
+        last = Some((exec.package, report));
+    }
+    let (package, report) = last.expect("at least one repetition");
+    (best, package, report)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
+    let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
+    let reps = env_u64("PAQ_REFINE_REPS", 3);
+    let out_path =
+        std::env::var("PAQ_REFINE_OUT").unwrap_or_else(|_| "BENCH_refine.json".to_owned());
+    let seed = seed();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    let table = galaxy_table(n, seed);
+    let queries = workload(&table);
+
+    // ≥ 64 groups: τ at ~1/96 of the rows (the quad tree overshoots
+    // the floor, never undershoots it).
+    let tau = (n / 96).max(2);
+    let attrs: Vec<String> = ["r", "extinction_r", "redshift"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let partitioning = Arc::new(
+        Partitioner::new(PartitionConfig::by_size(attrs, tau))
+            .partition(&table)
+            .expect("bench partitioning"),
+    );
+    let groups = partitioning.num_groups();
+    assert!(groups >= 64, "need a ≥ 64-group partitioning, got {groups}");
+
+    let mut db = PackageDb::with_config(DbConfig {
+        fallback_to_direct: false,
+        solver: SolverConfig::default(),
+        ..DbConfig::default()
+    });
+    db.register_table("Galaxy", table);
+
+    println!(
+        "REFINE perf smoke: n = {n}, {groups} groups (τ = {tau}), \
+         threads 1 vs {threads} on {host_cpus} host CPUs, best of {reps}"
+    );
+    if host_cpus < 2 {
+        println!("  NOTE: single-CPU host — threads time-slice one core; expect no speedup here.");
+    }
+    let mut results = Vec::new();
+    for (name, query) in &queries {
+        let (seq_refine, seq_pkg, seq_report) = measure(&mut db, query, &partitioning, 1, reps);
+        let (par_refine, par_pkg, par_report) =
+            measure(&mut db, query, &partitioning, threads, reps);
+        let identical = seq_pkg.members() == par_pkg.members();
+        println!(
+            "  {name:<18} groups_refined {:>3}  seq {:>8.3}ms  par {:>8.3}ms  speedup {:>5.2}x  \
+             waves {:>3}  wave_solves {:>4}  requeues {:>4}  identical {identical}",
+            seq_report.groups_refined,
+            seq_refine.as_secs_f64() * 1e3,
+            par_refine.as_secs_f64() * 1e3,
+            seq_refine.as_secs_f64() / par_refine.as_secs_f64().max(1e-12),
+            par_report.waves,
+            par_report.parallel_solves,
+            par_report.conflict_requeues,
+        );
+        results.push(QueryResult {
+            name,
+            text: query.to_string(),
+            groups_refined: seq_report.groups_refined,
+            seq_refine,
+            par_refine,
+            par_report,
+            identical,
+        });
+    }
+
+    let total_seq: f64 = results.iter().map(|r| r.seq_refine.as_secs_f64()).sum();
+    let total_par: f64 = results.iter().map(|r| r.par_refine.as_secs_f64()).sum();
+    let speedup = total_seq / total_par.max(1e-12);
+    let all_identical = results.iter().all(|r| r.identical);
+    println!(
+        "  total refine: seq {:.3}ms, par {:.3}ms — {speedup:.2}x speedup, packages identical: {all_identical}",
+        total_seq * 1e3,
+        total_par * 1e3
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
+    let _ = writeln!(json, "  \"dataset\": \"Galaxy\",");
+    let _ = writeln!(json, "  \"rows\": {n},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"groups\": {groups},");
+    let _ = writeln!(json, "  \"tau\": {tau},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    if host_cpus < 2 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"single-CPU host: threads time-slice one core, so no speedup is \
+             expected here; the structure counters (waves, requeues, identity) are the signal\","
+        );
+    }
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"queries\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {");
+        let _ = write!(
+            json,
+            "\"name\": \"{}\", \"query\": \"{}\", \"groups_refined\": {}, \
+             \"seq_refine_ms\": {:.3}, \"par_refine_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"waves\": {}, \"wave_solves\": {}, \"conflict_requeues\": {}, \"identical\": {}",
+            r.name,
+            json_escape(&r.text),
+            r.groups_refined,
+            r.seq_refine.as_secs_f64() * 1e3,
+            r.par_refine.as_secs_f64() * 1e3,
+            r.seq_refine.as_secs_f64() / r.par_refine.as_secs_f64().max(1e-12),
+            r.par_report.waves,
+            r.par_report.parallel_solves,
+            r.par_report.conflict_requeues,
+            r.identical,
+        );
+        json.push('}');
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
+    let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
+    let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"packages_identical\": {all_identical}");
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_refine.json");
+    println!("wrote {out_path}");
+
+    assert!(all_identical, "parallel REFINE diverged from sequential");
+}

@@ -31,7 +31,7 @@ fn main() {
     ];
     for (q, (pname, pfrac)) in data.workload.iter().zip(paper) {
         assert_eq!(q.name, pname);
-        let eff = effective_rows(&data.table, &q.attributes);
+        let eff = effective_rows(data.table(), &q.attributes);
         out.row(vec![
             q.name.clone(),
             eff.to_string(),

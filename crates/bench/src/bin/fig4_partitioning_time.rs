@@ -26,7 +26,7 @@ fn main() {
         let tau = (n / 10).max(1);
         let partitioning =
             Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
-                .partition(&data.table)
+                .partition(data.table())
                 .expect("partitioning");
         assert!(partitioning.max_group_size() <= tau);
         out.row(vec![

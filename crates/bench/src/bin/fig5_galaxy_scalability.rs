@@ -13,8 +13,8 @@ use paq_bench::{galaxy_rows, prepare_galaxy, seed, solver_config};
 
 fn main() {
     let n = galaxy_rows();
-    let data = prepare_galaxy(n, seed());
-    let points = scalability(&data, &[0.1, 0.4, 0.7, 1.0], &solver_config(), seed());
+    let mut data = prepare_galaxy(n, seed());
+    let points = scalability(&mut data, &[0.1, 0.4, 0.7, 1.0], &solver_config(), seed());
     print_scalability(
         &format!("Figure 5 — Galaxy scalability (n = {n}, τ = 10%·n)"),
         &points,

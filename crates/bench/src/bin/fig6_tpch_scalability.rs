@@ -11,8 +11,8 @@ use paq_bench::{prepare_tpch, seed, solver_config, tpch_rows};
 
 fn main() {
     let n = tpch_rows();
-    let data = prepare_tpch(n, seed());
-    let points = scalability(&data, &[0.1, 0.4, 0.7, 1.0], &solver_config(), seed());
+    let mut data = prepare_tpch(n, seed());
+    let points = scalability(&mut data, &[0.1, 0.4, 0.7, 1.0], &solver_config(), seed());
     print_scalability(
         &format!("Figure 6 — TPC-H scalability (n = {n}, τ = 10%·n)"),
         &points,

@@ -17,19 +17,20 @@ fn main() {
     // 30% subset, as in the paper.
     let mask = fraction_mask(n, 0.3, seed());
     let kept: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
-    let data = paq_bench::PreparedDataset {
-        name: full.name,
-        table: full.table.take(&kept),
-        workload: full.workload,
-        workload_attrs: full.workload_attrs,
-    };
+    let subset = full.table().take(&kept);
+    let mut data = paq_bench::PreparedDataset::from_parts(
+        full.name,
+        subset,
+        full.workload,
+        full.workload_attrs,
+    );
 
-    let rows = data.table.num_rows();
+    let rows = data.table().num_rows();
     let taus: Vec<usize> = [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005]
         .iter()
         .map(|f| ((rows as f64 * f) as usize).max(2))
         .collect();
-    let (baselines, points) = tau_sweep(&data, &taus, &solver_config());
+    let (baselines, points) = tau_sweep(&mut data, &taus, &solver_config());
     print_tau_sweep(
         &format!("Figure 7 — τ sweep on Galaxy (30% of n = {n}; {rows} rows)"),
         &baselines,

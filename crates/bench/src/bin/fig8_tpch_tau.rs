@@ -10,12 +10,12 @@ use paq_bench::{prepare_tpch, seed, solver_config, tpch_rows};
 
 fn main() {
     let n = tpch_rows();
-    let data = prepare_tpch(n, seed());
+    let mut data = prepare_tpch(n, seed());
     let taus: Vec<usize> = [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005]
         .iter()
         .map(|f| ((n as f64 * f) as usize).max(2))
         .collect();
-    let (baselines, points) = tau_sweep(&data, &taus, &solver_config());
+    let (baselines, points) = tau_sweep(&mut data, &taus, &solver_config());
     print_tau_sweep(
         &format!("Figure 8 — τ sweep on TPC-H (full dataset, n = {n})"),
         &baselines,

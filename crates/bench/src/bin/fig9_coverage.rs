@@ -17,9 +17,9 @@ use paq_datagen::tpch::TPCH_ATTRIBUTES;
 fn main() {
     let cfg = solver_config();
 
-    let g = prepare_galaxy(galaxy_rows(), seed());
+    let mut g = prepare_galaxy(galaxy_rows(), seed());
     let galaxy_pool: Vec<String> = GALAXY_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
-    let points = coverage_sweep(&g, &galaxy_pool, &cfg);
+    let points = coverage_sweep(&mut g, &galaxy_pool, &cfg);
     print_coverage(
         &format!(
             "Figure 9a — partitioning coverage (Galaxy, n = {})",
@@ -28,9 +28,9 @@ fn main() {
         &points,
     );
 
-    let t = prepare_tpch(tpch_rows(), seed());
+    let mut t = prepare_tpch(tpch_rows(), seed());
     let tpch_pool: Vec<String> = TPCH_ATTRIBUTES.iter().map(|s| s.to_string()).collect();
-    let points = coverage_sweep(&t, &tpch_pool, &cfg);
+    let points = coverage_sweep(&mut t, &tpch_pool, &cfg);
     print_coverage(
         &format!(
             "Figure 9b — partitioning coverage (TPC-H, n = {})",

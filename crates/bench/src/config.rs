@@ -29,6 +29,14 @@ pub fn seed() -> u64 {
     env_u64("PAQ_SEED", paq_datagen::DEFAULT_SEED)
 }
 
+/// REFINE worker threads (`PAQ_THREADS`, default 1 = the sequential
+/// path). Any setting produces identical packages — wave-based REFINE
+/// only consumes speculative results whose bounds match the sequential
+/// schedule — so this knob trades CPUs for wall-clock, nothing else.
+pub fn refine_threads() -> usize {
+    env_u64("PAQ_THREADS", 1).max(1) as usize
+}
+
 /// The black-box solver budget used by all experiments
 /// (`PAQ_SOLVER_TIME_MS`, `PAQ_SOLVER_MEM_MB`). Mirrors the paper's
 /// CPLEX setup — 512MB working memory, 1h limit — scaled to laptop
@@ -56,5 +64,6 @@ mod tests {
         let cfg = solver_config();
         assert!(cfg.time_limit >= Duration::from_millis(1));
         assert!(cfg.memory_limit >= 1024);
+        assert!(refine_threads() >= 1);
     }
 }

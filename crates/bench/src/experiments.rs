@@ -3,6 +3,7 @@
 //! Each function takes a [`PreparedDataset`] and returns structured
 //! results so binaries print them and tests can assert on their shape.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
@@ -33,36 +34,51 @@ pub struct ScalePoint {
 /// Build the paper's experimental partitioning: workload attributes,
 /// τ = 10% of the rows, no radius condition (§5.2.1).
 pub fn workload_partitioning(data: &PreparedDataset) -> Partitioning {
-    let tau = (data.table.num_rows() / 10).max(1);
+    let tau = (data.table().num_rows() / 10).max(1);
     Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
-        .partition(&data.table)
+        .partition(data.table())
         .expect("workload partitioning")
 }
 
 /// Scalability experiment (Figs. 5 and 6): DIRECT vs SKETCHREFINE at
 /// increasing dataset fractions, using one offline partitioning of the
-/// full dataset restricted to each fraction.
+/// full dataset restricted to each fraction. The full-fraction points
+/// run on the dataset's owned session; smaller fractions derive a
+/// one-off table and go through throwaway sessions.
 pub fn scalability(
-    data: &PreparedDataset,
+    data: &mut PreparedDataset,
     fractions: &[f64],
     cfg: &SolverConfig,
     seed: u64,
 ) -> Vec<ScalePoint> {
-    let full = workload_partitioning(data);
+    let full = Arc::new(workload_partitioning(data));
+    let workload = data.workload.clone();
+    let n = data.table().num_rows();
     let mut out = Vec::new();
     for &fraction in fractions {
+        if fraction >= 1.0 {
+            for q in &workload {
+                let direct = data.run_direct(&q.query, cfg);
+                let sketchrefine = data.run_sketchrefine(&q.query, Arc::clone(&full), cfg);
+                let r = approx_ratio(&q.query, &direct, &sketchrefine);
+                out.push(ScalePoint {
+                    query: q.name.clone(),
+                    fraction,
+                    rows: n,
+                    direct,
+                    sketchrefine,
+                    ratio: r,
+                });
+            }
+            continue;
+        }
         // Derive the smaller dataset by random removal from the original
         // partitions — preserves the size condition (§5.2.1).
-        let (table, partitioning) = if fraction >= 1.0 {
-            (data.table.clone(), full.clone())
-        } else {
-            let mask = fraction_mask(data.table.num_rows(), fraction, seed);
-            let kept: Vec<usize> = (0..data.table.num_rows()).filter(|&i| mask[i]).collect();
-            let table = data.table.take(&kept);
-            let partitioning = full.restrict(&data.table, &mask).expect("restrict");
-            (table, partitioning)
-        };
-        for q in &data.workload {
+        let mask = fraction_mask(n, fraction, seed);
+        let kept: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        let table = data.table().take(&kept);
+        let partitioning = full.restrict(data.table(), &mask).expect("restrict");
+        for q in &workload {
             let direct = run_direct(&q.query, &table, cfg);
             let sketchrefine = run_sketchrefine(&q.query, &table, &partitioning, cfg);
             let r = approx_ratio(&q.query, &direct, &sketchrefine);
@@ -149,25 +165,26 @@ pub struct TauPoint {
 
 /// Partition-size-threshold sweep (Figs. 7 and 8): fix the dataset,
 /// vary τ, compare SKETCHREFINE against a single DIRECT baseline per
-/// query.
+/// query. Every evaluation reuses the dataset's owned session.
 pub fn tau_sweep(
-    data: &PreparedDataset,
+    data: &mut PreparedDataset,
     taus: &[usize],
     cfg: &SolverConfig,
 ) -> (Vec<(String, EvalOutcome)>, Vec<TauPoint>) {
-    let baselines: Vec<(String, EvalOutcome)> = data
-        .workload
+    let workload = data.workload.clone();
+    let baselines: Vec<(String, EvalOutcome)> = workload
         .iter()
-        .map(|q| (q.name.clone(), run_direct(&q.query, &data.table, cfg)))
+        .map(|q| (q.name.clone(), data.run_direct(&q.query, cfg)))
         .collect();
     let mut points = Vec::new();
     for &tau in taus {
-        let partitioning =
+        let partitioning = Arc::new(
             Partitioner::new(PartitionConfig::by_size(data.workload_attrs.clone(), tau))
-                .partition(&data.table)
-                .expect("tau partitioning");
-        for (q, (_, direct)) in data.workload.iter().zip(&baselines) {
-            let sr = run_sketchrefine(&q.query, &data.table, &partitioning, cfg);
+                .partition(data.table())
+                .expect("tau partitioning"),
+        );
+        for (q, (_, direct)) in workload.iter().zip(&baselines) {
+            let sr = data.run_sketchrefine(&q.query, Arc::clone(&partitioning), cfg);
             let r = approx_ratio(&q.query, direct, &sr);
             points.push(TauPoint {
                 query: q.name.clone(),
@@ -222,18 +239,19 @@ pub struct CoveragePoint {
 /// (coverage = 1), and supersets (coverage > 1) drawn from `attribute_pool`,
 /// and report each run's time relative to coverage 1.
 pub fn coverage_sweep(
-    data: &PreparedDataset,
+    data: &mut PreparedDataset,
     attribute_pool: &[String],
     cfg: &SolverConfig,
 ) -> Vec<CoveragePoint> {
-    let tau = (data.table.num_rows() / 10).max(1);
+    let tau = (data.table().num_rows() / 10).max(1);
+    let workload = data.workload.clone();
     let mut out = Vec::new();
-    for q in &data.workload {
+    for q in &workload {
         let qattrs = &q.attributes;
         if qattrs.is_empty() {
             continue;
         }
-        let direct = run_direct(&q.query, &data.table, cfg);
+        let direct = data.run_direct(&q.query, cfg);
 
         // Candidate attribute sets, smallest to largest.
         let mut candidates: Vec<Vec<String>> = Vec::new();
@@ -252,10 +270,12 @@ pub fn coverage_sweep(
         let mut base_time: Option<f64> = None;
         for attrs in candidates {
             let coverage = attrs.len() as f64 / qattrs.len() as f64;
-            let partitioning = Partitioner::new(PartitionConfig::by_size(attrs, tau))
-                .partition(&data.table)
-                .expect("coverage partitioning");
-            let sr = run_sketchrefine(&q.query, &data.table, &partitioning, cfg);
+            let partitioning = Arc::new(
+                Partitioner::new(PartitionConfig::by_size(attrs, tau))
+                    .partition(data.table())
+                    .expect("coverage partitioning"),
+            );
+            let sr = data.run_sketchrefine(&q.query, partitioning, cfg);
             let secs = sr.time().as_secs_f64();
             if (coverage - 1.0).abs() < 1e-12 {
                 base_time = Some(secs);
@@ -361,8 +381,8 @@ mod tests {
 
     #[test]
     fn scalability_covers_grid() {
-        let data = prepare_galaxy(250, 5);
-        let pts = scalability(&data, &[0.5, 1.0], &tiny_cfg(), 5);
+        let mut data = prepare_galaxy(250, 5);
+        let pts = scalability(&mut data, &[0.5, 1.0], &tiny_cfg(), 5);
         assert_eq!(pts.len(), 14, "7 queries × 2 fractions");
         // Full-fraction rows must equal the dataset size.
         assert!(pts
@@ -379,8 +399,8 @@ mod tests {
 
     #[test]
     fn tau_sweep_produces_grid() {
-        let data = prepare_galaxy(200, 6);
-        let (baselines, pts) = tau_sweep(&data, &[100, 25], &tiny_cfg());
+        let mut data = prepare_galaxy(200, 6);
+        let (baselines, pts) = tau_sweep(&mut data, &[100, 25], &tiny_cfg());
         assert_eq!(baselines.len(), 7);
         assert_eq!(pts.len(), 14);
         // Smaller τ ⇒ at least as many groups.
@@ -391,9 +411,9 @@ mod tests {
 
     #[test]
     fn coverage_sweep_normalizes_at_one() {
-        let data = prepare_galaxy(200, 7);
+        let mut data = prepare_galaxy(200, 7);
         let pool: Vec<String> = data.workload_attrs.clone();
-        let pts = coverage_sweep(&data, &pool[..2.min(pool.len())], &tiny_cfg());
+        let pts = coverage_sweep(&mut data, &pool[..2.min(pool.len())], &tiny_cfg());
         // Every query has a coverage-1 point with ratio 1.
         for q in ["Q1", "Q5"] {
             let base = pts

@@ -16,6 +16,7 @@
 //! | `PAQ_SEED` | `0x5D55AA96` | RNG seed for data + workload synthesis |
 //! | `PAQ_SOLVER_TIME_MS` | `20000` | per-solve wall-clock budget (the paper's 1h, scaled down) |
 //! | `PAQ_SOLVER_MEM_MB` | `64` | per-solve memory budget (the paper's 512MB working memory, scaled down) |
+//! | `PAQ_THREADS` | `1` | REFINE worker threads (wave-based parallel REFINE; identical packages at any setting) |
 //!
 //! The budgets matter: they are how DIRECT's failures on the hard
 //! queries (paper Fig. 5, Galaxy Q2/Q6) reproduce at laptop scale.
@@ -25,7 +26,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use config::{galaxy_rows, seed, solver_config, tpch_rows};
+pub use config::{galaxy_rows, refine_threads, seed, solver_config, tpch_rows};
 pub use report::TextTable;
 pub use runner::{
     effective_rows, fraction_mask, prepare_galaxy, prepare_tpch, run_direct, run_sketchrefine,

@@ -3,10 +3,16 @@
 //!
 //! Evaluations run through [`paq_db::PackageDb`] with forced routing —
 //! the same session layer production callers use — so experiments
-//! exercise the catalog/cache/planner path. The low-level
-//! [`paq_core::Evaluator`] trait remains available for
-//! micro-benchmarks and ablations that must bypass the session.
+//! exercise the catalog/cache/planner path. A [`PreparedDataset`] *owns*
+//! its session: the table is registered once at preparation time and
+//! every evaluation reuses it, instead of cloning the full table into a
+//! throwaway session per run. The free [`run_direct`]/
+//! [`run_sketchrefine`] wrappers remain for *derived* tables (the
+//! dataset-fraction sweeps), and the low-level [`paq_core::Evaluator`]
+//! trait remains available for micro-benchmarks and ablations that must
+//! bypass the session.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use paq_core::Package;
@@ -20,12 +26,11 @@ use paq_solver::SolverConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// A dataset plus its workload, ready for experiments.
+/// A dataset plus its workload and an owning [`PackageDb`] session,
+/// ready for experiments.
 pub struct PreparedDataset {
     /// Dataset name ("Galaxy" / "TPC-H").
     pub name: &'static str,
-    /// The full table.
-    pub table: Table,
     /// The seven workload queries (TPC-H queries carry IS NOT NULL
     /// guards so evaluation runs on the per-query non-NULL subsets of
     /// the pre-joined table, as in §5.1).
@@ -33,6 +38,105 @@ pub struct PreparedDataset {
     /// Union of the workload's query attributes (the partitioning
     /// attributes of §5.2.1).
     pub workload_attrs: Vec<String>,
+    /// Catalog name the table is registered under (the workload's
+    /// `FROM` relation).
+    relation: String,
+    /// The owning session: table registered once, reused by every
+    /// evaluation.
+    db: PackageDb,
+}
+
+impl PreparedDataset {
+    /// Assemble a dataset around an owning session: `table` is
+    /// registered once under the workload's `FROM` relation, and every
+    /// [`PreparedDataset::run_direct`] /
+    /// [`PreparedDataset::run_sketchrefine`] call reuses it. Used by
+    /// [`prepare_galaxy`]/[`prepare_tpch`] and by experiments deriving
+    /// subset datasets (e.g. the τ sweep's 30% table).
+    pub fn from_parts(
+        name: &'static str,
+        table: Table,
+        workload: Vec<NamedQuery>,
+        workload_attrs: Vec<String>,
+    ) -> PreparedDataset {
+        let relation = workload
+            .first()
+            .map(|q| q.query.relation.clone())
+            .unwrap_or_else(|| name.to_owned());
+        // Experiments want the raw per-strategy verdicts, never the
+        // planner's automatic DIRECT rescue.
+        let mut db = PackageDb::with_config(DbConfig {
+            fallback_to_direct: false,
+            ..DbConfig::default()
+        });
+        db.register_table(relation.clone(), table);
+        PreparedDataset {
+            name,
+            workload,
+            workload_attrs,
+            relation,
+            db,
+        }
+    }
+
+    /// The full table (owned by the session's catalog).
+    pub fn table(&self) -> &Table {
+        self.db
+            .table(&self.relation)
+            .expect("dataset table is registered")
+    }
+
+    /// The owning session, for callers that need more than the timed
+    /// wrappers (work reports, telemetry, cache stats).
+    pub fn session_mut(&mut self) -> &mut PackageDb {
+        &mut self.db
+    }
+
+    /// Run DIRECT on the owned session with timing.
+    pub fn run_direct(&mut self, query: &PackageQuery, cfg: &SolverConfig) -> EvalOutcome {
+        self.db.config_mut().solver = cfg.clone();
+        let start = Instant::now();
+        let result = self
+            .db
+            .execute_with(query, Route::ForceDirect)
+            .map(|e| e.package);
+        classify(result, start.elapsed(), query, self.table())
+    }
+
+    /// Run SKETCHREFINE against a prebuilt partitioning on the owned
+    /// session, with timing. REFINE threads come from the `PAQ_THREADS`
+    /// environment knob (default 1, the sequential path).
+    pub fn run_sketchrefine(
+        &mut self,
+        query: &PackageQuery,
+        partitioning: Arc<Partitioning>,
+        cfg: &SolverConfig,
+    ) -> EvalOutcome {
+        self.run_sketchrefine_threads(query, partitioning, cfg, crate::config::refine_threads())
+    }
+
+    /// [`PreparedDataset::run_sketchrefine`] with an explicit REFINE
+    /// thread count (any count produces the identical package; see
+    /// `paq_core::SketchRefineOptions::threads`).
+    pub fn run_sketchrefine_threads(
+        &mut self,
+        query: &PackageQuery,
+        partitioning: Arc<Partitioning>,
+        cfg: &SolverConfig,
+        threads: usize,
+    ) -> EvalOutcome {
+        {
+            let config = self.db.config_mut();
+            config.solver = cfg.clone();
+            config.sketchrefine.threads = threads;
+        }
+        let start = Instant::now();
+        let result = self
+            .db
+            .execute_with_partitioning(query, partitioning)
+            .map(|e| e.package);
+        classify(result, start.elapsed(), query, self.table())
+    }
 }
 
 /// Generate the Galaxy dataset and workload.
@@ -40,12 +144,7 @@ pub fn prepare_galaxy(n: usize, seed: u64) -> PreparedDataset {
     let table = galaxy_table(n, seed);
     let workload = galaxy_workload(&table).expect("galaxy workload");
     let workload_attrs = paq_datagen::workload_attributes(&workload);
-    PreparedDataset {
-        name: "Galaxy",
-        table,
-        workload,
-        workload_attrs,
-    }
+    PreparedDataset::from_parts("Galaxy", table, workload, workload_attrs)
 }
 
 /// Generate the pre-joined TPC-H dataset and workload (with non-NULL
@@ -62,12 +161,7 @@ pub fn prepare_tpch(n: usize, seed: u64) -> PreparedDataset {
         })
         .collect();
     let workload_attrs = paq_datagen::workload_attributes(&workload);
-    PreparedDataset {
-        name: "TPC-H",
-        table,
-        workload,
-        workload_attrs,
-    }
+    PreparedDataset::from_parts("TPC-H", table, workload, workload_attrs)
 }
 
 /// Add `attr IS NOT NULL` base predicates for every listed attribute —
@@ -177,7 +271,12 @@ fn session_for(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> Packa
     db
 }
 
-/// Run DIRECT (through the `PackageDb` session layer) with timing.
+/// Run DIRECT (through a throwaway `PackageDb` session) with timing.
+///
+/// For *derived* tables only — dataset fractions and other one-off
+/// subsets. Evaluations of a [`PreparedDataset`]'s own table should use
+/// [`PreparedDataset::run_direct`], which reuses the owned session
+/// instead of cloning the table.
 pub fn run_direct(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> EvalOutcome {
     let mut db = session_for(query, table, cfg);
     let start = Instant::now();
@@ -187,8 +286,9 @@ pub fn run_direct(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> Ev
     classify(result, start.elapsed(), query, table)
 }
 
-/// Run SKETCHREFINE against a prebuilt partitioning (installed into the
-/// session's partition cache), with timing.
+/// Run SKETCHREFINE against a prebuilt partitioning through a throwaway
+/// session, with timing. Same caveat as [`run_direct`]: derived tables
+/// only; prefer [`PreparedDataset::run_sketchrefine`].
 pub fn run_sketchrefine(
     query: &PackageQuery,
     table: &Table,
@@ -196,11 +296,11 @@ pub fn run_sketchrefine(
     cfg: &SolverConfig,
 ) -> EvalOutcome {
     let mut db = session_for(query, table, cfg);
-    db.install_partitioning(&query.relation, partitioning.clone())
-        .expect("partitioning must cover the registered table");
+    db.config_mut().sketchrefine.threads = crate::config::refine_threads();
+    let partitioning = Arc::new(partitioning.clone());
     let start = Instant::now();
     let result = db
-        .execute_with(query, Route::ForceSketchRefine)
+        .execute_with_partitioning(query, partitioning)
         .map(|e| e.package);
     classify(result, start.elapsed(), query, table)
 }
@@ -245,24 +345,48 @@ mod tests {
         let d = prepare_galaxy(300, 1);
         assert_eq!(d.workload.len(), 7);
         assert!(d.workload_attrs.len() >= 8);
-        assert_eq!(d.table.num_rows(), 300);
+        assert_eq!(d.table().num_rows(), 300);
     }
 
     #[test]
     fn tpch_guards_restrict_to_non_null_rows() {
-        let d = prepare_tpch(2000, 2);
-        let q5 = &d.workload[4];
+        let mut d = prepare_tpch(2000, 2);
+        let q5 = d.workload[4].clone();
         assert!(q5.query.where_clause.is_some());
-        let eff = effective_rows(&d.table, &q5.attributes);
+        let eff = effective_rows(d.table(), &q5.attributes);
         assert!(
-            eff < d.table.num_rows() / 10,
+            eff < d.table().num_rows() / 10,
             "customer subset must be small"
         );
         // Direct evaluation over the full table only picks guarded rows.
-        let out = run_direct(&q5.query, &d.table, &SolverConfig::default());
+        let out = d.run_direct(&q5.query, &SolverConfig::default());
         if let EvalOutcome::Solved { package, .. } = out {
-            assert!(package.satisfies(&q5.query, &d.table, 1e-6).unwrap());
+            assert!(package.satisfies(&q5.query, d.table(), 1e-6).unwrap());
         }
+    }
+
+    #[test]
+    fn prepared_dataset_session_is_reused() {
+        let mut d = prepare_galaxy(200, 4);
+        let cfg = SolverConfig::default();
+        let q1 = d.workload[0].clone();
+        let before = d.session_mut().table_names();
+        assert_eq!(before, vec!["Galaxy".to_string()]);
+        let a = d.run_direct(&q1.query, &cfg);
+        let b = d.run_direct(&q1.query, &cfg);
+        assert_eq!(a.objective(), b.objective(), "same session, same answer");
+        // Still exactly one registered table — nothing was cloned into
+        // throwaway sessions.
+        assert_eq!(d.session_mut().table_names(), before);
+        // Provided partitionings bypass the partition cache entirely.
+        let partitioning = Arc::new(
+            Partitioner::new(PartitionConfig::by_size(d.workload_attrs.clone(), 25))
+                .partition(d.table())
+                .unwrap(),
+        );
+        let _ = d.run_sketchrefine(&q1.query, Arc::clone(&partitioning), &cfg);
+        let stats = d.session_mut().cache_stats();
+        assert_eq!(stats.entries, 0, "no cache entries from provided runs");
     }
 
     #[test]
@@ -276,14 +400,16 @@ mod tests {
 
     #[test]
     fn direct_and_sketchrefine_agree_on_small_galaxy() {
-        let d = prepare_galaxy(400, 3);
-        let q = &d.workload[0]; // Q1
+        let mut d = prepare_galaxy(400, 3);
+        let q = d.workload[0].clone(); // Q1
         let cfg = SolverConfig::default();
-        let direct = run_direct(&q.query, &d.table, &cfg);
-        let partitioning = Partitioner::new(PartitionConfig::by_size(d.workload_attrs.clone(), 40))
-            .partition(&d.table)
-            .unwrap();
-        let sr = run_sketchrefine(&q.query, &d.table, &partitioning, &cfg);
+        let direct = d.run_direct(&q.query, &cfg);
+        let partitioning = Arc::new(
+            Partitioner::new(PartitionConfig::by_size(d.workload_attrs.clone(), 40))
+                .partition(d.table())
+                .unwrap(),
+        );
+        let sr = d.run_sketchrefine(&q.query, partitioning, &cfg);
         let ratio = approx_ratio(&q.query, &direct, &sr).expect("both solved");
         assert!(ratio >= 1.0 - 1e-9, "ratio {ratio}");
         assert!(ratio < 5.0, "ratio {ratio} unexpectedly bad");

@@ -1,0 +1,53 @@
+//! Workload-level determinism: parallel REFINE must return the exact
+//! package the sequential path returns on the full Galaxy and TPC-H
+//! benchmark workloads (same seed, threads ∈ {1, 4}), per-query. CI
+//! runs this test explicitly.
+
+use std::sync::Arc;
+
+use paq_bench::experiments::workload_partitioning;
+use paq_bench::{prepare_galaxy, prepare_tpch, EvalOutcome, PreparedDataset};
+use paq_solver::SolverConfig;
+
+fn assert_workload_deterministic(mut data: PreparedDataset) {
+    let cfg = SolverConfig::default();
+    let partitioning = Arc::new(workload_partitioning(&data));
+    let workload = data.workload.clone();
+    for q in &workload {
+        let seq = data.run_sketchrefine_threads(&q.query, Arc::clone(&partitioning), &cfg, 1);
+        let par = data.run_sketchrefine_threads(&q.query, Arc::clone(&partitioning), &cfg, 4);
+        match (&seq, &par) {
+            (
+                EvalOutcome::Solved {
+                    package: seq_pkg, ..
+                },
+                EvalOutcome::Solved {
+                    package: par_pkg, ..
+                },
+            ) => {
+                assert_eq!(
+                    seq_pkg.members(),
+                    par_pkg.members(),
+                    "{} {}: parallel package diverged from sequential",
+                    data.name,
+                    q.name
+                );
+            }
+            (EvalOutcome::Infeasible { .. }, EvalOutcome::Infeasible { .. }) => {}
+            other => panic!(
+                "{} {}: outcome kinds diverged between thread counts: {other:?}",
+                data.name, q.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn galaxy_workload_parallel_refine_is_deterministic() {
+    assert_workload_deterministic(prepare_galaxy(500, 11));
+}
+
+#[test]
+fn tpch_workload_parallel_refine_is_deterministic() {
+    assert_workload_deterministic(prepare_tpch(1500, 11));
+}

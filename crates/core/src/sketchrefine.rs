@@ -22,15 +22,16 @@
 //! inlined, trying groups in order until one succeeds. Remaining
 //! failures are reported as (possibly false) infeasibility.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use paq_exec::ThreadPool;
 use paq_lang::{base_relation_rows, linear_system, LinearSystem, PackageQuery};
 use paq_partition::partitioning::GID_COLUMN;
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::Table;
-use paq_solver::{MilpSolver, Model, SolveOutcome, SolverConfig, Telemetry};
+use paq_solver::{LimitKind, MilpSolver, Model, SolveOutcome, SolverConfig, Telemetry};
 
 use crate::error::{EngineError, EngineResult};
 use crate::package::Package;
@@ -73,12 +74,27 @@ pub struct SketchRefineOptions {
     /// pairwise until the sketch ILP fits the cap.
     pub sketch_group_limit: Option<usize>,
     /// Overall wall-clock deadline for one evaluation, covering the
-    /// sketch, refine, and backtracking phases. `None` derives
-    /// `(2·m + 4) ×` the per-solve time limit (one budgeted solve per
-    /// group plus backtracking slack).
+    /// sketch, refine, and backtracking phases. `None` derives a
+    /// default from the per-solve time limit: `(2·m + 4)×` for the
+    /// sketch phase, then — once the sketch has revealed how many
+    /// groups actually hold representatives — re-derived as
+    /// `(2·pending + 4)×` for refine and backtracking, so sparse
+    /// sketches don't inherit an inflated deadline.
     /// On expiry the evaluation reports (possibly false) infeasibility,
     /// matching Algorithm 1's failure semantics.
     pub total_time_limit: Option<Duration>,
+    /// Worker threads for **wave-based REFINE**: each wave snapshots
+    /// the package's per-constraint contributions, speculatively solves
+    /// pending group ILPs in parallel against that snapshot, and
+    /// commits results sequentially in priority order, re-queuing any
+    /// group whose committed predecessors shifted its bounds. `1`
+    /// (the default) runs the classic sequential Algorithm 2 path;
+    /// any setting produces the identical package: speculative results
+    /// are only consumed when their bounds match exactly, and solves
+    /// whose outcome depended on the solver's wall-clock limit are
+    /// redone inline, uncontended — so the only residual variation is
+    /// the time-limit nondeterminism sequential runs already have.
+    pub threads: usize,
 }
 
 impl Default for SketchRefineOptions {
@@ -92,6 +108,7 @@ impl Default for SketchRefineOptions {
             merge_rounds: 0,
             sketch_group_limit: None,
             total_time_limit: None,
+            threads: 1,
         }
     }
 }
@@ -119,6 +136,15 @@ pub struct SketchRefineReport {
     pub attribute_drops: u32,
     /// §4.4 strategy-4 retries performed (pairwise group merges).
     pub merges: u32,
+    /// Parallel REFINE waves launched (0 on the sequential path).
+    pub waves: u64,
+    /// Per-group ILPs solved inside waves, including speculative solves
+    /// whose results were later invalidated by a predecessor's commit.
+    pub parallel_solves: u64,
+    /// Speculative results discarded because a committed predecessor
+    /// shifted the group's constraint bounds (the group was re-queued
+    /// and re-solved in a later wave).
+    pub conflict_requeues: u64,
 }
 
 /// The SKETCHREFINE evaluator.
@@ -127,6 +153,7 @@ pub struct SketchRefine {
     config: SolverConfig,
     options: SketchRefineOptions,
     telemetry: Option<Arc<Telemetry>>,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl SketchRefine {
@@ -136,6 +163,7 @@ impl SketchRefine {
             config,
             options: SketchRefineOptions::default(),
             telemetry: None,
+            pool: None,
         }
     }
 
@@ -149,6 +177,31 @@ impl SketchRefine {
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Share an existing worker pool for wave-based REFINE instead of
+    /// spawning one per evaluation from [`SketchRefineOptions::threads`].
+    /// A single-worker pool (like `threads = 1`) runs the sequential
+    /// path.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool wave-based REFINE should use, if any: a shared pool
+    /// when one was attached, otherwise an evaluation-scoped pool of
+    /// [`SketchRefineOptions::threads`] workers. `None` means run the
+    /// sequential Algorithm 2 path (the two are package-identical; the
+    /// pool only changes how the per-group ILPs are scheduled).
+    fn refine_pool(&self) -> Option<Arc<ThreadPool>> {
+        match &self.pool {
+            Some(pool) if pool.threads() > 1 => Some(Arc::clone(pool)),
+            Some(_) => None,
+            None if self.options.threads > 1 => {
+                Some(Arc::new(ThreadPool::new(self.options.threads)))
+            }
+            None => None,
+        }
     }
 
     /// Evaluate against a prebuilt offline partitioning.
@@ -179,6 +232,8 @@ impl SketchRefine {
         // Recursive-sketch device: coarsen an oversized partitioning
         // before the first attempt.
         let mut current = self.coarsen(partitioning, table)?;
+        // One pool outlives every §4.4 ladder attempt.
+        let pool = self.refine_pool();
         let mut repartitions = 0u32;
         let mut attribute_drops = 0u32;
         let mut merges = 0u32;
@@ -188,7 +243,7 @@ impl SketchRefine {
                     .as_ref()
                     .map(|c| c as &Partitioning)
                     .unwrap_or(partitioning);
-                let mut session = Session::new(self, query, table, p)?;
+                let mut session = Session::new(self, query, table, p, pool.clone())?;
                 let attempt = session.run();
                 (attempt, session.sketch_violated_rows.clone())
             };
@@ -209,11 +264,11 @@ impl SketchRefine {
                     {
                         // Strategy 2: further partitioning (halve τ).
                         let tau = (active.max_group_size() / 2).max(1);
-                        let rebuilt = Partitioner::new(PartitionConfig::by_size(
-                            active.attributes.clone(),
-                            tau,
-                        ))
-                        .partition(table)?;
+                        let rebuilt = build_partitioning(
+                            PartitionConfig::by_size(active.attributes.clone(), tau),
+                            table,
+                            pool.as_deref(),
+                        )?;
                         current = Some(rebuilt);
                         repartitions += 1;
                     } else if attribute_drops < self.options.drop_attribute_rounds
@@ -237,8 +292,11 @@ impl SketchRefine {
                             kept = active.attributes[..active.attributes.len() - 1].to_vec();
                         }
                         let tau = active.max_group_size().max(1);
-                        let rebuilt = Partitioner::new(PartitionConfig::by_size(kept, tau))
-                            .partition(table)?;
+                        let rebuilt = build_partitioning(
+                            PartitionConfig::by_size(kept, tau),
+                            table,
+                            pool.as_deref(),
+                        )?;
                         current = Some(rebuilt);
                         attribute_drops += 1;
                     } else if merges < self.options.merge_rounds && active.num_groups() > 1 {
@@ -352,6 +410,51 @@ struct Session<'a> {
     /// Constraint rows the plain sketch could not satisfy (the solver's
     /// IIS-style diagnostic), captured for §4.4 strategy 3.
     sketch_violated_rows: Vec<u32>,
+    /// Worker pool for wave-based REFINE; `None` = sequential path.
+    pool: Option<Arc<ThreadPool>>,
+    /// Speculative per-group solve results from past waves, keyed by
+    /// group and validated lazily against the offsets they were solved
+    /// with. Backtracking's `undo` can even revalidate a stale entry.
+    speculative: HashMap<usize, Speculative>,
+    /// Adaptive wave width: grows while commits keep speculation valid
+    /// (constraints that don't couple groups), collapses back to the
+    /// thread count as soon as a commit invalidates a sibling — so
+    /// conflict-free workloads pay few synchronization barriers and
+    /// conflict-heavy ones waste at most one small wave per commit.
+    wave_width: usize,
+    /// `conflict_requeues` as of the last wave launch, for the width
+    /// adaptation above.
+    last_wave_conflicts: u64,
+}
+
+/// A wave-solved refinement with the constraint offsets it assumed.
+struct Speculative {
+    offsets: Vec<f64>,
+    result: EngineResult<GroupSolve>,
+}
+
+/// Result of one refine-subproblem solve.
+enum GroupSolve {
+    /// An outcome that is a pure function of the model (optimal,
+    /// gap/node/iteration/memory-limited, or infeasible): safe to
+    /// consume speculatively, because a re-solve would reproduce it.
+    Done(Option<Refined>),
+    /// The solver's *wall-clock* limit fired. Under wave contention a
+    /// subproblem can exceed the limit that an uncontended sequential
+    /// solve would meet (or cut a different incumbent), so this outcome
+    /// must not be consumed speculatively — the driver redoes the solve
+    /// inline, uncontended, exactly like the sequential schedule.
+    TimeLimited(Option<Refined>),
+}
+
+impl GroupSolve {
+    /// The refinement regardless of how the solve terminated (the
+    /// sequential path accepts whatever the uncontended solve produced).
+    fn into_inner(self) -> Option<Refined> {
+        match self {
+            GroupSolve::Done(r) | GroupSolve::TimeLimited(r) => r,
+        }
+    }
 }
 
 impl<'a> Session<'a> {
@@ -360,6 +463,7 @@ impl<'a> Session<'a> {
         query: &'a PackageQuery,
         table: &'a Table,
         partitioning: &Partitioning,
+        pool: Option<Arc<ThreadPool>>,
     ) -> EngineResult<Self> {
         // Base-predicate filtering per group (the paper pre-processes
         // base predicates with a standard SQL query, §5.1).
@@ -398,9 +502,9 @@ impl<'a> Session<'a> {
         let rep_system = linear_system(&stripped, &rep_table, &rep_rows)?;
 
         let num_rows = rep_system.rows.len();
-        // Default deadline scales with the work REFINE may legitimately
-        // need: up to one budgeted solve per group plus backtracking
-        // slack (each call individually honors the solver time limit).
+        // Provisional deadline covering the sketch phase; `run`
+        // re-derives the default from the *pending* group count once
+        // the sketch shows which groups actually need refinement.
         let deadline = Instant::now()
             + engine.options.total_time_limit.unwrap_or_else(|| {
                 engine
@@ -422,6 +526,10 @@ impl<'a> Session<'a> {
             solver: engine.solver(),
             deadline,
             sketch_violated_rows: Vec::new(),
+            wave_width: pool.as_ref().map_or(1, |p| 2 * p.threads()),
+            pool,
+            speculative: HashMap::new(),
+            last_wave_conflicts: 0,
         })
     }
 
@@ -435,6 +543,19 @@ impl<'a> Session<'a> {
             .filter(|&j| self.rep_mult[j] > 0 && self.refined[j].is_none())
             .collect();
         self.report.groups_refined = remaining.len();
+        // Re-derive the default deadline from the work that is actually
+        // left: one budgeted solve per *pending* group plus backtracking
+        // slack, so a sparse sketch (few groups holding representatives)
+        // doesn't keep the inflated `2·m + 4` budget of the full
+        // partitioning.
+        if self.engine.options.total_time_limit.is_none() {
+            self.deadline = Instant::now()
+                + self
+                    .engine
+                    .config
+                    .time_limit
+                    .saturating_mul(2 * remaining.len() as u32 + 4);
+        }
         let order: Vec<usize> = remaining.iter().copied().collect();
         let outcome = self.refine_rec(&remaining, &order, 0);
         self.report.refine_time = refine_started.elapsed();
@@ -629,7 +750,7 @@ impl<'a> Session<'a> {
             {
                 return Err(RefineFail::Budget);
             }
-            match self.solve_refine(j)? {
+            match self.obtain_refine(j, &pending)? {
                 None => {
                     // Q[G_j] infeasible.
                     self.report.backtracks += 1;
@@ -679,78 +800,161 @@ impl<'a> Session<'a> {
         Err(RefineFail::Failed(failed))
     }
 
-    /// Solve the refine query `Q[G_j]`: pick actual tuples from group
-    /// `j` such that, combined with every other group's current
-    /// contents (`p̄_j`), all global constraints hold. Returns `None`
-    /// on infeasibility.
-    fn solve_refine(&mut self, j: usize) -> Result<Option<Refined>, RefineFail> {
-        let rows = &self.groups[j].rows;
-        let system = linear_system(&self.stripped, self.table, rows)
-            .map_err(|e| RefineFail::Fatal(e.into()))?;
-        let mut model = Model::new();
-        let vars: Vec<paq_solver::VarId> = system
-            .objective
+    /// Constraint-bound offsets for group `j`'s refine query: per row,
+    /// the contribution of all *other* groups' current contents.
+    fn group_offsets(&self, j: usize) -> Vec<f64> {
+        self.rep_system
+            .rows
             .iter()
-            .map(|&c| model.add_int_var(0.0, system.var_ub, c))
-            .collect();
-        for (r, row) in system.rows.iter().enumerate() {
-            // Offset = contribution of all *other* groups.
-            let own = match &self.refined[j] {
-                Some(refined) => refined.contrib[r],
-                None => self.rep_system.rows[r].coefs[j] * self.rep_mult[j] as f64,
-            };
-            let offset = self.totals[r] - own;
-            let lo = if row.lo.is_finite() {
-                row.lo - offset
-            } else {
-                row.lo
-            };
-            let hi = if row.hi.is_finite() {
-                row.hi - offset
-            } else {
-                row.hi
-            };
-            model.add_range(
-                vars.iter()
-                    .copied()
-                    .zip(row.coefs.iter().copied())
-                    .collect(),
-                lo,
-                hi,
-            );
-        }
-        model.set_sense(system.sense);
+            .enumerate()
+            .map(|(r, row)| {
+                let own = match &self.refined[j] {
+                    Some(refined) => refined.contrib[r],
+                    None => row.coefs[j] * self.rep_mult[j] as f64,
+                };
+                self.totals[r] - own
+            })
+            .collect()
+    }
 
-        self.report.solver_calls += 1;
-        match self.solver.solve(&model).outcome {
-            SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
-                let pairs: Vec<(usize, u64)> = rows
-                    .iter()
-                    .zip(&sol.values)
-                    .filter_map(|(&row, &v)| {
-                        let m = v.round() as i64;
-                        (m > 0).then_some((row, m as u64))
-                    })
-                    .collect();
-                let contrib = contribution(&system, rows, &pairs);
-                Ok(Some(Refined { pairs, contrib }))
+    /// Produce the result of the refine query `Q[G_j]` the sequential
+    /// Algorithm 2 would solve *right now*, either by solving it inline
+    /// (no pool) or by consuming a wave-solved speculative result.
+    ///
+    /// The wave path snapshots the current offsets, solves `j` plus up
+    /// to `threads − 1` of the `upcoming` pending groups in parallel,
+    /// and caches everything. A cached result is only consumed when the
+    /// offsets it was solved against still match exactly — the model,
+    /// and therefore the deterministic solver's answer, is then
+    /// identical to the sequential solve — otherwise the entry is
+    /// discarded as a conflict re-queue and the group re-solved in a
+    /// fresh wave. Budget accounting (`solver_calls`) charges exactly
+    /// the consumed solves, mirroring the sequential call sequence;
+    /// speculative overshoot is reported separately.
+    fn obtain_refine(
+        &mut self,
+        j: usize,
+        upcoming: &[usize],
+    ) -> Result<Option<Refined>, RefineFail> {
+        let Some(pool) = self.pool.clone() else {
+            let offsets = self.group_offsets(j);
+            return self.solve_inline(j, &offsets);
+        };
+
+        let offsets = self.group_offsets(j);
+        if let Some(spec) = self.speculative.remove(&j) {
+            if spec.offsets == offsets {
+                return self.consume(j, &offsets, spec.result);
             }
-            SolveOutcome::Infeasible => Ok(None),
-            SolveOutcome::Unbounded => {
-                // A refine subproblem of a bounded sketch can only be
-                // unbounded if the query itself is unbounded.
-                Err(RefineFail::Fatal(EngineError::Unbounded))
+            // A committed predecessor shifted this group's bounds since
+            // the wave that solved it: the speculation is void.
+            self.report.conflict_requeues += 1;
+        }
+
+        // Adapt the wave width: conflict-free progress doubles it (up
+        // to 16× the thread count), any conflict since the last wave
+        // collapses it to the thread count.
+        let threads = pool.threads();
+        self.wave_width = if self.report.conflict_requeues == self.last_wave_conflicts {
+            (self.wave_width * 2).clamp(2 * threads, 16 * threads)
+        } else {
+            threads
+        };
+
+        // Launch a wave: group `j` plus the next pending groups that
+        // lack a still-valid speculative result.
+        let mut targets: Vec<(usize, Vec<f64>)> = vec![(j, offsets.clone())];
+        for &g in upcoming {
+            if targets.len() >= self.wave_width {
+                break;
             }
-            SolveOutcome::ResourceExhausted(_) => {
-                // The black box choked on this subproblem. Treat the
-                // group as non-refinable *in this order* and let the
-                // greedy backtracking try a different ordering — a
-                // different p̄_j often yields an easier subproblem.
-                // (If every ordering fails, the budget/ladder logic in
-                // `run`/`evaluate_with_report` takes over.)
-                Ok(None)
+            let off = self.group_offsets(g);
+            let valid = self
+                .speculative
+                .get(&g)
+                .is_some_and(|spec| spec.offsets == off);
+            if !valid {
+                targets.push((g, off));
             }
         }
+        self.report.waves += 1;
+        self.report.parallel_solves += targets.len() as u64;
+
+        let mut slots: Vec<Option<EngineResult<GroupSolve>>> = Vec::with_capacity(targets.len());
+        slots.resize_with(targets.len(), || None);
+        {
+            let solver = &self.solver;
+            let stripped = &self.stripped;
+            let table = self.table;
+            let groups = &self.groups;
+            pool.scope(|scope| {
+                for ((g, off), slot) in targets.iter().zip(slots.iter_mut()) {
+                    scope.spawn(move || {
+                        *slot = Some(solve_group(solver, stripped, table, &groups[*g].rows, off));
+                    });
+                }
+            });
+        }
+        for ((g, off), slot) in targets.into_iter().zip(slots) {
+            let result = slot.expect("wave completed every solve");
+            let stale = self.speculative.insert(
+                g,
+                Speculative {
+                    offsets: off,
+                    result,
+                },
+            );
+            if stale.is_some() {
+                // Replaced an entry whose offsets no longer matched.
+                self.report.conflict_requeues += 1;
+            }
+        }
+
+        self.last_wave_conflicts = self.report.conflict_requeues;
+
+        let spec = self
+            .speculative
+            .remove(&j)
+            .expect("wave solved the requested group");
+        self.consume(j, &offsets, spec.result)
+    }
+
+    /// Consume a wave result for group `j` whose offsets matched:
+    /// model-determined outcomes are used as-is; time-limited outcomes
+    /// are redone inline and uncontended (workers are idle between
+    /// waves), the same conditions the sequential schedule solves under.
+    fn consume(
+        &mut self,
+        j: usize,
+        offsets: &[f64],
+        result: EngineResult<GroupSolve>,
+    ) -> Result<Option<Refined>, RefineFail> {
+        match result {
+            Ok(GroupSolve::Done(r)) => {
+                self.report.solver_calls += 1;
+                Ok(r)
+            }
+            Ok(GroupSolve::TimeLimited(_)) => self.solve_inline(j, offsets),
+            Err(e) => {
+                self.report.solver_calls += 1;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// One budgeted, uncontended solve on the driver thread — the exact
+    /// call the sequential Algorithm 2 path makes.
+    fn solve_inline(&mut self, j: usize, offsets: &[f64]) -> Result<Option<Refined>, RefineFail> {
+        self.report.solver_calls += 1;
+        solve_group(
+            &self.solver,
+            &self.stripped,
+            self.table,
+            &self.groups[j].rows,
+            offsets,
+        )
+        .map(GroupSolve::into_inner)
+        .map_err(RefineFail::from)
     }
 
     /// Install a refinement, returning the undo record.
@@ -845,6 +1049,104 @@ fn implicated_attributes(query: &PackageQuery, rows: &[u32]) -> Vec<String> {
     out.sort();
     out.dedup();
     out
+}
+
+/// Build a partitioning, on the pool when one is available (identical
+/// output either way; see `Partitioner::partition_with_pool`).
+fn build_partitioning(
+    config: PartitionConfig,
+    table: &Table,
+    pool: Option<&ThreadPool>,
+) -> EngineResult<Partitioning> {
+    let partitioner = Partitioner::new(config);
+    Ok(match pool {
+        Some(pool) => partitioner.partition_with_pool(table, pool)?,
+        None => partitioner.partition(table)?,
+    })
+}
+
+/// Solve the refine query `Q[G_j]`: pick actual tuples from `rows`
+/// (group `j` after base-predicate filtering) such that, with every
+/// constraint bound shifted by `offsets[r]` — the contribution of all
+/// *other* groups' current contents (`p̄_j`) — all global constraints
+/// hold. Returns `None` on infeasibility, and also when the black box
+/// chokes on the subproblem: the group is then non-refinable *in this
+/// order* and the greedy backtracking tries a different ordering — a
+/// different `p̄_j` often yields an easier subproblem. (If every
+/// ordering fails, the budget/ladder logic in
+/// `run`/`evaluate_with_report` takes over.)
+///
+/// This is a pure function of its inputs plus the deterministic solver
+/// — except when the solver's *wall-clock* limit fires, which the
+/// [`GroupSolve::TimeLimited`] variant flags so the wave engine never
+/// consumes a contention-skewed outcome speculatively.
+fn solve_group(
+    solver: &MilpSolver,
+    stripped: &PackageQuery,
+    table: &Table,
+    rows: &[usize],
+    offsets: &[f64],
+) -> EngineResult<GroupSolve> {
+    let system = linear_system(stripped, table, rows)?;
+    let mut model = Model::new();
+    let vars: Vec<paq_solver::VarId> = system
+        .objective
+        .iter()
+        .map(|&c| model.add_int_var(0.0, system.var_ub, c))
+        .collect();
+    for (r, row) in system.rows.iter().enumerate() {
+        let offset = offsets[r];
+        let lo = if row.lo.is_finite() {
+            row.lo - offset
+        } else {
+            row.lo
+        };
+        let hi = if row.hi.is_finite() {
+            row.hi - offset
+        } else {
+            row.hi
+        };
+        model.add_range(
+            vars.iter()
+                .copied()
+                .zip(row.coefs.iter().copied())
+                .collect(),
+            lo,
+            hi,
+        );
+    }
+    model.set_sense(system.sense);
+
+    let refined = |sol: &paq_solver::Solution| {
+        let pairs: Vec<(usize, u64)> = rows
+            .iter()
+            .zip(&sol.values)
+            .filter_map(|(&row, &v)| {
+                let m = v.round() as i64;
+                (m > 0).then_some((row, m as u64))
+            })
+            .collect();
+        let contrib = contribution(&system, rows, &pairs);
+        Refined { pairs, contrib }
+    };
+    match solver.solve(&model).outcome {
+        SolveOutcome::Optimal(sol) => Ok(GroupSolve::Done(Some(refined(&sol)))),
+        // Gap/node/iteration/memory cutoffs are deterministic counters;
+        // only the wall-clock cutoff can differ between a contended
+        // wave solve and the sequential schedule.
+        SolveOutcome::Feasible {
+            best: sol,
+            limit: LimitKind::Time,
+            ..
+        } => Ok(GroupSolve::TimeLimited(Some(refined(&sol)))),
+        SolveOutcome::Feasible { best: sol, .. } => Ok(GroupSolve::Done(Some(refined(&sol)))),
+        SolveOutcome::Infeasible => Ok(GroupSolve::Done(None)),
+        SolveOutcome::ResourceExhausted(LimitKind::Time) => Ok(GroupSolve::TimeLimited(None)),
+        SolveOutcome::ResourceExhausted(_) => Ok(GroupSolve::Done(None)),
+        // A refine subproblem of a bounded sketch can only be unbounded
+        // if the query itself is unbounded.
+        SolveOutcome::Unbounded => Err(EngineError::Unbounded),
+    }
 }
 
 /// Contribution of chosen `(row, mult)` pairs to each constraint row of

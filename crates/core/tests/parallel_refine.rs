@@ -1,0 +1,163 @@
+//! Determinism of wave-based parallel REFINE.
+//!
+//! The wave engine speculatively solves pending group ILPs against a
+//! snapshot of the package state and only consumes a result when its
+//! constraint bounds still match exactly, so the produced package must
+//! be identical to the sequential Algorithm 2 path — for any thread
+//! count. These tests pin that guarantee on both a conflict-free
+//! workload (count-pinned bulk selection, where waves commit wholesale)
+//! and a conflict-heavy one (a SUM window, where commits shift bounds
+//! and groups are re-queued).
+
+use paq_core::{Package, SketchRefine, SketchRefineOptions, SketchRefineReport};
+use paq_lang::parse_paql;
+use paq_partition::{PartitionConfig, Partitioner, Partitioning};
+use paq_relational::{DataType, Schema, Table, Value};
+
+/// Deterministic table of `n` tuples with two numeric attributes.
+fn table(n: usize) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 1000) as f64 / 10.0 + 1.0;
+        let w = (next() % 500) as f64 / 10.0 + 0.5;
+        t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+    }
+    t
+}
+
+fn partition(t: &Table, tau: usize) -> Partitioning {
+    Partitioner::new(PartitionConfig::by_size(
+        vec!["value".into(), "weight".into()],
+        tau,
+    ))
+    .partition(t)
+    .unwrap()
+}
+
+fn evaluate(
+    query: &str,
+    t: &Table,
+    p: &Partitioning,
+    threads: usize,
+) -> (Package, SketchRefineReport) {
+    let q = parse_paql(query).unwrap();
+    let sr = SketchRefine::default().with_options(SketchRefineOptions {
+        threads,
+        ..SketchRefineOptions::default()
+    });
+    sr.evaluate_with_report(&q, t, p).unwrap()
+}
+
+#[test]
+fn bulk_selection_spreads_and_matches_sequential() {
+    // COUNT pinned to well over τ forces the sketch to spread across
+    // many groups; with no other global constraint, commits never shift
+    // a sibling's bounds, so waves commit wholesale.
+    let t = table(600);
+    let p = partition(&t, 40);
+    assert!(p.num_groups() >= 8, "groups: {}", p.num_groups());
+    let query = "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 300 MAXIMIZE SUM(P.value)";
+
+    let (seq_pkg, seq_report) = evaluate(query, &t, &p, 1);
+    let (par_pkg, par_report) = evaluate(query, &t, &p, 4);
+
+    assert_eq!(
+        seq_pkg.members(),
+        par_pkg.members(),
+        "parallel REFINE must return the sequential package"
+    );
+    assert_eq!(seq_report.waves, 0, "threads = 1 is the sequential path");
+    assert!(par_report.waves > 0, "threads = 4 must run waves");
+    assert!(
+        par_report.groups_refined >= 4,
+        "workload too narrow to exercise waves: {} groups refined",
+        par_report.groups_refined
+    );
+    assert!(
+        par_report.parallel_solves >= par_report.groups_refined as u64,
+        "every pending group is wave-solved"
+    );
+    assert_eq!(
+        par_report.conflict_requeues, 0,
+        "count-only commits cannot shift sibling bounds"
+    );
+    assert_eq!(
+        seq_report.solver_calls, par_report.solver_calls,
+        "budget accounting mirrors the sequential call sequence"
+    );
+}
+
+#[test]
+fn sum_window_requeues_but_still_matches_sequential() {
+    // A SUM window makes every commit shift the remaining groups'
+    // bounds: speculation is invalidated, groups re-queue, and the
+    // result must still be identical to the sequential path.
+    let t = table(300);
+    let p = partition(&t, 30);
+    let query = "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 12 AND SUM(P.weight) <= 150 \
+                 MAXIMIZE SUM(P.value)";
+
+    let (seq_pkg, seq_report) = evaluate(query, &t, &p, 1);
+    let (par_pkg, par_report) = evaluate(query, &t, &p, 4);
+
+    assert_eq!(
+        seq_pkg.members(),
+        par_pkg.members(),
+        "conflicting waves must degrade to the sequential result, not diverge"
+    );
+    assert_eq!(
+        seq_report.solver_calls, par_report.solver_calls,
+        "wasted speculative solves are not charged to the budget"
+    );
+    if par_report.groups_refined > 1 {
+        assert!(par_report.waves > 0);
+    }
+}
+
+#[test]
+fn thread_counts_agree_pairwise() {
+    let t = table(400);
+    let p = partition(&t, 25);
+    let query = "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 200 MINIMIZE SUM(P.weight)";
+    let (pkg1, _) = evaluate(query, &t, &p, 1);
+    let (pkg2, _) = evaluate(query, &t, &p, 2);
+    let (pkg8, _) = evaluate(query, &t, &p, 8);
+    assert_eq!(pkg1.members(), pkg2.members());
+    assert_eq!(pkg1.members(), pkg8.members());
+}
+
+#[test]
+fn shared_pool_reuse_matches_per_evaluation_pools() {
+    use std::sync::Arc;
+    let t = table(300);
+    let p = partition(&t, 25);
+    let q = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 150 MAXIMIZE SUM(P.value)",
+    )
+    .unwrap();
+    let pool = Arc::new(paq_exec::ThreadPool::new(4));
+    let shared = SketchRefine::default().with_pool(Arc::clone(&pool));
+    let ephemeral = SketchRefine::default().with_options(SketchRefineOptions {
+        threads: 4,
+        ..SketchRefineOptions::default()
+    });
+    let (a, _) = shared.evaluate_with_report(&q, &t, &p).unwrap();
+    let (b, _) = ephemeral.evaluate_with_report(&q, &t, &p).unwrap();
+    let (c, _) = shared.evaluate_with_report(&q, &t, &p).unwrap();
+    assert_eq!(a.members(), b.members());
+    assert_eq!(a.members(), c.members());
+}

@@ -99,6 +99,14 @@ pub enum CacheOutcome {
         /// Its partitioning attributes.
         attributes: Vec<String>,
     },
+    /// The caller supplied the partitioning directly
+    /// (`PackageDb::execute_with_partitioning`); the cache was bypassed.
+    Provided {
+        /// Number of groups in the supplied partitioning.
+        groups: usize,
+        /// Its partitioning attributes.
+        attributes: Vec<String>,
+    },
 }
 
 impl fmt::Display for CacheOutcome {
@@ -112,6 +120,13 @@ impl fmt::Display for CacheOutcome {
                 write!(
                     f,
                     "miss — built {groups} groups on [{}]",
+                    attributes.join(", ")
+                )
+            }
+            CacheOutcome::Provided { groups, attributes } => {
+                write!(
+                    f,
+                    "provided by caller ({groups} groups on [{}])",
                     attributes.join(", ")
                 )
             }
@@ -212,6 +227,12 @@ impl Execution {
                     ""
                 },
             ));
+            if r.waves > 0 {
+                out.push_str(&format!(
+                    "parallel:     {} waves, {} wave solves, {} conflict re-queues\n",
+                    r.waves, r.parallel_solves, r.conflict_requeues,
+                ));
+            }
         }
         out.push_str(&format!(
             "timings:      plan {:.3}ms, partitioning {:.3}ms, evaluate {:.3}ms, total {:.3}ms",

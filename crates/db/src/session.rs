@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use paq_core::{Direct, EngineError, Evaluator, SketchRefine, SketchRefineOptions};
+use paq_exec::ThreadPool;
 use paq_lang::{parse_paql, validate, PackageQuery};
 use paq_partition::partitioning::GID_COLUMN;
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
@@ -111,6 +112,10 @@ pub struct PackageDb {
     cache: PartitionCache,
     config: DbConfig,
     telemetry: Option<Arc<Telemetry>>,
+    /// Session worker pool, spawned lazily when
+    /// `config.sketchrefine.threads > 1` and shared by wave-based
+    /// REFINE and the offline partitioning builds.
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl PackageDb {
@@ -126,12 +131,34 @@ impl PackageDb {
             cache: PartitionCache::default(),
             config,
             telemetry: None,
+            pool: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &DbConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration (solver budgets, routing
+    /// thresholds, REFINE threads, …). Takes effect on the next
+    /// execution; the worker pool is re-sized lazily if
+    /// `sketchrefine.threads` changed.
+    pub fn config_mut(&mut self) -> &mut DbConfig {
+        &mut self.config
+    }
+
+    /// The session worker pool matching the configured thread count
+    /// (`None` when single-threaded). Re-spawns on a size change.
+    fn worker_pool(pool: &mut Option<Arc<ThreadPool>>, threads: usize) -> Option<Arc<ThreadPool>> {
+        if threads <= 1 {
+            *pool = None;
+            return None;
+        }
+        if pool.as_ref().map(|p| p.threads()) != Some(threads) {
+            *pool = Some(Arc::new(ThreadPool::new(threads)));
+        }
+        pool.clone()
     }
 
     /// Attach a shared telemetry sink; every solver call made on behalf
@@ -254,6 +281,29 @@ impl PackageDb {
 
     /// Execute with explicit routing control.
     pub fn execute_with(&mut self, query: &PackageQuery, route: Route) -> DbResult<Execution> {
+        self.execute_inner(query, route, None)
+    }
+
+    /// Execute with SKETCHREFINE over a caller-supplied offline
+    /// partitioning of the table's current contents, bypassing the
+    /// partition cache (the cache is neither consulted nor populated).
+    /// This is the benchmark/ablation entry point: the same session —
+    /// catalog, solver budgets, worker pool — evaluates many queries
+    /// against many partitionings without cross-talk between them.
+    pub fn execute_with_partitioning(
+        &mut self,
+        query: &PackageQuery,
+        partitioning: Arc<Partitioning>,
+    ) -> DbResult<Execution> {
+        self.execute_inner(query, Route::ForceSketchRefine, Some(partitioning))
+    }
+
+    fn execute_inner(
+        &mut self,
+        query: &PackageQuery,
+        route: Route,
+        provided: Option<Arc<Partitioning>>,
+    ) -> DbResult<Execution> {
         let total_start = Instant::now();
 
         // --- plan: resolve, check schema, route -----------------------
@@ -313,12 +363,26 @@ impl PackageDb {
         let package = match strategy {
             Strategy::Direct => self.direct_evaluator().evaluate(query, entry.table())?,
             Strategy::SketchRefine => {
-                if partition_attrs.is_empty() {
+                // One pool serves the offline build and wave-based
+                // REFINE alike (lazily spawned, kept across queries).
+                let pool = Self::worker_pool(&mut self.pool, self.config.sketchrefine.threads);
+                let (partitioning, outcome) = if let Some(p) = provided {
+                    if !p.is_disjoint_cover(rows) {
+                        return Err(DbError::InvalidPartitioning {
+                            relation,
+                            detail: format!(
+                                "groups must disjointly cover all {rows} rows of the current table"
+                            ),
+                        });
+                    }
+                    let groups = p.num_groups();
+                    let attributes = p.attributes.clone();
+                    (p, CacheOutcome::Provided { groups, attributes })
+                } else if partition_attrs.is_empty() {
                     return Err(DbError::Engine(EngineError::Unsupported(
                         "SKETCHREFINE needs at least one numeric attribute to partition on".into(),
                     )));
-                }
-                let (partitioning, outcome) =
+                } else {
                     match self.cache.lookup(&key, table_version, &partition_attrs) {
                         Some((p, attributes, _)) => {
                             let groups = p.num_groups();
@@ -328,11 +392,19 @@ impl PackageDb {
                             self.cache.record_miss();
                             let tau = (rows / self.config.default_groups.max(1)).max(2);
                             let part_start = Instant::now();
-                            let built = Partitioner::new(PartitionConfig::by_size(
+                            let partitioner = Partitioner::new(PartitionConfig::by_size(
                                 partition_attrs.clone(),
                                 tau,
-                            ))
-                            .partition(entry.table())?;
+                            ));
+                            // The offline build shares the REFINE pool:
+                            // leaf statistics are embarrassingly
+                            // parallel and the result is identical.
+                            let built = match &pool {
+                                Some(pool) => {
+                                    partitioner.partition_with_pool(entry.table(), pool)?
+                                }
+                                None => partitioner.partition(entry.table())?,
+                            };
                             partitioning_time = part_start.elapsed();
                             let built = Arc::new(built);
                             self.cache.insert(
@@ -351,10 +423,11 @@ impl PackageDb {
                                 },
                             )
                         }
-                    };
+                    }
+                };
                 cache = outcome;
 
-                match self.sketchrefine_evaluator().evaluate_with_report(
+                match self.sketchrefine_evaluator(pool).evaluate_with_report(
                     query,
                     entry.table(),
                     &partitioning,
@@ -406,9 +479,13 @@ impl PackageDb {
         }
     }
 
-    fn sketchrefine_evaluator(&self) -> SketchRefine {
+    fn sketchrefine_evaluator(&self, pool: Option<Arc<ThreadPool>>) -> SketchRefine {
         let sr = SketchRefine::new(self.config.solver.clone())
             .with_options(self.config.sketchrefine.clone());
+        let sr = match pool {
+            Some(pool) => sr.with_pool(pool),
+            None => sr,
+        };
         match &self.telemetry {
             Some(t) => sr.with_telemetry(Arc::clone(t)),
             None => sr,

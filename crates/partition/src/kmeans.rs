@@ -10,9 +10,14 @@
 
 use std::time::Instant;
 
+use paq_exec::ThreadPool;
 use paq_relational::{Column, RelError, RelResult, Table};
 
 use crate::partitioning::{centroid_and_radius, Group, Partitioning};
+
+/// Below this row count the assignment step runs inline even when a
+/// pool is available; the distance scans are too cheap to ship.
+const PARALLEL_ASSIGN_MIN_ROWS: usize = 2048;
 
 /// Configuration for the k-means baseline.
 #[derive(Debug, Clone)]
@@ -32,6 +37,26 @@ pub struct KMeansConfig {
 /// Note the contrast with the quad-tree partitioner: the result carries
 /// **no τ/ω guarantee** — groups can be arbitrarily large or wide.
 pub fn kmeans_partition(table: &Table, config: &KMeansConfig) -> RelResult<Partitioning> {
+    kmeans_partition_impl(table, config, None)
+}
+
+/// [`kmeans_partition`] with the assignment step (the `O(n·k·d)` hot
+/// loop) parallelized on `pool`. Per-row nearest-centroid decisions are
+/// independent and the centroid update stays sequential, so the
+/// clustering is identical to the single-threaded run.
+pub fn kmeans_partition_with_pool(
+    table: &Table,
+    config: &KMeansConfig,
+    pool: &ThreadPool,
+) -> RelResult<Partitioning> {
+    kmeans_partition_impl(table, config, Some(pool))
+}
+
+fn kmeans_partition_impl(
+    table: &Table,
+    config: &KMeansConfig,
+    pool: Option<&ThreadPool>,
+) -> RelResult<Partitioning> {
     assert!(config.k >= 1, "k must be at least 1");
     let start = Instant::now();
     let columns: Vec<&Column> = config
@@ -83,27 +108,28 @@ pub fn kmeans_partition(table: &Table, config: &KMeansConfig) -> RelResult<Parti
 
     let mut assignment = vec![0usize; n];
     for _ in 0..config.max_iterations {
-        let mut changed = false;
         // Assign.
-        for i in 0..n {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for c in 0..k {
-                let mut dist = 0.0;
-                for a in 0..d {
-                    let diff = coords[i * d + a] - centroids[c * d + a];
-                    dist += diff * diff;
-                }
-                if dist < best_d {
-                    best_d = dist;
-                    best = c;
-                }
+        let changed = match pool {
+            Some(pool) if n >= PARALLEL_ASSIGN_MIN_ROWS && pool.threads() > 1 => {
+                let chunk_len = n.div_ceil(pool.threads()).max(1);
+                let mut flags = vec![false; n.div_ceil(chunk_len)];
+                let coords = &coords;
+                let centroids = &centroids;
+                pool.scope(|scope| {
+                    for (ci, (chunk, flag)) in assignment
+                        .chunks_mut(chunk_len)
+                        .zip(flags.iter_mut())
+                        .enumerate()
+                    {
+                        scope.spawn(move || {
+                            *flag = assign_chunk(coords, centroids, d, k, ci * chunk_len, chunk);
+                        });
+                    }
+                });
+                flags.into_iter().any(|f| f)
             }
-            if assignment[i] != best {
-                assignment[i] = best;
-                changed = true;
-            }
-        }
+            _ => assign_chunk(&coords, &centroids, d, k, 0, &mut assignment),
+        };
         if !changed {
             break;
         }
@@ -155,6 +181,40 @@ pub fn kmeans_partition(table: &Table, config: &KMeansConfig) -> RelResult<Parti
         groups,
         build_time: start.elapsed(),
     })
+}
+
+/// Nearest-centroid assignment for rows `[base, base + chunk.len())`,
+/// written into `chunk`; returns whether any assignment changed.
+fn assign_chunk(
+    coords: &[f64],
+    centroids: &[f64],
+    d: usize,
+    k: usize,
+    base: usize,
+    chunk: &mut [usize],
+) -> bool {
+    let mut changed = false;
+    for (off, slot) in chunk.iter_mut().enumerate() {
+        let i = base + off;
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let mut dist = 0.0;
+            for a in 0..d {
+                let diff = coords[i * d + a] - centroids[c * d + a];
+                dist += diff * diff;
+            }
+            if dist < best_d {
+                best_d = dist;
+                best = c;
+            }
+        }
+        if *slot != best {
+            *slot = best;
+            changed = true;
+        }
+    }
+    changed
 }
 
 #[cfg(test)]
@@ -216,6 +276,33 @@ mod tests {
         assert_eq!(a.num_groups(), b.num_groups());
         for (ga, gb) in a.groups.iter().zip(&b.groups) {
             assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn pooled_clustering_is_identical_to_sequential() {
+        // Above PARALLEL_ASSIGN_MIN_ROWS so the pool path actually runs.
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ]));
+        let mut state = 0xC0FFEEu64;
+        for _ in 0..4096 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = (state % 1000) as f64;
+            let y = ((state >> 10) % 1000) as f64;
+            t.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+        }
+        let cfg = config(8);
+        let seq = kmeans_partition(&t, &cfg).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = kmeans_partition_with_pool(&t, &cfg, &pool).unwrap();
+        assert_eq!(seq.num_groups(), par.num_groups());
+        for (ga, gb) in seq.groups.iter().zip(&par.groups) {
+            assert_eq!(ga.rows, gb.rows);
+            assert_eq!(ga.representative, gb.representative);
         }
     }
 

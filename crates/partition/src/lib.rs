@@ -32,5 +32,6 @@ pub mod partitioning;
 pub mod quadtree;
 
 pub use config::PartitionConfig;
+pub use kmeans::{kmeans_partition, kmeans_partition_with_pool, KMeansConfig};
 pub use partitioning::{Group, Partitioning};
 pub use quadtree::{Partitioner, QuadTree};

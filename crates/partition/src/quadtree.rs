@@ -16,10 +16,16 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use paq_exec::ThreadPool;
 use paq_relational::{Column, RelError, RelResult, Table};
 
 use crate::config::PartitionConfig;
 use crate::partitioning::{centroid_and_radius, Group, Partitioning};
+
+/// Nodes smaller than this compute their children's statistics inline
+/// even when a pool is available: below it, task hand-off costs more
+/// than the group-by itself.
+const PARALLEL_STATS_MIN_ROWS: usize = 1024;
 
 /// A node of the retained quad-tree hierarchy.
 #[derive(Debug, Clone)]
@@ -70,6 +76,19 @@ impl Partitioner {
 
     /// Build the full hierarchy for `table`.
     pub fn build_tree(&self, table: &Table) -> RelResult<QuadTree> {
+        self.build_tree_impl(table, None)
+    }
+
+    /// Build the full hierarchy with per-node child statistics computed
+    /// on `pool` (the offline build is embarrassingly parallel across
+    /// sibling leaves). Node layout, centroids, and radii are identical
+    /// to [`Partitioner::build_tree`] — work is only parallelized
+    /// *within* each node's deterministic split, never reordered.
+    pub fn build_tree_with_pool(&self, table: &Table, pool: &ThreadPool) -> RelResult<QuadTree> {
+        self.build_tree_impl(table, Some(pool))
+    }
+
+    fn build_tree_impl(&self, table: &Table, pool: Option<&ThreadPool>) -> RelResult<QuadTree> {
         let start = Instant::now();
         let columns: Vec<&Column> = self
             .config
@@ -152,9 +171,26 @@ impl Partitioner {
                 }
             };
 
+            // Child statistics: one group-by per sub-quadrant. With a
+            // pool and a big enough node, compute them in parallel;
+            // `ThreadPool::map` keeps input order, so the resulting
+            // node layout is byte-identical to the sequential build.
+            let stats: Vec<(Vec<f64>, f64)> = match pool {
+                Some(pool) if sub_groups.len() > 1 && rows.len() >= PARALLEL_STATS_MIN_ROWS => {
+                    let columns = &columns;
+                    pool.map(
+                        sub_groups.iter().map(Vec::as_slice).collect(),
+                        |sub: &[usize]| centroid_and_radius(columns, sub),
+                    )
+                }
+                _ => sub_groups
+                    .iter()
+                    .map(|sub| centroid_and_radius(&columns, sub))
+                    .collect(),
+            };
+
             let mut child_ids = Vec::with_capacity(sub_groups.len());
-            for sub in sub_groups {
-                let (centroid, radius) = centroid_and_radius(&columns, &sub);
+            for (sub, (centroid, radius)) in sub_groups.into_iter().zip(stats) {
                 let child = TreeNode {
                     rows: sub,
                     centroid,
@@ -181,6 +217,13 @@ impl Partitioner {
     /// paper's *static* partitioning artifact.
     pub fn partition(&self, table: &Table) -> RelResult<Partitioning> {
         let tree = self.build_tree(table)?;
+        Ok(tree.leaves())
+    }
+
+    /// [`Partitioner::partition`] with the build parallelized on
+    /// `pool`; the produced partitioning is identical.
+    pub fn partition_with_pool(&self, table: &Table, pool: &ThreadPool) -> RelResult<Partitioning> {
+        let tree = self.build_tree_with_pool(table, pool)?;
         Ok(tree.leaves())
     }
 }
@@ -489,6 +532,28 @@ mod tests {
         assert!(fine.max_radius() <= 5.0);
         assert!(fine.is_disjoint_cover(400));
         assert!(coarse.is_disjoint_cover(400));
+    }
+
+    #[test]
+    fn pooled_build_is_identical_to_sequential() {
+        let t = grid_table(3000); // above PARALLEL_STATS_MIN_ROWS
+        let partitioner = Partitioner::new(PartitionConfig::by_size(attrs(), 100));
+        let seq = partitioner.build_tree(&t).unwrap();
+        let pool = ThreadPool::new(4);
+        let par = partitioner.build_tree_with_pool(&t, &pool).unwrap();
+        assert_eq!(seq.num_nodes(), par.num_nodes());
+        for (a, b) in seq.nodes.iter().zip(&par.nodes) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(a.centroid, b.centroid);
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.depth, b.depth);
+        }
+        let flat_seq = partitioner.partition(&t).unwrap();
+        let flat_par = partitioner.partition_with_pool(&t, &pool).unwrap();
+        for (ga, gb) in flat_seq.groups.iter().zip(&flat_par.groups) {
+            assert_eq!(ga.rows, gb.rows);
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod telemetry;
 pub use branch::MilpSolver;
 pub use config::SolverConfig;
 pub use model::{ConstraintId, Model, Sense, VarId};
-pub use solution::{Solution, SolveOutcome, SolveResult, SolveStats};
+pub use solution::{LimitKind, Solution, SolveOutcome, SolveResult, SolveStats};
 pub use telemetry::Telemetry;
 
 /// Numerical tolerance used throughout the solver for feasibility and

@@ -18,6 +18,7 @@
 //! | Crate | Role |
 //! |-------|------|
 //! | [`relational`] | in-memory columnar relational engine (the PostgreSQL stand-in) |
+//! | [`exec`] | scoped worker pool behind wave-based parallel REFINE and partitioning builds |
 //! | [`solver`] | bounded-variable simplex LP + branch-and-bound MILP solver (the CPLEX stand-in) |
 //! | [`paql`] | the PaQL language: parser, AST, fluent builder, validation, ILP translation (§3.1) |
 //! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
@@ -80,6 +81,7 @@
 pub use paq_core as engine;
 pub use paq_datagen as datagen;
 pub use paq_db as db;
+pub use paq_exec as exec;
 pub use paq_lang as paql;
 pub use paq_partition as partition;
 pub use paq_relational as relational;
