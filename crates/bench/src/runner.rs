@@ -41,6 +41,9 @@ pub struct PreparedDataset {
     /// Catalog name the table is registered under (the workload's
     /// `FROM` relation).
     relation: String,
+    /// Snapshot of the registered table (benchmarks never mutate it, so
+    /// the snapshot always matches the catalog contents).
+    table: Arc<Table>,
     /// The owning session: table registered once, reused by every
     /// evaluation.
     db: PackageDb,
@@ -65,29 +68,52 @@ impl PreparedDataset {
             .unwrap_or_else(|| name.to_owned());
         // Experiments want the raw per-strategy verdicts, never the
         // planner's automatic DIRECT rescue.
-        let mut db = PackageDb::with_config(DbConfig {
+        let db = PackageDb::with_config(DbConfig {
             fallback_to_direct: false,
             ..DbConfig::default()
         });
         db.register_table(relation.clone(), table);
+        let table = db
+            .table(&relation)
+            .expect("dataset table was just registered");
         PreparedDataset {
             name,
             workload,
             workload_attrs,
             relation,
+            table,
             db,
         }
     }
 
-    /// The full table (owned by the session's catalog).
+    /// The full table (a snapshot of the session catalog's contents).
     pub fn table(&self) -> &Table {
-        self.db
-            .table(&self.relation)
-            .expect("dataset table is registered")
+        &self.table
     }
 
-    /// The owning session, for callers that need more than the timed
-    /// wrappers (work reports, telemetry, cache stats).
+    /// The catalog name the table is registered under (the workload's
+    /// `FROM` relation) — what queries on a [`PreparedDataset::session`]
+    /// resolve against.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// A session handle onto the dataset's shared state, for callers
+    /// that need more than the timed wrappers (work reports, telemetry,
+    /// cache stats) — or want to drive queries from other threads.
+    ///
+    /// Contract: the dataset's own table must not be mutated through a
+    /// session (re-registered, appended to, dropped) — experiments
+    /// assume fixed contents, and [`PreparedDataset::table`] serves the
+    /// registration-time snapshot. Registering *additional* tables is
+    /// fine.
+    pub fn session(&self) -> PackageDb {
+        self.db.session()
+    }
+
+    /// The owning session, for callers that tune its configuration.
+    /// Same contract as [`PreparedDataset::session`]: configuration
+    /// only — do not mutate the dataset's table.
     pub fn session_mut(&mut self) -> &mut PackageDb {
         &mut self.db
     }
@@ -262,7 +288,7 @@ fn classify(
 /// the planner's DIRECT fallback disabled (experiments want the raw
 /// per-strategy verdicts).
 fn session_for(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> PackageDb {
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         solver: cfg.clone(),
         fallback_to_direct: false,
         ..DbConfig::default()
@@ -278,7 +304,7 @@ fn session_for(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> Packa
 /// [`PreparedDataset::run_direct`], which reuses the owned session
 /// instead of cloning the table.
 pub fn run_direct(query: &PackageQuery, table: &Table, cfg: &SolverConfig) -> EvalOutcome {
-    let mut db = session_for(query, table, cfg);
+    let db = session_for(query, table, cfg);
     let start = Instant::now();
     let result = db
         .execute_with(query, Route::ForceDirect)

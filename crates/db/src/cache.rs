@@ -4,11 +4,33 @@
 //! paper: "One-time cost"): built once, reused by every query whose
 //! attributes they cover. The cache keys each [`Partitioning`] by
 //! (table, table **version**, attribute set, build spec); a table
-//! mutation bumps the version, so stale partitionings can never be
-//! served — they are evicted and counted as invalidations the next time
-//! the table is touched.
+//! mutation stamps a fresh version, so stale partitionings can never be
+//! served — they fail the exact-version match at lookup and are evicted
+//! (and counted as invalidations) by the mutation path itself.
+//!
+//! The cache is **internally synchronized** so concurrent sessions
+//! share one instance through plain `&self`:
+//!
+//! * lookups take the read side of an entry lock — any number of
+//!   sessions probe concurrently; per-entry LRU stamps are atomics so
+//!   a read-locked hit can still record recency;
+//! * structural changes (insert, invalidate) take the write side and
+//!   are all short — nothing ever holds the lock across a partitioning
+//!   build or an evaluation;
+//! * hit/miss/invalidation counters are atomics, so no concurrent
+//!   interleaving can lose an update ([`CacheStats`] totals are exact).
+//!
+//! Lookup deliberately does **not** evict version-mismatched entries:
+//! a session planning against an older snapshot must not tear down an
+//! entry another session just built for the current version. Eviction
+//! belongs to the mutation path ([`PartitionCache::invalidate_stale`] /
+//! [`PartitionCache::invalidate_table`]), which knows the authoritative
+//! current version.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use paq_partition::Partitioning;
 
@@ -37,7 +59,8 @@ struct CacheEntry {
     attributes: Vec<String>,
     spec: PartitionSpec,
     partitioning: Arc<Partitioning>,
-    last_used: u64,
+    /// LRU stamp; atomic so a read-locked lookup can refresh it.
+    last_used: AtomicU64,
 }
 
 /// Observable cache counters.
@@ -54,36 +77,48 @@ pub struct CacheStats {
 }
 
 /// Cache of offline partitionings keyed by (table, version, attributes,
-/// spec). See the module docs.
+/// spec). See the module docs for the concurrency discipline.
 #[derive(Debug, Default)]
 pub struct PartitionCache {
-    entries: Vec<CacheEntry>,
-    tick: u64,
-    next_external_id: u64,
-    hits: u64,
-    misses: u64,
-    invalidations: u64,
+    entries: RwLock<Vec<CacheEntry>>,
+    tick: AtomicU64,
+    next_external_id: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl PartitionCache {
-    /// Drop entries for `table_key` whose version is not
-    /// `current_version`, counting them as invalidations.
-    pub fn invalidate_stale(&mut self, table_key: &str, current_version: u64) {
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| e.table_key != table_key || e.version == current_version);
-        self.invalidations += (before - self.entries.len()) as u64;
+    /// Drop entries for `table_key` *older* than `current_version`,
+    /// counting them as invalidations. Called by the mutation path with
+    /// the freshly stamped version. Entries at a **newer** version are
+    /// kept: versions are globally monotone, so a newer entry was built
+    /// for a later table state and is still valid — a mutator whose
+    /// eviction pass was delayed past a subsequent mutation must not
+    /// tear down what the later state already rebuilt.
+    pub fn invalidate_stale(&self, table_key: &str, current_version: u64) {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|e| e.table_key != table_key || e.version >= current_version);
+        let evicted = (before - entries.len()) as u64;
+        drop(entries);
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
     }
 
     /// Drop every entry for `table_key` (table dropped from the
     /// catalog).
-    pub fn invalidate_table(&mut self, table_key: &str) {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.table_key != table_key);
-        self.invalidations += (before - self.entries.len()) as u64;
+    pub fn invalidate_table(&self, table_key: &str) {
+        let mut entries = self.entries.write();
+        let before = entries.len();
+        entries.retain(|e| e.table_key != table_key);
+        let evicted = (before - entries.len()) as u64;
+        drop(entries);
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
     }
 
-    /// Find a usable partitioning for the table at `version`.
+    /// Find a usable partitioning for the table at `version` (exact
+    /// version match only — entries at any other version are invisible,
+    /// never served, never touched).
     ///
     /// Preference order: entries whose attribute set covers
     /// `query_attributes` (representatives then carry exact centroids
@@ -91,24 +126,20 @@ impl PartitionCache {
     /// any current entry (usable per §5.2.3 — missing attributes are
     /// materialized as group means), most recently used first.
     pub fn lookup(
-        &mut self,
+        &self,
         table_key: &str,
         version: u64,
         query_attributes: &[String],
     ) -> Option<(Arc<Partitioning>, Vec<String>, PartitionSpec)> {
-        self.invalidate_stale(table_key, version);
+        let entries = self.entries.read();
         let covers = |e: &CacheEntry| query_attributes.iter().all(|a| e.attributes.contains(a));
-        let best = self
-            .entries
+        let entry = entries
             .iter()
-            .enumerate()
-            .filter(|(_, e)| e.table_key == table_key && e.version == version)
-            .max_by_key(|(_, e)| (covers(e), e.last_used))
-            .map(|(i, _)| i)?;
-        self.tick += 1;
-        self.hits += 1;
-        let entry = &mut self.entries[best];
-        entry.last_used = self.tick;
+            .filter(|e| e.table_key == table_key && e.version == version)
+            .max_by_key(|e| (covers(e), e.last_used.load(Ordering::Relaxed)))?;
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
         Some((
             Arc::clone(&entry.partitioning),
             entry.attributes.clone(),
@@ -117,14 +148,22 @@ impl PartitionCache {
     }
 
     /// Record a lookup miss (the caller is about to build).
-    pub fn record_miss(&mut self) {
-        self.misses += 1;
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a hit served outside [`PartitionCache::lookup`] — a
+    /// session that adopted an in-flight single-flight build whose
+    /// cache publish was suppressed by a racing mutation. Keeps the
+    /// one-hit-or-miss-per-execution accounting exact.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Insert a partitioning built or installed for the table at
     /// `version`. Replaces any previous entry with the same key.
     pub fn insert(
-        &mut self,
+        &self,
         table_key: impl Into<String>,
         version: u64,
         attributes: Vec<String>,
@@ -132,36 +171,38 @@ impl PartitionCache {
         partitioning: Arc<Partitioning>,
     ) {
         let table_key = table_key.into();
-        self.tick += 1;
-        self.entries.retain(|e| {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write();
+        entries.retain(|e| {
             e.table_key != table_key
                 || e.version != version
                 || e.attributes != attributes
                 || e.spec != spec
         });
-        self.entries.push(CacheEntry {
+        entries.push(CacheEntry {
             table_key,
             version,
             attributes,
             spec,
             partitioning,
-            last_used: self.tick,
+            last_used: AtomicU64::new(tick),
         });
     }
 
     /// Allocate an id for an externally installed partitioning.
-    pub fn next_external_id(&mut self) -> u64 {
-        self.next_external_id += 1;
-        self.next_external_id
+    pub fn next_external_id(&self) -> u64 {
+        self.next_external_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Current counters.
+    /// Current counters. Each concurrent execution contributes exactly
+    /// one hit or one miss; atomics make the totals exact under any
+    /// interleaving.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            invalidations: self.invalidations,
-            entries: self.entries.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self.entries.read().len(),
         }
     }
 }
@@ -181,7 +222,7 @@ mod tests {
 
     #[test]
     fn hit_prefers_covering_attributes() {
-        let mut c = PartitionCache::default();
+        let c = PartitionCache::default();
         c.insert(
             "t",
             1,
@@ -202,8 +243,8 @@ mod tests {
     }
 
     #[test]
-    fn version_mismatch_evicts_and_counts() {
-        let mut c = PartitionCache::default();
+    fn version_mismatch_is_invisible_but_not_evicted() {
+        let c = PartitionCache::default();
         c.insert(
             "t",
             1,
@@ -211,15 +252,54 @@ mod tests {
             PartitionSpec::BySize { tau: 4 },
             partitioning(&["a"]),
         );
+        // A lookup at another version must not serve the entry — and
+        // must not tear it down either: a session planning against an
+        // old snapshot is not allowed to evict what another session
+        // built for the current version.
         assert!(c.lookup("t", 2, &[]).is_none());
+        assert_eq!(c.stats().entries, 1, "lookup never evicts");
+        assert!(c.lookup("t", 1, &[]).is_some(), "still served at v1");
+    }
+
+    #[test]
+    fn mutation_path_evicts_and_counts() {
+        let c = PartitionCache::default();
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        c.invalidate_stale("t", 2);
         let stats = c.stats();
         assert_eq!(stats.invalidations, 1);
         assert_eq!(stats.entries, 0);
     }
 
     #[test]
+    fn delayed_invalidation_keeps_newer_entries() {
+        // A mutator stamped v2 but its eviction pass ran late — after a
+        // later mutation (v3) already rebuilt. The delayed pass must
+        // not tear down the newer, still-valid entry.
+        let c = PartitionCache::default();
+        c.insert(
+            "t",
+            3,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        c.invalidate_stale("t", 2);
+        let stats = c.stats();
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(stats.entries, 1);
+        assert!(c.lookup("t", 3, &[]).is_some());
+    }
+
+    #[test]
     fn non_covering_entry_still_usable() {
-        let mut c = PartitionCache::default();
+        let c = PartitionCache::default();
         c.insert(
             "t",
             1,
@@ -235,7 +315,7 @@ mod tests {
 
     #[test]
     fn same_key_replaces() {
-        let mut c = PartitionCache::default();
+        let c = PartitionCache::default();
         for _ in 0..3 {
             c.insert(
                 "t",
@@ -246,5 +326,32 @@ mod tests {
             );
         }
         assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_counters_lose_nothing() {
+        let c = Arc::new(PartitionCache::default());
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        let per_thread = 200u64;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        assert!(c.lookup("t", 1, &[]).is_some());
+                        c.record_miss();
+                    }
+                });
+            }
+        });
+        let stats = c.stats();
+        assert_eq!(stats.hits, 4 * per_thread);
+        assert_eq!(stats.misses, 4 * per_thread);
     }
 }

@@ -2,11 +2,22 @@
 //!
 //! SQL identifiers are case-insensitive, so `FROM Recipes R` resolves a
 //! table registered as `recipes`. Every mutation (re-registration or
-//! in-place edit) bumps the entry's **version counter**, which the
-//! partition cache uses to invalidate partitionings built over stale
-//! contents.
+//! in-place edit) stamps the entry with a fresh **version** drawn from
+//! one counter that is monotone across the *whole catalog* — never per
+//! entry — so a version number is never reused, not even by dropping a
+//! table and re-registering another under the same name. The partition
+//! cache keys artifacts by version; global monotonicity is what makes a
+//! stale partitioning unservable *by construction*: no future table
+//! state can ever collide with a version an old artifact was built for.
+//!
+//! Tables are held as [`Arc<Table>`] so a concurrent reader (an
+//! execution planning against a snapshot) can keep the contents alive
+//! without holding any catalog lock; in-place mutation is copy-on-write
+//! ([`Arc::make_mut`]) and only pays for a clone while snapshots of the
+//! previous contents are still live.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use paq_relational::Table;
 
@@ -16,7 +27,7 @@ use crate::error::{DbError, DbResult};
 #[derive(Debug, Clone)]
 pub struct TableEntry {
     name: String,
-    table: Table,
+    table: Arc<Table>,
     version: u64,
 }
 
@@ -31,7 +42,14 @@ impl TableEntry {
         &self.table
     }
 
-    /// Monotone version counter; bumped on every mutation.
+    /// A shared snapshot of the contents: stays valid (and unchanged)
+    /// however the catalog mutates afterwards.
+    pub fn snapshot(&self) -> Arc<Table> {
+        Arc::clone(&self.table)
+    }
+
+    /// Catalog-wide monotone version stamp; a fresh one is drawn on
+    /// every mutation.
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -42,6 +60,10 @@ impl TableEntry {
 pub struct Catalog {
     /// Keyed by lower-cased name; entries keep the original casing.
     tables: BTreeMap<String, TableEntry>,
+    /// Last version handed out. Shared by every entry and never reset:
+    /// see the module docs for why drop + re-register must not be able
+    /// to reproduce an old version number.
+    last_version: u64,
 }
 
 impl Catalog {
@@ -50,18 +72,21 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
+    fn next_version(&mut self) -> u64 {
+        self.last_version += 1;
+        self.last_version
+    }
+
     /// Register (or replace) a table, returning its new version.
-    /// Replacement bumps the previous version rather than restarting at
-    /// 1, so cached artifacts keyed by older versions stay invalid.
     pub fn register(&mut self, name: impl Into<String>, table: Table) -> u64 {
         let name = name.into();
         let key = Self::key(&name);
-        let version = self.tables.get(&key).map_or(1, |e| e.version + 1);
+        let version = self.next_version();
         self.tables.insert(
             key,
             TableEntry {
                 name,
-                table,
+                table: Arc::new(table),
                 version,
             },
         );
@@ -82,10 +107,18 @@ impl Catalog {
             .ok_or_else(|| self.unknown(name))
     }
 
-    /// Mutate a table in place through `f`, bumping its version when
-    /// `f` succeeds. A failed mutation that left the table untouched
-    /// (as atomic operations like [`Table::push_row`] do — they
-    /// validate before mutating) keeps the version, so artifacts
+    /// The current version of the entry under an already-canonical
+    /// `key`, or `None` when the table is not registered. Used to
+    /// re-check that an artifact built against a snapshot is still
+    /// current before publishing it.
+    pub fn version_of(&self, key: &str) -> Option<u64> {
+        self.tables.get(key).map(|e| e.version)
+    }
+
+    /// Mutate a table in place through `f`, stamping a fresh version
+    /// when `f` succeeds. A failed mutation that left the table
+    /// untouched (as atomic operations like [`Table::push_row`] do —
+    /// they validate before mutating) keeps the version, so artifacts
     /// cached over the unchanged contents stay valid; if `f` errors
     /// *after* observably changing the table (row count or schema),
     /// the version is bumped anyway so stale caches cannot be served.
@@ -98,26 +131,33 @@ impl Catalog {
         f: impl FnOnce(&mut Table) -> paq_relational::RelResult<R>,
     ) -> DbResult<(R, u64)> {
         let key = Self::key(name);
-        match self.tables.get_mut(&key) {
-            Some(entry) => {
-                let rows_before = entry.table.num_rows();
-                let arity_before = entry.table.schema().arity();
-                match f(&mut entry.table) {
-                    Ok(out) => {
-                        entry.version += 1;
-                        Ok((out, entry.version))
-                    }
-                    Err(e) => {
-                        if entry.table.num_rows() != rows_before
-                            || entry.table.schema().arity() != arity_before
-                        {
-                            entry.version += 1;
-                        }
-                        Err(e.into())
-                    }
-                }
+        if !self.tables.contains_key(&key) {
+            return Err(self.unknown(name));
+        }
+        // Borrow the entry (a `tables` field borrow) and bump the
+        // version counter (a disjoint field) directly — `next_version`
+        // would borrow all of `self` and conflict.
+        let entry = self.tables.get_mut(&key).expect("checked above");
+        let rows_before = entry.table.num_rows();
+        let arity_before = entry.table.schema().arity();
+        // Copy-on-write: snapshots held by in-flight executions keep
+        // the old contents; the catalog entry gets the edited copy.
+        let result = f(Arc::make_mut(&mut entry.table));
+        let changed =
+            entry.table.num_rows() != rows_before || entry.table.schema().arity() != arity_before;
+        match result {
+            Ok(out) => {
+                self.last_version += 1;
+                entry.version = self.last_version;
+                Ok((out, entry.version))
             }
-            None => Err(self.unknown(name)),
+            Err(e) => {
+                if changed {
+                    self.last_version += 1;
+                    entry.version = self.last_version;
+                }
+                Err(e.into())
+            }
         }
     }
 
@@ -182,6 +222,22 @@ mod tests {
     }
 
     #[test]
+    fn versions_are_monotone_across_drop_and_reregister() {
+        let mut c = Catalog::default();
+        let v1 = c.register("T", table());
+        c.drop_table("T").unwrap();
+        let v2 = c.register("T", table());
+        assert!(
+            v2 > v1,
+            "drop + re-register must not reuse version {v1} (got {v2}): \
+             a cached artifact keyed by {v1} would resurrect"
+        );
+        // ... and the counter is catalog-wide, not per entry.
+        let vu = c.register("U", table());
+        assert!(vu > v2);
+    }
+
+    #[test]
     fn failed_mutation_does_not_bump_the_version() {
         let mut c = Catalog::default();
         c.register("T", table());
@@ -211,6 +267,17 @@ mod tests {
             2,
             "observable change must bump the version"
         );
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_mutation() {
+        let mut c = Catalog::default();
+        c.register("T", table());
+        let snap = c.resolve("T").unwrap().snapshot();
+        c.mutate("T", |t| t.push_row(vec![Value::Float(9.0)]))
+            .unwrap();
+        assert_eq!(snap.num_rows(), 1, "snapshot kept the old contents");
+        assert_eq!(c.resolve("T").unwrap().table().num_rows(), 2);
     }
 
     #[test]

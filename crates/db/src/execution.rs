@@ -139,7 +139,9 @@ impl fmt::Display for CacheOutcome {
 pub struct Timings {
     /// Name resolution, validation, and route selection.
     pub plan: Duration,
-    /// Partitioning build time (zero on DIRECT routes and cache hits).
+    /// Partitioning build time (zero on DIRECT routes and warm cache
+    /// hits; for a hit served by waiting on another session's
+    /// in-flight build, the time spent waiting).
     pub partitioning: Duration,
     /// Evaluator time (including any DIRECT fallback).
     pub evaluate: Duration,

@@ -8,22 +8,30 @@
 //! partitionings across queries, and routes each query to the right
 //! evaluator.
 //!
-//! * [`PackageDb`] — the session object:
-//!   * a **catalog** ([`catalog`]) of named, versioned tables, so
-//!     `FROM Recipes R` binds by name (case-insensitively) and unknown
-//!     tables produce a typed error;
+//! * [`PackageDb`] — a cheap, cloneable **session handle** onto one
+//!   shared database core. [`PackageDb::session`] (or `clone()`) gives
+//!   each concurrent client its own handle; all catalog and execution
+//!   methods take `&self`, so sessions run from plain shared references
+//!   across threads. The shared core holds:
+//!   * a **catalog** ([`catalog`]) of named, versioned tables behind a
+//!     reader–writer lock, so `FROM Recipes R` binds by name
+//!     (case-insensitively), unknown tables produce a typed error, and
+//!     executions plan against an immutable `Arc<Table>` snapshot while
+//!     writers stamp globally-monotone versions;
 //!   * a **partition cache** ([`cache`]) keyed by
 //!     (table, version, attribute set, build spec): partitionings are
-//!     built lazily on first SKETCHREFINE use, reused by later queries
-//!     (§4.1 "One-time cost"), and invalidated when the table mutates;
+//!     built lazily — and *single-flight* across racing sessions — on
+//!     first SKETCHREFINE use, reused by later queries (§4.1 "One-time
+//!     cost"), and invalidated when the table mutates; counters are
+//!     atomics, so stats stay exact under concurrency;
 //!   * a **planner** ([`PackageDb::execute`]) that inspects row count
 //!     vs. a configurable direct-threshold, `REPEAT` bounds, and
 //!     partitioning availability, then routes to DIRECT or
 //!     SKETCHREFINE — returning an [`Execution`] whose
 //!     [`explain`](Execution::explain) says why.
-//! * [`DbConfig`] / [`Route`] — session tuning and routing control (the
-//!   low-level [`paq_core::Evaluator`] trait stays public for
-//!   benchmarks and ablations).
+//! * [`DbConfig`] / [`Route`] — *per-session* tuning and routing
+//!   control (the low-level [`paq_core::Evaluator`] trait stays public
+//!   for benchmarks and ablations).
 //! * [`DbError`] — typed session errors (unknown table, schema
 //!   mismatch, invalid partitioning, plus language/engine passthrough).
 //!

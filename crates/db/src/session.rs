@@ -1,7 +1,46 @@
-//! The `PackageDb` session: catalog + partition cache + planner.
+//! The `PackageDb` session: a cheap handle onto a shared core of
+//! catalog + partition cache + planner.
+//!
+//! # Shared state vs. session state
+//!
+//! The paper's PackageBuilder is a *system* serving many interactive
+//! clients, so the state splits in two:
+//!
+//! * [`SharedState`] (private) — one per database, behind an `Arc`:
+//!   the table **catalog**, the **partition cache**, the **telemetry**
+//!   sink, and the lazily spawned worker **pool**. Every session handle
+//!   cloned from a `PackageDb` points at the same shared state.
+//! * [`PackageDb`] — the cloneable per-client session handle. It adds
+//!   only the client's own [`DbConfig`] (solver budgets, routing
+//!   threshold, REFINE threads); cloning a session copies the config
+//!   and shares everything else.
+//!
+//! # Locking discipline
+//!
+//! * The catalog sits behind a reader–writer lock. Executions take the
+//!   **read** side just long enough to snapshot `(name, version,
+//!   Arc<Table>)` — evaluation then runs entirely on the snapshot, so
+//!   readers execute concurrently and writers never wait on a running
+//!   query. Table mutations take the **write** side, stamp a fresh
+//!   globally-monotone version, and evict stale cache entries.
+//! * The partition cache is internally synchronized (see
+//!   [`crate::cache`]): concurrent lookups share a read lock, counters
+//!   are atomics, and no lock is ever held across a build or an
+//!   evaluation.
+//! * Cold partitionings are built **single-flight**: the first session
+//!   to miss builds (one `Miss`); sessions racing on the same
+//!   (table, version, attributes) wait for that build and are served a
+//!   `Hit`. A build result is only published if the table version it
+//!   was built for is still current.
+//! * Executions snapshot the table version at planning time; the cache
+//!   only ever serves entries at exactly that version, so a package is
+//!   always consistent with the version its execution observed.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
 
 use paq_core::{Direct, EngineError, Evaluator, SketchRefine, SketchRefineOptions};
 use paq_exec::ThreadPool;
@@ -31,7 +70,8 @@ pub enum Route {
     ForceSketchRefine,
 }
 
-/// Session configuration.
+/// Per-session configuration. Each cloned session carries its own copy;
+/// tuning one client never affects another.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
     /// Route to DIRECT when the input table has at most this many rows
@@ -65,11 +105,121 @@ impl Default for DbConfig {
     }
 }
 
+/// Key of one in-flight partitioning build: (table key, version,
+/// partitioning attributes).
+type BuildKey = (String, u64, Vec<String>);
+
+/// Rendezvous for sessions racing on the same cold partitioning: the
+/// builder flips the `done` flag once finished, stashing its artifact
+/// so waiters can adopt it directly — even when a racing mutation
+/// suppressed the cache publish, the artifact is still exactly right
+/// for the snapshot version both sides planned against (the version is
+/// part of the rendezvous key). A `None` result means the build failed;
+/// waiters then retry, possibly becoming the next builder.
+#[derive(Debug, Default)]
+struct BuildSlot {
+    /// Deliberately `std::sync::Mutex` (not the compat `parking_lot`
+    /// one) so the mutex and the [`Condvar`] it pairs with come from
+    /// one API — real parking_lot guards would not satisfy
+    /// `Condvar::wait`.
+    state: StdMutex<(bool, Option<Arc<Partitioning>>)>,
+    cv: Condvar,
+}
+
+impl BuildSlot {
+    fn wait(&self) -> Option<Arc<Partitioning>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !state.0 {
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.1.clone()
+    }
+
+    fn finish(&self, result: Option<Arc<Partitioning>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = (true, result);
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// Removes the build slot from the pending map and wakes waiters on
+/// drop — so a failed (or panicked) build can never strand them. The
+/// builder sets `result` on success; an unwind leaves it `None`.
+struct BuildGuard<'a> {
+    shared: &'a SharedState,
+    key: BuildKey,
+    slot: Arc<BuildSlot>,
+    result: Option<Arc<Partitioning>>,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.pending_builds.lock().remove(&self.key);
+        self.slot.finish(self.result.take());
+    }
+}
+
+/// The shared core of a database: everything that is one-per-database
+/// rather than one-per-client. See the [module docs](self) for the
+/// locking discipline.
+#[derive(Debug, Default)]
+struct SharedState {
+    catalog: RwLock<Catalog>,
+    cache: PartitionCache,
+    telemetry: RwLock<Option<Arc<Telemetry>>>,
+    /// Worker pools shared by every session (wave-based REFINE and
+    /// offline partitioning builds), keyed by thread count: spawned
+    /// lazily on the first multi-threaded request and kept across
+    /// queries, so sessions tuned to the same size share one pool and
+    /// sessions tuned differently never tear each other's pool down.
+    /// Capped at [`SharedState::MAX_POOLS`] distinct sizes so a
+    /// long-lived process whose clients sweep many thread counts
+    /// cannot accumulate parked OS threads without bound.
+    pools: Mutex<HashMap<usize, Arc<ThreadPool>>>,
+    /// In-flight lazily-built partitionings, for single-flight builds.
+    pending_builds: Mutex<HashMap<BuildKey, Arc<BuildSlot>>>,
+}
+
+impl SharedState {
+    /// Most distinct pool sizes kept alive at once; realistic
+    /// deployments use one or two.
+    const MAX_POOLS: usize = 4;
+
+    /// The shared worker pool at the requested size (`None` when
+    /// single-threaded). Every session asking for the same size gets
+    /// the same pool; at capacity, the smallest other pool is retired
+    /// (in-flight executions keep their `Arc`, so its workers wind
+    /// down only once they finish).
+    fn pool(&self, threads: usize) -> Option<Arc<ThreadPool>> {
+        if threads <= 1 {
+            return None;
+        }
+        let mut pools = self.pools.lock();
+        if !pools.contains_key(&threads) && pools.len() >= Self::MAX_POOLS {
+            if let Some(&evict) = pools.keys().min() {
+                pools.remove(&evict);
+            }
+        }
+        Some(Arc::clone(
+            pools
+                .entry(threads)
+                .or_insert_with(|| Arc::new(ThreadPool::new(threads))),
+        ))
+    }
+}
+
 /// A package-query session: named tables, cached offline partitionings,
 /// and a planner that routes every query to DIRECT or SKETCHREFINE.
 ///
 /// This is the system front door the paper describes (PackageBuilder on
-/// top of a DBMS): register tables once, then throw PaQL at it.
+/// top of a DBMS): register tables once, then throw PaQL at it — from
+/// any number of concurrent clients. `PackageDb` is a cheap cloneable
+/// *session handle*: [`PackageDb::session`] (or `clone()`) yields a new
+/// handle onto the same catalog, partition cache, and worker pool,
+/// carrying its own [`DbConfig`]. All catalog and execution methods
+/// take `&self`, so sessions can be driven from plain shared
+/// references across threads.
 ///
 /// ```
 /// use paq_db::PackageDb;
@@ -91,11 +241,13 @@ impl Default for DbConfig {
 ///     table.push_row(vec![name.into(), gluten.into(), kcal.into(), fat.into()]).unwrap();
 /// }
 ///
-/// let mut db = PackageDb::new();
+/// let db = PackageDb::new();
 /// db.register_table("Recipes", table);
 ///
-/// // `FROM Recipes R` now resolves by name (case-insensitively).
-/// let exec = db
+/// // `FROM Recipes R` now resolves by name (case-insensitively); a
+/// // second session shares the catalog.
+/// let session = db.session();
+/// let exec = session
 ///     .execute(
 ///         "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
 ///          WHERE R.gluten = 'free' \
@@ -106,65 +258,66 @@ impl Default for DbConfig {
 /// assert_eq!(exec.package.cardinality(), 3);
 /// println!("{}", exec.explain()); // why DIRECT/SKETCHREFINE was chosen
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 pub struct PackageDb {
-    catalog: Catalog,
-    cache: PartitionCache,
+    shared: Arc<SharedState>,
     config: DbConfig,
-    telemetry: Option<Arc<Telemetry>>,
-    /// Session worker pool, spawned lazily when
-    /// `config.sketchrefine.threads > 1` and shared by wave-based
-    /// REFINE and the offline partitioning builds.
-    pool: Option<Arc<ThreadPool>>,
+}
+
+impl Default for PackageDb {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PackageDb {
-    /// A session with default configuration.
+    /// A fresh database (and its first session) with default
+    /// configuration.
     pub fn new() -> Self {
         Self::with_config(DbConfig::default())
     }
 
-    /// A session with explicit configuration.
+    /// A fresh database (and its first session) with explicit
+    /// configuration.
     pub fn with_config(config: DbConfig) -> Self {
         PackageDb {
-            catalog: Catalog::default(),
-            cache: PartitionCache::default(),
+            shared: Arc::new(SharedState::default()),
             config,
-            telemetry: None,
-            pool: None,
         }
     }
 
-    /// The active configuration.
+    /// A new session handle onto the same shared state: catalog,
+    /// partition cache, telemetry, and worker pool are shared; the
+    /// [`DbConfig`] is copied, so the new session can be tuned
+    /// independently ([`PackageDb::config_mut`]).
+    pub fn session(&self) -> PackageDb {
+        self.clone()
+    }
+
+    /// `true` when `other` is a session onto the same shared state
+    /// (catalog, cache, pool) as `self`.
+    pub fn shares_state_with(&self, other: &PackageDb) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// The session's configuration.
     pub fn config(&self) -> &DbConfig {
         &self.config
     }
 
-    /// Mutable access to the configuration (solver budgets, routing
-    /// thresholds, REFINE threads, …). Takes effect on the next
-    /// execution; the worker pool is re-sized lazily if
-    /// `sketchrefine.threads` changed.
+    /// Mutable access to the session's configuration (solver budgets,
+    /// routing thresholds, REFINE threads, …). Per-session: other
+    /// handles onto the same database are unaffected. Takes effect on
+    /// the next execution; a changed `sketchrefine.threads` lazily
+    /// picks (or spawns) the shared pool of that size.
     pub fn config_mut(&mut self) -> &mut DbConfig {
         &mut self.config
     }
 
-    /// The session worker pool matching the configured thread count
-    /// (`None` when single-threaded). Re-spawns on a size change.
-    fn worker_pool(pool: &mut Option<Arc<ThreadPool>>, threads: usize) -> Option<Arc<ThreadPool>> {
-        if threads <= 1 {
-            *pool = None;
-            return None;
-        }
-        if pool.as_ref().map(|p| p.threads()) != Some(threads) {
-            *pool = Some(Arc::new(ThreadPool::new(threads)));
-        }
-        pool.clone()
-    }
-
     /// Attach a shared telemetry sink; every solver call made on behalf
-    /// of this session reports into it.
-    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
-        self.telemetry = Some(telemetry);
+    /// of *any* session of this database reports into it.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.shared.telemetry.write() = Some(telemetry);
     }
 
     // ------------------------------------------------------------------
@@ -173,56 +326,77 @@ impl PackageDb {
 
     /// Register (or replace) a table under `name`; returns the catalog
     /// version. Replacing invalidates cached partitionings of the old
-    /// contents.
-    pub fn register_table(&mut self, name: impl Into<String>, table: Table) -> u64 {
+    /// contents. Visible to every session immediately.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) -> u64 {
         let name = name.into();
         let key = Catalog::key(&name);
-        let version = self.catalog.register(name, table);
-        self.cache.invalidate_stale(&key, version);
+        let version = self.shared.catalog.write().register(name, table);
+        self.shared.cache.invalidate_stale(&key, version);
         version
     }
 
     /// Remove a table and every cached partitioning of it.
-    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
-        self.catalog.drop_table(name)?;
-        self.cache.invalidate_table(&Catalog::key(name));
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.shared.catalog.write().drop_table(name)?;
+        self.shared.cache.invalidate_table(&Catalog::key(name));
         Ok(())
     }
 
-    /// Resolve a registered table (case-insensitive).
-    pub fn table(&self, name: &str) -> DbResult<&Table> {
-        Ok(self.catalog.resolve(name)?.table())
+    /// Snapshot a registered table (case-insensitive resolution). The
+    /// returned `Arc` stays valid — and unchanged — however the catalog
+    /// mutates afterwards.
+    pub fn table(&self, name: &str) -> DbResult<Arc<Table>> {
+        Ok(self.shared.catalog.read().resolve(name)?.snapshot())
     }
 
-    /// The current version counter of a registered table.
+    /// The current version stamp of a registered table.
     pub fn table_version(&self, name: &str) -> DbResult<u64> {
-        Ok(self.catalog.resolve(name)?.version())
+        Ok(self.shared.catalog.read().resolve(name)?.version())
     }
 
     /// Registered table names.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.names()
+        self.shared.catalog.read().names()
     }
 
-    /// Mutate a table in place. On success, bumps the version counter
-    /// and invalidates cached partitionings built over the old
-    /// contents; a failed mutation (which must leave the table
-    /// unchanged, see [`Catalog::mutate`]) keeps version and cache
-    /// intact.
+    /// Mutate a table in place. On success, stamps a fresh version and
+    /// invalidates cached partitionings built over the old contents;
+    /// returns `f`'s output and the new version. A failed mutation
+    /// (which must leave the table unchanged, see [`Catalog::mutate`])
+    /// keeps version and cache intact. Snapshots taken by concurrent
+    /// executions keep the pre-mutation contents (copy-on-write).
+    ///
+    /// `f` runs **under the catalog write lock** and must not call back
+    /// into this database (no `table()`, `execute()`, … on any session
+    /// of it — locks here are not re-entrant, so a callback deadlocks).
+    /// Read whatever you need via [`PackageDb::table`] *before* the
+    /// call; `f` receives the authoritative current contents anyway.
     pub fn mutate_table<R>(
-        &mut self,
+        &self,
         name: &str,
         f: impl FnOnce(&mut Table) -> paq_relational::RelResult<R>,
-    ) -> DbResult<R> {
-        let (out, version) = self.catalog.mutate(name, f)?;
-        self.cache.invalidate_stale(&Catalog::key(name), version);
-        Ok(out)
+    ) -> DbResult<(R, u64)> {
+        let key = Catalog::key(name);
+        let result = self.shared.catalog.write().mutate(name, f);
+        // Evict on the error path too: a closure that failed *after*
+        // observably changing the table still got a fresh version
+        // stamped (see [`Catalog::mutate`]), and eviction belongs to
+        // the mutation path — lookups never evict.
+        let current = match &result {
+            Ok((_, version)) => Some(*version),
+            Err(_) => self.shared.catalog.read().version_of(&key),
+        };
+        if let Some(version) = current {
+            self.shared.cache.invalidate_stale(&key, version);
+        }
+        result
     }
 
-    /// Append one row to a registered table (version-bumping shorthand
-    /// for [`PackageDb::mutate_table`]).
-    pub fn append_row(&mut self, name: &str, row: Vec<Value>) -> DbResult<()> {
-        self.mutate_table(name, |t| t.push_row(row))
+    /// Append one row to a registered table (version-stamping shorthand
+    /// for [`PackageDb::mutate_table`]); returns the new version.
+    pub fn append_row(&self, name: &str, row: Vec<Value>) -> DbResult<u64> {
+        let ((), version) = self.mutate_table(name, |t| t.push_row(row))?;
+        Ok(version)
     }
 
     // ------------------------------------------------------------------
@@ -231,10 +405,13 @@ impl PackageDb {
 
     /// Install an externally built partitioning (radius-limited,
     /// dynamically extracted from a quad-tree hierarchy, …) for the
-    /// table's *current* contents. Subsequent SKETCHREFINE routes reuse
-    /// it as a cache hit until the table mutates.
-    pub fn install_partitioning(&mut self, name: &str, partitioning: Partitioning) -> DbResult<()> {
-        let entry = self.catalog.resolve(name)?;
+    /// table's *current* contents. Subsequent SKETCHREFINE routes — on
+    /// any session — reuse it as a cache hit until the table mutates.
+    pub fn install_partitioning(&self, name: &str, partitioning: Partitioning) -> DbResult<()> {
+        // Hold the catalog read lock across the insert so the version
+        // the entry is keyed by cannot go stale mid-install.
+        let catalog = self.shared.catalog.read();
+        let entry = catalog.resolve(name)?;
         let rows = entry.table().num_rows();
         if !partitioning.is_disjoint_cover(rows) {
             return Err(DbError::InvalidPartitioning {
@@ -246,8 +423,8 @@ impl PackageDb {
         }
         let version = entry.version();
         let attributes = partitioning.attributes.clone();
-        let id = self.cache.next_external_id();
-        self.cache.insert(
+        let id = self.shared.cache.next_external_id();
+        self.shared.cache.insert(
             Catalog::key(name),
             version,
             attributes,
@@ -258,9 +435,9 @@ impl PackageDb {
     }
 
     /// Observable partition-cache counters (hits, misses,
-    /// invalidations, live entries).
+    /// invalidations, live entries), shared across all sessions.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.shared.cache.stats()
     }
 
     // ------------------------------------------------------------------
@@ -268,30 +445,30 @@ impl PackageDb {
     // ------------------------------------------------------------------
 
     /// Parse and execute a PaQL query, letting the planner route it.
-    pub fn execute(&mut self, paql: &str) -> DbResult<Execution> {
+    pub fn execute(&self, paql: &str) -> DbResult<Execution> {
         let query = parse_paql(paql)?;
         self.execute_with(&query, Route::Auto)
     }
 
     /// Execute an already-built query (from [`paq_lang::Paql`] or the
     /// parser), letting the planner route it.
-    pub fn execute_query(&mut self, query: impl Into<PackageQuery>) -> DbResult<Execution> {
+    pub fn execute_query(&self, query: impl Into<PackageQuery>) -> DbResult<Execution> {
         self.execute_with(&query.into(), Route::Auto)
     }
 
     /// Execute with explicit routing control.
-    pub fn execute_with(&mut self, query: &PackageQuery, route: Route) -> DbResult<Execution> {
+    pub fn execute_with(&self, query: &PackageQuery, route: Route) -> DbResult<Execution> {
         self.execute_inner(query, route, None)
     }
 
     /// Execute with SKETCHREFINE over a caller-supplied offline
     /// partitioning of the table's current contents, bypassing the
     /// partition cache (the cache is neither consulted nor populated).
-    /// This is the benchmark/ablation entry point: the same session —
+    /// This is the benchmark/ablation entry point: the same database —
     /// catalog, solver budgets, worker pool — evaluates many queries
     /// against many partitionings without cross-talk between them.
     pub fn execute_with_partitioning(
-        &mut self,
+        &self,
         query: &PackageQuery,
         partitioning: Arc<Partitioning>,
     ) -> DbResult<Execution> {
@@ -299,27 +476,37 @@ impl PackageDb {
     }
 
     fn execute_inner(
-        &mut self,
+        &self,
         query: &PackageQuery,
         route: Route,
         provided: Option<Arc<Partitioning>>,
     ) -> DbResult<Execution> {
         let total_start = Instant::now();
 
-        // --- plan: resolve, check schema, route -----------------------
-        let entry = self.catalog.resolve(&query.relation)?;
-        let relation = entry.name().to_owned();
-        let key = Catalog::key(&relation);
-        let table_version = entry.version();
-        let rows = entry.table().num_rows();
+        // --- plan: snapshot, check schema, route ----------------------
+        // The catalog read lock is held only for the snapshot; from
+        // here on the execution works exclusively on `table` (the
+        // contents at `table_version`), so concurrent mutations can
+        // proceed and cannot skew this query.
+        let (relation, key, table_version, table) = {
+            let catalog = self.shared.catalog.read();
+            let entry = catalog.resolve(&query.relation)?;
+            (
+                entry.name().to_owned(),
+                Catalog::key(entry.name()),
+                entry.version(),
+                entry.snapshot(),
+            )
+        };
+        let rows = table.num_rows();
 
-        let missing = missing_attributes(query, entry.table());
+        let missing = missing_attributes(query, &table);
         if !missing.is_empty() {
             return Err(DbError::SchemaMismatch { relation, missing });
         }
-        validate(query, entry.table().schema())?;
+        validate(query, table.schema())?;
 
-        let partition_attrs = partition_attributes(query, entry.table());
+        let partition_attrs = partition_attributes(query, &table);
         let (mut strategy, reason) = match route {
             Route::ForceDirect => (Strategy::Direct, RouteReason::Forced),
             Route::ForceSketchRefine => (Strategy::SketchRefine, RouteReason::Forced),
@@ -361,11 +548,11 @@ impl PackageDb {
 
         let evaluate_start = Instant::now();
         let package = match strategy {
-            Strategy::Direct => self.direct_evaluator().evaluate(query, entry.table())?,
+            Strategy::Direct => self.direct_evaluator().evaluate(query, &table)?,
             Strategy::SketchRefine => {
-                // One pool serves the offline build and wave-based
-                // REFINE alike (lazily spawned, kept across queries).
-                let pool = Self::worker_pool(&mut self.pool, self.config.sketchrefine.threads);
+                // One shared pool serves the offline build and
+                // wave-based REFINE alike, across all sessions.
+                let pool = self.shared.pool(self.config.sketchrefine.threads);
                 let (partitioning, outcome) = if let Some(p) = provided {
                     if !p.is_disjoint_cover(rows) {
                         return Err(DbError::InvalidPartitioning {
@@ -383,53 +570,21 @@ impl PackageDb {
                         "SKETCHREFINE needs at least one numeric attribute to partition on".into(),
                     )));
                 } else {
-                    match self.cache.lookup(&key, table_version, &partition_attrs) {
-                        Some((p, attributes, _)) => {
-                            let groups = p.num_groups();
-                            (p, CacheOutcome::Hit { groups, attributes })
-                        }
-                        None => {
-                            self.cache.record_miss();
-                            let tau = (rows / self.config.default_groups.max(1)).max(2);
-                            let part_start = Instant::now();
-                            let partitioner = Partitioner::new(PartitionConfig::by_size(
-                                partition_attrs.clone(),
-                                tau,
-                            ));
-                            // The offline build shares the REFINE pool:
-                            // leaf statistics are embarrassingly
-                            // parallel and the result is identical.
-                            let built = match &pool {
-                                Some(pool) => {
-                                    partitioner.partition_with_pool(entry.table(), pool)?
-                                }
-                                None => partitioner.partition(entry.table())?,
-                            };
-                            partitioning_time = part_start.elapsed();
-                            let built = Arc::new(built);
-                            self.cache.insert(
-                                key.clone(),
-                                table_version,
-                                partition_attrs.clone(),
-                                PartitionSpec::BySize { tau },
-                                Arc::clone(&built),
-                            );
-                            let groups = built.num_groups();
-                            (
-                                built,
-                                CacheOutcome::Miss {
-                                    groups,
-                                    attributes: partition_attrs,
-                                },
-                            )
-                        }
-                    }
+                    let (p, outcome, build_time) = self.obtain_partitioning(
+                        &key,
+                        table_version,
+                        partition_attrs,
+                        &table,
+                        pool.as_ref(),
+                    )?;
+                    partitioning_time = build_time;
+                    (p, outcome)
                 };
                 cache = outcome;
 
                 match self.sketchrefine_evaluator(pool).evaluate_with_report(
                     query,
-                    entry.table(),
+                    &table,
                     &partitioning,
                 ) {
                     Ok((pkg, r)) => {
@@ -444,7 +599,7 @@ impl PackageDb {
                         // DIRECT.
                         fell_back_to_direct = true;
                         strategy = Strategy::Direct;
-                        self.direct_evaluator().evaluate(query, entry.table())?
+                        self.direct_evaluator().evaluate(query, &table)?
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -471,10 +626,150 @@ impl PackageDb {
         })
     }
 
+    /// Serve (or lazily build) the partitioning for `table` at
+    /// `version` on the attributes `attrs` — single-flight: racing
+    /// sessions produce exactly one `Miss` (the builder) and `Hit`s
+    /// (everyone served from the cache, including waiters).
+    fn obtain_partitioning(
+        &self,
+        key: &str,
+        version: u64,
+        attrs: Vec<String>,
+        table: &Table,
+        pool: Option<&Arc<ThreadPool>>,
+    ) -> DbResult<(Arc<Partitioning>, CacheOutcome, Duration)> {
+        loop {
+            if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs) {
+                let groups = p.num_groups();
+                return Ok((p, CacheOutcome::Hit { groups, attributes }, Duration::ZERO));
+            }
+            // Miss: either adopt an in-flight build of the same
+            // artifact or claim the build ourselves. The re-check under
+            // the pending lock closes the race with a builder that
+            // published between our lookup and here.
+            let build_key = (key.to_owned(), version, attrs.clone());
+            enum Role {
+                Build(Arc<BuildSlot>),
+                Wait(Arc<BuildSlot>),
+            }
+            let role = {
+                let mut pending = self.shared.pending_builds.lock();
+                if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs) {
+                    let groups = p.num_groups();
+                    return Ok((p, CacheOutcome::Hit { groups, attributes }, Duration::ZERO));
+                }
+                match pending.get(&build_key) {
+                    Some(slot) => Role::Wait(Arc::clone(slot)),
+                    None => {
+                        let slot = Arc::new(BuildSlot::default());
+                        pending.insert(build_key.clone(), Arc::clone(&slot));
+                        Role::Build(slot)
+                    }
+                }
+            };
+            match role {
+                Role::Wait(slot) => {
+                    // The time spent blocked on another session's
+                    // build is partitioning cost from this execution's
+                    // point of view; report it so explain() shows why
+                    // a "hit" was slow.
+                    let wait_start = Instant::now();
+                    let Some(shared_build) = slot.wait() else {
+                        // The build failed; retry, possibly as the
+                        // next builder.
+                        continue;
+                    };
+                    let waited = wait_start.elapsed();
+                    // Prefer the published cache entry (normal hit
+                    // bookkeeping, LRU refresh); when a racing
+                    // mutation suppressed the publish, adopt the
+                    // builder's artifact directly — it was built for
+                    // exactly the snapshot version we planned against,
+                    // and every waiter sharing it avoids re-running
+                    // the same doomed build.
+                    if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs)
+                    {
+                        let groups = p.num_groups();
+                        return Ok((p, CacheOutcome::Hit { groups, attributes }, waited));
+                    }
+                    self.shared.cache.record_hit();
+                    let groups = shared_build.num_groups();
+                    return Ok((
+                        shared_build,
+                        CacheOutcome::Hit {
+                            groups,
+                            attributes: attrs,
+                        },
+                        waited,
+                    ));
+                }
+                Role::Build(slot) => {
+                    // Wakes waiters on drop — even if the build errors
+                    // or panics — after any successful publish below.
+                    let mut guard = BuildGuard {
+                        shared: &self.shared,
+                        key: build_key,
+                        slot,
+                        result: None,
+                    };
+                    self.shared.cache.record_miss();
+                    let tau = (table.num_rows() / self.config.default_groups.max(1)).max(2);
+                    let start = Instant::now();
+                    let partitioner =
+                        Partitioner::new(PartitionConfig::by_size(attrs.clone(), tau));
+                    // The offline build shares the REFINE pool: leaf
+                    // statistics are embarrassingly parallel and the
+                    // result is identical.
+                    let built = match pool {
+                        Some(pool) => partitioner.partition_with_pool(table, pool)?,
+                        None => partitioner.partition(table)?,
+                    };
+                    let build_time = start.elapsed();
+                    let built = Arc::new(built);
+                    // Publish only if the snapshot we built against is
+                    // still the table's current version; a mutation
+                    // racing the build must not get a stale artifact
+                    // parked in the cache after its own invalidation
+                    // pass already ran. The catalog read guard is held
+                    // *across* the insert (same catalog → cache order
+                    // as `install_partitioning`), so no mutation can
+                    // stamp a fresh version between the check and the
+                    // publish.
+                    {
+                        let catalog = self.shared.catalog.read();
+                        if catalog.version_of(key) == Some(version) {
+                            self.shared.cache.insert(
+                                key.to_owned(),
+                                version,
+                                attrs.clone(),
+                                PartitionSpec::BySize { tau },
+                                Arc::clone(&built),
+                            );
+                        }
+                    }
+                    guard.result = Some(Arc::clone(&built));
+                    let groups = built.num_groups();
+                    return Ok((
+                        built,
+                        CacheOutcome::Miss {
+                            groups,
+                            attributes: attrs,
+                        },
+                        build_time,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.shared.telemetry.read().clone()
+    }
+
     fn direct_evaluator(&self) -> Direct {
         let d = Direct::new(self.config.solver.clone());
-        match &self.telemetry {
-            Some(t) => d.with_telemetry(Arc::clone(t)),
+        match self.telemetry() {
+            Some(t) => d.with_telemetry(t),
             None => d,
         }
     }
@@ -486,8 +781,8 @@ impl PackageDb {
             Some(pool) => sr.with_pool(pool),
             None => sr,
         };
-        match &self.telemetry {
-            Some(t) => sr.with_telemetry(Arc::clone(t)),
+        match self.telemetry() {
+            Some(t) => sr.with_telemetry(t),
             None => sr,
         }
     }
@@ -533,4 +828,17 @@ fn partition_attributes(query: &PackageQuery, table: &Table) -> Vec<String> {
             .collect();
     }
     attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sessions must be freely shareable across threads.
+    #[test]
+    fn package_db_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PackageDb>();
+        assert_send_sync::<SharedState>();
+    }
 }

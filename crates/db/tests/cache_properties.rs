@@ -1,0 +1,215 @@
+//! Property tests for the partition-cache version invariants.
+//!
+//! The cache keys every partitioning by a **globally monotone** catalog
+//! version, so two things must hold under *arbitrary* interleavings of
+//! `register` / `insert` / `drop` / `execute` (modeled here as random
+//! sequential op sequences — the concurrent interleavings reduce to
+//! these, because every catalog mutation is serialized by the write
+//! lock and stamps its own version):
+//!
+//! 1. an execution is **never** served a partitioning built on an older
+//!    table version — a cache `Hit` can only occur at a version some
+//!    earlier `Miss` built for, with no mutation in between;
+//! 2. dropping a table and re-registering under the same name (any
+//!    casing) can **never** resurrect a cached partitioning — the fresh
+//!    registration gets a version number that has never existed before,
+//!    so the first execution afterwards is always a `Miss`.
+
+use std::collections::HashSet;
+
+use paq_db::{CacheOutcome, DbConfig, DbError, PackageDb};
+use paq_relational::{DataType, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// One catalog/execution op. Each carries a casing index so the
+/// invariants are exercised across case-insensitive aliases of the same
+/// logical table.
+#[derive(Debug, Clone)]
+enum Op {
+    Register {
+        rows: usize,
+        salt: u64,
+        casing: usize,
+    },
+    Insert {
+        v: f64,
+        w: f64,
+        casing: usize,
+    },
+    Drop {
+        casing: usize,
+    },
+    Execute {
+        query: usize,
+        casing: usize,
+    },
+}
+
+const CASINGS: [&str; 3] = ["Items", "ITEMS", "items"];
+
+/// Always-feasible queries referencing both numeric attributes, so
+/// every execution shares one partitioning attribute set.
+const QUERIES: [&str; 3] = [
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 2 AND SUM(P.weight) <= 1000 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 3 AND SUM(P.weight) <= 1000 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.value) >= 0 MINIMIZE SUM(P.weight)",
+];
+
+fn table(rows: usize, salt: u64) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = salt | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..rows {
+        t.push_row(vec![
+            Value::Float((next() % 100) as f64 / 10.0 + 1.0),
+            Value::Float((next() % 50) as f64 / 10.0 + 0.5),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (20usize..40, 0u64..1_000, 0usize..3).prop_map(|(rows, salt, casing)| Op::Register {
+            rows,
+            salt,
+            casing
+        }),
+        (1.0f64..10.0, 0.5f64..5.0, 0usize..3).prop_map(|(v, w, casing)| Op::Insert {
+            v,
+            w,
+            casing
+        }),
+        (0usize..3).prop_map(|casing| Op::Drop { casing }),
+        (0usize..3, 0usize..3).prop_map(|(query, casing)| Op::Execute { query, casing }),
+        (0usize..3, 0usize..3).prop_map(|(query, casing)| Op::Execute { query, casing }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariant 1 + 2 over arbitrary op sequences: a `Hit` only ever
+    /// serves a partitioning some earlier `Miss` built for the table's
+    /// *current* version; any mutation (register / insert / drop +
+    /// re-register) forces the next execution to `Miss`, because its
+    /// fresh version number can never collide with a cached artifact.
+    #[test]
+    fn executions_never_see_stale_partitionings(
+        ops in prop::collection::vec(op_strategy(), 1..25),
+    ) {
+        let db = PackageDb::with_config(DbConfig {
+            direct_threshold: 10, // all generated tables are larger ⇒ SR
+            default_groups: 5,
+            ..DbConfig::default()
+        });
+        // Versions for which a lazy build has been published.
+        let mut built: HashSet<u64> = HashSet::new();
+        let mut exists = false;
+        for op in &ops {
+            match op {
+                Op::Register { rows, salt, casing } => {
+                    db.register_table(CASINGS[*casing], table(*rows, *salt));
+                    exists = true;
+                }
+                Op::Insert { v, w, casing } => {
+                    let result = db.append_row(
+                        CASINGS[*casing],
+                        vec![Value::Float(*v), Value::Float(*w)],
+                    );
+                    prop_assert_eq!(result.is_ok(), exists, "append vs catalog state");
+                }
+                Op::Drop { casing } => {
+                    let result = db.drop_table(CASINGS[*casing]);
+                    prop_assert_eq!(result.is_ok(), exists, "drop vs catalog state");
+                    exists = false;
+                }
+                Op::Execute { query, casing } => {
+                    // Resolution is case-insensitive; the query text
+                    // always says `FROM Items`, the catalog probe uses
+                    // the op's casing.
+                    let current = match db.table_version(CASINGS[*casing]) {
+                        Ok(v) => {
+                            prop_assert!(exists);
+                            v
+                        }
+                        Err(DbError::UnknownTable { .. }) => {
+                            prop_assert!(!exists);
+                            prop_assert!(matches!(
+                                db.execute(QUERIES[*query]),
+                                Err(DbError::UnknownTable { .. })
+                            ));
+                            continue;
+                        }
+                        Err(e) => return Err(TestCaseError::Fail(format!("{e}"))),
+                    };
+                    let exec = db.execute(QUERIES[*query]).unwrap();
+                    prop_assert_eq!(
+                        exec.table_version, current,
+                        "execution must observe the current version"
+                    );
+                    match &exec.cache {
+                        CacheOutcome::Hit { .. } => prop_assert!(
+                            built.contains(&current),
+                            "hit at version {} which no miss ever built — a stale \
+                             partitioning was served: {}",
+                            current,
+                            exec.explain()
+                        ),
+                        CacheOutcome::Miss { .. } => {
+                            built.insert(current);
+                        }
+                        other => prop_assert!(
+                            false,
+                            "SKETCHREFINE route must hit or miss, got {other:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 2, spelled out: drop + re-register under the same name —
+/// even with identical contents and a different casing — never
+/// resurrects the previously cached partitioning.
+#[test]
+fn drop_then_reregister_never_resurrects_a_partitioning() {
+    let db = PackageDb::with_config(DbConfig {
+        direct_threshold: 10,
+        default_groups: 5,
+        ..DbConfig::default()
+    });
+    let contents = table(30, 7);
+    db.register_table("Items", contents.clone());
+    let first = db.execute(QUERIES[0]).unwrap();
+    assert!(matches!(first.cache, CacheOutcome::Miss { .. }));
+    let warm = db.execute(QUERIES[0]).unwrap();
+    assert!(matches!(warm.cache, CacheOutcome::Hit { .. }));
+
+    db.drop_table("items").unwrap();
+    db.register_table("ITEMS", contents); // same contents, same key
+
+    let after = db.execute(QUERIES[0]).unwrap();
+    assert!(
+        matches!(after.cache, CacheOutcome::Miss { .. }),
+        "re-registered table must rebuild, not resurrect: {}",
+        after.explain()
+    );
+    assert!(
+        after.table_version > first.table_version,
+        "version numbers are never reused across drop + re-register"
+    );
+}

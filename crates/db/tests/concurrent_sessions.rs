@@ -1,0 +1,445 @@
+//! Concurrency harness for shared-catalog sessions.
+//!
+//! `PackageDb` is a cloneable session handle onto one shared core
+//! (catalog + partition cache + worker pool), so these tests drive it
+//! the way a serving layer would: N OS threads, each with its own
+//! session, doing interleaved `register` / `append` / `execute` against
+//! the same shared state — then prove the results are *correct*, not
+//! just undeadlocked:
+//!
+//! * every returned package must equal a sequential replay of the same
+//!   query on the table contents **at the version the execution
+//!   observed** (executions snapshot at planning time);
+//! * cache statistics must be conserved — every SKETCHREFINE execution
+//!   contributes exactly one hit or miss, and no concurrent
+//!   interleaving may lose an update;
+//! * sessions racing on the same cold partitioning must produce
+//!   exactly one `Miss` (single-flight build) with everyone else served
+//!   a `Hit` — or `Provided`, for sessions that bypass the cache.
+//!
+//! The thread count is taken from `PAQ_THREADS` (default 4), so CI can
+//! exercise the suite at 1 and at 4.
+
+use std::sync::{Barrier, Mutex};
+use std::time::Duration;
+
+use paq_db::{CacheOutcome, DbConfig, PackageDb, Route, Strategy};
+use paq_lang::parse_paql;
+use paq_partition::{PartitionConfig, Partitioner};
+use paq_relational::{DataType, Schema, Table, Value};
+
+/// Session-thread count under test (`PAQ_THREADS`, default 4).
+fn thread_count() -> usize {
+    std::env::var("PAQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("value", DataType::Float), ("weight", DataType::Float)])
+}
+
+/// Deterministic rows: `value` ∈ [1, 11), `weight` ∈ [0.5, 5.5).
+fn rows_for(n: usize, salt: u64) -> Vec<Vec<Value>> {
+    let mut state = salt | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let v = (next() % 100) as f64 / 10.0 + 1.0;
+            let w = (next() % 50) as f64 / 10.0 + 0.5;
+            vec![Value::Float(v), Value::Float(w)]
+        })
+        .collect()
+}
+
+fn table_from(rows: &[Vec<Value>]) -> Table {
+    let mut t = Table::new(schema());
+    for row in rows {
+        t.push_row(row.clone()).unwrap();
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: two sessions, one cold partitioning, one Miss total
+// ---------------------------------------------------------------------
+
+/// Two sessions cloned from one `PackageDb` execute the same PaQL query
+/// concurrently from plain `&self`; they share one partition-cache
+/// entry (exactly one `Miss` in total, the racing session is served a
+/// `Hit` by the single-flight build) and return packages identical to a
+/// single-session sequential run. A third session supplies its own
+/// partitioning and reports `Provided` without touching the cache.
+#[test]
+fn racing_sessions_share_one_cold_partitioning() {
+    const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 6 AND SUM(P.weight) <= 20 \
+         MAXIMIZE SUM(P.value)";
+    let rows = rows_for(150, 0x5EED);
+    let config = DbConfig {
+        direct_threshold: 20, // 150 rows ⇒ SKETCHREFINE route
+        ..DbConfig::default()
+    };
+    let mut config_threaded = config.clone();
+    config_threaded.sketchrefine.threads = 2; // engage the shared pool
+
+    // Sequential baseline on an identical, private database.
+    let baseline = {
+        let db = PackageDb::with_config(config.clone());
+        db.register_table("Items", table_from(&rows));
+        db.execute(QUERY).unwrap()
+    };
+    assert_eq!(baseline.strategy, Strategy::SketchRefine);
+
+    let db = PackageDb::with_config(config_threaded);
+    db.register_table("Items", table_from(&rows));
+    let query = parse_paql(QUERY).unwrap();
+
+    // A partitioning for the cache-bypassing (Provided) session, built
+    // from a snapshot taken through a *shared reference*.
+    let provided = std::sync::Arc::new(
+        Partitioner::new(PartitionConfig::by_size(
+            vec!["value".into(), "weight".into()],
+            25,
+        ))
+        .partition(&db.table("Items").unwrap())
+        .unwrap(),
+    );
+
+    let racers = 2.max(thread_count());
+    let barrier = Barrier::new(racers + 1);
+    let executions = Mutex::new(Vec::new());
+    let provided_exec = std::thread::scope(|s| {
+        for _ in 0..racers {
+            let session = db.session();
+            let barrier = &barrier;
+            let executions = &executions;
+            let query = &query;
+            s.spawn(move || {
+                barrier.wait();
+                // Plain `&self` on the session handle.
+                let exec = session.execute_with(query, Route::Auto).unwrap();
+                executions.lock().unwrap().push(exec);
+            });
+        }
+        let bypass = db.session();
+        let provided = std::sync::Arc::clone(&provided);
+        let query = &query;
+        let barrier = &barrier;
+        let handle = s.spawn(move || {
+            barrier.wait();
+            bypass.execute_with_partitioning(query, provided).unwrap()
+        });
+        handle.join().unwrap()
+    });
+    let executions = executions.into_inner().unwrap();
+    assert_eq!(executions.len(), racers);
+
+    // Exactly one session built (Miss); every other racer was served
+    // the very same entry (Hit) by the single-flight build.
+    let misses: Vec<_> = executions
+        .iter()
+        .filter(|e| matches!(e.cache, CacheOutcome::Miss { .. }))
+        .collect();
+    let hits: Vec<_> = executions
+        .iter()
+        .filter(|e| matches!(e.cache, CacheOutcome::Hit { .. }))
+        .collect();
+    assert_eq!(misses.len(), 1, "exactly one cold build: {executions:#?}");
+    assert_eq!(hits.len(), racers - 1);
+    let stats = db.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits as usize, racers - 1);
+    assert_eq!(stats.entries, 1, "one shared partition-cache entry");
+
+    // All packages — including the sequential baseline — are identical.
+    for exec in &executions {
+        assert_eq!(
+            exec.package, baseline.package,
+            "concurrent session diverged from the sequential run"
+        );
+        assert_eq!(exec.table_version, baseline.table_version);
+    }
+
+    // explain() reports the correct CacheOutcome per session...
+    let miss_text = misses[0].explain();
+    assert!(miss_text.contains("miss — built"), "{miss_text}");
+    for hit in &hits {
+        let text = hit.explain();
+        assert!(text.contains("hit ("), "{text}");
+    }
+    // ... the Provided session bypassed the cache entirely...
+    assert!(
+        matches!(provided_exec.cache, CacheOutcome::Provided { .. }),
+        "{}",
+        provided_exec.explain()
+    );
+    assert!(
+        provided_exec.explain().contains("provided by caller"),
+        "{}",
+        provided_exec.explain()
+    );
+    assert_eq!(db.cache_stats().misses, 1, "Provided must not count");
+    // ... and wave counters are reported consistently: with a 2-thread
+    // pool, any refined group runs through waves, and the explain text
+    // carries the counters exactly when waves ran.
+    for exec in executions.iter().chain([&provided_exec]) {
+        let report = exec.report.as_ref().expect("SKETCHREFINE carries a report");
+        if report.groups_refined > 0 {
+            assert!(report.waves >= 1, "pooled REFINE must report waves");
+        }
+        assert_eq!(
+            report.waves > 0,
+            exec.explain().contains("parallel:"),
+            "wave counters and explain text must agree: {}",
+            exec.explain()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared-state plumbing
+// ---------------------------------------------------------------------
+
+#[test]
+fn sessions_share_state_and_fresh_databases_do_not() {
+    let db = PackageDb::new();
+    let session = db.session();
+    let clone = session.clone();
+    assert!(db.shares_state_with(&session));
+    assert!(session.shares_state_with(&clone));
+    assert!(!db.shares_state_with(&PackageDb::new()));
+
+    // Catalog writes through one handle are visible through all others
+    // immediately; per-session config stays private.
+    db.register_table("Items", table_from(&rows_for(10, 1)));
+    assert_eq!(session.table_names(), vec!["Items".to_string()]);
+    let mut tuned = db.session();
+    tuned.config_mut().direct_threshold = 7;
+    assert_eq!(db.config().direct_threshold, 2_000);
+    assert_eq!(tuned.config().direct_threshold, 7);
+
+    session.drop_table("items").unwrap();
+    assert!(db.table("Items").is_err(), "drop visible everywhere");
+}
+
+#[test]
+fn snapshots_outlive_concurrent_mutation() {
+    let db = PackageDb::new();
+    db.register_table("Items", table_from(&rows_for(20, 2)));
+    let snapshot = db.table("Items").unwrap();
+    let v1 = db.table_version("Items").unwrap();
+    let v2 = db
+        .append_row("Items", vec![Value::Float(3.0), Value::Float(1.0)])
+        .unwrap();
+    assert!(v2 > v1);
+    assert_eq!(snapshot.num_rows(), 20, "snapshot pinned the old contents");
+    assert_eq!(db.table("Items").unwrap().num_rows(), 21);
+}
+
+// ---------------------------------------------------------------------
+// Stress: interleaved register/append/execute + sequential replay
+// ---------------------------------------------------------------------
+
+/// What one thread observed its catalog mutation land as.
+enum Event {
+    /// `register_table` replaced the contents wholesale.
+    Reset(Vec<Vec<Value>>),
+    /// `append_row` added one row.
+    Append(Vec<Value>),
+}
+
+const STRESS_QUERIES: [&str; 3] = [
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 60 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 6 AND SUM(P.weight) <= 90 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 3 AND SUM(P.value) >= 5 MINIMIZE SUM(P.weight)",
+];
+
+/// N threads hammer one shared state with interleaved mutations and
+/// executions; afterwards every recorded package must match a
+/// sequential replay of the same query on the table contents at the
+/// version that execution observed, and the shared cache counters must
+/// account for every execution with nothing lost.
+#[test]
+fn stress_interleaved_sessions_match_sequential_replay() {
+    const ITERS: usize = 6;
+    let threads = thread_count();
+    let mut config = DbConfig {
+        direct_threshold: 40, // every stress table is larger ⇒ SR route
+        default_groups: 5,
+        ..DbConfig::default()
+    };
+    config.sketchrefine.threads = threads;
+
+    let db = PackageDb::with_config(config.clone());
+    let base = rows_for(90, 0xBA5E);
+    let v0 = db.register_table("Items", table_from(&base));
+
+    // (version, event) log: versions are stamped under the catalog
+    // write lock, so sorting by version reconstructs the exact content
+    // history regardless of thread interleaving.
+    let events = Mutex::new(vec![(v0, Event::Reset(base))]);
+    // (observed version, query index, package) per successful execute.
+    let observed = Mutex::new(Vec::new());
+    let mut sr_lookups = 0u64;
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let session = db.session();
+            let events = &events;
+            let observed = &observed;
+            handles.push(s.spawn(move || {
+                let mut lookups = 0u64;
+                for i in 0..ITERS {
+                    match (t + i) % 4 {
+                        2 => {
+                            let row = vec![
+                                Value::Float((t * 10 + i) as f64 / 3.0 + 1.0),
+                                Value::Float((i * 7 + t) as f64 / 5.0 + 0.5),
+                            ];
+                            let version = session.append_row("Items", row.clone()).unwrap();
+                            events.lock().unwrap().push((version, Event::Append(row)));
+                        }
+                        3 => {
+                            let rows = rows_for(50 + (t * 13 + i * 5) % 30, (t * 31 + i) as u64);
+                            let version = session.register_table("Items", table_from(&rows));
+                            events.lock().unwrap().push((version, Event::Reset(rows)));
+                        }
+                        _ => {
+                            let qi = (t + i) % STRESS_QUERIES.len();
+                            let query = parse_paql(STRESS_QUERIES[qi]).unwrap();
+                            lookups += 1; // every execute is one SR cache consult
+                            let exec = session.execute_with(&query, Route::Auto).unwrap();
+                            assert_eq!(
+                                exec.strategy,
+                                Strategy::SketchRefine,
+                                "stress tables stay above the threshold: {}",
+                                exec.explain()
+                            );
+                            observed.lock().unwrap().push((
+                                exec.table_version,
+                                qi,
+                                exec.package.clone(),
+                            ));
+                        }
+                    }
+                }
+                lookups
+            }));
+        }
+        for h in handles {
+            sr_lookups += h.join().unwrap();
+        }
+    });
+
+    // No lost cache-stat updates: every SKETCHREFINE execution consults
+    // the cache exactly once and lands exactly one hit or miss.
+    let stats = db.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        sr_lookups,
+        "cache counters must account for every execution: {stats:?}"
+    );
+
+    // Sequential replay: rebuild the table at each observed version and
+    // re-run the query on a fresh single-threaded, single-session
+    // database. The packages must be identical — the execution really
+    // did run on the version it claims to have observed.
+    let mut events = events.into_inner().unwrap();
+    events.sort_by_key(|(v, _)| *v);
+    let observed = observed.into_inner().unwrap();
+    assert!(!observed.is_empty(), "stress must actually execute");
+    let mut replay_config = config.clone();
+    replay_config.sketchrefine.threads = 1;
+    for (version, qi, package) in &observed {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (v, event) in &events {
+            if *v > *version {
+                break;
+            }
+            match event {
+                Event::Reset(r) => rows = r.clone(),
+                Event::Append(row) => rows.push(row.clone()),
+            }
+        }
+        let replay_db = PackageDb::with_config(replay_config.clone());
+        replay_db.register_table("Items", table_from(&rows));
+        let replay = replay_db
+            .execute_with(&parse_paql(STRESS_QUERIES[*qi]).unwrap(), Route::Auto)
+            .unwrap();
+        assert_eq!(
+            &replay.package,
+            package,
+            "version {version}, query {qi}: concurrent execution diverged from \
+             the sequential replay on the contents it observed ({} rows)",
+            rows.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation/build race: stale artifacts never get published
+// ---------------------------------------------------------------------
+
+/// A session that snapshots version v and builds a partitioning while
+/// another session mutates the table must not park its (now stale)
+/// artifact in the cache: the next execution sees a miss for the new
+/// version.
+#[test]
+fn build_racing_a_mutation_cannot_poison_the_cache() {
+    let config = DbConfig {
+        direct_threshold: 20,
+        ..DbConfig::default()
+    };
+    let db = PackageDb::with_config(config);
+    db.register_table("Items", table_from(&rows_for(120, 0xCAFE)));
+    let query = parse_paql(STRESS_QUERIES[0]).unwrap();
+
+    let writer = db.session();
+    std::thread::scope(|s| {
+        let reader = db.session();
+        let q = &query;
+        let h = s.spawn(move || reader.execute_with(q, Route::Auto).unwrap());
+        // Concurrent mutation; lands before, during, or after the
+        // reader's build — all must be safe.
+        for k in 0..5 {
+            writer
+                .append_row(
+                    "Items",
+                    vec![Value::Float(2.0 + k as f64), Value::Float(1.0)],
+                )
+                .unwrap();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let exec = h.join().unwrap();
+        assert!(matches!(exec.cache, CacheOutcome::Miss { .. }));
+    });
+
+    // Whatever the interleaving, every cached entry must be at the
+    // current version: a fresh execute may miss (stale publish was
+    // suppressed or invalidated) or hit (the reader's build survived at
+    // the final version) — but it must never be served old contents.
+    let current = db.table_version("Items").unwrap();
+    let exec = db.execute_with(&query, Route::Auto).unwrap();
+    assert_eq!(exec.table_version, current);
+    let stats = db.cache_stats();
+    assert_eq!(stats.entries, 1, "exactly one live entry: {stats:?}");
+    // And that entry is immediately reusable at the current version.
+    let again = db.execute_with(&query, Route::Auto).unwrap();
+    assert!(
+        matches!(again.cache, CacheOutcome::Hit { .. }),
+        "{}",
+        again.explain()
+    );
+}

@@ -1,7 +1,8 @@
 //! Integration tests for the `PackageDb` session: planner routing at
 //! and around the direct-threshold, partition-cache hit/miss/
-//! invalidation, typed catalog errors, forced routes, and the
-//! DIRECT fallback on possibly-false infeasibility.
+//! invalidation, typed catalog errors, case-insensitive name
+//! resolution, forced routes, and the DIRECT fallback on possibly-false
+//! infeasibility.
 
 use paq_core::SketchRefineOptions;
 use paq_db::{CacheOutcome, DbConfig, DbError, PackageDb, Route, RouteReason, Strategy};
@@ -38,7 +39,7 @@ const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
      MAXIMIZE SUM(P.value)";
 
 fn db_with(threshold: usize, rows: usize) -> PackageDb {
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         direct_threshold: threshold,
         ..DbConfig::default()
     });
@@ -48,7 +49,7 @@ fn db_with(threshold: usize, rows: usize) -> PackageDb {
 
 #[test]
 fn small_table_routes_direct() {
-    let mut db = db_with(100, 60);
+    let db = db_with(100, 60);
     let exec = db.execute(QUERY).unwrap();
     assert_eq!(exec.strategy, Strategy::Direct);
     assert_eq!(
@@ -64,7 +65,7 @@ fn small_table_routes_direct() {
         .package
         .satisfies(
             &parse_paql(QUERY).unwrap(),
-            db.table("Items").unwrap(),
+            &db.table("Items").unwrap(),
             1e-6
         )
         .unwrap());
@@ -73,7 +74,7 @@ fn small_table_routes_direct() {
 #[test]
 fn threshold_boundary_is_inclusive() {
     // Exactly at the threshold: DIRECT. One row past it: SKETCHREFINE.
-    let mut db = db_with(60, 60);
+    let db = db_with(60, 60);
     let exec = db.execute(QUERY).unwrap();
     assert_eq!(exec.strategy, Strategy::Direct, "{}", exec.explain());
 
@@ -96,7 +97,7 @@ fn threshold_boundary_is_inclusive() {
 
 #[test]
 fn unbounded_repeat_routes_direct() {
-    let mut db = db_with(10, 80); // well above the threshold
+    let db = db_with(10, 80); // well above the threshold
     let no_repeat = "SELECT PACKAGE(R) AS P FROM Items R \
          SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 MINIMIZE SUM(P.value)";
     let exec = db.execute(no_repeat).unwrap();
@@ -106,7 +107,7 @@ fn unbounded_repeat_routes_direct() {
 
 #[test]
 fn partitioning_is_reused_across_queries() {
-    let mut db = db_with(20, 150);
+    let db = db_with(20, 150);
 
     // First query: no partitioning exists — built lazily (miss).
     let first = db.execute(QUERY).unwrap();
@@ -150,7 +151,7 @@ fn partitioning_is_reused_across_queries() {
 
 #[test]
 fn table_mutation_invalidates_cached_partitionings() {
-    let mut db = db_with(20, 150);
+    let db = db_with(20, 150);
     db.execute(QUERY).unwrap(); // build + cache
     assert_eq!(db.cache_stats().entries, 1);
 
@@ -172,8 +173,36 @@ fn table_mutation_invalidates_cached_partitionings() {
 }
 
 #[test]
+fn failed_partial_mutation_still_invalidates_the_cache() {
+    let db = db_with(20, 150);
+    db.execute(QUERY).unwrap(); // build + cache at v1
+    assert_eq!(db.cache_stats().entries, 1);
+
+    // The closure changes the table, then errors: the version is
+    // stamped anyway (see `Catalog::mutate`), so the cached
+    // partitioning over the old contents must be evicted even though
+    // `mutate_table` returns `Err`.
+    let result = db.mutate_table("Items", |t| {
+        t.push_row(vec![Value::Float(9.0), Value::Float(1.0), "low".into()])?;
+        t.push_row(vec![]) // arity error after an observable change
+    });
+    assert!(result.is_err());
+    assert_eq!(db.table("Items").unwrap().num_rows(), 151);
+
+    let stats = db.cache_stats();
+    assert_eq!(stats.entries, 0, "stale entry must be evicted: {stats:?}");
+    assert!(stats.invalidations >= 1, "{stats:?}");
+    let exec = db.execute(QUERY).unwrap();
+    assert!(
+        matches!(exec.cache, CacheOutcome::Miss { .. }),
+        "{}",
+        exec.explain()
+    );
+}
+
+#[test]
 fn unknown_table_is_a_typed_error() {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Items", table(10));
     match db.execute("SELECT PACKAGE(R) AS P FROM Nope R SUCH THAT COUNT(P.*) = 1") {
         Err(DbError::UnknownTable { name, known }) => {
@@ -186,7 +215,7 @@ fn unknown_table_is_a_typed_error() {
 
 #[test]
 fn missing_attribute_is_a_schema_mismatch() {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Items", table(10));
     match db.execute(
         "SELECT PACKAGE(R) AS P FROM Items R \
@@ -202,7 +231,7 @@ fn missing_attribute_is_a_schema_mismatch() {
 
 #[test]
 fn resolution_is_case_insensitive() {
-    let mut db = db_with(100, 40);
+    let db = db_with(100, 40);
     let exec = db
         .execute("SELECT PACKAGE(R) AS P FROM items R REPEAT 0 SUCH THAT COUNT(P.*) = 2")
         .unwrap();
@@ -210,8 +239,65 @@ fn resolution_is_case_insensitive() {
 }
 
 #[test]
+fn mixed_case_registration_replaces_not_duplicates() {
+    // Registering `Galaxy` then `galaxy` is a *conflict* on the same
+    // case-insensitive key: the second registration replaces the first
+    // (fresh version, new casing, old cached artifacts invalidated) —
+    // it must never create two catalog entries.
+    let db = PackageDb::new();
+    let v1 = db.register_table("Galaxy", table(10));
+    let v2 = db.register_table("galaxy", table(25));
+    assert!(v2 > v1, "replacement must stamp a fresh version");
+    assert_eq!(
+        db.table_names(),
+        vec!["galaxy".to_string()],
+        "one entry, latest casing wins"
+    );
+    assert_eq!(db.table("GALAXY").unwrap().num_rows(), 25);
+    assert_eq!(db.table("Galaxy").unwrap().num_rows(), 25);
+    assert_eq!(db.table_version("gAlAxY").unwrap(), v2);
+}
+
+#[test]
+fn mixed_case_lookup_hits_every_casing() {
+    let db = db_with(100, 30);
+    for name in ["Items", "items", "ITEMS", "iTeMs"] {
+        assert_eq!(db.table(name).unwrap().num_rows(), 30, "lookup {name}");
+        assert_eq!(db.table_version(name).unwrap(), 1);
+    }
+    // Mutation through one casing is visible through every other.
+    db.append_row(
+        "iTEMS",
+        vec![Value::Float(1.0), Value::Float(1.0), "low".into()],
+    )
+    .unwrap();
+    assert_eq!(db.table("Items").unwrap().num_rows(), 31);
+}
+
+#[test]
+fn unknown_table_error_text_is_stable() {
+    // The error text is part of the serving surface (clients match on
+    // it); pin the exact rendering for both the empty and non-empty
+    // catalog.
+    let db = PackageDb::new();
+    match db.table("Nope") {
+        Err(e) => assert_eq!(e.to_string(), "unknown table 'Nope' (no tables registered)"),
+        Ok(_) => panic!("no tables registered"),
+    }
+    db.register_table("Galaxy", table(5));
+    db.register_table("Items", table(5));
+    match db.table("Nope") {
+        Err(e) => assert_eq!(
+            e.to_string(),
+            "unknown table 'Nope' (registered: Galaxy, Items)"
+        ),
+        Ok(_) => panic!("Nope is not registered"),
+    }
+}
+
+#[test]
 fn forced_routes_override_the_planner() {
-    let mut db = db_with(10_000, 120); // tiny vs. threshold
+    let db = db_with(10_000, 120); // tiny vs. threshold
     let q = parse_paql(QUERY).unwrap();
     let direct = db.execute_with(&q, Route::ForceDirect).unwrap();
     assert_eq!(direct.strategy, Strategy::Direct);
@@ -224,19 +310,19 @@ fn forced_routes_override_the_planner() {
 
     // SKETCHREFINE can never beat the DIRECT optimum (maximization).
     let table = db.table("Items").unwrap();
-    let od = direct.package.objective_value(&q, table).unwrap();
-    let os = sr.package.objective_value(&q, table).unwrap();
+    let od = direct.package.objective_value(&q, &table).unwrap();
+    let os = sr.package.objective_value(&q, &table).unwrap();
     assert!(os <= od + 1e-6);
 }
 
 #[test]
 fn installed_partitioning_is_served_as_a_hit() {
-    let mut db = db_with(20, 150);
+    let db = db_with(20, 150);
     let partitioning = Partitioner::new(PartitionConfig::by_size(
         vec!["value".into(), "weight".into()],
         25,
     ))
-    .partition(db.table("Items").unwrap())
+    .partition(&db.table("Items").unwrap())
     .unwrap();
     let groups = partitioning.num_groups();
     db.install_partitioning("Items", partitioning).unwrap();
@@ -250,7 +336,7 @@ fn installed_partitioning_is_served_as_a_hit() {
 
 #[test]
 fn installing_a_non_covering_partitioning_fails() {
-    let mut db = db_with(20, 150);
+    let db = db_with(20, 150);
     let partitioning = Partitioner::new(PartitionConfig::by_size(vec!["value".into()], 25))
         .partition(&table(60)) // built over the WRONG table size
         .unwrap();
@@ -269,7 +355,7 @@ fn trap_db(fallback: bool) -> (PackageDb, String) {
     for v in [1.0, 2.0, 3.0, 10.0, 20.0, 31.0] {
         t.push_row(vec![Value::Float(v)]).unwrap();
     }
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         direct_threshold: 3, // 6 rows > 3 ⇒ SKETCHREFINE route
         fallback_to_direct: fallback,
         sketchrefine: SketchRefineOptions {
@@ -280,7 +366,7 @@ fn trap_db(fallback: bool) -> (PackageDb, String) {
     });
     db.register_table("Nums", t);
     let p = Partitioner::new(PartitionConfig::by_size(vec!["x".into()], 3))
-        .partition(db.table("Nums").unwrap())
+        .partition(&db.table("Nums").unwrap())
         .unwrap();
     db.install_partitioning("Nums", p).unwrap();
     let q = "SELECT PACKAGE(R) AS P FROM Nums R REPEAT 0 \
@@ -291,7 +377,7 @@ fn trap_db(fallback: bool) -> (PackageDb, String) {
 
 #[test]
 fn possibly_false_infeasibility_falls_back_to_direct() {
-    let (mut db, q) = trap_db(true);
+    let (db, q) = trap_db(true);
     let exec = db.execute(&q).unwrap();
     assert!(exec.fell_back_to_direct, "{}", exec.explain());
     assert_eq!(exec.strategy, Strategy::Direct);
@@ -301,7 +387,7 @@ fn possibly_false_infeasibility_falls_back_to_direct() {
 
 #[test]
 fn fallback_can_be_disabled() {
-    let (mut db, q) = trap_db(false);
+    let (db, q) = trap_db(false);
     match db.execute(&q) {
         Err(e) => assert!(e.is_infeasible(), "{e}"),
         Ok(exec) => panic!("expected raw verdict, got {}", exec.explain()),
@@ -310,7 +396,7 @@ fn fallback_can_be_disabled() {
 
 #[test]
 fn builder_and_text_queries_are_interchangeable() {
-    let mut db = db_with(100, 60);
+    let db = db_with(100, 60);
     let text = db.execute(QUERY).unwrap();
     let built = db
         .execute_query(
@@ -325,14 +411,14 @@ fn builder_and_text_queries_are_interchangeable() {
     let q = parse_paql(QUERY).unwrap();
     let table = db.table("Items").unwrap();
     assert_eq!(
-        text.package.objective_value(&q, table).unwrap(),
-        built.package.objective_value(&q, table).unwrap(),
+        text.package.objective_value(&q, &table).unwrap(),
+        built.package.objective_value(&q, &table).unwrap(),
     );
 }
 
 #[test]
 fn explain_reports_route_and_cache() {
-    let mut db = db_with(20, 150);
+    let db = db_with(20, 150);
     let exec = db.execute(QUERY).unwrap();
     let text = exec.explain();
     assert!(text.contains("SKETCHREFINE"), "{text}");

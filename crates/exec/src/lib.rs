@@ -382,6 +382,32 @@ mod tests {
     }
 
     #[test]
+    fn one_pool_serves_concurrent_scopes_from_many_threads() {
+        // The session layer shares a single pool across all concurrent
+        // clients, so scopes opened simultaneously from different OS
+        // threads must interleave on the same workers without
+        // cross-talk: each scope waits for exactly its own jobs.
+        let pool = Arc::new(ThreadPool::new(3));
+        let results: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for (client, slot) in results.iter().enumerate() {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let out = pool.map((0..20).collect(), |x: u64| x * (client as u64 + 1));
+                        let sum: u64 = out.iter().sum();
+                        slot.store(sum, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        for (client, slot) in results.iter().enumerate() {
+            let expected: u64 = (0..20u64).map(|x| x * (client as u64 + 1)).sum();
+            assert_eq!(slot.load(Ordering::Relaxed), expected, "client {client}");
+        }
+    }
+
+    #[test]
     fn job_panic_propagates_and_pool_survives() {
         let pool = ThreadPool::new(2);
         let err = catch_unwind(AssertUnwindSafe(|| {

@@ -13,7 +13,7 @@ use package_queries::relational::expr::CmpOp;
 fn main() {
     // A low direct-threshold pushes this 500-recipe table onto the
     // SKETCHREFINE route, exercising the partition cache.
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         direct_threshold: 100,
         ..DbConfig::default()
     });
@@ -49,7 +49,7 @@ fn main() {
 
     let plan = &exec.package;
     let table = db.table("Recipes").unwrap();
-    assert!(plan.satisfies(&query, table, 1e-6).unwrap());
+    assert!(plan.satisfies(&query, &table, 1e-6).unwrap());
     println!(
         "plan: {} meals ({} distinct recipes, max repetition {})",
         plan.cardinality(),
@@ -62,13 +62,13 @@ fn main() {
         (AggFunc::Avg, "protein"),
         (AggFunc::Avg, "carbs"),
     ] {
-        let v = plan.aggregate(table, agg, attr).unwrap();
+        let v = plan.aggregate(&table, agg, attr).unwrap();
         println!("  {}({attr}) = {v:.2}", agg.keyword());
     }
 
     // Packages are relations: materialize and persist like any table
     // (§5.1 "We represent a package in the relational model …").
-    let materialized = plan.materialize(table);
+    let materialized = plan.materialize(&table);
     let path = std::env::temp_dir().join("weekly_meal_plan.csv");
     write_csv_file(&materialized, &path).expect("csv export");
     println!("\nmaterialized plan written to {}", path.display());

@@ -4,33 +4,33 @@
 //! the 20k-row table to SKETCHREFINE over an offline partitioning, and
 //! a forced-DIRECT run provides the quality baseline.
 //!
+//! The two strategies run **concurrently on two sessions** of the same
+//! database: `PackageDb` is a cheap cloneable handle onto one shared
+//! catalog + partition cache, and every execution method takes `&self`.
+//!
 //! Run with: `cargo run --release --example night_sky`
 
 use package_queries::prelude::*;
 
 fn main() {
-    // A synthetic SDSS Galaxy view (13 numeric attributes), owned by a
-    // session.
-    let mut db = PackageDb::new();
+    // A synthetic SDSS Galaxy view (13 numeric attributes), owned by
+    // the shared catalog behind the session handles.
+    let db = PackageDb::new();
     db.register_table("Galaxy", package_queries::datagen::galaxy_table(20_000, 7));
-    println!(
-        "Galaxy view: {} objects",
-        db.table("Galaxy").unwrap().num_rows()
-    );
+    let galaxy = db.table("Galaxy").unwrap();
+    println!("Galaxy view: {} objects", galaxy.num_rows());
 
     // Offline partitioning (§4.1): quad tree on the query's attributes,
     // τ = 5% of the data, no radius condition — built once, installed
-    // into the session's partition cache, reused by any number of
-    // queries until the table mutates.
+    // into the shared partition cache, reused by any number of
+    // queries (from any session) until the table mutates.
     let attrs = vec![
         "redshift".to_string(),
         "petror90_r".to_string(),
         "u".to_string(),
     ];
     let partitioner = Partitioner::new(PartitionConfig::by_size(attrs, 1_000));
-    let partitioning = partitioner
-        .partition(db.table("Galaxy").unwrap())
-        .expect("partitioning");
+    let partitioning = partitioner.partition(&galaxy).expect("partitioning");
     println!(
         "offline partitioning: {} groups in {:.3}s (max size {})",
         partitioning.num_groups(),
@@ -51,26 +51,36 @@ fn main() {
     )
     .expect("valid PaQL");
 
-    // Auto routing: 20k rows is far above the direct-threshold, and the
-    // installed partitioning is served straight from the cache.
-    let sr_exec = db.execute_query(query.clone()).expect("feasible");
+    // Two clients at once: the interactive session lets the planner
+    // route (20k rows is far above the direct-threshold, and the
+    // installed partitioning is served straight from the cache), while
+    // a second session concurrently computes the forced-DIRECT quality
+    // baseline on the same shared catalog.
+    let (sr_exec, direct_exec) = std::thread::scope(|s| {
+        let baseline = db.session();
+        let q = query.clone();
+        let handle = s.spawn(move || {
+            baseline
+                .execute_with(&q, Route::ForceDirect)
+                .expect("feasible")
+        });
+        let sr = db.execute_query(query.clone()).expect("feasible");
+        (sr, handle.join().expect("baseline session"))
+    });
     assert_eq!(sr_exec.strategy, Strategy::SketchRefine);
     println!("\n--- auto plan ---\n{}", sr_exec.explain());
 
-    // Quality baseline: the same query forced through DIRECT.
-    let direct_exec = db
-        .execute_with(&query, Route::ForceDirect)
-        .expect("feasible");
-
-    let table = db.table("Galaxy").unwrap();
-    let sr_obj = sr_exec.package.objective_value(&query, table).unwrap();
-    let d_obj = direct_exec.package.objective_value(&query, table).unwrap();
+    let sr_obj = sr_exec.package.objective_value(&query, &galaxy).unwrap();
+    let d_obj = direct_exec
+        .package
+        .objective_value(&query, &galaxy)
+        .unwrap();
     println!(
         "\nSKETCHREFINE: {:>8.3}s objective {sr_obj:.3}",
         sr_exec.timings.evaluate.as_secs_f64()
     );
     println!(
-        "DIRECT:       {:>8.3}s objective {d_obj:.3}",
+        "DIRECT:       {:>8.3}s objective {d_obj:.3} (concurrent session)",
         direct_exec.timings.evaluate.as_secs_f64()
     );
     println!("empirical approximation ratio: {:.4}", d_obj / sr_obj);
@@ -80,10 +90,10 @@ fn main() {
         "{}",
         sr_exec
             .package
-            .materialize(table)
+            .materialize(&galaxy)
             .project(&["objid", "redshift", "u", "petror90_r"])
             .unwrap()
             .render(5)
     );
-    assert!(sr_exec.package.satisfies(&query, table, 1e-6).unwrap());
+    assert!(sr_exec.package.satisfies(&query, &galaxy, 1e-6).unwrap());
 }

@@ -18,7 +18,7 @@ fn main() {
     // The two-sided quantity window gives branch-and-bound a hard
     // subset-sum shape; budget the solver like the experiments do
     // (CPLEX's default relative gap, a laptop-scale time limit).
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         solver: SolverConfig::default()
             .with_time_limit(Duration::from_secs(15))
             .with_relative_gap(1e-4),
@@ -36,7 +36,7 @@ fn main() {
         effective
     );
 
-    let mean_qty = aggregate(table, AggFunc::Avg, "quantity")
+    let mean_qty = aggregate(&table, AggFunc::Avg, "quantity")
         .unwrap()
         .as_f64()
         .unwrap();
@@ -82,7 +82,7 @@ fn main() {
     // may give up, the failure mode the paper studies.
     let query = parse_paql(&bundle_query(10.0)).unwrap();
     let table = db.table("Tpch").unwrap();
-    let s_spend = first.package.objective_value(&query, table).unwrap();
+    let s_spend = first.package.objective_value(&query, &table).unwrap();
     println!(
         "\nSKETCHREFINE: {:>7.3}s  spend {s_spend:>12.2}",
         first.timings.evaluate.as_secs_f64()
@@ -90,7 +90,7 @@ fn main() {
     match db.execute_with(&query, Route::ForceDirect) {
         Ok(direct) => {
             let table = db.table("Tpch").unwrap();
-            let d_spend = direct.package.objective_value(&query, table).unwrap();
+            let d_spend = direct.package.objective_value(&query, &table).unwrap();
             println!(
                 "DIRECT:       {:>7.3}s  spend {d_spend:>12.2}",
                 direct.timings.evaluate.as_secs_f64()
@@ -106,10 +106,10 @@ fn main() {
         "{}",
         first
             .package
-            .materialize(table)
+            .materialize(&table)
             .project(&["rowid", "quantity", "extendedprice"])
             .unwrap()
             .render(10)
     );
-    assert!(first.package.satisfies(&query, table, 1e-6).unwrap());
+    assert!(first.package.satisfies(&query, &table, 1e-6).unwrap());
 }

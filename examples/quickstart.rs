@@ -16,7 +16,7 @@ fn main() {
 
     // The session front door: tables are registered once and resolved
     // by name — `FROM Recipes R` binds against the catalog.
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Recipes", table);
 
     // The dietitian's query, verbatim from the paper (§2.1):
@@ -37,12 +37,15 @@ fn main() {
 
     let table = db.table("Recipes").unwrap();
     println!("meal plan ({} meals):", exec.package.cardinality());
-    println!("{}", exec.package.materialize(table).render(10));
+    println!("{}", exec.package.materialize(&table).render(10));
 
-    let kcal = exec.package.aggregate(table, AggFunc::Sum, "kcal").unwrap();
+    let kcal = exec
+        .package
+        .aggregate(&table, AggFunc::Sum, "kcal")
+        .unwrap();
     let fat = exec
         .package
-        .aggregate(table, AggFunc::Sum, "saturated_fat")
+        .aggregate(&table, AggFunc::Sum, "saturated_fat")
         .unwrap();
     println!("total kcal: {kcal:.3} (required: 2.0–2.5)");
     println!("total saturated fat: {fat:.3} (minimized)");
@@ -53,6 +56,6 @@ fn main() {
          MINIMIZE SUM(P.saturated_fat)",
     )
     .unwrap();
-    assert!(exec.package.satisfies(&query, table, 1e-9).unwrap());
+    assert!(exec.package.satisfies(&query, &table, 1e-9).unwrap());
     println!("\npackage verified against every query condition ✓");
 }

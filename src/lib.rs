@@ -23,7 +23,7 @@
 //! | [`paql`] | the PaQL language: parser, AST, fluent builder, validation, ILP translation (§3.1) |
 //! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
 //! | [`engine`] | package evaluation: DIRECT (§3.2) and SKETCHREFINE (§4.2) |
-//! | [`db`] | `PackageDb`: table catalog, partition cache, Direct/SketchRefine planner |
+//! | [`db`] | `PackageDb`: concurrent sessions over a shared table catalog + partition cache, Direct/SketchRefine planner |
 //! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
 //!
 //! ## Quickstart
@@ -48,8 +48,11 @@
 //!     table.push_row(vec![name.into(), gluten.into(), kcal.into(), fat.into()]).unwrap();
 //! }
 //!
-//! // A session owns tables; `FROM Recipes R` resolves by name.
-//! let mut db = PackageDb::new();
+//! // The shared catalog owns tables; `FROM Recipes R` resolves by
+//! // name. `PackageDb` is a cheap cloneable session handle — every
+//! // method takes `&self`, so concurrent clients each hold a session
+//! // onto the same catalog, partition cache, and worker pool.
+//! let db = PackageDb::new();
 //! db.register_table("Recipes", table);
 //!
 //! // The paper's running example: three gluten-free meals, 2.0–2.5
@@ -63,7 +66,9 @@
 //! ).unwrap();
 //! assert_eq!(exec.package.cardinality(), 3);
 //!
-//! // The same query, built fluently — identical AST, identical answer.
+//! // The same query, built fluently and run on a second session —
+//! // identical AST, identical answer, shared partition cache.
+//! let session = db.session();
 //! let built = Paql::package("R")
 //!     .from("Recipes")
 //!     .repeat(0)
@@ -71,10 +76,10 @@
 //!     .count_eq(3)
 //!     .sum_between("kcal", 2.0, 2.5)
 //!     .minimize_sum("saturated_fat");
-//! let again = db.execute_query(built).unwrap();
+//! let again = session.execute_query(built).unwrap();
 //!
 //! let table = db.table("Recipes").unwrap();
-//! let kcal = again.package.aggregate(table, AggFunc::Sum, "kcal").unwrap();
+//! let kcal = again.package.aggregate(&table, AggFunc::Sum, "kcal").unwrap();
 //! assert!(kcal >= 2.0 && kcal <= 2.5);
 //! ```
 

@@ -31,7 +31,7 @@ fn positive_table(n: usize, seed: u64) -> Table {
 }
 
 fn db_for(table: Table) -> PackageDb {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Assets", table);
     db
 }
@@ -39,26 +39,26 @@ fn db_for(table: Table) -> PackageDb {
 /// Build the ε-derived radius-limited partitioning and install it for
 /// the session's `Assets` table.
 fn install_epsilon_partitioning(
-    db: &mut PackageDb,
+    db: &PackageDb,
     attrs: &[String],
     epsilon: f64,
     maximization: bool,
 ) {
     let table = db.table("Assets").unwrap();
-    let omega = PartitionConfig::omega_for_epsilon(table, attrs, epsilon, maximization).unwrap();
+    let omega = PartitionConfig::omega_for_epsilon(&table, attrs, epsilon, maximization).unwrap();
     assert!(
         omega > 0.0,
         "positive data must give a positive radius limit"
     );
     let config = PartitionConfig::by_size(attrs.to_vec(), usize::MAX).with_radius_limit(omega);
-    let p = Partitioner::new(config).partition(table).unwrap();
+    let p = Partitioner::new(config).partition(&table).unwrap();
     assert!(p.max_radius() <= omega + 1e-9);
     db.install_partitioning("Assets", p).unwrap();
 }
 
 #[test]
 fn maximization_respects_one_minus_eps_sixth() {
-    let mut db = db_for(positive_table(400, 77));
+    let db = db_for(positive_table(400, 77));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
         "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
@@ -69,16 +69,16 @@ fn maximization_respects_one_minus_eps_sixth() {
     let direct_obj = {
         let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
         exec.package
-            .objective_value(&query, db.table("Assets").unwrap())
+            .objective_value(&query, &db.table("Assets").unwrap())
             .unwrap()
     };
 
     for epsilon in [0.05, 0.2, 0.5] {
-        install_epsilon_partitioning(&mut db, &attrs, epsilon, true);
+        install_epsilon_partitioning(&db, &attrs, epsilon, true);
         let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
         let table = db.table("Assets").unwrap();
-        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
-        let obj = exec.package.objective_value(&query, table).unwrap();
+        assert!(exec.package.satisfies(&query, &table, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, &table).unwrap();
         let bound = (1.0 - epsilon).powi(6) * direct_obj;
         assert!(
             obj >= bound - 1e-6,
@@ -89,7 +89,7 @@ fn maximization_respects_one_minus_eps_sixth() {
 
 #[test]
 fn minimization_respects_one_plus_eps_sixth() {
-    let mut db = db_for(positive_table(400, 99));
+    let db = db_for(positive_table(400, 99));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
         "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
@@ -100,16 +100,16 @@ fn minimization_respects_one_plus_eps_sixth() {
     let direct_obj = {
         let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
         exec.package
-            .objective_value(&query, db.table("Assets").unwrap())
+            .objective_value(&query, &db.table("Assets").unwrap())
             .unwrap()
     };
 
     for epsilon in [0.05, 0.2, 0.5] {
-        install_epsilon_partitioning(&mut db, &attrs, epsilon, false);
+        install_epsilon_partitioning(&db, &attrs, epsilon, false);
         let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
         let table = db.table("Assets").unwrap();
-        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
-        let obj = exec.package.objective_value(&query, table).unwrap();
+        assert!(exec.package.satisfies(&query, &table, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, &table).unwrap();
         let bound = (1.0 + epsilon).powi(6) * direct_obj;
         assert!(
             obj <= bound + 1e-6,
@@ -123,11 +123,11 @@ fn epsilon_zero_forces_exactness() {
     // ε = 0 ⇒ ω = 0 ⇒ every group is a point mass; representatives are
     // indistinguishable from tuples and SKETCHREFINE must match DIRECT
     // exactly (the paper notes this below Eq. 3).
-    let mut db = db_for(positive_table(60, 5));
+    let db = db_for(positive_table(60, 5));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let config = PartitionConfig::by_size(attrs, usize::MAX).with_radius_limit(0.0);
     let partitioning = Partitioner::new(config)
-        .partition(db.table("Assets").unwrap())
+        .partition(&db.table("Assets").unwrap())
         .unwrap();
     assert_eq!(partitioning.max_radius(), 0.0);
     db.install_partitioning("Assets", partitioning).unwrap();
@@ -141,8 +141,8 @@ fn epsilon_zero_forces_exactness() {
     let direct = db.execute_with(&query, Route::ForceDirect).unwrap();
     let sr = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
     let table = db.table("Assets").unwrap();
-    let direct_obj = direct.package.objective_value(&query, table).unwrap();
-    let sr_obj = sr.package.objective_value(&query, table).unwrap();
+    let direct_obj = direct.package.objective_value(&query, &table).unwrap();
+    let sr_obj = sr.package.objective_value(&query, &table).unwrap();
     assert!(
         (direct_obj - sr_obj).abs() < 1e-6,
         "ω=0 must be exact: direct {direct_obj} vs sketchrefine {sr_obj}"
@@ -153,7 +153,7 @@ fn epsilon_zero_forces_exactness() {
 fn tighter_epsilon_never_hurts_quality_on_average() {
     // Sanity trend: ε = 0.05 partitions should give an objective at
     // least as good as ε = 0.5 on a maximization query.
-    let mut db = db_for(positive_table(300, 123));
+    let db = db_for(positive_table(300, 123));
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     let query = parse_paql(
         "SELECT PACKAGE(R) AS P FROM Assets R REPEAT 0 \
@@ -161,11 +161,11 @@ fn tighter_epsilon_never_hurts_quality_on_average() {
          MAXIMIZE SUM(P.profit)",
     )
     .unwrap();
-    let mut obj_at = |eps: f64| {
-        install_epsilon_partitioning(&mut db, &attrs, eps, true);
+    let obj_at = |eps: f64| {
+        install_epsilon_partitioning(&db, &attrs, eps, true);
         let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
         exec.package
-            .objective_value(&query, db.table("Assets").unwrap())
+            .objective_value(&query, &db.table("Assets").unwrap())
             .unwrap()
     };
     let tight = obj_at(0.05);

@@ -32,17 +32,16 @@ fn table(n: usize) -> Table {
 
 #[test]
 fn one_tree_serves_many_epsilons() {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Assets", table(300));
+    let assets = db.table("Assets").unwrap();
     let attrs = vec!["profit".to_string(), "cost".to_string()];
     // Build the hierarchy once, down to a fine radius.
-    let fine_omega =
-        PartitionConfig::omega_for_epsilon(db.table("Assets").unwrap(), &attrs, 0.05, true)
-            .unwrap();
+    let fine_omega = PartitionConfig::omega_for_epsilon(&assets, &attrs, 0.05, true).unwrap();
     let tree = TreePartitioner::new(
         PartitionConfig::by_size(attrs.clone(), usize::MAX).with_radius_limit(fine_omega),
     )
-    .build_tree(db.table("Assets").unwrap())
+    .build_tree(&assets)
     .unwrap();
 
     let query = parse_paql(
@@ -53,30 +52,25 @@ fn one_tree_serves_many_epsilons() {
     .unwrap();
     let opt = {
         let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
-        exec.package
-            .objective_value(&query, db.table("Assets").unwrap())
-            .unwrap()
+        exec.package.objective_value(&query, &assets).unwrap()
     };
 
     // Traverse the same tree at different ε at query time; each
     // extraction becomes the session's current partitioning.
     let mut previous_groups = usize::MAX;
     for epsilon in [0.05, 0.2, 0.6] {
-        let omega =
-            PartitionConfig::omega_for_epsilon(db.table("Assets").unwrap(), &attrs, epsilon, true)
-                .unwrap();
+        let omega = PartitionConfig::omega_for_epsilon(&assets, &attrs, epsilon, true).unwrap();
         let partitioning = tree.coarsest_for(omega, usize::MAX);
         assert!(partitioning.max_radius() <= omega + 1e-9);
-        assert!(partitioning.is_disjoint_cover(db.table("Assets").unwrap().num_rows()));
+        assert!(partitioning.is_disjoint_cover(assets.num_rows()));
         // Looser ε ⇒ coarser partitioning (fewer groups).
         assert!(partitioning.num_groups() <= previous_groups);
         previous_groups = partitioning.num_groups();
 
         db.install_partitioning("Assets", partitioning).unwrap();
         let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
-        let table = db.table("Assets").unwrap();
-        assert!(exec.package.satisfies(&query, table, 1e-6).unwrap());
-        let obj = exec.package.objective_value(&query, table).unwrap();
+        assert!(exec.package.satisfies(&query, &assets, 1e-6).unwrap());
+        let obj = exec.package.objective_value(&query, &assets).unwrap();
         let bound = (1.0 - epsilon).powi(6) * opt;
         assert!(
             obj >= bound - 1e-6,

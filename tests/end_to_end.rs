@@ -14,20 +14,20 @@ const RUNNING_EXAMPLE: &str = "SELECT PACKAGE(R) AS P \
      MINIMIZE SUM(P.saturated_fat)";
 
 fn recipes_db(n: usize, seed: u64) -> PackageDb {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Recipes", package_queries::datagen::recipes_table(n, seed));
     db
 }
 
 #[test]
 fn running_example_direct_vs_sketchrefine() {
-    let mut db = recipes_db(300, 9);
+    let db = recipes_db(300, 9);
     let query = parse_paql(RUNNING_EXAMPLE).unwrap();
 
     let direct = db.execute_with(&query, Route::ForceDirect).unwrap();
     assert_eq!(direct.strategy, Strategy::Direct);
     let table = db.table("Recipes").unwrap();
-    assert!(direct.package.satisfies(&query, table, 1e-9).unwrap());
+    assert!(direct.package.satisfies(&query, &table, 1e-9).unwrap());
     assert_eq!(direct.package.cardinality(), 3);
 
     let sr = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
@@ -37,18 +37,18 @@ fn running_example_direct_vs_sketchrefine() {
         "SKETCHREFINE must report work counters"
     );
     let table = db.table("Recipes").unwrap();
-    assert!(sr.package.satisfies(&query, table, 1e-6).unwrap());
+    assert!(sr.package.satisfies(&query, &table, 1e-6).unwrap());
     assert_eq!(sr.package.cardinality(), 3);
 
     // DIRECT is exact; SKETCHREFINE approximates from above (min).
-    let d = direct.package.objective_value(&query, table).unwrap();
-    let s = sr.package.objective_value(&query, table).unwrap();
+    let d = direct.package.objective_value(&query, &table).unwrap();
+    let s = sr.package.objective_value(&query, &table).unwrap();
     assert!(s >= d - 1e-9, "sketchrefine {s} beat the optimum {d}");
 }
 
 #[test]
 fn auto_route_explains_itself() {
-    let mut db = recipes_db(300, 9);
+    let db = recipes_db(300, 9);
     let exec = db.execute(RUNNING_EXAMPLE).unwrap();
     // 300 rows sit under the default direct-threshold.
     assert_eq!(exec.strategy, Strategy::Direct);
@@ -59,10 +59,10 @@ fn auto_route_explains_itself() {
 
 #[test]
 fn package_round_trips_through_csv() {
-    let mut db = recipes_db(100, 4);
+    let db = recipes_db(100, 4);
     let exec = db.execute(RUNNING_EXAMPLE).unwrap();
     let table = db.table("Recipes").unwrap();
-    let materialized = exec.package.materialize(table);
+    let materialized = exec.package.materialize(&table);
     assert_eq!(
         materialized.schema(),
         table.schema(),
@@ -97,19 +97,19 @@ fn theorem_1_reduction_round_trip() {
     // The reduction's query evaluates through the session like any
     // other (its relation name binds the generated table).
     let (table, query) = ilp_to_paql(&ilp).unwrap();
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table(query.relation.clone(), table);
     let exec = db.execute_with(&query, Route::ForceDirect).unwrap();
     let via_paql_obj = exec
         .package
-        .objective_value(&query, db.table(&query.relation).unwrap())
+        .objective_value(&query, &db.table(&query.relation).unwrap())
         .unwrap();
     assert!((direct_obj - via_paql_obj).abs() < 1e-9);
 }
 
 #[test]
 fn multiset_semantics_respected_end_to_end() {
-    let mut db = recipes_db(50, 5);
+    let db = recipes_db(50, 5);
     // REPEAT 1 ⇒ each recipe at most twice.
     let exec = db
         .execute(
@@ -121,12 +121,12 @@ fn multiset_semantics_respected_end_to_end() {
     assert!(exec.package.max_multiplicity() <= 2);
     // The materialized package has 8 physical rows.
     let table = db.table("Recipes").unwrap();
-    assert_eq!(exec.package.materialize(table).num_rows(), 8);
+    assert_eq!(exec.package.materialize(&table).num_rows(), 8);
 }
 
 #[test]
 fn infeasibility_is_consistent_across_strategies() {
-    let mut db = recipes_db(40, 6);
+    let db = recipes_db(40, 6);
     let query = parse_paql(
         "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
          SUCH THAT COUNT(P.*) = 39 AND SUM(P.kcal) <= 0.5",
@@ -148,17 +148,17 @@ fn workloads_run_end_to_end_on_both_datasets() {
     };
     let mut solved = 0;
 
-    let mut db = PackageDb::with_config(config.clone());
+    let db = PackageDb::with_config(config.clone());
     db.register_table("Galaxy", package_queries::datagen::galaxy_table(600, 1));
     let galaxy_queries =
-        package_queries::datagen::galaxy_workload(db.table("Galaxy").unwrap()).unwrap();
+        package_queries::datagen::galaxy_workload(&db.table("Galaxy").unwrap()).unwrap();
     for q in galaxy_queries {
         match db.execute_with(&q.query, Route::ForceDirect) {
             Ok(exec) => {
                 solved += 1;
                 assert!(
                     exec.package
-                        .satisfies(&q.query, db.table("Galaxy").unwrap(), 1e-6)
+                        .satisfies(&q.query, &db.table("Galaxy").unwrap(), 1e-6)
                         .unwrap(),
                     "galaxy {} produced an infeasible package",
                     q.name
@@ -172,9 +172,9 @@ fn workloads_run_end_to_end_on_both_datasets() {
         }
     }
 
-    let mut db = PackageDb::with_config(config);
+    let db = PackageDb::with_config(config);
     db.register_table("Tpch", package_queries::datagen::tpch_table(1500, 2));
-    let tpch_queries = package_queries::datagen::tpch_workload(db.table("Tpch").unwrap()).unwrap();
+    let tpch_queries = package_queries::datagen::tpch_workload(&db.table("Tpch").unwrap()).unwrap();
     for q in tpch_queries {
         // §5.1: each TPC-H query runs on the non-NULL subset of its
         // attributes (the ILP would otherwise treat NULL contributions
@@ -185,7 +185,7 @@ fn workloads_run_end_to_end_on_both_datasets() {
                 solved += 1;
                 assert!(
                     exec.package
-                        .satisfies(&q.query, db.table("Tpch").unwrap(), 1e-6)
+                        .satisfies(&q.query, &db.table("Tpch").unwrap(), 1e-6)
                         .unwrap(),
                     "tpch {} produced an infeasible package",
                     q.name

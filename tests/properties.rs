@@ -19,7 +19,7 @@ fn table_from_rows(rows: &[(f64, f64)]) -> Table {
 }
 
 fn db_from_rows(rows: &[(f64, f64)]) -> PackageDb {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("R", table_from_rows(rows));
     db
 }
@@ -67,7 +67,7 @@ proptest! {
         prop_assume!(k <= rows.len());
         let total_b: f64 = rows.iter().map(|(_, b)| b).sum();
         let budget = (total_b * budget_scale / rows.len() as f64 * k as f64).max(1.0);
-        let mut db = db_from_rows(&rows);
+        let db = db_from_rows(&rows);
         let query = parse_paql(&format!(
             "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
              SUCH THAT COUNT(P.*) = {k} AND SUM(P.b) <= {budget:.9} \
@@ -78,10 +78,10 @@ proptest! {
             (None, Err(e)) => prop_assert!(e.is_infeasible()),
             (Some(opt), Ok(exec)) => {
                 let table = db.table("R").unwrap();
-                let obj = exec.package.objective_value(&query, table).unwrap();
+                let obj = exec.package.objective_value(&query, &table).unwrap();
                 prop_assert!((obj - opt).abs() < 1e-6,
                     "solver {obj} vs brute force {opt}");
-                prop_assert!(exec.package.satisfies(&query, table, 1e-7).unwrap());
+                prop_assert!(exec.package.satisfies(&query, &table, 1e-7).unwrap());
             }
             (r, o) => prop_assert!(false, "mismatch: brute force {r:?} vs {o:?}"),
         }
@@ -138,7 +138,7 @@ proptest! {
         tau in 3usize..12,
         k in 2usize..5,
     ) {
-        let mut db = db_from_rows(&rows);
+        let db = db_from_rows(&rows);
         let budget: f64 = rows.iter().map(|(_, b)| b).sum::<f64>() * 0.4;
         let query = parse_paql(&format!(
             "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
@@ -147,7 +147,7 @@ proptest! {
         )).unwrap();
         let partitioning = Partitioner::new(PartitionConfig::by_size(
             vec!["a".into(), "b".into()], tau,
-        )).partition(db.table("R").unwrap()).unwrap();
+        )).partition(&db.table("R").unwrap()).unwrap();
         db.install_partitioning("R", partitioning).unwrap();
 
         let direct = db.execute_with(&query, Route::ForceDirect);
@@ -155,10 +155,10 @@ proptest! {
         let table = db.table("R").unwrap();
         match (direct, sr) {
             (Ok(d), Ok(s)) => {
-                prop_assert!(s.package.satisfies(&query, table, 1e-6).unwrap());
+                prop_assert!(s.package.satisfies(&query, &table, 1e-6).unwrap());
                 prop_assert!(s.package.max_multiplicity() <= 1);
-                let od = d.package.objective_value(&query, table).unwrap();
-                let os = s.package.objective_value(&query, table).unwrap();
+                let od = d.package.objective_value(&query, &table).unwrap();
+                let os = s.package.objective_value(&query, &table).unwrap();
                 prop_assert!(os <= od + 1e-6, "sketchrefine {os} beat optimum {od}");
             }
             (Err(ed), Err(es)) => {

@@ -33,7 +33,7 @@ fn uniform_table(n: usize, seed: u64) -> Table {
 }
 
 fn db_with(table: Table, options: SketchRefineOptions) -> PackageDb {
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         sketchrefine: options,
         fallback_to_direct: false, // raw SKETCHREFINE verdicts under test
         ..DbConfig::default()
@@ -42,12 +42,12 @@ fn db_with(table: Table, options: SketchRefineOptions) -> PackageDb {
     db
 }
 
-fn install(db: &mut PackageDb, attrs: &[&str], tau: usize) {
+fn install(db: &PackageDb, attrs: &[&str], tau: usize) {
     let p = Partitioner::new(PartitionConfig::by_size(
         attrs.iter().map(|s| s.to_string()).collect(),
         tau,
     ))
-    .partition(db.table("Points").unwrap())
+    .partition(&db.table("Points").unwrap())
     .unwrap();
     db.install_partitioning("Points", p).unwrap();
 }
@@ -65,14 +65,14 @@ fn low_selectivity_queries_never_go_falsely_infeasible() {
     )
     .unwrap();
     for tau in [400, 100, 40, 10, 3] {
-        let mut db = db_with(uniform_table(400, 21), SketchRefineOptions::default());
-        install(&mut db, &["x", "y"], tau);
+        let db = db_with(uniform_table(400, 21), SketchRefineOptions::default());
+        install(&db, &["x", "y"], tau);
         let exec = db
             .execute_with(&query, Route::ForceSketchRefine)
             .unwrap_or_else(|e| panic!("τ={tau}: {e}"));
         assert!(
             exec.package
-                .satisfies(&query, db.table("Points").unwrap(), 1e-6)
+                .satisfies(&query, &db.table("Points").unwrap(), 1e-6)
                 .unwrap(),
             "τ={tau}"
         );
@@ -91,7 +91,7 @@ fn fallback_ladder_matches_direct_verdicts() {
          MINIMIZE SUM(P.y)",
     )
     .unwrap();
-    let mut db = db_with(
+    let db = db_with(
         uniform_table(120, 33),
         SketchRefineOptions {
             repartition_rounds: 3,
@@ -99,7 +99,7 @@ fn fallback_ladder_matches_direct_verdicts() {
             ..SketchRefineOptions::default()
         },
     );
-    install(&mut db, &["x", "y"], 30);
+    install(&db, &["x", "y"], 30);
     let direct = db.execute_with(&query, Route::ForceDirect);
     let sr = db.execute_with(&query, Route::ForceSketchRefine);
     match (direct, sr) {
@@ -107,7 +107,7 @@ fn fallback_ladder_matches_direct_verdicts() {
             let _ = d;
             assert!(s
                 .package
-                .satisfies(&query, db.table("Points").unwrap(), 1e-6)
+                .satisfies(&query, &db.table("Points").unwrap(), 1e-6)
                 .unwrap());
         }
         (Err(d), Err(s)) => {
@@ -128,7 +128,7 @@ fn planner_fallback_settles_possibly_false_verdicts() {
          MINIMIZE SUM(P.y)",
     )
     .unwrap();
-    let mut db = PackageDb::with_config(DbConfig {
+    let db = PackageDb::with_config(DbConfig {
         direct_threshold: 50, // 120 rows ⇒ SKETCHREFINE route
         sketchrefine: SketchRefineOptions {
             use_hybrid_sketch: false, // make false infeasibility likely
@@ -144,7 +144,7 @@ fn planner_fallback_settles_possibly_false_verdicts() {
             // both ways the package is genuine.
             assert!(exec
                 .package
-                .satisfies(&query, db.table("Points").unwrap(), 1e-6)
+                .satisfies(&query, &db.table("Points").unwrap(), 1e-6)
                 .unwrap());
         }
         // With the fallback, an infeasibility verdict is DIRECT-proved.
@@ -181,7 +181,7 @@ fn coarsened_sketch_still_consistent_with_direct() {
          MAXIMIZE SUM(P.y)",
     )
     .unwrap();
-    let mut db = db_with(
+    let db = db_with(
         uniform_table(200, 77),
         SketchRefineOptions {
             sketch_group_limit: Some(10),
@@ -189,13 +189,13 @@ fn coarsened_sketch_still_consistent_with_direct() {
             ..SketchRefineOptions::default()
         },
     );
-    install(&mut db, &["x", "y"], 4); // many groups
+    install(&db, &["x", "y"], 4); // many groups
     let sr = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
     let direct = db.execute_with(&query, Route::ForceDirect).unwrap();
     let table = db.table("Points").unwrap();
-    assert!(sr.package.satisfies(&query, table, 1e-6).unwrap());
-    let d = direct.package.objective_value(&query, table).unwrap();
-    let s = sr.package.objective_value(&query, table).unwrap();
+    assert!(sr.package.satisfies(&query, &table, 1e-6).unwrap());
+    let d = direct.package.objective_value(&query, &table).unwrap();
+    let s = sr.package.objective_value(&query, &table).unwrap();
     assert!(s <= d + 1e-6);
 }
 
@@ -205,7 +205,7 @@ fn truly_infeasible_stays_infeasible_through_ladder() {
     let query =
         parse_paql("SELECT PACKAGE(R) AS P FROM Points R REPEAT 0 SUCH THAT COUNT(P.*) = 1000")
             .unwrap();
-    let mut db = db_with(
+    let db = db_with(
         uniform_table(30, 88),
         SketchRefineOptions {
             repartition_rounds: 2,
@@ -213,7 +213,7 @@ fn truly_infeasible_stays_infeasible_through_ladder() {
             ..SketchRefineOptions::default()
         },
     );
-    install(&mut db, &["x"], 8);
+    install(&db, &["x"], 8);
     match db.execute_with(&query, Route::ForceSketchRefine) {
         Err(e) => assert!(e.is_infeasible(), "{e}"),
         other => panic!("unexpected {other:?}"),

@@ -12,13 +12,13 @@ use package_queries::prelude::*;
 use package_queries::solver::Telemetry;
 
 fn setup() -> (PackageDb, package_queries::paql::PackageQuery, usize) {
-    let mut db = PackageDb::new();
+    let db = PackageDb::new();
     db.register_table("Galaxy", package_queries::datagen::galaxy_table(1500, 13));
     let partitioning = Partitioner::new(PartitionConfig::by_size(
         vec!["r".into(), "extinction_r".into()],
         150,
     ))
-    .partition(db.table("Galaxy").unwrap())
+    .partition(&db.table("Galaxy").unwrap())
     .unwrap();
     let groups = partitioning.num_groups();
     db.install_partitioning("Galaxy", partitioning).unwrap();
@@ -33,7 +33,7 @@ fn setup() -> (PackageDb, package_queries::paql::PackageQuery, usize) {
 
 #[test]
 fn direct_makes_exactly_one_solver_call() {
-    let (mut db, query, _) = setup();
+    let (db, query, _) = setup();
     let telemetry = Arc::new(Telemetry::new());
     db.set_telemetry(Arc::clone(&telemetry));
     db.execute_with(&query, Route::ForceDirect).unwrap();
@@ -44,13 +44,13 @@ fn direct_makes_exactly_one_solver_call() {
 
 #[test]
 fn sketchrefine_best_case_is_m_plus_one_calls() {
-    let (mut db, query, groups) = setup();
+    let (db, query, groups) = setup();
     let telemetry = Arc::new(Telemetry::new());
     db.set_telemetry(Arc::clone(&telemetry));
     let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
     assert!(exec
         .package
-        .satisfies(&query, db.table("Galaxy").unwrap(), 1e-6)
+        .satisfies(&query, &db.table("Galaxy").unwrap(), 1e-6)
         .unwrap());
     let report = exec
         .report
@@ -80,7 +80,7 @@ fn sketchrefine_calls_are_small_where_direct_is_large() {
     // call touches at most max(m, τ) variables. We verify via the
     // telemetry history that no single call did more simplex work than
     // the one big DIRECT call.
-    let (mut db, query, _) = setup();
+    let (db, query, _) = setup();
 
     let direct_tel = Arc::new(Telemetry::new());
     db.set_telemetry(Arc::clone(&direct_tel));
@@ -105,7 +105,7 @@ fn sketchrefine_calls_are_small_where_direct_is_large() {
 
 #[test]
 fn telemetry_resets_between_experiments() {
-    let (mut db, query, _) = setup();
+    let (db, query, _) = setup();
     let telemetry = Arc::new(Telemetry::new());
     db.set_telemetry(Arc::clone(&telemetry));
     db.execute_with(&query, Route::ForceSketchRefine).unwrap();
@@ -119,7 +119,7 @@ fn telemetry_resets_between_experiments() {
 
 #[test]
 fn execution_timings_cover_the_work() {
-    let (mut db, query, _) = setup();
+    let (db, query, _) = setup();
     let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
     let t = exec.timings;
     let parts = t.plan + t.partitioning + t.evaluate;
