@@ -9,9 +9,20 @@
 //! CI uploads the JSON so speedups (and regressions) are visible over
 //! time.
 //!
+//! Two more datapoint families ride along for the perf trajectory:
+//!
+//! * **DIRECT**: the same query shapes evaluated as one monolithic ILP
+//!   on a `PAQ_DIRECT_SCALE`-row prefix of the table (default 1600 —
+//!   DIRECT's curves are the paper's motivation for SKETCHREFINE, so
+//!   the prefix keeps per-commit CI time bounded);
+//! * **server round-trip**: a `paq-server` on loopback TCP over the
+//!   same database, measuring cold (partitioning build) and warm
+//!   end-to-end latency of a small query through the full wire stack.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
+//! `PAQ_DIRECT_SCALE` (DIRECT prefix rows, default 1600),
 //! `PAQ_SEED`, and `PAQ_REFINE_OUT` (output path).
 
 use std::fmt::Write as _;
@@ -125,6 +136,123 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One DIRECT measurement on the `direct_rows`-row table prefix.
+struct DirectResult {
+    name: &'static str,
+    rows: usize,
+    time: Duration,
+    cardinality: u64,
+}
+
+/// DIRECT datapoints: the same query *shapes* as the REFINE workload,
+/// scaled to the prefix size, each solved as one monolithic ILP.
+fn measure_direct(db: &PackageDb, relation: &str, rows: usize, reps: u64) -> Vec<DirectResult> {
+    use paq_db::Route;
+    let shapes: [(&'static str, String); 3] = [
+        (
+            "D1-bulk-max",
+            format!(
+                "SELECT PACKAGE(G) AS P FROM {relation} G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MAXIMIZE SUM(P.r)",
+                rows / 2
+            ),
+        ),
+        (
+            "D2-bulk-min",
+            format!(
+                "SELECT PACKAGE(G) AS P FROM {relation} G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MINIMIZE SUM(P.extinction_r)",
+                rows / 3
+            ),
+        ),
+        (
+            "D3-pick-10",
+            format!(
+                "SELECT PACKAGE(G) AS P FROM {relation} G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 10 MINIMIZE SUM(P.extinction_r)"
+            ),
+        ),
+    ];
+    shapes
+        .into_iter()
+        .map(|(name, text)| {
+            let query = parse_paql(&text).expect("direct bench query parses");
+            let mut best = Duration::MAX;
+            let mut cardinality = 0;
+            for _ in 0..reps.max(1) {
+                let exec = db
+                    .execute_with(&query, Route::ForceDirect)
+                    .expect("direct bench query must solve");
+                best = best.min(exec.timings.evaluate);
+                cardinality = exec.package.cardinality();
+            }
+            DirectResult {
+                name,
+                rows,
+                time: best,
+                cardinality,
+            }
+        })
+        .collect()
+}
+
+/// End-to-end server latency over loopback TCP: one cold request
+/// (includes the lazy partitioning build) and the best warm round trip.
+struct ServerLatency {
+    cold: Duration,
+    warm_min: Duration,
+    warm_mean: Duration,
+    server_evaluate_min: Duration,
+    requests: u64,
+}
+
+fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
+    use paq_server::{spawn_tcp, Client, Server, ServerConfig};
+    use std::time::Instant;
+
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let handle = spawn_tcp(server, "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(handle.addr()).expect("loopback connect");
+
+    let start = Instant::now();
+    let first = client.execute(paql).expect("server bench query must solve");
+    let cold = start.elapsed();
+    let expected = first.package();
+
+    let mut warm_min = Duration::MAX;
+    let mut warm_total = Duration::ZERO;
+    let mut server_evaluate_min = Duration::MAX;
+    let reps = warm_reps.max(1);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let answer = client.execute(paql).expect("warm request");
+        let elapsed = start.elapsed();
+        assert_eq!(
+            answer.package().members(),
+            expected.members(),
+            "warm answers must be identical"
+        );
+        warm_min = warm_min.min(elapsed);
+        warm_total += elapsed;
+        server_evaluate_min = server_evaluate_min.min(answer.timings.evaluate);
+    }
+    client.shutdown().expect("graceful shutdown");
+    handle.shutdown();
+    ServerLatency {
+        cold,
+        warm_min,
+        warm_mean: warm_total / reps as u32,
+        server_evaluate_min,
+        requests: 1 + reps,
+    }
+}
+
 fn main() {
     let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
     let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
@@ -155,12 +283,17 @@ fn main() {
     let groups = partitioning.num_groups();
     assert!(groups >= 64, "need a ≥ 64-group partitioning, got {groups}");
 
+    let direct_n = (env_u64("PAQ_DIRECT_SCALE", 1_600) as usize).min(n);
+    let direct_prefix: Vec<usize> = (0..direct_n).collect();
+    let direct_table = table.take(&direct_prefix);
+
     let mut db = PackageDb::with_config(DbConfig {
         fallback_to_direct: false,
         solver: SolverConfig::default(),
         ..DbConfig::default()
     });
     db.register_table("Galaxy", table);
+    db.register_table("GalaxyDirect", direct_table);
 
     println!(
         "REFINE perf smoke: n = {n}, {groups} groups (τ = {tau}), \
@@ -207,6 +340,34 @@ fn main() {
         total_par * 1e3
     );
 
+    // --- DIRECT datapoints (perf trajectory) --------------------------
+    db.config_mut().sketchrefine.threads = 1;
+    println!("DIRECT datapoints on a {direct_n}-row prefix:");
+    let direct_results = measure_direct(&db, "GalaxyDirect", direct_n, reps);
+    for d in &direct_results {
+        println!(
+            "  {:<18} rows {:>6}  evaluate {:>9.3}ms  cardinality {}",
+            d.name,
+            d.rows,
+            d.time.as_secs_f64() * 1e3,
+            d.cardinality
+        );
+    }
+
+    // --- server round-trip latency (end to end over loopback TCP) -----
+    let server_query = "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                        SUCH THAT COUNT(P.*) = 10 MINIMIZE SUM(P.extinction_r)";
+    let latency = measure_server(&db, server_query, 20);
+    println!(
+        "server round-trip (loopback TCP, {} requests): cold {:.3}ms (lazy partitioning build), \
+         warm min {:.3}ms / mean {:.3}ms, server evaluate min {:.3}ms",
+        latency.requests,
+        latency.cold.as_secs_f64() * 1e3,
+        latency.warm_min.as_secs_f64() * 1e3,
+        latency.warm_mean.as_secs_f64() * 1e3,
+        latency.server_evaluate_min.as_secs_f64() * 1e3,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -248,6 +409,37 @@ fn main() {
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"direct\": [\n");
+    for (i, d) in direct_results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"rows\": {}, \"evaluate_ms\": {:.3}, \"cardinality\": {}}}",
+            d.name,
+            d.rows,
+            d.time.as_secs_f64() * 1e3,
+            d.cardinality,
+        );
+        json.push_str(if i + 1 < direct_results.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"server\": {");
+    let _ = write!(
+        json,
+        "\"transport\": \"loopback-tcp\", \"query\": \"{}\", \"requests\": {}, \
+         \"cold_roundtrip_ms\": {:.3}, \"warm_min_roundtrip_ms\": {:.3}, \
+         \"warm_mean_roundtrip_ms\": {:.3}, \"server_evaluate_min_ms\": {:.3}",
+        json_escape(server_query),
+        latency.requests,
+        latency.cold.as_secs_f64() * 1e3,
+        latency.warm_min.as_secs_f64() * 1e3,
+        latency.warm_mean.as_secs_f64() * 1e3,
+        latency.server_evaluate_min.as_secs_f64() * 1e3,
+    );
+    json.push_str("},\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");

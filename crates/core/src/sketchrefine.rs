@@ -73,13 +73,24 @@ pub struct SketchRefineOptions {
     /// more groups than this, spatially-adjacent groups are merged
     /// pairwise until the sketch ILP fits the cap.
     pub sketch_group_limit: Option<usize>,
-    /// Overall wall-clock deadline for one evaluation, covering the
-    /// sketch, refine, and backtracking phases. `None` derives a
-    /// default from the per-solve time limit: `(2·m + 4)×` for the
-    /// sketch phase, then — once the sketch has revealed how many
-    /// groups actually hold representatives — re-derived as
-    /// `(2·pending + 4)×` for refine and backtracking, so sparse
-    /// sketches don't inherit an inflated deadline.
+    /// Overall time budget for one evaluation, covering the sketch,
+    /// refine, and backtracking phases. `None` derives a default from
+    /// the per-solve time limit: `(2·m + 4)×` for the sketch phase,
+    /// then — once the sketch has revealed how many groups actually
+    /// hold representatives — re-derived as `(2·pending + 4)×` for
+    /// refine and backtracking, so sparse sketches don't inherit an
+    /// inflated deadline.
+    ///
+    /// The budget is charged by **consumed** solves only (each capped
+    /// at the per-solve time limit), mirroring the solver-call budget:
+    /// speculative wave solves that are discarded are never charged,
+    /// and a charge that would *expire* the budget is always
+    /// re-measured by an uncontended inline re-solve first — so on an
+    /// oversubscribed host, `threads > 1` cannot have contention-
+    /// inflated wave measurements tip the verdict into possibly-false
+    /// infeasibility on a budget the sequential schedule meets.
+    /// (Consumed in-budget wave charges may still include bounded
+    /// contention slack; only expiry decisions are contention-free.)
     /// On expiry the evaluation reports (possibly false) infeasibility,
     /// matching Algorithm 1's failure semantics.
     pub total_time_limit: Option<Duration>,
@@ -405,8 +416,14 @@ struct Session<'a> {
     totals: Vec<f64>,
     report: SketchRefineReport,
     solver: MilpSolver,
-    /// Overall wall-clock deadline for this evaluation.
-    deadline: Instant,
+    /// Time budget for this evaluation, charged by *consumed* solves
+    /// only (see [`SketchRefineOptions::total_time_limit`]).
+    time_budget: Duration,
+    /// Solve time charged against [`Session::time_budget`] so far.
+    /// Discarded speculative wave solves are never charged, so the
+    /// budget expires on the same consumed-solve sequence at any
+    /// thread count.
+    consumed: Duration,
     /// Constraint rows the plain sketch could not satisfy (the solver's
     /// IIS-style diagnostic), captured for §4.4 strategy 3.
     sketch_violated_rows: Vec<u32>,
@@ -427,10 +444,13 @@ struct Session<'a> {
     last_wave_conflicts: u64,
 }
 
-/// A wave-solved refinement with the constraint offsets it assumed.
+/// A wave-solved refinement with the constraint offsets it assumed and
+/// the wall-clock its solve took (charged to the time budget only if
+/// the result is consumed).
 struct Speculative {
     offsets: Vec<f64>,
     result: EngineResult<GroupSolve>,
+    elapsed: Duration,
 }
 
 /// Result of one refine-subproblem solve.
@@ -502,16 +522,15 @@ impl<'a> Session<'a> {
         let rep_system = linear_system(&stripped, &rep_table, &rep_rows)?;
 
         let num_rows = rep_system.rows.len();
-        // Provisional deadline covering the sketch phase; `run`
+        // Provisional budget covering the sketch phase; `run`
         // re-derives the default from the *pending* group count once
         // the sketch shows which groups actually need refinement.
-        let deadline = Instant::now()
-            + engine.options.total_time_limit.unwrap_or_else(|| {
-                engine
-                    .config
-                    .time_limit
-                    .saturating_mul(2 * groups.len() as u32 + 4)
-            });
+        let time_budget = engine.options.total_time_limit.unwrap_or_else(|| {
+            engine
+                .config
+                .time_limit
+                .saturating_mul(2 * groups.len() as u32 + 4)
+        });
         Ok(Session {
             engine,
             query,
@@ -524,7 +543,8 @@ impl<'a> Session<'a> {
             totals: vec![0.0; num_rows],
             report: SketchRefineReport::default(),
             solver: engine.solver(),
-            deadline,
+            time_budget,
+            consumed: Duration::ZERO,
             sketch_violated_rows: Vec::new(),
             wave_width: pool.as_ref().map_or(1, |p| 2 * p.threads()),
             pool,
@@ -543,18 +563,21 @@ impl<'a> Session<'a> {
             .filter(|&j| self.rep_mult[j] > 0 && self.refined[j].is_none())
             .collect();
         self.report.groups_refined = remaining.len();
-        // Re-derive the default deadline from the work that is actually
+        // Re-derive the default budget from the work that is actually
         // left: one budgeted solve per *pending* group plus backtracking
         // slack, so a sparse sketch (few groups holding representatives)
         // doesn't keep the inflated `2·m + 4` budget of the full
-        // partitioning.
+        // partitioning. The sketch phase's charge is dropped with it
+        // (a fresh budget, like the fresh deadline it replaces); an
+        // explicit `total_time_limit` instead keeps accumulating across
+        // phases.
         if self.engine.options.total_time_limit.is_none() {
-            self.deadline = Instant::now()
-                + self
-                    .engine
-                    .config
-                    .time_limit
-                    .saturating_mul(2 * remaining.len() as u32 + 4);
+            self.time_budget = self
+                .engine
+                .config
+                .time_limit
+                .saturating_mul(2 * remaining.len() as u32 + 4);
+            self.consumed = Duration::ZERO;
         }
         let order: Vec<usize> = remaining.iter().copied().collect();
         let outcome = self.refine_rec(&remaining, &order, 0);
@@ -571,6 +594,19 @@ impl<'a> Session<'a> {
             Err(RefineFail::Failed(_)) => Err(EngineError::maybe_false_infeasible()),
             Err(RefineFail::Fatal(e)) => Err(e),
         }
+    }
+
+    /// Charge one consumed solve's wall-clock against the time budget.
+    /// The charge is capped at the per-solve time limit: a contended
+    /// wave solve that still finished under the solver's own limit must
+    /// not be charged more than the sequential schedule could ever be.
+    fn charge(&mut self, elapsed: Duration) {
+        self.consumed += elapsed.min(self.engine.config.time_limit);
+    }
+
+    /// `true` once consumed solves have exhausted the time budget.
+    fn out_of_time(&self) -> bool {
+        self.consumed > self.time_budget
     }
 
     // ------------------------------------------------------------------
@@ -605,7 +641,9 @@ impl<'a> Session<'a> {
         model.set_sense(self.rep_system.sense);
 
         self.report.solver_calls += 1;
+        let solve_start = Instant::now();
         let result = self.solver.solve(&model);
+        self.charge(solve_start.elapsed());
         self.sketch_violated_rows = result.stats.root_infeasible_rows.clone();
         match result.outcome {
             SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
@@ -636,7 +674,7 @@ impl<'a> Session<'a> {
         self.report.used_hybrid = true;
         for inlined in 0..self.groups.len() {
             if self.report.solver_calls >= self.engine.options.max_solver_calls
-                || Instant::now() > self.deadline
+                || self.out_of_time()
             {
                 return Err(EngineError::maybe_false_infeasible());
             }
@@ -673,7 +711,10 @@ impl<'a> Session<'a> {
             model.set_sense(self.rep_system.sense);
 
             self.report.solver_calls += 1;
-            match self.solver.solve(&model).outcome {
+            let solve_start = Instant::now();
+            let outcome = self.solver.solve(&model).outcome;
+            self.charge(solve_start.elapsed());
+            match outcome {
                 SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {
                     // The inlined group is immediately refined.
                     let pairs: Vec<(usize, u64)> = self.groups[inlined]
@@ -746,7 +787,7 @@ impl<'a> Session<'a> {
         while let Some(j) = pending.first().copied() {
             pending.remove(0);
             if self.report.solver_calls >= self.engine.options.max_solver_calls
-                || Instant::now() > self.deadline
+                || self.out_of_time()
             {
                 return Err(RefineFail::Budget);
             }
@@ -844,7 +885,7 @@ impl<'a> Session<'a> {
         let offsets = self.group_offsets(j);
         if let Some(spec) = self.speculative.remove(&j) {
             if spec.offsets == offsets {
-                return self.consume(j, &offsets, spec.result);
+                return self.consume(j, &offsets, spec.result, spec.elapsed);
             }
             // A committed predecessor shifted this group's bounds since
             // the wave that solved it: the speculation is void.
@@ -880,7 +921,8 @@ impl<'a> Session<'a> {
         self.report.waves += 1;
         self.report.parallel_solves += targets.len() as u64;
 
-        let mut slots: Vec<Option<EngineResult<GroupSolve>>> = Vec::with_capacity(targets.len());
+        let mut slots: Vec<Option<(EngineResult<GroupSolve>, Duration)>> =
+            Vec::with_capacity(targets.len());
         slots.resize_with(targets.len(), || None);
         {
             let solver = &self.solver;
@@ -890,18 +932,21 @@ impl<'a> Session<'a> {
             pool.scope(|scope| {
                 for ((g, off), slot) in targets.iter().zip(slots.iter_mut()) {
                     scope.spawn(move || {
-                        *slot = Some(solve_group(solver, stripped, table, &groups[*g].rows, off));
+                        let solve_start = Instant::now();
+                        let result = solve_group(solver, stripped, table, &groups[*g].rows, off);
+                        *slot = Some((result, solve_start.elapsed()));
                     });
                 }
             });
         }
         for ((g, off), slot) in targets.into_iter().zip(slots) {
-            let result = slot.expect("wave completed every solve");
+            let (result, elapsed) = slot.expect("wave completed every solve");
             let stale = self.speculative.insert(
                 g,
                 Speculative {
                     offsets: off,
                     result,
+                    elapsed,
                 },
             );
             if stale.is_some() {
@@ -916,27 +961,44 @@ impl<'a> Session<'a> {
             .speculative
             .remove(&j)
             .expect("wave solved the requested group");
-        self.consume(j, &offsets, spec.result)
+        self.consume(j, &offsets, spec.result, spec.elapsed)
     }
 
     /// Consume a wave result for group `j` whose offsets matched:
     /// model-determined outcomes are used as-is; time-limited outcomes
     /// are redone inline and uncontended (workers are idle between
     /// waves), the same conditions the sequential schedule solves under.
+    /// Only the consumed solve is charged to the time budget.
     fn consume(
         &mut self,
         j: usize,
         offsets: &[f64],
         result: EngineResult<GroupSolve>,
+        elapsed: Duration,
     ) -> Result<Option<Refined>, RefineFail> {
         match result {
             Ok(GroupSolve::Done(r)) => {
+                // A wave measurement on an oversubscribed host includes
+                // preemption time, so it can be inflated well past the
+                // uncontended cost. Accumulating inflated-but-in-budget
+                // charges is harmless slack, but budget *expiry* must
+                // never be decided on one: if this charge would cross
+                // the budget, redo the solve inline — uncontended,
+                // workers idle between waves — and charge that instead
+                // (the deterministic solver reproduces the result, as
+                // on the `TimeLimited` path).
+                let charge = elapsed.min(self.engine.config.time_limit);
+                if self.consumed + charge > self.time_budget {
+                    return self.solve_inline(j, offsets);
+                }
                 self.report.solver_calls += 1;
+                self.consumed += charge;
                 Ok(r)
             }
             Ok(GroupSolve::TimeLimited(_)) => self.solve_inline(j, offsets),
             Err(e) => {
                 self.report.solver_calls += 1;
+                self.charge(elapsed);
                 Err(e.into())
             }
         }
@@ -946,15 +1008,16 @@ impl<'a> Session<'a> {
     /// call the sequential Algorithm 2 path makes.
     fn solve_inline(&mut self, j: usize, offsets: &[f64]) -> Result<Option<Refined>, RefineFail> {
         self.report.solver_calls += 1;
-        solve_group(
+        let solve_start = Instant::now();
+        let result = solve_group(
             &self.solver,
             &self.stripped,
             self.table,
             &self.groups[j].rows,
             offsets,
-        )
-        .map(GroupSolve::into_inner)
-        .map_err(RefineFail::from)
+        );
+        self.charge(solve_start.elapsed());
+        result.map(GroupSolve::into_inner).map_err(RefineFail::from)
     }
 
     /// Install a refinement, returning the undo record.
@@ -1152,13 +1215,25 @@ fn solve_group(
 /// Contribution of chosen `(row, mult)` pairs to each constraint row of
 /// `system` (whose coefficients are indexed by position within `rows`).
 fn contribution(system: &LinearSystem, rows: &[usize], pairs: &[(usize, u64)]) -> Vec<f64> {
+    // Resolve each pair's coefficient slot once, not per constraint
+    // row: a linear scan per (row × pair) made this quadratic-ish in
+    // the group size τ.
+    let slot_of: HashMap<usize, usize> = rows
+        .iter()
+        .enumerate()
+        .map(|(slot, &row)| (row, slot))
+        .collect();
+    let slots: Vec<usize> = pairs
+        .iter()
+        .map(|&(tuple, _)| {
+            *slot_of
+                .get(&tuple)
+                .expect("pair row must come from the group")
+        })
+        .collect();
     let mut out = vec![0.0; system.rows.len()];
     for (r, row) in system.rows.iter().enumerate() {
-        for &(tuple, mult) in pairs {
-            let slot = rows
-                .iter()
-                .position(|&x| x == tuple)
-                .expect("pair row must come from the group");
+        for (&(_, mult), &slot) in pairs.iter().zip(&slots) {
             out[r] += row.coefs[slot] * mult as f64;
         }
     }

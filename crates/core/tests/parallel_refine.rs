@@ -127,6 +127,65 @@ fn sum_window_requeues_but_still_matches_sequential() {
 }
 
 #[test]
+fn deadline_charges_consumed_solves_not_discarded_speculation() {
+    // Regression test for the PR-3 review finding: the evaluation
+    // deadline used to be a wall-clock `Instant`, so on an
+    // oversubscribed host the speculative wave solves that conflicts
+    // later discard — plus plain thread contention — consumed the
+    // budget, and `threads > 1` could report possibly-false
+    // infeasibility on a budget the sequential schedule met. The budget
+    // is now charged by *consumed* solves only (mirroring the
+    // solver-call counter), so a limit the sequential run fits must
+    // also admit the parallel run — even with 8 workers time-slicing
+    // few cores and a conflict-heavy workload discarding speculation.
+    let t = table(300);
+    let p = partition(&t, 30);
+    let query = "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 12 AND SUM(P.weight) <= 150 \
+                 MAXIMIZE SUM(P.value)";
+    let q = parse_paql(query).unwrap();
+
+    // Sequential run under no limit: measure what it actually consumed.
+    let seq = SketchRefine::default();
+    let (seq_pkg, seq_report) = seq.evaluate_with_report(&q, &t, &p).unwrap();
+    let consumed = seq_report.sketch_time + seq_report.refine_time;
+
+    // A budget the sequential schedule comfortably fits. The parallel
+    // run consumes the *same* solve sequence (determinism), so with
+    // consumed-solve accounting it must fit too; under the old
+    // wall-clock deadline, discarded wave solves and oversubscription
+    // (8 threads on this host) could spuriously expire it.
+    let budget = consumed * 10 + std::time::Duration::from_millis(100);
+    let par = SketchRefine::default().with_options(SketchRefineOptions {
+        threads: 8,
+        total_time_limit: Some(budget),
+        ..SketchRefineOptions::default()
+    });
+    let (par_pkg, par_report) = par
+        .evaluate_with_report(&q, &t, &p)
+        .expect("a budget sequential fits must not expire under parallel REFINE");
+    assert_eq!(seq_pkg.members(), par_pkg.members());
+    assert!(
+        par_report.waves > 0,
+        "workload too narrow to exercise the wave path"
+    );
+
+    // And the check still exists at all: an empty budget expires
+    // immediately, at any thread count.
+    for threads in [1, 8] {
+        let broke = SketchRefine::default().with_options(SketchRefineOptions {
+            threads,
+            total_time_limit: Some(std::time::Duration::ZERO),
+            ..SketchRefineOptions::default()
+        });
+        match broke.evaluate_with(&q, &t, &p) {
+            Err(e) if e.is_infeasible() => {}
+            other => panic!("zero budget must report infeasibility, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn thread_counts_agree_pairwise() {
     let t = table(400);
     let p = partition(&t, 25);

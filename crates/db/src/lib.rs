@@ -49,4 +49,4 @@ pub use cache::{CacheStats, PartitionSpec};
 pub use catalog::{Catalog, TableEntry};
 pub use error::{DbError, DbResult};
 pub use execution::{CacheOutcome, Execution, RouteReason, Strategy, Timings};
-pub use session::{DbConfig, PackageDb, Route};
+pub use session::{DbConfig, DbStats, PackageDb, Route, TableStats};

@@ -105,6 +105,28 @@ impl Default for DbConfig {
     }
 }
 
+/// One registered table's row in a [`DbStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Registered name (original casing).
+    pub name: String,
+    /// Row count at snapshot time.
+    pub rows: usize,
+    /// Catalog version at snapshot time.
+    pub version: u64,
+}
+
+/// Point-in-time snapshot of a database's observable state, returned by
+/// [`PackageDb::stats`] — the self-describing summary a serving layer
+/// reports to remote clients.
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Every registered table, sorted by name.
+    pub tables: Vec<TableStats>,
+    /// Shared partition-cache counters.
+    pub cache: CacheStats,
+}
+
 /// Key of one in-flight partitioning build: (table key, version,
 /// partitioning attributes).
 type BuildKey = (String, u64, Vec<String>);
@@ -438,6 +460,34 @@ impl PackageDb {
     /// invalidations, live entries), shared across all sessions.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// Point-in-time snapshot of the database's observable state: every
+    /// registered table (name, row count, version) plus the shared
+    /// partition-cache counters. One brief catalog read lock covers the
+    /// table listing, so the rows/version pairs are mutually consistent;
+    /// this is what a serving layer reports to remote clients without
+    /// shipping table contents.
+    pub fn stats(&self) -> DbStats {
+        let tables = {
+            let catalog = self.shared.catalog.read();
+            let mut tables: Vec<TableStats> = catalog
+                .names()
+                .iter()
+                .filter_map(|name| catalog.resolve(name).ok())
+                .map(|entry| TableStats {
+                    name: entry.name().to_owned(),
+                    rows: entry.table().num_rows(),
+                    version: entry.version(),
+                })
+                .collect();
+            tables.sort_by(|a, b| a.name.cmp(&b.name));
+            tables
+        };
+        DbStats {
+            tables,
+            cache: self.shared.cache.stats(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -840,5 +890,28 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PackageDb>();
         assert_send_sync::<SharedState>();
+    }
+
+    #[test]
+    fn stats_snapshot_lists_tables_sorted_with_versions() {
+        use paq_relational::{DataType, Schema, Table, Value};
+        let db = PackageDb::new();
+        assert!(db.stats().tables.is_empty());
+        let mut t = Table::new(Schema::from_pairs(&[("x", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        let vb = db.register_table("Beta", t.clone());
+        let va = db.register_table("alpha", t);
+        let v2 = db.append_row("Beta", vec![Value::Float(2.0)]).unwrap();
+        let stats = db.stats();
+        assert_eq!(
+            stats
+                .tables
+                .iter()
+                .map(|t| (t.name.as_str(), t.rows, t.version))
+                .collect::<Vec<_>>(),
+            vec![("Beta", 2, v2), ("alpha", 1, va)]
+        );
+        assert!(vb < va && va < v2, "versions are globally monotone");
+        assert_eq!(stats.cache.hits + stats.cache.misses, 0);
     }
 }

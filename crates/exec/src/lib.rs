@@ -245,6 +245,36 @@ impl ThreadPool {
         }
     }
 
+    /// Accept-loop helper: repeatedly pull items from a blocking
+    /// `accept` source and run `handler` on each, in parallel, on this
+    /// pool. Returns — with every handler finished — once `accept`
+    /// returns `None`.
+    ///
+    /// This is the serving shape: an acceptor thread owns the listener
+    /// (a socket, a channel, a queue) while handlers borrow shared
+    /// state from the caller's stack. `accept` runs on the calling
+    /// thread, so it may borrow freely; in-flight handlers never block
+    /// the next `accept`, and a handler panic is captured and re-thrown
+    /// here after the loop drains (see [`ThreadPool::scope`]).
+    ///
+    /// Note the pool is the concurrency bound: with `n` workers, at
+    /// most `n` handlers run at once and further accepted items queue.
+    /// Callers needing *rejection* instead of queueing (backpressure)
+    /// should gate `accept` itself.
+    pub fn serve<T, A, H>(&self, mut accept: A, handler: H)
+    where
+        T: Send,
+        A: FnMut() -> Option<T>,
+        H: Fn(T) + Sync,
+    {
+        self.scope(|scope| {
+            let handler = &handler;
+            while let Some(item) = accept() {
+                scope.spawn(move || handler(item));
+            }
+        });
+    }
+
     /// Apply `f` to every item, in parallel, returning results in input
     /// order. With a single worker (or at most one item) this runs
     /// inline, so outputs are identical — bit for bit — regardless of
@@ -405,6 +435,31 @@ mod tests {
             let expected: u64 = (0..20u64).map(|x| x * (client as u64 + 1)).sum();
             assert_eq!(slot.load(Ordering::Relaxed), expected, "client {client}");
         }
+    }
+
+    #[test]
+    fn serve_drains_a_blocking_source_in_parallel() {
+        use std::sync::mpsc;
+        let pool = ThreadPool::new(3);
+        let (tx, rx) = mpsc::channel::<u64>();
+        let producer = std::thread::spawn(move || {
+            for i in 0..50 {
+                tx.send(i).unwrap();
+            }
+            // Dropping the sender ends the accept loop.
+        });
+        let total = AtomicU64::new(0);
+        let peak_pending = AtomicU64::new(0);
+        pool.serve(
+            || rx.recv().ok(),
+            |i| {
+                peak_pending.fetch_add(1, Ordering::Relaxed);
+                total.fetch_add(i, Ordering::Relaxed);
+            },
+        );
+        producer.join().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), (0..50u64).sum());
+        assert_eq!(peak_pending.load(Ordering::Relaxed), 50);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The client library: typed PaQL calls over any byte stream.
+//!
+//! [`Client`] wraps a connected stream — a [`TcpStream`] from
+//! [`Client::connect`], or either end of the in-memory
+//! [duplex pipe](crate::transport) via [`Client::over`] — and speaks
+//! one request/response round trip per call. Backpressure
+//! ([`Response::Busy`]) and server-reported faults surface as typed
+//! [`ClientError`]s; everything else returns the decoded payload.
+//!
+//! ```no_run
+//! use paq_server::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:7878")?;
+//! let answer = client.execute(
+//!     "SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0 \
+//!      SUCH THAT COUNT(P.*) = 3 MINIMIZE SUM(P.saturated_fat)",
+//! )?;
+//! println!("{}", answer.explain);
+//! println!("package: {:?}", answer.package().members());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use paq_relational::{Table, Value};
+
+use crate::error::{ClientError, ClientResult};
+use crate::wire::{ExecOptions, RemoteExecution, Request, Response, StatsReply};
+
+/// A connected PaQL client. One outstanding request at a time (the
+/// protocol is strictly request/response); not `Clone` — open one
+/// client per concurrent caller, the server hands each its own session.
+#[derive(Debug)]
+pub struct Client<C: Read + Write> {
+    conn: C,
+}
+
+impl Client<TcpStream> {
+    /// Connect over TCP. Disables Nagle's algorithm: the protocol is
+    /// strict request/response with small frames, exactly the shape
+    /// delayed-ACK coupling penalizes.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        Ok(Client { conn })
+    }
+}
+
+impl<C: Read + Write> Client<C> {
+    /// Wrap an already-connected byte stream (e.g. an in-memory pipe
+    /// end).
+    pub fn over(conn: C) -> Self {
+        Client { conn }
+    }
+
+    /// Unwrap the underlying stream.
+    pub fn into_inner(self) -> C {
+        self.conn
+    }
+
+    /// One request/response round trip. `Busy` and server faults become
+    /// typed errors here so every typed call only sees its own success
+    /// variant.
+    fn roundtrip(&mut self, request: &Request) -> ClientResult<Response> {
+        // A rejected connection (typed Busy at accept time) may already
+        // have closed under us, making the *write* fail — but the Busy
+        // frame is still buffered for reading. Hold the write error and
+        // prefer whatever the server managed to say.
+        let write_result = request.write_to(&mut self.conn);
+        match Response::read_from(&mut self.conn) {
+            Ok(Some(Response::Busy {
+                in_flight,
+                max_in_flight,
+            })) => Err(ClientError::Busy {
+                in_flight,
+                max_in_flight,
+            }),
+            Ok(Some(Response::Error(fault))) => Err(ClientError::Server(fault)),
+            Ok(Some(response)) => {
+                write_result?;
+                Ok(response)
+            }
+            Ok(None) => {
+                write_result?;
+                Err(ClientError::ConnectionClosed)
+            }
+            Err(read_error) => {
+                write_result?;
+                Err(read_error.into())
+            }
+        }
+    }
+
+    /// Execute a PaQL query with default options.
+    pub fn execute(&mut self, paql: &str) -> ClientResult<RemoteExecution> {
+        self.execute_with("", paql, ExecOptions::default())
+    }
+
+    /// Execute a PaQL query; `relation`, when non-empty, must match the
+    /// query's `FROM` relation, and `options` override the connection
+    /// session's configuration for this request only.
+    pub fn execute_with(
+        &mut self,
+        relation: &str,
+        paql: &str,
+        options: ExecOptions,
+    ) -> ClientResult<RemoteExecution> {
+        match self.roundtrip(&Request::Execute {
+            relation: relation.to_owned(),
+            paql: paql.to_owned(),
+            options,
+        })? {
+            Response::Executed(execution) => Ok(*execution),
+            other => Err(unexpected("Executed", &other)),
+        }
+    }
+
+    /// Execute a PaQL query but fetch only the server-side plan
+    /// explanation.
+    pub fn explain(&mut self, paql: &str) -> ClientResult<String> {
+        match self.roundtrip(&Request::Explain {
+            relation: String::new(),
+            paql: paql.to_owned(),
+            options: ExecOptions::default(),
+        })? {
+            Response::Explained { text } => Ok(text),
+            other => Err(unexpected("Explained", &other)),
+        }
+    }
+
+    /// Register (or replace) a table; returns the catalog version.
+    pub fn register_table(&mut self, name: &str, table: &Table) -> ClientResult<u64> {
+        match self.roundtrip(&Request::RegisterTable {
+            name: name.to_owned(),
+            table: table.clone(),
+        })? {
+            Response::Registered { version } => Ok(version),
+            other => Err(unexpected("Registered", &other)),
+        }
+    }
+
+    /// Append one row; returns the new catalog version.
+    pub fn append_row(&mut self, name: &str, row: Vec<Value>) -> ClientResult<u64> {
+        match self.roundtrip(&Request::AppendRow {
+            name: name.to_owned(),
+            row,
+        })? {
+            Response::Appended { version } => Ok(version),
+            other => Err(unexpected("Appended", &other)),
+        }
+    }
+
+    /// Fetch the server's database snapshot (tables + cache counters).
+    pub fn stats(&mut self) -> ClientResult<StatsReply> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain in-flight work,
+    /// stop accepting). The server acknowledges before closing.
+    pub fn shutdown(&mut self) -> ClientResult<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    let variant = match got {
+        Response::Executed(_) => "Executed",
+        Response::Registered { .. } => "Registered",
+        Response::Appended { .. } => "Appended",
+        Response::Explained { .. } => "Explained",
+        Response::Stats(_) => "Stats",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::Busy { .. } => "Busy",
+        Response::Error(_) => "Error",
+    };
+    ClientError::UnexpectedResponse(format!("wanted {wanted}, got {variant}"))
+}

@@ -1,0 +1,498 @@
+//! The server core: an acceptor loop feeding a fixed
+//! connection-handler pool, one `PackageDb` session per connection.
+//!
+//! # Concurrency model
+//!
+//! * The **acceptor** runs on the thread that called
+//!   [`Server::serve`]; it polls the [`Acceptor`] (loopback TCP or the
+//!   in-memory [`PipeListener`]) and hands each connection to the
+//!   worker pool via [`paq_exec::ThreadPool::serve`].
+//! * Each **connection handler** clones a [`PackageDb`] session —
+//!   PR 3 made sessions cheap `&self` handles onto the shared catalog,
+//!   so handlers never take a lock of the server's own. Per-request
+//!   [`ExecOptions`] apply to a fresh session clone, so one client's
+//!   tuning can never leak into another's.
+//! * **Backpressure** is a bound on accepted-but-unfinished
+//!   connections: at the bound, a new connection is answered with a
+//!   typed [`Response::Busy`] and closed instead of queueing without
+//!   limit ([`ServerConfig::max_in_flight`]).
+//! * **Graceful shutdown**: a [`Request::Shutdown`] (or
+//!   [`Server::trigger_shutdown`]) stops the acceptor; handlers finish
+//!   the request they are processing — a frame already started is
+//!   always read to completion (see
+//!   [`read_frame_with`](crate::wire::read_frame_with)) — then close as
+//!   soon as their connection goes idle. [`Server::serve`] returns only
+//!   after every handler drained.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use paq_db::{DbError, Execution, PackageDb};
+use paq_exec::ThreadPool;
+use paq_lang::parse_paql;
+
+use crate::transport::{PipeEnd, PipeListener};
+use crate::wire::{
+    read_frame_with, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, StatsReply,
+};
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection-handler pool size: at most this many connections are
+    /// *served* simultaneously (further accepted ones queue, up to
+    /// `max_in_flight`).
+    pub workers: usize,
+    /// Bound on accepted-but-unfinished connections (serving plus
+    /// queued). At the bound new connections receive a typed
+    /// [`Response::Busy`] and are closed — bounded backpressure instead
+    /// of unbounded buffering.
+    pub max_in_flight: usize,
+    /// How often blocked accepts and idle connection reads wake to
+    /// observe shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_in_flight: 64,
+            poll_interval: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Outcome of one [`Acceptor::poll`] round.
+pub enum Accepted<C> {
+    /// A new connection.
+    Conn(C),
+    /// Nothing arrived within the poll timeout.
+    Idle,
+    /// The listener is gone; stop serving.
+    Closed,
+}
+
+/// A connection source the server can drive: loopback TCP
+/// ([`TcpAcceptor`]) and the in-memory [`PipeListener`] both implement
+/// it, so every test and deployment runs the identical serve loop.
+pub trait Acceptor {
+    /// The connection type produced.
+    type Conn: Connection;
+    /// Wait up to `timeout` for the next connection.
+    fn poll(&mut self, timeout: Duration) -> Accepted<Self::Conn>;
+}
+
+/// A serveable byte stream: framed I/O plus a read-poll knob so an
+/// idle connection handler wakes periodically to observe shutdown.
+pub trait Connection: Read + Write + Send {
+    /// Set (or clear) the read timeout used for idle polling.
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Connection for TcpStream {
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl Connection for PipeEnd {
+    fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout);
+        Ok(())
+    }
+}
+
+/// [`Acceptor`] over a non-blocking [`TcpListener`].
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Wrap a bound listener (switched to non-blocking so the accept
+    /// loop can observe shutdown between connections).
+    pub fn new(listener: TcpListener) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        Ok(TcpAcceptor { listener })
+    }
+
+    /// The listener's local address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    type Conn = TcpStream;
+
+    fn poll(&mut self, timeout: Duration) -> Accepted<TcpStream> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                // Accepted sockets must be blocking regardless of what
+                // they inherited from the non-blocking listener.
+                if stream.set_nonblocking(false).is_err() {
+                    return Accepted::Idle;
+                }
+                // Request/response frames are small; Nagle would hold
+                // each response hostage to the peer's delayed ACK.
+                let _ = stream.set_nodelay(true);
+                Accepted::Conn(stream)
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(timeout);
+                Accepted::Idle
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Accepted::Idle,
+            // Every other accept error on a live listener is transient
+            // (peer reset before accept → ECONNABORTED, fd exhaustion
+            // → EMFILE, …): skip the failed accept and keep serving —
+            // returning Closed here would silently stop the server
+            // forever. Shutdown is signaled via the server's flag, not
+            // via accept errors, so there is no Closed case for TCP.
+            Err(_) => {
+                std::thread::sleep(timeout);
+                Accepted::Idle
+            }
+        }
+    }
+}
+
+impl Acceptor for PipeListener {
+    type Conn = PipeEnd;
+
+    fn poll(&mut self, timeout: Duration) -> Accepted<PipeEnd> {
+        match self.accept_timeout(timeout) {
+            Ok(Some(conn)) => Accepted::Conn(conn),
+            Ok(None) => Accepted::Idle,
+            Err(_) => Accepted::Closed,
+        }
+    }
+}
+
+/// Shared observable server state.
+#[derive(Debug, Default)]
+struct ServerState {
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+/// Decrements the in-flight connection count when a handler finishes,
+/// panic or not.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A PaQL server over one shared [`PackageDb`]. See the
+/// [module docs](self) for the concurrency model.
+pub struct Server {
+    db: PackageDb,
+    config: ServerConfig,
+    pool: ThreadPool,
+    state: Arc<ServerState>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .field("in_flight", &self.state.in_flight.load(Ordering::Acquire))
+            .field("served", &self.state.served.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl Server {
+    /// A server over `db` with default configuration. The session's
+    /// [`DbConfig`](paq_db::DbConfig) becomes the base configuration
+    /// every connection session starts from.
+    pub fn new(db: PackageDb) -> Self {
+        Self::with_config(db, ServerConfig::default())
+    }
+
+    /// A server with explicit configuration.
+    pub fn with_config(db: PackageDb, config: ServerConfig) -> Self {
+        let pool = ThreadPool::new(config.workers.max(1));
+        Server {
+            db,
+            config,
+            pool,
+            state: Arc::new(ServerState::default()),
+        }
+    }
+
+    /// The underlying database; registering tables here is visible to
+    /// every connection immediately (shared catalog).
+    pub fn db(&self) -> &PackageDb {
+        &self.db
+    }
+
+    /// Requests answered so far (all kinds, including errors).
+    pub fn served(&self) -> u64 {
+        self.state.served.load(Ordering::Acquire)
+    }
+
+    /// Connections rejected with [`Response::Busy`] so far.
+    pub fn busy_rejections(&self) -> u64 {
+        self.state.busy_rejections.load(Ordering::Acquire)
+    }
+
+    /// Ask the serve loop to stop accepting and drain. Also triggered
+    /// remotely by [`Request::Shutdown`].
+    pub fn trigger_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Serve connections from `acceptor` until shutdown (or the
+    /// listener closes), then drain in-flight handlers before
+    /// returning. The acceptor runs on the calling thread; handlers run
+    /// on the server's pool.
+    pub fn serve<A: Acceptor>(&self, mut acceptor: A) {
+        let state = Arc::clone(&self.state);
+        self.pool.serve(
+            || loop {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                match acceptor.poll(self.config.poll_interval) {
+                    Accepted::Conn(mut conn) => {
+                        // Backpressure: reject beyond the in-flight
+                        // bound with a typed Busy instead of queueing.
+                        let in_flight = state.in_flight.load(Ordering::Acquire);
+                        if in_flight >= self.config.max_in_flight {
+                            state.busy_rejections.fetch_add(1, Ordering::AcqRel);
+                            let _ = Response::Busy {
+                                in_flight: in_flight as u64,
+                                max_in_flight: self.config.max_in_flight as u64,
+                            }
+                            .write_to(&mut conn);
+                            continue; // drop rejects the connection
+                        }
+                        state.in_flight.fetch_add(1, Ordering::AcqRel);
+                        return Some(conn);
+                    }
+                    Accepted::Idle => continue,
+                    Accepted::Closed => return None,
+                }
+            },
+            |conn| {
+                let _guard = InFlightGuard(&state.in_flight);
+                self.handle_connection(conn);
+            },
+        );
+    }
+
+    /// Serve loopback (or any) TCP on an already-bound listener.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        let acceptor = TcpAcceptor::new(listener)?;
+        self.serve(acceptor);
+        Ok(())
+    }
+
+    /// Drive one connection: read frames, dispatch, respond — until the
+    /// peer closes, the connection breaks, or shutdown drains it.
+    fn handle_connection<C: Connection>(&self, mut conn: C) {
+        if conn.set_read_poll(Some(self.config.poll_interval)).is_err() {
+            return;
+        }
+        // One session per connection; its config is the base every
+        // request's overrides apply to.
+        let session = self.db.session();
+        loop {
+            let payload =
+                match read_frame_with(&mut conn, || self.state.shutdown.load(Ordering::Acquire)) {
+                    Ok(Some(payload)) => payload,
+                    // Peer closed, or shutdown while idle: drain complete.
+                    Ok(None) => return,
+                    // Framing is broken (oversized/truncated/io): the
+                    // stream cannot be trusted for another frame. Report if
+                    // possible, then close.
+                    Err(e) => {
+                        let _ = Response::Error(Fault {
+                            kind: FaultKind::BadRequest,
+                            message: format!("unreadable frame: {e}"),
+                        })
+                        .write_to(&mut conn);
+                        return;
+                    }
+                };
+            let request = match Request::decode(&payload) {
+                Ok(request) => request,
+                // The frame was well-delimited but undecodable; the
+                // stream itself is still in sync, so answer and keep
+                // the connection.
+                Err(e) => {
+                    self.state.served.fetch_add(1, Ordering::AcqRel);
+                    let ok = Response::Error(Fault {
+                        kind: FaultKind::BadRequest,
+                        message: format!("undecodable request: {e}"),
+                    })
+                    .write_to(&mut conn)
+                    .is_ok();
+                    if ok {
+                        continue;
+                    }
+                    return;
+                }
+            };
+            let response = self.dispatch(&session, request);
+            let shutting_down = matches!(response, Response::ShuttingDown);
+            self.state.served.fetch_add(1, Ordering::AcqRel);
+            if response.write_to(&mut conn).is_err() || shutting_down {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, session: &PackageDb, request: Request) -> Response {
+        match request {
+            Request::Execute {
+                relation,
+                paql,
+                options,
+            } => match self.run(session, &relation, &paql, &options) {
+                Ok(exec) => Response::Executed(Box::new(RemoteExecution::from_execution(&exec))),
+                Err(response) => response,
+            },
+            Request::Explain {
+                relation,
+                paql,
+                options,
+            } => match self.run(session, &relation, &paql, &options) {
+                Ok(exec) => Response::Explained {
+                    text: exec.explain(),
+                },
+                Err(response) => response,
+            },
+            Request::RegisterTable { name, table } => Response::Registered {
+                version: session.register_table(name, table),
+            },
+            Request::AppendRow { name, row } => match session.append_row(&name, row) {
+                Ok(version) => Response::Appended { version },
+                Err(e) => Response::Error(Fault::from(&e)),
+            },
+            Request::Stats => {
+                let stats = session.stats();
+                Response::Stats(StatsReply {
+                    tables: stats.tables,
+                    cache: stats.cache,
+                    served: self.state.served.load(Ordering::Acquire),
+                })
+            }
+            Request::Shutdown => {
+                self.trigger_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Parse, guard, and execute one query on a fresh session clone
+    /// carrying the request's overrides.
+    fn run(
+        &self,
+        base: &PackageDb,
+        relation: &str,
+        paql: &str,
+        options: &ExecOptions,
+    ) -> Result<Execution, Response> {
+        let query =
+            parse_paql(paql).map_err(|e| Response::Error(Fault::from(&DbError::Language(e))))?;
+        if !relation.is_empty() && !query.relation.eq_ignore_ascii_case(relation) {
+            return Err(Response::Error(Fault {
+                kind: FaultKind::BadRequest,
+                message: format!(
+                    "query is FROM '{}' but the request addressed '{relation}'",
+                    query.relation
+                ),
+            }));
+        }
+        let mut session = base.session();
+        let config = session.config_mut();
+        if let Some(v) = options.direct_threshold {
+            config.direct_threshold = v as usize;
+        }
+        if let Some(v) = options.default_groups {
+            config.default_groups = (v as usize).max(1);
+        }
+        if let Some(v) = options.threads {
+            config.sketchrefine.threads = (v as usize).max(1);
+        }
+        if let Some(v) = options.fallback_to_direct {
+            config.fallback_to_direct = v;
+        }
+        session
+            .execute_with(&query, options.route.into())
+            .map_err(|e| Response::Error(Fault::from(&e)))
+    }
+}
+
+/// A TCP server running on a background thread; created by
+/// [`spawn_tcp`]. Dropping the handle shuts the server down and joins
+/// the thread.
+pub struct TcpServerHandle {
+    addr: SocketAddr,
+    server: Arc<Server>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The running server (e.g. for [`Server::db`] or counters).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Trigger shutdown and wait for the drain to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.server.trigger_shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Bind `addr` (use port 0 for an ephemeral port) and serve `server`
+/// on a background thread.
+pub fn spawn_tcp(server: Server, addr: impl ToSocketAddrs) -> io::Result<TcpServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let acceptor = TcpAcceptor::new(listener)?;
+    let addr = acceptor.local_addr()?;
+    let server = Arc::new(server);
+    let for_thread = Arc::clone(&server);
+    let thread = std::thread::Builder::new()
+        .name("paq-server-accept".into())
+        .spawn(move || for_thread.serve(acceptor))?;
+    Ok(TcpServerHandle {
+        addr,
+        server,
+        thread: Some(thread),
+    })
+}

@@ -1,0 +1,1178 @@
+//! The wire protocol: length-prefixed frames with a hand-rolled binary
+//! encoding, defined over generic [`io::Read`] / [`io::Write`] streams.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------------+---------+-----+------------------+
+//! | length: u32 BE | version | tag | body (tag-typed) |
+//! +----------------+---------+-----+------------------+
+//!        4 bytes      1 byte  1 byte   length − 2 bytes
+//! ```
+//!
+//! * The length prefix counts the payload (version + tag + body), not
+//!   itself. Frames above [`MAX_FRAME`] are rejected *before* the
+//!   payload is read, so a broken or hostile peer cannot make the
+//!   server buffer without bound.
+//! * `version` is [`WIRE_VERSION`]; a mismatch is a decode error (the
+//!   protocol carries no negotiation — both ends come from this
+//!   workspace).
+//! * `tag` selects the [`Request`] or [`Response`] variant; the decoder
+//!   rejects unknown tags and trailing bytes, so a frame decodes to
+//!   exactly one value or a typed [`WireError`].
+//!
+//! # Primitive encodings
+//!
+//! Everything reduces to five primitives: `u8`, `u64` (little-endian,
+//! fixed 8 bytes), `f64` (IEEE bit pattern, little-endian — NaN and
+//! signed zero round-trip exactly), `bool` (one byte, `0`/`1` only),
+//! and UTF-8 strings (`u64` byte length + bytes). Options are a `bool`
+//! presence flag followed by the value; sequences are a `u64` count
+//! followed by the elements. There is no padding and no alignment.
+//!
+//! The same encoding runs over any byte stream — the deterministic
+//! in-memory [duplex pipe](crate::transport) in tests, loopback TCP in
+//! production — because nothing here touches sockets.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use paq_core::Package;
+use paq_db::{CacheStats, Execution, Strategy, TableStats};
+use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
+
+use crate::error::{WireError, WireResult};
+
+/// Protocol revision spoken by this build.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on one frame's payload (32 MiB). Large enough for a
+/// multi-million-row `RegisterTable`, small enough that a corrupt
+/// length prefix cannot exhaust memory.
+pub const MAX_FRAME: usize = 32 << 20;
+
+// ---------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload), as a **single** write:
+/// a prefix written separately would ride in its own TCP segment and
+/// stall small frames on Nagle + delayed-ACK round trips.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> WireResult<()> {
+    // Enforce the cap on the sending side too: the peer would reject
+    // the frame as Oversized and drop the connection anyway, so fail
+    // locally, typed, before any bytes hit the wire.
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: payload.len() as u64,
+            max: MAX_FRAME as u64,
+        });
+    }
+    let len = payload.len() as u32; // MAX_FRAME < u32::MAX
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. Returns `Ok(None)` on a clean end of
+/// stream *between* frames (the peer closed); a close mid-frame is
+/// [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> WireResult<Option<Vec<u8>>> {
+    read_frame_with(r, || false)
+}
+
+/// [`read_frame`] for streams with a read timeout configured (the
+/// server's idle-poll): while waiting for a frame to *start*, each
+/// timeout tick calls `on_idle`; returning `true` abandons the wait as
+/// if the peer had closed (`Ok(None)`). Once the first byte arrives the
+/// frame is read to completion, timeouts merely re-polling — a frame in
+/// progress is never abandoned, so graceful shutdown drains requests
+/// already on the wire.
+pub fn read_frame_with<R: Read>(
+    r: &mut R,
+    mut on_idle: impl FnMut() -> bool,
+) -> WireResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // First byte by hand: a one-byte read either consumes it or (on
+    // timeout/EOF) consumes nothing, so "closed between frames",
+    // "nothing yet", and "frame started" stay distinguishable.
+    loop {
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if on_idle() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    read_full(r, &mut len_buf[1..])?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: len as u64,
+            max: MAX_FRAME as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload)?;
+    Ok(Some(payload))
+}
+
+/// `read_exact` that tolerates read timeouts without losing the bytes
+/// already consumed (std's `read_exact` leaves the buffer unspecified
+/// on error, which would corrupt framing under a poll timeout).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> WireResult<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::Interrupted
+                    || e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Primitive encode/decode
+// ---------------------------------------------------------------------
+
+/// Byte-slice decoding cursor. Every read is bounds-checked; requesting
+/// more bytes than remain is a [`WireError::Malformed`] (the frame was
+/// fully read off the stream already, so a short payload is corruption,
+/// not a slow peer).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(WireError::Malformed(format!(
+                "payload needs {n} more bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> WireResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Malformed(format!("bool byte {other}"))),
+        }
+    }
+
+    fn u64(&mut self) -> WireResult<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self) -> WireResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Malformed(format!("count {v} overflows usize")))
+    }
+
+    /// A sequence count, sanity-bounded so a corrupt count cannot
+    /// trigger a huge up-front allocation: `min_elem` is the smallest
+    /// possible encoding of one element, so more elements than
+    /// remaining bytes / `min_elem` cannot decode anyway.
+    fn count(&mut self, min_elem: usize) -> WireResult<usize> {
+        let n = self.usize()?;
+        let cap = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem.max(1)) > cap {
+            return Err(WireError::Malformed(format!(
+                "count {n} exceeds the {cap} bytes remaining"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn i64(&mut self) -> WireResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn string(&mut self) -> WireResult<String> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Malformed(format!("invalid utf-8 string: {e}")))
+    }
+
+    fn finish(self) -> WireResult<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes after the decoded value",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            put_bool(out, true);
+            put_u64(out, v);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn get_opt_u64(c: &mut Cursor<'_>) -> WireResult<Option<u64>> {
+    Ok(if c.bool()? { Some(c.u64()?) } else { None })
+}
+
+fn put_duration(out: &mut Vec<u8>, d: Duration) {
+    put_u64(out, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn get_duration(c: &mut Cursor<'_>) -> WireResult<Duration> {
+    Ok(Duration::from_nanos(c.u64()?))
+}
+
+// ---------------------------------------------------------------------
+// Relational encodings
+// ---------------------------------------------------------------------
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            put_bool(out, *b);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            put_u64(out, *i as u64);
+        }
+        Value::Float(f) => {
+            out.push(3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_string(out, s);
+        }
+    }
+}
+
+fn get_value(c: &mut Cursor<'_>) -> WireResult<Value> {
+    Ok(match c.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(c.bool()?),
+        2 => Value::Int(c.i64()?),
+        3 => Value::Float(c.f64()?),
+        4 => Value::Str(c.string()?),
+        tag => return Err(WireError::Malformed(format!("value tag {tag}"))),
+    })
+}
+
+fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
+    out.push(match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Bool => 2,
+        DataType::Str => 3,
+    });
+}
+
+fn get_data_type(c: &mut Cursor<'_>) -> WireResult<DataType> {
+    Ok(match c.u8()? {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        3 => DataType::Str,
+        tag => return Err(WireError::Malformed(format!("data-type tag {tag}"))),
+    })
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u64(out, schema.arity() as u64);
+    for col in schema.columns() {
+        put_string(out, &col.name);
+        put_data_type(out, col.ty);
+    }
+}
+
+fn get_schema(c: &mut Cursor<'_>) -> WireResult<Schema> {
+    let arity = c.count(9)?; // string length prefix + type tag
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = c.string()?;
+        let ty = get_data_type(c)?;
+        if cols.iter().any(|d: &ColumnDef| d.name == name) {
+            return Err(WireError::Malformed(format!("duplicate column {name:?}")));
+        }
+        cols.push(ColumnDef::new(name, ty));
+    }
+    Ok(Schema::new(cols))
+}
+
+fn put_table(out: &mut Vec<u8>, table: &Table) {
+    put_schema(out, table.schema());
+    put_u64(out, table.num_rows() as u64);
+    for i in 0..table.num_rows() {
+        for v in table.row(i) {
+            put_value(out, &v);
+        }
+    }
+}
+
+fn get_table(c: &mut Cursor<'_>) -> WireResult<Table> {
+    let schema = get_schema(c)?;
+    let rows = c.count(schema.arity())?;
+    let mut table = Table::new(schema);
+    for _ in 0..rows {
+        let row = (0..table.schema().arity())
+            .map(|_| get_value(c))
+            .collect::<WireResult<Vec<_>>>()?;
+        table
+            .push_row(row)
+            .map_err(|e| WireError::Malformed(format!("row rejected by schema: {e}")))?;
+    }
+    Ok(table)
+}
+
+fn put_values(out: &mut Vec<u8>, row: &[Value]) {
+    put_u64(out, row.len() as u64);
+    for v in row {
+        put_value(out, v);
+    }
+}
+
+fn get_values(c: &mut Cursor<'_>) -> WireResult<Vec<Value>> {
+    let n = c.count(1)?;
+    (0..n).map(|_| get_value(c)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// Per-request overrides of the connection session's
+/// [`DbConfig`](paq_db::DbConfig) — carried on the wire so each client
+/// tunes its own executions without touching any other session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Routing control (planner choice by default).
+    pub route: RouteChoice,
+    /// Override `DbConfig::direct_threshold`.
+    pub direct_threshold: Option<u64>,
+    /// Override `DbConfig::default_groups` (min 1).
+    pub default_groups: Option<u64>,
+    /// Override `DbConfig::sketchrefine.threads` (min 1).
+    pub threads: Option<u64>,
+    /// Override `DbConfig::fallback_to_direct`.
+    pub fallback_to_direct: Option<bool>,
+}
+
+/// Wire mirror of [`paq_db::Route`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Planner picks DIRECT or SKETCHREFINE.
+    #[default]
+    Auto,
+    /// Force DIRECT.
+    ForceDirect,
+    /// Force SKETCHREFINE.
+    ForceSketchRefine,
+}
+
+impl From<RouteChoice> for paq_db::Route {
+    fn from(r: RouteChoice) -> Self {
+        match r {
+            RouteChoice::Auto => paq_db::Route::Auto,
+            RouteChoice::ForceDirect => paq_db::Route::ForceDirect,
+            RouteChoice::ForceSketchRefine => paq_db::Route::ForceSketchRefine,
+        }
+    }
+}
+
+fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
+    out.push(match o.route {
+        RouteChoice::Auto => 0,
+        RouteChoice::ForceDirect => 1,
+        RouteChoice::ForceSketchRefine => 2,
+    });
+    put_opt_u64(out, o.direct_threshold);
+    put_opt_u64(out, o.default_groups);
+    put_opt_u64(out, o.threads);
+    match o.fallback_to_direct {
+        Some(v) => {
+            put_bool(out, true);
+            put_bool(out, v);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
+    let route = match c.u8()? {
+        0 => RouteChoice::Auto,
+        1 => RouteChoice::ForceDirect,
+        2 => RouteChoice::ForceSketchRefine,
+        tag => return Err(WireError::Malformed(format!("route tag {tag}"))),
+    };
+    Ok(ExecOptions {
+        route,
+        direct_threshold: get_opt_u64(c)?,
+        default_groups: get_opt_u64(c)?,
+        threads: get_opt_u64(c)?,
+        fallback_to_direct: if c.bool()? { Some(c.bool()?) } else { None },
+    })
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Execute a PaQL query. `relation`, when non-empty, must match the
+    /// query's `FROM` relation (case-insensitively) — a cheap guard
+    /// against a client dispatching a query to the wrong handle.
+    Execute {
+        /// Expected `FROM` relation (empty = no check).
+        relation: String,
+        /// The PaQL text.
+        paql: String,
+        /// Per-request session overrides.
+        options: ExecOptions,
+    },
+    /// Register (or replace) a table under a name.
+    RegisterTable {
+        /// Table name.
+        name: String,
+        /// Full table contents.
+        table: Table,
+    },
+    /// Append one row to a registered table.
+    AppendRow {
+        /// Table name.
+        name: String,
+        /// The row, one value per schema column.
+        row: Vec<Value>,
+    },
+    /// Execute a PaQL query but return only the plan explanation.
+    Explain {
+        /// Expected `FROM` relation (empty = no check).
+        relation: String,
+        /// The PaQL text.
+        paql: String,
+        /// Per-request session overrides.
+        options: ExecOptions,
+    },
+    /// Ask for the database's observable state (tables + cache).
+    Stats,
+    /// Stop accepting connections and drain in-flight work.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode into a standalone payload (version + tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_VERSION];
+        match self {
+            Request::Execute {
+                relation,
+                paql,
+                options,
+            } => {
+                out.push(0);
+                put_string(&mut out, relation);
+                put_string(&mut out, paql);
+                put_options(&mut out, options);
+            }
+            Request::RegisterTable { name, table } => {
+                out.push(1);
+                put_string(&mut out, name);
+                put_table(&mut out, table);
+            }
+            Request::AppendRow { name, row } => {
+                out.push(2);
+                put_string(&mut out, name);
+                put_values(&mut out, row);
+            }
+            Request::Explain {
+                relation,
+                paql,
+                options,
+            } => {
+                out.push(3);
+                put_string(&mut out, relation);
+                put_string(&mut out, paql);
+                put_options(&mut out, options);
+            }
+            Request::Stats => out.push(4),
+            Request::Shutdown => out.push(5),
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Request::encode`].
+    pub fn decode(payload: &[u8]) -> WireResult<Request> {
+        let mut c = Cursor::new(payload);
+        check_version(&mut c)?;
+        let req = match c.u8()? {
+            0 => Request::Execute {
+                relation: c.string()?,
+                paql: c.string()?,
+                options: get_options(&mut c)?,
+            },
+            1 => Request::RegisterTable {
+                name: c.string()?,
+                table: get_table(&mut c)?,
+            },
+            2 => Request::AppendRow {
+                name: c.string()?,
+                row: get_values(&mut c)?,
+            },
+            3 => Request::Explain {
+                relation: c.string()?,
+                paql: c.string()?,
+                options: get_options(&mut c)?,
+            },
+            4 => Request::Stats,
+            5 => Request::Shutdown,
+            tag => return Err(WireError::Malformed(format!("request tag {tag}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// Write this request as one frame.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> WireResult<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one request frame; `Ok(None)` when the peer closed cleanly.
+    pub fn read_from<R: Read>(r: &mut R) -> WireResult<Option<Request>> {
+        match read_frame(r)? {
+            Some(payload) => Ok(Some(Request::decode(&payload)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+fn check_version(c: &mut Cursor<'_>) -> WireResult<()> {
+    let got = c.u8()?;
+    if got != WIRE_VERSION {
+        return Err(WireError::Version {
+            got,
+            want: WIRE_VERSION,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// SKETCHREFINE work counters shipped with a remote execution — the
+/// wire form of [`paq_core::SketchRefineReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Total black-box solver invocations.
+    pub solver_calls: u64,
+    /// Backtracking events.
+    pub backtracks: u64,
+    /// Whether the hybrid sketch fallback was used.
+    pub used_hybrid: bool,
+    /// Groups REFINE had to process.
+    pub groups_refined: u64,
+    /// §4.4 strategy-2 retries.
+    pub repartitions: u64,
+    /// §4.4 strategy-3 retries.
+    pub attribute_drops: u64,
+    /// §4.4 strategy-4 retries.
+    pub merges: u64,
+    /// Parallel REFINE waves launched.
+    pub waves: u64,
+    /// Per-group ILPs solved inside waves.
+    pub parallel_solves: u64,
+    /// Speculative results discarded on conflict.
+    pub conflict_requeues: u64,
+    /// Wall-clock of the SKETCH phase.
+    pub sketch_time: Duration,
+    /// Wall-clock of the REFINE phase.
+    pub refine_time: Duration,
+}
+
+impl From<&paq_core::SketchRefineReport> for WireReport {
+    fn from(r: &paq_core::SketchRefineReport) -> Self {
+        WireReport {
+            solver_calls: r.solver_calls,
+            backtracks: r.backtracks,
+            used_hybrid: r.used_hybrid,
+            groups_refined: r.groups_refined as u64,
+            repartitions: r.repartitions as u64,
+            attribute_drops: r.attribute_drops as u64,
+            merges: r.merges as u64,
+            waves: r.waves,
+            parallel_solves: r.parallel_solves,
+            conflict_requeues: r.conflict_requeues,
+            sketch_time: r.sketch_time,
+            refine_time: r.refine_time,
+        }
+    }
+}
+
+/// Wall-clock breakdown of a remote execution (server-side times; the
+/// round-trip latency on top is the client's to measure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTimings {
+    /// Planning (name resolution, validation, routing).
+    pub plan: Duration,
+    /// Partitioning build (or wait on another session's build).
+    pub partitioning: Duration,
+    /// Evaluator time.
+    pub evaluate: Duration,
+    /// End-to-end `execute` time on the server.
+    pub total: Duration,
+}
+
+/// The wire form of one [`Execution`]: everything a remote client needs
+/// to reconstruct the package and understand how it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteExecution {
+    /// Package members as `(row index, multiplicity)` pairs, sorted.
+    pub pairs: Vec<(u64, u64)>,
+    /// Resolved relation name (catalog casing).
+    pub relation: String,
+    /// Input row count at execution time.
+    pub rows: u64,
+    /// Catalog version the execution observed.
+    pub table_version: u64,
+    /// `true` when DIRECT produced the package, `false` for
+    /// SKETCHREFINE.
+    pub direct: bool,
+    /// Whether SKETCHREFINE's possibly-false infeasibility was settled
+    /// by a DIRECT re-run.
+    pub fell_back_to_direct: bool,
+    /// The server-side plan explanation ([`Execution::explain`]).
+    pub explain: String,
+    /// SKETCHREFINE counters (`None` on DIRECT executions).
+    pub report: Option<WireReport>,
+    /// Server-side wall-clock breakdown.
+    pub timings: WireTimings,
+}
+
+impl RemoteExecution {
+    /// Build the wire form from a server-side execution.
+    pub fn from_execution(exec: &Execution) -> Self {
+        RemoteExecution {
+            pairs: exec
+                .package
+                .members()
+                .iter()
+                .map(|&(row, mult)| (row as u64, mult))
+                .collect(),
+            relation: exec.relation.clone(),
+            rows: exec.rows as u64,
+            table_version: exec.table_version,
+            direct: exec.strategy == Strategy::Direct,
+            fell_back_to_direct: exec.fell_back_to_direct,
+            explain: exec.explain(),
+            report: exec.report.as_ref().map(WireReport::from),
+            timings: WireTimings {
+                plan: exec.timings.plan,
+                partitioning: exec.timings.partitioning,
+                evaluate: exec.timings.evaluate,
+                total: exec.timings.total,
+            },
+        }
+    }
+
+    /// Reconstruct the package (row indices refer to the table version
+    /// in [`RemoteExecution::table_version`]).
+    pub fn package(&self) -> Package {
+        Package::from_pairs(self.pairs.iter().map(|&(row, mult)| (row as usize, mult)))
+    }
+}
+
+/// Application-level error kinds a server can report. The split mirrors
+/// [`paq_db::DbError`], with infeasibility pulled out because it is an
+/// *answer* clients branch on, not a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The request itself is invalid (e.g. relation mismatch).
+    BadRequest,
+    /// `FROM` relation not in the catalog.
+    UnknownTable,
+    /// Table lacks query-referenced attributes.
+    SchemaMismatch,
+    /// Installed partitioning rejected.
+    InvalidPartitioning,
+    /// PaQL parse/validation error.
+    Language,
+    /// Proved infeasible on the full problem.
+    Infeasible,
+    /// Infeasibility reported by the approximate pipeline (§4.4).
+    PossiblyFalseInfeasible,
+    /// Other engine failure (solver gave up, unbounded, …).
+    Engine,
+    /// Relational substrate error.
+    Relational,
+}
+
+/// An application-level error reported by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Error class.
+    pub kind: FaultKind,
+    /// Human-readable detail (the server-side `Display` text).
+    pub message: String,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl From<&paq_db::DbError> for Fault {
+    fn from(e: &paq_db::DbError) -> Self {
+        use paq_core::EngineError;
+        use paq_db::DbError;
+        let kind = match e {
+            DbError::UnknownTable { .. } => FaultKind::UnknownTable,
+            DbError::SchemaMismatch { .. } => FaultKind::SchemaMismatch,
+            DbError::InvalidPartitioning { .. } => FaultKind::InvalidPartitioning,
+            DbError::Language(_) => FaultKind::Language,
+            DbError::Engine(EngineError::Infeasible {
+                possibly_false: false,
+            }) => FaultKind::Infeasible,
+            DbError::Engine(EngineError::Infeasible {
+                possibly_false: true,
+            }) => FaultKind::PossiblyFalseInfeasible,
+            DbError::Engine(_) => FaultKind::Engine,
+            DbError::Relational(_) => FaultKind::Relational,
+        };
+        Fault {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
+    out.push(match fault.kind {
+        FaultKind::BadRequest => 0,
+        FaultKind::UnknownTable => 1,
+        FaultKind::SchemaMismatch => 2,
+        FaultKind::InvalidPartitioning => 3,
+        FaultKind::Language => 4,
+        FaultKind::Infeasible => 5,
+        FaultKind::PossiblyFalseInfeasible => 6,
+        FaultKind::Engine => 7,
+        FaultKind::Relational => 8,
+    });
+    put_string(out, &fault.message);
+}
+
+fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
+    let kind = match c.u8()? {
+        0 => FaultKind::BadRequest,
+        1 => FaultKind::UnknownTable,
+        2 => FaultKind::SchemaMismatch,
+        3 => FaultKind::InvalidPartitioning,
+        4 => FaultKind::Language,
+        5 => FaultKind::Infeasible,
+        6 => FaultKind::PossiblyFalseInfeasible,
+        7 => FaultKind::Engine,
+        8 => FaultKind::Relational,
+        tag => return Err(WireError::Malformed(format!("fault tag {tag}"))),
+    };
+    Ok(Fault {
+        kind,
+        message: c.string()?,
+    })
+}
+
+/// The database-state snapshot shipped for a [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Registered tables (name, rows, version), sorted by name.
+    pub tables: Vec<TableStats>,
+    /// Shared partition-cache counters.
+    pub cache: CacheStats,
+    /// Requests the server has answered so far (all kinds).
+    pub served: u64,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of an [`Request::Execute`].
+    Executed(Box<RemoteExecution>),
+    /// Result of a [`Request::RegisterTable`]: the new catalog version.
+    Registered {
+        /// Version stamped by the registration.
+        version: u64,
+    },
+    /// Result of an [`Request::AppendRow`]: the new catalog version.
+    Appended {
+        /// Version stamped by the append.
+        version: u64,
+    },
+    /// Result of an [`Request::Explain`].
+    Explained {
+        /// The plan explanation text.
+        text: String,
+    },
+    /// Result of a [`Request::Stats`].
+    Stats(StatsReply),
+    /// Acknowledges a [`Request::Shutdown`]; the server drains and
+    /// stops.
+    ShuttingDown,
+    /// Typed backpressure: the in-flight bound is reached and this
+    /// connection was rejected rather than queued without bound.
+    Busy {
+        /// Connections in flight when the rejection happened.
+        in_flight: u64,
+        /// The configured bound.
+        max_in_flight: u64,
+    },
+    /// Application-level error; the connection stays usable.
+    Error(Fault),
+}
+
+impl Response {
+    /// Encode into a standalone payload (version + tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_VERSION];
+        match self {
+            Response::Executed(exec) => {
+                out.push(0);
+                put_u64(&mut out, exec.pairs.len() as u64);
+                for &(row, mult) in &exec.pairs {
+                    put_u64(&mut out, row);
+                    put_u64(&mut out, mult);
+                }
+                put_string(&mut out, &exec.relation);
+                put_u64(&mut out, exec.rows);
+                put_u64(&mut out, exec.table_version);
+                put_bool(&mut out, exec.direct);
+                put_bool(&mut out, exec.fell_back_to_direct);
+                put_string(&mut out, &exec.explain);
+                match &exec.report {
+                    Some(r) => {
+                        put_bool(&mut out, true);
+                        put_u64(&mut out, r.solver_calls);
+                        put_u64(&mut out, r.backtracks);
+                        put_bool(&mut out, r.used_hybrid);
+                        put_u64(&mut out, r.groups_refined);
+                        put_u64(&mut out, r.repartitions);
+                        put_u64(&mut out, r.attribute_drops);
+                        put_u64(&mut out, r.merges);
+                        put_u64(&mut out, r.waves);
+                        put_u64(&mut out, r.parallel_solves);
+                        put_u64(&mut out, r.conflict_requeues);
+                        put_duration(&mut out, r.sketch_time);
+                        put_duration(&mut out, r.refine_time);
+                    }
+                    None => put_bool(&mut out, false),
+                }
+                put_duration(&mut out, exec.timings.plan);
+                put_duration(&mut out, exec.timings.partitioning);
+                put_duration(&mut out, exec.timings.evaluate);
+                put_duration(&mut out, exec.timings.total);
+            }
+            Response::Registered { version } => {
+                out.push(1);
+                put_u64(&mut out, *version);
+            }
+            Response::Appended { version } => {
+                out.push(2);
+                put_u64(&mut out, *version);
+            }
+            Response::Explained { text } => {
+                out.push(3);
+                put_string(&mut out, text);
+            }
+            Response::Stats(stats) => {
+                out.push(4);
+                put_u64(&mut out, stats.tables.len() as u64);
+                for t in &stats.tables {
+                    put_string(&mut out, &t.name);
+                    put_u64(&mut out, t.rows as u64);
+                    put_u64(&mut out, t.version);
+                }
+                put_u64(&mut out, stats.cache.hits);
+                put_u64(&mut out, stats.cache.misses);
+                put_u64(&mut out, stats.cache.invalidations);
+                put_u64(&mut out, stats.cache.entries as u64);
+                put_u64(&mut out, stats.served);
+            }
+            Response::ShuttingDown => out.push(5),
+            Response::Busy {
+                in_flight,
+                max_in_flight,
+            } => {
+                out.push(6);
+                put_u64(&mut out, *in_flight);
+                put_u64(&mut out, *max_in_flight);
+            }
+            Response::Error(fault) => {
+                out.push(7);
+                put_fault(&mut out, fault);
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Response::encode`].
+    pub fn decode(payload: &[u8]) -> WireResult<Response> {
+        let mut c = Cursor::new(payload);
+        check_version(&mut c)?;
+        let resp = match c.u8()? {
+            0 => {
+                let n = c.count(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((c.u64()?, c.u64()?));
+                }
+                let relation = c.string()?;
+                let rows = c.u64()?;
+                let table_version = c.u64()?;
+                let direct = c.bool()?;
+                let fell_back_to_direct = c.bool()?;
+                let explain = c.string()?;
+                let report = if c.bool()? {
+                    Some(WireReport {
+                        solver_calls: c.u64()?,
+                        backtracks: c.u64()?,
+                        used_hybrid: c.bool()?,
+                        groups_refined: c.u64()?,
+                        repartitions: c.u64()?,
+                        attribute_drops: c.u64()?,
+                        merges: c.u64()?,
+                        waves: c.u64()?,
+                        parallel_solves: c.u64()?,
+                        conflict_requeues: c.u64()?,
+                        sketch_time: get_duration(&mut c)?,
+                        refine_time: get_duration(&mut c)?,
+                    })
+                } else {
+                    None
+                };
+                let timings = WireTimings {
+                    plan: get_duration(&mut c)?,
+                    partitioning: get_duration(&mut c)?,
+                    evaluate: get_duration(&mut c)?,
+                    total: get_duration(&mut c)?,
+                };
+                Response::Executed(Box::new(RemoteExecution {
+                    pairs,
+                    relation,
+                    rows,
+                    table_version,
+                    direct,
+                    fell_back_to_direct,
+                    explain,
+                    report,
+                    timings,
+                }))
+            }
+            1 => Response::Registered { version: c.u64()? },
+            2 => Response::Appended { version: c.u64()? },
+            3 => Response::Explained { text: c.string()? },
+            4 => {
+                let n = c.count(24)?;
+                let mut tables = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = c.string()?;
+                    let rows = c.usize()?;
+                    let version = c.u64()?;
+                    tables.push(TableStats {
+                        name,
+                        rows,
+                        version,
+                    });
+                }
+                Response::Stats(StatsReply {
+                    tables,
+                    cache: CacheStats {
+                        hits: c.u64()?,
+                        misses: c.u64()?,
+                        invalidations: c.u64()?,
+                        entries: c.usize()?,
+                    },
+                    served: c.u64()?,
+                })
+            }
+            5 => Response::ShuttingDown,
+            6 => Response::Busy {
+                in_flight: c.u64()?,
+                max_in_flight: c.u64()?,
+            },
+            7 => Response::Error(get_fault(&mut c)?),
+            tag => return Err(WireError::Malformed(format!("response tag {tag}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+
+    /// Write this response as one frame.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> WireResult<()> {
+        write_frame(w, &self.encode())
+    }
+
+    /// Read one response frame; `Ok(None)` when the peer closed cleanly.
+    pub fn read_from<R: Read>(r: &mut R) -> WireResult<Option<Response>> {
+        match read_frame(r)? {
+            Some(payload) => Ok(Some(Response::decode(&payload)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_payload_rejected_on_the_sending_side() {
+        struct NoWrite;
+        impl Write for NoWrite {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                panic!("no bytes may hit the wire for an over-cap frame");
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let payload = vec![0u8; MAX_FRAME + 1];
+        match write_frame(&mut NoWrite, &payload) {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, (MAX_FRAME + 1) as u64);
+                assert_eq!(max, MAX_FRAME as u64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_buffering() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = &buf[..];
+        match read_frame(&mut r) {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX as u64);
+                assert_eq!(max, MAX_FRAME as u64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full frame").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut payload = Request::Stats.encode();
+        payload[0] = WIRE_VERSION + 1;
+        match Request::decode(&payload) {
+            Err(WireError::Version { got, want }) => {
+                assert_eq!(got, WIRE_VERSION + 1);
+                assert_eq!(want, WIRE_VERSION);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = Request::Stats.encode();
+        payload.push(0);
+        match Request::decode(&payload) {
+            Err(WireError::Malformed(d)) => assert!(d.contains("trailing"), "{d}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_sequence_count_rejected_without_allocation() {
+        // An AppendRow whose row count claims u64::MAX elements.
+        let mut out = vec![WIRE_VERSION, 2];
+        put_string(&mut out, "T");
+        put_u64(&mut out, u64::MAX);
+        match Request::decode(&out) {
+            Err(WireError::Malformed(d)) => assert!(d.contains("count"), "{d}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Wire-protocol round-trip properties: every frame type — all six
+//! requests, all eight responses — must encode → frame → decode to an
+//! equal value, and every damaged frame (truncated, oversized, corrupt
+//! tag, trailing garbage) must be rejected with a typed error, never a
+//! panic or a silently wrong value.
+
+use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
+use paq_server::{
+    wire, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, RouteChoice,
+    StatsReply, WireError, WireReport, WireTimings,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Raw material for one cell; shaped into a typed [`Value`] per column.
+type RawCell = ((u64, f64), (bool, String));
+
+fn raw_cell() -> impl Strategy<Value = RawCell> {
+    ((any::<u64>(), any::<f64>()), (any::<bool>(), "[a-z ]{0,8}"))
+}
+
+fn cell(ty: DataType, ((int, float), (null, text)): RawCell) -> Value {
+    if null {
+        return Value::Null;
+    }
+    match ty {
+        DataType::Int => Value::Int(int as i64),
+        DataType::Float => Value::Float(float),
+        DataType::Bool => Value::Bool(int & 1 == 1),
+        DataType::Str => Value::Str(text),
+    }
+}
+
+fn data_type(tag: u64) -> DataType {
+    match tag % 4 {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        _ => DataType::Str,
+    }
+}
+
+/// An arbitrary small table: 1–4 typed columns, 0–6 rows.
+fn table() -> impl Strategy<Value = Table> {
+    (
+        prop::collection::vec(any::<u64>(), 1..5),
+        prop::collection::vec(prop::collection::vec(raw_cell(), 4..5), 0..7),
+    )
+        .prop_map(|(type_tags, raw_rows)| {
+            let types: Vec<DataType> = type_tags.iter().map(|&t| data_type(t)).collect();
+            let schema = Schema::new(
+                types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ty)| ColumnDef::new(format!("c{i}"), ty))
+                    .collect(),
+            );
+            let mut table = Table::new(schema);
+            for raw in raw_rows {
+                let row: Vec<Value> = types
+                    .iter()
+                    .zip(raw.iter().cycle())
+                    .map(|(&ty, cell_raw)| cell(ty, cell_raw.clone()))
+                    .collect();
+                table.push_row(row).expect("cells typed per column");
+            }
+            table
+        })
+}
+
+fn options() -> impl Strategy<Value = ExecOptions> {
+    (
+        (0u64..3, any::<bool>(), any::<u64>()),
+        (
+            (any::<bool>(), any::<u64>()),
+            (any::<bool>(), any::<bool>()),
+        ),
+    )
+        .prop_map(
+            |((route, has_thresh, thresh), ((has_groups, groups), (has_fb, fb)))| ExecOptions {
+                route: match route {
+                    0 => RouteChoice::Auto,
+                    1 => RouteChoice::ForceDirect,
+                    _ => RouteChoice::ForceSketchRefine,
+                },
+                direct_threshold: has_thresh.then_some(thresh),
+                default_groups: has_groups.then_some(groups % 1000),
+                threads: (groups % 3 == 0).then_some(groups % 17),
+                fallback_to_direct: has_fb.then_some(fb),
+            },
+        )
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        ("[a-zA-Z]{0,10}", "[a-zA-Z (.)*'=0-9]{1,40}", options()).prop_map(
+            |(relation, paql, options)| Request::Execute {
+                relation,
+                paql,
+                options,
+            }
+        ),
+        ("[a-zA-Z]{1,10}", table())
+            .prop_map(|(name, table)| Request::RegisterTable { name, table }),
+        (
+            "[a-zA-Z]{1,10}",
+            prop::collection::vec(raw_cell().prop_map(|raw| cell(DataType::Float, raw)), 0..5)
+        )
+            .prop_map(|(name, row)| Request::AppendRow { name, row }),
+        ("[a-zA-Z]{0,10}", "[a-zA-Z (.)*'=0-9]{1,40}", options()).prop_map(
+            |(relation, paql, options)| Request::Explain {
+                relation,
+                paql,
+                options,
+            }
+        ),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn report() -> impl Strategy<Value = WireReport> {
+    (
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+        ((any::<u64>(), any::<u64>()), (any::<bool>(), any::<u64>())),
+    )
+        .prop_map(
+            |(((calls, backtracks), (waves, solves)), ((requeues, groups), (hybrid, nanos)))| {
+                WireReport {
+                    solver_calls: calls,
+                    backtracks,
+                    used_hybrid: hybrid,
+                    groups_refined: groups,
+                    repartitions: groups % 5,
+                    attribute_drops: groups % 3,
+                    merges: groups % 7,
+                    waves,
+                    parallel_solves: solves,
+                    conflict_requeues: requeues,
+                    sketch_time: Duration::from_nanos(nanos),
+                    refine_time: Duration::from_nanos(nanos / 2),
+                }
+            },
+        )
+}
+
+fn execution() -> impl Strategy<Value = RemoteExecution> {
+    (
+        (
+            prop::collection::vec((any::<u64>(), any::<u64>()), 0..10),
+            "[a-zA-Z]{1,10}",
+            (any::<u64>(), any::<u64>()),
+        ),
+        (
+            (any::<bool>(), any::<bool>(), "[ -~]{0,60}"),
+            ((any::<bool>(), report()), any::<u64>()),
+        ),
+    )
+        .prop_map(
+            |(
+                (pairs, relation, (rows, table_version)),
+                ((direct, fell_back, explain), ((has_report, report), nanos)),
+            )| RemoteExecution {
+                pairs,
+                relation,
+                rows,
+                table_version,
+                direct,
+                fell_back_to_direct: fell_back,
+                explain,
+                report: has_report.then_some(report),
+                timings: WireTimings {
+                    plan: Duration::from_nanos(nanos),
+                    partitioning: Duration::from_nanos(nanos / 3),
+                    evaluate: Duration::from_nanos(nanos / 5),
+                    total: Duration::from_nanos(nanos.saturating_mul(2)),
+                },
+            },
+        )
+}
+
+fn fault() -> impl Strategy<Value = Fault> {
+    (0u64..9, "[ -~]{0,40}").prop_map(|(kind, message)| Fault {
+        kind: match kind {
+            0 => FaultKind::BadRequest,
+            1 => FaultKind::UnknownTable,
+            2 => FaultKind::SchemaMismatch,
+            3 => FaultKind::InvalidPartitioning,
+            4 => FaultKind::Language,
+            5 => FaultKind::Infeasible,
+            6 => FaultKind::PossiblyFalseInfeasible,
+            7 => FaultKind::Engine,
+            _ => FaultKind::Relational,
+        },
+        message,
+    })
+}
+
+fn stats() -> impl Strategy<Value = StatsReply> {
+    (
+        prop::collection::vec(("[a-zA-Z]{1,8}", (any::<u64>(), any::<u64>())), 0..5),
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+    )
+        .prop_map(
+            |(tables, ((hits, misses), (invalidations, served)))| StatsReply {
+                tables: tables
+                    .into_iter()
+                    .map(|(name, (rows, version))| paq_db::TableStats {
+                        name,
+                        rows: (rows % (u32::MAX as u64)) as usize,
+                        version,
+                    })
+                    .collect(),
+                cache: paq_db::CacheStats {
+                    hits,
+                    misses,
+                    invalidations,
+                    entries: (served % 1000) as usize,
+                },
+                served,
+            },
+        )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        execution().prop_map(|e| Response::Executed(Box::new(e))),
+        any::<u64>().prop_map(|version| Response::Registered { version }),
+        any::<u64>().prop_map(|version| Response::Appended { version }),
+        "[ -~]{0,80}".prop_map(|text| Response::Explained { text }),
+        stats().prop_map(Response::Stats),
+        Just(Response::ShuttingDown),
+        (any::<u64>(), any::<u64>()).prop_map(|(in_flight, max_in_flight)| Response::Busy {
+            in_flight,
+            max_in_flight,
+        }),
+        fault().prop_map(Response::Error),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(request in request()) {
+        // Payload round trip.
+        let payload = request.encode();
+        prop_assert_eq!(&Request::decode(&payload).unwrap(), &request);
+        // Framed round trip over a byte stream.
+        let mut buf = Vec::new();
+        request.write_to(&mut buf).unwrap();
+        let mut stream = &buf[..];
+        let back = Request::read_from(&mut stream).unwrap().unwrap();
+        prop_assert_eq!(&back, &request);
+        prop_assert!(Request::read_from(&mut stream).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_round_trip(response in response()) {
+        let payload = response.encode();
+        prop_assert_eq!(&Response::decode(&payload).unwrap(), &response);
+        let mut buf = Vec::new();
+        response.write_to(&mut buf).unwrap();
+        let mut stream = &buf[..];
+        let back = Response::read_from(&mut stream).unwrap().unwrap();
+        prop_assert_eq!(&back, &response);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors(request in request(), cut in 1usize..10_000) {
+        let mut buf = Vec::new();
+        request.write_to(&mut buf).unwrap();
+        let cut = 1 + cut % (buf.len() - 1); // 1..len: keep ≥1 byte, drop ≥1
+        let mut stream = &buf[..cut];
+        match wire::read_frame(&mut stream) {
+            Err(WireError::Truncated) => {}
+            other => return Err(TestCaseError::Fail(
+                format!("cut at {cut}/{}: expected Truncated, got {other:?}", buf.len()),
+            )),
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_bytes_never_panic(request in request(), pos in any::<u64>(), byte in any::<u64>()) {
+        // Any single-byte corruption either still decodes (the byte was
+        // free — e.g. inside a string) or fails with a typed error;
+        // it must never panic or loop.
+        let mut payload = request.encode();
+        let pos = (pos as usize) % payload.len();
+        payload[pos] = byte as u8;
+        let _ = Request::decode(&payload);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected(response in response(), extra in 1usize..5) {
+        let mut payload = response.encode();
+        payload.resize(payload.len() + extra, 0u8);
+        match Response::decode(&payload) {
+            Err(WireError::Malformed(_)) => {}
+            Ok(_) => return Err(TestCaseError::Fail("decoded with trailing bytes".into())),
+            Err(e) => return Err(TestCaseError::Fail(format!("wrong error {e:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_request_variant_round_trips() {
+    let mut table = Table::new(Schema::from_pairs(&[
+        ("x", DataType::Float),
+        ("tag", DataType::Str),
+    ]));
+    table
+        .push_row(vec![Value::Float(1.5), Value::Str("a".into())])
+        .unwrap();
+    table.push_row(vec![Value::Null, Value::Null]).unwrap();
+    let requests = vec![
+        Request::Execute {
+            relation: "Items".into(),
+            paql: "SELECT PACKAGE(R) AS P FROM Items R".into(),
+            options: ExecOptions {
+                route: RouteChoice::ForceSketchRefine,
+                direct_threshold: Some(10),
+                default_groups: Some(5),
+                threads: Some(4),
+                fallback_to_direct: Some(false),
+            },
+        },
+        Request::RegisterTable {
+            name: "Items".into(),
+            table,
+        },
+        Request::AppendRow {
+            name: "Items".into(),
+            row: vec![Value::Float(2.0), Value::Str("b".into())],
+        },
+        Request::Explain {
+            relation: String::new(),
+            paql: "SELECT PACKAGE(R) AS P FROM Items R".into(),
+            options: ExecOptions::default(),
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for request in requests {
+        let decoded = Request::decode(&request.encode()).unwrap();
+        assert_eq!(decoded, request);
+    }
+}
+
+#[test]
+fn every_response_variant_round_trips() {
+    let responses = vec![
+        Response::Executed(Box::new(RemoteExecution {
+            pairs: vec![(0, 1), (7, 2)],
+            relation: "Items".into(),
+            rows: 100,
+            table_version: 3,
+            direct: false,
+            fell_back_to_direct: true,
+            explain: "strategy: SKETCHREFINE".into(),
+            report: Some(WireReport::default()),
+            timings: WireTimings::default(),
+        })),
+        Response::Registered { version: 9 },
+        Response::Appended { version: 10 },
+        Response::Explained {
+            text: "strategy: DIRECT".into(),
+        },
+        Response::Stats(StatsReply {
+            tables: vec![paq_db::TableStats {
+                name: "Items".into(),
+                rows: 4,
+                version: 2,
+            }],
+            cache: paq_db::CacheStats::default(),
+            served: 17,
+        }),
+        Response::ShuttingDown,
+        Response::Busy {
+            in_flight: 64,
+            max_in_flight: 64,
+        },
+        Response::Error(Fault {
+            kind: FaultKind::UnknownTable,
+            message: "unknown table 'X'".into(),
+        }),
+    ];
+    for response in responses {
+        let decoded = Response::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+    }
+}
+
+#[test]
+fn special_floats_round_trip_bit_exactly() {
+    for bits in [
+        f64::NAN.to_bits(),
+        f64::INFINITY.to_bits(),
+        f64::NEG_INFINITY.to_bits(),
+        (-0.0f64).to_bits(),
+        f64::MIN_POSITIVE.to_bits(),
+    ] {
+        let request = Request::AppendRow {
+            name: "T".into(),
+            row: vec![Value::Float(f64::from_bits(bits))],
+        };
+        let decoded = Request::decode(&request.encode()).unwrap();
+        match decoded {
+            Request::AppendRow { row, .. } => match row[0] {
+                Value::Float(f) => assert_eq!(f.to_bits(), bits),
+                ref other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn package_reconstruction_matches_pairs() {
+    let execution = RemoteExecution {
+        pairs: vec![(3, 2), (1, 1)],
+        relation: "R".into(),
+        rows: 10,
+        table_version: 1,
+        direct: true,
+        fell_back_to_direct: false,
+        explain: String::new(),
+        report: None,
+        timings: WireTimings::default(),
+    };
+    let package = execution.package();
+    assert_eq!(package.members(), &[(1, 1), (3, 2)]);
+    assert_eq!(package.cardinality(), 3);
+}

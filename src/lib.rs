@@ -24,6 +24,7 @@
 //! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
 //! | [`engine`] | package evaluation: DIRECT (§3.2) and SKETCHREFINE (§4.2) |
 //! | [`db`] | `PackageDb`: concurrent sessions over a shared table catalog + partition cache, Direct/SketchRefine planner |
+//! | [`server`] | `paq-server`: PaQL over a socket — wire protocol, concurrent server core, client library |
 //! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
 //!
 //! ## Quickstart
@@ -90,6 +91,7 @@ pub use paq_exec as exec;
 pub use paq_lang as paql;
 pub use paq_partition as partition;
 pub use paq_relational as relational;
+pub use paq_server as server;
 pub use paq_solver as solver;
 
 /// Commonly-used items, re-exported for examples and applications.
@@ -102,5 +104,6 @@ pub mod prelude {
     pub use paq_partition::{PartitionConfig, Partitioner};
     pub use paq_relational::agg::AggFunc;
     pub use paq_relational::{DataType, Expr, Schema, Table, Value};
+    pub use paq_server::{Client, ExecOptions, Server, ServerConfig};
     pub use paq_solver::{MilpSolver, SolverConfig};
 }
