@@ -1,0 +1,119 @@
+//! CI regression gate over the REFINE perf artifact.
+//!
+//! Usage: `bench_gate <fresh.json> <committed-snapshot.json>`
+//!
+//! Fails (exit 1) when the fresh run shows
+//!
+//! * `packages_identical == false`, or any per-query `identical`
+//!   flag false — parallel REFINE diverged from sequential, a
+//!   correctness regression, never a flake;
+//! * warm server round-trip regressed more than [`MAX_REGRESSION`]×
+//!   against the committed snapshot — **skipped when the fresh run's
+//!   `host_cpus == 1`** (a single-CPU runner time-slices the server
+//!   and client onto one core; its latency says nothing about the
+//!   code).
+//!
+//! The timing gate is deliberately coarse (3×): CI runners are shared
+//! and noisy, and this gate exists to catch "the wire path got 30×
+//! slower" regressions (like the Nagle/delayed-ACK coupling fixed in
+//! an earlier PR), not single-digit-percent drift — the step-summary
+//! table (`bench_summary`) is where drift is watched.
+
+use paq_bench::Json;
+
+/// Warm round-trip may grow at most this factor vs the snapshot.
+const MAX_REGRESSION: f64 = 3.0;
+
+fn load(path: &str) -> Json {
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    Json::parse(&raw).unwrap_or_else(|e| panic!("bench_gate: {path} is not valid JSON: {e}"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (fresh_path, snapshot_path) = match (args.next(), args.next()) {
+        (Some(fresh), Some(snapshot)) => (fresh, snapshot),
+        _ => {
+            eprintln!("usage: bench_gate <fresh.json> <committed-snapshot.json>");
+            std::process::exit(2);
+        }
+    };
+    let fresh = load(&fresh_path);
+    let snapshot = load(&snapshot_path);
+    let mut failures = Vec::new();
+
+    // --- correctness flags (never skipped) ----------------------------
+    if fresh.get("packages_identical").and_then(Json::as_bool) != Some(true) {
+        failures.push("packages_identical is not true: parallel REFINE diverged".to_owned());
+    }
+    let queries = fresh.get("queries").and_then(Json::as_arr).unwrap_or(&[]);
+    if queries.is_empty() {
+        failures.push("no per-query datapoints in the fresh artifact".to_owned());
+    }
+    for q in queries {
+        if q.get("identical").and_then(Json::as_bool) != Some(true) {
+            failures.push(format!(
+                "query {} lost sequential/parallel identity",
+                q.get("name").and_then(Json::as_str).unwrap_or("?")
+            ));
+        }
+    }
+
+    // --- warm round-trip timing gate ----------------------------------
+    // Malformed artifacts must FAIL, never silently skip: a missing
+    // host_cpus or server section would otherwise disable this gate
+    // forever and let the exact regressions it exists for land green.
+    let warm = |json: &Json| {
+        json.get("server")
+            .and_then(|s| s.get("warm_min_roundtrip_ms"))
+            .and_then(Json::as_f64)
+    };
+    match (
+        fresh.get("host_cpus").and_then(Json::as_f64),
+        warm(&fresh),
+        warm(&snapshot),
+    ) {
+        (None, _, _) => {
+            failures.push("host_cpus missing from the fresh artifact".to_owned());
+        }
+        (_, None, _) | (_, _, None) => {
+            failures.push(format!(
+                "warm round-trip datapoint missing (fresh {:?}, snapshot {:?})",
+                warm(&fresh),
+                warm(&snapshot)
+            ));
+        }
+        (Some(host_cpus), Some(_), Some(_)) if host_cpus <= 1.0 => {
+            println!("bench_gate: host_cpus == 1 — warm round-trip gate skipped");
+        }
+        (Some(_), Some(fresh_ms), Some(snapshot_ms)) => {
+            if snapshot_ms > 0.0 {
+                let factor = fresh_ms / snapshot_ms;
+                println!(
+                    "bench_gate: warm round-trip {fresh_ms:.3}ms vs snapshot {snapshot_ms:.3}ms \
+                     ({factor:.2}x, limit {MAX_REGRESSION:.1}x)"
+                );
+                if factor > MAX_REGRESSION {
+                    failures.push(format!(
+                        "warm server round-trip regressed {factor:.2}x \
+                         ({fresh_ms:.3}ms vs {snapshot_ms:.3}ms, limit {MAX_REGRESSION:.1}x)"
+                    ));
+                }
+            } else {
+                failures.push(format!(
+                    "snapshot warm round-trip is not positive ({snapshot_ms}ms)"
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: PASS ({} queries checked)", queries.len());
+    } else {
+        for failure in &failures {
+            eprintln!("bench_gate: FAIL — {failure}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,20 +19,29 @@
 //!   same database, measuring cold (partitioning build) and warm
 //!   end-to-end latency of a small query through the full wire stack.
 //!
+//! A fourth datapoint family closes the telemetry loop: the
+//! **cost-based router**. Every measured run above doubles as router
+//! warm-up (forced DIRECT and SKETCHREFINE executions record their
+//! observed costs into the shared telemetry ring), and a probe phase
+//! then executes `Route::Auto` queries, comparing the model's choice
+//! against the static threshold and both predicted costs against
+//! observations — appended as the `router` section of the JSON.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
 //! `PAQ_DIRECT_SCALE` (DIRECT prefix rows, default 1600),
-//! `PAQ_SEED`, and `PAQ_REFINE_OUT` (output path).
+//! `PAQ_BENCH_SEED` (pinned default — snapshots must reproduce), and
+//! `PAQ_REFINE_OUT` (output path).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
-use paq_bench::seed;
+use paq_bench::bench_seed;
 use paq_core::SketchRefineReport;
 use paq_datagen::galaxy_table;
-use paq_db::{DbConfig, PackageDb};
+use paq_db::{DbConfig, PackageDb, Route, RouterVerdict, Strategy};
 use paq_lang::{parse_paql, PackageQuery};
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::agg::{aggregate, AggFunc};
@@ -147,7 +156,6 @@ struct DirectResult {
 /// DIRECT datapoints: the same query *shapes* as the REFINE workload,
 /// scaled to the prefix size, each solved as one monolithic ILP.
 fn measure_direct(db: &PackageDb, relation: &str, rows: usize, reps: u64) -> Vec<DirectResult> {
-    use paq_db::Route;
     let shapes: [(&'static str, String); 3] = [
         (
             "D1-bulk-max",
@@ -207,7 +215,7 @@ struct ServerLatency {
 }
 
 fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
-    use paq_server::{spawn_tcp, Client, Server, ServerConfig};
+    use paq_server::{spawn_tcp, Client, ExecOptions, RouteChoice, Server, ServerConfig};
     use std::time::Instant;
 
     let server = Server::with_config(
@@ -220,8 +228,17 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
     let handle = spawn_tcp(server, "127.0.0.1:0").expect("bind loopback");
     let mut client = Client::connect(handle.addr()).expect("loopback connect");
 
+    // Pin the route: this figure tracks the wire + evaluator stack
+    // across commits, so it must not flip strategies as the router's
+    // telemetry (fed by the phases above) evolves mid-measurement.
+    let options = ExecOptions {
+        route: RouteChoice::ForceSketchRefine,
+        ..ExecOptions::default()
+    };
     let start = Instant::now();
-    let first = client.execute(paql).expect("server bench query must solve");
+    let first = client
+        .execute_with("", paql, options.clone())
+        .expect("server bench query must solve");
     let cold = start.elapsed();
     let expected = first.package();
 
@@ -231,7 +248,9 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
     let reps = warm_reps.max(1);
     for _ in 0..reps {
         let start = Instant::now();
-        let answer = client.execute(paql).expect("warm request");
+        let answer = client
+            .execute_with("", paql, options.clone())
+            .expect("warm request");
         let elapsed = start.elapsed();
         assert_eq!(
             answer.package().members(),
@@ -253,13 +272,153 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
     }
 }
 
+/// One `Route::Auto` probe of the warmed cost-based router.
+struct RouterProbe {
+    name: &'static str,
+    relation: &'static str,
+    rows: usize,
+    text: String,
+    /// What the static threshold ladder would have chosen.
+    static_route: Strategy,
+    /// What the router actually chose.
+    routed: Strategy,
+    /// `true` when the warm model decided (vs the threshold fallback).
+    decided_by_model: bool,
+    /// Model predictions (DIRECT ms, SKETCHREFINE ms) when it decided.
+    predicted: Option<(f64, f64)>,
+    /// Observed evaluation cost of the chosen strategy.
+    observed: Duration,
+    /// Observed cost of the static route, measured via a forced run
+    /// when the router disagreed with the threshold.
+    static_observed: Option<Duration>,
+    /// Relative error of the chosen strategy's prediction (%).
+    prediction_error_pct: Option<f64>,
+}
+
+impl RouterProbe {
+    fn rerouted(&self) -> bool {
+        self.routed != self.static_route
+    }
+
+    /// Did the reroute pay off in observed cost?
+    fn improved(&self) -> Option<bool> {
+        self.static_observed
+            .map(|baseline| self.rerouted() && self.observed < baseline)
+    }
+}
+
+/// Probe the warmed router with `Route::Auto` executions spanning both
+/// sides of the static threshold, recording decisions, predictions,
+/// and observed costs — the telemetry feedback loop made visible.
+fn measure_router(db: &PackageDb, n: usize, direct_n: usize) -> Vec<RouterProbe> {
+    let probes: [(&'static str, &'static str, usize, String); 4] = [
+        (
+            "P1-direct-bulk-max",
+            "GalaxyDirect",
+            direct_n,
+            format!(
+                "SELECT PACKAGE(G) AS P FROM GalaxyDirect G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MAXIMIZE SUM(P.r)",
+                direct_n / 2
+            ),
+        ),
+        (
+            "P2-direct-bulk-min",
+            "GalaxyDirect",
+            direct_n,
+            format!(
+                "SELECT PACKAGE(G) AS P FROM GalaxyDirect G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MINIMIZE SUM(P.extinction_r)",
+                direct_n / 3
+            ),
+        ),
+        (
+            "P3-galaxy-pick-10",
+            "Galaxy",
+            n,
+            "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+             SUCH THAT COUNT(P.*) = 10 MINIMIZE SUM(P.extinction_r)"
+                .to_owned(),
+        ),
+        (
+            "P4-galaxy-bulk-min",
+            "Galaxy",
+            n,
+            format!(
+                "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = {} MINIMIZE SUM(P.extinction_r)",
+                n / 3
+            ),
+        ),
+    ];
+    let observed_cost = |exec: &paq_db::Execution| match &exec.report {
+        Some(r) => r.observed_cost(),
+        None => exec.timings.evaluate,
+    };
+    probes
+        .into_iter()
+        .map(|(name, relation, rows, text)| {
+            let query = parse_paql(&text).expect("router probe parses");
+            let static_route = if rows <= db.config().direct_threshold {
+                Strategy::Direct
+            } else {
+                Strategy::SketchRefine
+            };
+            let exec = db
+                .execute_with(&query, Route::Auto)
+                .expect("router probe must solve");
+            let observed = observed_cost(&exec);
+            let (decided_by_model, predicted) = match exec.router {
+                RouterVerdict::Model(p) => (true, Some((p.direct_ms, p.sketchrefine_ms))),
+                _ => (false, None),
+            };
+            // When the router disagreed with the threshold, measure the
+            // road not taken so the JSON can say whether the reroute
+            // actually won.
+            let static_observed = (exec.strategy != static_route).then(|| {
+                let forced = match static_route {
+                    Strategy::Direct => Route::ForceDirect,
+                    Strategy::SketchRefine => Route::ForceSketchRefine,
+                };
+                let baseline = db
+                    .execute_with(&query, forced)
+                    .expect("static baseline must solve");
+                observed_cost(&baseline)
+            });
+            let prediction_error_pct = predicted.map(|(direct_ms, sketchrefine_ms)| {
+                let predicted_chosen = match exec.strategy {
+                    Strategy::Direct => direct_ms,
+                    Strategy::SketchRefine => sketchrefine_ms,
+                };
+                let observed_ms = (observed.as_secs_f64() * 1e3).max(1e-9);
+                (predicted_chosen - observed_ms).abs() / observed_ms * 100.0
+            });
+            RouterProbe {
+                name,
+                relation,
+                rows,
+                text,
+                static_route,
+                routed: exec.strategy,
+                decided_by_model,
+                predicted,
+                observed,
+                static_observed,
+                prediction_error_pct,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
     let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
     let reps = env_u64("PAQ_REFINE_REPS", 3);
     let out_path =
         std::env::var("PAQ_REFINE_OUT").unwrap_or_else(|_| "BENCH_refine.json".to_owned());
-    let seed = seed();
+    // Pinned independently of PAQ_SEED: the committed snapshot must be
+    // reproducible run-to-run (the CI gate diffs against it).
+    let seed = bench_seed();
 
     let host_cpus = std::thread::available_parallelism()
         .map(|c| c.get())
@@ -368,6 +527,66 @@ fn main() {
         latency.server_evaluate_min.as_secs_f64() * 1e3,
     );
 
+    // --- cost-based router: warmed by everything above ----------------
+    let probes = measure_router(&db, n, direct_n);
+    // One snapshot AFTER the probes, used for both the console line and
+    // the JSON: sample counts and decision counters must describe the
+    // same instant or the artifact contradicts itself.
+    let router_stats = db.router_stats();
+    println!(
+        "router probes (telemetry after probes: {} DIRECT / {} SKETCHREFINE samples, \
+         {} model / {} fallback decisions):",
+        router_stats.direct_samples,
+        router_stats.sketchrefine_samples,
+        router_stats.model_decisions,
+        router_stats.fallback_decisions,
+    );
+    for p in &probes {
+        let predicted = match p.predicted {
+            Some((d, s)) => format!("D {d:.3}ms / SR {s:.3}ms"),
+            None => "—".to_owned(),
+        };
+        println!(
+            "  {:<20} rows {:>6}  static {:<12} routed {:<12} by {:<8} predicted {:<28} \
+             observed {:>8.3}ms{}",
+            p.name,
+            p.rows,
+            p.static_route.to_string(),
+            p.routed.to_string(),
+            if p.decided_by_model {
+                "model"
+            } else {
+                "fallback"
+            },
+            predicted,
+            p.observed.as_secs_f64() * 1e3,
+            match (p.static_observed, p.improved()) {
+                (Some(b), Some(improved)) => format!(
+                    "  (static route observed {:.3}ms — rerouted {})",
+                    b.as_secs_f64() * 1e3,
+                    if improved { "won" } else { "lost" }
+                ),
+                _ => String::new(),
+            },
+        );
+    }
+    let rerouted = probes.iter().filter(|p| p.rerouted()).count();
+    let improved = probes.iter().filter(|p| p.improved() == Some(true)).count();
+    let errors: Vec<f64> = probes
+        .iter()
+        .filter_map(|p| p.prediction_error_pct)
+        .collect();
+    let mean_error = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    println!(
+        "  rerouted vs static threshold: {rerouted}/{} ({improved} with lower observed cost), \
+         mean |prediction error| {mean_error:.1}%",
+        probes.len()
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -429,7 +648,8 @@ fn main() {
     json.push_str("  \"server\": {");
     let _ = write!(
         json,
-        "\"transport\": \"loopback-tcp\", \"query\": \"{}\", \"requests\": {}, \
+        "\"transport\": \"loopback-tcp\", \"query\": \"{}\", \"pinned_route\": \"SKETCHREFINE\", \
+         \"requests\": {}, \
          \"cold_roundtrip_ms\": {:.3}, \"warm_min_roundtrip_ms\": {:.3}, \
          \"warm_mean_roundtrip_ms\": {:.3}, \"server_evaluate_min_ms\": {:.3}",
         json_escape(server_query),
@@ -440,6 +660,67 @@ fn main() {
         latency.server_evaluate_min.as_secs_f64() * 1e3,
     );
     json.push_str("},\n");
+    json.push_str("  \"router\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"direct_samples\": {}, \"sketchrefine_samples\": {}, \
+         \"model_decisions\": {}, \"fallback_decisions\": {},",
+        router_stats.direct_samples,
+        router_stats.sketchrefine_samples,
+        router_stats.model_decisions,
+        router_stats.fallback_decisions,
+    );
+    json.push_str("    \"probes\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        json.push_str("      {");
+        let _ = write!(
+            json,
+            "\"name\": \"{}\", \"relation\": \"{}\", \"rows\": {}, \"query\": \"{}\", \
+             \"static_route\": \"{}\", \"routed\": \"{}\", \"decided_by\": \"{}\"",
+            p.name,
+            p.relation,
+            p.rows,
+            json_escape(&p.text),
+            p.static_route,
+            p.routed,
+            if p.decided_by_model {
+                "model"
+            } else {
+                "fallback"
+            },
+        );
+        if let Some((d, s)) = p.predicted {
+            let _ = write!(
+                json,
+                ", \"predicted_direct_ms\": {d:.3}, \"predicted_sketchrefine_ms\": {s:.3}"
+            );
+        }
+        let _ = write!(
+            json,
+            ", \"observed_ms\": {:.3}",
+            p.observed.as_secs_f64() * 1e3
+        );
+        if let Some(b) = p.static_observed {
+            let _ = write!(
+                json,
+                ", \"static_observed_ms\": {:.3}, \"improved\": {}",
+                b.as_secs_f64() * 1e3,
+                p.improved() == Some(true),
+            );
+        }
+        if let Some(e) = p.prediction_error_pct {
+            let _ = write!(json, ", \"prediction_error_pct\": {e:.1}");
+        }
+        json.push('}');
+        json.push_str(if i + 1 < probes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(
+        json,
+        "    \"rerouted\": {rerouted}, \"improved\": {improved}, \
+         \"mean_prediction_error_pct\": {mean_error:.1}"
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
@@ -449,4 +730,9 @@ fn main() {
     println!("wrote {out_path}");
 
     assert!(all_identical, "parallel REFINE diverged from sequential");
+    assert!(
+        rerouted >= 1 && improved >= 1,
+        "the warmed router must reroute at least one probe away from the static \
+         threshold with lower observed cost (rerouted {rerouted}, improved {improved})"
+    );
 }

@@ -1,0 +1,169 @@
+//! Render `BENCH_refine.json` as a GitHub-flavored-markdown perf
+//! report, for appending to `$GITHUB_STEP_SUMMARY` — the per-commit
+//! perf trajectory readable in the Actions UI without downloading the
+//! artifact.
+//!
+//! Usage: `bench_summary [path]` (default `BENCH_refine.json`); the
+//! markdown goes to stdout.
+
+use paq_bench::Json;
+
+fn num(json: &Json, key: &str) -> f64 {
+    json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn text<'j>(json: &'j Json, key: &str) -> &'j str {
+    json.get(key).and_then(Json::as_str).unwrap_or("?")
+}
+
+fn flag(json: &Json, key: &str) -> &'static str {
+    match json.get(key).and_then(Json::as_bool) {
+        Some(true) => "✅",
+        Some(false) => "❌",
+        None => "—",
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_refine.json".to_owned());
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("bench_summary: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = match Json::parse(&raw) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("bench_summary: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("## REFINE perf trajectory (`{path}`)");
+    println!();
+    println!(
+        "dataset **{}** · {} rows · {} groups (τ = {}) · threads {} on {} host CPU(s) \
+         · seed {} · best of {} reps · packages identical {}",
+        text(&json, "dataset"),
+        num(&json, "rows"),
+        num(&json, "groups"),
+        num(&json, "tau"),
+        num(&json, "threads"),
+        num(&json, "host_cpus"),
+        num(&json, "seed"),
+        num(&json, "reps"),
+        flag(&json, "packages_identical"),
+    );
+    println!();
+
+    println!("### REFINE: sequential vs wave-parallel");
+    println!();
+    println!(
+        "| query | groups refined | seq (ms) | par (ms) | speedup | waves | requeues | identical |"
+    );
+    println!("|---|---:|---:|---:|---:|---:|---:|:---:|");
+    for q in json.get("queries").and_then(Json::as_arr).unwrap_or(&[]) {
+        println!(
+            "| {} | {} | {:.3} | {:.3} | {:.2}× | {} | {} | {} |",
+            text(q, "name"),
+            num(q, "groups_refined"),
+            num(q, "seq_refine_ms"),
+            num(q, "par_refine_ms"),
+            num(q, "speedup"),
+            num(q, "waves"),
+            num(q, "conflict_requeues"),
+            flag(q, "identical"),
+        );
+    }
+    println!(
+        "| **total** |  | **{:.3}** | **{:.3}** | **{:.2}×** |  |  |  |",
+        num(&json, "total_seq_refine_ms"),
+        num(&json, "total_par_refine_ms"),
+        num(&json, "total_speedup"),
+    );
+    println!();
+
+    println!("### DIRECT (monolithic ILP on a table prefix)");
+    println!();
+    println!("| query | rows | evaluate (ms) | cardinality |");
+    println!("|---|---:|---:|---:|");
+    for d in json.get("direct").and_then(Json::as_arr).unwrap_or(&[]) {
+        println!(
+            "| {} | {} | {:.3} | {} |",
+            text(d, "name"),
+            num(d, "rows"),
+            num(d, "evaluate_ms"),
+            num(d, "cardinality"),
+        );
+    }
+    println!();
+
+    if let Some(server) = json.get("server") {
+        println!("### Server round-trip ({})", text(server, "transport"));
+        println!();
+        println!(
+            "cold **{:.3} ms** (lazy partitioning build) · warm min **{:.3} ms** / mean \
+             **{:.3} ms** · server evaluate min **{:.3} ms** · {} requests",
+            num(server, "cold_roundtrip_ms"),
+            num(server, "warm_min_roundtrip_ms"),
+            num(server, "warm_mean_roundtrip_ms"),
+            num(server, "server_evaluate_min_ms"),
+            num(server, "requests"),
+        );
+        println!();
+    }
+
+    if let Some(router) = json.get("router") {
+        println!("### Cost-based router");
+        println!();
+        println!(
+            "telemetry: {} DIRECT / {} SKETCHREFINE samples · {} model / {} fallback \
+             decisions · **{}/{} probes rerouted vs the static threshold, {} with lower \
+             observed cost** · mean |prediction error| {:.1}%",
+            num(router, "direct_samples"),
+            num(router, "sketchrefine_samples"),
+            num(router, "model_decisions"),
+            num(router, "fallback_decisions"),
+            num(router, "rerouted"),
+            router
+                .get("probes")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len)
+                .unwrap_or(0),
+            num(router, "improved"),
+            num(router, "mean_prediction_error_pct"),
+        );
+        println!();
+        println!(
+            "| probe | rows | static | routed | decided by | predicted D (ms) | predicted SR (ms) \
+             | observed (ms) | static observed (ms) | rerouted won |"
+        );
+        println!("|---|---:|---|---|---|---:|---:|---:|---:|:---:|");
+        for p in router.get("probes").and_then(Json::as_arr).unwrap_or(&[]) {
+            let opt = |key: &str| {
+                p.get(key)
+                    .and_then(Json::as_f64)
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "—".to_owned())
+            };
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.3} | {} | {} |",
+                text(p, "name"),
+                num(p, "rows"),
+                text(p, "static_route"),
+                text(p, "routed"),
+                text(p, "decided_by"),
+                opt("predicted_direct_ms"),
+                opt("predicted_sketchrefine_ms"),
+                num(p, "observed_ms"),
+                opt("static_observed_ms"),
+                flag(p, "improved"),
+            );
+        }
+        println!();
+    }
+}

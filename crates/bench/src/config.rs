@@ -29,6 +29,16 @@ pub fn seed() -> u64 {
     env_u64("PAQ_SEED", paq_datagen::DEFAULT_SEED)
 }
 
+/// Bench-snapshot RNG seed (`PAQ_BENCH_SEED`), pinned to a fixed
+/// default **independently of `PAQ_SEED`**: the committed
+/// `BENCH_refine.json` snapshot must be reproducible run-to-run (the
+/// CI regression gate diffs against it), so the perf-trajectory bench
+/// must not inherit whatever seed a local experiment sweep happened to
+/// export. Override explicitly to study seed sensitivity.
+pub fn bench_seed() -> u64 {
+    env_u64("PAQ_BENCH_SEED", paq_datagen::DEFAULT_SEED)
+}
+
 /// REFINE worker threads (`PAQ_THREADS`, default 1 = the sequential
 /// path). Any setting produces identical packages — wave-based REFINE
 /// only consumes speculative results whose bounds match the sequential
@@ -55,6 +65,13 @@ pub fn solver_config() -> SolverConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_seed_default_is_pinned() {
+        if std::env::var("PAQ_BENCH_SEED").is_err() {
+            assert_eq!(bench_seed(), paq_datagen::DEFAULT_SEED);
+        }
+    }
 
     #[test]
     fn defaults_without_env() {

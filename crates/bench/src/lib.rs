@@ -13,7 +13,8 @@
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `PAQ_SCALE` | `20000` | base row count of the Galaxy dataset (TPC-H gets ~3.2×) |
-//! | `PAQ_SEED` | `0x5D55AA96` | RNG seed for data + workload synthesis |
+//! | `PAQ_SEED` | `0x5D55AA96` | RNG seed for data + workload synthesis (experiments) |
+//! | `PAQ_BENCH_SEED` | `0x5D55AA96` | RNG seed for the `bench_refine` perf snapshot — pinned independently of `PAQ_SEED` so committed `BENCH_refine.json` snapshots reproduce run-to-run |
 //! | `PAQ_SOLVER_TIME_MS` | `20000` | per-solve wall-clock budget (the paper's 1h, scaled down) |
 //! | `PAQ_SOLVER_MEM_MB` | `64` | per-solve memory budget (the paper's 512MB working memory, scaled down) |
 //! | `PAQ_THREADS` | `1` | REFINE worker threads (wave-based parallel REFINE; identical packages at any setting) |
@@ -23,10 +24,12 @@
 
 pub mod config;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod runner;
 
-pub use config::{galaxy_rows, refine_threads, seed, solver_config, tpch_rows};
+pub use config::{bench_seed, galaxy_rows, refine_threads, seed, solver_config, tpch_rows};
+pub use json::Json;
 pub use report::TextTable;
 pub use runner::{
     effective_rows, fraction_mask, prepare_galaxy, prepare_tpch, run_direct, run_sketchrefine,

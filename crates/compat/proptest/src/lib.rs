@@ -340,7 +340,7 @@ pub mod collection {
 
     use super::{fmt, Strategy, TestRng};
 
-    /// Length specification accepted by [`vec`]: an exact `usize` or a
+    /// Length specification accepted by [`fn@vec`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -1,0 +1,114 @@
+//! Query feature extraction for cost-based routing.
+//!
+//! The planner's Direct-vs-SketchRefine crossover (paper §5: DIRECT
+//! wins on small inputs, SKETCHREFINE past a data-size/complexity
+//! crossover) depends on more than the row count the static threshold
+//! looks at. [`QueryFeatures`] condenses a compiled query + its input
+//! table into the small numeric vector a per-strategy cost model is
+//! trained on: row count, global-constraint count, the `REPEAT`
+//! multiplicity bound, and the partition group-size target τ the
+//! planner would build with.
+//!
+//! Everything here is a **pure function of the query, the snapshot row
+//! count, and the session config** — no clocks, no randomness — so two
+//! sessions extracting features for the same plan always produce the
+//! identical vector. That purity is what makes routing deterministic:
+//! identical telemetry history + identical features ⇒ identical route.
+
+use paq_lang::PackageQuery;
+
+/// Number of model inputs (bias included); see
+/// [`QueryFeatures::vector`].
+pub const FEATURE_DIM: usize = 5;
+
+/// The routing features of one (query, table-snapshot) pair.
+///
+/// ```
+/// use paq_core::QueryFeatures;
+/// use paq_lang::parse_paql;
+///
+/// let q = parse_paql(
+///     "SELECT PACKAGE(R) AS P FROM Items R REPEAT 1 \
+///      SUCH THAT COUNT(P.*) = 3 AND SUM(P.w) <= 10 MINIMIZE SUM(P.v)",
+/// )
+/// .unwrap();
+/// let f = QueryFeatures::extract(&q, 500, 10);
+/// assert_eq!(f.rows, 500);
+/// assert_eq!(f.constraints, 2);
+/// assert_eq!(f.repeat_bound, 2); // REPEAT 1 ⇒ each tuple at most twice
+/// assert_eq!(f.tau, 50); // 500 rows / 10 target groups
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryFeatures {
+    /// Row count of the input table snapshot.
+    pub rows: usize,
+    /// Number of global (`SUCH THAT`) predicates.
+    pub constraints: usize,
+    /// Per-tuple multiplicity bound (`REPEAT k` ⇒ `k + 1`); `0` encodes
+    /// unlimited repetition. The planner neither model-routes such
+    /// queries (SKETCHREFINE's group caps degenerate) nor records
+    /// their executions as telemetry — `0` sits at the numeric bottom
+    /// of an axis they semantically max out, so training on them
+    /// would invert the feature's meaning.
+    pub repeat_bound: u64,
+    /// Partition group-size target τ = `rows / default_groups` (min 2),
+    /// the same formula the lazy partitioning build uses. Always the
+    /// *plan-time estimate*, even when an execution later runs on a
+    /// provided or cached partitioning with a different actual τ, so
+    /// recorded observations and routing-time predictions live in one
+    /// consistent feature space.
+    pub tau: usize,
+}
+
+impl QueryFeatures {
+    /// Extract features from a compiled query against a table snapshot
+    /// of `rows` rows, under a session targeting `default_groups`
+    /// partition groups.
+    pub fn extract(query: &PackageQuery, rows: usize, default_groups: usize) -> Self {
+        QueryFeatures {
+            rows,
+            constraints: query.such_that.len(),
+            repeat_bound: query.max_multiplicity().unwrap_or(0),
+            tau: (rows / default_groups.max(1)).max(2),
+        }
+    }
+
+    /// The model input vector `[1, rows, constraints, repeat_bound, τ]`
+    /// (leading 1 is the bias term).
+    pub fn vector(&self) -> [f64; FEATURE_DIM] {
+        [
+            1.0,
+            self.rows as f64,
+            self.constraints as f64,
+            self.repeat_bound as f64,
+            self.tau as f64,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_lang::parse_paql;
+
+    #[test]
+    fn unbounded_repeat_encodes_as_zero() {
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM Items R SUCH THAT COUNT(P.*) = 3").unwrap();
+        let f = QueryFeatures::extract(&q, 10, 10);
+        assert_eq!(f.repeat_bound, 0);
+        assert_eq!(f.constraints, 1);
+        assert_eq!(f.tau, 2, "τ floor is 2");
+        assert_eq!(f.vector()[0], 1.0, "bias term");
+    }
+
+    #[test]
+    fn tau_matches_the_lazy_build_formula() {
+        let q = parse_paql("SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 SUCH THAT COUNT(P.*) = 3")
+            .unwrap();
+        // Same expression as the planner's lazy partitioning build:
+        // (rows / default_groups.max(1)).max(2).
+        assert_eq!(QueryFeatures::extract(&q, 12_800, 10).tau, 1_280);
+        assert_eq!(QueryFeatures::extract(&q, 12_800, 0).tau, 12_800);
+        assert_eq!(QueryFeatures::extract(&q, 5, 10).tau, 2);
+    }
+}

@@ -22,6 +22,7 @@
 pub mod binding;
 pub mod direct;
 pub mod error;
+pub mod features;
 pub mod naive;
 pub mod package;
 pub mod sketchrefine;
@@ -29,6 +30,7 @@ pub mod sketchrefine;
 pub use binding::{catalog_scope, check_table_binding};
 pub use direct::Direct;
 pub use error::{EngineError, EngineResult};
+pub use features::{QueryFeatures, FEATURE_DIM};
 pub use package::Package;
 pub use sketchrefine::{SketchRefine, SketchRefineOptions, SketchRefineReport};
 

@@ -158,6 +158,17 @@ pub struct SketchRefineReport {
     pub conflict_requeues: u64,
 }
 
+impl SketchRefineReport {
+    /// The wall-clock cost a cost-based router should attribute to this
+    /// SKETCHREFINE execution: sketch plus refine time. Partitioning
+    /// build time is deliberately excluded — the paper treats it as a
+    /// one-time offline cost amortized across queries (§4.1), and the
+    /// planner's cache makes warm executions skip it entirely.
+    pub fn observed_cost(&self) -> Duration {
+        self.sketch_time + self.refine_time
+    }
+}
+
 /// The SKETCHREFINE evaluator.
 #[derive(Debug, Clone, Default)]
 pub struct SketchRefine {

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use paq_core::{Package, SketchRefineReport};
 
+use crate::router::PredictedCosts;
+
 /// The evaluation strategy the planner chose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
@@ -51,6 +53,10 @@ pub enum RouteReason {
     /// SKETCHREFINE was indicated but no numeric attribute exists to
     /// partition on, so DIRECT is the only executable plan.
     NoPartitionAttributes,
+    /// The telemetry-fed cost model predicted this strategy cheaper;
+    /// the predictions live in [`Execution::router`]
+    /// ([`RouterVerdict::Model`]).
+    CostModel,
 }
 
 impl fmt::Display for RouteReason {
@@ -75,6 +81,58 @@ impl fmt::Display for RouteReason {
             RouteReason::NoPartitionAttributes => {
                 write!(f, "no numeric attributes available for partitioning")
             }
+            RouteReason::CostModel => {
+                write!(f, "cost model predicted it cheaper (see router line)")
+            }
+        }
+    }
+}
+
+/// How the cost-based router participated in route selection — always
+/// reported, so `explain()` can say whether the model or the fallback
+/// decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouterVerdict {
+    /// The caller pinned the route (`Route::Force*` / wire
+    /// `ExecOptions.route`); the model was not consulted.
+    Pinned,
+    /// The warm model decided, with these per-strategy predictions.
+    Model(PredictedCosts),
+    /// The static threshold ladder decided: cold start, router
+    /// disabled, or SKETCHREFINE not executable for this plan.
+    Fallback {
+        /// DIRECT observations in the telemetry ring at plan time.
+        direct_samples: usize,
+        /// SKETCHREFINE observations in the telemetry ring at plan
+        /// time.
+        sketchrefine_samples: usize,
+    },
+}
+
+impl fmt::Display for RouterVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterVerdict::Pinned => {
+                write!(f, "route pinned by caller; model not consulted")
+            }
+            RouterVerdict::Model(p) => write!(
+                f,
+                "model decided — predicted DIRECT {:.3}ms vs SKETCHREFINE {:.3}ms \
+                 ({} + {} samples) → {}",
+                p.direct_ms,
+                p.sketchrefine_ms,
+                p.direct_samples,
+                p.sketchrefine_samples,
+                p.cheaper(),
+            ),
+            RouterVerdict::Fallback {
+                direct_samples,
+                sketchrefine_samples,
+            } => write!(
+                f,
+                "fallback decided — static threshold \
+                 ({direct_samples} DIRECT / {sketchrefine_samples} SKETCHREFINE samples)",
+            ),
         }
     }
 }
@@ -184,6 +242,9 @@ pub struct Execution {
     pub strategy: Strategy,
     /// Why the planner routed there.
     pub reason: RouteReason,
+    /// The cost-based router's verdict: model, fallback, or pinned —
+    /// with predicted per-strategy costs when the model decided.
+    pub router: RouterVerdict,
     /// Partition-cache participation.
     pub cache: CacheOutcome,
     /// SKETCHREFINE work counters (`None` on DIRECT executions).
@@ -210,6 +271,7 @@ impl Execution {
             "strategy:     {} — {}\n",
             self.strategy, self.reason
         ));
+        out.push_str(&format!("router:       {}\n", self.router));
         if self.fell_back_to_direct {
             out.push_str(
                 "fallback:     SKETCHREFINE reported possibly-false infeasibility; \
@@ -263,6 +325,10 @@ mod tests {
                 rows: 5000,
                 threshold: 2000,
             },
+            router: RouterVerdict::Fallback {
+                direct_samples: 0,
+                sketchrefine_samples: 0,
+            },
             cache: CacheOutcome::Hit {
                 groups: 12,
                 attributes: vec!["kcal".into()],
@@ -274,6 +340,10 @@ mod tests {
         let text = exec.explain();
         assert!(text.contains("SKETCHREFINE"));
         assert!(text.contains("above direct-threshold"));
+        assert!(
+            text.contains("fallback decided — static threshold"),
+            "{text}"
+        );
         assert!(text.contains("hit (12 groups on [kcal])"));
         assert!(text.contains("solver calls"));
     }
@@ -283,5 +353,17 @@ mod tests {
         assert_eq!(Strategy::Direct.to_string(), "DIRECT");
         assert!(CacheOutcome::NotUsed.to_string().contains("not used"));
         assert!(RouteReason::Forced.to_string().contains("forced"));
+        assert!(RouteReason::CostModel.to_string().contains("cost model"));
+        assert!(RouterVerdict::Pinned.to_string().contains("pinned"));
+        let model = RouterVerdict::Model(PredictedCosts {
+            direct_ms: 12.5,
+            sketchrefine_ms: 1.25,
+            direct_samples: 4,
+            sketchrefine_samples: 6,
+        });
+        let text = model.to_string();
+        assert!(text.contains("12.500ms"), "{text}");
+        assert!(text.contains("1.250ms"), "{text}");
+        assert!(text.contains("→ SKETCHREFINE"), "{text}");
     }
 }

@@ -24,11 +24,15 @@
 //!     first SKETCHREFINE use, reused by later queries (§4.1 "One-time
 //!     cost"), and invalidated when the table mutates; counters are
 //!     atomics, so stats stay exact under concurrency;
-//!   * a **planner** ([`PackageDb::execute`]) that inspects row count
-//!     vs. a configurable direct-threshold, `REPEAT` bounds, and
-//!     partitioning availability, then routes to DIRECT or
-//!     SKETCHREFINE — returning an [`Execution`] whose
-//!     [`explain`](Execution::explain) says why.
+//!   * a **cost-based planner** ([`PackageDb::execute`]) that routes
+//!     each query to DIRECT or SKETCHREFINE by per-strategy predicted
+//!     cost, learned online from an execution-telemetry history ring
+//!     shared by all sessions ([`router`]); until the model is warm it
+//!     falls back — bit-identically — to the static ladder (row count
+//!     vs. a configurable direct-threshold, `REPEAT` bounds,
+//!     partitioning availability). Every [`Execution`]'s
+//!     [`explain`](Execution::explain) names the route, the predicted
+//!     costs, and whether the model or the fallback decided.
 //! * [`DbConfig`] / [`Route`] — *per-session* tuning and routing
 //!   control (the low-level [`paq_core::Evaluator`] trait stays public
 //!   for benchmarks and ablations).
@@ -43,10 +47,12 @@ pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod execution;
+pub mod router;
 pub mod session;
 
 pub use cache::{CacheStats, PartitionSpec};
 pub use catalog::{Catalog, TableEntry};
 pub use error::{DbError, DbResult};
-pub use execution::{CacheOutcome, Execution, RouteReason, Strategy, Timings};
+pub use execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
+pub use router::{Observation, PredictedCosts, RouterConfig, RouterDecision, RouterStats};
 pub use session::{DbConfig, DbStats, PackageDb, Route, TableStats};

@@ -1,0 +1,389 @@
+//! Cost-based routing: a telemetry-fed model that learns the
+//! Direct-vs-SketchRefine crossover.
+//!
+//! The paper shows SKETCHREFINE pays off only past a
+//! data-size/constraint-complexity crossover (§5); a static row-count
+//! threshold pins that crossover by fiat. This module replaces it with
+//! a small **online cost model**: one linear predictor per strategy
+//! over the [`QueryFeatures`] vector (rows, constraint count, `REPEAT`
+//! bound, partition group-size target τ), trained by normalized
+//! least-mean-squares over an execution-telemetry **history ring**
+//! owned by the shared database state. Every clean execution — routed,
+//! forced, or benchmarked — appends one [`Observation`]; every
+//! `Route::Auto` plan replays the ring through [`decide`].
+//!
+//! # Determinism
+//!
+//! [`decide`] is a pure function of `(features, history snapshot,
+//! config)`: the models are re-fit by replaying the ring **in
+//! insertion order** with fixed-precision `f64` arithmetic, so
+//! identical telemetry history produces bit-identical predictions and
+//! therefore identical routes — at any thread count, from any session.
+//! No clocks, no randomness, no global state.
+//!
+//! # Cold start and escape hatches
+//!
+//! Until the ring holds at least [`RouterConfig::min_samples`]
+//! observations of **each** strategy, [`decide`] reports
+//! [`RouterDecision::ColdStart`] and the planner falls back to the
+//! legacy threshold ladder — bit-identical to the pre-router planner.
+//! A pinned route (`Route::ForceDirect` / `Route::ForceSketchRefine`,
+//! or the wire `ExecOptions.route`) always wins: the model is not even
+//! consulted.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use paq_core::{QueryFeatures, FEATURE_DIM};
+
+use crate::execution::Strategy;
+
+/// Per-session knobs of the cost-based router (part of
+/// [`DbConfig`](crate::DbConfig)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Consult the model on `Route::Auto` plans and record execution
+    /// telemetry. Disabled, the planner is exactly the static
+    /// threshold ladder and the history ring stays untouched.
+    pub enabled: bool,
+    /// Observations of **each** strategy required before the model may
+    /// override the threshold; below it every plan is a cold-start
+    /// fallback.
+    pub min_samples: usize,
+    /// History ring capacity: the newest this many observations are
+    /// kept. The ring is *shared* database state, so the capacity is
+    /// fixed when the database is created
+    /// ([`PackageDb::with_config`](crate::PackageDb::with_config));
+    /// changing it on a live session has no effect — per-session
+    /// tuning must never let one client degrade another's routing.
+    pub capacity: usize,
+    /// Normalized-LMS step size μ. Values are clamped into `(0, 2)` at
+    /// fit time — the NLMS stability region — so no setting can make
+    /// predictions diverge.
+    pub learning_rate: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            enabled: true,
+            min_samples: 3,
+            capacity: 64,
+            learning_rate: 0.5,
+        }
+    }
+}
+
+/// One execution-telemetry datapoint: which strategy ran, on what
+/// features, at what observed cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Plan-time features of the executed query.
+    pub features: QueryFeatures,
+    /// The strategy that produced the cost.
+    pub strategy: Strategy,
+    /// Observed evaluation cost (DIRECT: evaluator wall-clock;
+    /// SKETCHREFINE: sketch + refine, excluding the amortized
+    /// partitioning build).
+    pub cost: Duration,
+}
+
+/// The shared execution-telemetry history: a bounded ring of the most
+/// recent [`Observation`]s, oldest first. The capacity is fixed at
+/// construction (see [`RouterConfig::capacity`]).
+#[derive(Debug)]
+pub struct TelemetryRing {
+    obs: VecDeque<Observation>,
+    capacity: usize,
+}
+
+impl Default for TelemetryRing {
+    fn default() -> Self {
+        TelemetryRing::with_capacity(RouterConfig::default().capacity)
+    }
+}
+
+impl TelemetryRing {
+    /// An empty ring keeping at most `capacity` observations (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TelemetryRing {
+            obs: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Append an observation, evicting the oldest beyond the ring's
+    /// capacity.
+    pub fn record(&mut self, obs: Observation) {
+        self.obs.push_back(obs);
+        while self.obs.len() > self.capacity {
+            self.obs.pop_front();
+        }
+    }
+
+    /// The ring contents in insertion order (the replay order
+    /// [`decide`] fits models in).
+    pub fn snapshot(&self) -> Vec<Observation> {
+        self.obs.iter().copied().collect()
+    }
+
+    /// (DIRECT, SKETCHREFINE) observation counts currently held.
+    pub fn counts(&self) -> (usize, usize) {
+        let direct = self
+            .obs
+            .iter()
+            .filter(|o| o.strategy == Strategy::Direct)
+            .count();
+        (direct, self.obs.len() - direct)
+    }
+}
+
+/// One strategy's linear cost predictor, fit by replaying history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CostModel {
+    weights: [f64; FEATURE_DIM],
+    samples: usize,
+}
+
+impl CostModel {
+    /// Fit a model for `strategy` by one normalized-LMS pass over
+    /// `history` in order: `w += μ · (y − w·x) · x / ‖x‖²`. The bias
+    /// term keeps `‖x‖² ≥ 1`, and μ is clamped into the NLMS stability
+    /// region, so weights stay finite for every input sequence.
+    fn fit(history: &[Observation], strategy: Strategy, learning_rate: f64) -> CostModel {
+        let mu = learning_rate.clamp(1e-6, 1.999);
+        let mut weights = [0.0; FEATURE_DIM];
+        let mut samples = 0;
+        for obs in history.iter().filter(|o| o.strategy == strategy) {
+            samples += 1;
+            let x = obs.features.vector();
+            let y = obs.cost.as_secs_f64() * 1e3;
+            let prediction: f64 = weights.iter().zip(&x).map(|(w, xi)| w * xi).sum();
+            let norm: f64 = x.iter().map(|xi| xi * xi).sum();
+            let step = mu * (y - prediction) / norm;
+            for (w, xi) in weights.iter_mut().zip(&x) {
+                *w += step * xi;
+            }
+        }
+        CostModel { weights, samples }
+    }
+
+    /// Predicted cost in milliseconds, clamped at zero (a linear model
+    /// extrapolating down-scale can cross zero; a negative cost can
+    /// never be justified to a caller reading `explain()`).
+    fn predict(&self, features: &QueryFeatures) -> f64 {
+        let x = features.vector();
+        let raw: f64 = self.weights.iter().zip(&x).map(|(w, xi)| w * xi).sum();
+        raw.max(0.0)
+    }
+
+    /// `true` when every weight is a normal number (defensive: NaN
+    /// costs injected into the ring must demote the model to cold
+    /// start, never decide a route).
+    fn is_finite(&self) -> bool {
+        self.weights.iter().all(|w| w.is_finite())
+    }
+}
+
+/// The model's per-strategy cost predictions for one plan, in
+/// milliseconds, plus the sample counts that back them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedCosts {
+    /// Predicted DIRECT evaluation cost (ms, ≥ 0).
+    pub direct_ms: f64,
+    /// Predicted SKETCHREFINE evaluation cost (ms, ≥ 0).
+    pub sketchrefine_ms: f64,
+    /// DIRECT observations the model was fit on.
+    pub direct_samples: usize,
+    /// SKETCHREFINE observations the model was fit on.
+    pub sketchrefine_samples: usize,
+}
+
+impl PredictedCosts {
+    /// The strategy the predictions justify (ties go to DIRECT — the
+    /// exact strategy — deterministically).
+    pub fn cheaper(&self) -> Strategy {
+        if self.direct_ms <= self.sketchrefine_ms {
+            Strategy::Direct
+        } else {
+            Strategy::SketchRefine
+        }
+    }
+}
+
+/// Outcome of consulting the router for one `Route::Auto` plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RouterDecision {
+    /// Both per-strategy models are warm; route to
+    /// [`PredictedCosts::cheaper`].
+    Model(PredictedCosts),
+    /// Not enough history for at least one strategy — the caller must
+    /// fall back to the static threshold ladder.
+    ColdStart {
+        /// DIRECT observations currently in the ring.
+        direct_samples: usize,
+        /// SKETCHREFINE observations currently in the ring.
+        sketchrefine_samples: usize,
+    },
+}
+
+/// Decide a route from a telemetry-history snapshot. Pure and
+/// deterministic: identical `(features, history, config)` always
+/// returns the identical decision (see the [module docs](self)).
+pub fn decide(
+    features: &QueryFeatures,
+    history: &[Observation],
+    config: &RouterConfig,
+) -> RouterDecision {
+    let direct = CostModel::fit(history, Strategy::Direct, config.learning_rate);
+    let sketchrefine = CostModel::fit(history, Strategy::SketchRefine, config.learning_rate);
+    let min = config.min_samples.max(1);
+    if direct.samples < min
+        || sketchrefine.samples < min
+        || !direct.is_finite()
+        || !sketchrefine.is_finite()
+    {
+        return RouterDecision::ColdStart {
+            direct_samples: direct.samples,
+            sketchrefine_samples: sketchrefine.samples,
+        };
+    }
+    RouterDecision::Model(PredictedCosts {
+        direct_ms: direct.predict(features),
+        sketchrefine_ms: sketchrefine.predict(features),
+        direct_samples: direct.samples,
+        sketchrefine_samples: sketchrefine.samples,
+    })
+}
+
+/// Observable router counters, shared across every session of a
+/// database (part of [`DbStats`](crate::DbStats) and the server's
+/// `Stats` reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// DIRECT observations currently in the history ring.
+    pub direct_samples: usize,
+    /// SKETCHREFINE observations currently in the history ring.
+    pub sketchrefine_samples: usize,
+    /// `Route::Auto` plans the warm model decided.
+    pub model_decisions: u64,
+    /// `Route::Auto` plans the threshold fallback decided (cold start,
+    /// router disabled, or SKETCHREFINE not executable).
+    pub fallback_decisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paq_lang::parse_paql;
+
+    fn features(rows: usize) -> QueryFeatures {
+        let q = parse_paql(
+            "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 SUCH THAT COUNT(P.*) = 3 \
+             MINIMIZE SUM(P.value)",
+        )
+        .unwrap();
+        QueryFeatures::extract(&q, rows, 10)
+    }
+
+    fn obs(rows: usize, strategy: Strategy, ms: u64) -> Observation {
+        Observation {
+            features: features(rows),
+            strategy,
+            cost: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn ring_trims_to_capacity_oldest_first() {
+        let mut ring = TelemetryRing::with_capacity(4);
+        for i in 0..10 {
+            ring.record(obs(100 + i, Strategy::Direct, 1));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].features.rows, 106, "oldest surviving entry");
+        assert_eq!(ring.counts(), (4, 0));
+    }
+
+    #[test]
+    fn cold_start_until_both_strategies_have_min_samples() {
+        let config = RouterConfig::default();
+        let mut history = vec![obs(500, Strategy::SketchRefine, 2); 10];
+        match decide(&features(500), &history, &config) {
+            RouterDecision::ColdStart {
+                direct_samples,
+                sketchrefine_samples,
+            } => {
+                assert_eq!(direct_samples, 0);
+                assert_eq!(sketchrefine_samples, 10);
+            }
+            other => panic!("expected cold start, got {other:?}"),
+        }
+        history.extend([obs(500, Strategy::Direct, 20); 3]);
+        assert!(matches!(
+            decide(&features(500), &history, &config),
+            RouterDecision::Model(_)
+        ));
+    }
+
+    #[test]
+    fn warm_model_prefers_the_consistently_cheaper_strategy() {
+        let config = RouterConfig::default();
+        let mut history = Vec::new();
+        for _ in 0..6 {
+            history.push(obs(500, Strategy::Direct, 40));
+            history.push(obs(500, Strategy::SketchRefine, 2));
+        }
+        match decide(&features(500), &history, &config) {
+            RouterDecision::Model(p) => {
+                assert!(p.direct_ms > p.sketchrefine_ms, "{p:?}");
+                assert_eq!(p.cheaper(), Strategy::SketchRefine);
+                assert_eq!((p.direct_samples, p.sketchrefine_samples), (6, 6));
+            }
+            other => panic!("expected model decision, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decisions_are_bit_identical_across_replays() {
+        let config = RouterConfig::default();
+        let history: Vec<Observation> = (0..20)
+            .map(|i| {
+                obs(
+                    100 * (i + 1),
+                    if i % 3 == 0 {
+                        Strategy::Direct
+                    } else {
+                        Strategy::SketchRefine
+                    },
+                    (7 * i + 1) as u64,
+                )
+            })
+            .collect();
+        let first = decide(&features(750), &history, &config);
+        for _ in 0..5 {
+            assert_eq!(decide(&features(750), &history, &config), first);
+        }
+    }
+
+    #[test]
+    fn extreme_learning_rates_cannot_diverge() {
+        let config = RouterConfig {
+            learning_rate: 1e18, // clamped into the NLMS stability region
+            ..RouterConfig::default()
+        };
+        let mut history = Vec::new();
+        for i in 0..50 {
+            history.push(obs(1 + i, Strategy::Direct, u64::MAX / 1_000_000));
+            history.push(obs(1 + i, Strategy::SketchRefine, 0));
+        }
+        match decide(&features(10), &history, &config) {
+            RouterDecision::Model(p) => {
+                assert!(p.direct_ms.is_finite() && p.direct_ms >= 0.0);
+                assert!(p.sketchrefine_ms.is_finite() && p.sketchrefine_ms >= 0.0);
+            }
+            other => panic!("expected model decision, got {other:?}"),
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! The paper's PackageBuilder is a *system* serving many interactive
 //! clients, so the state splits in two:
 //!
-//! * [`SharedState`] (private) — one per database, behind an `Arc`:
+//! * `SharedState` (private) — one per database, behind an `Arc`:
 //!   the table **catalog**, the **partition cache**, the **telemetry**
 //!   sink, and the lazily spawned worker **pool**. Every session handle
 //!   cloned from a `PackageDb` points at the same shared state.
@@ -37,12 +37,13 @@
 //!   always consistent with the version its execution observed.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
-use paq_core::{Direct, EngineError, Evaluator, SketchRefine, SketchRefineOptions};
+use paq_core::{Direct, EngineError, Evaluator, QueryFeatures, SketchRefine, SketchRefineOptions};
 use paq_exec::ThreadPool;
 use paq_lang::{parse_paql, validate, PackageQuery};
 use paq_partition::partitioning::GID_COLUMN;
@@ -53,7 +54,8 @@ use paq_solver::{SolverConfig, Telemetry};
 use crate::cache::{CacheStats, PartitionCache, PartitionSpec};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
-use crate::execution::{CacheOutcome, Execution, RouteReason, Strategy, Timings};
+use crate::execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
+use crate::router::{self, Observation, RouterConfig, RouterDecision, RouterStats, TelemetryRing};
 
 /// Planner routing control for
 /// [`PackageDb::execute_with`].
@@ -91,6 +93,11 @@ pub struct DbConfig {
     /// unpartitioned problem cannot be falsely infeasible. Applies to
     /// [`Route::Auto`] only; forced routes report the raw verdict.
     pub fallback_to_direct: bool,
+    /// Cost-based router knobs: with enough execution telemetry the
+    /// planner routes by per-strategy predicted cost instead of the
+    /// static `direct_threshold` (which stays the cold-start
+    /// fallback). See [`crate::router`].
+    pub router: RouterConfig,
 }
 
 impl Default for DbConfig {
@@ -101,6 +108,7 @@ impl Default for DbConfig {
             solver: SolverConfig::default(),
             sketchrefine: SketchRefineOptions::default(),
             fallback_to_direct: true,
+            router: RouterConfig::default(),
         }
     }
 }
@@ -125,6 +133,9 @@ pub struct DbStats {
     pub tables: Vec<TableStats>,
     /// Shared partition-cache counters.
     pub cache: CacheStats,
+    /// Shared cost-based-router counters (telemetry samples held,
+    /// model vs fallback decisions).
+    pub router: RouterStats,
 }
 
 /// Key of one in-flight partitioning build: (table key, version,
@@ -201,6 +212,15 @@ struct SharedState {
     pools: Mutex<HashMap<usize, Arc<ThreadPool>>>,
     /// In-flight lazily-built partitionings, for single-flight builds.
     pending_builds: Mutex<HashMap<BuildKey, Arc<BuildSlot>>>,
+    /// Execution-telemetry history feeding the cost-based router —
+    /// one ring per database, shared by every session (like the
+    /// partition cache, routing knowledge is a property of the data
+    /// and workload, not of one client).
+    router_ring: Mutex<TelemetryRing>,
+    /// `Route::Auto` plans decided by the warm cost model.
+    router_model_decisions: AtomicU64,
+    /// `Route::Auto` plans decided by the static threshold fallback.
+    router_fallback_decisions: AtomicU64,
 }
 
 impl SharedState {
@@ -300,10 +320,16 @@ impl PackageDb {
     }
 
     /// A fresh database (and its first session) with explicit
-    /// configuration.
+    /// configuration. The router's telemetry-ring capacity is fixed
+    /// here, from `config.router.capacity` — it is shared state, so
+    /// later per-session capacity changes have no effect.
     pub fn with_config(config: DbConfig) -> Self {
+        let shared = SharedState {
+            router_ring: Mutex::new(TelemetryRing::with_capacity(config.router.capacity)),
+            ..SharedState::default()
+        };
         PackageDb {
-            shared: Arc::new(SharedState::default()),
+            shared: Arc::new(shared),
             config,
         }
     }
@@ -340,6 +366,44 @@ impl PackageDb {
     /// of *any* session of this database reports into it.
     pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
         *self.shared.telemetry.write() = Some(telemetry);
+    }
+
+    // ------------------------------------------------------------------
+    // Cost-based router
+    // ------------------------------------------------------------------
+
+    /// Append one observation to the shared router-telemetry history —
+    /// the warm-start hook for callers replaying persisted telemetry
+    /// (clean executions record themselves automatically). The ring
+    /// keeps the newest [`RouterConfig::capacity`] observations, as
+    /// configured when the database was created.
+    pub fn record_router_observation(
+        &self,
+        features: QueryFeatures,
+        strategy: Strategy,
+        cost: Duration,
+    ) {
+        self.shared.router_ring.lock().record(Observation {
+            features,
+            strategy,
+            cost,
+        });
+    }
+
+    /// Observable router counters: telemetry samples currently held
+    /// per strategy, and how many `Route::Auto` plans the model vs the
+    /// threshold fallback decided. Shared across all sessions.
+    pub fn router_stats(&self) -> RouterStats {
+        let (direct_samples, sketchrefine_samples) = self.shared.router_ring.lock().counts();
+        RouterStats {
+            direct_samples,
+            sketchrefine_samples,
+            model_decisions: self.shared.router_model_decisions.load(Ordering::Acquire),
+            fallback_decisions: self
+                .shared
+                .router_fallback_decisions
+                .load(Ordering::Acquire),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -487,6 +551,7 @@ impl PackageDb {
         DbStats {
             tables,
             cache: self.shared.cache.stats(),
+            router: self.router_stats(),
         }
     }
 
@@ -557,30 +622,84 @@ impl PackageDb {
         validate(query, table.schema())?;
 
         let partition_attrs = partition_attributes(query, &table);
-        let (mut strategy, reason) = match route {
-            Route::ForceDirect => (Strategy::Direct, RouteReason::Forced),
-            Route::ForceSketchRefine => (Strategy::SketchRefine, RouteReason::Forced),
+        let features = QueryFeatures::extract(query, rows, self.config.default_groups);
+        let (mut strategy, reason, verdict) = match route {
+            Route::ForceDirect => (Strategy::Direct, RouteReason::Forced, RouterVerdict::Pinned),
+            Route::ForceSketchRefine => (
+                Strategy::SketchRefine,
+                RouteReason::Forced,
+                RouterVerdict::Pinned,
+            ),
             Route::Auto => {
-                if query.max_multiplicity().is_none() {
-                    (Strategy::Direct, RouteReason::UnboundedRepeat)
-                } else if rows <= self.config.direct_threshold {
-                    (
-                        Strategy::Direct,
-                        RouteReason::SmallTable {
-                            rows,
-                            threshold: self.config.direct_threshold,
-                        },
+                // The model is only consulted where SKETCHREFINE is
+                // actually executable (bounded REPEAT, something to
+                // partition on) — elsewhere DIRECT is the only plan
+                // and the static ladder explains why. With too little
+                // telemetry the decision is a cold start and the
+                // ladder below reproduces the pre-router planner
+                // bit-identically.
+                let decision = if self.config.router.enabled
+                    && query.max_multiplicity().is_some()
+                    && !partition_attrs.is_empty()
+                {
+                    router::decide(
+                        &features,
+                        &self.shared.router_ring.lock().snapshot(),
+                        &self.config.router,
                     )
-                } else if partition_attrs.is_empty() {
-                    (Strategy::Direct, RouteReason::NoPartitionAttributes)
                 } else {
-                    (
-                        Strategy::SketchRefine,
-                        RouteReason::LargeTable {
-                            rows,
-                            threshold: self.config.direct_threshold,
-                        },
-                    )
+                    let (direct_samples, sketchrefine_samples) =
+                        self.shared.router_ring.lock().counts();
+                    RouterDecision::ColdStart {
+                        direct_samples,
+                        sketchrefine_samples,
+                    }
+                };
+                match decision {
+                    RouterDecision::Model(predicted) => {
+                        self.shared
+                            .router_model_decisions
+                            .fetch_add(1, Ordering::AcqRel);
+                        (
+                            predicted.cheaper(),
+                            RouteReason::CostModel,
+                            RouterVerdict::Model(predicted),
+                        )
+                    }
+                    RouterDecision::ColdStart {
+                        direct_samples,
+                        sketchrefine_samples,
+                    } => {
+                        self.shared
+                            .router_fallback_decisions
+                            .fetch_add(1, Ordering::AcqRel);
+                        let verdict = RouterVerdict::Fallback {
+                            direct_samples,
+                            sketchrefine_samples,
+                        };
+                        let (strategy, reason) = if query.max_multiplicity().is_none() {
+                            (Strategy::Direct, RouteReason::UnboundedRepeat)
+                        } else if rows <= self.config.direct_threshold {
+                            (
+                                Strategy::Direct,
+                                RouteReason::SmallTable {
+                                    rows,
+                                    threshold: self.config.direct_threshold,
+                                },
+                            )
+                        } else if partition_attrs.is_empty() {
+                            (Strategy::Direct, RouteReason::NoPartitionAttributes)
+                        } else {
+                            (
+                                Strategy::SketchRefine,
+                                RouteReason::LargeTable {
+                                    rows,
+                                    threshold: self.config.direct_threshold,
+                                },
+                            )
+                        };
+                        (strategy, reason, verdict)
+                    }
                 }
             }
         };
@@ -657,6 +776,30 @@ impl PackageDb {
         };
         let evaluate = evaluate_start.elapsed() - partitioning_time;
 
+        // Feed the observed cost back into the shared telemetry ring —
+        // every clean execution is training signal, whether the route
+        // was model-chosen, threshold-chosen, or pinned (benchmarks
+        // forcing both strategies are exactly how the model warms up).
+        // Two exclusions keep the signal clean: the §4.4 DIRECT re-run
+        // (its evaluate time mixes the failed SKETCHREFINE attempt
+        // with the DIRECT solve) and unbounded-REPEAT executions
+        // (encoded as `repeat_bound = 0`, the numeric *bottom* of an
+        // axis they semantically max out — training on them would
+        // invert the feature for ordinary bounded queries, and the
+        // model never routes them anyway).
+        if self.config.router.enabled && features.repeat_bound > 0 {
+            let observed = match (strategy, &report) {
+                (Strategy::SketchRefine, Some(r)) => {
+                    Some((Strategy::SketchRefine, r.observed_cost()))
+                }
+                (Strategy::Direct, _) if !fell_back_to_direct => Some((Strategy::Direct, evaluate)),
+                _ => None,
+            };
+            if let Some((observed_strategy, cost)) = observed {
+                self.record_router_observation(features, observed_strategy, cost);
+            }
+        }
+
         Ok(Execution {
             package,
             relation,
@@ -664,6 +807,7 @@ impl PackageDb {
             table_version,
             strategy,
             reason,
+            router: verdict,
             cache,
             report,
             fell_back_to_direct,

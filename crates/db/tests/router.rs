@@ -1,0 +1,501 @@
+//! Cost-based router integration tests: cold-start equivalence with
+//! the static threshold planner, warm-model overrides, pinned-route
+//! precedence, determinism at any thread count and under concurrent
+//! sessions, and a property test that no telemetry sequence can
+//! produce a route `explain()` cannot justify.
+
+use std::time::Duration;
+
+use paq_core::QueryFeatures;
+use paq_db::router::{decide, Observation, RouterConfig, RouterDecision};
+use paq_db::{DbConfig, PackageDb, Route, RouteReason, RouterVerdict, Strategy};
+use paq_lang::parse_paql;
+use paq_relational::{DataType, Schema, Table, Value};
+use proptest::prelude::*;
+// The proptest `Strategy` trait clashes with `paq_db::Strategy`; bring
+// its methods into scope anonymously.
+use proptest::Strategy as _;
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 \
+     MAXIMIZE SUM(P.value)";
+
+fn table(n: usize) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        t.push_row(vec![
+            Value::Float((next() % 100) as f64 / 10.0 + 1.0),
+            Value::Float((next() % 50) as f64 / 10.0 + 0.5),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn db_with(threshold: usize, rows: usize) -> PackageDb {
+    let db = PackageDb::with_config(DbConfig {
+        direct_threshold: threshold,
+        ..DbConfig::default()
+    });
+    db.register_table("Items", table(rows));
+    db
+}
+
+fn query_features(db: &PackageDb, rows: usize) -> QueryFeatures {
+    QueryFeatures::extract(
+        &parse_paql(QUERY).unwrap(),
+        rows,
+        db.config().default_groups,
+    )
+}
+
+/// Inject a history where DIRECT is consistently expensive and
+/// SKETCHREFINE consistently cheap at roughly these features.
+fn warm_up(db: &PackageDb, rows: usize, samples: usize) {
+    let features = query_features(db, rows);
+    for _ in 0..samples {
+        db.record_router_observation(features, Strategy::Direct, Duration::from_millis(80));
+        db.record_router_observation(features, Strategy::SketchRefine, Duration::from_millis(1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cold start: the threshold planner, bit for bit
+// ---------------------------------------------------------------------
+
+#[test]
+fn cold_start_reproduces_threshold_decisions() {
+    // Below the threshold → DIRECT / SmallTable, fallback verdict.
+    let db = db_with(100, 60);
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(
+        exec.reason,
+        RouteReason::SmallTable {
+            rows: 60,
+            threshold: 100
+        }
+    );
+    assert!(
+        matches!(
+            exec.router,
+            RouterVerdict::Fallback {
+                direct_samples: 0,
+                sketchrefine_samples: 0
+            }
+        ),
+        "{:?}",
+        exec.router
+    );
+    let text = exec.explain();
+    assert!(
+        text.contains("fallback decided — static threshold"),
+        "{text}"
+    );
+
+    // Above the threshold → SKETCHREFINE / LargeTable, fallback
+    // verdict (one DIRECT observation was recorded above — still cold).
+    let db = db_with(20, 150);
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::SketchRefine);
+    assert_eq!(
+        exec.reason,
+        RouteReason::LargeTable {
+            rows: 150,
+            threshold: 20
+        }
+    );
+    assert!(matches!(exec.router, RouterVerdict::Fallback { .. }));
+    let stats = db.router_stats();
+    assert_eq!(stats.fallback_decisions, 1);
+    assert_eq!(stats.model_decisions, 0);
+}
+
+#[test]
+fn one_strategy_alone_never_warms_the_model() {
+    let db = db_with(20, 150); // SR route
+    let features = query_features(&db, 150);
+    // Plenty of SKETCHREFINE telemetry, zero DIRECT.
+    for _ in 0..30 {
+        db.record_router_observation(features, Strategy::SketchRefine, Duration::from_millis(1));
+    }
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::SketchRefine);
+    assert!(
+        matches!(exec.router, RouterVerdict::Fallback { .. }),
+        "{}",
+        exec.explain()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Warm model: overrides the threshold, explains itself
+// ---------------------------------------------------------------------
+
+#[test]
+fn warm_model_overrides_the_threshold_and_explains_itself() {
+    // 150 rows, threshold 10 000: the static planner would say DIRECT.
+    let db = db_with(10_000, 150);
+    warm_up(&db, 150, 5);
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(
+        exec.strategy,
+        Strategy::SketchRefine,
+        "cheap-SKETCHREFINE telemetry must flip the small-table route: {}",
+        exec.explain()
+    );
+    assert_eq!(exec.reason, RouteReason::CostModel);
+    let RouterVerdict::Model(predicted) = exec.router else {
+        panic!("expected a model verdict: {:?}", exec.router);
+    };
+    assert!(
+        predicted.sketchrefine_ms < predicted.direct_ms,
+        "{predicted:?}"
+    );
+    assert_eq!(predicted.cheaper(), Strategy::SketchRefine);
+    // explain() names the route, both predicted costs, and the decider.
+    let text = exec.explain();
+    assert!(text.contains("SKETCHREFINE — cost model"), "{text}");
+    assert!(text.contains("model decided — predicted DIRECT"), "{text}");
+    assert!(text.contains("ms vs SKETCHREFINE"), "{text}");
+    assert_eq!(db.router_stats().model_decisions, 1);
+}
+
+#[test]
+fn disabling_the_router_restores_the_threshold_planner() {
+    let mut db = db_with(10_000, 150);
+    warm_up(&db, 150, 5);
+    db.config_mut().router.enabled = false;
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct, "{}", exec.explain());
+    assert!(matches!(exec.reason, RouteReason::SmallTable { .. }));
+    // Disabled sessions also stop recording.
+    let before = db.router_stats();
+    db.execute(QUERY).unwrap();
+    let after = db.router_stats();
+    assert_eq!(before.direct_samples, after.direct_samples);
+    assert_eq!(before.sketchrefine_samples, after.sketchrefine_samples);
+}
+
+#[test]
+fn pinned_route_beats_the_warm_model() {
+    let db = db_with(10_000, 150);
+    warm_up(&db, 150, 5);
+    // The model would pick SKETCHREFINE (see the test above); a pinned
+    // route must win without consulting it.
+    let q = parse_paql(QUERY).unwrap();
+    let exec = db.execute_with(&q, Route::ForceDirect).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(exec.reason, RouteReason::Forced);
+    assert_eq!(exec.router, RouterVerdict::Pinned);
+    assert!(exec.explain().contains("route pinned by caller"));
+    let exec = db.execute_with(&q, Route::ForceSketchRefine).unwrap();
+    assert_eq!(exec.strategy, Strategy::SketchRefine);
+    assert_eq!(exec.router, RouterVerdict::Pinned);
+    // Pinned plans count as neither model nor fallback decisions.
+    let stats = db.router_stats();
+    assert_eq!(stats.model_decisions + stats.fallback_decisions, 0);
+}
+
+#[test]
+fn unbounded_repeat_and_missing_attrs_stay_absolute_guards() {
+    // Unbounded REPEAT: SKETCHREFINE's sketch caps degenerate, so even
+    // a warm model that loves SKETCHREFINE must not be consulted.
+    let db = db_with(10, 80);
+    warm_up(&db, 80, 5);
+    let no_repeat = "SELECT PACKAGE(R) AS P FROM Items R \
+         SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 MINIMIZE SUM(P.value)";
+    let exec = db.execute(no_repeat).unwrap();
+    assert_eq!(exec.strategy, Strategy::Direct);
+    assert_eq!(exec.reason, RouteReason::UnboundedRepeat);
+    assert!(matches!(exec.router, RouterVerdict::Fallback { .. }));
+}
+
+#[test]
+fn per_session_capacity_changes_cannot_shrink_the_shared_ring() {
+    // The ring is shared state: its capacity is fixed when the
+    // database is created, so one client tuning `router.capacity`
+    // down must not evict the telemetry every other session routes on.
+    let mut config = DbConfig::default();
+    config.router.capacity = 8;
+    let db = PackageDb::with_config(config);
+    db.register_table("Items", table(20));
+    let features = query_features(&db, 20);
+    for _ in 0..8 {
+        db.record_router_observation(features, Strategy::Direct, Duration::from_millis(2));
+    }
+    assert_eq!(db.router_stats().direct_samples, 8);
+
+    let mut greedy = db.session();
+    greedy.config_mut().router.capacity = 1;
+    greedy.record_router_observation(features, Strategy::SketchRefine, Duration::from_millis(1));
+    let stats = db.router_stats();
+    assert_eq!(
+        stats.direct_samples + stats.sketchrefine_samples,
+        8,
+        "ring must keep the creation-time capacity, not the recording session's: {stats:?}"
+    );
+    assert_eq!(stats.sketchrefine_samples, 1, "newest observation kept");
+}
+
+#[test]
+fn unbounded_repeat_executions_are_not_recorded() {
+    let db = db_with(10, 80); // above threshold, but unbounded ⇒ DIRECT
+    let no_repeat = "SELECT PACKAGE(R) AS P FROM Items R \
+         SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 MINIMIZE SUM(P.value)";
+    db.execute(no_repeat).unwrap();
+    let stats = db.router_stats();
+    assert_eq!(
+        stats.direct_samples + stats.sketchrefine_samples,
+        0,
+        "repeat_bound = 0 sits at the numeric bottom of an axis the query \
+         semantically maxes out; recording it would invert the feature: {stats:?}"
+    );
+}
+
+#[test]
+fn executions_feed_the_telemetry_ring() {
+    let db = db_with(100, 60); // DIRECT route
+    assert_eq!(db.router_stats().direct_samples, 0);
+    db.execute(QUERY).unwrap();
+    db.execute(QUERY).unwrap();
+    let q = parse_paql(QUERY).unwrap();
+    db.execute_with(&q, Route::ForceSketchRefine).unwrap();
+    let stats = db.router_stats();
+    assert_eq!(stats.direct_samples, 2, "auto DIRECT runs record");
+    assert_eq!(stats.sketchrefine_samples, 1, "forced runs record too");
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same history ⇒ same route, threads 1 vs 4, concurrent
+// ---------------------------------------------------------------------
+
+/// The identical telemetry history injected into two databases — one
+/// evaluating with 1 REFINE thread, one with 4 — must produce the
+/// identical route, reason, and (bit-for-bit) predicted costs.
+#[test]
+fn identical_history_routes_identically_threads_1_vs_4() {
+    let history: Vec<(Strategy, u64)> = (0..12)
+        .map(|i| {
+            (
+                if i % 2 == 0 {
+                    Strategy::Direct
+                } else {
+                    Strategy::SketchRefine
+                },
+                3 + 7 * (i % 5),
+            )
+        })
+        .collect();
+    let mut verdicts = Vec::new();
+    for threads in [1usize, 4] {
+        let mut config = DbConfig {
+            direct_threshold: 10_000,
+            ..DbConfig::default()
+        };
+        config.sketchrefine.threads = threads;
+        let db = PackageDb::with_config(config);
+        db.register_table("Items", table(150));
+        let features = query_features(&db, 150);
+        for &(strategy, ms) in &history {
+            db.record_router_observation(features, strategy, Duration::from_millis(ms));
+        }
+        let exec = db.execute(QUERY).unwrap();
+        verdicts.push((exec.strategy, exec.reason.clone(), exec.router));
+    }
+    assert_eq!(
+        verdicts[0], verdicts[1],
+        "thread count must not influence routing"
+    );
+}
+
+/// Concurrent sessions racing the same decision on one shared frozen
+/// history all compute the identical verdict (the decision function is
+/// pure), and interleaved *recording* executions always carry a
+/// verdict that justifies their route.
+#[test]
+fn concurrent_sessions_route_deterministically_on_a_frozen_history() {
+    let threads: usize = std::env::var("PAQ_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4);
+
+    // Frozen history: decide() raced from many threads is identical.
+    let features = QueryFeatures::extract(&parse_paql(QUERY).unwrap(), 150, 10);
+    let history: Vec<Observation> = (0..16)
+        .map(|i| Observation {
+            features,
+            strategy: if i % 3 == 0 {
+                Strategy::Direct
+            } else {
+                Strategy::SketchRefine
+            },
+            cost: Duration::from_micros(500 + 137 * i),
+        })
+        .collect();
+    let config = RouterConfig::default();
+    let reference = decide(&features, &history, &config);
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(2) {
+            let history = &history;
+            let config = &config;
+            let reference = &reference;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(decide(&features, history, config), *reference);
+                }
+            });
+        }
+    });
+
+    // Live shared state: every concurrent execution's verdict must
+    // justify its route even as racers mutate the history ring.
+    let db = db_with(10_000, 150);
+    warm_up(&db, 150, 5);
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(2) {
+            let session = db.session();
+            s.spawn(move || {
+                for _ in 0..3 {
+                    let exec = session.execute(QUERY).unwrap();
+                    match exec.router {
+                        RouterVerdict::Model(p) => {
+                            assert_eq!(exec.strategy, p.cheaper(), "{}", exec.explain())
+                        }
+                        RouterVerdict::Fallback { .. } => assert!(
+                            matches!(
+                                exec.reason,
+                                RouteReason::SmallTable { .. }
+                                    | RouteReason::LargeTable { .. }
+                                    | RouteReason::UnboundedRepeat
+                                    | RouteReason::NoPartitionAttributes
+                            ),
+                            "{}",
+                            exec.explain()
+                        ),
+                        RouterVerdict::Pinned => panic!("Auto plans are never pinned"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Property: no telemetry sequence yields an unjustifiable route
+// ---------------------------------------------------------------------
+
+fn arbitrary_observation() -> impl proptest::Strategy<Value = Observation> {
+    (
+        (1usize..5_000, 0u64..4, any::<bool>()),
+        (0u64..100_000_000, 1usize..40),
+    )
+        .prop_map(
+            |((rows, repeat, is_direct), (cost_us, groups))| Observation {
+                features: QueryFeatures {
+                    rows,
+                    constraints: 1 + rows % 4,
+                    repeat_bound: repeat,
+                    tau: (rows / groups).max(2),
+                },
+                strategy: if is_direct {
+                    Strategy::Direct
+                } else {
+                    Strategy::SketchRefine
+                },
+                cost: Duration::from_micros(cost_us),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure-decision invariants over arbitrary telemetry sequences:
+    /// a model decision always rests on enough samples of both
+    /// strategies and finite non-negative predictions that agree with
+    /// the chosen strategy; a cold start always means some strategy is
+    /// under-sampled.
+    #[test]
+    fn arbitrary_telemetry_yields_justifiable_decisions(
+        history in prop::collection::vec(arbitrary_observation(), 0..80),
+        probe in arbitrary_observation(),
+        min_samples in 1usize..6,
+        learning_rate in prop_oneof![Just(0.1f64), Just(0.5), Just(1.0), Just(100.0)],
+    ) {
+        let config = RouterConfig {
+            min_samples,
+            learning_rate,
+            ..RouterConfig::default()
+        };
+        let direct_total =
+            history.iter().filter(|o| o.strategy == Strategy::Direct).count();
+        let sketchrefine_total = history.len() - direct_total;
+        match decide(&probe.features, &history, &config) {
+            RouterDecision::Model(p) => {
+                prop_assert!(p.direct_samples >= min_samples);
+                prop_assert!(p.sketchrefine_samples >= min_samples);
+                prop_assert_eq!(p.direct_samples, direct_total);
+                prop_assert_eq!(p.sketchrefine_samples, sketchrefine_total);
+                prop_assert!(p.direct_ms.is_finite() && p.direct_ms >= 0.0);
+                prop_assert!(p.sketchrefine_ms.is_finite() && p.sketchrefine_ms >= 0.0);
+                let cheaper = p.cheaper();
+                prop_assert!(
+                    (cheaper == Strategy::Direct) == (p.direct_ms <= p.sketchrefine_ms)
+                );
+            }
+            RouterDecision::ColdStart { direct_samples, sketchrefine_samples } => {
+                prop_assert_eq!(direct_samples, direct_total);
+                prop_assert_eq!(sketchrefine_samples, sketchrefine_total);
+                prop_assert!(
+                    direct_samples < min_samples || sketchrefine_samples < min_samples
+                );
+            }
+        }
+    }
+
+    /// End to end: whatever telemetry is injected, an executed Auto
+    /// plan's `explain()` always justifies the route — a model verdict
+    /// carries predictions agreeing with the chosen strategy, and a
+    /// fallback verdict reproduces the static threshold decision.
+    #[test]
+    fn arbitrary_telemetry_never_breaks_explain_justification(
+        history in prop::collection::vec(arbitrary_observation(), 0..24),
+        threshold in prop_oneof![Just(10usize), Just(200usize)],
+    ) {
+        let db = db_with(threshold, 60);
+        for obs in &history {
+            db.record_router_observation(obs.features, obs.strategy, obs.cost);
+        }
+        let exec = db.execute(QUERY).unwrap();
+        let text = exec.explain();
+        match exec.router {
+            RouterVerdict::Model(p) => {
+                prop_assert_eq!(exec.strategy, p.cheaper(), "{}", &text);
+                prop_assert_eq!(exec.reason, RouteReason::CostModel);
+                prop_assert!(text.contains("model decided — predicted DIRECT"), "{}", &text);
+            }
+            RouterVerdict::Fallback { .. } => {
+                let expected = if 60 <= threshold {
+                    Strategy::Direct
+                } else {
+                    Strategy::SketchRefine
+                };
+                prop_assert_eq!(exec.strategy, expected, "{}", &text);
+                prop_assert!(text.contains("fallback decided — static threshold"), "{}", &text);
+            }
+            RouterVerdict::Pinned => prop_assert!(false, "Auto plans are never pinned"),
+        }
+    }
+}

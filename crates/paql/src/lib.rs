@@ -20,9 +20,9 @@
 //!   recursive-descent parser for the full grammar of Appendix A.4;
 //! * [`builder`] — a fluent programmatic constructor ([`Paql`]) that
 //!   yields the same AST as the parser;
-//! * [`validate`] — semantic checks against a table schema (attributes
+//! * [`mod@validate`] — semantic checks against a table schema (attributes
 //!   exist and are numeric where required, linearity restrictions, …);
-//! * [`translate`] — the PaQL → ILP translation rules of §3.1, producing
+//! * [`mod@translate`] — the PaQL → ILP translation rules of §3.1, producing
 //!   a [`paq_solver::Model`] plus the variable↔tuple mapping;
 //! * [`reduction`] — the constructive ILP → PaQL reduction from the
 //!   proof of Theorem 1 (used to property-test expressiveness).

@@ -4,7 +4,7 @@
 //!
 //! 1. start with a single group holding every tuple;
 //! 2. compute each group's size, centroid and radius (the group-by
-//!    query of §4.1, here [`partitioning::centroid_and_radius`]);
+//!    query of §4.1, here `partitioning::centroid_and_radius`);
 //! 3. any group violating the size threshold τ or the radius limit ω is
 //!    split into up to `2^k` sub-quadrants around its centroid pivot;
 //! 4. recurse until every group satisfies both conditions.

@@ -9,7 +9,7 @@
 //!
 //! * [`wire`] — the **protocol**: length-prefixed frames with a
 //!   hand-rolled binary encoding of requests
-//!   ([`Request::Execute`](wire::Request::Execute),
+//!   ([`Request::Execute`],
 //!   `RegisterTable`, `AppendRow`, `Explain`, `Stats`, `Shutdown`) and
 //!   responses (packages with full
 //!   [`explain`](paq_db::Execution::explain) text and
@@ -21,7 +21,7 @@
 //!   (or in-memory) acceptor feeding a fixed connection-handler pool
 //!   built on [`paq_exec::ThreadPool`], one cloned `PackageDb` session
 //!   per connection, per-request
-//!   [`ExecOptions`](wire::ExecOptions) config overrides, a bounded
+//!   [`ExecOptions`] config overrides, a bounded
 //!   in-flight queue that rejects with `Busy` instead of buffering
 //!   without bound, and graceful shutdown that drains in-flight
 //!   executions.
@@ -74,5 +74,5 @@ pub use server::{
 pub use transport::{duplex, pipe_listener, PipeConnector, PipeEnd, PipeListener};
 pub use wire::{
     ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, RouteChoice, StatsReply,
-    WireReport, WireTimings, MAX_FRAME, WIRE_VERSION,
+    WireReport, WireRouterVerdict, WireTimings, MAX_FRAME, WIRE_VERSION,
 };

@@ -20,7 +20,7 @@
 //!   [`Server::trigger_shutdown`]) stops the acceptor; handlers finish
 //!   the request they are processing — a frame already started is
 //!   always read to completion (see
-//!   [`read_frame_with`](crate::wire::read_frame_with)) — then close as
+//!   [`read_frame_with`]) — then close as
 //!   soon as their connection goes idle. [`Server::serve`] returns only
 //!   after every handler drained.
 
@@ -390,6 +390,7 @@ impl Server {
                 Response::Stats(StatsReply {
                     tables: stats.tables,
                     cache: stats.cache,
+                    router: stats.router,
                     served: self.state.served.load(Ordering::Acquire),
                 })
             }
@@ -433,6 +434,9 @@ impl Server {
         }
         if let Some(v) = options.fallback_to_direct {
             config.fallback_to_direct = v;
+        }
+        if let Some(v) = options.router_enabled {
+            config.router.enabled = v;
         }
         session
             .execute_with(&query, options.route.into())

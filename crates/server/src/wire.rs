@@ -38,13 +38,16 @@ use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use paq_core::Package;
-use paq_db::{CacheStats, Execution, Strategy, TableStats};
+use paq_db::{CacheStats, Execution, RouterStats, RouterVerdict, Strategy, TableStats};
 use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
 
 use crate::error::{WireError, WireResult};
 
-/// Protocol revision spoken by this build.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol revision spoken by this build. Bumped to 2 when the
+/// cost-based router landed: `ExecOptions` gained `router_enabled`,
+/// `Executed` gained the router verdict (decision source + predicted
+/// per-strategy costs), and `Stats` gained the shared router counters.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard cap on one frame's payload (32 MiB). Large enough for a
 /// multi-million-row `RegisterTable`, small enough that a corrupt
@@ -417,6 +420,12 @@ pub struct ExecOptions {
     pub threads: Option<u64>,
     /// Override `DbConfig::fallback_to_direct`.
     pub fallback_to_direct: Option<bool>,
+    /// Override `DbConfig::router.enabled` — `Some(false)` pins this
+    /// request to the static threshold planner (and skips telemetry
+    /// recording) regardless of the server session's configuration.
+    /// Note [`ExecOptions::route`] is stronger still: a forced route
+    /// never consults the model at all.
+    pub router_enabled: Option<bool>,
 }
 
 /// Wire mirror of [`paq_db::Route`].
@@ -450,13 +459,22 @@ fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
     put_opt_u64(out, o.direct_threshold);
     put_opt_u64(out, o.default_groups);
     put_opt_u64(out, o.threads);
-    match o.fallback_to_direct {
+    put_opt_bool(out, o.fallback_to_direct);
+    put_opt_bool(out, o.router_enabled);
+}
+
+fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
+    match v {
         Some(v) => {
             put_bool(out, true);
             put_bool(out, v);
         }
         None => put_bool(out, false),
     }
+}
+
+fn get_opt_bool(c: &mut Cursor<'_>) -> WireResult<Option<bool>> {
+    Ok(if c.bool()? { Some(c.bool()?) } else { None })
 }
 
 fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
@@ -471,7 +489,8 @@ fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
         direct_threshold: get_opt_u64(c)?,
         default_groups: get_opt_u64(c)?,
         threads: get_opt_u64(c)?,
-        fallback_to_direct: if c.bool()? { Some(c.bool()?) } else { None },
+        fallback_to_direct: get_opt_bool(c)?,
+        router_enabled: get_opt_bool(c)?,
     })
 }
 
@@ -668,6 +687,99 @@ impl From<&paq_core::SketchRefineReport> for WireReport {
     }
 }
 
+/// Wire form of the cost-based router's verdict for one execution
+/// ([`paq_db::RouterVerdict`]): whether the model, the threshold
+/// fallback, or a pinned route decided — with the predicted
+/// per-strategy costs when the model did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireRouterVerdict {
+    /// The request pinned the route; the model was not consulted.
+    Pinned,
+    /// The warm model decided on predicted costs.
+    Model {
+        /// Predicted DIRECT evaluation cost (ms).
+        direct_ms: f64,
+        /// Predicted SKETCHREFINE evaluation cost (ms).
+        sketchrefine_ms: f64,
+        /// DIRECT telemetry samples behind the prediction.
+        direct_samples: u64,
+        /// SKETCHREFINE telemetry samples behind the prediction.
+        sketchrefine_samples: u64,
+    },
+    /// The static threshold fallback decided (cold start or router
+    /// disabled), with the telemetry sample counts at plan time.
+    Fallback {
+        /// DIRECT telemetry samples at plan time.
+        direct_samples: u64,
+        /// SKETCHREFINE telemetry samples at plan time.
+        sketchrefine_samples: u64,
+    },
+}
+
+impl From<&RouterVerdict> for WireRouterVerdict {
+    fn from(v: &RouterVerdict) -> Self {
+        match v {
+            RouterVerdict::Pinned => WireRouterVerdict::Pinned,
+            RouterVerdict::Model(p) => WireRouterVerdict::Model {
+                direct_ms: p.direct_ms,
+                sketchrefine_ms: p.sketchrefine_ms,
+                direct_samples: p.direct_samples as u64,
+                sketchrefine_samples: p.sketchrefine_samples as u64,
+            },
+            RouterVerdict::Fallback {
+                direct_samples,
+                sketchrefine_samples,
+            } => WireRouterVerdict::Fallback {
+                direct_samples: *direct_samples as u64,
+                sketchrefine_samples: *sketchrefine_samples as u64,
+            },
+        }
+    }
+}
+
+fn put_router_verdict(out: &mut Vec<u8>, v: &WireRouterVerdict) {
+    match v {
+        WireRouterVerdict::Pinned => out.push(0),
+        WireRouterVerdict::Model {
+            direct_ms,
+            sketchrefine_ms,
+            direct_samples,
+            sketchrefine_samples,
+        } => {
+            out.push(1);
+            put_f64(out, *direct_ms);
+            put_f64(out, *sketchrefine_ms);
+            put_u64(out, *direct_samples);
+            put_u64(out, *sketchrefine_samples);
+        }
+        WireRouterVerdict::Fallback {
+            direct_samples,
+            sketchrefine_samples,
+        } => {
+            out.push(2);
+            put_u64(out, *direct_samples);
+            put_u64(out, *sketchrefine_samples);
+        }
+    }
+}
+
+fn get_router_verdict(c: &mut Cursor<'_>) -> WireResult<WireRouterVerdict> {
+    Ok(match c.u8()? {
+        0 => WireRouterVerdict::Pinned,
+        1 => WireRouterVerdict::Model {
+            direct_ms: c.f64()?,
+            sketchrefine_ms: c.f64()?,
+            direct_samples: c.u64()?,
+            sketchrefine_samples: c.u64()?,
+        },
+        2 => WireRouterVerdict::Fallback {
+            direct_samples: c.u64()?,
+            sketchrefine_samples: c.u64()?,
+        },
+        tag => return Err(WireError::Malformed(format!("router verdict tag {tag}"))),
+    })
+}
+
 /// Wall-clock breakdown of a remote execution (server-side times; the
 /// round-trip latency on top is the client's to measure).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -697,6 +809,12 @@ pub struct RemoteExecution {
     /// `true` when DIRECT produced the package, `false` for
     /// SKETCHREFINE.
     pub direct: bool,
+    /// How the cost-based router decided this route (model with
+    /// predicted costs, threshold fallback, or pinned). The observed
+    /// cost the router recorded is [`RemoteExecution::timings`]`.evaluate`
+    /// for DIRECT and the report's sketch + refine time for
+    /// SKETCHREFINE.
+    pub router: WireRouterVerdict,
     /// Whether SKETCHREFINE's possibly-false infeasibility was settled
     /// by a DIRECT re-run.
     pub fell_back_to_direct: bool,
@@ -722,6 +840,7 @@ impl RemoteExecution {
             rows: exec.rows as u64,
             table_version: exec.table_version,
             direct: exec.strategy == Strategy::Direct,
+            router: WireRouterVerdict::from(&exec.router),
             fell_back_to_direct: exec.fell_back_to_direct,
             explain: exec.explain(),
             report: exec.report.as_ref().map(WireReport::from),
@@ -847,6 +966,9 @@ pub struct StatsReply {
     pub tables: Vec<TableStats>,
     /// Shared partition-cache counters.
     pub cache: CacheStats,
+    /// Shared cost-based-router counters (telemetry samples held,
+    /// model vs fallback decisions).
+    pub router: RouterStats,
     /// Requests the server has answered so far (all kinds).
     pub served: u64,
 }
@@ -904,6 +1026,7 @@ impl Response {
                 put_u64(&mut out, exec.rows);
                 put_u64(&mut out, exec.table_version);
                 put_bool(&mut out, exec.direct);
+                put_router_verdict(&mut out, &exec.router);
                 put_bool(&mut out, exec.fell_back_to_direct);
                 put_string(&mut out, &exec.explain);
                 match &exec.report {
@@ -953,6 +1076,10 @@ impl Response {
                 put_u64(&mut out, stats.cache.misses);
                 put_u64(&mut out, stats.cache.invalidations);
                 put_u64(&mut out, stats.cache.entries as u64);
+                put_u64(&mut out, stats.router.direct_samples as u64);
+                put_u64(&mut out, stats.router.sketchrefine_samples as u64);
+                put_u64(&mut out, stats.router.model_decisions);
+                put_u64(&mut out, stats.router.fallback_decisions);
                 put_u64(&mut out, stats.served);
             }
             Response::ShuttingDown => out.push(5),
@@ -987,6 +1114,7 @@ impl Response {
                 let rows = c.u64()?;
                 let table_version = c.u64()?;
                 let direct = c.bool()?;
+                let router = get_router_verdict(&mut c)?;
                 let fell_back_to_direct = c.bool()?;
                 let explain = c.string()?;
                 let report = if c.bool()? {
@@ -1019,6 +1147,7 @@ impl Response {
                     rows,
                     table_version,
                     direct,
+                    router,
                     fell_back_to_direct,
                     explain,
                     report,
@@ -1048,6 +1177,12 @@ impl Response {
                         misses: c.u64()?,
                         invalidations: c.u64()?,
                         entries: c.usize()?,
+                    },
+                    router: RouterStats {
+                        direct_samples: c.usize()?,
+                        sketchrefine_samples: c.usize()?,
+                        model_decisions: c.u64()?,
+                        fallback_decisions: c.u64()?,
                     },
                     served: c.u64()?,
                 })

@@ -7,7 +7,7 @@
 use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
 use paq_server::{
     wire, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, RouteChoice,
-    StatsReply, WireError, WireReport, WireTimings,
+    StatsReply, WireError, WireReport, WireRouterVerdict, WireTimings,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -91,6 +91,7 @@ fn options() -> impl Strategy<Value = ExecOptions> {
                 default_groups: has_groups.then_some(groups % 1000),
                 threads: (groups % 3 == 0).then_some(groups % 17),
                 fallback_to_direct: has_fb.then_some(fb),
+                router_enabled: (thresh % 2 == 0).then_some(thresh % 3 == 0),
             },
         )
 }
@@ -148,6 +149,35 @@ fn report() -> impl Strategy<Value = WireReport> {
         )
 }
 
+fn router_verdict() -> impl Strategy<Value = WireRouterVerdict> {
+    prop_oneof![
+        Just(WireRouterVerdict::Pinned),
+        (any::<f64>(), any::<f64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(direct_ms, sketchrefine_ms, direct_samples, sketchrefine_samples)| {
+                WireRouterVerdict::Model {
+                    // NaN breaks PartialEq round-trip comparison; the
+                    // f64 *encoding* is bit-exact regardless (covered
+                    // by special_floats_round_trip_bit_exactly).
+                    direct_ms: if direct_ms.is_nan() { 0.0 } else { direct_ms },
+                    sketchrefine_ms: if sketchrefine_ms.is_nan() {
+                        0.0
+                    } else {
+                        sketchrefine_ms
+                    },
+                    direct_samples,
+                    sketchrefine_samples,
+                }
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(direct_samples, sketchrefine_samples)| {
+            WireRouterVerdict::Fallback {
+                direct_samples,
+                sketchrefine_samples,
+            }
+        }),
+    ]
+}
+
 fn execution() -> impl Strategy<Value = RemoteExecution> {
     (
         (
@@ -158,18 +188,20 @@ fn execution() -> impl Strategy<Value = RemoteExecution> {
         (
             (any::<bool>(), any::<bool>(), "[ -~]{0,60}"),
             ((any::<bool>(), report()), any::<u64>()),
+            router_verdict(),
         ),
     )
         .prop_map(
             |(
                 (pairs, relation, (rows, table_version)),
-                ((direct, fell_back, explain), ((has_report, report), nanos)),
+                ((direct, fell_back, explain), ((has_report, report), nanos), router),
             )| RemoteExecution {
                 pairs,
                 relation,
                 rows,
                 table_version,
                 direct,
+                router,
                 fell_back_to_direct: fell_back,
                 explain,
                 report: has_report.then_some(report),
@@ -204,9 +236,10 @@ fn stats() -> impl Strategy<Value = StatsReply> {
     (
         prop::collection::vec(("[a-zA-Z]{1,8}", (any::<u64>(), any::<u64>())), 0..5),
         ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(tables, ((hits, misses), (invalidations, served)))| StatsReply {
+            |(tables, ((hits, misses), (invalidations, served)), (model, fallback))| StatsReply {
                 tables: tables
                     .into_iter()
                     .map(|(name, (rows, version))| paq_db::TableStats {
@@ -220,6 +253,12 @@ fn stats() -> impl Strategy<Value = StatsReply> {
                     misses,
                     invalidations,
                     entries: (served % 1000) as usize,
+                },
+                router: paq_db::RouterStats {
+                    direct_samples: (model % 257) as usize,
+                    sketchrefine_samples: (fallback % 129) as usize,
+                    model_decisions: model,
+                    fallback_decisions: fallback,
                 },
                 served,
             },
@@ -335,6 +374,7 @@ fn every_request_variant_round_trips() {
                 default_groups: Some(5),
                 threads: Some(4),
                 fallback_to_direct: Some(false),
+                router_enabled: Some(false),
             },
         },
         Request::RegisterTable {
@@ -368,6 +408,12 @@ fn every_response_variant_round_trips() {
             rows: 100,
             table_version: 3,
             direct: false,
+            router: WireRouterVerdict::Model {
+                direct_ms: 18.5,
+                sketchrefine_ms: 1.75,
+                direct_samples: 4,
+                sketchrefine_samples: 9,
+            },
             fell_back_to_direct: true,
             explain: "strategy: SKETCHREFINE".into(),
             report: Some(WireReport::default()),
@@ -385,6 +431,7 @@ fn every_response_variant_round_trips() {
                 version: 2,
             }],
             cache: paq_db::CacheStats::default(),
+            router: paq_db::RouterStats::default(),
             served: 17,
         }),
         Response::ShuttingDown,
@@ -435,6 +482,7 @@ fn package_reconstruction_matches_pairs() {
         rows: 10,
         table_version: 1,
         direct: true,
+        router: WireRouterVerdict::Pinned,
         fell_back_to_direct: false,
         explain: String::new(),
         report: None,

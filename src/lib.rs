@@ -96,9 +96,10 @@ pub use paq_solver as solver;
 
 /// Commonly-used items, re-exported for examples and applications.
 pub mod prelude {
-    pub use paq_core::{Direct, Evaluator, Package, SketchRefine};
+    pub use paq_core::{Direct, Evaluator, Package, QueryFeatures, SketchRefine};
     pub use paq_db::{
-        CacheOutcome, DbConfig, DbError, Execution, PackageDb, Route, RouteReason, Strategy,
+        CacheOutcome, DbConfig, DbError, Execution, PackageDb, Route, RouteReason, RouterConfig,
+        RouterVerdict, Strategy,
     };
     pub use paq_lang::{parse_paql, Paql, PaqlBuilder};
     pub use paq_partition::{PartitionConfig, Partitioner};
