@@ -7,6 +7,10 @@
 //! * `packages_identical == false`, or any per-query `identical`
 //!   flag false — parallel REFINE diverged from sequential, a
 //!   correctness regression, never a flake;
+//! * the `recovery` section is missing, the recovered store failed to
+//!   serve its partitioning as a warm cache hit, or recovery restored
+//!   no partitionings — the durability contract, checked structurally
+//!   (recovery *timings* are trajectory-only, never gated);
 //! * warm server round-trip regressed more than [`MAX_REGRESSION`]×
 //!   against the committed snapshot — **skipped when the fresh run's
 //!   `host_cpus == 1`** (a single-CPU runner time-slices the server
@@ -57,6 +61,29 @@ fn main() {
                 "query {} lost sequential/parallel identity",
                 q.get("name").and_then(Json::as_str).unwrap_or("?")
             ));
+        }
+    }
+
+    // --- durable-store recovery structure (never skipped) -------------
+    // Structure only, no timing: recover_open wall-clock on a shared
+    // single-CPU runner is noise, but "the recovered session answered
+    // warm" is a boolean the code either delivers or doesn't.
+    match fresh.get("recovery") {
+        None => failures.push("recovery section missing from the fresh artifact".to_owned()),
+        Some(recovery) => {
+            if recovery.get("warm_hit").and_then(Json::as_bool) != Some(true) {
+                failures.push(
+                    "recovered store did not serve the partitioning as a warm cache hit".to_owned(),
+                );
+            }
+            if recovery
+                .get("partitionings_recovered")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                < 1.0
+            {
+                failures.push("recovery restored no partitionings".to_owned());
+            }
         }
     }
 

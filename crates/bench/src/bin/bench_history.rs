@@ -1,0 +1,62 @@
+//! Fold a directory of per-commit `BENCH_refine.json` artifacts into
+//! one cross-commit markdown history table (see `paq_bench::history`).
+//!
+//! Usage: `bench_history <dir>` — the markdown goes to stdout, for
+//! appending to `$GITHUB_STEP_SUMMARY`.
+//!
+//! Layout: either `<dir>/<label>.json` or `<dir>/<label>/BENCH_refine.json`
+//! (the shape `gh` leaves after unzipping one artifact per commit into
+//! its own subdirectory). Rows are sorted by label, so the CI step
+//! encodes history order in the names (`00-<sha>`, `01-<sha>`, …
+//! oldest first). Unparseable artifacts are skipped with a warning on
+//! stderr — one corrupt download must not blank the whole trajectory.
+
+use std::path::Path;
+
+use paq_bench::{render_history, Json};
+
+fn load(path: &Path, label: &str, artifacts: &mut Vec<(String, Json)>) {
+    match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|raw| Json::parse(&raw))
+    {
+        Ok(json) => artifacts.push((label.to_owned(), json)),
+        Err(e) => eprintln!("bench_history: skipping {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(dir) => dir,
+        None => {
+            eprintln!("usage: bench_history <dir-of-per-commit-artifacts>");
+            std::process::exit(2);
+        }
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("bench_history: cannot read {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut paths: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+
+    let mut artifacts = Vec::new();
+    for path in paths {
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            let nested = path.join("BENCH_refine.json");
+            if nested.is_file() {
+                load(&nested, &label, &mut artifacts);
+            }
+        } else if path.extension().is_some_and(|e| e == "json") {
+            load(&path, &label, &mut artifacts);
+        }
+    }
+    print!("{}", render_history(&artifacts));
+}

@@ -27,6 +27,13 @@
 //! against the static threshold and both predicted costs against
 //! observations — appended as the `router` section of the JSON.
 //!
+//! A fifth family tracks the **durable store** (`paq-store`): a
+//! fresh durable session is cold-booted (register, cold partitioning
+//! build, snapshot), then recovered via `PackageDb::open` — snapshot
+//! load plus parallel WAL replay — and the same query must come back
+//! as a warm cache `Hit`. Wall-clock for both paths and the on-disk
+//! store size land in the `recovery` section of the JSON.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
@@ -41,7 +48,7 @@ use std::time::Duration;
 use paq_bench::bench_seed;
 use paq_core::SketchRefineReport;
 use paq_datagen::galaxy_table;
-use paq_db::{DbConfig, PackageDb, Route, RouterVerdict, Strategy};
+use paq_db::{CacheOutcome, DbConfig, Durability, PackageDb, Route, RouterVerdict, Strategy};
 use paq_lang::{parse_paql, PackageQuery};
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::agg::{aggregate, AggFunc};
@@ -410,6 +417,94 @@ fn measure_router(db: &PackageDb, n: usize, direct_n: usize) -> Vec<RouterProbe>
         .collect()
 }
 
+/// Cold boot vs snapshot+WAL recovery of the durable store.
+struct RecoveryResult {
+    /// Fresh durable session: register + cold partitioning build + snapshot.
+    cold_boot: Duration,
+    /// `PackageDb::open` on the same directory: snapshot load + WAL replay.
+    recover_open: Duration,
+    /// The same query against the recovered session.
+    warm_query: Duration,
+    /// Did the recovered session serve the partitioning as a cache `Hit`?
+    warm_hit: bool,
+    store_bytes: u64,
+    tables_recovered: u64,
+    partitionings_recovered: u64,
+    telemetry_recovered: u64,
+    replay_threads: usize,
+}
+
+/// Durable-store datapoint: how long a cold boot (register + cold
+/// partitioning build + snapshot) takes vs recovering the same state
+/// from disk, and whether the recovered session answers warm (cache
+/// `Hit`, zero rebuilds). Structure flags are gated in CI; the
+/// timings are trajectory-only (single-CPU runners make them noisy).
+fn measure_recovery(table: &Table, config: &DbConfig, replay_threads: usize) -> RecoveryResult {
+    use std::time::Instant;
+
+    let dir = std::env::temp_dir().join(format!("paq-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench store dir");
+    let durability = || Durability {
+        replay_threads,
+        ..Durability::new(&dir)
+    };
+    let query = parse_paql(
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 10 MINIMIZE SUM(P.extinction_r)",
+    )
+    .expect("recovery query parses");
+
+    let start = Instant::now();
+    {
+        let db = PackageDb::open(config.clone(), durability()).expect("open fresh store");
+        db.register_table("Galaxy", table.clone());
+        let exec = db
+            .execute_with(&query, Route::ForceSketchRefine)
+            .expect("cold recovery query");
+        assert!(
+            matches!(exec.cache, CacheOutcome::Miss { .. }),
+            "fresh store must build the partitioning cold"
+        );
+        db.snapshot_now().expect("snapshot the warm state");
+    }
+    let cold_boot = start.elapsed();
+
+    let start = Instant::now();
+    let db = PackageDb::open(config.clone(), durability()).expect("recover store");
+    let recover_open = start.elapsed();
+    let stats = db.durability_stats().expect("durable session has stats");
+
+    let start = Instant::now();
+    let exec = db
+        .execute_with(&query, Route::ForceSketchRefine)
+        .expect("warm recovery query");
+    let warm_query = start.elapsed();
+    let warm_hit = matches!(exec.cache, CacheOutcome::Hit { .. });
+
+    let store_bytes = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryResult {
+        cold_boot,
+        recover_open,
+        warm_query,
+        warm_hit,
+        store_bytes,
+        tables_recovered: stats.recovered_tables,
+        partitionings_recovered: stats.recovered_partitionings,
+        telemetry_recovered: stats.recovered_telemetry,
+        replay_threads,
+    }
+}
+
 fn main() {
     let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
     let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
@@ -446,11 +541,15 @@ fn main() {
     let direct_prefix: Vec<usize> = (0..direct_n).collect();
     let direct_table = table.take(&direct_prefix);
 
-    let mut db = PackageDb::with_config(DbConfig {
+    let db_config = DbConfig {
         fallback_to_direct: false,
         solver: SolverConfig::default(),
         ..DbConfig::default()
-    });
+    };
+    // Kept for the recovery phase below, which needs its own durable
+    // session over the same data.
+    let recovery_table = table.clone();
+    let mut db = PackageDb::with_config(db_config.clone());
     db.register_table("Galaxy", table);
     db.register_table("GalaxyDirect", direct_table);
 
@@ -587,6 +686,23 @@ fn main() {
         probes.len()
     );
 
+    // --- durable store: cold boot vs snapshot+WAL recovery ------------
+    let recovery = measure_recovery(&recovery_table, &db_config, threads);
+    println!(
+        "durable store recovery ({} replay threads): cold boot {:.3}ms, recover open {:.3}ms, \
+         warm query {:.3}ms (cache hit: {}), store {} bytes, \
+         recovered {} tables / {} partitionings / {} telemetry samples",
+        recovery.replay_threads,
+        recovery.cold_boot.as_secs_f64() * 1e3,
+        recovery.recover_open.as_secs_f64() * 1e3,
+        recovery.warm_query.as_secs_f64() * 1e3,
+        recovery.warm_hit,
+        recovery.store_bytes,
+        recovery.tables_recovered,
+        recovery.partitionings_recovered,
+        recovery.telemetry_recovered,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -721,6 +837,23 @@ fn main() {
          \"mean_prediction_error_pct\": {mean_error:.1}"
     );
     json.push_str("  },\n");
+    json.push_str("  \"recovery\": {");
+    let _ = write!(
+        json,
+        "\"cold_boot_ms\": {:.3}, \"recover_open_ms\": {:.3}, \"warm_query_ms\": {:.3}, \
+         \"warm_hit\": {}, \"store_bytes\": {}, \"tables_recovered\": {}, \
+         \"partitionings_recovered\": {}, \"telemetry_recovered\": {}, \"replay_threads\": {}",
+        recovery.cold_boot.as_secs_f64() * 1e3,
+        recovery.recover_open.as_secs_f64() * 1e3,
+        recovery.warm_query.as_secs_f64() * 1e3,
+        recovery.warm_hit,
+        recovery.store_bytes,
+        recovery.tables_recovered,
+        recovery.partitionings_recovered,
+        recovery.telemetry_recovered,
+        recovery.replay_threads,
+    );
+    json.push_str("},\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
@@ -730,6 +863,13 @@ fn main() {
     println!("wrote {out_path}");
 
     assert!(all_identical, "parallel REFINE diverged from sequential");
+    assert!(
+        recovery.warm_hit && recovery.partitionings_recovered >= 1,
+        "recovered store must serve the partitioning as a warm cache hit \
+         (hit {}, partitionings {})",
+        recovery.warm_hit,
+        recovery.partitionings_recovered
+    );
     assert!(
         rerouted >= 1 && improved >= 1,
         "the warmed router must reroute at least one probe away from the static \

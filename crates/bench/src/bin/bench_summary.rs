@@ -117,6 +117,26 @@ fn main() {
         println!();
     }
 
+    if let Some(recovery) = json.get("recovery") {
+        println!("### Durable store recovery (snapshot + WAL replay)");
+        println!();
+        println!(
+            "cold boot **{:.3} ms** (register + cold partitioning + snapshot) · recover open \
+             **{:.3} ms** ({} replay threads) · warm query **{:.3} ms** (cache hit {}) · store \
+             **{:.1} KiB** · recovered {} tables / {} partitionings / {} telemetry samples",
+            num(recovery, "cold_boot_ms"),
+            num(recovery, "recover_open_ms"),
+            num(recovery, "replay_threads"),
+            num(recovery, "warm_query_ms"),
+            flag(recovery, "warm_hit"),
+            num(recovery, "store_bytes") / 1024.0,
+            num(recovery, "tables_recovered"),
+            num(recovery, "partitionings_recovered"),
+            num(recovery, "telemetry_recovered"),
+        );
+        println!();
+    }
+
     if let Some(router) = json.get("router") {
         println!("### Cost-based router");
         println!();

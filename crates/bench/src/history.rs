@@ -1,0 +1,188 @@
+//! Cross-commit perf history: many `BENCH_refine.json` artifacts —
+//! one per commit — folded into a single markdown table.
+//!
+//! CI uploads `BENCH_refine` as a per-commit artifact; the
+//! `bench_history` binary downloads the last N of them into a
+//! directory and renders this table into the step summary, so the
+//! perf *trajectory* (not just this commit's numbers) is readable in
+//! the Actions UI. The rendering is pure ([`render_history`]) so the
+//! row extraction and missing-section handling are unit-testable
+//! without any files.
+
+use crate::Json;
+
+/// One commit's datapoints, extracted from its `BENCH_refine.json`.
+///
+/// Every field except the label is optional: older commits predate
+/// newer sections (the `recovery` family, say), and the table shows
+/// `—` there instead of dropping the row — a trajectory with holes
+/// still shows the trend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Where this artifact came from — the commit SHA (or directory
+    /// name) the caller labelled it with.
+    pub label: String,
+    /// Total sequential REFINE time (ms).
+    pub seq_refine_ms: Option<f64>,
+    /// Total wave-parallel REFINE time (ms).
+    pub par_refine_ms: Option<f64>,
+    /// seq/par speedup.
+    pub speedup: Option<f64>,
+    /// Warm server round-trip minimum (ms).
+    pub warm_roundtrip_ms: Option<f64>,
+    /// Router probes rerouted away from the static threshold.
+    pub rerouted: Option<f64>,
+    /// Durable-store recovery open time (ms).
+    pub recover_open_ms: Option<f64>,
+    /// On-disk store size (bytes).
+    pub store_bytes: Option<f64>,
+    /// Did every correctness flag in the artifact hold?
+    pub identical: Option<bool>,
+}
+
+impl HistoryRow {
+    /// Extract the history datapoints from one parsed artifact.
+    pub fn extract(label: &str, json: &Json) -> HistoryRow {
+        let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_f64);
+        HistoryRow {
+            label: label.to_owned(),
+            seq_refine_ms: num(json, "total_seq_refine_ms"),
+            par_refine_ms: num(json, "total_par_refine_ms"),
+            speedup: num(json, "total_speedup"),
+            warm_roundtrip_ms: json
+                .get("server")
+                .and_then(|s| num(s, "warm_min_roundtrip_ms")),
+            rerouted: json.get("router").and_then(|r| num(r, "rerouted")),
+            recover_open_ms: json.get("recovery").and_then(|r| num(r, "recover_open_ms")),
+            store_bytes: json.get("recovery").and_then(|r| num(r, "store_bytes")),
+            identical: json.get("packages_identical").and_then(Json::as_bool),
+        }
+    }
+}
+
+fn cell(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "—".to_owned(),
+    }
+}
+
+/// Render labelled artifacts as one markdown table, one row per
+/// commit, in the order given (the caller encodes history order in
+/// the slice — `bench_history` sorts directory names, so CI prefixes
+/// them `00-`, `01-`, … oldest-first).
+pub fn render_history(artifacts: &[(String, Json)]) -> String {
+    let mut out = String::new();
+    out.push_str("## Perf history (one row per commit)\n\n");
+    if artifacts.is_empty() {
+        out.push_str("_no artifacts found_\n");
+        return out;
+    }
+    out.push_str(
+        "| commit | seq refine (ms) | par refine (ms) | speedup | warm RTT (ms) | \
+         rerouted | recover open (ms) | store (KiB) | identical |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|:---:|\n");
+    for (label, json) in artifacts {
+        let row = HistoryRow::extract(label, json);
+        let speedup = match row.speedup {
+            Some(s) => format!("{s:.2}×"),
+            None => "—".to_owned(),
+        };
+        let rerouted = match row.rerouted {
+            Some(r) => format!("{r:.0}"),
+            None => "—".to_owned(),
+        };
+        let store_kib = match row.store_bytes {
+            Some(b) => format!("{:.1}", b / 1024.0),
+            None => "—".to_owned(),
+        };
+        let identical = match row.identical {
+            Some(true) => "✅",
+            Some(false) => "❌",
+            None => "—",
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            row.label,
+            cell(row.seq_refine_ms),
+            cell(row.par_refine_ms),
+            speedup,
+            cell(row.warm_roundtrip_ms),
+            rerouted,
+            cell(row.recover_open_ms),
+            store_kib,
+            identical,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(with_recovery: bool) -> Json {
+        let recovery = if with_recovery {
+            r#""recovery": {"recover_open_ms": 4.25, "store_bytes": 2048, "warm_hit": true},"#
+        } else {
+            ""
+        };
+        Json::parse(&format!(
+            r#"{{
+                "total_seq_refine_ms": 120.5,
+                "total_par_refine_ms": 40.25,
+                "total_speedup": 2.994,
+                "packages_identical": true,
+                "server": {{"warm_min_roundtrip_ms": 1.75}},
+                "router": {{"rerouted": 2}},
+                {recovery}
+                "queries": []
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_every_datapoint() {
+        let row = HistoryRow::extract("abc1234", &artifact(true));
+        assert_eq!(row.label, "abc1234");
+        assert_eq!(row.seq_refine_ms, Some(120.5));
+        assert_eq!(row.par_refine_ms, Some(40.25));
+        assert_eq!(row.warm_roundtrip_ms, Some(1.75));
+        assert_eq!(row.rerouted, Some(2.0));
+        assert_eq!(row.recover_open_ms, Some(4.25));
+        assert_eq!(row.store_bytes, Some(2048.0));
+        assert_eq!(row.identical, Some(true));
+    }
+
+    #[test]
+    fn missing_sections_become_dashes_not_dropped_rows() {
+        let row = HistoryRow::extract("old", &artifact(false));
+        assert_eq!(row.recover_open_ms, None);
+        assert_eq!(row.store_bytes, None);
+        // Pre-recovery commits still contribute a row.
+        let table = render_history(&[("old".into(), artifact(false))]);
+        assert!(table.contains("| old |"), "{table}");
+        assert!(table.contains("| — |"), "{table}");
+    }
+
+    #[test]
+    fn renders_one_row_per_commit_in_given_order() {
+        let table = render_history(&[
+            ("00-aaa".into(), artifact(false)),
+            ("01-bbb".into(), artifact(true)),
+        ]);
+        let first = table.find("00-aaa").expect("first commit present");
+        let second = table.find("01-bbb").expect("second commit present");
+        assert!(first < second, "rows keep the caller's order:\n{table}");
+        assert!(table.contains("2.99×"), "{table}");
+        assert!(table.contains("2.0"), "store KiB rendered: {table}");
+    }
+
+    #[test]
+    fn empty_input_renders_a_placeholder() {
+        let table = render_history(&[]);
+        assert!(table.contains("_no artifacts found_"), "{table}");
+    }
+}

@@ -24,11 +24,13 @@
 
 pub mod config;
 pub mod experiments;
+pub mod history;
 pub mod json;
 pub mod report;
 pub mod runner;
 
 pub use config::{bench_seed, galaxy_rows, refine_threads, seed, solver_config, tpch_rows};
+pub use history::{render_history, HistoryRow};
 pub use json::Json;
 pub use report::TextTable;
 pub use runner::{

@@ -194,6 +194,32 @@ impl PartitionCache {
         self.next_external_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Floor the external-id counter at `id` (recovery: restored
+    /// `External` entries must not collide with future installations).
+    pub fn ensure_external_floor(&self, id: u64) {
+        self.next_external_id.fetch_max(id, Ordering::Relaxed);
+    }
+
+    /// Every live entry as plain data, for a durability layer capturing
+    /// a snapshot: `(table key, version, attributes, spec,
+    /// partitioning)`. The `Arc`s are shared, not cloned contents.
+    #[allow(clippy::type_complexity)]
+    pub fn export(&self) -> Vec<(String, u64, Vec<String>, PartitionSpec, Arc<Partitioning>)> {
+        self.entries
+            .read()
+            .iter()
+            .map(|e| {
+                (
+                    e.table_key.clone(),
+                    e.version,
+                    e.attributes.clone(),
+                    e.spec.clone(),
+                    Arc::clone(&e.partitioning),
+                )
+            })
+            .collect()
+    }
+
     /// Current counters. Each concurrent execution contributes exactly
     /// one hit or one miss; atomics make the totals exact under any
     /// interleaving.

@@ -93,11 +93,48 @@ impl Catalog {
         version
     }
 
-    /// Remove a table; `Err` if it was never registered.
-    pub fn drop_table(&mut self, name: &str) -> DbResult<TableEntry> {
-        self.tables
+    /// Remove a table; `Err` if it was never registered. A successful
+    /// drop draws a fresh version (returned alongside the removed
+    /// entry) even though no entry carries it: a drop is a catalog
+    /// mutation like any other, and a durability layer logging
+    /// mutations by version needs a distinct stamp for it.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<(TableEntry, u64)> {
+        let entry = self
+            .tables
             .remove(&Self::key(name))
-            .ok_or_else(|| self.unknown(name))
+            .ok_or_else(|| self.unknown(name))?;
+        let version = self.next_version();
+        Ok((entry, version))
+    }
+
+    /// Re-insert a table at an explicit `version` — the recovery seam.
+    /// Unlike [`Catalog::register`], no fresh version is drawn: the
+    /// entry keeps the stamp it had when it was persisted, and the
+    /// catalog-wide counter is floored at it so future mutations stay
+    /// globally monotone over everything ever logged.
+    pub fn restore(&mut self, name: impl Into<String>, table: Arc<Table>, version: u64) {
+        let name = name.into();
+        let key = Self::key(&name);
+        self.tables.insert(
+            key,
+            TableEntry {
+                name,
+                table,
+                version,
+            },
+        );
+        self.last_version = self.last_version.max(version);
+    }
+
+    /// Floor the version counter at `version` (recovery: the persisted
+    /// counter may be ahead of every surviving entry, e.g. after drops).
+    pub fn ensure_version_floor(&mut self, version: u64) {
+        self.last_version = self.last_version.max(version);
+    }
+
+    /// Last version handed out (the durability layer's snapshot LSN).
+    pub fn last_version(&self) -> u64 {
+        self.last_version
     }
 
     /// Resolve a relation name (case-insensitive).

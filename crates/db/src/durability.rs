@@ -1,0 +1,231 @@
+//! The durability layer: opt-in persistence for a [`PackageDb`].
+//!
+//! A database opened with [`PackageDb::open`] wires a `paq-store`
+//! [`Store`] behind the session layer:
+//!
+//! * every catalog mutation is logged to the WAL **inside the catalog
+//!   write critical section**, stamped with the version it produced —
+//!   so file order equals LSN order with no gaps, and a mutation is
+//!   acknowledged only after it is logged;
+//! * snapshots ([`PackageDb::snapshot_now`], or automatic every
+//!   [`Durability::snapshot_every`] records) capture the catalog, the
+//!   partition cache, and the router telemetry ring, then truncate the
+//!   WAL;
+//! * reopening the same directory replays the WAL over the latest
+//!   snapshot — in parallel, partitioned by table — and republishes
+//!   everything: tables at their original versions, partitionings as
+//!   cache entries that `lookup` serves as `Hit`s, and telemetry that
+//!   warm-starts the cost-based router.
+//!
+//! This module holds the plain-data plumbing: the [`Durability`]
+//! config, the [`DurabilityStats`] counters, the internal engine-side
+//! state, and the mappings between engine types and the store's
+//! persistence images.
+//!
+//! [`PackageDb`]: crate::PackageDb
+//! [`PackageDb::open`]: crate::PackageDb::open
+//! [`PackageDb::snapshot_now`]: crate::PackageDb::snapshot_now
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use paq_core::QueryFeatures;
+use paq_store::{SpecImage, Store, StrategyKind, TelemetryImage};
+
+pub use paq_store::SyncPolicy;
+
+use crate::cache::PartitionSpec;
+use crate::error::DbError;
+use crate::execution::Strategy;
+use crate::router::Observation;
+
+/// Persistence configuration for [`PackageDb::open`].
+///
+/// [`PackageDb::open`]: crate::PackageDb::open
+#[derive(Debug, Clone)]
+pub struct Durability {
+    /// Directory holding the WAL and snapshots (created if absent).
+    pub dir: PathBuf,
+    /// When WAL appends reach the disk. [`SyncPolicy::Always`] fsyncs
+    /// every append; [`SyncPolicy::Manual`] leaves flushing to the
+    /// caller (e.g. a server's flush-on-mutation policy).
+    pub sync: SyncPolicy,
+    /// Automatically snapshot (and truncate the WAL) once this many
+    /// records accumulate since the last snapshot. `None` leaves
+    /// snapshots entirely to [`PackageDb::snapshot_now`].
+    ///
+    /// [`PackageDb::snapshot_now`]: crate::PackageDb::snapshot_now
+    pub snapshot_every: Option<u64>,
+    /// Worker threads for parallel WAL replay on open (1 = sequential).
+    /// Replay is deterministic at every thread count.
+    pub replay_threads: usize,
+}
+
+impl Durability {
+    /// Durability rooted at `dir` with full per-append syncing, manual
+    /// snapshots, and sequential replay.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Durability {
+            dir: dir.into(),
+            sync: SyncPolicy::default(),
+            snapshot_every: None,
+            replay_threads: 1,
+        }
+    }
+}
+
+/// Observable durability counters, merged from the store's activity
+/// counters and what recovery found at open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended since open.
+    pub wal_records: u64,
+    /// WAL bytes appended since open.
+    pub wal_bytes: u64,
+    /// WAL syncs performed since open.
+    pub wal_syncs: u64,
+    /// WAL append/sync failures (the store fail-stops on the first).
+    pub wal_errors: u64,
+    /// Snapshots written since open.
+    pub snapshots_written: u64,
+    /// LSN of the most recent snapshot (from this run or recovery).
+    pub last_snapshot_lsn: u64,
+    /// Records appended since the last snapshot.
+    pub records_since_snapshot: u64,
+    /// Tables recovered at open.
+    pub recovered_tables: u64,
+    /// Partitionings republished into the cache at open.
+    pub recovered_partitionings: u64,
+    /// Router-telemetry observations replayed at open.
+    pub recovered_telemetry: u64,
+    /// WAL records replayed over the snapshot at open.
+    pub wal_replayed_records: u64,
+    /// Torn-tail bytes truncated from the WAL at open.
+    pub wal_tail_dropped_bytes: u64,
+}
+
+/// Engine-side durable state: the open store plus recovery counters.
+/// Lock order: the catalog lock (read or write) is always taken
+/// *before* the store lock; the router-ring lock, when needed, comes
+/// between the two and is released before the store lock is taken.
+#[derive(Debug)]
+pub(crate) struct DurabilityState {
+    pub(crate) store: Mutex<Store>,
+    pub(crate) snapshot_every: Option<u64>,
+    pub(crate) recovered_tables: u64,
+    pub(crate) recovered_partitionings: u64,
+    pub(crate) recovered_telemetry: u64,
+    pub(crate) wal_replayed_records: u64,
+    pub(crate) wal_tail_dropped_bytes: u64,
+}
+
+impl DurabilityState {
+    /// Merge the store's live counters with the recovery counters.
+    pub(crate) fn stats(&self) -> DurabilityStats {
+        let s = self.store.lock().stats();
+        DurabilityStats {
+            wal_records: s.wal_records,
+            wal_bytes: s.wal_bytes,
+            wal_syncs: s.wal_syncs,
+            wal_errors: s.wal_errors,
+            snapshots_written: s.snapshots_written,
+            last_snapshot_lsn: s.last_snapshot_lsn,
+            records_since_snapshot: s.records_since_snapshot,
+            recovered_tables: self.recovered_tables,
+            recovered_partitionings: self.recovered_partitionings,
+            recovered_telemetry: self.recovered_telemetry,
+            wal_replayed_records: self.wal_replayed_records,
+            wal_tail_dropped_bytes: self.wal_tail_dropped_bytes,
+        }
+    }
+}
+
+/// Map a store error into the session-layer error type.
+pub(crate) fn storage_error(e: paq_store::StoreError) -> DbError {
+    DbError::Storage {
+        detail: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine type ↔ persistence image mappings
+// ---------------------------------------------------------------------
+
+pub(crate) fn spec_to_image(spec: &PartitionSpec) -> SpecImage {
+    match spec {
+        PartitionSpec::BySize { tau } => SpecImage::BySize { tau: *tau as u64 },
+        PartitionSpec::External { id } => SpecImage::External { id: *id },
+    }
+}
+
+pub(crate) fn spec_from_image(img: SpecImage) -> PartitionSpec {
+    match img {
+        SpecImage::BySize { tau } => PartitionSpec::BySize { tau: tau as usize },
+        SpecImage::External { id } => PartitionSpec::External { id },
+    }
+}
+
+pub(crate) fn observation_to_image(o: &Observation) -> TelemetryImage {
+    TelemetryImage {
+        rows: o.features.rows as u64,
+        constraints: o.features.constraints as u64,
+        repeat_bound: o.features.repeat_bound,
+        tau: o.features.tau as u64,
+        strategy: match o.strategy {
+            Strategy::Direct => StrategyKind::Direct,
+            Strategy::SketchRefine => StrategyKind::SketchRefine,
+        },
+        cost_nanos: o.cost.as_nanos().min(u64::MAX as u128) as u64,
+    }
+}
+
+pub(crate) fn observation_from_image(img: &TelemetryImage) -> Observation {
+    Observation {
+        features: QueryFeatures {
+            rows: img.rows as usize,
+            constraints: img.constraints as usize,
+            repeat_bound: img.repeat_bound,
+            tau: img.tau as usize,
+        },
+        strategy: match img.strategy {
+            StrategyKind::Direct => Strategy::Direct,
+            StrategyKind::SketchRefine => Strategy::SketchRefine,
+        },
+        cost: Duration::from_nanos(img.cost_nanos),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_mapping_round_trips() {
+        for spec in [
+            PartitionSpec::BySize { tau: 42 },
+            PartitionSpec::External { id: 7 },
+        ] {
+            assert_eq!(spec_from_image(spec_to_image(&spec)), spec);
+        }
+    }
+
+    #[test]
+    fn observation_mapping_round_trips() {
+        let obs = Observation {
+            features: QueryFeatures {
+                rows: 12_800,
+                constraints: 3,
+                repeat_bound: 1,
+                tau: 133,
+            },
+            strategy: Strategy::SketchRefine,
+            cost: Duration::from_micros(1234),
+        };
+        let back = observation_from_image(&observation_to_image(&obs));
+        assert_eq!(back.features, obs.features);
+        assert_eq!(back.strategy, obs.strategy);
+        assert_eq!(back.cost, obs.cost);
+    }
+}

@@ -37,6 +37,13 @@ pub enum DbError {
     Engine(EngineError),
     /// Relational substrate error.
     Relational(RelError),
+    /// Durable-storage failure (WAL append, snapshot write, recovery).
+    /// Rendered to a string so the error stays `Clone + PartialEq`
+    /// like every other variant.
+    Storage {
+        /// What failed, including the underlying I/O detail.
+        detail: String,
+    },
 }
 
 impl DbError {
@@ -54,7 +61,8 @@ impl DbError {
             DbError::Language(_) | DbError::Relational(_) => true,
             DbError::UnknownTable { .. }
             | DbError::SchemaMismatch { .. }
-            | DbError::InvalidPartitioning { .. } => true,
+            | DbError::InvalidPartitioning { .. }
+            | DbError::Storage { .. } => true,
         }
     }
 }
@@ -81,6 +89,7 @@ impl fmt::Display for DbError {
             DbError::Language(e) => write!(f, "{e}"),
             DbError::Engine(e) => write!(f, "{e}"),
             DbError::Relational(e) => write!(f, "{e}"),
+            DbError::Storage { detail } => write!(f, "storage error: {detail}"),
         }
     }
 }

@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod durability;
 pub mod error;
 pub mod execution;
 pub mod router;
@@ -52,6 +53,7 @@ pub mod session;
 
 pub use cache::{CacheStats, PartitionSpec};
 pub use catalog::{Catalog, TableEntry};
+pub use durability::{Durability, DurabilityStats, SyncPolicy};
 pub use error::{DbError, DbResult};
 pub use execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
 pub use router::{Observation, PredictedCosts, RouterConfig, RouterDecision, RouterStats};

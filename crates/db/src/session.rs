@@ -51,8 +51,14 @@ use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::{Table, Value};
 use paq_solver::{SolverConfig, Telemetry};
 
+use paq_store::{PartitioningImage, Store, StoreConfig, StoreState, TableImage, WalOp, WalRecord};
+
 use crate::cache::{CacheStats, PartitionCache, PartitionSpec};
 use crate::catalog::Catalog;
+use crate::durability::{
+    observation_from_image, observation_to_image, spec_from_image, spec_to_image, storage_error,
+    Durability, DurabilityState, DurabilityStats,
+};
 use crate::error::{DbError, DbResult};
 use crate::execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
 use crate::router::{self, Observation, RouterConfig, RouterDecision, RouterStats, TelemetryRing};
@@ -136,6 +142,8 @@ pub struct DbStats {
     /// Shared cost-based-router counters (telemetry samples held,
     /// model vs fallback decisions).
     pub router: RouterStats,
+    /// Durability counters; `None` for in-memory databases.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// Key of one in-flight partitioning build: (table key, version,
@@ -221,6 +229,10 @@ struct SharedState {
     router_model_decisions: AtomicU64,
     /// `Route::Auto` plans decided by the static threshold fallback.
     router_fallback_decisions: AtomicU64,
+    /// Opt-in durable storage (see [`crate::durability`]): `None` for
+    /// ordinary in-memory databases, so every existing path pays
+    /// nothing. Lock order: catalog before store, always.
+    durability: Option<DurabilityState>,
 }
 
 impl SharedState {
@@ -334,6 +346,188 @@ impl PackageDb {
         }
     }
 
+    /// Open a **durable** database rooted at `durability.dir`,
+    /// recovering whatever a previous process persisted there: tables
+    /// re-enter the catalog at their original versions, partitionings
+    /// re-enter the cache (so the first SKETCHREFINE query after a
+    /// restart is a `Hit`, not a rebuild), and router telemetry
+    /// warm-starts the cost model. From then on every catalog mutation
+    /// is logged to the WAL before it is acknowledged.
+    ///
+    /// Recovery replays the WAL over the latest snapshot in parallel
+    /// (`durability.replay_threads`), partitioned by table; the result
+    /// is deterministic at every thread count. A corrupt snapshot or a
+    /// corrupt (fully present) WAL record refuses to open with
+    /// [`DbError::Storage`]; a torn WAL tail — the normal crash
+    /// artifact — is silently truncated.
+    pub fn open(config: DbConfig, durability: Durability) -> DbResult<PackageDb> {
+        let replay_pool =
+            (durability.replay_threads > 1).then(|| ThreadPool::new(durability.replay_threads));
+        let store_config = StoreConfig {
+            dir: durability.dir,
+            sync: durability.sync,
+        };
+        let (store, recovered) =
+            Store::open_with_pool(store_config, replay_pool.as_ref()).map_err(storage_error)?;
+        let state = recovered.state;
+
+        let mut catalog = Catalog::default();
+        let recovered_tables = state.tables.len() as u64;
+        for image in state.tables {
+            catalog.restore(image.name, image.table, image.version);
+        }
+        catalog.ensure_version_floor(state.last_version);
+
+        let cache = PartitionCache::default();
+        let recovered_partitionings = state.partitionings.len() as u64;
+        for image in state.partitionings {
+            let spec = spec_from_image(image.spec);
+            if let PartitionSpec::External { id } = spec {
+                cache.ensure_external_floor(id);
+            }
+            cache.insert(
+                image.table_key,
+                image.version,
+                image.attributes,
+                spec,
+                image.partitioning,
+            );
+        }
+
+        let mut ring = TelemetryRing::with_capacity(config.router.capacity);
+        let recovered_telemetry = state.telemetry.len() as u64;
+        for image in &state.telemetry {
+            ring.record(observation_from_image(image));
+        }
+
+        let shared = SharedState {
+            catalog: RwLock::new(catalog),
+            cache,
+            router_ring: Mutex::new(ring),
+            durability: Some(DurabilityState {
+                store: Mutex::new(store),
+                snapshot_every: durability.snapshot_every,
+                recovered_tables,
+                recovered_partitionings,
+                recovered_telemetry,
+                wal_replayed_records: recovered.wal_replayed_records,
+                wal_tail_dropped_bytes: recovered.wal_tail_dropped_bytes,
+            }),
+            ..SharedState::default()
+        };
+        Ok(PackageDb {
+            shared: Arc::new(shared),
+            config,
+        })
+    }
+
+    /// `true` when this database persists its state (opened via
+    /// [`PackageDb::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.shared.durability.is_some()
+    }
+
+    /// Durability counters, `None` for in-memory databases.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        self.shared.durability.as_ref().map(DurabilityState::stats)
+    }
+
+    /// Force buffered WAL appends to disk. Meaningful under
+    /// [`crate::durability::SyncPolicy::Manual`] (a server flushing at
+    /// its own cadence); under `Always` every append already synced.
+    /// No-op for in-memory databases.
+    pub fn sync_wal(&self) -> DbResult<()> {
+        match &self.shared.durability {
+            Some(d) => d.store.lock().sync().map_err(storage_error),
+            None => Ok(()),
+        }
+    }
+
+    /// Capture the full engine state — catalog, partition cache, router
+    /// telemetry — into a snapshot file and truncate the WAL. Returns
+    /// the snapshot's size in bytes. [`DbError::Storage`] for in-memory
+    /// databases.
+    ///
+    /// The catalog read lock is held across capture *and* the snapshot
+    /// write, so no mutation can be logged and then lost to a
+    /// concurrent WAL truncation: everything the snapshot misses is in
+    /// the WAL that survives it (nothing), and everything appended
+    /// after it replays on top.
+    pub fn snapshot_now(&self) -> DbResult<u64> {
+        let Some(durable) = &self.shared.durability else {
+            return Err(DbError::Storage {
+                detail: "snapshot_now on an in-memory database (open it with PackageDb::open)"
+                    .into(),
+            });
+        };
+        let catalog = self.shared.catalog.read();
+        let tables = catalog
+            .names()
+            .iter()
+            .filter_map(|name| catalog.resolve(name).ok())
+            .map(|entry| TableImage {
+                name: entry.name().to_owned(),
+                version: entry.version(),
+                table: entry.snapshot(),
+            })
+            .collect();
+        let partitionings = self
+            .shared
+            .cache
+            .export()
+            .into_iter()
+            .map(
+                |(table_key, version, attributes, spec, partitioning)| PartitioningImage {
+                    table_key,
+                    version,
+                    attributes,
+                    spec: spec_to_image(&spec),
+                    partitioning,
+                },
+            )
+            .collect();
+        // Ring lock taken and released before the store lock (see the
+        // lock-order note in `crate::durability`).
+        let telemetry = {
+            let ring = self.shared.router_ring.lock();
+            ring.snapshot().iter().map(observation_to_image).collect()
+        };
+        let state = StoreState {
+            last_version: catalog.last_version(),
+            tables,
+            partitionings,
+            telemetry,
+        };
+        durable.store.lock().snapshot(&state).map_err(storage_error)
+    }
+
+    /// Append `record` to the WAL. Called with the catalog write lock
+    /// held, so file order equals LSN order with no gaps.
+    fn log_record(&self, record: &WalRecord) -> DbResult<()> {
+        match &self.shared.durability {
+            Some(d) => d.store.lock().append(record).map_err(storage_error),
+            None => Ok(()),
+        }
+    }
+
+    /// Snapshot automatically once enough records accumulate. Called
+    /// *after* the catalog write lock is released (the lock is not
+    /// re-entrant; `snapshot_now` retakes the read side). Best-effort:
+    /// a failure poisons the store, surfaces in the stats counters, and
+    /// will resurface as a typed error on the next explicit durability
+    /// call.
+    fn maybe_auto_snapshot(&self) {
+        let Some(durable) = &self.shared.durability else {
+            return;
+        };
+        let Some(every) = durable.snapshot_every else {
+            return;
+        };
+        if durable.store.lock().stats().records_since_snapshot >= every {
+            let _ = self.snapshot_now();
+        }
+    }
+
     /// A new session handle onto the same shared state: catalog,
     /// partition cache, telemetry, and worker pool are shared; the
     /// [`DbConfig`] is copied, so the new session can be tuned
@@ -412,20 +606,49 @@ impl PackageDb {
 
     /// Register (or replace) a table under `name`; returns the catalog
     /// version. Replacing invalidates cached partitionings of the old
-    /// contents. Visible to every session immediately.
+    /// contents. Visible to every session immediately. On a durable
+    /// database the registration is logged before this returns; a WAL
+    /// failure cannot be surfaced through the infallible signature, so
+    /// it fail-stops the store instead (poisoned; see
+    /// [`PackageDb::durability_stats`] and the next fallible durability
+    /// call).
     pub fn register_table(&self, name: impl Into<String>, table: Table) -> u64 {
         let name = name.into();
         let key = Catalog::key(&name);
-        let version = self.shared.catalog.write().register(name, table);
+        let version = {
+            let mut catalog = self.shared.catalog.write();
+            let version = catalog.register(name.clone(), table);
+            if self.is_durable() {
+                let table = catalog.resolve(&name).expect("just registered").snapshot();
+                let _ = self.log_record(&WalRecord {
+                    lsn: version,
+                    op: WalOp::RegisterTable { name, table },
+                });
+            }
+            version
+        };
         self.shared.cache.invalidate_stale(&key, version);
+        self.maybe_auto_snapshot();
         version
     }
 
-    /// Remove a table and every cached partitioning of it.
+    /// Remove a table and every cached partitioning of it. On a durable
+    /// database the drop is logged (at its own fresh version) before
+    /// this returns.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
-        self.shared.catalog.write().drop_table(name)?;
+        let log_result = {
+            let mut catalog = self.shared.catalog.write();
+            let (entry, version) = catalog.drop_table(name)?;
+            self.log_record(&WalRecord {
+                lsn: version,
+                op: WalOp::DropTable {
+                    name: entry.name().to_owned(),
+                },
+            })
+        };
         self.shared.cache.invalidate_table(&Catalog::key(name));
-        Ok(())
+        self.maybe_auto_snapshot();
+        log_result
     }
 
     /// Snapshot a registered table (case-insensitive resolution). The
@@ -463,25 +686,75 @@ impl PackageDb {
         f: impl FnOnce(&mut Table) -> paq_relational::RelResult<R>,
     ) -> DbResult<(R, u64)> {
         let key = Catalog::key(name);
-        let result = self.shared.catalog.write().mutate(name, f);
-        // Evict on the error path too: a closure that failed *after*
-        // observably changing the table still got a fresh version
-        // stamped (see [`Catalog::mutate`]), and eviction belongs to
-        // the mutation path — lookups never evict.
-        let current = match &result {
-            Ok((_, version)) => Some(*version),
-            Err(_) => self.shared.catalog.read().version_of(&key),
+        let (result, current, log_result) = {
+            let mut catalog = self.shared.catalog.write();
+            let before = catalog.version_of(&key);
+            let result = catalog.mutate(name, f);
+            // Evict on the error path too: a closure that failed
+            // *after* observably changing the table still got a fresh
+            // version stamped (see [`Catalog::mutate`]), and eviction
+            // belongs to the mutation path — lookups never evict.
+            let current = match &result {
+                Ok((_, version)) => Some(*version),
+                Err(_) => catalog.version_of(&key),
+            };
+            // Log exactly when a fresh version was stamped — i.e. when
+            // the table observably changed, including the
+            // partial-mutation-then-error path. The full after-image
+            // goes to the WAL, still under the write lock.
+            let log_result = match current {
+                Some(version) if before != Some(version) => {
+                    let entry = catalog.resolve(name).expect("version proves it exists");
+                    self.log_record(&WalRecord {
+                        lsn: version,
+                        op: WalOp::MutateTable {
+                            name: entry.name().to_owned(),
+                            table: entry.snapshot(),
+                        },
+                    })
+                }
+                _ => Ok(()),
+            };
+            (result, current, log_result)
         };
         if let Some(version) = current {
             self.shared.cache.invalidate_stale(&key, version);
         }
-        result
+        self.maybe_auto_snapshot();
+        let out = result?;
+        log_result?;
+        Ok(out)
     }
 
-    /// Append one row to a registered table (version-stamping shorthand
-    /// for [`PackageDb::mutate_table`]); returns the new version.
+    /// Append one row to a registered table; returns the new version.
+    /// The durable form logs the row alone (a small delta record), not
+    /// a full after-image — [`Table::push_row`] validates before
+    /// mutating, so a failed append changes nothing and logs nothing.
     pub fn append_row(&self, name: &str, row: Vec<Value>) -> DbResult<u64> {
-        let ((), version) = self.mutate_table(name, |t| t.push_row(row))?;
+        let key = Catalog::key(name);
+        let (version, log_result) = {
+            let mut catalog = self.shared.catalog.write();
+            let row_for_log = self.is_durable().then(|| row.clone());
+            let ((), version) = catalog.mutate(name, |t| t.push_row(row))?;
+            let log_result = match row_for_log {
+                Some(row) => {
+                    let display = catalog
+                        .resolve(name)
+                        .expect("just mutated")
+                        .name()
+                        .to_owned();
+                    self.log_record(&WalRecord {
+                        lsn: version,
+                        op: WalOp::AppendRow { name: display, row },
+                    })
+                }
+                None => Ok(()),
+            };
+            (version, log_result)
+        };
+        self.shared.cache.invalidate_stale(&key, version);
+        self.maybe_auto_snapshot();
+        log_result?;
         Ok(version)
     }
 
@@ -552,6 +825,7 @@ impl PackageDb {
             tables,
             cache: self.shared.cache.stats(),
             router: self.router_stats(),
+            durability: self.durability_stats(),
         }
     }
 

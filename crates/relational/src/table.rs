@@ -280,6 +280,40 @@ impl Table {
         }
     }
 
+    /// Assemble a table directly from pre-built columns, validating
+    /// that each column's type matches the schema and that all columns
+    /// hold the same number of rows. This is the persistence seam: a
+    /// storage layer that decodes columns from disk can rebuild a table
+    /// without replaying row-by-row appends.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> RelResult<Table> {
+        if columns.len() != schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: schema.arity(),
+                found: columns.len(),
+            });
+        }
+        for (def, col) in schema.columns().iter().zip(&columns) {
+            if col.data_type() != def.ty {
+                return Err(RelError::TypeMismatch {
+                    expected: def.ty.to_string(),
+                    found: col.data_type().to_string(),
+                });
+            }
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        if let Some(bad) = columns.iter().find(|c| c.len() != rows) {
+            return Err(RelError::SchemaMismatch(format!(
+                "ragged columns: expected {rows} rows, found a column with {}",
+                bad.len()
+            )));
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

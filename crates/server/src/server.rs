@@ -55,6 +55,15 @@ pub struct ServerConfig {
     /// How often blocked accepts and idle connection reads wake to
     /// observe shutdown.
     pub poll_interval: Duration,
+    /// When the database is durable, force the WAL to disk after every
+    /// mutating request (`RegisterTable` / `AppendRow`) *before* the
+    /// success acknowledgement goes on the wire. This is the knob that
+    /// makes [`paq_db::SyncPolicy::Manual`] safe to serve: the client's
+    /// `Registered`/`Appended` reply then implies the mutation survives
+    /// a crash. A flush failure is answered as a
+    /// [`FaultKind::Storage`] fault instead of the success reply.
+    /// No-op for in-memory databases.
+    pub flush_on_mutation: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +72,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_in_flight: 64,
             poll_interval: Duration::from_millis(10),
+            flush_on_mutation: true,
         }
     }
 }
@@ -180,6 +190,8 @@ struct ServerState {
     in_flight: AtomicUsize,
     served: AtomicU64,
     busy_rejections: AtomicU64,
+    durability_flushes: AtomicU64,
+    flush_failures: AtomicU64,
 }
 
 /// Decrements the in-flight connection count when a handler finishes,
@@ -246,6 +258,19 @@ impl Server {
         self.state.busy_rejections.load(Ordering::Acquire)
     }
 
+    /// WAL flushes performed by the flush-on-mutation policy so far
+    /// (always 0 for in-memory databases or when
+    /// [`ServerConfig::flush_on_mutation`] is off).
+    pub fn durability_flushes(&self) -> u64 {
+        self.state.durability_flushes.load(Ordering::Acquire)
+    }
+
+    /// Flush-on-mutation failures so far; each also surfaced to the
+    /// requesting client as a [`FaultKind::Storage`] fault.
+    pub fn flush_failures(&self) -> u64 {
+        self.state.flush_failures.load(Ordering::Acquire)
+    }
+
     /// Ask the serve loop to stop accepting and drain. Also triggered
     /// remotely by [`Request::Shutdown`].
     pub fn trigger_shutdown(&self) {
@@ -294,6 +319,14 @@ impl Server {
                 self.handle_connection(conn);
             },
         );
+        // Graceful drain: every handler has finished, so nothing can
+        // append concurrently — force whatever the WAL still buffers to
+        // disk before the serve loop returns (best-effort: a failure
+        // here has no client left to report to, but the store's
+        // fail-stop counters record it).
+        if self.db.is_durable() {
+            let _ = self.db.sync_wal();
+        }
     }
 
     /// Serve loopback (or any) TCP on an already-bound listener.
@@ -378,10 +411,17 @@ impl Server {
                 },
                 Err(response) => response,
             },
-            Request::RegisterTable { name, table } => Response::Registered {
-                version: session.register_table(name, table),
-            },
-            Request::AppendRow { name, row } => match session.append_row(&name, row) {
+            Request::RegisterTable { name, table } => {
+                let version = session.register_table(name, table);
+                match self.flush_mutation(session) {
+                    Ok(()) => Response::Registered { version },
+                    Err(e) => Response::Error(Fault::from(&e)),
+                }
+            }
+            Request::AppendRow { name, row } => match session
+                .append_row(&name, row)
+                .and_then(|version| self.flush_mutation(session).map(|()| version))
+            {
                 Ok(version) => Response::Appended { version },
                 Err(e) => Response::Error(Fault::from(&e)),
             },
@@ -392,6 +432,7 @@ impl Server {
                     cache: stats.cache,
                     router: stats.router,
                     served: self.state.served.load(Ordering::Acquire),
+                    durability: stats.durability,
                 })
             }
             Request::Shutdown => {
@@ -401,8 +442,32 @@ impl Server {
         }
     }
 
+    /// The flush-on-mutation policy: force the WAL to disk before the
+    /// mutation's success acknowledgement. No-op for in-memory
+    /// databases or when [`ServerConfig::flush_on_mutation`] is off.
+    fn flush_mutation(&self, session: &PackageDb) -> Result<(), DbError> {
+        if !self.config.flush_on_mutation || !session.is_durable() {
+            return Ok(());
+        }
+        match session.sync_wal() {
+            Ok(()) => {
+                self.state.durability_flushes.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(e) => {
+                self.state.flush_failures.fetch_add(1, Ordering::AcqRel);
+                Err(e)
+            }
+        }
+    }
+
     /// Parse, guard, and execute one query on a fresh session clone
     /// carrying the request's overrides.
+    //
+    // The Err side IS the wire reply to send — a `Response` by design,
+    // and `Response::Stats` grew durability counters in protocol v3.
+    // Boxing the enum for this one internal helper isn't worth it.
+    #[allow(clippy::result_large_err)]
     fn run(
         &self,
         base: &PackageDb,

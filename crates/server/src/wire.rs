@@ -38,7 +38,9 @@ use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use paq_core::Package;
-use paq_db::{CacheStats, Execution, RouterStats, RouterVerdict, Strategy, TableStats};
+use paq_db::{
+    CacheStats, DurabilityStats, Execution, RouterStats, RouterVerdict, Strategy, TableStats,
+};
 use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
 
 use crate::error::{WireError, WireResult};
@@ -47,7 +49,10 @@ use crate::error::{WireError, WireResult};
 /// cost-based router landed: `ExecOptions` gained `router_enabled`,
 /// `Executed` gained the router verdict (decision source + predicted
 /// per-strategy costs), and `Stats` gained the shared router counters.
-pub const WIRE_VERSION: u8 = 2;
+/// Bumped to 3 when durable storage landed: `Stats` gained the optional
+/// durability counters (WAL/snapshot/recovery) and [`FaultKind`] gained
+/// `Storage` for WAL-append and snapshot failures.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Hard cap on one frame's payload (32 MiB). Large enough for a
 /// multi-million-row `RegisterTable`, small enough that a corrupt
@@ -883,6 +888,10 @@ pub enum FaultKind {
     Engine,
     /// Relational substrate error.
     Relational,
+    /// Durable-storage failure (WAL append/sync, snapshot write). The
+    /// in-memory state may have advanced, but durability was **not**
+    /// achieved — the server withholds the success acknowledgement.
+    Storage,
 }
 
 /// An application-level error reported by the server.
@@ -917,6 +926,7 @@ impl From<&paq_db::DbError> for Fault {
             }) => FaultKind::PossiblyFalseInfeasible,
             DbError::Engine(_) => FaultKind::Engine,
             DbError::Relational(_) => FaultKind::Relational,
+            DbError::Storage { .. } => FaultKind::Storage,
         };
         Fault {
             kind,
@@ -936,6 +946,7 @@ fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
         FaultKind::PossiblyFalseInfeasible => 6,
         FaultKind::Engine => 7,
         FaultKind::Relational => 8,
+        FaultKind::Storage => 9,
     });
     put_string(out, &fault.message);
 }
@@ -951,6 +962,7 @@ fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
         6 => FaultKind::PossiblyFalseInfeasible,
         7 => FaultKind::Engine,
         8 => FaultKind::Relational,
+        9 => FaultKind::Storage,
         tag => return Err(WireError::Malformed(format!("fault tag {tag}"))),
     };
     Ok(Fault {
@@ -971,6 +983,9 @@ pub struct StatsReply {
     pub router: RouterStats,
     /// Requests the server has answered so far (all kinds).
     pub served: u64,
+    /// Durability counters (WAL, snapshots, recovery) — `None` when the
+    /// server runs an in-memory database.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// One server response.
@@ -1081,6 +1096,24 @@ impl Response {
                 put_u64(&mut out, stats.router.model_decisions);
                 put_u64(&mut out, stats.router.fallback_decisions);
                 put_u64(&mut out, stats.served);
+                match &stats.durability {
+                    Some(d) => {
+                        put_bool(&mut out, true);
+                        put_u64(&mut out, d.wal_records);
+                        put_u64(&mut out, d.wal_bytes);
+                        put_u64(&mut out, d.wal_syncs);
+                        put_u64(&mut out, d.wal_errors);
+                        put_u64(&mut out, d.snapshots_written);
+                        put_u64(&mut out, d.last_snapshot_lsn);
+                        put_u64(&mut out, d.records_since_snapshot);
+                        put_u64(&mut out, d.recovered_tables);
+                        put_u64(&mut out, d.recovered_partitionings);
+                        put_u64(&mut out, d.recovered_telemetry);
+                        put_u64(&mut out, d.wal_replayed_records);
+                        put_u64(&mut out, d.wal_tail_dropped_bytes);
+                    }
+                    None => put_bool(&mut out, false),
+                }
             }
             Response::ShuttingDown => out.push(5),
             Response::Busy {
@@ -1185,6 +1218,24 @@ impl Response {
                         fallback_decisions: c.u64()?,
                     },
                     served: c.u64()?,
+                    durability: if c.bool()? {
+                        Some(DurabilityStats {
+                            wal_records: c.u64()?,
+                            wal_bytes: c.u64()?,
+                            wal_syncs: c.u64()?,
+                            wal_errors: c.u64()?,
+                            snapshots_written: c.u64()?,
+                            last_snapshot_lsn: c.u64()?,
+                            records_since_snapshot: c.u64()?,
+                            recovered_tables: c.u64()?,
+                            recovered_partitionings: c.u64()?,
+                            recovered_telemetry: c.u64()?,
+                            wal_replayed_records: c.u64()?,
+                            wal_tail_dropped_bytes: c.u64()?,
+                        })
+                    } else {
+                        None
+                    },
                 })
             }
             5 => Response::ShuttingDown,

@@ -1,0 +1,289 @@
+//! Crash recovery, end to end: a TCP server over a durable `PackageDb`
+//! is SIGKILLed mid-traffic, restarted on the same data directory, and
+//! must serve the *same* answers warm — the package byte-identical, the
+//! partitioning served as a cache `Hit` with zero cold rebuilds, the
+//! router telemetry ring restored — and every append acknowledged
+//! before the kill must still be there.
+//!
+//! The killed server is a real child **process** (this test binary
+//! re-spawned with `PAQ_CRASH_ROLE=child`), because `kill -9` semantics
+//! — no destructors, no flushes, file descriptors yanked — cannot be
+//! simulated in-process. The replay thread count is swept (1 and 4 by
+//! default, pinned by `PAQ_THREADS` when set, as in CI) to prove
+//! parallel WAL replay recovers the identical state.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use std::{env, fs};
+
+use paq_db::{CacheOutcome, DbConfig, Durability, PackageDb, Route};
+use paq_lang::parse_paql;
+use paq_relational::{DataType, Schema, Table, Value};
+use paq_server::{spawn_tcp, Client, ExecOptions, RouteChoice, Server};
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 \
+     MAXIMIZE SUM(P.value)";
+
+/// Deterministic table both processes can regenerate identically.
+fn items(n: usize) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+        ("grade", DataType::Str),
+    ]));
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        let g = if next() % 4 == 0 { "low" } else { "high" };
+        t.push_row(vec![Value::Float(v), Value::Float(w), g.into()])
+            .unwrap();
+    }
+    t
+}
+
+/// Pin the refine stage to one thread so the package is bit-for-bit
+/// reproducible across runs and processes.
+fn exec_options() -> ExecOptions {
+    ExecOptions {
+        route: RouteChoice::ForceSketchRefine,
+        threads: Some(1),
+        ..ExecOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The child: a durable TCP server that announces its address and serves
+// until killed (load phase) or shut down over the wire (resume phase).
+// ---------------------------------------------------------------------
+
+/// Not a test of its own: a no-op unless re-spawned as the server
+/// child. Kept in the test binary so `kill -9` hits a real process
+/// running the exact server stack under test.
+#[test]
+fn server_child() {
+    if env::var("PAQ_CRASH_ROLE").as_deref() != Ok("child") {
+        return;
+    }
+    let dir = env::var("PAQ_CRASH_DIR").expect("PAQ_CRASH_DIR");
+    let phase = env::var("PAQ_CRASH_PHASE").expect("PAQ_CRASH_PHASE");
+    let threads: usize = env::var("PAQ_REPLAY_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let durability = Durability {
+        replay_threads: threads,
+        ..Durability::new(&dir)
+    };
+    let db = PackageDb::open(DbConfig::default(), durability).expect("open durable db");
+    if phase == "load" {
+        // Seed the catalog, warm the partition cache and the router
+        // telemetry ring, then snapshot so the restart replays from a
+        // snapshot + WAL tail rather than a bare log.
+        db.register_table("Items", items(150));
+        db.register_table("Scratch", items(1));
+        let exec = db
+            .execute_with(&parse_paql(QUERY).unwrap(), Route::ForceSketchRefine)
+            .expect("warm query");
+        assert!(
+            matches!(exec.cache, CacheOutcome::Miss { .. }),
+            "first build must be the cold one: {}",
+            exec.explain()
+        );
+        db.snapshot_now().expect("snapshot");
+    }
+
+    let server = Server::new(db);
+    let handle = spawn_tcp(server, "127.0.0.1:0").expect("bind loopback");
+    // stdout is a pipe here (block-buffered): flush or the parent
+    // never sees the address.
+    println!("ADDR={}", handle.addr());
+    std::io::Write::flush(&mut std::io::stdout()).expect("flush address");
+    while !handle.server().is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// The parent: spawn, hammer, SIGKILL, restart, verify.
+// ---------------------------------------------------------------------
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = env::temp_dir().join(format!("paq-crash-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Spawn this test binary as the server child and wait for its address.
+/// The child's stdout is drained on a background thread so nothing it
+/// prints later can block it on a full (or closed) pipe.
+fn spawn_server(dir: &Path, phase: &str, threads: usize) -> (Child, SocketAddr) {
+    let exe = env::current_exe().expect("test binary path");
+    let mut child = Command::new(exe)
+        .args(["server_child", "--exact", "--nocapture"])
+        .env("PAQ_CRASH_ROLE", "child")
+        .env("PAQ_CRASH_DIR", dir)
+        .env("PAQ_CRASH_PHASE", phase)
+        .env("PAQ_REPLAY_THREADS", threads.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn server child");
+    let mut reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read child stdout") == 0 {
+            panic!("server child exited before announcing its address ({phase})");
+        }
+        // libtest prints "test server_child ... " on the same line
+        // without a newline, so the marker is mid-line, not at start.
+        if let Some(at) = line.find("ADDR=") {
+            break line[at + "ADDR=".len()..]
+                .trim()
+                .parse()
+                .expect("child-announced address");
+        }
+    };
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+    (child, addr)
+}
+
+fn kill_and_reap(mut child: Child) {
+    child.kill().expect("SIGKILL the server");
+    child.wait().expect("reap the killed server");
+}
+
+/// Replay thread counts to sweep: pinned by `PAQ_THREADS` (the CI
+/// matrix), both 1 and 4 otherwise.
+fn replay_thread_counts() -> Vec<usize> {
+    match env::var("PAQ_THREADS").ok().and_then(|s| s.parse().ok()) {
+        Some(n) if n >= 1 => vec![n],
+        _ => vec![1, 4],
+    }
+}
+
+#[test]
+fn kill_dash_nine_then_restart_serves_warm_cache_answers() {
+    for threads in replay_thread_counts() {
+        let dir = TempDir::new(&format!("warm-{threads}"));
+
+        // --- Phase 1: load, record the answer, hammer, SIGKILL. ---
+        let (child, addr) = spawn_server(&dir.0, "load", threads);
+        let mut client = Client::connect(addr).expect("connect to load server");
+
+        let before = client
+            .execute_with("Items", QUERY, exec_options())
+            .expect("query before the crash");
+        assert!(!before.direct, "forced SKETCHREFINE");
+        assert!(!before.pairs.is_empty());
+
+        // Mid-traffic: acknowledged appends (each fsynced before its
+        // ack under flush-on-mutation) racing the kill below.
+        let row = || {
+            vec![
+                Value::Float(3.25),
+                Value::Float(1.5),
+                Value::Str("low".into()),
+            ]
+        };
+        let mut acked = 0u64;
+        for _ in 0..20 {
+            match client.append_row("Scratch", row()) {
+                Ok(_) => acked += 1,
+                Err(_) => break, // server died under us — fine
+            }
+        }
+        kill_and_reap(child);
+
+        // --- Phase 2: restart on the same directory, verify warm. ---
+        let (mut child, addr) = spawn_server(&dir.0, "resume", threads);
+        let mut client = Client::connect(addr).expect("connect to resumed server");
+
+        let stats = client.stats().expect("stats after restart");
+        let durability = stats
+            .durability
+            .expect("resumed server must report durability counters");
+        assert_eq!(durability.recovered_tables, 2, "{durability:?}");
+        assert!(
+            durability.recovered_partitionings >= 1,
+            "partitioning must survive the kill: {durability:?}"
+        );
+        assert!(
+            durability.recovered_telemetry >= 1,
+            "router ring must survive the kill: {durability:?}"
+        );
+        assert_eq!(stats.cache.misses, 0, "{:?}", stats.cache);
+        let scratch = stats
+            .tables
+            .iter()
+            .find(|t| t.name == "Scratch")
+            .expect("Scratch survived");
+        // The table was seeded with 1 row; every acked append adds one.
+        assert!(
+            scratch.rows as u64 > acked,
+            "every acknowledged append must survive: {} rows, {acked} acked",
+            scratch.rows
+        );
+
+        // The same query, warm: byte-identical package, zero rebuilds.
+        let after = client
+            .execute_with("Items", QUERY, exec_options())
+            .expect("query after the crash");
+        assert_eq!(after.pairs, before.pairs, "package must be identical");
+        assert_eq!(after.table_version, before.table_version);
+        assert_eq!(
+            after.timings.partitioning.as_nanos(),
+            0,
+            "warm answer must not rebuild the partitioning"
+        );
+
+        let stats = client.stats().expect("stats after the warm query");
+        assert_eq!(
+            stats.cache.misses, 0,
+            "zero cold rebuilds: {:?}",
+            stats.cache
+        );
+        assert!(stats.cache.hits >= 1, "{:?}", stats.cache);
+        assert!(
+            stats.router.direct_samples + stats.router.sketchrefine_samples >= 1,
+            "router must plan from recovered telemetry: {:?}",
+            stats.router
+        );
+
+        client.shutdown().expect("graceful shutdown");
+        let status = child.wait().expect("reap the resumed server");
+        assert!(status.success(), "resumed server must exit cleanly");
+    }
+}

@@ -216,7 +216,7 @@ fn execution() -> impl Strategy<Value = RemoteExecution> {
 }
 
 fn fault() -> impl Strategy<Value = Fault> {
-    (0u64..9, "[ -~]{0,40}").prop_map(|(kind, message)| Fault {
+    (0u64..10, "[ -~]{0,40}").prop_map(|(kind, message)| Fault {
         kind: match kind {
             0 => FaultKind::BadRequest,
             1 => FaultKind::UnknownTable,
@@ -226,10 +226,36 @@ fn fault() -> impl Strategy<Value = Fault> {
             5 => FaultKind::Infeasible,
             6 => FaultKind::PossiblyFalseInfeasible,
             7 => FaultKind::Engine,
-            _ => FaultKind::Relational,
+            8 => FaultKind::Relational,
+            _ => FaultKind::Storage,
         },
         message,
     })
+}
+
+fn durability() -> impl Strategy<Value = paq_db::DurabilityStats> {
+    (
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+        ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
+    )
+        .prop_map(
+            |(((records, bytes), (syncs, errors)), ((snaps, lsn), (since, recovered)))| {
+                paq_db::DurabilityStats {
+                    wal_records: records,
+                    wal_bytes: bytes,
+                    wal_syncs: syncs,
+                    wal_errors: errors,
+                    snapshots_written: snaps,
+                    last_snapshot_lsn: lsn,
+                    records_since_snapshot: since,
+                    recovered_tables: recovered,
+                    recovered_partitionings: recovered % 7,
+                    recovered_telemetry: recovered % 11,
+                    wal_replayed_records: records % 13,
+                    wal_tail_dropped_bytes: bytes % 17,
+                }
+            },
+        )
 }
 
 fn stats() -> impl Strategy<Value = StatsReply> {
@@ -237,30 +263,35 @@ fn stats() -> impl Strategy<Value = StatsReply> {
         prop::collection::vec(("[a-zA-Z]{1,8}", (any::<u64>(), any::<u64>())), 0..5),
         ((any::<u64>(), any::<u64>()), (any::<u64>(), any::<u64>())),
         (any::<u64>(), any::<u64>()),
+        (any::<bool>(), durability()),
     )
         .prop_map(
-            |(tables, ((hits, misses), (invalidations, served)), (model, fallback))| StatsReply {
-                tables: tables
-                    .into_iter()
-                    .map(|(name, (rows, version))| paq_db::TableStats {
-                        name,
-                        rows: (rows % (u32::MAX as u64)) as usize,
-                        version,
-                    })
-                    .collect(),
-                cache: paq_db::CacheStats {
-                    hits,
-                    misses,
-                    invalidations,
-                    entries: (served % 1000) as usize,
-                },
-                router: paq_db::RouterStats {
-                    direct_samples: (model % 257) as usize,
-                    sketchrefine_samples: (fallback % 129) as usize,
-                    model_decisions: model,
-                    fallback_decisions: fallback,
-                },
-                served,
+            |(tables, ((hits, misses), (invalidations, served)), (model, fallback), (has_d, d))| {
+                let durability = has_d.then_some(d);
+                StatsReply {
+                    tables: tables
+                        .into_iter()
+                        .map(|(name, (rows, version))| paq_db::TableStats {
+                            name,
+                            rows: (rows % (u32::MAX as u64)) as usize,
+                            version,
+                        })
+                        .collect(),
+                    cache: paq_db::CacheStats {
+                        hits,
+                        misses,
+                        invalidations,
+                        entries: (served % 1000) as usize,
+                    },
+                    router: paq_db::RouterStats {
+                        direct_samples: (model % 257) as usize,
+                        sketchrefine_samples: (fallback % 129) as usize,
+                        model_decisions: model,
+                        fallback_decisions: fallback,
+                    },
+                    served,
+                    durability,
+                }
             },
         )
 }
@@ -433,6 +464,17 @@ fn every_response_variant_round_trips() {
             cache: paq_db::CacheStats::default(),
             router: paq_db::RouterStats::default(),
             served: 17,
+            durability: Some(paq_db::DurabilityStats {
+                wal_records: 12,
+                wal_bytes: 4096,
+                wal_syncs: 12,
+                snapshots_written: 1,
+                last_snapshot_lsn: 9,
+                recovered_tables: 2,
+                recovered_partitionings: 1,
+                recovered_telemetry: 5,
+                ..paq_db::DurabilityStats::default()
+            }),
         }),
         Response::ShuttingDown,
         Response::Busy {

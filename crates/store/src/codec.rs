@@ -1,0 +1,616 @@
+//! Byte-level encoding shared by every on-disk structure.
+//!
+//! The conventions deliberately mirror the server wire protocol (fixed
+//! little-endian integers, IEEE bit patterns for floats, `0`/`1`-only
+//! booleans, length-prefixed UTF-8, bounded counts, trailing bytes
+//! rejected) so one set of habits covers both the socket and the disk —
+//! but the two formats are versioned independently: what travels and
+//! what persists evolve on different schedules.
+//!
+//! # Table pages
+//!
+//! A [`Table`] serializes as its schema followed by each column as a
+//! sequence of **pages** of at most [`PAGE_ROWS`] rows. Each page is
+//! independently framed `[u32 len][u32 crc32][payload]`, so corruption
+//! localizes to one page and a reader can verify integrity without
+//! decoding values. The payload keeps the in-memory [`Column`] layout:
+//! a null bitmap plus the backing data vector (masked cells hold the
+//! same `0`/`0.0`/`false`/`""` sentinels as in memory, so a decoded
+//! table is structurally equal to the one encoded).
+
+use paq_partition::{Group, Partitioning};
+use paq_relational::{Column, ColumnDef, DataType, Schema, Table, Value};
+use std::time::Duration;
+
+use crate::error::{StoreError, StoreResult};
+
+/// Rows per column page. 4096 numeric cells is a 32 KiB payload — big
+/// enough to amortize the 8-byte frame, small enough that a checksum
+/// failure localizes damage.
+pub const PAGE_ROWS: usize = 4096;
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time — no dependency needed.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 checksum of `bytes` (IEEE, as used by gzip and Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64`, little-endian.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (NaN-safe round trip).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a bool as exactly `0` or `1`.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a [`Value`] (tag + payload; tags shared with the decoder).
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Bool(b) => {
+            put_u8(out, 1);
+            put_bool(out, *b);
+        }
+        Value::Int(i) => {
+            put_u8(out, 2);
+            put_i64(out, *i);
+        }
+        Value::Float(f) => {
+            put_u8(out, 3);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            put_u8(out, 4);
+            put_str(out, s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------
+
+/// A bounds-checked reader over a decoded payload. Every accessor
+/// returns [`StoreError::Malformed`] instead of panicking; callers wrap
+/// that into their typed WAL/snapshot errors.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StoreError::malformed(format!(
+                "payload truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> StoreResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> StoreResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> StoreResult<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn f64(&mut self) -> StoreResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a bool; anything other than `0`/`1` is malformed.
+    pub fn bool(&mut self) -> StoreResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::malformed(format!(
+                "bool byte must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> StoreResult<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Read an element count, rejecting counts that could not possibly
+    /// fit in the remaining bytes (each element needs at least
+    /// `min_elem` bytes) — a corrupt count must not drive a huge
+    /// allocation.
+    pub fn count(&mut self, min_elem: usize) -> StoreResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem.max(1)) > self.remaining() {
+            return Err(StoreError::malformed(format!(
+                "count {n} x {min_elem}B exceeds the {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a [`Value`].
+    pub fn value(&mut self) -> StoreResult<Value> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.bool()?)),
+            2 => Ok(Value::Int(self.i64()?)),
+            3 => Ok(Value::Float(self.f64()?)),
+            4 => Ok(Value::Str(self.str()?)),
+            tag => Err(StoreError::malformed(format!("unknown value tag {tag}"))),
+        }
+    }
+
+    /// Assert the payload is fully consumed (trailing bytes mean the
+    /// encoder and decoder disagree about the format).
+    pub fn finish(self) -> StoreResult<()> {
+        if self.remaining() != 0 {
+            return Err(StoreError::malformed(format!(
+                "{} trailing bytes after a complete payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitmaps
+// ---------------------------------------------------------------------
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Bool => 2,
+        DataType::Str => 3,
+    }
+}
+
+fn data_type_from(tag: u8) -> StoreResult<DataType> {
+    match tag {
+        0 => Ok(DataType::Int),
+        1 => Ok(DataType::Float),
+        2 => Ok(DataType::Bool),
+        3 => Ok(DataType::Str),
+        other => Err(StoreError::malformed(format!("unknown type tag {other}"))),
+    }
+}
+
+/// Encode one page of `col` covering rows `[start, start + len)`.
+fn encode_page(col: &Column, start: usize, len: usize) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, len as u32);
+    match col {
+        Column::Int { data, nulls } => {
+            payload.extend_from_slice(&pack_bits(&nulls[start..start + len]));
+            for &v in &data[start..start + len] {
+                put_i64(&mut payload, v);
+            }
+        }
+        Column::Float { data, nulls } => {
+            payload.extend_from_slice(&pack_bits(&nulls[start..start + len]));
+            for &v in &data[start..start + len] {
+                put_f64(&mut payload, v);
+            }
+        }
+        Column::Bool { data, nulls } => {
+            payload.extend_from_slice(&pack_bits(&nulls[start..start + len]));
+            payload.extend_from_slice(&pack_bits(&data[start..start + len]));
+        }
+        Column::Str { data, nulls } => {
+            payload.extend_from_slice(&pack_bits(&nulls[start..start + len]));
+            for v in &data[start..start + len] {
+                put_str(&mut payload, v);
+            }
+        }
+    }
+    payload
+}
+
+/// Append a page-structured encoding of `table` to `out`.
+pub fn encode_table(out: &mut Vec<u8>, table: &Table) {
+    let schema = table.schema();
+    put_u32(out, schema.arity() as u32);
+    for def in schema.columns() {
+        put_str(out, &def.name);
+        put_u8(out, type_tag(def.ty));
+    }
+    let rows = table.num_rows();
+    put_u64(out, rows as u64);
+    for idx in 0..schema.arity() {
+        let col = table.column_at(idx);
+        let pages = rows.div_ceil(PAGE_ROWS);
+        put_u32(out, pages as u32);
+        for p in 0..pages {
+            let start = p * PAGE_ROWS;
+            let len = PAGE_ROWS.min(rows - start);
+            let payload = encode_page(col, start, len);
+            put_u32(out, payload.len() as u32);
+            put_u32(out, crc32(&payload));
+            out.extend_from_slice(&payload);
+        }
+    }
+}
+
+/// Decode one page's payload into `(data-extender, nulls)` applied onto
+/// the accumulating column.
+fn decode_page_into(col: &mut Column, payload: &[u8]) -> StoreResult<()> {
+    let mut cur = Cursor::new(payload);
+    let rows = cur.u32()? as usize;
+    if rows > PAGE_ROWS {
+        return Err(StoreError::malformed(format!(
+            "page claims {rows} rows (max {PAGE_ROWS})"
+        )));
+    }
+    let null_bytes = cur.take(rows.div_ceil(8))?;
+    let nulls = unpack_bits(null_bytes, rows);
+    match col {
+        Column::Int { data, nulls: n } => {
+            for _ in 0..rows {
+                data.push(cur.i64()?);
+            }
+            n.extend_from_slice(&nulls);
+        }
+        Column::Float { data, nulls: n } => {
+            for _ in 0..rows {
+                data.push(cur.f64()?);
+            }
+            n.extend_from_slice(&nulls);
+        }
+        Column::Bool { data, nulls: n } => {
+            let data_bytes = cur.take(rows.div_ceil(8))?;
+            data.extend_from_slice(&unpack_bits(data_bytes, rows));
+            n.extend_from_slice(&nulls);
+        }
+        Column::Str { data, nulls: n } => {
+            for _ in 0..rows {
+                data.push(cur.str()?);
+            }
+            n.extend_from_slice(&nulls);
+        }
+    }
+    cur.finish()
+}
+
+/// Decode a table encoded by [`encode_table`], verifying every page
+/// checksum.
+pub fn decode_table(cur: &mut Cursor<'_>) -> StoreResult<Table> {
+    let arity = cur.count(5)?;
+    let mut defs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = cur.str()?;
+        let ty = data_type_from(cur.u8()?)?;
+        defs.push(ColumnDef::new(name, ty));
+    }
+    let rows = cur.u64()? as usize;
+    let mut columns = Vec::with_capacity(arity);
+    for def in &defs {
+        let mut col = Column::with_capacity(def.ty, rows);
+        let pages = cur.u32()? as usize;
+        for _ in 0..pages {
+            let len = cur.u32()? as usize;
+            let crc = cur.u32()?;
+            let payload = cur.take(len)?;
+            if crc32(payload) != crc {
+                return Err(StoreError::malformed(format!(
+                    "table page checksum mismatch in column '{}'",
+                    def.name
+                )));
+            }
+            decode_page_into(&mut col, payload)?;
+        }
+        if col.len() != rows {
+            return Err(StoreError::malformed(format!(
+                "column '{}' pages hold {} rows, table header says {rows}",
+                def.name,
+                col.len()
+            )));
+        }
+        columns.push(col);
+    }
+    let schema = Schema::new(defs);
+    Table::from_columns(schema, columns)
+        .map_err(|e| StoreError::malformed(format!("decoded table is inconsistent: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Partitionings
+// ---------------------------------------------------------------------
+
+/// Append an encoding of a [`Partitioning`] to `out`.
+pub fn encode_partitioning(out: &mut Vec<u8>, p: &Partitioning) {
+    put_u32(out, p.attributes.len() as u32);
+    for a in &p.attributes {
+        put_str(out, a);
+    }
+    put_u64(out, p.build_time.as_nanos().min(u64::MAX as u128) as u64);
+    put_u32(out, p.groups.len() as u32);
+    for g in &p.groups {
+        put_i64(out, g.gid);
+        put_u32(out, g.rows.len() as u32);
+        for &r in &g.rows {
+            put_u64(out, r as u64);
+        }
+        put_u32(out, g.representative.len() as u32);
+        for &v in &g.representative {
+            put_f64(out, v);
+        }
+        put_f64(out, g.radius);
+    }
+}
+
+/// Decode a partitioning encoded by [`encode_partitioning`].
+pub fn decode_partitioning(cur: &mut Cursor<'_>) -> StoreResult<Partitioning> {
+    let nattrs = cur.count(4)?;
+    let mut attributes = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        attributes.push(cur.str()?);
+    }
+    let build_time = Duration::from_nanos(cur.u64()?);
+    let ngroups = cur.count(8)?;
+    let mut groups = Vec::with_capacity(ngroups);
+    for _ in 0..ngroups {
+        let gid = cur.i64()?;
+        let nrows = cur.count(8)?;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            rows.push(cur.u64()? as usize);
+        }
+        let nrep = cur.count(8)?;
+        let mut representative = Vec::with_capacity(nrep);
+        for _ in 0..nrep {
+            representative.push(cur.f64()?);
+        }
+        let radius = cur.f64()?;
+        groups.push(Group {
+            gid,
+            rows,
+            representative,
+            radius,
+        });
+    }
+    Ok(Partitioning {
+        attributes,
+        groups,
+        build_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, f64::NAN);
+        put_bool(&mut buf, true);
+        put_str(&mut buf, "héllo");
+        put_value(&mut buf, &Value::Null);
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.u64().unwrap(), u64::MAX);
+        assert_eq!(cur.i64().unwrap(), -42);
+        assert!(cur.f64().unwrap().is_nan());
+        assert!(cur.bool().unwrap());
+        assert_eq!(cur.str().unwrap(), "héllo");
+        assert_eq!(cur.value().unwrap(), Value::Null);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn bool_rejects_garbage_and_counts_are_bounded() {
+        let mut cur = Cursor::new(&[7]);
+        assert!(cur.bool().is_err());
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        assert!(Cursor::new(&buf).count(8).is_err());
+    }
+
+    fn sample_table(rows: usize) -> Table {
+        let schema = Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("b", DataType::Bool),
+            ("s", DataType::Str),
+        ]);
+        let mut t = Table::new(schema);
+        for r in 0..rows {
+            let row = if r % 7 == 3 {
+                vec![Value::Null, Value::Null, Value::Null, Value::Null]
+            } else {
+                vec![
+                    Value::Int(r as i64 - 50),
+                    Value::Float(r as f64 * 0.25),
+                    Value::Bool(r % 2 == 0),
+                    Value::Str(format!("row-{r}")),
+                ]
+            };
+            t.push_row(row).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn table_round_trips_across_page_boundaries() {
+        for rows in [0, 1, PAGE_ROWS - 1, PAGE_ROWS, PAGE_ROWS + 5] {
+            let table = sample_table(rows);
+            let mut buf = Vec::new();
+            encode_table(&mut buf, &table);
+            let mut cur = Cursor::new(&buf);
+            let decoded = decode_table(&mut cur).unwrap();
+            cur.finish().unwrap();
+            assert_eq!(decoded, table, "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn flipped_page_byte_fails_the_page_checksum() {
+        let table = sample_table(64);
+        let mut buf = Vec::new();
+        encode_table(&mut buf, &table);
+        // Flip a byte near the end — inside some column page's payload.
+        let idx = buf.len() - 9;
+        buf[idx] ^= 0x40;
+        let err = decode_table(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum")
+                || err.to_string().contains("malformed")
+                || err.to_string().contains("truncated"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn partitioning_round_trips() {
+        let p = Partitioning {
+            attributes: vec!["r".into(), "redshift".into()],
+            groups: vec![
+                Group {
+                    gid: 0,
+                    rows: vec![0, 2, 4],
+                    representative: vec![1.5, -2.25],
+                    radius: 0.5,
+                },
+                Group {
+                    gid: 1,
+                    rows: vec![1, 3],
+                    representative: vec![9.0, 4.5],
+                    radius: 1.25,
+                },
+            ],
+            build_time: Duration::from_micros(1234),
+        };
+        let mut buf = Vec::new();
+        encode_partitioning(&mut buf, &p);
+        let mut cur = Cursor::new(&buf);
+        let q = decode_partitioning(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(q.attributes, p.attributes);
+        assert_eq!(q.groups.len(), 2);
+        assert_eq!(q.groups[0].rows, vec![0, 2, 4]);
+        assert_eq!(q.groups[1].representative, vec![9.0, 4.5]);
+        assert_eq!(q.build_time, p.build_time);
+    }
+}

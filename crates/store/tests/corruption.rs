@@ -1,0 +1,209 @@
+//! Torn-write and corruption behavior through the public API.
+//!
+//! The contract under test: a torn WAL tail (crash artifact) recovers
+//! silently to the last complete checksummed record; damage to a fully
+//! present record or to a snapshot is a typed error — never a panic,
+//! never partially served state.
+
+use paq_datagen::galaxy_table;
+use paq_store::{Store, StoreConfig, StoreError, WalOp, WalRecord};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paq-store-corrupt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A store with three registered tables in the WAL; returns the dir.
+fn seeded_dir(tag: &str) -> PathBuf {
+    let dir = temp_dir(tag);
+    let (mut store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    for lsn in 1..=3u64 {
+        store
+            .append(&WalRecord {
+                lsn,
+                op: WalOp::RegisterTable {
+                    name: format!("tab{lsn}"),
+                    table: Arc::new(galaxy_table(20 + lsn as usize, lsn)),
+                },
+            })
+            .unwrap();
+    }
+    dir
+}
+
+#[test]
+fn every_truncation_point_recovers_or_errors_but_never_panics() {
+    let dir = seeded_dir("sweep");
+    let wal_path = dir.join("wal.paq");
+    let bytes = fs::read(&wal_path).unwrap();
+    // Sweep a range of truncation points across the last record and
+    // frame boundaries: each must yield a clean open with a record
+    // prefix, never a panic.
+    let steps: Vec<usize> = (1..64).chain([100, 500, 1000, bytes.len() / 2]).collect();
+    for cut in steps {
+        if cut >= bytes.len() {
+            continue;
+        }
+        fs::write(&wal_path, &bytes[..bytes.len() - cut]).unwrap();
+        let (_, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+        assert!(recovered.state.tables.len() <= 3, "cut = {cut}");
+        // Tables recover as a prefix: tab1 before tab2 before tab3.
+        for (i, t) in recovered.state.tables.iter().enumerate() {
+            assert_eq!(t.name, format!("tab{}", i + 1), "cut = {cut}");
+        }
+        // Restore the full image for the next iteration (the open
+        // truncated the file).
+        fs::write(&wal_path, &bytes).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncating_the_tail_drops_only_the_torn_record() {
+    let dir = seeded_dir("tail");
+    let wal_path = dir.join("wal.paq");
+    let bytes = fs::read(&wal_path).unwrap();
+    fs::write(&wal_path, &bytes[..bytes.len() - 11]).unwrap();
+    let (_, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+    assert!(recovered.wal_tail_dropped_bytes > 0);
+    assert_eq!(recovered.state.tables.len(), 2);
+    assert_eq!(recovered.state.last_version, 2);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flips_across_the_wal_body_are_typed_errors() {
+    let dir = seeded_dir("flip");
+    let wal_path = dir.join("wal.paq");
+    let bytes = fs::read(&wal_path).unwrap();
+    // Flip a bit at offsets guaranteed to be inside the first record's
+    // payload (the frame starts at byte 8, its payload at byte 16, and
+    // a 21-row galaxy table encodes to far more than 64 bytes) — a
+    // payload flip on a fully present record must fail the checksum,
+    // not masquerade as a torn tail.
+    for idx in [20usize, 40, 60] {
+        let mut damaged = bytes.clone();
+        damaged[idx] ^= 0x20;
+        fs::write(&wal_path, &damaged).unwrap();
+        let err = Store::open(StoreConfig::new(&dir)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::WalCorrupt { .. }),
+            "idx = {idx}: {err}"
+        );
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_magic_is_a_typed_error() {
+    let dir = seeded_dir("magic");
+    let wal_path = dir.join("wal.paq");
+    let mut bytes = fs::read(&wal_path).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&wal_path, &bytes).unwrap();
+    let err = Store::open(StoreConfig::new(&dir)).unwrap_err();
+    assert!(
+        matches!(err, StoreError::WalCorrupt { offset: 0, .. }),
+        "{err}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn snapshot_damage_is_a_typed_error_not_a_fallback() {
+    let dir = temp_dir("snapdmg");
+    let snap_path;
+    {
+        let (mut store, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+        drop(recovered);
+        store
+            .append(&WalRecord {
+                lsn: 1,
+                op: WalOp::RegisterTable {
+                    name: "G".into(),
+                    table: Arc::new(galaxy_table(50, 2)),
+                },
+            })
+            .unwrap();
+        let state = paq_store::StoreState {
+            last_version: 1,
+            tables: vec![paq_store::TableImage {
+                name: "G".into(),
+                version: 1,
+                table: Arc::new(galaxy_table(50, 2)),
+            }],
+            partitionings: Vec::new(),
+            telemetry: Vec::new(),
+        };
+        store.snapshot(&state).unwrap();
+        snap_path = dir.join("snap-0000000000000001.paq");
+        assert!(snap_path.exists());
+    }
+
+    let pristine = fs::read(&snap_path).unwrap();
+
+    // Truncations at several depths.
+    for cut in [1usize, 16, pristine.len() / 2] {
+        fs::write(&snap_path, &pristine[..pristine.len() - cut]).unwrap();
+        let err = Store::open(StoreConfig::new(&dir)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::SnapshotCorrupt { .. }),
+            "cut = {cut}: {err}"
+        );
+    }
+    // Interior bit flips.
+    for frac in [4usize, 2] {
+        let mut damaged = pristine.clone();
+        let idx = damaged.len() / frac;
+        damaged[idx] ^= 0x04;
+        fs::write(&snap_path, &damaged).unwrap();
+        let err = Store::open(StoreConfig::new(&dir)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::SnapshotCorrupt { .. }),
+            "idx = {idx}: {err}"
+        );
+    }
+    // Restored snapshot opens cleanly again.
+    fs::write(&snap_path, &pristine).unwrap();
+    let (_, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(recovered.state.tables.len(), 1);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn append_failure_poisons_the_store() {
+    // Drop the WAL file's directory out from under the store by
+    // replacing the handle's backing file with a read-only one — the
+    // portable way to force a write failure without OS tricks is to
+    // exhaust the record-size contract instead, so here we simulate by
+    // poisoning via a failed sync on a closed-dir handle. Simplest
+    // portable check: the Poisoned error is sticky once set.
+    let dir = temp_dir("poison");
+    let (mut store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+    // Force a failure by removing the WAL and its directory, then
+    // appending a large record; on most filesystems writes to an
+    // unlinked file still succeed, so accept either outcome — but if an
+    // error occurred, it must be sticky.
+    fs::remove_dir_all(&dir).unwrap();
+    let big = Arc::new(galaxy_table(4000, 1));
+    let first = store.append(&WalRecord {
+        lsn: 1,
+        op: WalOp::RegisterTable {
+            name: "big".into(),
+            table: big,
+        },
+    });
+    if first.is_err() {
+        let second = store.append(&WalRecord {
+            lsn: 2,
+            op: WalOp::DropTable { name: "big".into() },
+        });
+        assert!(matches!(second, Err(StoreError::Poisoned)));
+        assert!(store.is_poisoned());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,293 @@
+//! End-to-end store round trips over realistic data: write a workload's
+//! worth of state through the public API, reopen, and require the
+//! recovered state to be structurally identical — at 1 and 4 replay
+//! threads.
+
+use paq_datagen::galaxy_table;
+use paq_exec::ThreadPool;
+use paq_partition::{Group, Partitioning};
+use paq_relational::Value;
+use paq_store::{
+    PartitioningImage, SpecImage, Store, StoreConfig, StoreState, StrategyKind, SyncPolicy,
+    TableImage, TelemetryImage, WalOp, WalRecord,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paq-store-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy_partitioning(rows: usize) -> Arc<Partitioning> {
+    // Two groups splitting the row range — structurally valid enough
+    // for serialization tests.
+    let mid = rows / 2;
+    Arc::new(Partitioning {
+        attributes: vec!["r".into(), "redshift".into()],
+        groups: vec![
+            Group {
+                gid: 0,
+                rows: (0..mid).collect(),
+                representative: vec![1.0, 2.0],
+                radius: 0.5,
+            },
+            Group {
+                gid: 1,
+                rows: (mid..rows).collect(),
+                representative: vec![3.0, 4.0],
+                radius: 0.75,
+            },
+        ],
+        build_time: Duration::from_millis(7),
+    })
+}
+
+fn sample_state(rows: usize, seed: u64) -> StoreState {
+    let table = Arc::new(galaxy_table(rows, seed));
+    StoreState {
+        last_version: 5,
+        tables: vec![TableImage {
+            name: "Galaxy".into(),
+            version: 5,
+            table,
+        }],
+        partitionings: vec![PartitioningImage {
+            table_key: "galaxy".into(),
+            version: 5,
+            attributes: vec!["r".into(), "redshift".into()],
+            spec: SpecImage::BySize { tau: 16 },
+            partitioning: toy_partitioning(rows),
+        }],
+        telemetry: vec![
+            TelemetryImage {
+                rows: rows as u64,
+                constraints: 2,
+                repeat_bound: 1,
+                tau: 16,
+                strategy: StrategyKind::SketchRefine,
+                cost_nanos: 2_500_000,
+            },
+            TelemetryImage {
+                rows: rows as u64,
+                constraints: 2,
+                repeat_bound: 1,
+                tau: 16,
+                strategy: StrategyKind::Direct,
+                cost_nanos: 9_000_000,
+            },
+        ],
+    }
+}
+
+fn assert_states_equal(a: &StoreState, b: &StoreState) {
+    assert_eq!(a.last_version, b.last_version);
+    assert_eq!(a.tables.len(), b.tables.len());
+    for (x, y) in a.tables.iter().zip(&b.tables) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.version, y.version);
+        assert_eq!(*x.table, *y.table, "table '{}' differs", x.name);
+    }
+    assert_eq!(a.partitionings.len(), b.partitionings.len());
+    for (x, y) in a.partitionings.iter().zip(&b.partitionings) {
+        assert_eq!(x.table_key, y.table_key);
+        assert_eq!(x.version, y.version);
+        assert_eq!(x.attributes, y.attributes);
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.partitioning.attributes, y.partitioning.attributes);
+        assert_eq!(x.partitioning.groups.len(), y.partitioning.groups.len());
+        for (g, h) in x.partitioning.groups.iter().zip(&y.partitioning.groups) {
+            assert_eq!(g.gid, h.gid);
+            assert_eq!(g.rows, h.rows);
+            assert_eq!(g.representative, h.representative);
+            assert_eq!(g.radius, h.radius);
+        }
+    }
+    assert_eq!(a.telemetry, b.telemetry);
+}
+
+#[test]
+fn snapshot_plus_wal_recovers_identically_at_1_and_4_threads() {
+    let dir = temp_dir("full");
+    let state = sample_state(500, 42);
+    let extra = Arc::new(galaxy_table(40, 7));
+    {
+        let (mut store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store.snapshot(&state).unwrap();
+        // Post-snapshot WAL traffic across several tables.
+        store
+            .append(&WalRecord {
+                lsn: 6,
+                op: WalOp::RegisterTable {
+                    name: "Extra".into(),
+                    table: Arc::clone(&extra),
+                },
+            })
+            .unwrap();
+        store
+            .append(&WalRecord {
+                lsn: 7,
+                op: WalOp::AppendRow {
+                    name: "Extra".into(),
+                    row: extra.row(0),
+                },
+            })
+            .unwrap();
+    }
+
+    let pool = ThreadPool::new(4);
+    let (_, seq) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let (_, par) = Store::open_with_pool(StoreConfig::new(&dir), Some(&pool)).unwrap();
+    assert_states_equal(&seq.state, &par.state);
+
+    // The recovered state holds both tables; Galaxy's partitioning
+    // survives untouched (its version still matches).
+    assert_eq!(seq.snapshot_lsn, 5);
+    assert_eq!(seq.wal_replayed_records, 2);
+    assert_eq!(seq.state.tables.len(), 2);
+    assert_eq!(seq.state.last_version, 7);
+    assert_eq!(seq.state.partitionings.len(), 1);
+    assert_eq!(seq.state.telemetry.len(), 2);
+    let extra_img = seq.state.tables.iter().find(|t| t.name == "Extra").unwrap();
+    assert_eq!(extra_img.table.num_rows(), 41);
+    assert_eq!(extra_img.version, 7);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wal_only_boot_matches_snapshot_boot() {
+    // The same logical history through two different durability paths
+    // (all-WAL vs snapshot+WAL) must recover identical states.
+    let wal_dir = temp_dir("walpath");
+    let snap_dir = temp_dir("snappath");
+    let galaxy = Arc::new(galaxy_table(120, 9));
+    let records = vec![
+        WalRecord {
+            lsn: 1,
+            op: WalOp::RegisterTable {
+                name: "Galaxy".into(),
+                table: Arc::clone(&galaxy),
+            },
+        },
+        WalRecord {
+            lsn: 2,
+            op: WalOp::AppendRow {
+                name: "Galaxy".into(),
+                row: galaxy.row(3),
+            },
+        },
+        WalRecord {
+            lsn: 3,
+            op: WalOp::DropTable {
+                name: "Galaxy".into(),
+            },
+        },
+        WalRecord {
+            lsn: 4,
+            op: WalOp::RegisterTable {
+                name: "Galaxy".into(),
+                table: Arc::clone(&galaxy),
+            },
+        },
+    ];
+
+    {
+        let (mut store, _) = Store::open(StoreConfig::new(&wal_dir)).unwrap();
+        for r in &records {
+            store.append(r).unwrap();
+        }
+    }
+    {
+        let (mut store, _) = Store::open(StoreConfig::new(&snap_dir)).unwrap();
+        for r in &records[..2] {
+            store.append(r).unwrap();
+        }
+        // Snapshot mid-history, then continue.
+        let mut mid = Arc::clone(&galaxy);
+        Arc::make_mut(&mut mid).push_row(galaxy.row(3)).unwrap();
+        let mid_state = StoreState {
+            last_version: 2,
+            tables: vec![TableImage {
+                name: "Galaxy".into(),
+                version: 2,
+                table: mid,
+            }],
+            partitionings: Vec::new(),
+            telemetry: Vec::new(),
+        };
+        store.snapshot(&mid_state).unwrap();
+        for r in &records[2..] {
+            store.append(r).unwrap();
+        }
+    }
+
+    let (_, a) = Store::open(StoreConfig::new(&wal_dir)).unwrap();
+    let (_, b) = Store::open(StoreConfig::new(&snap_dir)).unwrap();
+    assert_states_equal(&a.state, &b.state);
+    assert_eq!(a.state.tables.len(), 1);
+    assert_eq!(a.state.tables[0].version, 4);
+    fs::remove_dir_all(&wal_dir).unwrap();
+    fs::remove_dir_all(&snap_dir).unwrap();
+}
+
+#[test]
+fn manual_sync_survives_clean_close() {
+    let dir = temp_dir("manual");
+    let galaxy = Arc::new(galaxy_table(30, 3));
+    {
+        let mut config = StoreConfig::new(&dir);
+        config.sync = SyncPolicy::Manual;
+        let (mut store, _) = Store::open(config).unwrap();
+        store
+            .append(&WalRecord {
+                lsn: 1,
+                op: WalOp::RegisterTable {
+                    name: "G".into(),
+                    table: Arc::clone(&galaxy),
+                },
+            })
+            .unwrap();
+        store.sync().unwrap();
+    }
+    let (_, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(recovered.state.tables.len(), 1);
+    assert_eq!(*recovered.state.tables[0].table, *galaxy);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn many_values_of_every_type_round_trip() {
+    // Push the value codec through every variant, including nulls.
+    let dir = temp_dir("values");
+    let galaxy = Arc::new(galaxy_table(10, 1));
+    {
+        let (mut store, _) = Store::open(StoreConfig::new(&dir)).unwrap();
+        store
+            .append(&WalRecord {
+                lsn: 1,
+                op: WalOp::RegisterTable {
+                    name: "G".into(),
+                    table: Arc::clone(&galaxy),
+                },
+            })
+            .unwrap();
+        let row: Vec<Value> = galaxy.row(2);
+        store
+            .append(&WalRecord {
+                lsn: 2,
+                op: WalOp::AppendRow {
+                    name: "G".into(),
+                    row,
+                },
+            })
+            .unwrap();
+    }
+    let (_, recovered) = Store::open(StoreConfig::new(&dir)).unwrap();
+    let table = &recovered.state.tables[0].table;
+    assert_eq!(table.num_rows(), 11);
+    assert_eq!(table.row(10), galaxy.row(2));
+    fs::remove_dir_all(&dir).unwrap();
+}

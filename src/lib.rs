@@ -24,6 +24,7 @@
 //! | [`partition`] | offline quad-tree partitioning with size/radius thresholds (§4.1) |
 //! | [`engine`] | package evaluation: DIRECT (§3.2) and SKETCHREFINE (§4.2) |
 //! | [`db`] | `PackageDb`: concurrent sessions over a shared table catalog + partition cache, Direct/SketchRefine planner |
+//! | [`store`] | `paq-store`: durable tiered storage — WAL + snapshots, crash recovery to warm-cache state |
 //! | [`server`] | `paq-server`: PaQL over a socket — wire protocol, concurrent server core, client library |
 //! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
 //!
@@ -93,13 +94,14 @@ pub use paq_partition as partition;
 pub use paq_relational as relational;
 pub use paq_server as server;
 pub use paq_solver as solver;
+pub use paq_store as store;
 
 /// Commonly-used items, re-exported for examples and applications.
 pub mod prelude {
     pub use paq_core::{Direct, Evaluator, Package, QueryFeatures, SketchRefine};
     pub use paq_db::{
-        CacheOutcome, DbConfig, DbError, Execution, PackageDb, Route, RouteReason, RouterConfig,
-        RouterVerdict, Strategy,
+        CacheOutcome, DbConfig, DbError, Durability, DurabilityStats, Execution, PackageDb, Route,
+        RouteReason, RouterConfig, RouterVerdict, Strategy, SyncPolicy,
     };
     pub use paq_lang::{parse_paql, Paql, PaqlBuilder};
     pub use paq_partition::{PartitionConfig, Partitioner};
