@@ -11,6 +11,11 @@
 //!   serve its partitioning as a warm cache hit, or recovery restored
 //!   no partitionings — the durability contract, checked structurally
 //!   (recovery *timings* are trajectory-only, never gated);
+//! * the `faults` section is missing, the chaos client failed to
+//!   converge, a fault crashed a handler, or the fault plan never bit
+//!   (`injected`, `surfaced`, or `retried` at zero) — the robustness
+//!   contract: injected faults surface typed, get retried, and never
+//!   change the answer;
 //! * warm server round-trip regressed more than [`MAX_REGRESSION`]×
 //!   against the committed snapshot — **skipped when the fresh run's
 //!   `host_cpus == 1`** (a single-CPU runner time-slices the server
@@ -83,6 +88,34 @@ fn main() {
                 < 1.0
             {
                 failures.push("recovery restored no partitionings".to_owned());
+            }
+        }
+    }
+
+    // --- fault-injection structure (never skipped) --------------------
+    // Same shape as recovery: counters and booleans the code either
+    // delivers or doesn't, no timings. A zero counter means the fault
+    // plan never fired — the phase silently stopped testing anything.
+    match fresh.get("faults") {
+        None => failures.push("faults section missing from the fresh artifact".to_owned()),
+        Some(faults) => {
+            if faults.get("converged").and_then(Json::as_bool) != Some(true) {
+                failures.push("chaos client did not converge to the exact final state".to_owned());
+            }
+            for counter in ["injected", "surfaced", "retried"] {
+                if faults.get(counter).and_then(Json::as_f64).unwrap_or(0.0) < 1.0 {
+                    failures.push(format!(
+                        "faults.{counter} is zero — the fault plan never bit"
+                    ));
+                }
+            }
+            if faults
+                .get("handler_panics")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::MAX)
+                > 0.0
+            {
+                failures.push("injected faults crashed a server handler".to_owned());
             }
         }
     }

@@ -34,6 +34,16 @@
 //! as a warm cache `Hit`. Wall-clock for both paths and the on-disk
 //! store size land in the `recovery` section of the JSON.
 //!
+//! A sixth family exercises the **fault path** (`paq-chaos`): a
+//! [`RetryingClient`](paq_server::RetryingClient) drives a server over
+//! an in-process pipe wrapped in a seeded
+//! [`FaultPlan`](paq_chaos::FaultPlan) that periodically severs the
+//! connection, plus one lost-ack append retried under its idempotency
+//! token. The `faults` section records how many faults were injected,
+//! surfaced as typed errors, and retried, whether the token was
+//! deduplicated, and that the final row count converged exactly —
+//! structure the CI gate checks (`bench_gate`), never timings.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
@@ -505,6 +515,180 @@ fn measure_recovery(table: &Table, config: &DbConfig, replay_threads: usize) -> 
     }
 }
 
+/// Chaos datapoint: counters from one deterministic fault-injection
+/// scenario. Structure only — the gate checks that faults were
+/// injected, surfaced typed, retried, and that the client converged.
+struct FaultsResult {
+    plan_seed: u64,
+    injected: u64,
+    surfaced: u64,
+    retried: u64,
+    reconnects: u64,
+    deduped: u64,
+    handler_panics: u64,
+    rows_expected: u64,
+    rows_final: u64,
+    converged: bool,
+}
+
+/// Drive a live server through a deterministically flaky in-process
+/// pipe: a [`paq_server::RetryingClient`] registers a table, appends
+/// rows, and solves a query while a seeded [`paq_chaos::FaultPlan`]
+/// periodically severs the connection; then one append's ack is
+/// dropped and the retry is answered from the server's token cache.
+/// Every injected fault must surface as a typed transient error, every
+/// surfaced error must be retried to success, and the final row count
+/// must be exact — faults slow the client down, they never change the
+/// answer.
+fn measure_faults(plan_seed: u64) -> FaultsResult {
+    use paq_chaos::{ChaosStream, FaultPlan, Trigger};
+    use paq_relational::{DataType, Schema, Value};
+    use paq_server::{
+        pipe_listener, Client, ExecOptions, RetryPolicy, RetryingClient, Server, ServerConfig,
+    };
+    use std::panic::AssertUnwindSafe;
+    use std::time::Instant;
+
+    // A small dedicated table: this phase measures the fault path, not
+    // solver throughput.
+    let schema = Schema::from_pairs(&[("value", DataType::Float), ("weight", DataType::Float)]);
+    let mut items = Table::new(schema);
+    let mut state = plan_seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let base_rows = 40u64;
+    for _ in 0..base_rows {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        items
+            .push_row(vec![Value::Float(v), Value::Float(w)])
+            .expect("chaos row matches schema");
+    }
+    let appended_row = || vec![Value::Float(3.25), Value::Float(1.5)];
+    let retried_appends = 8u64;
+    // Retried appends plus the one lost-ack append (applied exactly
+    // once despite its tokened retry).
+    let rows_expected = base_rows + retried_appends + 1;
+
+    let db = PackageDb::with_config(DbConfig::default());
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+
+    let plan = FaultPlan::new(plan_seed);
+    // Same cadence as the chaos suite's convergence plan: every 6th
+    // write and every 9th read dies, so faults land across registers,
+    // appends, and the solve.
+    plan.on("bench.write", Trigger::FailEveryK(6));
+    plan.on("bench.read", Trigger::FailEveryK(9));
+    plan.on("lossy.read", Trigger::FailNth(1));
+
+    // The serve loop joins inside the scope, so the body must always
+    // reach trigger_shutdown — even when an expect fires.
+    let (stats, surfaced, cardinality) = std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut surfaced = 0u64;
+            let mut client = RetryingClient::new(
+                || {
+                    connector
+                        .connect()
+                        .map(|conn| ChaosStream::new(conn, &plan, "bench"))
+                },
+                RetryPolicy {
+                    max_retries: 16,
+                    base_backoff: Duration::from_millis(1),
+                    jitter: 0.0,
+                    seed: plan_seed ^ 0x5EED,
+                    ..RetryPolicy::default()
+                },
+            );
+            client
+                .register_table("Chaos", &items)
+                .expect("register converges through the flaky pipe");
+            for _ in 0..retried_appends {
+                client
+                    .append_row("Chaos", appended_row())
+                    .expect("append converges through the flaky pipe");
+            }
+
+            // Lost ack: the append applies, the reply dies; the retry
+            // carries the same token and must be deduplicated.
+            const TOKEN: u64 = 0xFA_0175;
+            let mut lossy = Client::over(ChaosStream::new(
+                connector.connect().unwrap(),
+                &plan,
+                "lossy",
+            ));
+            let lost = lossy
+                .append_row_with_token("Chaos", appended_row(), Some(TOKEN))
+                .expect_err("the ack must be lost");
+            assert!(lost.is_transient(), "lost ack is retryable: {lost:?}");
+            surfaced += 1;
+            drop(lossy);
+            // The mutation may still be in flight server-side; wait for
+            // it before retrying, or the token has nothing to dedupe.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while db.table("Chaos").expect("table registered").num_rows() as u64 != rows_expected {
+                assert!(Instant::now() < deadline, "lost-ack append never landed");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let mut probe = Client::over(connector.connect().unwrap());
+            probe
+                .append_row_with_token("Chaos", appended_row(), Some(TOKEN))
+                .expect("tokened retry is answered from ack memory");
+
+            let exec = client
+                .execute_with(
+                    "Chaos",
+                    "SELECT PACKAGE(C) AS P FROM Chaos C REPEAT 0 \
+                     SUCH THAT COUNT(P.*) = 2 AND SUM(P.weight) <= 1000 \
+                     MAXIMIZE SUM(P.value)",
+                    ExecOptions {
+                        threads: Some(1),
+                        ..ExecOptions::default()
+                    },
+                )
+                .expect("query converges through the flaky pipe");
+            // Every retried attempt was provoked by one surfaced typed
+            // transient error.
+            surfaced += client.retry_stats().retries;
+            (client.retry_stats(), surfaced, exec.package().cardinality())
+        }));
+        server.trigger_shutdown();
+        match result {
+            Ok(value) => value,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+
+    let rows_final = db.table("Chaos").map(|t| t.num_rows() as u64).unwrap_or(0);
+    let handler_panics = server.handler_panics();
+    FaultsResult {
+        plan_seed,
+        injected: plan.injected(),
+        surfaced,
+        // The retrying client's automatic retries plus the manual
+        // tokened retry of the lost ack.
+        retried: stats.retries + 1,
+        reconnects: stats.reconnects,
+        deduped: server.deduped_mutations(),
+        handler_panics,
+        rows_expected,
+        rows_final,
+        converged: rows_final == rows_expected && cardinality == 2 && handler_panics == 0,
+    }
+}
+
 fn main() {
     let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
     let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
@@ -703,6 +887,23 @@ fn main() {
         recovery.telemetry_recovered,
     );
 
+    // --- fault injection: retries, tokens, convergence ----------------
+    let faults = measure_faults(0xFA_0175_0000_0001 ^ seed);
+    println!(
+        "fault injection (in-process pipe, plan seed {:#x}): {} injected, {} surfaced typed, \
+         {} retried, {} reconnects, {} deduped, {} handler panics, rows {}/{} — converged: {}",
+        faults.plan_seed,
+        faults.injected,
+        faults.surfaced,
+        faults.retried,
+        faults.reconnects,
+        faults.deduped,
+        faults.handler_panics,
+        faults.rows_final,
+        faults.rows_expected,
+        faults.converged,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -854,6 +1055,24 @@ fn main() {
         recovery.replay_threads,
     );
     json.push_str("},\n");
+    json.push_str("  \"faults\": {");
+    let _ = write!(
+        json,
+        "\"transport\": \"in-process-pipe\", \"plan_seed\": {}, \"injected\": {}, \
+         \"surfaced\": {}, \"retried\": {}, \"reconnects\": {}, \"deduped\": {}, \
+         \"handler_panics\": {}, \"rows_expected\": {}, \"rows_final\": {}, \"converged\": {}",
+        faults.plan_seed,
+        faults.injected,
+        faults.surfaced,
+        faults.retried,
+        faults.reconnects,
+        faults.deduped,
+        faults.handler_panics,
+        faults.rows_expected,
+        faults.rows_final,
+        faults.converged,
+    );
+    json.push_str("},\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
@@ -874,5 +1093,21 @@ fn main() {
         rerouted >= 1 && improved >= 1,
         "the warmed router must reroute at least one probe away from the static \
          threshold with lower observed cost (rerouted {rerouted}, improved {improved})"
+    );
+    assert!(
+        faults.converged
+            && faults.injected >= 1
+            && faults.surfaced >= 1
+            && faults.retried >= 1
+            && faults.deduped >= 1
+            && faults.handler_panics == 0,
+        "the chaos phase must inject, surface, retry, dedupe, and converge \
+         (injected {}, surfaced {}, retried {}, deduped {}, panics {}, converged {})",
+        faults.injected,
+        faults.surfaced,
+        faults.retried,
+        faults.deduped,
+        faults.handler_panics,
+        faults.converged,
     );
 }

@@ -137,6 +137,25 @@ fn main() {
         println!();
     }
 
+    if let Some(faults) = json.get("faults") {
+        println!("### Fault injection (retrying client over a flaky pipe)");
+        println!();
+        println!(
+            "{} injected · {} surfaced typed · {} retried · {} reconnects · {} deduped by \
+             token · {} handler panics · rows {}/{} · converged {}",
+            num(faults, "injected"),
+            num(faults, "surfaced"),
+            num(faults, "retried"),
+            num(faults, "reconnects"),
+            num(faults, "deduped"),
+            num(faults, "handler_panics"),
+            num(faults, "rows_final"),
+            num(faults, "rows_expected"),
+            flag(faults, "converged"),
+        );
+        println!();
+    }
+
     if let Some(router) = json.get("router") {
         println!("### Cost-based router");
         println!();

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # paq-chaos — seeded, deterministic fault injection
+//!
+//! Robustness claims are only worth what exercises them. This crate
+//! injects failures into the I/O seams the workspace already has —
+//! the store's WAL/snapshot file operations (via
+//! [`paq_store::FaultInjector`]) and the server/client byte streams
+//! (via [`ChaosStream`] wrapping any `Read + Write`) — from a single
+//! seeded [`FaultPlan`], so every failure schedule is reproducible
+//! from its seed and assertable in CI.
+//!
+//! * [`FaultPlan`] — a shared, thread-safe schedule: per-**site**
+//!   (a string like `"wal.sync"` or `"client.write"`) trigger lists
+//!   ([`Trigger`]: fail-nth, fail-every-k, delay, short-write,
+//!   probabilistic) plus call/injection counters for reporting.
+//! * [`ChaosStream`] — wraps any byte stream and consults the plan on
+//!   every read/write: injected failures sever the stream exactly the
+//!   way a broken TCP connection would (`ConnectionReset` now,
+//!   `BrokenPipe` after), short writes deliver a torn frame to the
+//!   peer, delays model a stalling network.
+//! * [`ChaosAcceptor`] — wraps a server [`Acceptor`] so every accepted
+//!   connection is chaos-wrapped; the production server code runs
+//!   unchanged.
+//!
+//! Production binaries never depend on this crate: the store's seam is
+//! an `Option<Arc<dyn FaultInjector>>` that is `None` outside tests,
+//! and the generic stream/acceptor abstractions mean the chaos
+//! wrappers are just another transport.
+//!
+//! [`Acceptor`]: paq_server::Acceptor
+
+mod plan;
+mod stream;
+
+pub use plan::{sites, FaultPlan, Injection, SiteReport, Trigger, Verdict};
+pub use stream::{ChaosAcceptor, ChaosStream};

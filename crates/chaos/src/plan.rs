@@ -1,0 +1,417 @@
+//! The fault schedule: per-site triggers, seeded randomness, counters.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use paq_store::{FaultDecision, FaultInjector, FaultSite};
+
+/// Well-known site names used by the [`FaultInjector`] impl for the
+/// store seam. Stream sites are chosen by the caller when constructing
+/// a [`crate::ChaosStream`] (`"{label}.read"` / `"{label}.write"`).
+pub mod sites {
+    /// A WAL record write (`Store::append`).
+    pub const WAL_WRITE: &str = "wal.write";
+    /// A WAL fsync (`SyncPolicy::Always` append, or `Store::sync`).
+    pub const WAL_SYNC: &str = "wal.sync";
+    /// Writing the snapshot temp file body.
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// Fsyncing the snapshot temp file.
+    pub const SNAPSHOT_SYNC: &str = "snapshot.sync";
+    /// The atomic rename of the temp file over the snapshot.
+    pub const SNAPSHOT_RENAME: &str = "snapshot.rename";
+}
+
+/// One rule attached to a site. Call numbers are 1-based: the first
+/// operation at a site is call `1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fail exactly the `n`-th call at this site, then never again.
+    FailNth(u64),
+    /// Fail every `k`-th call (calls `k`, `2k`, `3k`, ...).
+    FailEveryK(u64),
+    /// Sleep for `delay` before every `k`-th call goes through.
+    Delay {
+        /// Fire on calls `every`, `2*every`, ... (`0` never fires).
+        every: u64,
+        /// How long to stall the operation.
+        delay: Duration,
+    },
+    /// Turn exactly the `n`-th call into a short (torn) write. At
+    /// non-write sites this is equivalent to [`Trigger::FailNth`].
+    ShortWriteNth(u64),
+    /// Fail each call independently with probability `p` (clamped to
+    /// `[0, 1]`), drawn from this site's seeded RNG stream — so the
+    /// schedule is still fully determined by the plan seed.
+    FailWithProbability(f64),
+}
+
+/// What kind of injection [`FaultPlan::evaluate`] selected, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Let the operation proceed normally.
+    None,
+    /// Fail the operation with an injected error.
+    Fail,
+    /// Let roughly half the payload through, then fail.
+    ShortWrite,
+}
+
+/// The outcome of consulting the plan for one call at one site.
+#[derive(Debug, Clone, Copy)]
+pub struct Verdict {
+    /// 1-based call number at this site (after counting this call).
+    pub call: u64,
+    /// Stall to apply before acting, if a delay trigger fired.
+    pub delay: Option<Duration>,
+    /// The injection to apply, if any.
+    pub injection: Injection,
+}
+
+impl Verdict {
+    fn pass(call: u64) -> Self {
+        Verdict {
+            call,
+            delay: None,
+            injection: Injection::None,
+        }
+    }
+}
+
+/// Per-site counters, for reporting and assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteReport {
+    /// The site name.
+    pub site: String,
+    /// Total calls evaluated at this site.
+    pub calls: u64,
+    /// How many of those calls had a fault injected.
+    pub injected: u64,
+    /// How many of those calls were delayed.
+    pub delayed: u64,
+}
+
+#[derive(Debug)]
+struct SiteState {
+    triggers: Vec<Trigger>,
+    rng: SmallRng,
+    calls: u64,
+    injected: u64,
+    delayed: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    sites: Mutex<HashMap<String, SiteState>>,
+}
+
+/// A shared, seeded schedule of faults, keyed by site name.
+///
+/// Cloning is cheap (`Arc`); all clones share the same trigger tables
+/// and counters, so a plan handed to a store injector, a chaos stream,
+/// and the test's assertions all observe one consistent schedule.
+///
+/// Determinism: every random draw comes from a per-site RNG seeded
+/// from `plan seed XOR hash(site name)`, so each site's decision
+/// stream depends only on the seed and that site's own call sequence —
+/// never on how calls at *different* sites interleave across threads.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl FaultPlan {
+    /// Create an empty plan. With no triggers registered, every site
+    /// passes every call — a chaos-wrapped stream behaves identically
+    /// to the bare one.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(Inner {
+                seed,
+                sites: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Attach a trigger to a site. Multiple triggers on one site all
+    /// apply; if several fire on the same call, `Fail` beats
+    /// `ShortWrite`, and a delay composes with either.
+    pub fn on(&self, site: impl Into<String>, trigger: Trigger) -> &Self {
+        let site = site.into();
+        let mut sites = lock(&self.inner.sites);
+        let seed = self.inner.seed;
+        sites
+            .entry(site)
+            .or_insert_with_key(|name| SiteState {
+                triggers: Vec::new(),
+                rng: SmallRng::seed_from_u64(seed ^ fnv1a(name)),
+                calls: 0,
+                injected: 0,
+                delayed: 0,
+            })
+            .triggers
+            .push(trigger);
+        self
+    }
+
+    /// Count one call at `site` and decide what happens to it.
+    ///
+    /// Sites with no registered triggers are not tracked and always
+    /// pass, so instrumented hot paths stay cheap under an empty plan.
+    pub fn evaluate(&self, site: &str) -> Verdict {
+        let mut sites = lock(&self.inner.sites);
+        let Some(state) = sites.get_mut(site) else {
+            return Verdict::pass(0);
+        };
+        state.calls += 1;
+        let call = state.calls;
+        let mut verdict = Verdict::pass(call);
+        for idx in 0..state.triggers.len() {
+            match state.triggers[idx] {
+                Trigger::FailNth(n) if call == n => verdict.injection = Injection::Fail,
+                Trigger::FailEveryK(k) if k > 0 && call.is_multiple_of(k) => {
+                    verdict.injection = Injection::Fail;
+                }
+                // Fail beats ShortWrite when both fire on one call.
+                Trigger::ShortWriteNth(n) if call == n && verdict.injection == Injection::None => {
+                    verdict.injection = Injection::ShortWrite;
+                }
+                Trigger::Delay { every, delay } if every > 0 && call.is_multiple_of(every) => {
+                    verdict.delay = Some(delay);
+                }
+                Trigger::FailWithProbability(p) => {
+                    // Draw unconditionally so the site's RNG stream
+                    // advances once per call regardless of outcome.
+                    let fire = state.rng.gen_bool(p.clamp(0.0, 1.0));
+                    if fire && verdict.injection == Injection::None {
+                        verdict.injection = Injection::Fail;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if verdict.injection != Injection::None {
+            state.injected += 1;
+        }
+        if verdict.delay.is_some() {
+            state.delayed += 1;
+        }
+        verdict
+    }
+
+    /// Total faults injected across all sites so far.
+    pub fn injected(&self) -> u64 {
+        lock(&self.inner.sites).values().map(|s| s.injected).sum()
+    }
+
+    /// Total calls evaluated across all sites so far.
+    pub fn calls(&self) -> u64 {
+        lock(&self.inner.sites).values().map(|s| s.calls).sum()
+    }
+
+    /// Per-site counters, sorted by site name for stable output.
+    pub fn report(&self) -> Vec<SiteReport> {
+        let sites = lock(&self.inner.sites);
+        let mut out: Vec<SiteReport> = sites
+            .iter()
+            .map(|(name, s)| SiteReport {
+                site: name.clone(),
+                calls: s.calls,
+                injected: s.injected,
+                delayed: s.delayed,
+            })
+            .collect();
+        out.sort_by(|a, b| a.site.cmp(&b.site));
+        out
+    }
+
+    /// The error used for every injected failure: `io::ErrorKind::Other`
+    /// with a message naming the site and call number, so a surfaced
+    /// fault can be traced back to the trigger that produced it.
+    pub fn error_for(site: &str, call: u64) -> io::Error {
+        io::Error::other(format!("chaos: injected fault at {site} (call #{call})"))
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn decide(&self, site: FaultSite, len: usize) -> FaultDecision {
+        let name = store_site_name(site);
+        let verdict = self.evaluate(name);
+        if let Some(delay) = verdict.delay {
+            std::thread::sleep(delay);
+        }
+        match verdict.injection {
+            Injection::None => FaultDecision::Pass,
+            Injection::Fail => FaultDecision::Fail(FaultPlan::error_for(name, verdict.call)),
+            Injection::ShortWrite => FaultDecision::ShortWrite {
+                len: len / 2,
+                error: FaultPlan::error_for(name, verdict.call),
+            },
+        }
+    }
+}
+
+fn store_site_name(site: FaultSite) -> &'static str {
+    match site {
+        FaultSite::WalWrite => sites::WAL_WRITE,
+        FaultSite::WalSync => sites::WAL_SYNC,
+        FaultSite::SnapshotWrite => sites::SNAPSHOT_WRITE,
+        FaultSite::SnapshotSync => sites::SNAPSHOT_SYNC,
+        FaultSite::SnapshotRename => sites::SNAPSHOT_RENAME,
+    }
+}
+
+/// FNV-1a over the site name: a tiny, dependency-free way to give each
+/// site its own deterministic RNG stream from one plan seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_passes_everything() {
+        let plan = FaultPlan::new(7);
+        for _ in 0..100 {
+            let v = plan.evaluate("anything");
+            assert!(v.delay.is_none());
+            assert_eq!(v.injection, Injection::None);
+        }
+        assert_eq!(plan.injected(), 0);
+        // Untracked sites don't accumulate state.
+        assert_eq!(plan.calls(), 0);
+        assert!(plan.report().is_empty());
+    }
+
+    #[test]
+    fn fail_nth_fires_exactly_once() {
+        let plan = FaultPlan::new(1);
+        plan.on("s", Trigger::FailNth(3));
+        let hits: Vec<bool> = (0..6)
+            .map(|_| plan.evaluate("s").injection == Injection::Fail)
+            .collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn fail_every_k_is_periodic() {
+        let plan = FaultPlan::new(1);
+        plan.on("s", Trigger::FailEveryK(2));
+        let hits: Vec<bool> = (0..6)
+            .map(|_| plan.evaluate("s").injection == Injection::Fail)
+            .collect();
+        assert_eq!(hits, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn delay_composes_with_fail() {
+        let plan = FaultPlan::new(1);
+        plan.on(
+            "s",
+            Trigger::Delay {
+                every: 2,
+                delay: Duration::from_millis(1),
+            },
+        );
+        plan.on("s", Trigger::FailNth(2));
+        let first = plan.evaluate("s");
+        assert!(first.delay.is_none());
+        assert_eq!(first.injection, Injection::None);
+        let second = plan.evaluate("s");
+        assert_eq!(second.delay, Some(Duration::from_millis(1)));
+        assert_eq!(second.injection, Injection::Fail);
+        let report = plan.report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].calls, 2);
+        assert_eq!(report[0].injected, 1);
+        assert_eq!(report[0].delayed, 1);
+    }
+
+    #[test]
+    fn probabilistic_stream_is_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::new(seed);
+            plan.on("p", Trigger::FailWithProbability(0.5));
+            (0..32)
+                .map(|_| plan.evaluate("p").injection == Injection::Fail)
+                .collect()
+        };
+        assert_eq!(draw(42), draw(42), "same seed, same schedule");
+        assert_ne!(draw(42), draw(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn per_site_streams_are_independent_of_interleaving() {
+        // Evaluate two probabilistic sites interleaved vs. sequentially:
+        // each site's decision stream must come out identical.
+        let run = |interleave: bool| -> (Vec<bool>, Vec<bool>) {
+            let plan = FaultPlan::new(99);
+            plan.on("a", Trigger::FailWithProbability(0.5));
+            plan.on("b", Trigger::FailWithProbability(0.5));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            if interleave {
+                for _ in 0..16 {
+                    a.push(plan.evaluate("a").injection == Injection::Fail);
+                    b.push(plan.evaluate("b").injection == Injection::Fail);
+                }
+            } else {
+                for _ in 0..16 {
+                    a.push(plan.evaluate("a").injection == Injection::Fail);
+                }
+                for _ in 0..16 {
+                    b.push(plan.evaluate("b").injection == Injection::Fail);
+                }
+            }
+            (a, b)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn store_injector_maps_sites_and_halves_short_writes() {
+        let plan = FaultPlan::new(5);
+        plan.on(sites::WAL_WRITE, Trigger::ShortWriteNth(1));
+        plan.on(sites::WAL_SYNC, Trigger::FailNth(1));
+        match plan.decide(FaultSite::WalWrite, 10) {
+            FaultDecision::ShortWrite { len, error } => {
+                assert_eq!(len, 5);
+                assert!(error.to_string().contains("wal.write"));
+            }
+            other => panic!("expected short write, got {other:?}"),
+        }
+        match plan.decide(FaultSite::WalSync, 0) {
+            FaultDecision::Fail(e) => assert!(e.to_string().contains("wal.sync")),
+            other => panic!("expected fail, got {other:?}"),
+        }
+        assert!(matches!(
+            plan.decide(FaultSite::SnapshotRename, 0),
+            FaultDecision::Pass
+        ));
+        assert_eq!(plan.injected(), 2);
+    }
+}

@@ -27,6 +27,7 @@
 //! [`PackageDb::snapshot_now`]: crate::PackageDb::snapshot_now
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -34,7 +35,7 @@ use parking_lot::Mutex;
 use paq_core::QueryFeatures;
 use paq_store::{SpecImage, Store, StrategyKind, TelemetryImage};
 
-pub use paq_store::SyncPolicy;
+pub use paq_store::{FaultDecision, FaultInjector, FaultSite, SyncPolicy};
 
 use crate::cache::PartitionSpec;
 use crate::error::DbError;
@@ -61,6 +62,10 @@ pub struct Durability {
     /// Worker threads for parallel WAL replay on open (1 = sequential).
     /// Replay is deterministic at every thread count.
     pub replay_threads: usize,
+    /// Optional fault injector handed down to the store, consulted
+    /// before each WAL/snapshot file operation. `None` (the default)
+    /// is the production path; chaos tests install a seeded plan here.
+    pub injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Durability {
@@ -72,6 +77,7 @@ impl Durability {
             sync: SyncPolicy::default(),
             snapshot_every: None,
             replay_threads: 1,
+            injector: None,
         }
     }
 }

@@ -366,6 +366,7 @@ impl PackageDb {
         let store_config = StoreConfig {
             dir: durability.dir,
             sync: durability.sync,
+            injector: durability.injector,
         };
         let (store, recovered) =
             Store::open_with_pool(store_config, replay_pool.as_ref()).map_err(storage_error)?;

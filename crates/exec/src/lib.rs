@@ -33,7 +33,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
@@ -273,6 +273,28 @@ impl ThreadPool {
                 scope.spawn(move || handler(item));
             }
         });
+    }
+
+    /// [`ThreadPool::serve`], but a handler panic is *contained* rather
+    /// than re-thrown: the panicking handler's item is abandoned (its
+    /// payload dropped), every other handler keeps running, and the
+    /// loop keeps accepting. Returns the number of handler panics
+    /// observed — a long-running server wants one bad connection to
+    /// cost one connection, not the whole serve loop at drain time.
+    pub fn serve_resilient<T, A, H>(&self, accept: A, handler: H) -> u64
+    where
+        T: Send,
+        A: FnMut() -> Option<T>,
+        H: Fn(T) + Sync,
+    {
+        let panics = AtomicU64::new(0);
+        let counted = |item: T| {
+            if catch_unwind(AssertUnwindSafe(|| handler(item))).is_err() {
+                panics.fetch_add(1, Ordering::AcqRel);
+            }
+        };
+        self.serve(accept, counted);
+        panics.load(Ordering::Acquire)
     }
 
     /// Apply `f` to every item, in parallel, returning results in input

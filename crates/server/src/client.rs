@@ -72,9 +72,11 @@ impl<C: Read + Write> Client<C> {
             Ok(Some(Response::Busy {
                 in_flight,
                 max_in_flight,
+                retry_after_ms,
             })) => Err(ClientError::Busy {
                 in_flight,
                 max_in_flight,
+                retry_after_ms,
             }),
             Ok(Some(Response::Error(fault))) => Err(ClientError::Server(fault)),
             Ok(Some(response)) => {
@@ -131,9 +133,24 @@ impl<C: Read + Write> Client<C> {
 
     /// Register (or replace) a table; returns the catalog version.
     pub fn register_table(&mut self, name: &str, table: &Table) -> ClientResult<u64> {
+        self.register_table_with_token(name, table, None)
+    }
+
+    /// [`Client::register_table`] carrying an idempotency `token`: the
+    /// server remembers acked tokens and answers a repeat with the
+    /// recorded ack instead of re-applying, so this call is safe to
+    /// retry after a lost acknowledgement (see
+    /// [`RetryingClient`](crate::retry::RetryingClient)).
+    pub fn register_table_with_token(
+        &mut self,
+        name: &str,
+        table: &Table,
+        token: Option<u64>,
+    ) -> ClientResult<u64> {
         match self.roundtrip(&Request::RegisterTable {
             name: name.to_owned(),
             table: table.clone(),
+            token,
         })? {
             Response::Registered { version } => Ok(version),
             other => Err(unexpected("Registered", &other)),
@@ -142,9 +159,21 @@ impl<C: Read + Write> Client<C> {
 
     /// Append one row; returns the new catalog version.
     pub fn append_row(&mut self, name: &str, row: Vec<Value>) -> ClientResult<u64> {
+        self.append_row_with_token(name, row, None)
+    }
+
+    /// [`Client::append_row`] carrying an idempotency `token` (same
+    /// retry-safety contract as [`Client::register_table_with_token`]).
+    pub fn append_row_with_token(
+        &mut self,
+        name: &str,
+        row: Vec<Value>,
+        token: Option<u64>,
+    ) -> ClientResult<u64> {
         match self.roundtrip(&Request::AppendRow {
             name: name.to_owned(),
             row,
+            token,
         })? {
             Response::Appended { version } => Ok(version),
             other => Err(unexpected("Appended", &other)),

@@ -31,6 +31,13 @@ pub enum WireError {
         /// Version this build speaks ([`crate::wire::WIRE_VERSION`]).
         want: u8,
     },
+    /// A frame started but did not complete within the reader's
+    /// started-frame deadline (see
+    /// [`crate::wire::read_frame_deadline`]) — the slowloris guard.
+    DeadlineExpired {
+        /// Time the frame had been in progress when the reader gave up.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -47,6 +54,9 @@ impl fmt::Display for WireError {
                     f,
                     "peer speaks protocol version {got}, this build speaks {want}"
                 )
+            }
+            WireError::DeadlineExpired { elapsed } => {
+                write!(f, "frame stalled: still incomplete after {elapsed:?}")
             }
         }
     }
@@ -79,6 +89,8 @@ pub enum ClientError {
         in_flight: u64,
         /// The server's configured bound.
         max_in_flight: u64,
+        /// The server's pacing hint: wait this long before retrying.
+        retry_after_ms: u64,
     },
     /// The server reported an application-level error.
     Server(crate::wire::Fault),
@@ -106,6 +118,23 @@ impl ClientError {
     pub fn is_busy(&self) -> bool {
         matches!(self, ClientError::Busy { .. })
     }
+
+    /// `true` when a retry has a real chance of succeeding: typed
+    /// backpressure, a lost/closed/truncated connection, or a stream
+    /// i/o error. Application-level faults, protocol violations
+    /// (malformed/oversized/version), and unexpected responses are
+    /// deterministic — retrying them would repeat the failure.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Busy { .. } | ClientError::ConnectionClosed => true,
+            ClientError::Wire(WireError::Io(_))
+            | ClientError::Wire(WireError::Truncated)
+            | ClientError::Wire(WireError::DeadlineExpired { .. }) => true,
+            ClientError::Wire(_) | ClientError::Server(_) | ClientError::UnexpectedResponse(_) => {
+                false
+            }
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -115,9 +144,11 @@ impl fmt::Display for ClientError {
             ClientError::Busy {
                 in_flight,
                 max_in_flight,
+                retry_after_ms,
             } => write!(
                 f,
-                "server busy ({in_flight}/{max_in_flight} connections in flight); retry later"
+                "server busy ({in_flight}/{max_in_flight} connections in flight); \
+                 retry in {retry_after_ms} ms"
             ),
             ClientError::Server(fault) => write!(f, "server error: {fault}"),
             ClientError::UnexpectedResponse(detail) => {

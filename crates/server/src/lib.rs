@@ -62,12 +62,14 @@
 
 pub mod client;
 pub mod error;
+pub mod retry;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
 pub use client::Client;
 pub use error::{ClientError, ClientResult, WireError, WireResult};
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{
     spawn_tcp, Accepted, Acceptor, Connection, Server, ServerConfig, TcpAcceptor, TcpServerHandle,
 };

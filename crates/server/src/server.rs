@@ -20,14 +20,15 @@
 //!   [`Server::trigger_shutdown`]) stops the acceptor; handlers finish
 //!   the request they are processing — a frame already started is
 //!   always read to completion (see
-//!   [`read_frame_with`]) — then close as
+//!   [`read_frame_with`](crate::wire::read_frame_with)) — then close as
 //!   soon as their connection goes idle. [`Server::serve`] returns only
 //!   after every handler drained.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -35,9 +36,11 @@ use paq_db::{DbError, Execution, PackageDb};
 use paq_exec::ThreadPool;
 use paq_lang::parse_paql;
 
+use crate::error::WireError;
 use crate::transport::{PipeEnd, PipeListener};
 use crate::wire::{
-    read_frame_with, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, StatsReply,
+    read_frame_deadline, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response,
+    StatsReply,
 };
 
 /// Server tuning.
@@ -64,6 +67,24 @@ pub struct ServerConfig {
     /// [`FaultKind::Storage`] fault instead of the success reply.
     /// No-op for in-memory databases.
     pub flush_on_mutation: bool,
+    /// Total deadline for a frame *in progress*: once a request frame's
+    /// first byte arrives, the whole frame must complete within this
+    /// window or the handler answers with a [`FaultKind::Timeout`]
+    /// fault and closes the connection — the slowloris guard, so a
+    /// client that sends a few header bytes and stalls cannot pin a
+    /// handler forever. `None` disables the guard (legacy behavior).
+    pub frame_deadline: Option<Duration>,
+    /// Pacing hint carried on [`Response::Busy`]: how long a rejected
+    /// client should wait before reconnecting.
+    pub busy_retry_after: Duration,
+    /// How many acked mutation tokens the server remembers for
+    /// idempotent retry deduplication (FIFO eviction; `0` disables
+    /// deduplication). The window is per-process: a server restart
+    /// forgets acked tokens, so a retry that straddles a restart may
+    /// re-apply — re-registering a table is idempotent, a re-appended
+    /// row is not, which is why clients should not retry mutations
+    /// across a known restart boundary.
+    pub dedupe_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +94,9 @@ impl Default for ServerConfig {
             max_in_flight: 64,
             poll_interval: Duration::from_millis(10),
             flush_on_mutation: true,
+            frame_deadline: Some(Duration::from_secs(30)),
+            busy_retry_after: Duration::from_millis(50),
+            dedupe_capacity: 1024,
         }
     }
 }
@@ -183,6 +207,44 @@ impl Acceptor for PipeListener {
     }
 }
 
+/// Bounded FIFO memory of acked mutation tokens → the exact response
+/// that acknowledged them. A retried mutation carrying a remembered
+/// token is answered from here instead of re-applied.
+#[derive(Debug, Default)]
+struct TokenCache {
+    capacity: usize,
+    order: VecDeque<u64>,
+    map: HashMap<u64, Response>,
+}
+
+impl TokenCache {
+    fn new(capacity: usize) -> Self {
+        TokenCache {
+            capacity,
+            order: VecDeque::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&self, token: u64) -> Option<Response> {
+        self.map.get(&token).cloned()
+    }
+
+    fn insert(&mut self, token: u64, response: Response) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(token, response).is_none() {
+            self.order.push_back(token);
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 /// Shared observable server state.
 #[derive(Debug, Default)]
 struct ServerState {
@@ -192,6 +254,10 @@ struct ServerState {
     busy_rejections: AtomicU64,
     durability_flushes: AtomicU64,
     flush_failures: AtomicU64,
+    frame_timeouts: AtomicU64,
+    deduped_mutations: AtomicU64,
+    handler_panics: AtomicU64,
+    acked: Mutex<TokenCache>,
 }
 
 /// Decrements the in-flight connection count when a handler finishes,
@@ -234,11 +300,15 @@ impl Server {
     /// A server with explicit configuration.
     pub fn with_config(db: PackageDb, config: ServerConfig) -> Self {
         let pool = ThreadPool::new(config.workers.max(1));
+        let state = ServerState {
+            acked: Mutex::new(TokenCache::new(config.dedupe_capacity)),
+            ..ServerState::default()
+        };
         Server {
             db,
             config,
             pool,
-            state: Arc::new(ServerState::default()),
+            state: Arc::new(state),
         }
     }
 
@@ -271,6 +341,26 @@ impl Server {
         self.state.flush_failures.load(Ordering::Acquire)
     }
 
+    /// Started frames abandoned because they stalled past
+    /// [`ServerConfig::frame_deadline`]; each also answered with a
+    /// [`FaultKind::Timeout`] fault before the connection closed.
+    pub fn frame_timeouts(&self) -> u64 {
+        self.state.frame_timeouts.load(Ordering::Acquire)
+    }
+
+    /// Mutations answered from the acked-token cache instead of
+    /// re-applied (a retry after a lost acknowledgement).
+    pub fn deduped_mutations(&self) -> u64 {
+        self.state.deduped_mutations.load(Ordering::Acquire)
+    }
+
+    /// Connection handlers that panicked. Each panic is contained to
+    /// its own connection (the peer sees the stream close); the serve
+    /// loop keeps accepting.
+    pub fn handler_panics(&self) -> u64 {
+        self.state.handler_panics.load(Ordering::Acquire)
+    }
+
     /// Ask the serve loop to stop accepting and drain. Also triggered
     /// remotely by [`Request::Shutdown`].
     pub fn trigger_shutdown(&self) {
@@ -288,7 +378,7 @@ impl Server {
     /// on the server's pool.
     pub fn serve<A: Acceptor>(&self, mut acceptor: A) {
         let state = Arc::clone(&self.state);
-        self.pool.serve(
+        let panics = self.pool.serve_resilient(
             || loop {
                 if state.shutdown.load(Ordering::Acquire) {
                     return None;
@@ -303,6 +393,7 @@ impl Server {
                             let _ = Response::Busy {
                                 in_flight: in_flight as u64,
                                 max_in_flight: self.config.max_in_flight as u64,
+                                retry_after_ms: self.config.busy_retry_after.as_millis() as u64,
                             }
                             .write_to(&mut conn);
                             continue; // drop rejects the connection
@@ -319,6 +410,11 @@ impl Server {
                 self.handle_connection(conn);
             },
         );
+        // A panicking handler costs its own connection, never the
+        // server: the count is observable, the loop already went on.
+        self.state
+            .handler_panics
+            .fetch_add(panics, Ordering::AcqRel);
         // Graceful drain: every handler has finished, so nothing can
         // append concurrently — force whatever the WAL still buffers to
         // disk before the serve loop returns (best-effort: a failure
@@ -346,23 +442,38 @@ impl Server {
         // request's overrides apply to.
         let session = self.db.session();
         loop {
-            let payload =
-                match read_frame_with(&mut conn, || self.state.shutdown.load(Ordering::Acquire)) {
-                    Ok(Some(payload)) => payload,
-                    // Peer closed, or shutdown while idle: drain complete.
-                    Ok(None) => return,
-                    // Framing is broken (oversized/truncated/io): the
-                    // stream cannot be trusted for another frame. Report if
-                    // possible, then close.
-                    Err(e) => {
-                        let _ = Response::Error(Fault {
-                            kind: FaultKind::BadRequest,
-                            message: format!("unreadable frame: {e}"),
-                        })
-                        .write_to(&mut conn);
-                        return;
-                    }
-                };
+            let payload = match read_frame_deadline(
+                &mut conn,
+                || self.state.shutdown.load(Ordering::Acquire),
+                self.config.frame_deadline,
+            ) {
+                Ok(Some(payload)) => payload,
+                // Peer closed, or shutdown while idle: drain complete.
+                Ok(None) => return,
+                // A started frame stalled past the deadline: free the
+                // handler with a typed timeout, then close (the stream
+                // is mid-frame, unusable for another request).
+                Err(WireError::DeadlineExpired { elapsed }) => {
+                    self.state.frame_timeouts.fetch_add(1, Ordering::AcqRel);
+                    let _ = Response::Error(Fault {
+                        kind: FaultKind::Timeout,
+                        message: format!("request frame still incomplete after {elapsed:?}"),
+                    })
+                    .write_to(&mut conn);
+                    return;
+                }
+                // Framing is broken (oversized/truncated/io): the
+                // stream cannot be trusted for another frame. Report if
+                // possible, then close.
+                Err(e) => {
+                    let _ = Response::Error(Fault {
+                        kind: FaultKind::BadRequest,
+                        message: format!("unreadable frame: {e}"),
+                    })
+                    .write_to(&mut conn);
+                    return;
+                }
+            };
             let request = match Request::decode(&payload) {
                 Ok(request) => request,
                 // The frame was well-delimited but undecodable; the
@@ -411,20 +522,36 @@ impl Server {
                 },
                 Err(response) => response,
             },
-            Request::RegisterTable { name, table } => {
+            Request::RegisterTable { name, table, token } => {
+                if let Some(acked) = self.lookup_acked(token) {
+                    return acked;
+                }
                 let version = session.register_table(name, table);
                 match self.flush_mutation(session) {
-                    Ok(()) => Response::Registered { version },
+                    Ok(()) => {
+                        let response = Response::Registered { version };
+                        self.record_ack(token, &response);
+                        response
+                    }
                     Err(e) => Response::Error(Fault::from(&e)),
                 }
             }
-            Request::AppendRow { name, row } => match session
-                .append_row(&name, row)
-                .and_then(|version| self.flush_mutation(session).map(|()| version))
-            {
-                Ok(version) => Response::Appended { version },
-                Err(e) => Response::Error(Fault::from(&e)),
-            },
+            Request::AppendRow { name, row, token } => {
+                if let Some(acked) = self.lookup_acked(token) {
+                    return acked;
+                }
+                match session
+                    .append_row(&name, row)
+                    .and_then(|version| self.flush_mutation(session).map(|()| version))
+                {
+                    Ok(version) => {
+                        let response = Response::Appended { version };
+                        self.record_ack(token, &response);
+                        response
+                    }
+                    Err(e) => Response::Error(Fault::from(&e)),
+                }
+            }
             Request::Stats => {
                 let stats = session.stats();
                 Response::Stats(StatsReply {
@@ -458,6 +585,32 @@ impl Server {
                 self.state.flush_failures.fetch_add(1, Ordering::AcqRel);
                 Err(e)
             }
+        }
+    }
+
+    /// If `token` was already acked, return the recorded ack — the
+    /// client is retrying a mutation whose acknowledgement it lost, and
+    /// re-applying would duplicate it.
+    fn lookup_acked(&self, token: Option<u64>) -> Option<Response> {
+        let token = token?;
+        let cache = self.state.acked.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = cache.get(token);
+        if hit.is_some() {
+            self.state.deduped_mutations.fetch_add(1, Ordering::AcqRel);
+        }
+        hit
+    }
+
+    /// Remember a *successful* mutation ack under its token. Failures
+    /// are deliberately not recorded: the mutation may not have
+    /// happened (durably), so a retry must re-attempt it.
+    fn record_ack(&self, token: Option<u64>, response: &Response) {
+        if let Some(token) = token {
+            self.state
+                .acked
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(token, response.clone());
         }
     }
 
@@ -502,6 +655,22 @@ impl Server {
         }
         if let Some(v) = options.router_enabled {
             config.router.enabled = v;
+        }
+        if let Some(ms) = options.deadline_ms {
+            if ms == 0 {
+                return Err(Response::Error(Fault {
+                    kind: FaultKind::Timeout,
+                    message: "deadline of 0 ms expired before evaluation began".into(),
+                }));
+            }
+            // Propagate the request deadline into the REFINE solve
+            // budget, tightening (never loosening) any budget the
+            // session already carries. An over-budget evaluation
+            // surfaces as a typed possibly-false-infeasible answer —
+            // Algorithm 1's failure semantics, not an untyped hang.
+            let budget = Duration::from_millis(ms);
+            let limit = &mut config.sketchrefine.total_time_limit;
+            *limit = Some(limit.map_or(budget, |t| t.min(budget)));
         }
         session
             .execute_with(&query, options.route.into())

@@ -52,7 +52,13 @@ use crate::error::{WireError, WireResult};
 /// Bumped to 3 when durable storage landed: `Stats` gained the optional
 /// durability counters (WAL/snapshot/recovery) and [`FaultKind`] gained
 /// `Storage` for WAL-append and snapshot failures.
-pub const WIRE_VERSION: u8 = 3;
+/// Bumped to 4 for the robustness layer: `ExecOptions` gained
+/// `deadline_ms` (per-request budget propagated into the REFINE solve
+/// budget), `RegisterTable`/`AppendRow` gained an optional idempotency
+/// `token` (the server dedupes acked tokens so a retry after a lost ack
+/// is safe), `Busy` gained a `retry_after_ms` pacing hint, and
+/// [`FaultKind`] gained `Timeout` for expired deadlines.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Hard cap on one frame's payload (32 MiB). Large enough for a
 /// multi-million-row `RegisterTable`, small enough that a corrupt
@@ -101,7 +107,26 @@ pub fn read_frame<R: Read>(r: &mut R) -> WireResult<Option<Vec<u8>>> {
 /// already on the wire.
 pub fn read_frame_with<R: Read>(
     r: &mut R,
+    on_idle: impl FnMut() -> bool,
+) -> WireResult<Option<Vec<u8>>> {
+    read_frame_deadline(r, on_idle, None)
+}
+
+/// [`read_frame_with`] plus a total deadline on a frame *in progress*:
+/// once the first byte arrives, the whole frame must complete within
+/// `frame_deadline` or the read fails with
+/// [`WireError::DeadlineExpired`]. This is the slowloris guard — a peer
+/// that sends a few header bytes and stalls would otherwise pin the
+/// reader forever, since mid-frame timeouts merely re-poll.
+///
+/// The deadline is only enforceable when the stream has a read timeout
+/// configured (each timeout tick is a checkpoint); on a blocking stream
+/// with no timeout a silent peer still blocks the read. `None` keeps
+/// the legacy never-abandon behavior.
+pub fn read_frame_deadline<R: Read>(
+    r: &mut R,
     mut on_idle: impl FnMut() -> bool,
+    frame_deadline: Option<Duration>,
 ) -> WireResult<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     // First byte by hand: a one-byte read either consumes it or (on
@@ -122,7 +147,9 @@ pub fn read_frame_with<R: Read>(
             Err(e) => return Err(e.into()),
         }
     }
-    read_full(r, &mut len_buf[1..])?;
+    // The frame has started: the deadline clock runs from here.
+    let started = frame_deadline.map(|limit| (std::time::Instant::now(), limit));
+    read_full_deadline(r, &mut len_buf[1..], &started)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
         return Err(WireError::Oversized {
@@ -131,14 +158,20 @@ pub fn read_frame_with<R: Read>(
         });
     }
     let mut payload = vec![0u8; len];
-    read_full(r, &mut payload)?;
+    read_full_deadline(r, &mut payload, &started)?;
     Ok(Some(payload))
 }
 
 /// `read_exact` that tolerates read timeouts without losing the bytes
 /// already consumed (std's `read_exact` leaves the buffer unspecified
-/// on error, which would corrupt framing under a poll timeout).
-fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> WireResult<()> {
+/// on error, which would corrupt framing under a poll timeout),
+/// additionally checking a started-frame deadline on every timeout
+/// tick.
+fn read_full_deadline<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    deadline: &Option<(std::time::Instant, Duration)>,
+) -> WireResult<()> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -147,7 +180,15 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> WireResult<()> {
             Err(e)
                 if e.kind() == io::ErrorKind::Interrupted
                     || e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut => {}
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if let Some((started, limit)) = deadline {
+                    let elapsed = started.elapsed();
+                    if elapsed >= *limit {
+                        return Err(WireError::DeadlineExpired { elapsed });
+                    }
+                }
+            }
             Err(e) => return Err(e.into()),
         }
     }
@@ -431,6 +472,13 @@ pub struct ExecOptions {
     /// Note [`ExecOptions::route`] is stronger still: a forced route
     /// never consults the model at all.
     pub router_enabled: Option<bool>,
+    /// Per-request deadline in milliseconds. Propagated into the REFINE
+    /// solve budget (`SketchRefineOptions::total_time_limit`, tightened
+    /// if the session already has one), so an over-budget evaluation
+    /// surfaces as a typed possibly-false-infeasible answer instead of
+    /// running arbitrarily long. A deadline of `0` is answered
+    /// immediately with a [`FaultKind::Timeout`] fault.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Wire mirror of [`paq_db::Route`].
@@ -466,6 +514,7 @@ fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
     put_opt_u64(out, o.threads);
     put_opt_bool(out, o.fallback_to_direct);
     put_opt_bool(out, o.router_enabled);
+    put_opt_u64(out, o.deadline_ms);
 }
 
 fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
@@ -496,6 +545,7 @@ fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
         threads: get_opt_u64(c)?,
         fallback_to_direct: get_opt_bool(c)?,
         router_enabled: get_opt_bool(c)?,
+        deadline_ms: get_opt_u64(c)?,
     })
 }
 
@@ -519,6 +569,11 @@ pub enum Request {
         name: String,
         /// Full table contents.
         table: Table,
+        /// Optional client-chosen idempotency token. The server
+        /// remembers acked tokens and answers a repeat with the
+        /// recorded ack instead of re-applying — so a client may
+        /// safely retry this mutation after a lost acknowledgement.
+        token: Option<u64>,
     },
     /// Append one row to a registered table.
     AppendRow {
@@ -526,6 +581,9 @@ pub enum Request {
         name: String,
         /// The row, one value per schema column.
         row: Vec<Value>,
+        /// Optional idempotency token with the same retry-safety
+        /// contract as [`Request::RegisterTable`]'s.
+        token: Option<u64>,
     },
     /// Execute a PaQL query but return only the plan explanation.
     Explain {
@@ -557,15 +615,17 @@ impl Request {
                 put_string(&mut out, paql);
                 put_options(&mut out, options);
             }
-            Request::RegisterTable { name, table } => {
+            Request::RegisterTable { name, table, token } => {
                 out.push(1);
                 put_string(&mut out, name);
                 put_table(&mut out, table);
+                put_opt_u64(&mut out, *token);
             }
-            Request::AppendRow { name, row } => {
+            Request::AppendRow { name, row, token } => {
                 out.push(2);
                 put_string(&mut out, name);
                 put_values(&mut out, row);
+                put_opt_u64(&mut out, *token);
             }
             Request::Explain {
                 relation,
@@ -596,10 +656,12 @@ impl Request {
             1 => Request::RegisterTable {
                 name: c.string()?,
                 table: get_table(&mut c)?,
+                token: get_opt_u64(&mut c)?,
             },
             2 => Request::AppendRow {
                 name: c.string()?,
                 row: get_values(&mut c)?,
+                token: get_opt_u64(&mut c)?,
             },
             3 => Request::Explain {
                 relation: c.string()?,
@@ -892,6 +954,10 @@ pub enum FaultKind {
     /// in-memory state may have advanced, but durability was **not**
     /// achieved — the server withholds the success acknowledgement.
     Storage,
+    /// A deadline expired: the per-request `deadline_ms` was zero on
+    /// arrival, or a started frame stalled past the server's
+    /// started-frame read deadline. The work was not performed.
+    Timeout,
 }
 
 /// An application-level error reported by the server.
@@ -947,6 +1013,7 @@ fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
         FaultKind::Engine => 7,
         FaultKind::Relational => 8,
         FaultKind::Storage => 9,
+        FaultKind::Timeout => 10,
     });
     put_string(out, &fault.message);
 }
@@ -963,6 +1030,7 @@ fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
         7 => FaultKind::Engine,
         8 => FaultKind::Relational,
         9 => FaultKind::Storage,
+        10 => FaultKind::Timeout,
         tag => return Err(WireError::Malformed(format!("fault tag {tag}"))),
     };
     Ok(Fault {
@@ -1020,6 +1088,10 @@ pub enum Response {
         in_flight: u64,
         /// The configured bound.
         max_in_flight: u64,
+        /// Pacing hint: how long the client should wait before
+        /// reconnecting. Honored by the retrying client ahead of its
+        /// exponential backoff schedule.
+        retry_after_ms: u64,
     },
     /// Application-level error; the connection stays usable.
     Error(Fault),
@@ -1119,10 +1191,12 @@ impl Response {
             Response::Busy {
                 in_flight,
                 max_in_flight,
+                retry_after_ms,
             } => {
                 out.push(6);
                 put_u64(&mut out, *in_flight);
                 put_u64(&mut out, *max_in_flight);
+                put_u64(&mut out, *retry_after_ms);
             }
             Response::Error(fault) => {
                 out.push(7);
@@ -1242,6 +1316,7 @@ impl Response {
             6 => Response::Busy {
                 in_flight: c.u64()?,
                 max_in_flight: c.u64()?,
+                retry_after_ms: c.u64()?,
             },
             7 => Response::Error(get_fault(&mut c)?),
             tag => return Err(WireError::Malformed(format!("response tag {tag}"))),

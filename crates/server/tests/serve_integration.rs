@@ -311,8 +311,10 @@ fn busy_backpressure_is_typed_and_recoverable() {
                 ClientError::Busy {
                     in_flight,
                     max_in_flight,
+                    retry_after_ms,
                 } => {
                     assert_eq!((in_flight, max_in_flight), (1, 1));
+                    assert!(retry_after_ms > 0, "Busy carries a pacing hint");
                 }
                 _ => unreachable!(),
             },

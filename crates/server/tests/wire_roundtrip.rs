@@ -92,6 +92,7 @@ fn options() -> impl Strategy<Value = ExecOptions> {
                 threads: (groups % 3 == 0).then_some(groups % 17),
                 fallback_to_direct: has_fb.then_some(fb),
                 router_enabled: (thresh % 2 == 0).then_some(thresh % 3 == 0),
+                deadline_ms: (groups % 2 == 0).then_some(thresh % 100_000),
             },
         )
 }
@@ -105,13 +106,23 @@ fn request() -> impl Strategy<Value = Request> {
                 options,
             }
         ),
-        ("[a-zA-Z]{1,10}", table())
-            .prop_map(|(name, table)| Request::RegisterTable { name, table }),
+        ("[a-zA-Z]{1,10}", table(), (any::<bool>(), any::<u64>())).prop_map(
+            |(name, table, (has_token, token))| Request::RegisterTable {
+                name,
+                table,
+                token: has_token.then_some(token),
+            }
+        ),
         (
             "[a-zA-Z]{1,10}",
-            prop::collection::vec(raw_cell().prop_map(|raw| cell(DataType::Float, raw)), 0..5)
+            prop::collection::vec(raw_cell().prop_map(|raw| cell(DataType::Float, raw)), 0..5),
+            (any::<bool>(), any::<u64>())
         )
-            .prop_map(|(name, row)| Request::AppendRow { name, row }),
+            .prop_map(|(name, row, (has_token, token))| Request::AppendRow {
+                name,
+                row,
+                token: has_token.then_some(token),
+            }),
         ("[a-zA-Z]{0,10}", "[a-zA-Z (.)*'=0-9]{1,40}", options()).prop_map(
             |(relation, paql, options)| Request::Explain {
                 relation,
@@ -216,7 +227,7 @@ fn execution() -> impl Strategy<Value = RemoteExecution> {
 }
 
 fn fault() -> impl Strategy<Value = Fault> {
-    (0u64..10, "[ -~]{0,40}").prop_map(|(kind, message)| Fault {
+    (0u64..11, "[ -~]{0,40}").prop_map(|(kind, message)| Fault {
         kind: match kind {
             0 => FaultKind::BadRequest,
             1 => FaultKind::UnknownTable,
@@ -227,7 +238,8 @@ fn fault() -> impl Strategy<Value = Fault> {
             6 => FaultKind::PossiblyFalseInfeasible,
             7 => FaultKind::Engine,
             8 => FaultKind::Relational,
-            _ => FaultKind::Storage,
+            9 => FaultKind::Storage,
+            _ => FaultKind::Timeout,
         },
         message,
     })
@@ -304,10 +316,13 @@ fn response() -> impl Strategy<Value = Response> {
         "[ -~]{0,80}".prop_map(|text| Response::Explained { text }),
         stats().prop_map(Response::Stats),
         Just(Response::ShuttingDown),
-        (any::<u64>(), any::<u64>()).prop_map(|(in_flight, max_in_flight)| Response::Busy {
-            in_flight,
-            max_in_flight,
-        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(in_flight, max_in_flight, retry_after_ms)| Response::Busy {
+                in_flight,
+                max_in_flight,
+                retry_after_ms,
+            }
+        ),
         fault().prop_map(Response::Error),
     ]
 }
@@ -406,15 +421,18 @@ fn every_request_variant_round_trips() {
                 threads: Some(4),
                 fallback_to_direct: Some(false),
                 router_enabled: Some(false),
+                deadline_ms: Some(2_500),
             },
         },
         Request::RegisterTable {
             name: "Items".into(),
             table,
+            token: Some(0xDEAD_BEEF),
         },
         Request::AppendRow {
             name: "Items".into(),
             row: vec![Value::Float(2.0), Value::Str("b".into())],
+            token: None,
         },
         Request::Explain {
             relation: String::new(),
@@ -480,10 +498,15 @@ fn every_response_variant_round_trips() {
         Response::Busy {
             in_flight: 64,
             max_in_flight: 64,
+            retry_after_ms: 50,
         },
         Response::Error(Fault {
             kind: FaultKind::UnknownTable,
             message: "unknown table 'X'".into(),
+        }),
+        Response::Error(Fault {
+            kind: FaultKind::Timeout,
+            message: "request frame still incomplete after 30s".into(),
         }),
     ];
     for response in responses {
@@ -504,6 +527,7 @@ fn special_floats_round_trip_bit_exactly() {
         let request = Request::AppendRow {
             name: "T".into(),
             row: vec![Value::Float(f64::from_bits(bits))],
+            token: None,
         };
         let decoded = Request::decode(&request.encode()).unwrap();
         match decoded {

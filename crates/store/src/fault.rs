@@ -1,0 +1,76 @@
+//! Fault-injection seam for the store's file operations.
+//!
+//! The store consults an optional [`FaultInjector`] immediately before
+//! each durability-critical syscall (WAL write/fsync, snapshot
+//! write/fsync/rename). Production stores carry no injector
+//! ([`StoreConfig::injector`](crate::StoreConfig) defaults to `None`),
+//! so the hook is a single branch on an `Option` — the failure paths
+//! it guards are exactly the ones a real disk can take, and injected
+//! errors flow through the same poisoning / typed-error machinery as
+//! real ones.
+//!
+//! The injector itself lives outside this crate (see `paq-chaos`); the
+//! store only defines the seam so it carries no test-only dependencies.
+
+use std::fmt::Debug;
+use std::io;
+use std::sync::Arc;
+
+/// A durability-critical operation the store is about to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// `write_all` of one encoded record frame to the WAL.
+    WalWrite,
+    /// `fdatasync` of the WAL (per-append under
+    /// [`SyncPolicy::Always`](crate::SyncPolicy), or an explicit
+    /// [`Store::sync`](crate::Store::sync)).
+    WalSync,
+    /// `write_all` of the encoded snapshot image to its `.tmp` file.
+    SnapshotWrite,
+    /// `fdatasync` of the snapshot `.tmp` file before the rename.
+    SnapshotSync,
+    /// `rename(tmp, final)` publishing the snapshot.
+    SnapshotRename,
+}
+
+/// What the injector decided for one operation.
+#[derive(Debug)]
+pub enum FaultDecision {
+    /// Perform the operation normally.
+    Pass,
+    /// Skip the operation and fail with this error.
+    Fail(io::Error),
+    /// Write only the first `len` bytes of the payload, then fail with
+    /// `error` — models a torn write (power loss mid-`write`). Only
+    /// meaningful at write sites; other sites treat it as
+    /// [`FaultDecision::Fail`].
+    ShortWrite {
+        /// Bytes to actually write before failing.
+        len: usize,
+        /// The error surfaced to the caller after the partial write.
+        error: io::Error,
+    },
+}
+
+/// Decides, per operation, whether the store's next syscall succeeds.
+///
+/// `len` is the payload size in bytes for write sites and `0` for
+/// sync/rename sites. Implementations may sleep to model slow disks;
+/// they must be deterministic for reproducible failure schedules
+/// (drive them from a seeded plan, not wall-clock or OS entropy).
+pub trait FaultInjector: Send + Sync + Debug {
+    /// Decide the fate of the upcoming operation at `site`.
+    fn decide(&self, site: FaultSite, len: usize) -> FaultDecision;
+}
+
+/// Consult `injector` (if any) for a non-write site, mapping
+/// `ShortWrite` to a plain failure.
+pub(crate) fn gate(injector: Option<&Arc<dyn FaultInjector>>, site: FaultSite) -> io::Result<()> {
+    match injector {
+        None => Ok(()),
+        Some(inj) => match inj.decide(site, 0) {
+            FaultDecision::Pass => Ok(()),
+            FaultDecision::Fail(e) | FaultDecision::ShortWrite { error: e, .. } => Err(e),
+        },
+    }
+}

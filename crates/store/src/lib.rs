@@ -29,12 +29,14 @@
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod image;
 pub mod replay;
 pub mod snapshot;
 pub mod wal;
 
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultDecision, FaultInjector, FaultSite};
 pub use image::{
     PartitioningImage, SpecImage, StoreState, StrategyKind, TableImage, TelemetryImage,
 };
@@ -45,6 +47,7 @@ use paq_exec::ThreadPool;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 fn io_err(path: &Path, source: std::io::Error) -> StoreError {
     StoreError::Io {
@@ -72,6 +75,9 @@ pub struct StoreConfig {
     pub dir: PathBuf,
     /// Append durability policy.
     pub sync: SyncPolicy,
+    /// Optional fault injector consulted before each durability-critical
+    /// file operation. `None` (the default) is the production path.
+    pub injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl StoreConfig {
@@ -80,6 +86,7 @@ impl StoreConfig {
         StoreConfig {
             dir: dir.into(),
             sync: SyncPolicy::default(),
+            injector: None,
         }
     }
 }
@@ -128,6 +135,7 @@ pub struct Store {
     wal_path: PathBuf,
     wal_file: File,
     sync: SyncPolicy,
+    injector: Option<Arc<dyn FaultInjector>>,
     poisoned: bool,
     stats: StoreStats,
 }
@@ -213,6 +221,7 @@ impl Store {
             wal_path,
             wal_file,
             sync: config.sync,
+            injector: config.injector,
             poisoned: false,
             stats: StoreStats {
                 last_snapshot_lsn: snapshot_lsn,
@@ -243,13 +252,28 @@ impl Store {
             return Err(StoreError::Poisoned);
         }
         let frame = wal::encode_record(record);
-        let result = self
-            .wal_file
-            .write_all(&frame)
-            .and_then(|()| match self.sync {
-                SyncPolicy::Always => self.wal_file.sync_data(),
-                SyncPolicy::Manual => Ok(()),
-            });
+        let write = match self.injector.as_ref() {
+            None => self.wal_file.write_all(&frame),
+            Some(inj) => match inj.decide(FaultSite::WalWrite, frame.len()) {
+                FaultDecision::Pass => self.wal_file.write_all(&frame),
+                FaultDecision::Fail(e) => Err(e),
+                FaultDecision::ShortWrite { len, error } => {
+                    // Land the torn prefix on disk (sync so the tear is
+                    // what recovery will actually see), then fail.
+                    let n = len.min(frame.len());
+                    let _ = self
+                        .wal_file
+                        .write_all(&frame[..n])
+                        .and_then(|()| self.wal_file.sync_data());
+                    Err(error)
+                }
+            },
+        };
+        let result = write.and_then(|()| match self.sync {
+            SyncPolicy::Always => fault::gate(self.injector.as_ref(), FaultSite::WalSync)
+                .and_then(|()| self.wal_file.sync_data()),
+            SyncPolicy::Manual => Ok(()),
+        });
         match result {
             Ok(()) => {
                 if matches!(self.sync, SyncPolicy::Always) {
@@ -274,7 +298,9 @@ impl Store {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
-        match self.wal_file.sync_data() {
+        let synced = fault::gate(self.injector.as_ref(), FaultSite::WalSync)
+            .and_then(|()| self.wal_file.sync_data());
+        match synced {
             Ok(()) => {
                 self.stats.wal_syncs += 1;
                 Ok(())
@@ -299,7 +325,8 @@ impl Store {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
-        let (_path, size) = snapshot::write_snapshot(&self.dir, state)?;
+        let (_path, size) =
+            snapshot::write_snapshot_with(&self.dir, state, self.injector.as_ref())?;
         // Everything in the WAL is now subsumed; reset it to magic.
         let reset = self
             .wal_file

@@ -22,9 +22,11 @@
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::codec::{crc32, put_u32, put_u64, Cursor};
 use crate::error::{StoreError, StoreResult};
+use crate::fault::{FaultDecision, FaultInjector, FaultSite};
 use crate::image::{decode_state, encode_state, StoreState};
 
 /// Magic bytes opening every snapshot file.
@@ -55,6 +57,18 @@ fn io_err(path: &Path, source: std::io::Error) -> StoreError {
 /// (tmp + fsync + rename + dir fsync), then delete any older snapshots
 /// and stray `.tmp` files. Returns the final path and the encoded size.
 pub fn write_snapshot(dir: &Path, state: &StoreState) -> StoreResult<(PathBuf, u64)> {
+    write_snapshot_with(dir, state, None)
+}
+
+/// [`write_snapshot`] with an optional fault injector gating the write,
+/// fsync, and rename steps. A failure at any step leaves the final
+/// snapshot path untouched (at worst a stray `.tmp` the next open
+/// deletes) — the caller's WAL stays authoritative.
+pub fn write_snapshot_with(
+    dir: &Path,
+    state: &StoreState,
+    injector: Option<&Arc<dyn FaultInjector>>,
+) -> StoreResult<(PathBuf, u64)> {
     let mut body = Vec::new();
     encode_state(&mut body, state);
     let mut bytes = Vec::with_capacity(body.len() + 20);
@@ -67,9 +81,22 @@ pub fn write_snapshot(dir: &Path, state: &StoreState) -> StoreResult<(PathBuf, u
     let tmp_path = final_path.with_extension("paq.tmp");
     {
         let mut f = File::create(&tmp_path).map_err(|e| io_err(&tmp_path, e))?;
-        f.write_all(&bytes).map_err(|e| io_err(&tmp_path, e))?;
+        match injector {
+            None => f.write_all(&bytes).map_err(|e| io_err(&tmp_path, e))?,
+            Some(inj) => match inj.decide(FaultSite::SnapshotWrite, bytes.len()) {
+                FaultDecision::Pass => f.write_all(&bytes).map_err(|e| io_err(&tmp_path, e))?,
+                FaultDecision::Fail(e) => return Err(io_err(&tmp_path, e)),
+                FaultDecision::ShortWrite { len, error } => {
+                    let n = len.min(bytes.len());
+                    let _ = f.write_all(&bytes[..n]).and_then(|()| f.sync_data());
+                    return Err(io_err(&tmp_path, error));
+                }
+            },
+        }
+        crate::fault::gate(injector, FaultSite::SnapshotSync).map_err(|e| io_err(&tmp_path, e))?;
         f.sync_data().map_err(|e| io_err(&tmp_path, e))?;
     }
+    crate::fault::gate(injector, FaultSite::SnapshotRename).map_err(|e| io_err(&final_path, e))?;
     fs::rename(&tmp_path, &final_path).map_err(|e| io_err(&final_path, e))?;
     // Persist the rename itself (directory metadata).
     if let Ok(d) = File::open(dir) {
