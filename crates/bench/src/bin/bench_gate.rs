@@ -16,14 +16,22 @@
 //!   (`injected`, `surfaced`, or `retried` at zero) — the robustness
 //!   contract: injected faults surface typed, get retried, and never
 //!   change the answer;
-//! * warm server round-trip regressed more than [`MAX_REGRESSION`]×
-//!   against the committed snapshot — **skipped when the fresh run's
-//!   `host_cpus == 1`** (a single-CPU runner time-slices the server
-//!   and client onto one core; its latency says nothing about the
-//!   code).
+//! * the `maintenance` section is missing, its cache hit rate is
+//!   absent or zero (absorbed appends stopped keeping the partition
+//!   cache warm under the mixed append/query stream), no append was
+//!   absorbed, or the maintained answer diverged from a cold rebuild
+//!   of the same rows — the delta-maintenance contract, checked
+//!   structurally on every host;
+//! * a timing regressed more than [`MAX_REGRESSION`]× against the
+//!   committed snapshot: the warm server round-trip and the maintained
+//!   p50 query latency — **both skipped when the fresh run's
+//!   `host_cpus == 1`** (a single-CPU runner time-slices everything
+//!   onto one core; its latency says nothing about the code, and the
+//!   committed snapshot comes from a multi-core host). Section gates
+//!   stay structural-only under that condition.
 //!
-//! The timing gate is deliberately coarse (3×): CI runners are shared
-//! and noisy, and this gate exists to catch "the wire path got 30×
+//! The timing gates are deliberately coarse (3×): CI runners are
+//! shared and noisy, and they exist to catch "the wire path got 30×
 //! slower" regressions (like the Nagle/delayed-ACK coupling fixed in
 //! an earlier PR), not single-digit-percent drift — the step-summary
 //! table (`bench_summary`) is where drift is watched.
@@ -120,34 +128,69 @@ fn main() {
         }
     }
 
-    // --- warm round-trip timing gate ----------------------------------
+    // --- partition-maintenance structure (never skipped) --------------
+    // The mixed append/query stream must keep the partition cache warm:
+    // hit rate present and positive, appends actually absorbed, and the
+    // maintained answer identical to a cold rebuild of the same rows.
+    // Latency (p50) is gated below with the other timings.
+    match fresh.get("maintenance") {
+        None => failures.push("maintenance section missing from the fresh artifact".to_owned()),
+        Some(m) => {
+            match m.get("cache_hit_rate").and_then(Json::as_f64) {
+                None => failures.push("maintenance.cache_hit_rate missing".to_owned()),
+                Some(rate) if rate <= 0.0 => failures.push(format!(
+                    "maintenance cache hit rate is {rate}: absorbed appends are not \
+                     keeping the partition cache warm"
+                )),
+                Some(_) => {}
+            }
+            if m.get("absorbed_appends")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                < 1.0
+            {
+                failures
+                    .push("maintenance.absorbed_appends is zero — the delta path never ran".into());
+            }
+            if m.get("identical").and_then(Json::as_bool) != Some(true) {
+                failures.push(
+                    "maintained packages diverged from a cold rebuild of the same rows".to_owned(),
+                );
+            }
+        }
+    }
+
+    // --- timing gates (skipped on single-CPU runners) -----------------
     // Malformed artifacts must FAIL, never silently skip: a missing
-    // host_cpus or server section would otherwise disable this gate
-    // forever and let the exact regressions it exists for land green.
+    // host_cpus or datapoint would otherwise disable these gates
+    // forever and let the exact regressions they exist for land green.
+    // When the fresh run came from a single-CPU host, every timing
+    // comparison is skipped — the committed snapshot comes from a
+    // multi-core host, so the comparison would gate the runner, not the
+    // code. The structural section gates above still ran.
+    let host_cpus = fresh.get("host_cpus").and_then(Json::as_f64);
+    if host_cpus.is_none() {
+        failures.push("host_cpus missing from the fresh artifact".to_owned());
+    }
+    let single_cpu = matches!(host_cpus, Some(c) if c <= 1.0);
+
     let warm = |json: &Json| {
         json.get("server")
             .and_then(|s| s.get("warm_min_roundtrip_ms"))
             .and_then(Json::as_f64)
     };
-    match (
-        fresh.get("host_cpus").and_then(Json::as_f64),
-        warm(&fresh),
-        warm(&snapshot),
-    ) {
-        (None, _, _) => {
-            failures.push("host_cpus missing from the fresh artifact".to_owned());
-        }
-        (_, None, _) | (_, _, None) => {
+    match (warm(&fresh), warm(&snapshot)) {
+        (None, _) | (_, None) => {
             failures.push(format!(
                 "warm round-trip datapoint missing (fresh {:?}, snapshot {:?})",
                 warm(&fresh),
                 warm(&snapshot)
             ));
         }
-        (Some(host_cpus), Some(_), Some(_)) if host_cpus <= 1.0 => {
+        _ if single_cpu => {
             println!("bench_gate: host_cpus == 1 — warm round-trip gate skipped");
         }
-        (Some(_), Some(fresh_ms), Some(snapshot_ms)) => {
+        (Some(fresh_ms), Some(snapshot_ms)) => {
             if snapshot_ms > 0.0 {
                 let factor = fresh_ms / snapshot_ms;
                 println!(
@@ -163,6 +206,46 @@ fn main() {
             } else {
                 failures.push(format!(
                     "snapshot warm round-trip is not positive ({snapshot_ms}ms)"
+                ));
+            }
+        }
+    }
+
+    let p50 = |json: &Json| {
+        json.get("maintenance")
+            .and_then(|m| m.get("p50_query_ms"))
+            .and_then(Json::as_f64)
+    };
+    match (p50(&fresh), p50(&snapshot)) {
+        (None, _) | (_, None) => {
+            failures.push(format!(
+                "maintained p50 datapoint missing (fresh {:?}, snapshot {:?})",
+                p50(&fresh),
+                p50(&snapshot)
+            ));
+        }
+        _ if single_cpu => {
+            println!(
+                "bench_gate: host_cpus == 1 — maintained p50 gate skipped \
+                 (maintenance section stays structural-only)"
+            );
+        }
+        (Some(fresh_ms), Some(snapshot_ms)) => {
+            if snapshot_ms > 0.0 {
+                let factor = fresh_ms / snapshot_ms;
+                println!(
+                    "bench_gate: maintained p50 query {fresh_ms:.3}ms vs snapshot \
+                     {snapshot_ms:.3}ms ({factor:.2}x, limit {MAX_REGRESSION:.1}x)"
+                );
+                if factor > MAX_REGRESSION {
+                    failures.push(format!(
+                        "maintained p50 query latency regressed {factor:.2}x \
+                         ({fresh_ms:.3}ms vs {snapshot_ms:.3}ms, limit {MAX_REGRESSION:.1}x)"
+                    ));
+                }
+            } else {
+                failures.push(format!(
+                    "snapshot maintained p50 is not positive ({snapshot_ms}ms)"
                 ));
             }
         }

@@ -44,6 +44,18 @@
 //! deduplicated, and that the final row count converged exactly —
 //! structure the CI gate checks (`bench_gate`), never timings.
 //!
+//! A seventh family probes **delta-aware partition maintenance**
+//! (`DbConfig.maintenance`): a mixed append/query stream runs twice
+//! over the same rows — once with maintenance on (absorbed appends
+//! patch the cached partitioning in place, the final over-threshold
+//! append merges) and once under the legacy invalidate-on-append
+//! contract. The `maintenance` section records cache hit rate and p50
+//! query latency for both passes, the absorb/patch/merge counters, and
+//! whether the maintained answer stayed bit-identical to a cold
+//! rebuild of the same rows at threads 1 and 4. `bench_gate` checks
+//! the structure (hit rate > 0, identity) on every host and the p50
+//! only on multi-core runners.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
@@ -689,6 +701,174 @@ fn measure_faults(plan_seed: u64) -> FaultsResult {
     }
 }
 
+/// Counters from one pass of the mixed append/query stream.
+struct StreamCounters {
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    hit_rate: f64,
+    p50_query: Duration,
+}
+
+/// The maintenance probe: the same mixed stream with delta maintenance
+/// on and off, plus the final-package identity check.
+struct MaintenanceResult {
+    base_rows: usize,
+    delta_threshold: u64,
+    appends: usize,
+    queries: usize,
+    absorbed_appends: u64,
+    patched_entries: u64,
+    merges: u64,
+    background_rebuilds: u64,
+    enabled: StreamCounters,
+    baseline: StreamCounters,
+    identical: bool,
+}
+
+/// Delta-aware maintenance datapoint: drive `delta_threshold + 1`
+/// appends through a maintenance-enabled session, querying after every
+/// one. The first `delta_threshold` appends must absorb (cache `Hit`,
+/// zero invalidations, the cached quad tree patched in place); the
+/// last one crosses the threshold and merges (one invalidation, one
+/// cold rebuild). The identical stream under the legacy
+/// invalidate-on-append contract is the baseline — every query there
+/// pays a cold build. Background rebuild stays off so the counters are
+/// deterministic.
+fn measure_maintenance(seed: u64) -> MaintenanceResult {
+    use paq_db::MaintenanceConfig;
+    use paq_relational::{DataType, Schema, Value};
+    use std::time::Instant;
+
+    let base_rows = 512usize;
+    let delta_threshold = 64u64;
+    // One append past the threshold so the stream exercises both
+    // policies: `delta_threshold` absorbed patches, then one merge.
+    let appends = delta_threshold as usize + 1;
+
+    let rows = |count: usize, salt: u64| -> Vec<Vec<Value>> {
+        let mut state = salt | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| {
+                let v = (next() % 1000) as f64 / 10.0 + 1.0;
+                let w = (next() % 500) as f64 / 10.0 + 0.5;
+                vec![Value::Float(v), Value::Float(w)]
+            })
+            .collect()
+    };
+    let base = rows(base_rows, seed ^ 0x5EED);
+    let delta = rows(appends, seed ^ 0xA11CE);
+    let query = parse_paql(
+        "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+         SUCH THAT COUNT(P.*) = 8 AND SUM(P.weight) <= 120 \
+         MAXIMIZE SUM(P.value)",
+    )
+    .expect("maintenance query parses");
+
+    let db_for = |maintenance: MaintenanceConfig| {
+        let db = PackageDb::with_config(DbConfig {
+            fallback_to_direct: false,
+            maintenance,
+            ..DbConfig::default()
+        });
+        let mut t = Table::new(Schema::from_pairs(&[
+            ("value", DataType::Float),
+            ("weight", DataType::Float),
+        ]));
+        for row in &base {
+            t.push_row(row.clone()).expect("base row matches schema");
+        }
+        db.register_table("Items", t);
+        db
+    };
+    // One pass of the stream: a cold query, then append → query.
+    let stream = |db: &PackageDb| -> StreamCounters {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut latencies = Vec::with_capacity(appends + 1);
+        for step in 0..=appends {
+            if step > 0 {
+                db.append_row("Items", delta[step - 1].clone())
+                    .expect("maintenance append");
+            }
+            let start = Instant::now();
+            let exec = db
+                .execute_with(&query, Route::ForceSketchRefine)
+                .expect("maintenance stream query must solve");
+            latencies.push(start.elapsed());
+            match exec.cache {
+                CacheOutcome::Hit { .. } => hits += 1,
+                CacheOutcome::Miss { .. } => misses += 1,
+                // NotUsed/Provided cannot occur on a forced
+                // SKETCHREFINE route through the cache.
+                _ => {}
+            }
+        }
+        latencies.sort();
+        StreamCounters {
+            hits,
+            misses,
+            invalidations: db.cache_stats().invalidations,
+            hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+            p50_query: latencies[latencies.len() / 2],
+        }
+    };
+
+    let mut maintained = db_for(MaintenanceConfig {
+        enabled: true,
+        delta_threshold,
+        background_rebuild: false,
+    });
+    let enabled = stream(&maintained);
+    let m = maintained.maintenance_stats();
+
+    let baseline_db = db_for(MaintenanceConfig::default());
+    let baseline = stream(&baseline_db);
+
+    // Identity: the maintained session's answer must be bit-identical
+    // to a cold build over the same rows, at threads 1 and 4.
+    let mut identical = true;
+    for threads in [1usize, 4] {
+        let mut fresh = db_for(MaintenanceConfig::default());
+        for row in &delta {
+            fresh
+                .append_row("Items", row.clone())
+                .expect("reference append");
+        }
+        fresh.config_mut().sketchrefine.threads = threads;
+        let cold = fresh
+            .execute_with(&query, Route::ForceSketchRefine)
+            .expect("cold reference query")
+            .package;
+        maintained.config_mut().sketchrefine.threads = threads;
+        let warm = maintained
+            .execute_with(&query, Route::ForceSketchRefine)
+            .expect("maintained query")
+            .package;
+        identical &= warm.members() == cold.members();
+    }
+
+    MaintenanceResult {
+        base_rows,
+        delta_threshold,
+        appends,
+        queries: appends + 1,
+        absorbed_appends: m.absorbed_appends,
+        patched_entries: m.patched_entries,
+        merges: m.merges,
+        background_rebuilds: m.background_rebuilds,
+        enabled,
+        baseline,
+        identical,
+    }
+}
+
 fn main() {
     let n = env_u64("PAQ_REFINE_SCALE", 12_800) as usize;
     let threads = env_u64("PAQ_REFINE_THREADS", 4) as usize;
@@ -904,6 +1084,31 @@ fn main() {
         faults.converged,
     );
 
+    // --- delta-aware partition maintenance: mixed append/query stream -
+    let maintenance = measure_maintenance(seed);
+    println!(
+        "partition maintenance ({} base rows, {} appends, {} queries, threshold {}): \
+         maintained hit rate {:.3} (hits {} / misses {} / invalidations {}) p50 {:.3}ms, \
+         absorbed {} / patched {} / merges {}; \
+         baseline hit rate {:.3} (invalidations {}) p50 {:.3}ms — identical to cold rebuild: {}",
+        maintenance.base_rows,
+        maintenance.appends,
+        maintenance.queries,
+        maintenance.delta_threshold,
+        maintenance.enabled.hit_rate,
+        maintenance.enabled.hits,
+        maintenance.enabled.misses,
+        maintenance.enabled.invalidations,
+        maintenance.enabled.p50_query.as_secs_f64() * 1e3,
+        maintenance.absorbed_appends,
+        maintenance.patched_entries,
+        maintenance.merges,
+        maintenance.baseline.hit_rate,
+        maintenance.baseline.invalidations,
+        maintenance.baseline.p50_query.as_secs_f64() * 1e3,
+        maintenance.identical,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -1073,6 +1278,46 @@ fn main() {
         faults.converged,
     );
     json.push_str("},\n");
+    json.push_str("  \"maintenance\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"base_rows\": {}, \"delta_threshold\": {}, \"appends\": {}, \"queries\": {},",
+        maintenance.base_rows,
+        maintenance.delta_threshold,
+        maintenance.appends,
+        maintenance.queries,
+    );
+    let _ = writeln!(
+        json,
+        "    \"absorbed_appends\": {}, \"patched_entries\": {}, \"merges\": {}, \
+         \"background_rebuilds\": {},",
+        maintenance.absorbed_appends,
+        maintenance.patched_entries,
+        maintenance.merges,
+        maintenance.background_rebuilds,
+    );
+    let _ = writeln!(
+        json,
+        "    \"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"cache_hit_rate\": {:.4}, \
+         \"p50_query_ms\": {:.3},",
+        maintenance.enabled.hits,
+        maintenance.enabled.misses,
+        maintenance.enabled.invalidations,
+        maintenance.enabled.hit_rate,
+        maintenance.enabled.p50_query.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline\": {{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \
+         \"cache_hit_rate\": {:.4}, \"p50_query_ms\": {:.3}}},",
+        maintenance.baseline.hits,
+        maintenance.baseline.misses,
+        maintenance.baseline.invalidations,
+        maintenance.baseline.hit_rate,
+        maintenance.baseline.p50_query.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(json, "    \"identical\": {}", maintenance.identical);
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
@@ -1109,5 +1354,25 @@ fn main() {
         faults.deduped,
         faults.handler_panics,
         faults.converged,
+    );
+    assert!(
+        maintenance.identical
+            && maintenance.absorbed_appends == maintenance.delta_threshold
+            && maintenance.merges == 1
+            && maintenance.enabled.invalidations == maintenance.merges
+            && maintenance.enabled.misses == 1 + maintenance.merges
+            && maintenance.enabled.hit_rate > maintenance.baseline.hit_rate,
+        "absorbed appends must keep the cache warm until the threshold — zero \
+         invalidations and zero cold builds besides the initial build and the one \
+         merge — with packages identical to a cold rebuild \
+         (absorbed {}, merges {}, invalidations {}, misses {}, hit rate {:.3} vs \
+         baseline {:.3}, identical {})",
+        maintenance.absorbed_appends,
+        maintenance.merges,
+        maintenance.enabled.invalidations,
+        maintenance.enabled.misses,
+        maintenance.enabled.hit_rate,
+        maintenance.baseline.hit_rate,
+        maintenance.identical,
     );
 }

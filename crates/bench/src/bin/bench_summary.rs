@@ -156,6 +156,41 @@ fn main() {
         println!();
     }
 
+    if let Some(m) = json.get("maintenance") {
+        println!("### Partition maintenance (mixed append/query stream)");
+        println!();
+        println!(
+            "{} base rows + {} appends (threshold {}) · maintained hit rate **{:.1}%** \
+             (hits {} / misses {} / invalidations {}) · p50 **{:.3} ms** · absorbed {} / \
+             patched {} / merges {} · identical to cold rebuild {}",
+            num(m, "base_rows"),
+            num(m, "appends"),
+            num(m, "delta_threshold"),
+            num(m, "cache_hit_rate") * 100.0,
+            num(m, "hits"),
+            num(m, "misses"),
+            num(m, "invalidations"),
+            num(m, "p50_query_ms"),
+            num(m, "absorbed_appends"),
+            num(m, "patched_entries"),
+            num(m, "merges"),
+            flag(m, "identical"),
+        );
+        if let Some(b) = m.get("baseline") {
+            println!();
+            println!(
+                "baseline (invalidate-on-append): hit rate **{:.1}%** (hits {} / misses {} / \
+                 invalidations {}) · p50 **{:.3} ms**",
+                num(b, "cache_hit_rate") * 100.0,
+                num(b, "hits"),
+                num(b, "misses"),
+                num(b, "invalidations"),
+                num(b, "p50_query_ms"),
+            );
+        }
+        println!();
+    }
+
     if let Some(router) = json.get("router") {
         println!("### Cost-based router");
         println!();

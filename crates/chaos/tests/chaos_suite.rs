@@ -627,3 +627,107 @@ fn fixed_seed_chaos_outcome_is_identical_across_worker_counts() {
     );
     assert_eq!(single[0].rows, 24);
 }
+
+// ---------------------------------------------------------------------
+// Plan 9: a lost acknowledgement straddling a restart. The mutation
+// applied and its token rode the WAL record; the server process then
+// goes away before the retry arrives. Recovery restores the acked
+// token, a fresh server seeds its dedupe window from it, and the retry
+// is re-acknowledged with its original version — not re-applied.
+// ---------------------------------------------------------------------
+#[test]
+fn lost_ack_retry_across_restart_is_deduplicated() {
+    let dir = TempDir::new("ack-restart");
+    const TOKEN: u64 = 0x7EA_0002;
+    let applied_version = {
+        let db = PackageDb::open(DbConfig::default(), Durability::new(&dir.0)).unwrap();
+        db.register_table("Items", items_table(30, 0xACED));
+        let server = Server::new(db.session());
+        let (connector, listener) = pipe_listener();
+        let plan = FaultPlan::new(0xC4A0_0009);
+        // Request write goes through; the ack read dies.
+        plan.on("lossy.read", Trigger::FailNth(1));
+        with_server(&server, listener, || {
+            let mut lossy = Client::over(ChaosStream::new(
+                connector.connect().unwrap(),
+                &plan,
+                "lossy",
+            ));
+            let lost = lossy
+                .append_row_with_token("Items", row(), Some(TOKEN))
+                .expect_err("the ack must be lost");
+            assert!(lost.is_transient(), "lost ack is retryable: {lost:?}");
+            drop(lossy);
+            settle(|| db.table("Items").unwrap().num_rows() == 31);
+        });
+        assert_eq!(server.handler_panics(), 0);
+        db.table_version("Items").unwrap()
+        // db and server drop here: the process-restart boundary. The
+        // append (and its token) is already on disk — SyncPolicy::Always.
+    };
+
+    // Reopen the directory: recovery restores the acked token from the
+    // WAL, and a fresh server seeds its dedupe window from it.
+    let db = PackageDb::open(DbConfig::default(), Durability::new(&dir.0)).unwrap();
+    let stats = db.durability_stats().unwrap();
+    assert_eq!(stats.recovered_acks, 1, "{stats:?}");
+    let server = Server::new(db.session());
+    let (connector, listener) = pipe_listener();
+    with_server(&server, listener, || {
+        let mut probe = Client::over(connector.connect().unwrap());
+        let version = probe
+            .append_row_with_token("Items", row(), Some(TOKEN))
+            .expect("retry across restart is deduplicated");
+        assert_eq!(version, applied_version, "the persisted ack is replayed");
+        assert_eq!(
+            db.table("Items").unwrap().num_rows(),
+            31,
+            "no duplicate row across the restart"
+        );
+        assert_eq!(server.deduped_mutations(), 1);
+
+        // A *different* token is a genuinely new mutation.
+        let version = probe
+            .append_row_with_token("Items", row(), Some(TOKEN + 1))
+            .unwrap();
+        assert!(version > applied_version);
+        assert_eq!(db.table("Items").unwrap().num_rows(), 32);
+    });
+    assert_eq!(server.handler_panics(), 0);
+}
+
+// The acked-token window must also survive WAL truncation: a snapshot
+// subsumes the log, so the acks ride the snapshot image too.
+#[test]
+fn acked_tokens_survive_snapshot_truncation_and_restart() {
+    let dir = TempDir::new("ack-snapshot");
+    const TOKEN: u64 = 0x7EA_0003;
+    let applied_version = {
+        let db = PackageDb::open(DbConfig::default(), Durability::new(&dir.0)).unwrap();
+        db.register_table("Items", items_table(30, 0x5A17));
+        let v = db
+            .append_row_with_token("Items", row(), Some(TOKEN))
+            .unwrap();
+        // Snapshot *after* the acked append: the WAL is truncated, so
+        // the only copy of the ack is the snapshot's.
+        db.snapshot_now().unwrap();
+        v
+    };
+
+    let db = PackageDb::open(DbConfig::default(), Durability::new(&dir.0)).unwrap();
+    let stats = db.durability_stats().unwrap();
+    assert_eq!(stats.recovered_acks, 1, "{stats:?}");
+    assert_eq!(stats.wal_replayed_records, 0, "snapshot subsumed the WAL");
+    let server = Server::new(db.session());
+    let (connector, listener) = pipe_listener();
+    with_server(&server, listener, || {
+        let mut probe = Client::over(connector.connect().unwrap());
+        let version = probe
+            .append_row_with_token("Items", row(), Some(TOKEN))
+            .expect("retry across snapshot+restart is deduplicated");
+        assert_eq!(version, applied_version);
+        assert_eq!(db.table("Items").unwrap().num_rows(), 31, "no duplicate");
+        assert_eq!(server.deduped_mutations(), 1);
+    });
+    assert_eq!(server.handler_panics(), 0);
+}

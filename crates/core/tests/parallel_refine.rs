@@ -220,3 +220,41 @@ fn shared_pool_reuse_matches_per_evaluation_pools() {
     assert_eq!(a.members(), b.members());
     assert_eq!(a.members(), c.members());
 }
+
+#[test]
+fn refine_over_a_patched_partitioning_matches_sequential() {
+    // Delta-aware maintenance serves REFINE partitionings whose tail
+    // rows were absorbed as in-place patches (base-prefix build + one
+    // patch per appended row) rather than rebuilt from scratch. REFINE
+    // must treat such a partitioning exactly like a cold one: a valid
+    // disjoint cover, with the wave engine returning the sequential
+    // package at every thread count.
+    let t = table(560);
+    let base = 520;
+    let mut p = Partitioner::new(PartitionConfig::by_size(
+        vec!["value".into(), "weight".into()],
+        40,
+    ))
+    .partition_prefix(&t, base)
+    .unwrap();
+    for row in base..t.num_rows() {
+        p.patch_append(&t, row).unwrap();
+    }
+    assert!(p.is_disjoint_cover(t.num_rows()), "patches must keep cover");
+
+    let query = "SELECT PACKAGE(R) AS P FROM R REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 250 MAXIMIZE SUM(P.value)";
+    let (seq_pkg, _) = evaluate(query, &t, &p, 1);
+    let (par_pkg, par_report) = evaluate(query, &t, &p, 4);
+
+    assert_eq!(
+        seq_pkg.members(),
+        par_pkg.members(),
+        "patched partitionings must not perturb wave determinism"
+    );
+    assert!(
+        seq_pkg.members().iter().any(|&(row, _)| row >= base),
+        "the absorbed tail rows are selectable"
+    );
+    assert!(par_report.waves > 0, "threads = 4 must run waves");
+}

@@ -105,6 +105,78 @@ impl PartitionCache {
         self.invalidations.fetch_add(evicted, Ordering::Relaxed);
     }
 
+    /// [`PartitionCache::invalidate_stale`], additionally returning the
+    /// attribute set of every evicted entry — the delta-maintenance
+    /// merge path uses them to schedule background rebuilds of exactly
+    /// the artifacts queries were using.
+    pub fn invalidate_stale_collect(
+        &self,
+        table_key: &str,
+        current_version: u64,
+    ) -> Vec<Vec<String>> {
+        let mut evicted = Vec::new();
+        let mut entries = self.entries.write();
+        entries.retain(|e| {
+            if e.table_key == table_key && e.version < current_version {
+                evicted.push(e.attributes.clone());
+                false
+            } else {
+                true
+            }
+        });
+        drop(entries);
+        self.invalidations
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Absorb one appended row into every entry for `table_key` still
+    /// keyed at `from_version`: the partitioning is patched in place
+    /// (the new last row of `table` routed to its nearest group, exact
+    /// stats recomputed — see [`Partitioning::patch_append`]) and the
+    /// entry re-keyed to `to_version`, so the next lookup at the new
+    /// version is a `Hit` with **zero** invalidations. Entries at any
+    /// other version, or whose patch fails, are evicted and counted as
+    /// invalidations. Returns `(patched, evicted)`.
+    ///
+    /// Called by the append path **under the catalog write lock**, so
+    /// absorbs are serialized in version order and no single-flight
+    /// build can publish at `from_version` concurrently (publishing
+    /// holds the catalog read lock).
+    pub fn absorb_append(
+        &self,
+        table_key: &str,
+        from_version: u64,
+        to_version: u64,
+        table: &paq_relational::Table,
+    ) -> (u64, u64) {
+        let Some(row) = table.num_rows().checked_sub(1) else {
+            return (0, 0);
+        };
+        let mut patched = 0u64;
+        let mut evicted = 0u64;
+        let mut entries = self.entries.write();
+        entries.retain_mut(|e| {
+            if e.table_key != table_key {
+                return true;
+            }
+            if e.version == from_version {
+                let mut p = (*e.partitioning).clone();
+                if p.patch_append(table, row).is_ok() {
+                    e.partitioning = Arc::new(p);
+                    e.version = to_version;
+                    patched += 1;
+                    return true;
+                }
+            }
+            evicted += 1;
+            false
+        });
+        drop(entries);
+        self.invalidations.fetch_add(evicted, Ordering::Relaxed);
+        (patched, evicted)
+    }
+
     /// Drop every entry for `table_key` (table dropped from the
     /// catalog).
     pub fn invalidate_table(&self, table_key: &str) {
@@ -352,6 +424,68 @@ mod tests {
             );
         }
         assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn absorb_append_patches_and_rekeys_without_invalidation() {
+        use paq_relational::{DataType, Schema, Table, Value};
+        let mut t = Table::new(Schema::from_pairs(&[("a", DataType::Float)]));
+        for v in [1.0, 2.0] {
+            t.push_row(vec![Value::Float(v)]).unwrap();
+        }
+        let c = PartitionCache::default();
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            Arc::new(Partitioning {
+                attributes: vec!["a".into()],
+                groups: vec![paq_partition::Group {
+                    gid: 1,
+                    rows: vec![0, 1],
+                    representative: vec![1.5],
+                    radius: 0.5,
+                }],
+                build_time: Duration::ZERO,
+            }),
+        );
+        t.push_row(vec![Value::Float(3.0)]).unwrap();
+        let (patched, evicted) = c.absorb_append("t", 1, 2, &t);
+        assert_eq!((patched, evicted), (1, 0));
+        assert!(c.lookup("t", 1, &[]).is_none(), "old key is gone");
+        let (p, _, _) = c.lookup("t", 2, &[]).unwrap();
+        assert_eq!(p.groups[0].rows, vec![0, 1, 2]);
+        assert_eq!(c.stats().invalidations, 0, "absorb is not an invalidation");
+    }
+
+    #[test]
+    fn absorb_append_evicts_what_it_cannot_patch() {
+        use paq_relational::{DataType, Schema, Table, Value};
+        let mut t = Table::new(Schema::from_pairs(&[("a", DataType::Float)]));
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        let c = PartitionCache::default();
+        // Group-less partitioning: patch_append has nowhere to route.
+        c.insert(
+            "t",
+            1,
+            vec!["a".into()],
+            PartitionSpec::BySize { tau: 4 },
+            partitioning(&["a"]),
+        );
+        // Stale version: not eligible for patching either.
+        c.insert(
+            "t",
+            0,
+            vec!["a".into()],
+            PartitionSpec::External { id: 1 },
+            partitioning(&["a"]),
+        );
+        t.push_row(vec![Value::Float(2.0)]).unwrap();
+        let (patched, evicted) = c.absorb_append("t", 1, 2, &t);
+        assert_eq!((patched, evicted), (0, 2));
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().invalidations, 2);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! [`PackageDb::open`]: crate::PackageDb::open
 //! [`PackageDb::snapshot_now`]: crate::PackageDb::snapshot_now
 
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,7 +36,7 @@ use parking_lot::Mutex;
 use paq_core::QueryFeatures;
 use paq_store::{SpecImage, Store, StrategyKind, TelemetryImage};
 
-pub use paq_store::{FaultDecision, FaultInjector, FaultSite, SyncPolicy};
+pub use paq_store::{AckImage, AckKind, FaultDecision, FaultInjector, FaultSite, SyncPolicy};
 
 use crate::cache::PartitionSpec;
 use crate::error::DbError;
@@ -106,6 +107,8 @@ pub struct DurabilityStats {
     pub recovered_partitionings: u64,
     /// Router-telemetry observations replayed at open.
     pub recovered_telemetry: u64,
+    /// Acked idempotency tokens restored at open (snapshot + WAL).
+    pub recovered_acks: u64,
     /// WAL records replayed over the snapshot at open.
     pub wal_replayed_records: u64,
     /// Torn-tail bytes truncated from the WAL at open.
@@ -123,11 +126,30 @@ pub(crate) struct DurabilityState {
     pub(crate) recovered_tables: u64,
     pub(crate) recovered_partitionings: u64,
     pub(crate) recovered_telemetry: u64,
+    pub(crate) recovered_acks: u64,
     pub(crate) wal_replayed_records: u64,
     pub(crate) wal_tail_dropped_bytes: u64,
+    /// Acked `(token → version)` pairs, oldest first, bounded at
+    /// [`DurabilityState::ACK_CAPACITY`]. Appended when a tokened
+    /// mutation is logged; exported into every snapshot (the WAL
+    /// records themselves carry the tokens, but a snapshot truncates
+    /// the WAL, so the acks must ride the snapshot too).
+    pub(crate) acked: Mutex<VecDeque<AckImage>>,
 }
 
 impl DurabilityState {
+    /// Most acked tokens remembered (matches the server's default
+    /// dedupe window; FIFO eviction).
+    pub(crate) const ACK_CAPACITY: usize = 1024;
+
+    /// Keep the newest [`DurabilityState::ACK_CAPACITY`] acks.
+    pub(crate) fn bounded_acks(mut acks: Vec<AckImage>) -> VecDeque<AckImage> {
+        if acks.len() > Self::ACK_CAPACITY {
+            acks.drain(..acks.len() - Self::ACK_CAPACITY);
+        }
+        acks.into()
+    }
+
     /// Merge the store's live counters with the recovery counters.
     pub(crate) fn stats(&self) -> DurabilityStats {
         let s = self.store.lock().stats();
@@ -142,6 +164,7 @@ impl DurabilityState {
             recovered_tables: self.recovered_tables,
             recovered_partitionings: self.recovered_partitionings,
             recovered_telemetry: self.recovered_telemetry,
+            recovered_acks: self.recovered_acks,
             wal_replayed_records: self.wal_replayed_records,
             wal_tail_dropped_bytes: self.wal_tail_dropped_bytes,
         }

@@ -53,8 +53,10 @@ pub mod session;
 
 pub use cache::{CacheStats, PartitionSpec};
 pub use catalog::{Catalog, TableEntry};
-pub use durability::{Durability, DurabilityStats, SyncPolicy};
+pub use durability::{AckImage, AckKind, Durability, DurabilityStats, SyncPolicy};
 pub use error::{DbError, DbResult};
 pub use execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
 pub use router::{Observation, PredictedCosts, RouterConfig, RouterDecision, RouterStats};
-pub use session::{DbConfig, DbStats, PackageDb, Route, TableStats};
+pub use session::{
+    DbConfig, DbStats, MaintenanceConfig, MaintenanceStats, PackageDb, Route, TableStats,
+};

@@ -51,7 +51,10 @@ use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::{Table, Value};
 use paq_solver::{SolverConfig, Telemetry};
 
-use paq_store::{PartitioningImage, Store, StoreConfig, StoreState, TableImage, WalOp, WalRecord};
+use paq_store::{
+    AckImage, AckKind, MaintenancePolicy, PartitioningImage, Store, StoreConfig, StoreState,
+    TableImage, WalOp, WalRecord,
+};
 
 use crate::cache::{CacheStats, PartitionCache, PartitionSpec};
 use crate::catalog::Catalog;
@@ -76,6 +79,68 @@ pub enum Route {
     /// Always evaluate with SKETCHREFINE (approximate; uses the
     /// partition cache, building a partitioning if none is usable).
     ForceSketchRefine,
+}
+
+/// Delta-aware partition maintenance (see the "Partition maintenance"
+/// section of the README). When enabled, an [`PackageDb::append_row`]
+/// no longer invalidates cached partitionings of the table: the new row
+/// is **absorbed** — every cached partitioning is patched in place (the
+/// row routed to its nearest group, exact group stats recomputed) and
+/// re-keyed to the fresh table version, so the next query is still a
+/// cache `Hit`. Cold builds partition only the "main" prefix the base
+/// build covered and then replay the absorbed delta as patches, so a
+/// patched cache entry and a from-scratch build of the same rows are
+/// **bit-identical** at every thread count. Once the absorbed delta
+/// exceeds [`MaintenanceConfig::delta_threshold`] rows, the append
+/// merges instead: the base moves to the full table and stale entries
+/// are invalidated (optionally rebuilt in the background).
+///
+/// This is database-wide state (it changes what the shared cache and
+/// WAL replay do), so it is fixed when the database is created —
+/// per-session `config_mut` edits to it have no effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceConfig {
+    /// Absorb appends instead of invalidating. Off by default: the
+    /// invalidate-on-append contract predates this and some callers
+    /// depend on it.
+    pub enabled: bool,
+    /// Maximum absorbed delta (rows past the base build) before an
+    /// append merges (invalidates + resets the base) instead of
+    /// patching. Group sizes drift past τ by at most this many rows.
+    pub delta_threshold: u64,
+    /// After a merge, rebuild the just-invalidated partitionings on a
+    /// background thread so the next query finds a warm cache instead
+    /// of paying the cold build inline. Deterministic tests turn this
+    /// off.
+    pub background_rebuild: bool,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            enabled: false,
+            delta_threshold: 64,
+            background_rebuild: true,
+        }
+    }
+}
+
+/// Observable delta-maintenance counters, shared across all sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Whether delta-aware maintenance is on for this database.
+    pub enabled: bool,
+    /// The configured absorb-vs-merge threshold.
+    pub delta_threshold: u64,
+    /// Appends absorbed without invalidating anything.
+    pub absorbed_appends: u64,
+    /// Cache entries patched in place across all absorbed appends.
+    pub patched_entries: u64,
+    /// Appends that crossed the threshold and merged (base reset +
+    /// invalidation).
+    pub merges: u64,
+    /// Partitionings rebuilt by the post-merge background pass.
+    pub background_rebuilds: u64,
 }
 
 /// Per-session configuration. Each cloned session carries its own copy;
@@ -104,6 +169,11 @@ pub struct DbConfig {
     /// static `direct_threshold` (which stays the cold-start
     /// fallback). See [`crate::router`].
     pub router: RouterConfig,
+    /// Delta-aware partition maintenance. Database-wide: the value in
+    /// effect when the database is created ([`PackageDb::with_config`]
+    /// / [`PackageDb::open`]) is fixed into the shared state; later
+    /// per-session edits have no effect.
+    pub maintenance: MaintenanceConfig,
 }
 
 impl Default for DbConfig {
@@ -115,6 +185,7 @@ impl Default for DbConfig {
             sketchrefine: SketchRefineOptions::default(),
             fallback_to_direct: true,
             router: RouterConfig::default(),
+            maintenance: MaintenanceConfig::default(),
         }
     }
 }
@@ -142,6 +213,9 @@ pub struct DbStats {
     /// Shared cost-based-router counters (telemetry samples held,
     /// model vs fallback decisions).
     pub router: RouterStats,
+    /// Delta-maintenance counters (absorbed appends, patched entries,
+    /// merges, background rebuilds).
+    pub maintenance: MaintenanceStats,
     /// Durability counters; `None` for in-memory databases.
     pub durability: Option<DurabilityStats>,
 }
@@ -233,6 +307,24 @@ struct SharedState {
     /// ordinary in-memory databases, so every existing path pays
     /// nothing. Lock order: catalog before store, always.
     durability: Option<DurabilityState>,
+    /// Delta-maintenance policy, fixed at database creation (it
+    /// changes the shared cache's append behavior, so it cannot vary
+    /// per session).
+    maintenance: MaintenanceConfig,
+    /// Per-table base-build row counts under delta maintenance, keyed
+    /// by catalog key: rows `[0, main_rows)` were present when the
+    /// table's base partitioning was (re)built; rows past it are the
+    /// absorbed delta. Lock order: catalog before this map, always;
+    /// never held across a build or an evaluation.
+    delta: Mutex<HashMap<String, u64>>,
+    /// Appends absorbed without invalidation.
+    absorbed_appends: AtomicU64,
+    /// Cache entries patched across all absorbs.
+    patched_entries: AtomicU64,
+    /// Appends that crossed the threshold and merged.
+    delta_merges: AtomicU64,
+    /// Partitionings rebuilt by the post-merge background pass.
+    background_rebuilds: AtomicU64,
 }
 
 impl SharedState {
@@ -338,6 +430,7 @@ impl PackageDb {
     pub fn with_config(config: DbConfig) -> Self {
         let shared = SharedState {
             router_ring: Mutex::new(TelemetryRing::with_capacity(config.router.capacity)),
+            maintenance: config.maintenance,
             ..SharedState::default()
         };
         PackageDb {
@@ -367,14 +460,24 @@ impl PackageDb {
             dir: durability.dir,
             sync: durability.sync,
             injector: durability.injector,
+            // Replay mirrors the live absorb-vs-merge decision, so
+            // recovery republishes patched partitionings instead of
+            // dropping them on every logged append.
+            maintenance: config.maintenance.enabled.then_some(MaintenancePolicy {
+                delta_threshold: config.maintenance.delta_threshold,
+            }),
         };
         let (store, recovered) =
             Store::open_with_pool(store_config, replay_pool.as_ref()).map_err(storage_error)?;
         let state = recovered.state;
 
         let mut catalog = Catalog::default();
+        let mut delta = HashMap::new();
         let recovered_tables = state.tables.len() as u64;
         for image in state.tables {
+            if config.maintenance.enabled {
+                delta.insert(Catalog::key(&image.name), image.main_rows);
+            }
             catalog.restore(image.name, image.table, image.version);
         }
         catalog.ensure_version_floor(state.last_version);
@@ -401,6 +504,7 @@ impl PackageDb {
             ring.record(observation_from_image(image));
         }
 
+        let recovered_acks = state.acked_tokens.len() as u64;
         let shared = SharedState {
             catalog: RwLock::new(catalog),
             cache,
@@ -411,9 +515,13 @@ impl PackageDb {
                 recovered_tables,
                 recovered_partitionings,
                 recovered_telemetry,
+                recovered_acks,
                 wal_replayed_records: recovered.wal_replayed_records,
                 wal_tail_dropped_bytes: recovered.wal_tail_dropped_bytes,
+                acked: Mutex::new(DurabilityState::bounded_acks(state.acked_tokens)),
             }),
+            maintenance: config.maintenance,
+            delta: Mutex::new(delta),
             ..SharedState::default()
         };
         Ok(PackageDb {
@@ -462,16 +570,26 @@ impl PackageDb {
             });
         };
         let catalog = self.shared.catalog.read();
-        let tables = catalog
-            .names()
-            .iter()
-            .filter_map(|name| catalog.resolve(name).ok())
-            .map(|entry| TableImage {
-                name: entry.name().to_owned(),
-                version: entry.version(),
-                table: entry.snapshot(),
-            })
-            .collect();
+        let tables = {
+            // Delta lock after the catalog lock, released before any
+            // further work (see the lock-order note in
+            // `crate::durability`).
+            let delta = self.shared.delta.lock();
+            catalog
+                .names()
+                .iter()
+                .filter_map(|name| catalog.resolve(name).ok())
+                .map(|entry| TableImage {
+                    name: entry.name().to_owned(),
+                    version: entry.version(),
+                    main_rows: delta
+                        .get(&Catalog::key(entry.name()))
+                        .copied()
+                        .unwrap_or(entry.table().num_rows() as u64),
+                    table: entry.snapshot(),
+                })
+                .collect()
+        };
         let partitionings = self
             .shared
             .cache
@@ -498,6 +616,7 @@ impl PackageDb {
             tables,
             partitionings,
             telemetry,
+            acked_tokens: durable.acked.lock().iter().copied().collect(),
         };
         durable.store.lock().snapshot(&state).map_err(storage_error)
     }
@@ -508,6 +627,38 @@ impl PackageDb {
         match &self.shared.durability {
             Some(d) => d.store.lock().append(record).map_err(storage_error),
             None => Ok(()),
+        }
+    }
+
+    /// Remember a client's acked idempotency token (durable databases
+    /// only). Called with the catalog write lock held, right after the
+    /// mutation's WAL record was appended, so the ack window and the
+    /// log agree on exactly which mutations were acknowledged.
+    fn record_ack(&self, token: Option<u64>, version: u64, kind: AckKind) {
+        let (Some(token), Some(durable)) = (token, &self.shared.durability) else {
+            return;
+        };
+        let mut acked = durable.acked.lock();
+        if acked.len() >= DurabilityState::ACK_CAPACITY {
+            acked.pop_front();
+        }
+        acked.push_back(AckImage {
+            token,
+            version,
+            kind,
+        });
+    }
+
+    /// The acked `(token → version)` pairs this database remembers,
+    /// oldest first: what recovery restored plus what this process has
+    /// acked since (bounded to the newest 1024). Empty for in-memory
+    /// databases. A serving layer seeds its duplicate-detection window
+    /// from this at startup, so a mutation retried across a restart is
+    /// re-acknowledged with its original version instead of re-applied.
+    pub fn acked_mutations(&self) -> Vec<AckImage> {
+        match &self.shared.durability {
+            Some(d) => d.acked.lock().iter().copied().collect(),
+            None => Vec::new(),
         }
     }
 
@@ -614,17 +765,48 @@ impl PackageDb {
     /// [`PackageDb::durability_stats`] and the next fallible durability
     /// call).
     pub fn register_table(&self, name: impl Into<String>, table: Table) -> u64 {
+        self.register_table_with_token(name, table, None)
+    }
+
+    /// [`PackageDb::register_table`] carrying an optional client
+    /// idempotency token. On a durable database the token rides the
+    /// WAL record and enters the durable ack window
+    /// ([`PackageDb::acked_mutations`]), so a serving layer can
+    /// re-acknowledge the registration after a restart instead of
+    /// applying it twice. `None` behaves exactly like
+    /// [`PackageDb::register_table`].
+    pub fn register_table_with_token(
+        &self,
+        name: impl Into<String>,
+        table: Table,
+        token: Option<u64>,
+    ) -> u64 {
         let name = name.into();
         let key = Catalog::key(&name);
         let version = {
             let mut catalog = self.shared.catalog.write();
             let version = catalog.register(name.clone(), table);
+            if self.shared.maintenance.enabled {
+                // A replacement resets the delta base: the new contents
+                // are all "main", nothing is absorbed yet.
+                let rows = catalog
+                    .resolve(&name)
+                    .expect("just registered")
+                    .table()
+                    .num_rows();
+                self.shared.delta.lock().insert(key.clone(), rows as u64);
+            }
             if self.is_durable() {
                 let table = catalog.resolve(&name).expect("just registered").snapshot();
-                let _ = self.log_record(&WalRecord {
-                    lsn: version,
-                    op: WalOp::RegisterTable { name, table },
-                });
+                if self
+                    .log_record(&WalRecord {
+                        lsn: version,
+                        op: WalOp::RegisterTable { name, table, token },
+                    })
+                    .is_ok()
+                {
+                    self.record_ack(token, version, AckKind::Register);
+                }
             }
             version
         };
@@ -647,6 +829,7 @@ impl PackageDb {
                 },
             })
         };
+        self.shared.delta.lock().remove(&Catalog::key(name));
         self.shared.cache.invalidate_table(&Catalog::key(name));
         self.maybe_auto_snapshot();
         log_result
@@ -716,6 +899,17 @@ impl PackageDb {
                 }
                 _ => Ok(()),
             };
+            // An arbitrary in-place mutation defeats delta tracking:
+            // reset the base to the full new contents (the next append
+            // starts a fresh delta).
+            if self.shared.maintenance.enabled && current.is_some() && before != current {
+                if let Ok(entry) = catalog.resolve(name) {
+                    self.shared
+                        .delta
+                        .lock()
+                        .insert(key.clone(), entry.table().num_rows() as u64);
+                }
+            }
             (result, current, log_result)
         };
         if let Some(version) = current {
@@ -732,9 +926,39 @@ impl PackageDb {
     /// a full after-image — [`Table::push_row`] validates before
     /// mutating, so a failed append changes nothing and logs nothing.
     pub fn append_row(&self, name: &str, row: Vec<Value>) -> DbResult<u64> {
+        self.append_row_with_token(name, row, None)
+    }
+
+    /// [`PackageDb::append_row`] carrying an optional client
+    /// idempotency token (see
+    /// [`PackageDb::register_table_with_token`]).
+    ///
+    /// Under [`MaintenanceConfig::enabled`] this is where delta-aware
+    /// maintenance happens, still inside the catalog write critical
+    /// section (so absorbs are serialized in version order and cannot
+    /// race a cold build's publish, which holds the catalog read lock):
+    ///
+    /// * **absorb** — while the table has grown by at most
+    ///   [`MaintenanceConfig::delta_threshold`] rows past its base
+    ///   build, every cached partitioning is patched in place and
+    ///   re-keyed to the fresh version; nothing is invalidated and the
+    ///   next query is still a `Hit`;
+    /// * **merge** — past the threshold, the base moves up to the full
+    ///   table, stale entries are invalidated, and (when
+    ///   [`MaintenanceConfig::background_rebuild`] is on) the exact
+    ///   artifacts queries were using are rebuilt on a detached thread.
+    pub fn append_row_with_token(
+        &self,
+        name: &str,
+        row: Vec<Value>,
+        token: Option<u64>,
+    ) -> DbResult<u64> {
+        let m = self.shared.maintenance;
         let key = Catalog::key(name);
+        let mut rebuilds: Vec<(Vec<String>, Arc<Table>, u64, usize)> = Vec::new();
         let (version, log_result) = {
             let mut catalog = self.shared.catalog.write();
+            let before = catalog.version_of(&key);
             let row_for_log = self.is_durable().then(|| row.clone());
             let ((), version) = catalog.mutate(name, |t| t.push_row(row))?;
             let log_result = match row_for_log {
@@ -744,19 +968,99 @@ impl PackageDb {
                         .expect("just mutated")
                         .name()
                         .to_owned();
-                    self.log_record(&WalRecord {
+                    let result = self.log_record(&WalRecord {
                         lsn: version,
-                        op: WalOp::AppendRow { name: display, row },
-                    })
+                        op: WalOp::AppendRow {
+                            name: display,
+                            row,
+                            token,
+                        },
+                    });
+                    if result.is_ok() {
+                        self.record_ack(token, version, AckKind::Append);
+                    }
+                    result
                 }
                 None => Ok(()),
             };
+            if m.enabled {
+                let table = catalog.resolve(name).expect("just mutated").snapshot();
+                let rows = table.num_rows() as u64;
+                // Same decision — and the same arithmetic — as WAL
+                // replay's `MaintenancePolicy`, so a recovered database
+                // lands on the same absorb/merge history.
+                let absorb = {
+                    let mut delta = self.shared.delta.lock();
+                    // A table registered before maintenance was enabled
+                    // has no entry; its base is everything up to this
+                    // append.
+                    let main = delta.entry(key.clone()).or_insert(rows - 1);
+                    if rows.saturating_sub(*main) <= m.delta_threshold {
+                        true
+                    } else {
+                        *main = rows;
+                        false
+                    }
+                };
+                if absorb {
+                    let from = before.expect("append bumped an existing table");
+                    let (patched, _evicted) =
+                        self.shared.cache.absorb_append(&key, from, version, &table);
+                    self.shared.absorbed_appends.fetch_add(1, Ordering::AcqRel);
+                    self.shared
+                        .patched_entries
+                        .fetch_add(patched, Ordering::AcqRel);
+                } else {
+                    self.shared.delta_merges.fetch_add(1, Ordering::AcqRel);
+                    let evicted = self.shared.cache.invalidate_stale_collect(&key, version);
+                    if m.background_rebuild {
+                        for attrs in evicted {
+                            rebuilds.push((attrs, Arc::clone(&table), version, table.num_rows()));
+                        }
+                    }
+                }
+            }
             (version, log_result)
         };
-        self.shared.cache.invalidate_stale(&key, version);
+        if !m.enabled {
+            self.shared.cache.invalidate_stale(&key, version);
+        }
+        if !rebuilds.is_empty() {
+            self.spawn_background_rebuilds(key, rebuilds);
+        }
         self.maybe_auto_snapshot();
         log_result?;
         Ok(version)
+    }
+
+    /// Rebuild just-invalidated partitionings on a detached OS thread so
+    /// the first query after a merge finds a warm cache instead of
+    /// paying the cold build inline. Deliberately *not* a shared-pool
+    /// job: rebuild work outlives the append that spawned it, and a
+    /// pool job joining its own pool's wave would deadlock. Each job
+    /// re-checks the table version before building, and the
+    /// single-flight machinery dedups it against any racing foreground
+    /// query building the same artifact.
+    fn spawn_background_rebuilds(
+        &self,
+        key: String,
+        jobs: Vec<(Vec<String>, Arc<Table>, u64, usize)>,
+    ) {
+        let db = self.clone();
+        std::thread::spawn(move || {
+            for (attrs, table, version, build_base) in jobs {
+                if db.shared.catalog.read().version_of(&key) != Some(version) {
+                    continue; // the table moved on; a fresher pass owns it
+                }
+                let pool = db.shared.pool(db.config.sketchrefine.threads);
+                if db
+                    .obtain_partitioning(&key, version, attrs, &table, pool.as_ref(), build_base)
+                    .is_ok()
+                {
+                    db.shared.background_rebuilds.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -826,7 +1130,22 @@ impl PackageDb {
             tables,
             cache: self.shared.cache.stats(),
             router: self.router_stats(),
+            maintenance: self.maintenance_stats(),
             durability: self.durability_stats(),
+        }
+    }
+
+    /// Observable delta-maintenance counters (absorbed appends, patched
+    /// entries, merges, background rebuilds), shared across all
+    /// sessions. All zeros when maintenance is off.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            enabled: self.shared.maintenance.enabled,
+            delta_threshold: self.shared.maintenance.delta_threshold,
+            absorbed_appends: self.shared.absorbed_appends.load(Ordering::Acquire),
+            patched_entries: self.shared.patched_entries.load(Ordering::Acquire),
+            merges: self.shared.delta_merges.load(Ordering::Acquire),
+            background_rebuilds: self.shared.background_rebuilds.load(Ordering::Acquire),
         }
     }
 
@@ -878,14 +1197,31 @@ impl PackageDb {
         // here on the execution works exclusively on `table` (the
         // contents at `table_version`), so concurrent mutations can
         // proceed and cannot skew this query.
-        let (relation, key, table_version, table) = {
+        let (relation, key, table_version, table, build_base) = {
             let catalog = self.shared.catalog.read();
             let entry = catalog.resolve(&query.relation)?;
+            let key = Catalog::key(entry.name());
+            // Under delta maintenance a cold build partitions only the
+            // base prefix and replays the absorbed delta as ordered
+            // patches, so it lands bit-identical to a cache entry
+            // patched live (see `obtain_partitioning`). The base is
+            // snapshotted with the version, under the same read lock.
+            let build_base = if self.shared.maintenance.enabled {
+                self.shared
+                    .delta
+                    .lock()
+                    .get(&key)
+                    .map(|&m| m as usize)
+                    .unwrap_or_else(|| entry.table().num_rows())
+            } else {
+                entry.table().num_rows()
+            };
             (
                 entry.name().to_owned(),
-                Catalog::key(entry.name()),
+                key,
                 entry.version(),
                 entry.snapshot(),
+                build_base,
             )
         };
         let rows = table.num_rows();
@@ -1020,6 +1356,7 @@ impl PackageDb {
                         partition_attrs,
                         &table,
                         pool.as_ref(),
+                        build_base,
                     )?;
                     partitioning_time = build_time;
                     (p, outcome)
@@ -1099,6 +1436,12 @@ impl PackageDb {
     /// `version` on the attributes `attrs` — single-flight: racing
     /// sessions produce exactly one `Miss` (the builder) and `Hit`s
     /// (everyone served from the cache, including waiters).
+    /// `build_base` is the row count the base partitioning covers
+    /// (always `table.num_rows()` when maintenance is off): a cold
+    /// build partitions rows `[0, build_base)` and then replays rows
+    /// `[build_base, num_rows)` as ordered patches — the canonical
+    /// delta-aware artifact, bit-identical to a cache entry patched
+    /// live by absorbed appends, at every thread count.
     fn obtain_partitioning(
         &self,
         key: &str,
@@ -1106,6 +1449,7 @@ impl PackageDb {
         attrs: Vec<String>,
         table: &Table,
         pool: Option<&Arc<ThreadPool>>,
+        build_base: usize,
     ) -> DbResult<(Arc<Partitioning>, CacheOutcome, Duration)> {
         loop {
             if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs) {
@@ -1182,17 +1526,27 @@ impl PackageDb {
                         result: None,
                     };
                     self.shared.cache.record_miss();
-                    let tau = (table.num_rows() / self.config.default_groups.max(1)).max(2);
+                    // τ comes from the base prefix, not the live row
+                    // count: a patched cache entry and this cold build
+                    // must agree on the spec to be bit-identical.
+                    let tau = (build_base / self.config.default_groups.max(1)).max(2);
                     let start = Instant::now();
                     let partitioner =
                         Partitioner::new(PartitionConfig::by_size(attrs.clone(), tau));
                     // The offline build shares the REFINE pool: leaf
                     // statistics are embarrassingly parallel and the
-                    // result is identical.
-                    let built = match pool {
-                        Some(pool) => partitioner.partition_with_pool(table, pool)?,
-                        None => partitioner.partition(table)?,
+                    // result is identical. Partition the base prefix,
+                    // then replay the absorbed delta as patches (a
+                    // no-op loop when maintenance is off).
+                    let mut built = match pool {
+                        Some(pool) => {
+                            partitioner.partition_prefix_with_pool(table, build_base, pool)?
+                        }
+                        None => partitioner.partition_prefix(table, build_base)?,
                     };
+                    for row in build_base..table.num_rows() {
+                        built.patch_append(table, row)?;
+                    }
                     let build_time = start.elapsed();
                     let built = Arc::new(built);
                     // Publish only if the snapshot we built against is

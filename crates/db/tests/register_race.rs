@@ -1,0 +1,105 @@
+//! Regression: a cold partitioning build racing a same-shape
+//! `register_table` replacement must never publish its artifact after
+//! the replacement's version bump.
+//!
+//! The publish path holds the catalog **read** lock across the
+//! version re-check and the cache insert, and a replacement bumps the
+//! version under the **write** lock before running its own
+//! invalidation pass — so a build that loses the race observes the
+//! bumped version and suppresses its publish. If that guard ever
+//! regressed, a partitioning of the *old* contents would be parked in
+//! the cache after the replacement's invalidation already ran: it can
+//! never be served (versions are monotone, lookups are
+//! version-exact), but it leaks — and the leak is observable as a
+//! second live entry. These tests hammer the interleaving and assert
+//! exactly one live entry survives, with the replacement's contents
+//! winning, with delta maintenance off and on.
+
+use std::sync::Barrier;
+
+use paq_db::{DbConfig, MaintenanceConfig, PackageDb, Route};
+use paq_lang::parse_paql;
+use paq_relational::{DataType, Schema, Table, Value};
+
+fn items(n: usize, salt: u64) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = salt | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+    }
+    t
+}
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 \
+     MAXIMIZE SUM(P.value)";
+
+fn run_race(maintenance: MaintenanceConfig) {
+    let query = parse_paql(QUERY).unwrap();
+    for round in 0..24u64 {
+        let db = PackageDb::with_config(DbConfig {
+            direct_threshold: 20,
+            maintenance,
+            ..DbConfig::default()
+        });
+        db.register_table("Items", items(60, round + 1));
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            let builder = db.session();
+            let replacer = db.session();
+            let b1 = &barrier;
+            let b2 = &barrier;
+            let q = &query;
+            s.spawn(move || {
+                b1.wait();
+                // Cold build in flight for the original version. The
+                // execution itself may fail or succeed (its snapshot
+                // stays valid either way); only the publish matters.
+                let _ = builder.execute_with(q, Route::ForceSketchRefine);
+            });
+            s.spawn(move || {
+                b2.wait();
+                // Same-shape replacement: bumps the version and evicts
+                // everything keyed below it, mid-build.
+                replacer.register_table("Items", items(61, round + 1001));
+            });
+        });
+
+        // Settle: one query over the replacement's contents.
+        let exec = db.execute_with(&query, Route::ForceSketchRefine).unwrap();
+        assert_eq!(exec.rows, 61, "round {round}: replacement must win");
+
+        // Exactly one live entry — the one keyed at the current
+        // version. A stale post-bump publish would leave a second.
+        let cache = db.cache_stats();
+        assert_eq!(
+            cache.entries, 1,
+            "round {round}: a stale build published past the version bump: {cache:?}"
+        );
+    }
+}
+
+#[test]
+fn replacement_race_leaves_no_stale_publish() {
+    run_race(MaintenanceConfig::default());
+}
+
+#[test]
+fn replacement_race_leaves_no_stale_publish_under_maintenance() {
+    run_race(MaintenanceConfig {
+        enabled: true,
+        delta_threshold: 8,
+        background_rebuild: false,
+    });
+}

@@ -251,6 +251,60 @@ impl Partitioning {
         })
     }
 
+    /// Absorb one appended row into the partitioning in place: route
+    /// the row to the group whose representative is nearest (Euclidean
+    /// distance over the partitioning attributes; NULL dimensions are
+    /// treated as lying on the representative; ties break toward the
+    /// earlier group in creation order) and recompute that group's
+    /// centroid and radius exactly over its extended row set.
+    ///
+    /// `row` must be a row index of `table` not yet covered by any
+    /// group — the caller appends rows in order, so after the patch the
+    /// partitioning is a disjoint cover of `row + 1` rows again. The
+    /// routing and the stats recompute are pure functions of the group
+    /// state and the table columns, so applying the same append
+    /// sequence to the same starting partitioning — live, on a cache
+    /// entry, or during WAL replay — yields bit-identical groups.
+    ///
+    /// The size condition (≤ τ) is deliberately allowed to drift: the
+    /// caller bounds the drift with its delta threshold and rebuilds
+    /// past it.
+    pub fn patch_append(&mut self, table: &Table, row: usize) -> RelResult<()> {
+        let columns: Vec<&paq_relational::Column> = self
+            .attributes
+            .iter()
+            .map(|a| table.column(a))
+            .collect::<RelResult<_>>()?;
+        if row >= table.num_rows() {
+            return Err(RelError::Invalid(format!(
+                "patch_append row {row} out of bounds ({} rows)",
+                table.num_rows()
+            )));
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, g) in self.groups.iter().enumerate() {
+            let mut dist = 0.0_f64;
+            for (ai, col) in columns.iter().enumerate() {
+                let rep = g.representative.get(ai).copied().unwrap_or(0.0);
+                let d = col.f64_at(row).map(|v| v - rep).unwrap_or(0.0);
+                dist += d * d;
+            }
+            // Strict `<`: equal distances keep the earlier group.
+            if best.map(|(_, b)| dist < b).unwrap_or(true) {
+                best = Some((gi, dist));
+            }
+        }
+        let (gi, _) = best.ok_or_else(|| {
+            RelError::Invalid("cannot patch an empty partitioning (no groups)".into())
+        })?;
+        let group = &mut self.groups[gi];
+        group.rows.push(row);
+        let (representative, radius) = centroid_and_radius(&columns, &group.rows);
+        group.representative = representative;
+        group.radius = radius;
+        Ok(())
+    }
+
     /// Internal validity check used by tests and debug assertions:
     /// every row appears in exactly one group.
     pub fn is_disjoint_cover(&self, num_rows: usize) -> bool {
@@ -464,6 +518,85 @@ mod tests {
         // 3 groups → 2 (pair + lone straggler).
         let merged = p.merged_pairwise(&t).unwrap();
         assert_eq!(merged.num_groups(), 2);
+    }
+
+    #[test]
+    fn patch_append_routes_to_nearest_group_and_recomputes_stats() {
+        let mut t = table();
+        let mut p = partitioning();
+        // (11.5, 12.5) is nearest group 2's representative (11, 11).
+        t.push_row(vec![Value::Float(11.5), Value::Float(12.5)])
+            .unwrap();
+        p.patch_append(&t, 4).unwrap();
+        assert_eq!(p.groups[1].rows, vec![2, 3, 4]);
+        assert!(p.is_disjoint_cover(5));
+        // Exact recompute over {10, 12, 11.5} and {10, 12, 12.5}.
+        let rep = &p.groups[1].representative;
+        assert!((rep[0] - 33.5 / 3.0).abs() < 1e-12);
+        assert!((rep[1] - 34.5 / 3.0).abs() < 1e-12);
+        // Group 1 untouched.
+        assert_eq!(p.groups[0].rows, vec![0, 1]);
+        assert_eq!(p.groups[0].representative, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn patch_append_is_deterministic_under_replayed_sequences() {
+        let mut t1 = table();
+        let mut t2 = table();
+        let mut p1 = partitioning();
+        let mut p2 = partitioning();
+        for (i, (x, y)) in [(0.5, 0.25), (11.0, 9.5), (3.0, 3.0), (6.0, 6.0)]
+            .into_iter()
+            .enumerate()
+        {
+            t1.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+            p1.patch_append(&t1, 4 + i).unwrap();
+        }
+        for (i, (x, y)) in [(0.5, 0.25), (11.0, 9.5), (3.0, 3.0), (6.0, 6.0)]
+            .into_iter()
+            .enumerate()
+        {
+            t2.push_row(vec![Value::Float(x), Value::Float(y)]).unwrap();
+            p2.patch_append(&t2, 4 + i).unwrap();
+        }
+        for (a, b) in p1.groups.iter().zip(&p2.groups) {
+            assert_eq!(a.rows, b.rows);
+            // Bit-identical floats, not approximately equal.
+            assert_eq!(
+                a.representative
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                b.representative
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+        }
+    }
+
+    #[test]
+    fn patch_append_null_dims_sit_on_the_representative() {
+        let mut t = table();
+        let mut p = partitioning();
+        t.push_row(vec![Value::Null, Value::Float(1.5)]).unwrap();
+        // Only y participates: |1.5 - 1| < |1.5 - 11| ⇒ group 1.
+        p.patch_append(&t, 4).unwrap();
+        assert_eq!(p.groups[0].rows, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn patch_append_rejects_empty_partitioning_and_bad_rows() {
+        let t = table();
+        let mut empty = Partitioning {
+            attributes: vec!["x".into(), "y".into()],
+            groups: vec![],
+            build_time: Duration::ZERO,
+        };
+        assert!(empty.patch_append(&t, 0).is_err());
+        let mut p = partitioning();
+        assert!(p.patch_append(&t, 99).is_err());
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl Partitioner {
 
     /// Build the full hierarchy for `table`.
     pub fn build_tree(&self, table: &Table) -> RelResult<QuadTree> {
-        self.build_tree_impl(table, None)
+        self.build_tree_impl(table, None, None)
     }
 
     /// Build the full hierarchy with per-node child statistics computed
@@ -85,11 +85,24 @@ impl Partitioner {
     /// to [`Partitioner::build_tree`] — work is only parallelized
     /// *within* each node's deterministic split, never reordered.
     pub fn build_tree_with_pool(&self, table: &Table, pool: &ThreadPool) -> RelResult<QuadTree> {
-        self.build_tree_impl(table, Some(pool))
+        self.build_tree_impl(table, Some(pool), None)
     }
 
-    fn build_tree_impl(&self, table: &Table, pool: Option<&ThreadPool>) -> RelResult<QuadTree> {
+    fn build_tree_impl(
+        &self,
+        table: &Table,
+        pool: Option<&ThreadPool>,
+        prefix_rows: Option<usize>,
+    ) -> RelResult<QuadTree> {
         let start = Instant::now();
+        // Delta-aware maintenance builds the "main" copy over a prefix
+        // of an appended table; everything downstream (root row set,
+        // normalization scales) sees only those rows, so the build is a
+        // pure function of the prefix — appending rows later cannot
+        // perturb it.
+        let bound = prefix_rows
+            .unwrap_or(table.num_rows())
+            .min(table.num_rows());
         let columns: Vec<&Column> = self
             .config
             .attributes
@@ -107,16 +120,16 @@ impl Partitioner {
             .collect::<RelResult<_>>()?;
 
         let mut nodes: Vec<TreeNode> = Vec::new();
-        let all_rows: Vec<usize> = (0..table.num_rows()).collect();
+        let all_rows: Vec<usize> = (0..bound).collect();
         let (centroid, radius) = centroid_and_radius(&columns, &all_rows);
-        // Full-table per-attribute ranges: the normalization scales for
-        // split-dimension selection.
+        // Per-attribute ranges over the built rows: the normalization
+        // scales for split-dimension selection.
         let scales: Vec<f64> = columns
             .iter()
             .map(|col| {
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
-                for r in 0..col.len() {
+                for r in 0..bound.min(col.len()) {
                     if let Some(v) = col.f64_at(r) {
                         lo = lo.min(v);
                         hi = hi.max(v);
@@ -224,6 +237,34 @@ impl Partitioner {
     /// `pool`; the produced partitioning is identical.
     pub fn partition_with_pool(&self, table: &Table, pool: &ThreadPool) -> RelResult<Partitioning> {
         let tree = self.build_tree_with_pool(table, pool)?;
+        Ok(tree.leaves())
+    }
+
+    /// Partition only the first `prefix_rows` rows of `table`.
+    ///
+    /// This is the delta-aware maintenance primitive: the "main" copy
+    /// of an appended table is the prefix that existed when the
+    /// partitioning was (re)built, and rows past it are absorbed one at
+    /// a time via [`Partitioning::patch_append`]. Because the root row
+    /// set *and* the normalization scales are computed over the prefix
+    /// alone, `partition_prefix(t, k)` is bit-identical for every table
+    /// whose first `k` rows agree — appends never perturb the base
+    /// build, which is what makes `prefix build + ordered patches` a
+    /// canonical artifact reproducible from a WAL replay.
+    pub fn partition_prefix(&self, table: &Table, prefix_rows: usize) -> RelResult<Partitioning> {
+        let tree = self.build_tree_impl(table, None, Some(prefix_rows))?;
+        Ok(tree.leaves())
+    }
+
+    /// [`Partitioner::partition_prefix`] with the build parallelized on
+    /// `pool`; the produced partitioning is identical.
+    pub fn partition_prefix_with_pool(
+        &self,
+        table: &Table,
+        prefix_rows: usize,
+        pool: &ThreadPool,
+    ) -> RelResult<Partitioning> {
+        let tree = self.build_tree_impl(table, Some(pool), Some(prefix_rows))?;
         Ok(tree.leaves())
     }
 }
@@ -553,6 +594,48 @@ mod tests {
         let flat_par = partitioner.partition_with_pool(&t, &pool).unwrap();
         for (ga, gb) in flat_seq.groups.iter().zip(&flat_par.groups) {
             assert_eq!(ga.rows, gb.rows);
+        }
+    }
+
+    #[test]
+    fn prefix_build_ignores_appended_rows() {
+        let t = grid_table(300);
+        let partitioner = Partitioner::new(PartitionConfig::by_size(attrs(), 20));
+        let base = partitioner.partition(&t).unwrap();
+
+        // Append rows (including extremes that would shift full-table
+        // scales); the prefix build must not see them.
+        let mut extended = t.clone();
+        for (x, y) in [(1e6, -1e6), (50.0, 50.0), (-3.0, 7.0)] {
+            extended
+                .push_row(vec![Value::Float(x), Value::Float(y)])
+                .unwrap();
+        }
+        let prefix = partitioner.partition_prefix(&extended, 300).unwrap();
+        assert_eq!(base.num_groups(), prefix.num_groups());
+        for (a, b) in base.groups.iter().zip(&prefix.groups) {
+            assert_eq!(a.rows, b.rows);
+            assert_eq!(
+                a.representative
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                b.representative
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+        }
+        assert!(prefix.is_disjoint_cover(300));
+
+        // The pooled prefix build is identical too.
+        let pool = ThreadPool::new(4);
+        let pooled = partitioner
+            .partition_prefix_with_pool(&extended, 300, &pool)
+            .unwrap();
+        for (a, b) in prefix.groups.iter().zip(&pooled.groups) {
+            assert_eq!(a.rows, b.rows);
         }
     }
 

@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use paq_db::{DbError, Execution, PackageDb};
+use paq_db::{AckKind, DbError, Execution, PackageDb};
 use paq_exec::ThreadPool;
 use paq_lang::parse_paql;
 
@@ -79,11 +79,14 @@ pub struct ServerConfig {
     pub busy_retry_after: Duration,
     /// How many acked mutation tokens the server remembers for
     /// idempotent retry deduplication (FIFO eviction; `0` disables
-    /// deduplication). The window is per-process: a server restart
-    /// forgets acked tokens, so a retry that straddles a restart may
-    /// re-apply — re-registering a table is idempotent, a re-appended
-    /// row is not, which is why clients should not retry mutations
-    /// across a known restart boundary.
+    /// deduplication). Over a **durable** database the window survives
+    /// restarts: acked tokens ride the WAL and snapshots, and a fresh
+    /// server seeds its cache from what recovery restored
+    /// ([`PackageDb::acked_mutations`]) — so a retry that straddles a
+    /// crash is re-acknowledged with its original version, not
+    /// re-applied. Over an in-memory database the window is
+    /// per-process, and clients should not retry mutations across a
+    /// known restart boundary (a re-appended row duplicates).
     pub dedupe_capacity: usize,
 }
 
@@ -300,8 +303,23 @@ impl Server {
     /// A server with explicit configuration.
     pub fn with_config(db: PackageDb, config: ServerConfig) -> Self {
         let pool = ThreadPool::new(config.workers.max(1));
+        // Seed the dedupe window from what the database's recovery
+        // restored (empty for in-memory databases): a client retrying a
+        // mutation acked before a crash gets its original ack back.
+        let mut acked = TokenCache::new(config.dedupe_capacity);
+        for ack in db.acked_mutations() {
+            let response = match ack.kind {
+                AckKind::Register => Response::Registered {
+                    version: ack.version,
+                },
+                AckKind::Append => Response::Appended {
+                    version: ack.version,
+                },
+            };
+            acked.insert(ack.token, response);
+        }
         let state = ServerState {
-            acked: Mutex::new(TokenCache::new(config.dedupe_capacity)),
+            acked: Mutex::new(acked),
             ..ServerState::default()
         };
         Server {
@@ -526,7 +544,7 @@ impl Server {
                 if let Some(acked) = self.lookup_acked(token) {
                     return acked;
                 }
-                let version = session.register_table(name, table);
+                let version = session.register_table_with_token(name, table, token);
                 match self.flush_mutation(session) {
                     Ok(()) => {
                         let response = Response::Registered { version };
@@ -541,7 +559,7 @@ impl Server {
                     return acked;
                 }
                 match session
-                    .append_row(&name, row)
+                    .append_row_with_token(&name, row, token)
                     .and_then(|version| self.flush_mutation(session).map(|()| version))
                 {
                     Ok(version) => {

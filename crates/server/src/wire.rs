@@ -58,7 +58,10 @@ use crate::error::{WireError, WireResult};
 /// `token` (the server dedupes acked tokens so a retry after a lost ack
 /// is safe), `Busy` gained a `retry_after_ms` pacing hint, and
 /// [`FaultKind`] gained `Timeout` for expired deadlines.
-pub const WIRE_VERSION: u8 = 4;
+/// Bumped to 5 when acked idempotency tokens became durable: the
+/// `Stats` durability counters gained `recovered_acks` (tokens restored
+/// from the store at open).
+pub const WIRE_VERSION: u8 = 5;
 
 /// Hard cap on one frame's payload (32 MiB). Large enough for a
 /// multi-million-row `RegisterTable`, small enough that a corrupt
@@ -1181,6 +1184,7 @@ impl Response {
                         put_u64(&mut out, d.recovered_tables);
                         put_u64(&mut out, d.recovered_partitionings);
                         put_u64(&mut out, d.recovered_telemetry);
+                        put_u64(&mut out, d.recovered_acks);
                         put_u64(&mut out, d.wal_replayed_records);
                         put_u64(&mut out, d.wal_tail_dropped_bytes);
                     }
@@ -1304,6 +1308,7 @@ impl Response {
                             recovered_tables: c.u64()?,
                             recovered_partitionings: c.u64()?,
                             recovered_telemetry: c.u64()?,
+                            recovered_acks: c.u64()?,
                             wal_replayed_records: c.u64()?,
                             wal_tail_dropped_bytes: c.u64()?,
                         })

@@ -263,6 +263,7 @@ fn durability() -> impl Strategy<Value = paq_db::DurabilityStats> {
                     recovered_tables: recovered,
                     recovered_partitionings: recovered % 7,
                     recovered_telemetry: recovered % 11,
+                    recovered_acks: recovered % 19,
                     wal_replayed_records: records % 13,
                     wal_tail_dropped_bytes: bytes % 17,
                 }

@@ -27,6 +27,11 @@ pub struct TableImage {
     pub version: u64,
     /// The table contents.
     pub table: Arc<Table>,
+    /// Rows covered by the partitioned "main" copy under delta-aware
+    /// maintenance: rows `[0, main_rows)` were present when the base
+    /// partitioning was (re)built; rows past it are the absorbed delta.
+    /// Equals `table.num_rows()` when maintenance is off.
+    pub main_rows: u64,
 }
 
 /// How a cached partitioning was keyed: built on demand for a size
@@ -88,6 +93,28 @@ pub struct TelemetryImage {
     pub cost_nanos: u64,
 }
 
+/// Which mutation kind an acked idempotency token belongs to — enough
+/// to reconstruct the exact ack response on recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckKind {
+    /// The token acked a `RegisterTable`.
+    Register,
+    /// The token acked an `AppendRow`.
+    Append,
+}
+
+/// One acked `(token → version)` pair persisted so a retried mutation
+/// that straddles a crash+recover is deduplicated, not applied twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckImage {
+    /// The client-chosen idempotency token.
+    pub token: u64,
+    /// The catalog version the acked mutation produced.
+    pub version: u64,
+    /// Which mutation kind was acked.
+    pub kind: AckKind,
+}
+
 /// The full persisted state: everything a snapshot captures and
 /// recovery republishes.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +127,8 @@ pub struct StoreState {
     pub partitionings: Vec<PartitioningImage>,
     /// The router telemetry ring, oldest first.
     pub telemetry: Vec<TelemetryImage>,
+    /// Acked idempotency tokens, oldest first (bounded by the engine).
+    pub acked_tokens: Vec<AckImage>,
 }
 
 /// Append an encoding of `state` to `out`.
@@ -110,6 +139,7 @@ pub fn encode_state(out: &mut Vec<u8>, state: &StoreState) {
         put_str(out, &t.name);
         put_u64(out, t.version);
         encode_table(out, &t.table);
+        put_u64(out, t.main_rows);
     }
     put_u32(out, state.partitionings.len() as u32);
     for p in &state.partitionings {
@@ -146,6 +176,18 @@ pub fn encode_state(out: &mut Vec<u8>, state: &StoreState) {
         );
         put_u64(out, o.cost_nanos);
     }
+    put_u32(out, state.acked_tokens.len() as u32);
+    for a in &state.acked_tokens {
+        put_u64(out, a.token);
+        put_u64(out, a.version);
+        put_u8(
+            out,
+            match a.kind {
+                AckKind::Register => 0,
+                AckKind::Append => 1,
+            },
+        );
+    }
 }
 
 /// Decode a state encoded by [`encode_state`].
@@ -157,10 +199,12 @@ pub fn decode_state(cur: &mut Cursor<'_>) -> StoreResult<StoreState> {
         let name = cur.str()?;
         let version = cur.u64()?;
         let table = Arc::new(decode_table(cur)?);
+        let main_rows = cur.u64()?;
         tables.push(TableImage {
             name,
             version,
             table,
+            main_rows,
         });
     }
     let nparts = cur.count(12)?;
@@ -213,11 +257,28 @@ pub fn decode_state(cur: &mut Cursor<'_>) -> StoreResult<StoreState> {
             cost_nanos,
         });
     }
+    let nacks = cur.count(17)?;
+    let mut acked_tokens = Vec::with_capacity(nacks);
+    for _ in 0..nacks {
+        let token = cur.u64()?;
+        let version = cur.u64()?;
+        let kind = match cur.u8()? {
+            0 => AckKind::Register,
+            1 => AckKind::Append,
+            tag => return Err(StoreError::malformed(format!("unknown ack kind tag {tag}"))),
+        };
+        acked_tokens.push(AckImage {
+            token,
+            version,
+            kind,
+        });
+    }
     Ok(StoreState {
         last_version,
         tables,
         partitionings,
         telemetry,
+        acked_tokens,
     })
 }
 
@@ -243,6 +304,7 @@ mod tests {
                 name: "Galaxy".into(),
                 version: 3,
                 table: Arc::new(tiny_table()),
+                main_rows: 2,
             }],
             partitionings: vec![PartitioningImage {
                 table_key: "galaxy".into(),
@@ -268,6 +330,18 @@ mod tests {
                 strategy: StrategyKind::SketchRefine,
                 cost_nanos: 1_000_000,
             }],
+            acked_tokens: vec![
+                AckImage {
+                    token: 0xA1,
+                    version: 2,
+                    kind: AckKind::Register,
+                },
+                AckImage {
+                    token: 0xA2,
+                    version: 3,
+                    kind: AckKind::Append,
+                },
+            ],
         };
         let mut buf = Vec::new();
         encode_state(&mut buf, &state);
@@ -284,7 +358,9 @@ mod tests {
             decoded.partitionings[0].partitioning.groups[0].rows,
             vec![0, 1]
         );
+        assert_eq!(decoded.tables[0].main_rows, 2);
         assert_eq!(decoded.telemetry, state.telemetry);
+        assert_eq!(decoded.acked_tokens, state.acked_tokens);
     }
 
     #[test]
@@ -298,5 +374,6 @@ mod tests {
         assert!(decoded.tables.is_empty());
         assert!(decoded.partitionings.is_empty());
         assert!(decoded.telemetry.is_empty());
+        assert!(decoded.acked_tokens.is_empty());
     }
 }

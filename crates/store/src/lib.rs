@@ -38,9 +38,10 @@ pub mod wal;
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultDecision, FaultInjector, FaultSite};
 pub use image::{
-    PartitioningImage, SpecImage, StoreState, StrategyKind, TableImage, TelemetryImage,
+    AckImage, AckKind, PartitioningImage, SpecImage, StoreState, StrategyKind, TableImage,
+    TelemetryImage,
 };
-pub use replay::ReplayStats;
+pub use replay::{MaintenancePolicy, ReplayStats};
 pub use wal::{WalOp, WalRecord};
 
 use paq_exec::ThreadPool;
@@ -78,6 +79,12 @@ pub struct StoreConfig {
     /// Optional fault injector consulted before each durability-critical
     /// file operation. `None` (the default) is the production path.
     pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Delta-aware maintenance policy mirrored from the engine. When
+    /// set, replay absorbs logged appends by patching snapshot
+    /// partitionings in place (instead of dropping them) until the
+    /// per-table delta crosses the threshold — the same decision the
+    /// live engine made, so recovery republishes identical state.
+    pub maintenance: Option<MaintenancePolicy>,
 }
 
 impl StoreConfig {
@@ -87,6 +94,7 @@ impl StoreConfig {
             dir: dir.into(),
             sync: SyncPolicy::default(),
             injector: None,
+            maintenance: None,
         }
     }
 }
@@ -125,6 +133,9 @@ pub struct RecoveredState {
     /// Snapshot partitionings dropped because their table moved past
     /// the version they were built against.
     pub partitionings_dropped: u64,
+    /// Snapshot partitionings patched in place for absorbed appends
+    /// during replay (delta-aware maintenance only).
+    pub partitionings_patched: u64,
 }
 
 /// An open durable store: one WAL file plus at most one snapshot,
@@ -214,7 +225,8 @@ impl Store {
             .filter(|r| r.lsn > snapshot_lsn)
             .collect();
         let replayed = suffix.len() as u64;
-        let (state, replay_stats) = replay::replay(snapshot_state, suffix, pool)?;
+        let (state, replay_stats) =
+            replay::replay(snapshot_state, suffix, pool, config.maintenance)?;
 
         let store = Store {
             dir: config.dir,
@@ -237,6 +249,7 @@ impl Store {
                 wal_replayed_records: replayed,
                 wal_tail_dropped_bytes: scan.dropped_bytes,
                 partitionings_dropped: replay_stats.partitionings_dropped as u64,
+                partitionings_patched: replay_stats.partitionings_patched as u64,
             },
         ))
     }
@@ -417,6 +430,7 @@ mod tests {
                     op: WalOp::RegisterTable {
                         name: "T".into(),
                         table: tiny_table(&[1, 2]),
+                        token: None,
                     },
                 })
                 .unwrap();
@@ -426,6 +440,7 @@ mod tests {
                     op: WalOp::AppendRow {
                         name: "T".into(),
                         row: vec![Value::Int(3)],
+                        token: None,
                     },
                 })
                 .unwrap();
@@ -449,6 +464,7 @@ mod tests {
                     op: WalOp::RegisterTable {
                         name: "T".into(),
                         table: tiny_table(&[1]),
+                        token: None,
                     },
                 })
                 .unwrap();
@@ -458,9 +474,11 @@ mod tests {
                     name: "T".into(),
                     version: 1,
                     table: tiny_table(&[1]),
+                    main_rows: 1,
                 }],
                 partitionings: Vec::new(),
                 telemetry: Vec::new(),
+                acked_tokens: Vec::new(),
             };
             let size = store.snapshot(&state).unwrap();
             assert!(size > 0);
@@ -472,6 +490,7 @@ mod tests {
                     op: WalOp::AppendRow {
                         name: "T".into(),
                         row: vec![Value::Int(2)],
+                        token: None,
                     },
                 })
                 .unwrap();
@@ -496,6 +515,7 @@ mod tests {
                         op: WalOp::RegisterTable {
                             name: format!("T{lsn}"),
                             table: tiny_table(&[lsn as i64]),
+                            token: None,
                         },
                     })
                     .unwrap();
@@ -528,6 +548,7 @@ mod tests {
                         op: WalOp::RegisterTable {
                             name: format!("T{lsn}"),
                             table: tiny_table(&[lsn as i64]),
+                            token: None,
                         },
                     })
                     .unwrap();

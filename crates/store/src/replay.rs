@@ -10,14 +10,37 @@
 //! This is the multicore-recovery idea from "Fast Failure Recovery for
 //! Main-Memory DBMSs on Multicores" applied at table granularity, which
 //! matches how the engine partitions work generally.
+//!
+//! # Delta-aware maintenance
+//!
+//! With a [`MaintenancePolicy`], replay replicates the engine's
+//! delta-absorb decisions instead of dropping every partitioning whose
+//! table saw an append: each absorbed `AppendRow` patches the table's
+//! snapshot partitionings in place (`Partitioning::patch_append`, the
+//! same pure routine the live path runs) and re-stamps them at the
+//! record's LSN, while an append that pushes the delta past
+//! `delta_threshold` merges (resets `main_rows` to the full row count)
+//! and drops the now-stale partitionings. Because both the live engine
+//! and replay make the decision purely from the append count, a
+//! recovered store holds bit-identical partitionings to the session
+//! that crashed.
 
 use paq_exec::ThreadPool;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::error::{StoreError, StoreResult};
-use crate::image::{StoreState, TableImage};
+use crate::image::{AckImage, AckKind, PartitioningImage, StoreState, TableImage};
 use crate::wal::{WalOp, WalRecord};
+
+/// Delta-aware maintenance policy mirrored from the engine config, so
+/// replay makes the same absorb-vs-merge decision the live path made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    /// Maximum absorbed delta (rows past `main_rows`) before an append
+    /// merges instead of patching.
+    pub delta_threshold: u64,
+}
 
 /// Counters describing one replay pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,8 +50,12 @@ pub struct ReplayStats {
     /// Distinct tables the records touched.
     pub tables_touched: usize,
     /// Snapshot partitionings dropped because their table was mutated
-    /// or dropped after the snapshot (their version no longer matches).
+    /// or dropped after the snapshot (their version no longer matches),
+    /// or because the absorbed delta crossed the maintenance threshold.
     pub partitionings_dropped: usize,
+    /// Snapshot partitionings patched in place for absorbed appends
+    /// (counted once per partitioning-append pair).
+    pub partitionings_patched: usize,
 }
 
 fn catalog_key(name: &str) -> String {
@@ -36,20 +63,31 @@ fn catalog_key(name: &str) -> String {
 }
 
 /// Fold one table's record chain (already in LSN order) over its
-/// snapshot image, producing the final image (`None` if dropped).
-fn fold_chain(start: Option<TableImage>, chain: &[WalRecord]) -> StoreResult<Option<TableImage>> {
+/// snapshot image and partitionings, producing the final image (`None`
+/// if dropped), the surviving partitionings, and patch/drop counters.
+fn fold_chain(
+    start: Option<TableImage>,
+    mut partitionings: Vec<PartitioningImage>,
+    chain: &[WalRecord],
+    policy: Option<MaintenancePolicy>,
+) -> StoreResult<(Option<TableImage>, Vec<PartitioningImage>, usize, usize)> {
     let mut current = start;
+    let mut patched = 0usize;
+    let mut dropped = 0usize;
     for record in chain {
         let lsn = record.lsn;
         match &record.op {
-            WalOp::RegisterTable { name, table } | WalOp::MutateTable { name, table } => {
+            WalOp::RegisterTable { name, table, .. } | WalOp::MutateTable { name, table } => {
                 current = Some(TableImage {
                     name: name.clone(),
                     version: lsn,
                     table: Arc::clone(table),
+                    main_rows: table.num_rows() as u64,
                 });
+                dropped += partitionings.len();
+                partitionings.clear();
             }
-            WalOp::AppendRow { name, row } => {
+            WalOp::AppendRow { name, row, .. } => {
                 let image = current.as_mut().ok_or_else(|| StoreError::Replay {
                     detail: format!(
                         "AppendRow at LSN {lsn} targets '{name}', which no snapshot or \
@@ -62,32 +100,92 @@ fn fold_chain(start: Option<TableImage>, chain: &[WalRecord]) -> StoreResult<Opt
                         detail: format!("AppendRow at LSN {lsn} on '{name}' does not apply: {e}"),
                     })?;
                 image.version = lsn;
+                let rows = image.table.num_rows() as u64;
+                match policy {
+                    Some(policy)
+                        if rows.saturating_sub(image.main_rows) <= policy.delta_threshold =>
+                    {
+                        // Absorb: patch every surviving partitioning
+                        // with the new last row, exactly as the live
+                        // engine patched its cache entries.
+                        let row_idx = image.table.num_rows() - 1;
+                        partitionings.retain_mut(|p| {
+                            let mut patched_p = (*p.partitioning).clone();
+                            if patched_p.patch_append(&image.table, row_idx).is_ok() {
+                                p.partitioning = Arc::new(patched_p);
+                                p.version = lsn;
+                                patched += 1;
+                                true
+                            } else {
+                                dropped += 1;
+                                false
+                            }
+                        });
+                    }
+                    Some(_) => {
+                        // Merge: the delta crossed the threshold; the
+                        // base build moves to the full row count and
+                        // patched partitionings are rebuilt on demand.
+                        image.main_rows = rows;
+                        dropped += partitionings.len();
+                        partitionings.clear();
+                    }
+                    None => {
+                        // Maintenance off: main == the whole table, and
+                        // the final version filter drops partitionings
+                        // exactly as before.
+                        image.main_rows = rows;
+                    }
+                }
             }
             WalOp::DropTable { .. } => {
                 current = None;
+                dropped += partitionings.len();
+                partitionings.clear();
             }
         }
     }
-    Ok(current)
+    Ok((current, partitionings, patched, dropped))
 }
 
 /// Replay `records` (file order = LSN order) over `snapshot`, folding
 /// per-table chains on `pool` when one is provided (falls back to
-/// sequential otherwise). Returns the recovered state and counters.
+/// sequential otherwise). With a [`MaintenancePolicy`], absorbed
+/// appends patch snapshot partitionings in place instead of dropping
+/// them. Returns the recovered state and counters.
 pub fn replay(
     snapshot: StoreState,
     records: Vec<WalRecord>,
     pool: Option<&ThreadPool>,
+    policy: Option<MaintenancePolicy>,
 ) -> StoreResult<(StoreState, ReplayStats)> {
     let StoreState {
         last_version,
         tables,
         partitionings,
         telemetry,
+        mut acked_tokens,
     } = snapshot;
 
     let record_count = records.len();
     let max_lsn = records.last().map(|r| r.lsn).unwrap_or(0);
+
+    // Acked idempotency tokens ride on the records themselves; the WAL
+    // suffix strictly follows the snapshot, so appending keeps the list
+    // in version order with no duplicates.
+    for record in &records {
+        if let Some(token) = record.op.token() {
+            let kind = match record.op {
+                WalOp::RegisterTable { .. } => AckKind::Register,
+                _ => AckKind::Append,
+            };
+            acked_tokens.push(AckImage {
+                token,
+                version: record.lsn,
+                kind,
+            });
+        }
+    }
 
     // Partition the log by table key, preserving LSN order per chain.
     let mut chains: BTreeMap<String, Vec<WalRecord>> = BTreeMap::new();
@@ -99,34 +197,62 @@ pub fn replay(
     }
     let tables_touched = chains.len();
 
-    // Seed every chain with its snapshot image; untouched tables pass
-    // through unchanged.
+    // Seed every chain with its snapshot image and partitionings;
+    // untouched tables (and their partitionings) pass through unchanged.
     let mut images: BTreeMap<String, TableImage> = tables
         .into_iter()
         .map(|t| (catalog_key(&t.name), t))
         .collect();
-    let work: Vec<(String, Option<TableImage>, Vec<WalRecord>)> = chains
+    let mut parts_by_table: BTreeMap<String, Vec<PartitioningImage>> = BTreeMap::new();
+    let mut untouched_parts = Vec::new();
+    for p in partitionings {
+        if chains.contains_key(&p.table_key) {
+            parts_by_table
+                .entry(p.table_key.clone())
+                .or_default()
+                .push(p);
+        } else {
+            untouched_parts.push(p);
+        }
+    }
+    // One chain's replay input: (table key, snapshot image, its
+    // snapshot partitionings, its WAL records in LSN order).
+    type Chain = (
+        String,
+        Option<TableImage>,
+        Vec<PartitioningImage>,
+        Vec<WalRecord>,
+    );
+    let work: Vec<Chain> = chains
         .into_iter()
         .map(|(key, chain)| {
             let start = images.remove(&key);
-            (key, start, chain)
+            let parts = parts_by_table.remove(&key).unwrap_or_default();
+            (key, start, parts, chain)
         })
         .collect();
 
     // Fold the chains — in parallel when a pool is available. The
     // pool's `map` is ordered, so output order (and therefore the whole
     // recovered state) is identical at every thread count.
-    let folded: Vec<(String, StoreResult<Option<TableImage>>)> = match pool {
-        Some(pool) if pool.threads() > 1 => {
-            pool.map(work, |(key, start, chain)| (key, fold_chain(start, &chain)))
-        }
+    type Folded = StoreResult<(Option<TableImage>, Vec<PartitioningImage>, usize, usize)>;
+    let folded: Vec<(String, Folded)> = match pool {
+        Some(pool) if pool.threads() > 1 => pool.map(work, move |(key, start, parts, chain)| {
+            (key, fold_chain(start, parts, &chain, policy))
+        }),
         _ => work
             .into_iter()
-            .map(|(key, start, chain)| (key, fold_chain(start, &chain)))
+            .map(|(key, start, parts, chain)| (key, fold_chain(start, parts, &chain, policy)))
             .collect(),
     };
+    let mut replayed_parts = untouched_parts;
+    let mut partitionings_patched = 0usize;
+    let mut partitionings_dropped = 0usize;
     for (key, result) in folded {
-        match result? {
+        let (image, parts, patched, dropped) = result?;
+        partitionings_patched += patched;
+        partitionings_dropped += dropped;
+        match image {
             Some(image) => {
                 images.insert(key, image);
             }
@@ -134,12 +260,14 @@ pub fn replay(
                 images.remove(&key);
             }
         }
+        replayed_parts.extend(parts);
     }
 
     // A partitioning survives only if its table still exists at the
-    // exact version it was built against.
-    let before = partitionings.len();
-    let partitionings: Vec<_> = partitionings
+    // exact version it was built against (absorbed appends re-stamped
+    // patched partitionings, so they pass).
+    let before = replayed_parts.len();
+    let partitionings: Vec<_> = replayed_parts
         .into_iter()
         .filter(|p| {
             images
@@ -147,13 +275,14 @@ pub fn replay(
                 .is_some_and(|img| img.version == p.version)
         })
         .collect();
-    let partitionings_dropped = before - partitionings.len();
+    partitionings_dropped += before - partitionings.len();
 
     let state = StoreState {
         last_version: last_version.max(max_lsn),
         tables: images.into_values().collect(),
         partitionings,
         telemetry,
+        acked_tokens,
     };
     Ok((
         state,
@@ -161,6 +290,7 @@ pub fn replay(
             records: record_count,
             tables_touched,
             partitionings_dropped,
+            partitionings_patched,
         },
     ))
 }
@@ -168,7 +298,7 @@ pub fn replay(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::image::{PartitioningImage, SpecImage};
+    use crate::image::SpecImage;
     use paq_partition::{Group, Partitioning};
     use paq_relational::{DataType, Schema, Table, Value};
     use std::time::Duration;
@@ -188,37 +318,56 @@ mod tests {
                 name: name.into(),
                 version,
                 table: table_with(vals),
+                main_rows: vals.len() as u64,
             }],
             partitionings: Vec::new(),
             telemetry: Vec::new(),
+            acked_tokens: Vec::new(),
+        }
+    }
+
+    fn append(lsn: u64, name: &str, v: i64) -> WalRecord {
+        WalRecord {
+            lsn,
+            op: WalOp::AppendRow {
+                name: name.into(),
+                row: vec![Value::Int(v)],
+                token: None,
+            },
+        }
+    }
+
+    fn part(key: &str, version: u64, rows: Vec<usize>) -> PartitioningImage {
+        let rep = rows.iter().map(|&r| r as f64).sum::<f64>() / rows.len().max(1) as f64;
+        PartitioningImage {
+            table_key: key.into(),
+            version,
+            attributes: vec!["x".into()],
+            spec: SpecImage::BySize { tau: 4 },
+            partitioning: Arc::new(Partitioning {
+                attributes: vec!["x".into()],
+                groups: vec![Group {
+                    gid: 1,
+                    rows,
+                    representative: vec![rep],
+                    radius: 0.0,
+                }],
+                build_time: Duration::ZERO,
+            }),
         }
     }
 
     #[test]
     fn appends_fold_in_lsn_order() {
         let snap = snapshot_with_table("T", 1, &[1]);
-        let records = vec![
-            WalRecord {
-                lsn: 2,
-                op: WalOp::AppendRow {
-                    name: "T".into(),
-                    row: vec![Value::Int(2)],
-                },
-            },
-            WalRecord {
-                lsn: 3,
-                op: WalOp::AppendRow {
-                    name: "t".into(), // case-insensitive key
-                    row: vec![Value::Int(3)],
-                },
-            },
-        ];
-        let (state, stats) = replay(snap, records, None).unwrap();
+        let records = vec![append(2, "T", 2), append(3, "t", 3)]; // case-insensitive key
+        let (state, stats) = replay(snap, records, None, None).unwrap();
         assert_eq!(state.last_version, 3);
         assert_eq!(stats.records, 2);
         assert_eq!(stats.tables_touched, 1);
         assert_eq!(state.tables.len(), 1);
         assert_eq!(state.tables[0].version, 3);
+        assert_eq!(state.tables[0].main_rows, 3, "maintenance off: main == all");
         assert_eq!(*state.tables[0].table, *table_with(&[1, 2, 3]));
     }
 
@@ -230,6 +379,7 @@ mod tests {
                 op: WalOp::RegisterTable {
                     name: "T".into(),
                     table: table_with(&[1]),
+                    token: None,
                 },
             },
             WalRecord {
@@ -241,10 +391,11 @@ mod tests {
                 op: WalOp::RegisterTable {
                     name: "T".into(),
                     table: table_with(&[9, 9]),
+                    token: None,
                 },
             },
         ];
-        let (state, _) = replay(StoreState::default(), records, None).unwrap();
+        let (state, _) = replay(StoreState::default(), records, None, None).unwrap();
         assert_eq!(state.tables.len(), 1);
         assert_eq!(state.tables[0].version, 3);
         assert_eq!(*state.tables[0].table, *table_with(&[9, 9]));
@@ -252,14 +403,8 @@ mod tests {
 
     #[test]
     fn append_to_unknown_table_is_a_replay_error() {
-        let records = vec![WalRecord {
-            lsn: 1,
-            op: WalOp::AppendRow {
-                name: "ghost".into(),
-                row: vec![Value::Int(1)],
-            },
-        }];
-        let err = replay(StoreState::default(), records, None).unwrap_err();
+        let records = vec![append(1, "ghost", 1)];
+        let err = replay(StoreState::default(), records, None, None).unwrap_err();
         assert!(matches!(err, StoreError::Replay { .. }), "{err}");
     }
 
@@ -270,43 +415,92 @@ mod tests {
             name: "U".into(),
             version: 1,
             table: table_with(&[5]),
+            main_rows: 1,
         });
-        let part = |key: &str, version: u64| PartitioningImage {
-            table_key: key.into(),
-            version,
-            attributes: vec!["x".into()],
-            spec: SpecImage::BySize { tau: 4 },
-            partitioning: Arc::new(Partitioning {
-                attributes: vec!["x".into()],
-                groups: vec![Group {
-                    gid: 0,
-                    rows: vec![0],
-                    representative: vec![1.0],
-                    radius: 0.0,
-                }],
-                build_time: Duration::ZERO,
-            }),
-        };
-        snap.partitionings = vec![part("t", 1), part("u", 1)];
+        snap.partitionings = vec![part("t", 1, vec![0]), part("u", 1, vec![0])];
         // Mutate T after the snapshot; U stays untouched.
-        let records = vec![WalRecord {
-            lsn: 2,
-            op: WalOp::AppendRow {
-                name: "T".into(),
-                row: vec![Value::Int(2)],
-            },
-        }];
-        let (state, stats) = replay(snap, records, None).unwrap();
+        let records = vec![append(2, "T", 2)];
+        let (state, stats) = replay(snap, records, None, None).unwrap();
         assert_eq!(stats.partitionings_dropped, 1);
         assert_eq!(state.partitionings.len(), 1);
         assert_eq!(state.partitionings[0].table_key, "u");
     }
 
     #[test]
+    fn maintenance_policy_patches_partitionings_for_absorbed_appends() {
+        let mut snap = snapshot_with_table("T", 1, &[1, 2]);
+        snap.partitionings = vec![part("t", 1, vec![0, 1])];
+        let records = vec![append(2, "T", 3), append(3, "T", 4)];
+        let policy = Some(MaintenancePolicy { delta_threshold: 8 });
+        let (state, stats) = replay(snap, records, None, policy).unwrap();
+        assert_eq!(stats.partitionings_patched, 2);
+        assert_eq!(stats.partitionings_dropped, 0);
+        assert_eq!(state.partitionings.len(), 1);
+        let p = &state.partitionings[0];
+        assert_eq!(p.version, 3, "patched partitioning re-stamped at the LSN");
+        assert_eq!(p.partitioning.groups[0].rows, vec![0, 1, 2, 3]);
+        assert!(p.partitioning.is_disjoint_cover(4));
+        assert_eq!(state.tables[0].main_rows, 2, "base build unchanged");
+    }
+
+    #[test]
+    fn maintenance_policy_merges_past_the_threshold() {
+        let mut snap = snapshot_with_table("T", 1, &[1, 2]);
+        snap.partitionings = vec![part("t", 1, vec![0, 1])];
+        let records = vec![append(2, "T", 3), append(3, "T", 4), append(4, "T", 5)];
+        let policy = Some(MaintenancePolicy { delta_threshold: 2 });
+        let (state, stats) = replay(snap, records, None, policy).unwrap();
+        // Two absorbs, then the third append crosses the threshold.
+        assert_eq!(stats.partitionings_patched, 2);
+        assert_eq!(stats.partitionings_dropped, 1);
+        assert!(state.partitionings.is_empty());
+        assert_eq!(state.tables[0].main_rows, 5, "merge resets the base");
+    }
+
+    #[test]
+    fn acked_tokens_are_collected_from_snapshot_and_wal() {
+        let mut snap = snapshot_with_table("T", 1, &[1]);
+        snap.acked_tokens = vec![AckImage {
+            token: 0xA,
+            version: 1,
+            kind: AckKind::Register,
+        }];
+        let records = vec![
+            WalRecord {
+                lsn: 2,
+                op: WalOp::AppendRow {
+                    name: "T".into(),
+                    row: vec![Value::Int(2)],
+                    token: Some(0xB),
+                },
+            },
+            append(3, "T", 3), // tokenless append adds nothing
+        ];
+        let (state, _) = replay(snap, records, None, None).unwrap();
+        assert_eq!(
+            state.acked_tokens,
+            vec![
+                AckImage {
+                    token: 0xA,
+                    version: 1,
+                    kind: AckKind::Register
+                },
+                AckImage {
+                    token: 0xB,
+                    version: 2,
+                    kind: AckKind::Append
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn parallel_replay_is_deterministic() {
         // Many tables, interleaved mutations; 1-thread and 4-thread
-        // replays must produce identical states.
+        // replays must produce identical states — including patched
+        // partitionings under a maintenance policy.
         let mut records = Vec::new();
+        let mut snap = StoreState::default();
         let mut lsn = 0;
         for round in 0..3 {
             for t in 0..6 {
@@ -318,28 +512,28 @@ mod tests {
                         op: WalOp::RegisterTable {
                             name,
                             table: table_with(&[t as i64]),
+                            token: None,
                         },
                     });
                 } else {
-                    records.push(WalRecord {
-                        lsn,
-                        op: WalOp::AppendRow {
-                            name,
-                            row: vec![Value::Int(round * 100 + t as i64)],
-                        },
-                    });
+                    records.push(append(lsn, &name, round * 100 + t as i64));
                 }
             }
         }
+        snap.partitionings = vec![part("tab2", 0, vec![0])]; // dropped: re-registered
+        let policy = Some(MaintenancePolicy { delta_threshold: 4 });
         let pool = ThreadPool::new(4);
-        let (seq, _) = replay(StoreState::default(), records.clone(), None).unwrap();
-        let (par, _) = replay(StoreState::default(), records, Some(&pool)).unwrap();
+        let (seq, seq_stats) = replay(snap.clone(), records.clone(), None, policy).unwrap();
+        let (par, par_stats) = replay(snap, records, Some(&pool), policy).unwrap();
+        assert_eq!(seq_stats, par_stats);
         assert_eq!(seq.last_version, par.last_version);
         assert_eq!(seq.tables.len(), par.tables.len());
         for (a, b) in seq.tables.iter().zip(par.tables.iter()) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.version, b.version);
+            assert_eq!(a.main_rows, b.main_rows);
             assert_eq!(*a.table, *b.table);
         }
+        assert_eq!(seq.partitionings.len(), par.partitionings.len());
     }
 }

@@ -4,7 +4,7 @@
 //! # File layout
 //!
 //! ```text
-//! [8-byte magic "PAQSNAP1"][u64 body_len][u32 crc32(body)][body]
+//! [8-byte magic "PAQSNAP2"][u64 body_len][u32 crc32(body)][body]
 //! body = encode_state(StoreState)
 //! ```
 //!
@@ -29,8 +29,11 @@ use crate::error::{StoreError, StoreResult};
 use crate::fault::{FaultDecision, FaultInjector, FaultSite};
 use crate::image::{decode_state, encode_state, StoreState};
 
-/// Magic bytes opening every snapshot file.
-pub const SNAP_MAGIC: &[u8; 8] = b"PAQSNAP1";
+/// Magic bytes opening every snapshot file. The trailing digit
+/// versions the body encoding: `2` added per-table `main_rows` and the
+/// acked-token list; older snapshots fail with a clear bad-magic error
+/// rather than misdecoding.
+pub const SNAP_MAGIC: &[u8; 8] = b"PAQSNAP2";
 
 /// File name for the snapshot taken at `lsn`.
 pub fn snapshot_file_name(lsn: u64) -> String {
@@ -198,9 +201,11 @@ mod tests {
                 name: "T".into(),
                 version: last_version,
                 table: Arc::new(t),
+                main_rows: 1,
             }],
             partitionings: Vec::new(),
             telemetry: Vec::new(),
+            acked_tokens: Vec::new(),
         }
     }
 

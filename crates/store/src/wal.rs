@@ -33,8 +33,9 @@ use crate::codec::{
 use crate::error::{StoreError, StoreResult};
 
 /// Magic bytes opening every WAL file; the trailing digits version the
-/// record format.
-pub const WAL_MAGIC: &[u8; 8] = b"PAQWAL01";
+/// record format (02 added the idempotency-token byte to mutation
+/// records).
+pub const WAL_MAGIC: &[u8; 8] = b"PAQWAL02";
 
 /// Upper bound on a single record's payload (1 GiB). A fully present
 /// record claiming more is corruption, not a big table.
@@ -49,6 +50,10 @@ pub enum WalOp {
         name: String,
         /// Full table contents at registration.
         table: Arc<Table>,
+        /// Client idempotency token acked for this mutation, if any —
+        /// persisted so a retry that straddles a crash+recover is still
+        /// deduplicated instead of applied twice.
+        token: Option<u64>,
     },
     /// A single row was appended to `name` — the common small-delta
     /// case, logged as the row alone rather than a full after-image.
@@ -57,6 +62,8 @@ pub enum WalOp {
         name: String,
         /// The appended row.
         row: Vec<Value>,
+        /// Client idempotency token acked for this mutation, if any.
+        token: Option<u64>,
     },
     /// A general mutation of `name`, logged as the full after-image.
     MutateTable {
@@ -82,6 +89,36 @@ impl WalOp {
             | WalOp::DropTable { name } => name,
         }
     }
+
+    /// The idempotency token acked for this mutation, if one was
+    /// carried (only register/append mutations carry tokens).
+    pub fn token(&self) -> Option<u64> {
+        match self {
+            WalOp::RegisterTable { token, .. } | WalOp::AppendRow { token, .. } => *token,
+            _ => None,
+        }
+    }
+}
+
+/// Append an optional token as a presence byte plus the value.
+fn put_token(out: &mut Vec<u8>, token: Option<u64>) {
+    match token {
+        Some(t) => {
+            put_u8(out, 1);
+            put_u64(out, t);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn read_token(cur: &mut Cursor<'_>) -> StoreResult<Option<u64>> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.u64()?)),
+        other => Err(StoreError::malformed(format!(
+            "token presence byte must be 0 or 1, got {other}"
+        ))),
+    }
 }
 
 /// One WAL record: a log sequence number (the catalog version the
@@ -100,18 +137,20 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
     let mut payload = Vec::new();
     put_u64(&mut payload, record.lsn);
     match &record.op {
-        WalOp::RegisterTable { name, table } => {
+        WalOp::RegisterTable { name, table, token } => {
             put_u8(&mut payload, 1);
             put_str(&mut payload, name);
             encode_table(&mut payload, table);
+            put_token(&mut payload, *token);
         }
-        WalOp::AppendRow { name, row } => {
+        WalOp::AppendRow { name, row, token } => {
             put_u8(&mut payload, 2);
             put_str(&mut payload, name);
             put_u32(&mut payload, row.len() as u32);
             for v in row {
                 put_value(&mut payload, v);
             }
+            put_token(&mut payload, *token);
         }
         WalOp::MutateTable { name, table } => {
             put_u8(&mut payload, 3);
@@ -136,10 +175,12 @@ pub fn decode_payload(payload: &[u8]) -> StoreResult<WalRecord> {
     let lsn = cur.u64()?;
     let kind = cur.u8()?;
     let op = match kind {
-        1 => WalOp::RegisterTable {
-            name: cur.str()?,
-            table: Arc::new(decode_table(&mut cur)?),
-        },
+        1 => {
+            let name = cur.str()?;
+            let table = Arc::new(decode_table(&mut cur)?);
+            let token = read_token(&mut cur)?;
+            WalOp::RegisterTable { name, table, token }
+        }
         2 => {
             let name = cur.str()?;
             let n = cur.count(1)?;
@@ -147,7 +188,8 @@ pub fn decode_payload(payload: &[u8]) -> StoreResult<WalRecord> {
             for _ in 0..n {
                 row.push(cur.value()?);
             }
-            WalOp::AppendRow { name, row }
+            let token = read_token(&mut cur)?;
+            WalOp::AppendRow { name, row, token }
         }
         3 => WalOp::MutateTable {
             name: cur.str()?,
@@ -281,6 +323,7 @@ mod tests {
                 op: WalOp::RegisterTable {
                     name: "T".into(),
                     table: tiny_table(),
+                    token: None,
                 },
             },
             WalRecord {
@@ -288,6 +331,7 @@ mod tests {
                 op: WalOp::AppendRow {
                     name: "T".into(),
                     row: vec![Value::Int(9)],
+                    token: Some(0xAB_CDEF),
                 },
             },
             WalRecord {
@@ -310,6 +354,8 @@ mod tests {
         assert_eq!(scan.valid_len, bytes.len() as u64);
         assert_eq!(scan.dropped_bytes, 0);
         assert!(matches!(scan.records[1].op, WalOp::AppendRow { .. }));
+        assert_eq!(scan.records[0].op.token(), None);
+        assert_eq!(scan.records[1].op.token(), Some(0xAB_CDEF));
         assert_eq!(scan.records[2].lsn, 3);
     }
 

@@ -28,6 +28,7 @@ fn seeded_dir(tag: &str) -> PathBuf {
                 op: WalOp::RegisterTable {
                     name: format!("tab{lsn}"),
                     table: Arc::new(galaxy_table(20 + lsn as usize, lsn)),
+                    token: None,
                 },
             })
             .unwrap();
@@ -126,6 +127,7 @@ fn snapshot_damage_is_a_typed_error_not_a_fallback() {
                 op: WalOp::RegisterTable {
                     name: "G".into(),
                     table: Arc::new(galaxy_table(50, 2)),
+                    token: None,
                 },
             })
             .unwrap();
@@ -135,9 +137,11 @@ fn snapshot_damage_is_a_typed_error_not_a_fallback() {
                 name: "G".into(),
                 version: 1,
                 table: Arc::new(galaxy_table(50, 2)),
+                main_rows: 50,
             }],
             partitionings: Vec::new(),
             telemetry: Vec::new(),
+            acked_tokens: Vec::new(),
         };
         store.snapshot(&state).unwrap();
         snap_path = dir.join("snap-0000000000000001.paq");
@@ -195,6 +199,7 @@ fn append_failure_poisons_the_store() {
         op: WalOp::RegisterTable {
             name: "big".into(),
             table: big,
+            token: None,
         },
     });
     if first.is_err() {

@@ -54,6 +54,7 @@ fn sample_state(rows: usize, seed: u64) -> StoreState {
             name: "Galaxy".into(),
             version: 5,
             table,
+            main_rows: rows as u64,
         }],
         partitionings: vec![PartitioningImage {
             table_key: "galaxy".into(),
@@ -80,6 +81,7 @@ fn sample_state(rows: usize, seed: u64) -> StoreState {
                 cost_nanos: 9_000_000,
             },
         ],
+        acked_tokens: Vec::new(),
     }
 }
 
@@ -89,6 +91,7 @@ fn assert_states_equal(a: &StoreState, b: &StoreState) {
     for (x, y) in a.tables.iter().zip(&b.tables) {
         assert_eq!(x.name, y.name);
         assert_eq!(x.version, y.version);
+        assert_eq!(x.main_rows, y.main_rows);
         assert_eq!(*x.table, *y.table, "table '{}' differs", x.name);
     }
     assert_eq!(a.partitionings.len(), b.partitionings.len());
@@ -107,6 +110,7 @@ fn assert_states_equal(a: &StoreState, b: &StoreState) {
         }
     }
     assert_eq!(a.telemetry, b.telemetry);
+    assert_eq!(a.acked_tokens, b.acked_tokens);
 }
 
 #[test]
@@ -124,6 +128,7 @@ fn snapshot_plus_wal_recovers_identically_at_1_and_4_threads() {
                 op: WalOp::RegisterTable {
                     name: "Extra".into(),
                     table: Arc::clone(&extra),
+                    token: None,
                 },
             })
             .unwrap();
@@ -133,6 +138,7 @@ fn snapshot_plus_wal_recovers_identically_at_1_and_4_threads() {
                 op: WalOp::AppendRow {
                     name: "Extra".into(),
                     row: extra.row(0),
+                    token: None,
                 },
             })
             .unwrap();
@@ -170,6 +176,7 @@ fn wal_only_boot_matches_snapshot_boot() {
             op: WalOp::RegisterTable {
                 name: "Galaxy".into(),
                 table: Arc::clone(&galaxy),
+                token: None,
             },
         },
         WalRecord {
@@ -177,6 +184,7 @@ fn wal_only_boot_matches_snapshot_boot() {
             op: WalOp::AppendRow {
                 name: "Galaxy".into(),
                 row: galaxy.row(3),
+                token: None,
             },
         },
         WalRecord {
@@ -190,6 +198,7 @@ fn wal_only_boot_matches_snapshot_boot() {
             op: WalOp::RegisterTable {
                 name: "Galaxy".into(),
                 table: Arc::clone(&galaxy),
+                token: None,
             },
         },
     ];
@@ -214,9 +223,11 @@ fn wal_only_boot_matches_snapshot_boot() {
                 name: "Galaxy".into(),
                 version: 2,
                 table: mid,
+                main_rows: 121,
             }],
             partitionings: Vec::new(),
             telemetry: Vec::new(),
+            acked_tokens: Vec::new(),
         };
         store.snapshot(&mid_state).unwrap();
         for r in &records[2..] {
@@ -247,6 +258,7 @@ fn manual_sync_survives_clean_close() {
                 op: WalOp::RegisterTable {
                     name: "G".into(),
                     table: Arc::clone(&galaxy),
+                    token: None,
                 },
             })
             .unwrap();
@@ -271,6 +283,7 @@ fn many_values_of_every_type_round_trip() {
                 op: WalOp::RegisterTable {
                     name: "G".into(),
                     table: Arc::clone(&galaxy),
+                    token: None,
                 },
             })
             .unwrap();
@@ -281,6 +294,7 @@ fn many_values_of_every_type_round_trip() {
                 op: WalOp::AppendRow {
                     name: "G".into(),
                     row,
+                    token: None,
                 },
             })
             .unwrap();

@@ -100,8 +100,9 @@ pub use paq_store as store;
 pub mod prelude {
     pub use paq_core::{Direct, Evaluator, Package, QueryFeatures, SketchRefine};
     pub use paq_db::{
-        CacheOutcome, DbConfig, DbError, Durability, DurabilityStats, Execution, PackageDb, Route,
-        RouteReason, RouterConfig, RouterVerdict, Strategy, SyncPolicy,
+        CacheOutcome, DbConfig, DbError, Durability, DurabilityStats, Execution, MaintenanceConfig,
+        MaintenanceStats, PackageDb, Route, RouteReason, RouterConfig, RouterVerdict, Strategy,
+        SyncPolicy,
     };
     pub use paq_lang::{parse_paql, Paql, PaqlBuilder};
     pub use paq_partition::{PartitionConfig, Partitioner};
