@@ -22,6 +22,20 @@
 //!   absorbed, or the maintained answer diverged from a cold rebuild
 //!   of the same rows — the delta-maintenance contract, checked
 //!   structurally on every host;
+//! * the `observability` section is missing, either server-side
+//!   histogram (`queue_wait`, `handle`) lacks samples or ordered
+//!   p50 ≤ p90 ≤ p99 percentiles, queue-wait p50 exceeds handle p99
+//!   (waiting for a worker cannot dominate doing the work at this
+//!   bench's concurrency), or the Prometheus exposition failed to
+//!   round-trip — the observability contract, checked structurally on
+//!   every host;
+//! * observability overhead blew past [`MAX_OBS_OVERHEAD`]×: the
+//!   obs-on warm round-trip vs the obs-off control measured in the
+//!   same fresh run (same host, same process — much less noisy than a
+//!   cross-run comparison, so the limit is tighter than
+//!   [`MAX_REGRESSION`]; the design target of < 5% overhead is watched
+//!   via `obs_overhead_pct` in the step summary) — **skipped when the
+//!   fresh run's `host_cpus == 1`**;
 //! * a timing regressed more than [`MAX_REGRESSION`]× against the
 //!   committed snapshot: the warm server round-trip and the maintained
 //!   p50 query latency — **both skipped when the fresh run's
@@ -41,10 +55,52 @@ use paq_bench::Json;
 /// Warm round-trip may grow at most this factor vs the snapshot.
 const MAX_REGRESSION: f64 = 3.0;
 
+/// Obs-on warm round-trip may cost at most this factor of the obs-off
+/// control from the *same run*. Same host and process, so far tighter
+/// than [`MAX_REGRESSION`] — but still coarse enough (25%) that shared
+/// CI runners don't flake it; the < 5% design target is watched as
+/// `obs_overhead_pct` in the step summary, not gated.
+const MAX_OBS_OVERHEAD: f64 = 1.25;
+
 fn load(path: &str) -> Json {
     let raw = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
     Json::parse(&raw).unwrap_or_else(|e| panic!("bench_gate: {path} is not valid JSON: {e}"))
+}
+
+/// Pull one observability phase's `(p50, p90, p99)` out of the fresh
+/// artifact, recording every structural defect (missing histogram,
+/// zero samples, absent or unordered percentiles) into `failures`.
+fn phase_percentiles(
+    obs: &Json,
+    phase: &str,
+    failures: &mut Vec<String>,
+) -> Option<(f64, f64, f64)> {
+    let Some(h) = obs.get(phase) else {
+        failures.push(format!("observability.{phase} histogram missing"));
+        return None;
+    };
+    if h.get("count").and_then(Json::as_f64).unwrap_or(0.0) < 1.0 {
+        failures.push(format!(
+            "observability.{phase}.count is zero — the server phase recorded nothing"
+        ));
+    }
+    let pct = |key: &str| h.get(key).and_then(Json::as_f64);
+    match (pct("p50_ms"), pct("p90_ms"), pct("p99_ms")) {
+        (Some(p50), Some(p90), Some(p99)) => {
+            if !(p50 <= p90 && p90 <= p99) {
+                failures.push(format!(
+                    "observability.{phase} percentiles out of order \
+                     (p50 {p50} / p90 {p90} / p99 {p99})"
+                ));
+            }
+            Some((p50, p90, p99))
+        }
+        _ => {
+            failures.push(format!("observability.{phase} percentiles missing"));
+            None
+        }
+    }
 }
 
 fn main() {
@@ -160,6 +216,34 @@ fn main() {
         }
     }
 
+    // --- observability structure (never skipped) ----------------------
+    // The server phase runs with the registry on by default, so the
+    // wire snapshot must carry real server-side latency distributions:
+    // both histograms sampled, percentiles present and ordered, and the
+    // exposition format parsing back. The one cross-histogram sanity:
+    // at this bench's concurrency (one client, two workers) time spent
+    // waiting for a worker cannot exceed time spent doing the work.
+    match fresh.get("observability") {
+        None => failures.push("observability section missing from the fresh artifact".to_owned()),
+        Some(obs) => {
+            let queue_wait = phase_percentiles(obs, "queue_wait", &mut failures);
+            let handle = phase_percentiles(obs, "handle", &mut failures);
+            if let (Some((qw_p50, _, _)), Some((_, _, h_p99))) = (queue_wait, handle) {
+                if qw_p50 > h_p99 {
+                    failures.push(format!(
+                        "observability queue_wait p50 ({qw_p50}ms) exceeds handle p99 \
+                         ({h_p99}ms) — queue wait cannot dominate handling here"
+                    ));
+                }
+            }
+            if obs.get("prometheus_roundtrip_ok").and_then(Json::as_bool) != Some(true) {
+                failures.push(
+                    "Prometheus exposition did not round-trip to an identical snapshot".to_owned(),
+                );
+            }
+        }
+    }
+
     // --- timing gates (skipped on single-CPU runners) -----------------
     // Malformed artifacts must FAIL, never silently skip: a missing
     // host_cpus or datapoint would otherwise disable these gates
@@ -246,6 +330,52 @@ fn main() {
             } else {
                 failures.push(format!(
                     "snapshot maintained p50 is not positive ({snapshot_ms}ms)"
+                ));
+            }
+        }
+    }
+
+    // Observability overhead: obs-on vs the obs-off control, both from
+    // the FRESH run — an intra-run ratio, so the committed snapshot
+    // plays no part and host speed cancels out. Only time-slicing
+    // noise (single-CPU) invalidates it.
+    let obs_field = |key: &str| {
+        fresh
+            .get("observability")
+            .and_then(|o| o.get(key))
+            .and_then(Json::as_f64)
+    };
+    match (
+        obs_field("obs_on_warm_min_roundtrip_ms"),
+        obs_field("obs_off_warm_min_roundtrip_ms"),
+    ) {
+        (None, _) | (_, None) => {
+            failures.push(format!(
+                "observability warm round-trip datapoints missing (obs-on {:?}, obs-off {:?})",
+                obs_field("obs_on_warm_min_roundtrip_ms"),
+                obs_field("obs_off_warm_min_roundtrip_ms"),
+            ));
+        }
+        _ if single_cpu => {
+            println!("bench_gate: host_cpus == 1 — observability overhead gate skipped");
+        }
+        (Some(on_ms), Some(off_ms)) => {
+            if off_ms > 0.0 {
+                let factor = on_ms / off_ms;
+                println!(
+                    "bench_gate: observability overhead — obs-on warm {on_ms:.3}ms vs obs-off \
+                     {off_ms:.3}ms ({factor:.2}x, limit {MAX_OBS_OVERHEAD:.2}x)"
+                );
+                if factor > MAX_OBS_OVERHEAD {
+                    failures.push(format!(
+                        "observability overhead {factor:.2}x exceeds {MAX_OBS_OVERHEAD:.2}x \
+                         (obs-on warm {on_ms:.3}ms vs obs-off {off_ms:.3}ms): recording is \
+                         no longer cheap on the serve path"
+                    ));
+                }
+            } else {
+                failures.push(format!(
+                    "obs-off warm round-trip is not positive ({off_ms}ms)"
                 ));
             }
         }

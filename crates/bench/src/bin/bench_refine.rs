@@ -56,6 +56,16 @@
 //! the structure (hit rate > 0, identity) on every host and the p50
 //! only on multi-core runners.
 //!
+//! An eighth family closes the **observability** loop (`paq-obs`): the
+//! server phase's wire `Metrics` snapshot supplies server-side
+//! queue-wait and handle-time percentiles, the Prometheus exposition
+//! is round-tripped through its parser, and an obs-off control session
+//! re-measures the warm round trip over the same data — the spread
+//! between the two minima is the entire cost of the registry + span
+//! capture on the serve path. All of it lands in the `observability`
+//! section; `bench_gate` checks the structure on every host and the
+//! overhead ratio on multi-core runners only.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
@@ -70,7 +80,9 @@ use std::time::Duration;
 use paq_bench::bench_seed;
 use paq_core::SketchRefineReport;
 use paq_datagen::galaxy_table;
-use paq_db::{CacheOutcome, DbConfig, Durability, PackageDb, Route, RouterVerdict, Strategy};
+use paq_db::{
+    CacheOutcome, DbConfig, Durability, ObsConfig, PackageDb, Route, RouterVerdict, Strategy,
+};
 use paq_lang::{parse_paql, PackageQuery};
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::agg::{aggregate, AggFunc};
@@ -241,6 +253,10 @@ struct ServerLatency {
     warm_mean: Duration,
     server_evaluate_min: Duration,
     requests: u64,
+    /// Wire `Metrics` snapshot taken after the warm loop: carries the
+    /// server-side `server.queue_wait` / `server.handle` histograms for
+    /// the `observability` section (empty when obs is disabled).
+    metrics: paq_obs::RegistrySnapshot,
 }
 
 fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
@@ -290,6 +306,7 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
         warm_total += elapsed;
         server_evaluate_min = server_evaluate_min.min(answer.timings.evaluate);
     }
+    let metrics = client.metrics().expect("metrics snapshot over the wire");
     client.shutdown().expect("graceful shutdown");
     handle.shutdown();
     ServerLatency {
@@ -298,6 +315,7 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
         warm_mean: warm_total / reps as u32,
         server_evaluate_min,
         requests: 1 + reps,
+        metrics,
     }
 }
 
@@ -990,6 +1008,54 @@ fn main() {
         latency.server_evaluate_min.as_secs_f64() * 1e3,
     );
 
+    // --- observability: wire percentiles + obs-off control ------------
+    // The server phase above ran with observability on (the default);
+    // its wire snapshot carries the server-side latency histograms. The
+    // gate checks these structurally: present, ordered, and queue-wait
+    // not dominating handle time.
+    let hist_ms = |name: &str| {
+        let h = latency
+            .metrics
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} histogram missing from the wire snapshot"));
+        let ms = |nanos: Option<u64>| nanos.expect("histogram is non-empty") as f64 / 1e6;
+        (h.count, ms(h.p50()), ms(h.p90()), ms(h.p99()))
+    };
+    let (qw_count, qw_p50, qw_p90, qw_p99) = hist_ms("server.queue_wait");
+    let (h_count, h_p50, h_p90, h_p99) = hist_ms("server.handle");
+    let exposition = paq_obs::prometheus::render(&latency.metrics);
+    let prometheus_roundtrip_ok = paq_obs::prometheus::parse(&exposition)
+        .map(|parsed| paq_obs::prometheus::render(&parsed) == exposition)
+        .unwrap_or(false);
+
+    // Obs-off control: the same data and pinned query served from a
+    // session whose registry is disabled. The spread between the two
+    // warm minima is the entire cost of observability on the serve
+    // path — the "disabled registry is a no-op" guard.
+    let obs_off_db = PackageDb::with_config(DbConfig {
+        obs: ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        },
+        ..db_config.clone()
+    });
+    obs_off_db.register_table("Galaxy", recovery_table.clone());
+    let obs_off = measure_server(&obs_off_db, server_query, 20);
+    assert!(
+        obs_off.metrics == paq_obs::RegistrySnapshot::default(),
+        "disabled observability must snapshot empty over the wire"
+    );
+    let obs_overhead_pct =
+        (latency.warm_min.as_secs_f64() / obs_off.warm_min.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+    println!(
+        "observability: queue_wait p50/p90/p99 {qw_p50:.4}/{qw_p90:.4}/{qw_p99:.4}ms ({qw_count} samples), \
+         handle p50/p90/p99 {h_p50:.3}/{h_p90:.3}/{h_p99:.3}ms ({h_count} samples), \
+         Prometheus round-trip ok: {prometheus_roundtrip_ok}; \
+         obs-off warm min {:.3}ms vs obs-on {:.3}ms (overhead {obs_overhead_pct:+.2}%)",
+        obs_off.warm_min.as_secs_f64() * 1e3,
+        latency.warm_min.as_secs_f64() * 1e3,
+    );
+
     // --- cost-based router: warmed by everything above ----------------
     let probes = measure_router(&db, n, direct_n);
     // One snapshot AFTER the probes, used for both the console line and
@@ -1182,6 +1248,33 @@ fn main() {
         latency.server_evaluate_min.as_secs_f64() * 1e3,
     );
     json.push_str("},\n");
+    json.push_str("  \"observability\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"queue_wait\": {{\"count\": {qw_count}, \"p50_ms\": {qw_p50:.6}, \
+         \"p90_ms\": {qw_p90:.6}, \"p99_ms\": {qw_p99:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"handle\": {{\"count\": {h_count}, \"p50_ms\": {h_p50:.6}, \
+         \"p90_ms\": {h_p90:.6}, \"p99_ms\": {h_p99:.6}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"prometheus_roundtrip_ok\": {prometheus_roundtrip_ok},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"obs_on_warm_min_roundtrip_ms\": {:.3},",
+        latency.warm_min.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        json,
+        "    \"obs_off_warm_min_roundtrip_ms\": {:.3},",
+        obs_off.warm_min.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(json, "    \"obs_overhead_pct\": {obs_overhead_pct:.2}");
+    json.push_str("  },\n");
     json.push_str("  \"router\": {\n");
     let _ = writeln!(
         json,
@@ -1327,6 +1420,15 @@ fn main() {
     println!("wrote {out_path}");
 
     assert!(all_identical, "parallel REFINE diverged from sequential");
+    assert!(
+        prometheus_roundtrip_ok,
+        "the Prometheus exposition must parse back to an identical snapshot"
+    );
+    assert!(
+        qw_count >= 1 && h_count >= 1,
+        "server-side histograms must have recorded the bench traffic \
+         (queue_wait {qw_count}, handle {h_count})"
+    );
     assert!(
         recovery.warm_hit && recovery.partitionings_recovered >= 1,
         "recovered store must serve the partitioning as a warm cache hit \

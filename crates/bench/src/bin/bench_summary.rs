@@ -5,8 +5,41 @@
 //!
 //! Usage: `bench_summary [path]` (default `BENCH_refine.json`); the
 //! markdown goes to stdout.
+//!
+//! Top-level sections this binary doesn't know how to render are
+//! warn-listed on stderr instead of silently dropped: a new bench
+//! section that lands without a renderer here would otherwise vanish
+//! from the step summary and nobody would notice the gap.
 
 use paq_bench::Json;
+
+/// Every top-level key this renderer understands. A fresh artifact key
+/// outside this list triggers the unknown-section warning below — the
+/// reminder to teach this binary (and `bench_gate`) about it.
+const KNOWN_SECTIONS: &[&str] = &[
+    "bench",
+    "dataset",
+    "rows",
+    "seed",
+    "groups",
+    "tau",
+    "threads",
+    "host_cpus",
+    "note",
+    "reps",
+    "queries",
+    "direct",
+    "server",
+    "observability",
+    "router",
+    "recovery",
+    "faults",
+    "maintenance",
+    "total_seq_refine_ms",
+    "total_par_refine_ms",
+    "total_speedup",
+    "packages_identical",
+];
 
 fn num(json: &Json, key: &str) -> f64 {
     json.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
@@ -42,6 +75,21 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if let Json::Obj(map) = &json {
+        let unknown: Vec<&str> = map
+            .keys()
+            .map(String::as_str)
+            .filter(|key| !KNOWN_SECTIONS.contains(key))
+            .collect();
+        if !unknown.is_empty() {
+            eprintln!(
+                "bench_summary: WARNING — {path} carries sections this renderer does not \
+                 know and will not show: {}",
+                unknown.join(", ")
+            );
+        }
+    }
 
     println!("## REFINE perf trajectory (`{path}`)");
     println!();
@@ -113,6 +161,33 @@ fn main() {
             num(server, "warm_mean_roundtrip_ms"),
             num(server, "server_evaluate_min_ms"),
             num(server, "requests"),
+        );
+        println!();
+    }
+
+    if let Some(obs) = json.get("observability") {
+        println!("### Observability (server-side wire `Metrics` percentiles)");
+        println!();
+        println!("| phase | samples | p50 (ms) | p90 (ms) | p99 (ms) |");
+        println!("|---|---:|---:|---:|---:|");
+        for (label, key) in [("queue wait", "queue_wait"), ("handle", "handle")] {
+            let h = obs.get(key).unwrap_or(&Json::Null);
+            println!(
+                "| {label} | {} | {:.4} | {:.4} | {:.4} |",
+                num(h, "count"),
+                num(h, "p50_ms"),
+                num(h, "p90_ms"),
+                num(h, "p99_ms"),
+            );
+        }
+        println!();
+        println!(
+            "warm min round-trip obs-on **{:.3} ms** vs obs-off **{:.3} ms** \
+             (overhead {:+.2}%) · Prometheus exposition round-trip {}",
+            num(obs, "obs_on_warm_min_roundtrip_ms"),
+            num(obs, "obs_off_warm_min_roundtrip_ms"),
+            num(obs, "obs_overhead_pct"),
+            flag(obs, "prometheus_roundtrip_ok"),
         );
         println!();
     }

@@ -8,6 +8,7 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use paq_obs::Registry;
 use paq_store::{FaultDecision, FaultInjector, FaultSite};
 
 /// Well-known site names used by the [`FaultInjector`] impl for the
@@ -108,6 +109,7 @@ struct SiteState {
 struct Inner {
     seed: u64,
     sites: Mutex<HashMap<String, SiteState>>,
+    obs: Mutex<Registry>,
 }
 
 /// A shared, seeded schedule of faults, keyed by site name.
@@ -134,8 +136,19 @@ impl FaultPlan {
             inner: Arc::new(Inner {
                 seed,
                 sites: Mutex::new(HashMap::new()),
+                obs: Mutex::new(Registry::disabled()),
             }),
         }
+    }
+
+    /// Mirror this plan's activity into a metrics registry: every
+    /// evaluated call at a *tracked* site counts `chaos.calls`, every
+    /// injection `chaos.faults_injected`, every stall `chaos.delays` —
+    /// so a chaos run's injections surface through the same snapshot
+    /// (`PackageDb::obs_registry`, the wire `Metrics` request) as the
+    /// engine figures they perturb. Disabled by default.
+    pub fn attach_registry(&self, registry: Registry) {
+        *lock(&self.inner.obs) = registry;
     }
 
     /// The seed this plan was built with.
@@ -205,6 +218,15 @@ impl FaultPlan {
         }
         if verdict.delay.is_some() {
             state.delayed += 1;
+        }
+        drop(sites);
+        let obs = lock(&self.inner.obs).clone();
+        obs.incr("chaos.calls");
+        if verdict.injection != Injection::None {
+            obs.incr("chaos.faults_injected");
+        }
+        if verdict.delay.is_some() {
+            obs.incr("chaos.delays");
         }
         verdict
     }

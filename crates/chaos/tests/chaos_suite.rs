@@ -298,6 +298,11 @@ fn retrying_client_converges_through_flaky_transport() {
     let plan = FaultPlan::new(0xC4A0_0004);
     plan.on("client.write", Trigger::FailEveryK(6));
     plan.on("client.read", Trigger::FailEveryK(9));
+    // Observability ride-along: plan and retrying client both mirror
+    // into the database's registry, so the chaos run's injections and
+    // the retries they caused surface in the same metrics snapshot as
+    // the engine figures.
+    plan.attach_registry(db.obs_registry());
 
     with_server(&server, listener, || {
         let mut client = RetryingClient::new(
@@ -314,6 +319,7 @@ fn retrying_client_converges_through_flaky_transport() {
                 ..RetryPolicy::default()
             },
         );
+        client.attach_registry(db.obs_registry());
 
         client
             .register_table("Items", &items_table(30, 0xF00D))
@@ -335,6 +341,16 @@ fn retrying_client_converges_through_flaky_transport() {
     assert_eq!(server.handler_panics(), 0, "faults, not panics");
     // Exactly once despite retries: tokens + dedupe, not luck.
     assert_eq!(db.table("Items").unwrap().num_rows(), 38);
+    // The injections and the retries they caused are visible in the
+    // shared metrics snapshot, consistent with the suite's own view.
+    let snapshot = db.obs_registry().snapshot();
+    assert_eq!(snapshot.counter("chaos.faults_injected"), plan.injected());
+    assert!(snapshot.counter("chaos.calls") >= plan.injected());
+    assert!(
+        snapshot.counter("client.retries_total") >= 1,
+        "injected faults must have caused counted retries"
+    );
+    assert!(snapshot.counter("client.reconnects") > 1);
 }
 
 // ---------------------------------------------------------------------

@@ -64,6 +64,7 @@ impl Evaluator for Direct {
     fn evaluate(&self, query: &PackageQuery, table: &Table) -> EngineResult<Package> {
         crate::binding::check_table_binding(query, table)?;
         let translation = translate(query, table)?;
+        let _span = paq_obs::span("direct.solve");
         let result = self.solver().solve(&translation.model);
         match result.outcome {
             SolveOutcome::Optimal(sol) | SolveOutcome::Feasible { best: sol, .. } => {

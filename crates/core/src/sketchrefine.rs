@@ -565,9 +565,11 @@ impl<'a> Session<'a> {
     }
 
     fn run(&mut self) -> EngineResult<(Package, SketchRefineReport)> {
+        let sketch_span = paq_obs::span("sketch");
         let sketch_started = Instant::now();
         self.sketch()?;
         self.report.sketch_time = sketch_started.elapsed();
+        drop(sketch_span);
 
         let refine_started = Instant::now();
         let remaining: BTreeSet<usize> = (0..self.groups.len())
@@ -936,6 +938,10 @@ impl<'a> Session<'a> {
             Vec::with_capacity(targets.len());
         slots.resize_with(targets.len(), || None);
         {
+            // The wave span lives on the coordinating thread (workers
+            // have no ambient obs context), so span capture stays off
+            // the deterministic solve path.
+            let _wave_span = paq_obs::span("refine.wave");
             let solver = &self.solver;
             let stripped = &self.stripped;
             let table = self.table;
@@ -950,6 +956,7 @@ impl<'a> Session<'a> {
                 }
             });
         }
+        let commit_span = paq_obs::span("refine.commit");
         for ((g, off), slot) in targets.into_iter().zip(slots) {
             let (result, elapsed) = slot.expect("wave completed every solve");
             let stale = self.speculative.insert(
@@ -965,6 +972,8 @@ impl<'a> Session<'a> {
                 self.report.conflict_requeues += 1;
             }
         }
+
+        drop(commit_span);
 
         self.last_wave_conflicts = self.report.conflict_requeues;
 

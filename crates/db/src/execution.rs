@@ -1,9 +1,11 @@
 //! The structured result of one `PackageDb::execute` call.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use paq_core::{Package, SketchRefineReport};
+use paq_obs::Trace;
 
 use crate::router::PredictedCosts;
 
@@ -255,6 +257,10 @@ pub struct Execution {
     pub fell_back_to_direct: bool,
     /// Wall-clock breakdown.
     pub timings: Timings,
+    /// The request's span trace (`None` when observability is
+    /// disabled); [`Execution::explain`] renders it as a nested timing
+    /// tree.
+    pub trace: Option<Arc<Trace>>,
 }
 
 impl Execution {
@@ -305,6 +311,20 @@ impl Execution {
             self.timings.evaluate.as_secs_f64() * 1e3,
             self.timings.total.as_secs_f64() * 1e3,
         ));
+        if let Some(trace) = &self.trace {
+            let tree = trace.render();
+            if !tree.is_empty() {
+                out.push_str("\nspans:\n");
+                for line in tree.lines() {
+                    out.push_str("  ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                // Drop the trailing newline so explain() stays
+                // newline-free at the end, like every other section.
+                out.pop();
+            }
+        }
         out
     }
 }
@@ -336,6 +356,7 @@ mod tests {
             report: Some(SketchRefineReport::default()),
             fell_back_to_direct: false,
             timings: Timings::default(),
+            trace: None,
         };
         let text = exec.explain();
         assert!(text.contains("SKETCHREFINE"));

@@ -58,5 +58,9 @@ pub use error::{DbError, DbResult};
 pub use execution::{CacheOutcome, Execution, RouteReason, RouterVerdict, Strategy, Timings};
 pub use router::{Observation, PredictedCosts, RouterConfig, RouterDecision, RouterStats};
 pub use session::{
-    DbConfig, DbStats, MaintenanceConfig, MaintenanceStats, PackageDb, Route, TableStats,
+    DbConfig, DbStats, MaintenanceConfig, MaintenanceStats, ObsConfig, PackageDb, Route, SlowQuery,
+    TableStats,
 };
+// The sink [`PackageDb::set_telemetry`] accepts, re-exported so callers
+// don't need a direct paq-solver dependency to use it.
+pub use paq_solver::Telemetry;

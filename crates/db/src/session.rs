@@ -46,6 +46,7 @@ use parking_lot::{Mutex, RwLock};
 use paq_core::{Direct, EngineError, Evaluator, QueryFeatures, SketchRefine, SketchRefineOptions};
 use paq_exec::ThreadPool;
 use paq_lang::{parse_paql, validate, PackageQuery};
+use paq_obs::{obs_scope, span, ObsContext, Registry, Trace};
 use paq_partition::partitioning::GID_COLUMN;
 use paq_partition::{PartitionConfig, Partitioner, Partitioning};
 use paq_relational::{Table, Value};
@@ -125,6 +126,50 @@ impl Default for MaintenanceConfig {
     }
 }
 
+/// Observability control (see the "Observability" section of the
+/// README). Like [`MaintenanceConfig`] this is database-wide: the
+/// registry lives on the shared state, so the value in effect at
+/// creation time ([`PackageDb::with_config`] / [`PackageDb::open`]) is
+/// what counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record metrics and per-request span traces. On by default — a
+    /// recorded metric is a read-lock plus relaxed atomics, and the
+    /// bench guard (`observability.obs_off_warm_min_roundtrip_ms` in
+    /// `BENCH_refine.json`) keeps the warm-path cost honest.
+    pub enabled: bool,
+    /// Queries whose total wall time reaches this many milliseconds are
+    /// captured in the slow-query log ([`PackageDb::slow_queries`]),
+    /// rendered span tree included. `None` disables the log.
+    pub slow_query_ms: Option<u64>,
+    /// Spans recorded per request before the trace starts counting
+    /// drops instead of storing.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            slow_query_ms: None,
+            trace_capacity: paq_obs::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// One captured slow query (see [`ObsConfig::slow_query_ms`]).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The offending PaQL text.
+    pub query: String,
+    /// Total wall time of the execution.
+    pub total: Duration,
+    /// The strategy that ran it.
+    pub strategy: Strategy,
+    /// The rendered span tree at capture time.
+    pub spans: String,
+}
+
 /// Observable delta-maintenance counters, shared across all sessions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceStats {
@@ -174,6 +219,8 @@ pub struct DbConfig {
     /// / [`PackageDb::open`]) is fixed into the shared state; later
     /// per-session edits have no effect.
     pub maintenance: MaintenanceConfig,
+    /// Metrics + tracing control. Database-wide, like `maintenance`.
+    pub obs: ObsConfig,
 }
 
 impl Default for DbConfig {
@@ -186,6 +233,7 @@ impl Default for DbConfig {
             fallback_to_direct: true,
             router: RouterConfig::default(),
             maintenance: MaintenanceConfig::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -317,6 +365,17 @@ struct SharedState {
     /// absorbed delta. Lock order: catalog before this map, always;
     /// never held across a build or an evaluation.
     delta: Mutex<HashMap<String, u64>>,
+    /// The database's metrics registry. `Registry::default()` is
+    /// disabled, so in-test `SharedState::default()` construction stays
+    /// silent; [`PackageDb::with_config`] and [`PackageDb::open`]
+    /// enable it per [`ObsConfig::enabled`].
+    obs: Registry,
+    /// Observability knobs fixed at creation (slow-query threshold,
+    /// trace capacity).
+    obs_config: ObsConfig,
+    /// Most recent captured slow queries, newest last, bounded at
+    /// [`SharedState::MAX_SLOW_QUERIES`].
+    slow_queries: Mutex<Vec<SlowQuery>>,
     /// Appends absorbed without invalidation.
     absorbed_appends: AtomicU64,
     /// Cache entries patched across all absorbs.
@@ -331,6 +390,9 @@ impl SharedState {
     /// Most distinct pool sizes kept alive at once; realistic
     /// deployments use one or two.
     const MAX_POOLS: usize = 4;
+
+    /// Slow-query log bound: old entries fall off the front.
+    const MAX_SLOW_QUERIES: usize = 32;
 
     /// The shared worker pool at the requested size (`None` when
     /// single-threaded). Every session asking for the same size gets
@@ -423,6 +485,15 @@ impl PackageDb {
         Self::with_config(DbConfig::default())
     }
 
+    /// The shared registry described by `obs`.
+    fn registry_for(obs: &ObsConfig) -> Registry {
+        if obs.enabled {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        }
+    }
+
     /// A fresh database (and its first session) with explicit
     /// configuration. The router's telemetry-ring capacity is fixed
     /// here, from `config.router.capacity` — it is shared state, so
@@ -431,6 +502,8 @@ impl PackageDb {
         let shared = SharedState {
             router_ring: Mutex::new(TelemetryRing::with_capacity(config.router.capacity)),
             maintenance: config.maintenance,
+            obs: Self::registry_for(&config.obs),
+            obs_config: config.obs,
             ..SharedState::default()
         };
         PackageDb {
@@ -456,10 +529,13 @@ impl PackageDb {
     pub fn open(config: DbConfig, durability: Durability) -> DbResult<PackageDb> {
         let replay_pool =
             (durability.replay_threads > 1).then(|| ThreadPool::new(durability.replay_threads));
+        // Created before the store so recovery latencies land in it too.
+        let obs = Self::registry_for(&config.obs);
         let store_config = StoreConfig {
             dir: durability.dir,
             sync: durability.sync,
             injector: durability.injector,
+            obs: obs.clone(),
             // Replay mirrors the live absorb-vs-merge decision, so
             // recovery republishes patched partitionings instead of
             // dropping them on every logged append.
@@ -521,6 +597,8 @@ impl PackageDb {
                 acked: Mutex::new(DurabilityState::bounded_acks(state.acked_tokens)),
             }),
             maintenance: config.maintenance,
+            obs,
+            obs_config: config.obs,
             delta: Mutex::new(delta),
             ..SharedState::default()
         };
@@ -539,6 +617,21 @@ impl PackageDb {
     /// Durability counters, `None` for in-memory databases.
     pub fn durability_stats(&self) -> Option<DurabilityStats> {
         self.shared.durability.as_ref().map(DurabilityState::stats)
+    }
+
+    /// A handle onto the database's shared metrics registry. All
+    /// sessions (and the subsystems they drive: cache, store, solver,
+    /// server) record into this one registry; clone it freely. Disabled
+    /// — every operation a no-op, snapshots empty — when
+    /// `DbConfig.obs.enabled` was `false` at creation.
+    pub fn obs_registry(&self) -> Registry {
+        self.shared.obs.clone()
+    }
+
+    /// The captured slow queries, oldest first (bounded at the most
+    /// recent 32). Empty unless [`ObsConfig::slow_query_ms`] is set.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.slow_queries.lock().clone()
     }
 
     /// Force buffered WAL appends to disk. Meaningful under
@@ -709,8 +802,12 @@ impl PackageDb {
     }
 
     /// Attach a shared telemetry sink; every solver call made on behalf
-    /// of *any* session of this database reports into it.
+    /// of *any* session of this database reports into it. The sink is
+    /// also wired to the database's metrics registry, so solver
+    /// counters (`solver.calls`, `solver.solve`, …) surface through
+    /// [`PackageDb::obs_registry`] alongside everything else.
     pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        telemetry.attach_registry(self.shared.obs.clone());
         *self.shared.telemetry.write() = Some(telemetry);
     }
 
@@ -785,6 +882,7 @@ impl PackageDb {
         let key = Catalog::key(&name);
         let version = {
             let mut catalog = self.shared.catalog.write();
+            let hold_start = Instant::now();
             let version = catalog.register(name.clone(), table);
             if self.shared.maintenance.enabled {
                 // A replacement resets the delta base: the new contents
@@ -808,6 +906,10 @@ impl PackageDb {
                     self.record_ack(token, version, AckKind::Register);
                 }
             }
+            self.shared.obs.incr("db.table.register");
+            self.shared
+                .obs
+                .observe("db.catalog.write_hold", hold_start.elapsed());
             version
         };
         self.shared.cache.invalidate_stale(&key, version);
@@ -958,6 +1060,7 @@ impl PackageDb {
         let mut rebuilds: Vec<(Vec<String>, Arc<Table>, u64, usize)> = Vec::new();
         let (version, log_result) = {
             let mut catalog = self.shared.catalog.write();
+            let hold_start = Instant::now();
             let before = catalog.version_of(&key);
             let row_for_log = self.is_durable().then(|| row.clone());
             let ((), version) = catalog.mutate(name, |t| t.push_row(row))?;
@@ -1010,8 +1113,11 @@ impl PackageDb {
                     self.shared
                         .patched_entries
                         .fetch_add(patched, Ordering::AcqRel);
+                    self.shared.obs.incr("db.cache.absorb");
+                    self.shared.obs.add("db.cache.patched", patched);
                 } else {
                     self.shared.delta_merges.fetch_add(1, Ordering::AcqRel);
+                    self.shared.obs.incr("db.cache.merge");
                     let evicted = self.shared.cache.invalidate_stale_collect(&key, version);
                     if m.background_rebuild {
                         for attrs in evicted {
@@ -1020,6 +1126,10 @@ impl PackageDb {
                     }
                 }
             }
+            self.shared.obs.incr("db.row.append");
+            self.shared
+                .obs
+                .observe("db.catalog.write_hold", hold_start.elapsed());
             (version, log_result)
         };
         if !m.enabled {
@@ -1192,6 +1302,21 @@ impl PackageDb {
     ) -> DbResult<Execution> {
         let total_start = Instant::now();
 
+        // Observability: capture a per-request trace when anything will
+        // read it, and install the ambient context so spans opened
+        // anywhere below (planner, cache, evaluators) land here. The
+        // trace is passive — nothing reads it mid-flight — so capture
+        // cannot perturb the bit-identical determinism guarantees.
+        let obs = self.shared.obs.clone();
+        let trace = (obs.is_enabled() || self.shared.obs_config.slow_query_ms.is_some())
+            .then(|| Arc::new(Trace::new(self.shared.obs_config.trace_capacity)));
+        let _obs_scope = obs_scope(ObsContext {
+            registry: obs.clone(),
+            trace: trace.clone(),
+        });
+        let execute_span = span("execute");
+        let plan_span = span("plan");
+
         // --- plan: snapshot, check schema, route ----------------------
         // The catalog read lock is held only for the snapshot; from
         // here on the execution works exclusively on `table` (the
@@ -1271,6 +1396,7 @@ impl PackageDb {
                         self.shared
                             .router_model_decisions
                             .fetch_add(1, Ordering::AcqRel);
+                        obs.incr("db.route.model");
                         (
                             predicted.cheaper(),
                             RouteReason::CostModel,
@@ -1284,6 +1410,7 @@ impl PackageDb {
                         self.shared
                             .router_fallback_decisions
                             .fetch_add(1, Ordering::AcqRel);
+                        obs.incr("db.route.fallback");
                         let verdict = RouterVerdict::Fallback {
                             direct_samples,
                             sketchrefine_samples,
@@ -1314,6 +1441,7 @@ impl PackageDb {
                 }
             }
         };
+        drop(plan_span);
         let plan = total_start.elapsed();
 
         // --- evaluate -------------------------------------------------
@@ -1326,6 +1454,7 @@ impl PackageDb {
         // above; skip the evaluators' catalog-less binding check.
         let _scope = paq_core::catalog_scope();
 
+        let evaluate_span = span("evaluate");
         let evaluate_start = Instant::now();
         let package = match strategy {
             Strategy::Direct => self.direct_evaluator().evaluate(query, &table)?,
@@ -1387,6 +1516,7 @@ impl PackageDb {
             }
         };
         let evaluate = evaluate_start.elapsed() - partitioning_time;
+        drop(evaluate_span);
 
         // Feed the observed cost back into the shared telemetry ring —
         // every clean execution is training signal, whether the route
@@ -1412,6 +1542,32 @@ impl PackageDb {
             }
         }
 
+        drop(execute_span);
+        let total = total_start.elapsed();
+        match strategy {
+            Strategy::Direct => obs.incr("db.execute.direct"),
+            Strategy::SketchRefine => obs.incr("db.execute.sketchrefine"),
+        }
+        if fell_back_to_direct {
+            obs.incr("db.fallback_to_direct");
+        }
+
+        if let (Some(trace_ref), Some(threshold)) = (&trace, self.shared.obs_config.slow_query_ms) {
+            if total >= Duration::from_millis(threshold) {
+                obs.incr("db.slow_queries");
+                let mut log = self.shared.slow_queries.lock();
+                if log.len() >= SharedState::MAX_SLOW_QUERIES {
+                    log.remove(0);
+                }
+                log.push(SlowQuery {
+                    query: query.to_string(),
+                    total,
+                    strategy,
+                    spans: trace_ref.render(),
+                });
+            }
+        }
+
         Ok(Execution {
             package,
             relation,
@@ -1427,8 +1583,9 @@ impl PackageDb {
                 plan,
                 partitioning: partitioning_time,
                 evaluate,
-                total: total_start.elapsed(),
+                total,
             },
+            trace,
         })
     }
 
@@ -1453,6 +1610,7 @@ impl PackageDb {
     ) -> DbResult<(Arc<Partitioning>, CacheOutcome, Duration)> {
         loop {
             if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs) {
+                self.shared.obs.incr("db.cache.hit");
                 let groups = p.num_groups();
                 return Ok((p, CacheOutcome::Hit { groups, attributes }, Duration::ZERO));
             }
@@ -1468,6 +1626,7 @@ impl PackageDb {
             let role = {
                 let mut pending = self.shared.pending_builds.lock();
                 if let Some((p, attributes, _)) = self.shared.cache.lookup(key, version, &attrs) {
+                    self.shared.obs.incr("db.cache.hit");
                     let groups = p.num_groups();
                     return Ok((p, CacheOutcome::Hit { groups, attributes }, Duration::ZERO));
                 }
@@ -1486,13 +1645,18 @@ impl PackageDb {
                     // build is partitioning cost from this execution's
                     // point of view; report it so explain() shows why
                     // a "hit" was slow.
+                    let wait_span = span("partition.wait");
                     let wait_start = Instant::now();
                     let Some(shared_build) = slot.wait() else {
+                        drop(wait_span);
                         // The build failed; retry, possibly as the
                         // next builder.
                         continue;
                     };
                     let waited = wait_start.elapsed();
+                    drop(wait_span);
+                    self.shared.obs.incr("db.cache.hit");
+                    self.shared.obs.observe("db.cache.wait", waited);
                     // Prefer the published cache entry (normal hit
                     // bookkeeping, LRU refresh); when a racing
                     // mutation suppressed the publish, adopt the
@@ -1526,10 +1690,12 @@ impl PackageDb {
                         result: None,
                     };
                     self.shared.cache.record_miss();
+                    self.shared.obs.incr("db.cache.miss");
                     // τ comes from the base prefix, not the live row
                     // count: a patched cache entry and this cold build
                     // must agree on the spec to be bit-identical.
                     let tau = (build_base / self.config.default_groups.max(1)).max(2);
+                    let build_span = span("partition.build");
                     let start = Instant::now();
                     let partitioner =
                         Partitioner::new(PartitionConfig::by_size(attrs.clone(), tau));
@@ -1548,6 +1714,8 @@ impl PackageDb {
                         built.patch_append(table, row)?;
                     }
                     let build_time = start.elapsed();
+                    drop(build_span);
+                    self.shared.obs.observe("db.cache.build", build_time);
                     let built = Arc::new(built);
                     // Publish only if the snapshot we built against is
                     // still the table's current version; a mutation

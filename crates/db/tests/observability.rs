@@ -1,0 +1,154 @@
+//! Observability integration: the per-request span trace renders as a
+//! nested timing tree inside `explain()`, the shared registry picks up
+//! route/cache/solver figures, the slow-query log captures query text
+//! plus span tree, span capture never perturbs bit-identical
+//! determinism across thread counts, and disabling observability turns
+//! all of it off without changing answers.
+
+use std::sync::Arc;
+
+use paq_db::{DbConfig, ObsConfig, PackageDb, Strategy, Telemetry};
+use paq_relational::{DataType, Schema, Table, Value};
+
+fn table(n: usize) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+    }
+    t
+}
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 1000 \
+     MAXIMIZE SUM(P.value)";
+
+fn sketchrefine_db(threads: usize, obs: ObsConfig) -> PackageDb {
+    let mut config = DbConfig {
+        direct_threshold: 10, // 60-row table routes to SKETCHREFINE
+        default_groups: 5,
+        obs,
+        ..DbConfig::default()
+    };
+    config.sketchrefine.threads = threads;
+    let db = PackageDb::with_config(config);
+    db.register_table("Items", table(60));
+    db
+}
+
+#[test]
+fn explain_renders_nested_span_tree() {
+    let db = sketchrefine_db(2, ObsConfig::default());
+    let exec = db.execute(QUERY).unwrap();
+    assert_eq!(exec.strategy, Strategy::SketchRefine);
+    let text = exec.explain();
+    assert!(text.contains("spans:"), "{text}");
+    // Top-level request span plus nested phase spans, each with a
+    // duration suffix.
+    for name in ["execute", "plan", "evaluate", "sketch"] {
+        assert!(text.contains(name), "missing span {name} in:\n{text}");
+    }
+    // Nesting: "evaluate" sits under "execute", so its render line is
+    // indented deeper than the top-level span's.
+    let spans = exec.trace.as_ref().expect("trace captured").spans();
+    let execute = spans.iter().find(|s| s.name == "execute").unwrap();
+    let evaluate = spans.iter().find(|s| s.name == "evaluate").unwrap();
+    assert_eq!(execute.depth, 0);
+    assert!(
+        evaluate.depth > execute.depth,
+        "evaluate nests under execute"
+    );
+}
+
+#[test]
+fn registry_accumulates_route_cache_and_solver_figures() {
+    let db = sketchrefine_db(2, ObsConfig::default());
+    db.set_telemetry(Arc::new(Telemetry::default()));
+    for _ in 0..3 {
+        db.execute(QUERY).unwrap();
+    }
+    let obs = db.obs_registry();
+    assert!(obs.is_enabled());
+    assert_eq!(obs.counter("db.execute.sketchrefine"), 3);
+    assert_eq!(obs.counter("db.cache.miss"), 1, "first query builds");
+    assert_eq!(obs.counter("db.cache.hit"), 2, "repeats reuse the cache");
+    assert!(
+        obs.counter("solver.calls") > 0,
+        "telemetry feeds the registry"
+    );
+    assert!(obs.histogram("execute").is_some());
+    assert_eq!(obs.histogram("execute").unwrap().count, 3);
+    assert!(obs.histogram("db.cache.build").is_some());
+}
+
+#[test]
+fn slow_query_log_captures_text_and_spans() {
+    let db = sketchrefine_db(
+        2,
+        ObsConfig {
+            slow_query_ms: Some(0), // everything is "slow"
+            ..ObsConfig::default()
+        },
+    );
+    db.execute(QUERY).unwrap();
+    let log = db.slow_queries();
+    assert_eq!(log.len(), 1);
+    let entry = &log[0];
+    assert!(entry.query.contains("PACKAGE"), "{}", entry.query);
+    assert_eq!(entry.strategy, Strategy::SketchRefine);
+    assert!(entry.spans.contains("execute"), "{}", entry.spans);
+    assert_eq!(db.obs_registry().counter("db.slow_queries"), 1);
+}
+
+#[test]
+fn span_capture_does_not_perturb_determinism_across_threads() {
+    // Same query, same data, obs fully on: the 1-thread REFINE and an
+    // N-thread REFINE must produce bit-identical packages. N comes
+    // from `PAQ_THREADS` (default 4) so the CI obs job sweeps real
+    // thread counts rather than re-running one pinned pair.
+    let threads = std::env::var("PAQ_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let single = sketchrefine_db(1, ObsConfig::default());
+    let multi = sketchrefine_db(threads, ObsConfig::default());
+    let a = single.execute(QUERY).unwrap();
+    let b = multi.execute(QUERY).unwrap();
+    assert_eq!(a.package.members(), b.package.members());
+    assert_eq!(a.strategy, Strategy::SketchRefine);
+    assert!(a.trace.is_some() && b.trace.is_some());
+}
+
+#[test]
+fn disabled_observability_changes_nothing_but_records_nothing() {
+    let on = sketchrefine_db(2, ObsConfig::default());
+    let off = sketchrefine_db(
+        2,
+        ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        },
+    );
+    let a = on.execute(QUERY).unwrap();
+    let b = off.execute(QUERY).unwrap();
+    assert_eq!(a.package.members(), b.package.members(), "same answer");
+    assert!(b.trace.is_none(), "no trace when disabled");
+    assert!(!b.explain().contains("spans:"));
+    assert!(!off.obs_registry().is_enabled());
+    assert_eq!(
+        off.obs_registry().snapshot(),
+        paq_obs::RegistrySnapshot::default()
+    );
+    assert!(off.slow_queries().is_empty());
+}

@@ -1,0 +1,294 @@
+//! Log-bucketed latency histograms with lock-free recording and
+//! snapshot-on-read quantile extraction.
+//!
+//! Values are nanoseconds. Bucket `0` holds the value `0`; bucket `i`
+//! (for `i ≥ 1`) covers `[2^(i-1), 2^i)` — i.e. a value lands in the
+//! bucket indexed by its bit length. With 65 buckets the full `u64`
+//! range is covered, so recording can never clip.
+//!
+//! Quantiles are extracted from a [`HistogramSnapshot`] by walking the
+//! cumulative bucket counts and reporting the chosen bucket's upper
+//! bound, clamped into the exactly-tracked `[min, max]` range. The
+//! clamping gives the invariant `min ≤ p50 ≤ p90 ≤ p99 ≤ max` for any
+//! fill (property-tested in `tests/histogram_props.rs`).
+//!
+//! Snapshots merge by bucket-wise saturating addition, which is
+//! associative and commutative — per-shard histograms can be folded in
+//! any order and produce the same aggregate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: one for zero plus one per `u64` bit length.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a nanosecond value lands in: its bit length.
+#[inline]
+pub fn bucket_index(nanos: u64) -> usize {
+    (u64::BITS - nanos.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `index` (0 for the zero bucket).
+pub fn bucket_lower(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `index`.
+pub fn bucket_upper(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= 64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free log-bucketed histogram of nanosecond durations.
+///
+/// `record` is a handful of relaxed atomic RMW ops — cheap enough for
+/// hot paths. Reads go through [`Histogram::snapshot`]; a snapshot
+/// taken concurrently with writers is internally consistent per field
+/// but may lag in-flight records by design.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+    /// `0` while empty.
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one nanosecond observation.
+    pub fn record(&self, nanos: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] observation (clamped to `u64` nanoseconds).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Capture the current contents as an owned, mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u8, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned point-in-time copy of a [`Histogram`]: sparse buckets plus
+/// exact count/sum/min/max. This is what crosses the wire and what
+/// quantiles are computed from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded nanosecond values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    pub min: u64,
+    /// Largest recorded value (`0` while empty).
+    pub max: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Total observations according to the buckets themselves (the
+    /// basis for quantile ranks, so a snapshot is self-consistent even
+    /// if `count` raced ahead of a bucket increment).
+    pub fn total(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|&(_, n)| n)
+            .fold(0, u64::saturating_add)
+    }
+
+    /// Mean of the recorded values in nanoseconds, `None` while empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in nanoseconds, `None` while
+    /// empty. Resolution is one log2 bucket: the reported value is the
+    /// chosen bucket's upper bound clamped into `[min, max]`, so
+    /// quantiles are monotone in `q` and always within the observed
+    /// range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return Some(bucket_upper(index as usize).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self`: bucket-wise saturating addition, with
+    /// min/max widened. Associative and commutative, so shard snapshots
+    /// can be merged in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut dense = [0u64; BUCKET_COUNT];
+        for &(i, n) in self.buckets.iter().chain(other.buckets.iter()) {
+            let slot = &mut dense[i as usize];
+            *slot = slot.saturating_add(n);
+        }
+        self.buckets = dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &n)| (n > 0).then_some((i as u8, n)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_bit_lengths() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_lower(i)), i, "lower bound of {i}");
+            assert_eq!(bucket_index(bucket_upper(i)), i, "upper bound of {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_synthetic_fill_are_exact() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // Rank 50 falls in bucket 6 (values 32..=63): cumulative counts
+        // through bucket 6 are 1+2+4+8+16+32 = 63 ≥ 50. Upper bound 63.
+        assert_eq!(s.p50(), Some(63));
+        // Rank 90 and 99 fall in bucket 7 (64..=127); its upper bound
+        // 127 clamps to the recorded max.
+        assert_eq!(s.p90(), Some(100));
+        assert_eq!(s.p99(), Some(100));
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn single_value_fill_reports_that_value_everywhere() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(42);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(42));
+        }
+        assert_eq!(s.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn merge_equals_single_histogram_fill() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 1, 5, 900, 1024, 70_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 3, 64, 5_000_000] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

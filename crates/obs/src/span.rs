@@ -1,0 +1,340 @@
+//! Timed tracing spans with parent/child nesting, recorded into a
+//! bounded per-request [`Trace`] and fed into registry histograms on
+//! drop.
+//!
+//! The engine's evaluators sit behind trait objects whose signatures
+//! must not grow an observability parameter, so the ambient context
+//! travels in a thread-local (the same scoped-guard pattern as
+//! `paq_core::catalog_scope`): the request owner installs an
+//! [`ObsContext`] with [`obs_scope`], and any code below it opens spans
+//! with [`span`]. With no context installed, [`span`] returns an inert
+//! guard that does nothing — not even read the clock.
+//!
+//! Span capture is deliberately *passive*: nothing in the engine reads
+//! the trace while executing, so tracing cannot perturb the
+//! bit-identical determinism guarantees (CI sweeps `PAQ_THREADS` 1
+//! vs 4 with obs enabled). Spans opened on pool worker threads land in
+//! that worker's context, if any; the engine therefore records
+//! wave-level spans on the coordinating thread, where ordering is
+//! deterministic.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+/// Default cap on recorded spans per trace (outliers beyond it are
+/// counted, not stored).
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// One completed (or still-open) span inside a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's site name, e.g. `refine.wave`.
+    pub name: &'static str,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+    /// Offset from the trace epoch when the span opened.
+    pub start: Duration,
+    /// Wall time between open and drop (zero while still open).
+    pub elapsed: Duration,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    spans: Vec<SpanRecord>,
+    /// Indices of currently-open spans, innermost last.
+    stack: Vec<usize>,
+    /// Spans discarded after the capacity was reached.
+    dropped: u64,
+}
+
+/// A bounded, append-only record of the spans opened during one
+/// request. Rendered by `Execution::explain()` as a timing tree and by
+/// the slow-query log.
+#[derive(Debug)]
+pub struct Trace {
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<TraceState>,
+}
+
+fn lock(state: &Mutex<TraceState>) -> MutexGuard<'_, TraceState> {
+    state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Trace {
+    /// An empty trace holding at most `capacity` spans.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    /// Open a span; returns its record index, or `None` if the trace is
+    /// full (the drop is counted).
+    fn begin(&self, name: &'static str) -> Option<usize> {
+        let mut state = lock(&self.state);
+        if state.spans.len() >= self.capacity {
+            state.dropped += 1;
+            return None;
+        }
+        let index = state.spans.len();
+        let depth = state.stack.len() as u16;
+        let start = self.epoch.elapsed();
+        state.spans.push(SpanRecord {
+            name,
+            depth,
+            start,
+            elapsed: Duration::ZERO,
+        });
+        state.stack.push(index);
+        Some(index)
+    }
+
+    /// Close the span at `index` with its measured duration.
+    fn end(&self, index: usize, elapsed: Duration) {
+        let mut state = lock(&self.state);
+        if let Some(record) = state.spans.get_mut(index) {
+            record.elapsed = elapsed;
+        }
+        state.stack.retain(|&i| i != index);
+    }
+
+    /// The recorded spans, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.state).spans.clone()
+    }
+
+    /// Spans discarded because the trace was full.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.state).dropped
+    }
+
+    /// Render the spans as an indented timing tree, one line per span:
+    ///
+    /// ```text
+    /// execute                        12.345 ms
+    ///   plan                          0.021 ms
+    ///   evaluate.sketchrefine        11.809 ms
+    ///     sketch                      1.400 ms
+    ///     refine.wave                 5.100 ms
+    /// ```
+    pub fn render(&self) -> String {
+        let state = lock(&self.state);
+        let mut out = String::new();
+        let name_width = state
+            .spans
+            .iter()
+            .map(|s| s.name.len() + 2 * s.depth as usize)
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for record in &state.spans {
+            let indent = 2 * record.depth as usize;
+            let _ = writeln!(
+                out,
+                "{:indent$}{:<width$} {:>10.3} ms",
+                "",
+                record.name,
+                record.elapsed.as_secs_f64() * 1e3,
+                indent = indent,
+                width = name_width - indent,
+            );
+        }
+        if state.dropped > 0 {
+            let _ = writeln!(out, "({} spans dropped at capacity)", state.dropped);
+        }
+        out
+    }
+}
+
+/// The ambient observability context: where spans opened on this thread
+/// record to.
+#[derive(Debug, Clone, Default)]
+pub struct ObsContext {
+    /// Histogram sink for span durations (may be disabled).
+    pub registry: Registry,
+    /// Per-request trace, when one is being captured.
+    pub trace: Option<Arc<Trace>>,
+}
+
+impl ObsContext {
+    fn is_active(&self) -> bool {
+        self.registry.is_enabled() || self.trace.is_some()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ObsContext>> = const { RefCell::new(None) };
+}
+
+/// Install `context` as this thread's ambient [`ObsContext`] until the
+/// returned guard drops (the previous context, if any, is restored —
+/// scopes nest).
+pub fn obs_scope(context: ObsContext) -> ObsScopeGuard {
+    let previous = CURRENT.with(|cell| cell.replace(Some(context)));
+    ObsScopeGuard { previous }
+}
+
+/// The ambient context installed on this thread, if any.
+pub fn current_context() -> Option<ObsContext> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Restores the previously-installed context on drop.
+#[derive(Debug)]
+pub struct ObsScopeGuard {
+    previous: Option<ObsContext>,
+}
+
+impl Drop for ObsScopeGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT.with(|cell| *cell.borrow_mut() = previous);
+    }
+}
+
+/// Open a timed span named `name` against this thread's ambient
+/// context. Inert (no clock read) when no context is installed.
+pub fn span(name: &'static str) -> Span {
+    match current_context() {
+        Some(ctx) if ctx.is_active() => Span::enter_with(name, ctx.registry, ctx.trace),
+        _ => Span::noop(),
+    }
+}
+
+/// An RAII timed scope: on drop it records its wall time into the
+/// trace (if capturing) and into the registry histogram of the same
+/// name (if enabled).
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    started: Instant,
+    registry: Registry,
+    trace: Option<(Arc<Trace>, Option<usize>)>,
+}
+
+impl Span {
+    /// A span that measures nothing.
+    pub fn noop() -> Span {
+        Span { inner: None }
+    }
+
+    /// Open a span against explicit sinks, bypassing the thread-local
+    /// context (used by the request owner itself).
+    pub fn enter_with(name: &'static str, registry: Registry, trace: Option<Arc<Trace>>) -> Span {
+        if !registry.is_enabled() && trace.is_none() {
+            return Span::noop();
+        }
+        let trace = trace.map(|t| {
+            let index = t.begin(name);
+            (t, index)
+        });
+        Span {
+            inner: Some(SpanInner {
+                name,
+                started: Instant::now(),
+                registry,
+                trace,
+            }),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let elapsed = inner.started.elapsed();
+        if let Some((trace, Some(index))) = &inner.trace {
+            trace.end(*index, elapsed);
+        }
+        inner.registry.observe(inner.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_into_trace_and_registry() {
+        let registry = Registry::new();
+        let trace = Arc::new(Trace::new(16));
+        let _scope = obs_scope(ObsContext {
+            registry: registry.clone(),
+            trace: Some(Arc::clone(&trace)),
+        });
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[1].depth, 1);
+        assert!(spans[1].start >= spans[0].start);
+        assert_eq!(registry.histogram("outer").unwrap().count, 1);
+        assert_eq!(registry.histogram("inner").unwrap().count, 1);
+        let tree = trace.render();
+        assert!(tree.contains("outer"), "{tree}");
+        assert!(tree.contains("  inner"), "{tree}");
+    }
+
+    #[test]
+    fn no_context_means_inert_spans() {
+        assert!(current_context().is_none());
+        let _span = span("anything");
+        // Nothing to assert beyond "does not panic": there is no sink.
+    }
+
+    #[test]
+    fn scopes_restore_the_previous_context() {
+        let outer_registry = Registry::new();
+        let guard = obs_scope(ObsContext {
+            registry: outer_registry.clone(),
+            trace: None,
+        });
+        {
+            let inner_registry = Registry::new();
+            let _inner = obs_scope(ObsContext {
+                registry: inner_registry.clone(),
+                trace: None,
+            });
+            drop(span("x"));
+            assert_eq!(inner_registry.histogram("x").unwrap().count, 1);
+            assert!(outer_registry.histogram("x").is_none());
+        }
+        drop(span("y"));
+        assert_eq!(outer_registry.histogram("y").unwrap().count, 1);
+        drop(guard);
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn trace_capacity_bounds_recording() {
+        let trace = Arc::new(Trace::new(2));
+        for _ in 0..5 {
+            let _span = Span::enter_with("s", Registry::disabled(), Some(Arc::clone(&trace)));
+        }
+        assert_eq!(trace.spans().len(), 2);
+        assert_eq!(trace.dropped(), 3);
+        assert!(trace.render().contains("3 spans dropped"));
+    }
+}

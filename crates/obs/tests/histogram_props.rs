@@ -1,0 +1,103 @@
+//! Property coverage for the histogram: quantile ordering on arbitrary
+//! fills, exact values on synthetic fills, and merge associativity.
+
+use paq_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn fill(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn exact_quantiles_on_power_of_two_fill() {
+    // 8 values, one per bucket 1..=8: ranks map 1:1 onto buckets.
+    let values: Vec<u64> = (0..8u32).map(|i| 1u64 << i).collect();
+    let s = fill(&values);
+    assert_eq!(s.count, 8);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 128);
+    // p50 → rank 4 → bucket 4 (value 8), upper bound 15.
+    assert_eq!(s.p50(), Some(15));
+    // p90 → rank 8 → bucket 8 (value 128), upper bound 255 clamps to max.
+    assert_eq!(s.p90(), Some(128));
+    assert_eq!(s.p99(), Some(128));
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_range() {
+    let mut next = 0u64;
+    for i in 0..paq_obs::histogram::BUCKET_COUNT {
+        assert_eq!(
+            bucket_lower(i),
+            next,
+            "bucket {i} starts where {} ended",
+            i.wrapping_sub(1)
+        );
+        assert!(bucket_lower(i) <= bucket_upper(i));
+        next = bucket_upper(i).wrapping_add(1);
+    }
+    assert_eq!(next, 0, "bucket 64 ends at u64::MAX");
+}
+
+proptest! {
+    #[test]
+    fn quantiles_are_ordered_and_in_range(values in prop::collection::vec(any::<u64>(), 1..200)) {
+        let s = fill(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        let p50 = s.p50().unwrap();
+        let p90 = s.p90().unwrap();
+        let p99 = s.p99().unwrap();
+        prop_assert!(min <= p50, "min {} ≤ p50 {}", min, p50);
+        prop_assert!(p50 <= p90, "p50 {} ≤ p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} ≤ p99 {}", p90, p99);
+        prop_assert!(p99 <= max, "p99 {} ≤ max {}", p99, max);
+    }
+
+    #[test]
+    fn recorded_values_land_in_their_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(bucket_lower(i) <= v && v <= bucket_upper(i));
+        let s = fill(&[v]);
+        prop_assert_eq!(s.buckets, vec![(i as u8, 1u64)]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..50),
+        b in prop::collection::vec(0u64..1_000_000, 0..50),
+        c in prop::collection::vec(0u64..1_000_000, 0..50),
+    ) {
+        let (sa, sb, sc) = (fill(&a), fill(&b), fill(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right, "associativity");
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+
+        // And the merge equals one histogram fed everything.
+        let mut everything = a.clone();
+        everything.extend_from_slice(&b);
+        everything.extend_from_slice(&c);
+        prop_assert_eq!(&left, &fill(&everything), "merge ≡ single fill");
+    }
+}

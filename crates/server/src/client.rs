@@ -188,6 +188,20 @@ impl<C: Read + Write> Client<C> {
         }
     }
 
+    /// Fetch the server's full metrics-registry snapshot: counters,
+    /// gauges, and latency histograms (engine, store, and server-side
+    /// figures together). Empty when the server runs with observability
+    /// disabled. Render it locally with
+    /// [`paq_obs::prometheus::render`] for text exposition, or read
+    /// percentiles straight off the
+    /// [`HistogramSnapshot`](paq_obs::HistogramSnapshot)s.
+    pub fn metrics(&mut self) -> ClientResult<paq_obs::RegistrySnapshot> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Ask the server to shut down gracefully (drain in-flight work,
     /// stop accepting). The server acknowledges before closing.
     pub fn shutdown(&mut self) -> ClientResult<()> {
@@ -205,6 +219,7 @@ fn unexpected(wanted: &str, got: &Response) -> ClientError {
         Response::Appended { .. } => "Appended",
         Response::Explained { .. } => "Explained",
         Response::Stats(_) => "Stats",
+        Response::Metrics(_) => "Metrics",
         Response::ShuttingDown => "ShuttingDown",
         Response::Busy { .. } => "Busy",
         Response::Error(_) => "Error",

@@ -37,6 +37,7 @@ use std::time::Duration;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use paq_obs::Registry;
 use paq_relational::{Table, Value};
 
 use crate::client::Client;
@@ -129,6 +130,7 @@ pub struct RetryingClient<C: Read + Write, F: FnMut() -> std::io::Result<C>> {
     client: Option<Client<C>>,
     rng: SmallRng,
     stats: RetryStats,
+    obs: Registry,
 }
 
 impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
@@ -142,12 +144,23 @@ impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
             client: None,
             rng,
             stats: RetryStats::default(),
+            obs: Registry::disabled(),
         }
     }
 
     /// Work counters so far.
     pub fn retry_stats(&self) -> RetryStats {
         self.stats
+    }
+
+    /// Mirror retry activity into a metrics registry:
+    /// `client.attempts`, `client.retries_total`, and
+    /// `client.reconnects` count alongside [`RetryStats`], so retry
+    /// churn shows up in the same snapshot as everything else (e.g. the
+    /// chaos suite asserts its injected faults produced retries).
+    /// Disabled by default.
+    pub fn attach_registry(&mut self, registry: Registry) {
+        self.obs = registry;
     }
 
     /// Draw the next mutation token from the seeded sequence.
@@ -159,6 +172,7 @@ impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
         if self.client.is_none() {
             let conn = (self.connect)().map_err(ClientError::from)?;
             self.stats.reconnects += 1;
+            self.obs.incr("client.reconnects");
             self.client = Some(Client::over(conn));
         }
         Ok(self.client.as_mut().expect("connected above"))
@@ -175,6 +189,7 @@ impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
         let mut retry = 0u32;
         loop {
             self.stats.attempts += 1;
+            self.obs.incr("client.attempts");
             let error = match self.client().and_then(&mut call) {
                 Ok(value) => return Ok(value),
                 Err(e) => e,
@@ -199,6 +214,7 @@ impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
             }
             retry += 1;
             self.stats.retries += 1;
+            self.obs.incr("client.retries_total");
         }
     }
 

@@ -30,11 +30,12 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use paq_db::{AckKind, DbError, Execution, PackageDb};
 use paq_exec::ThreadPool;
 use paq_lang::parse_paql;
+use paq_obs::Registry;
 
 use crate::error::WireError;
 use crate::transport::{PipeEnd, PipeListener};
@@ -261,6 +262,11 @@ struct ServerState {
     deduped_mutations: AtomicU64,
     handler_panics: AtomicU64,
     acked: Mutex<TokenCache>,
+    /// The database's metrics registry (shared, not a copy): server-side
+    /// figures — `server.queue_wait`, `server.handle`, frame-I/O
+    /// latencies — land next to the engine's own, so one
+    /// [`Request::Metrics`] snapshot covers the whole stack.
+    obs: Registry,
 }
 
 /// Decrements the in-flight connection count when a handler finishes,
@@ -320,6 +326,7 @@ impl Server {
         }
         let state = ServerState {
             acked: Mutex::new(acked),
+            obs: db.obs_registry(),
             ..ServerState::default()
         };
         Server {
@@ -417,14 +424,22 @@ impl Server {
                             continue; // drop rejects the connection
                         }
                         state.in_flight.fetch_add(1, Ordering::AcqRel);
-                        return Some(conn);
+                        // The accept timestamp rides along so the
+                        // handler can measure queue wait: the gap
+                        // between accept and the first handler
+                        // instruction is exactly the time the
+                        // connection spent waiting for a free worker.
+                        return Some((conn, Instant::now()));
                     }
                     Accepted::Idle => continue,
                     Accepted::Closed => return None,
                 }
             },
-            |conn| {
+            |(conn, accepted_at)| {
                 let _guard = InFlightGuard(&state.in_flight);
+                state
+                    .obs
+                    .observe("server.queue_wait", accepted_at.elapsed());
                 self.handle_connection(conn);
             },
         );
@@ -459,13 +474,25 @@ impl Server {
         // One session per connection; its config is the base every
         // request's overrides apply to.
         let session = self.db.session();
+        self.state.obs.incr("server.connections");
         loop {
+            // The read histogram covers the whole wait for a frame, so
+            // for all but the first request on a pipelined connection it
+            // is dominated by client think-time — it exists to expose
+            // slow/stalling senders, not server work (that's
+            // `server.handle`).
+            let read_start = Instant::now();
             let payload = match read_frame_deadline(
                 &mut conn,
                 || self.state.shutdown.load(Ordering::Acquire),
                 self.config.frame_deadline,
             ) {
-                Ok(Some(payload)) => payload,
+                Ok(Some(payload)) => {
+                    self.state
+                        .obs
+                        .observe("server.frame.read", read_start.elapsed());
+                    payload
+                }
                 // Peer closed, or shutdown while idle: drain complete.
                 Ok(None) => return,
                 // A started frame stalled past the deadline: free the
@@ -492,8 +519,14 @@ impl Server {
                     return;
                 }
             };
+            let decode_start = Instant::now();
             let request = match Request::decode(&payload) {
-                Ok(request) => request,
+                Ok(request) => {
+                    self.state
+                        .obs
+                        .observe("server.request.decode", decode_start.elapsed());
+                    request
+                }
                 // The frame was well-delimited but undecodable; the
                 // stream itself is still in sync, so answer and keep
                 // the connection.
@@ -511,10 +544,20 @@ impl Server {
                     return;
                 }
             };
+            let handle_start = Instant::now();
             let response = self.dispatch(&session, request);
+            self.state.obs.incr("server.requests");
+            self.state
+                .obs
+                .observe("server.handle", handle_start.elapsed());
             let shutting_down = matches!(response, Response::ShuttingDown);
             self.state.served.fetch_add(1, Ordering::AcqRel);
-            if response.write_to(&mut conn).is_err() || shutting_down {
+            let write_start = Instant::now();
+            let wrote = response.write_to(&mut conn);
+            self.state
+                .obs
+                .observe("server.response.write", write_start.elapsed());
+            if wrote.is_err() || shutting_down {
                 return;
             }
         }
@@ -579,6 +622,12 @@ impl Server {
                     served: self.state.served.load(Ordering::Acquire),
                     durability: stats.durability,
                 })
+            }
+            Request::Metrics => {
+                // One snapshot spans the whole stack: the server shares
+                // the database's registry, so engine, store, and
+                // server-side figures arrive together.
+                Response::Metrics(self.state.obs.snapshot())
             }
             Request::Shutdown => {
                 self.trigger_shutdown();

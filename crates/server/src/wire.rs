@@ -41,6 +41,7 @@ use paq_core::Package;
 use paq_db::{
     CacheStats, DurabilityStats, Execution, RouterStats, RouterVerdict, Strategy, TableStats,
 };
+use paq_obs::{HistogramSnapshot, RegistrySnapshot};
 use paq_relational::{ColumnDef, DataType, Schema, Table, Value};
 
 use crate::error::{WireError, WireResult};
@@ -61,7 +62,12 @@ use crate::error::{WireError, WireResult};
 /// Bumped to 5 when acked idempotency tokens became durable: the
 /// `Stats` durability counters gained `recovered_acks` (tokens restored
 /// from the store at open).
-pub const WIRE_VERSION: u8 = 5;
+/// Bumped to 6 when the observability layer landed: a new
+/// [`Request::Metrics`] returns [`Response::Metrics`] — the full
+/// server-side metrics registry snapshot (counters, gauges, and
+/// latency histograms with their log2 buckets, so clients recompute
+/// p50/p90/p99 or merge snapshots across servers).
+pub const WIRE_VERSION: u8 = 6;
 
 /// Hard cap on one frame's payload (32 MiB). Large enough for a
 /// multi-million-row `RegisterTable`, small enough that a corrupt
@@ -601,6 +607,10 @@ pub enum Request {
     Stats,
     /// Stop accepting connections and drain in-flight work.
     Shutdown,
+    /// Ask for the server's full metrics-registry snapshot (counters,
+    /// gauges, latency histograms — including `server.queue_wait` and
+    /// `server.handle`).
+    Metrics,
 }
 
 impl Request {
@@ -642,6 +652,7 @@ impl Request {
             }
             Request::Stats => out.push(4),
             Request::Shutdown => out.push(5),
+            Request::Metrics => out.push(6),
         }
         out
     }
@@ -673,6 +684,7 @@ impl Request {
             },
             4 => Request::Stats,
             5 => Request::Shutdown,
+            6 => Request::Metrics,
             tag => return Err(WireError::Malformed(format!("request tag {tag}"))),
         };
         c.finish()?;
@@ -1042,6 +1054,67 @@ fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
     })
 }
 
+fn put_registry_snapshot(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+    put_u64(out, s.counters.len() as u64);
+    for (name, value) in &s.counters {
+        put_string(out, name);
+        put_u64(out, *value);
+    }
+    put_u64(out, s.gauges.len() as u64);
+    for (name, value) in &s.gauges {
+        put_string(out, name);
+        put_u64(out, *value as u64);
+    }
+    put_u64(out, s.histograms.len() as u64);
+    for (name, h) in &s.histograms {
+        put_string(out, name);
+        put_u64(out, h.count);
+        put_u64(out, h.sum);
+        put_u64(out, h.min);
+        put_u64(out, h.max);
+        put_u64(out, h.buckets.len() as u64);
+        for &(index, count) in &h.buckets {
+            out.push(index);
+            put_u64(out, count);
+        }
+    }
+}
+
+fn get_registry_snapshot(c: &mut Cursor<'_>) -> WireResult<RegistrySnapshot> {
+    let mut s = RegistrySnapshot::default();
+    let counters = c.count(9)?;
+    for _ in 0..counters {
+        let name = c.string()?;
+        s.counters.push((name, c.u64()?));
+    }
+    let gauges = c.count(9)?;
+    for _ in 0..gauges {
+        let name = c.string()?;
+        s.gauges.push((name, c.i64()?));
+    }
+    let histograms = c.count(41)?;
+    for _ in 0..histograms {
+        let name = c.string()?;
+        let mut h = HistogramSnapshot {
+            count: c.u64()?,
+            sum: c.u64()?,
+            min: c.u64()?,
+            max: c.u64()?,
+            buckets: Vec::new(),
+        };
+        let buckets = c.count(9)?;
+        for _ in 0..buckets {
+            let index = c.u8()?;
+            if index as usize >= paq_obs::histogram::BUCKET_COUNT {
+                return Err(WireError::Malformed(format!("bucket index {index}")));
+            }
+            h.buckets.push((index, c.u64()?));
+        }
+        s.histograms.push((name, h));
+    }
+    Ok(s)
+}
+
 /// The database-state snapshot shipped for a [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReply {
@@ -1096,6 +1169,10 @@ pub enum Response {
         /// exponential backoff schedule.
         retry_after_ms: u64,
     },
+    /// Result of a [`Request::Metrics`]: the server's registry
+    /// snapshot. Empty when the server's database was opened with
+    /// observability disabled.
+    Metrics(RegistrySnapshot),
     /// Application-level error; the connection stays usable.
     Error(Fault),
 }
@@ -1205,6 +1282,10 @@ impl Response {
             Response::Error(fault) => {
                 out.push(7);
                 put_fault(&mut out, fault);
+            }
+            Response::Metrics(snapshot) => {
+                out.push(8);
+                put_registry_snapshot(&mut out, snapshot);
             }
         }
         out
@@ -1324,6 +1405,7 @@ impl Response {
                 retry_after_ms: c.u64()?,
             },
             7 => Response::Error(get_fault(&mut c)?),
+            8 => Response::Metrics(get_registry_snapshot(&mut c)?),
             tag => return Err(WireError::Malformed(format!("response tag {tag}"))),
         };
         c.finish()?;
@@ -1426,6 +1508,73 @@ mod tests {
         payload.push(0);
         match Request::decode(&payload) {
             Err(WireError::Malformed(d)) => assert!(d.contains("trailing"), "{d}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_request_round_trips() {
+        let payload = Request::Metrics.encode();
+        match Request::decode(&payload).unwrap() {
+            Request::Metrics => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let registry = paq_obs::Registry::new();
+        registry.incr("db.route.model");
+        registry.add("solver.nodes", 42);
+        registry.set_gauge("db.cache.entries", -3);
+        for n in [1u64, 5, 900, 70_000, 70_000] {
+            registry.observe_nanos("server.handle", n);
+        }
+        let snapshot = registry.snapshot();
+        let payload = Response::Metrics(snapshot.clone()).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Metrics(decoded) => {
+                assert_eq!(decoded, snapshot);
+                let (_, handle) = decoded
+                    .histograms
+                    .iter()
+                    .find(|(name, _)| name == "server.handle")
+                    .expect("server.handle histogram survived the wire");
+                assert_eq!(handle.count, 5);
+                assert_eq!(handle.min, 1);
+                assert_eq!(handle.max, 70_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_response_empty_snapshot_round_trips() {
+        let payload = Response::Metrics(paq_obs::RegistrySnapshot::default()).encode();
+        match Response::decode(&payload).unwrap() {
+            Response::Metrics(decoded) => assert_eq!(decoded, paq_obs::RegistrySnapshot::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_response_out_of_range_bucket_rejected() {
+        // Hand-craft a Metrics response whose single histogram carries
+        // a bucket index past the fixed bucket array.
+        let mut out = vec![WIRE_VERSION, 8];
+        put_u64(&mut out, 0); // counters
+        put_u64(&mut out, 0); // gauges
+        put_u64(&mut out, 1); // histograms
+        put_string(&mut out, "h");
+        put_u64(&mut out, 1); // count
+        put_u64(&mut out, 1); // sum
+        put_u64(&mut out, 1); // min
+        put_u64(&mut out, 1); // max
+        put_u64(&mut out, 1); // buckets
+        out.push(paq_obs::histogram::BUCKET_COUNT as u8);
+        put_u64(&mut out, 1);
+        match Response::decode(&out) {
+            Err(WireError::Malformed(d)) => assert!(d.contains("bucket"), "{d}"),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use paq_obs::Registry;
 use parking_lot::RwLock;
 
 use crate::solution::{SolveOutcome, SolveStats};
@@ -37,12 +38,26 @@ pub struct Telemetry {
     simplex_iterations: AtomicU64,
     wall_nanos: AtomicU64,
     history: RwLock<Vec<SolveRecord>>,
+    /// Optional mirror into a shared metrics registry (see
+    /// [`Telemetry::attach_registry`]); disabled by default.
+    registry: RwLock<Registry>,
 }
 
 impl Telemetry {
     /// A fresh, zeroed sink.
     pub fn new() -> Self {
         Telemetry::default()
+    }
+
+    /// Mirror every future [`Telemetry::record`] into `registry` as
+    /// well: `solver.calls` / `solver.failures` / `solver.nodes` /
+    /// `solver.simplex_iterations` counters and a `solver.solve` wall
+    /// time histogram. The aggregate counters on `self` are unchanged —
+    /// existing callers keep their view; the registry is a second,
+    /// database-wide sink (`PackageDb::set_telemetry` attaches the
+    /// shared one automatically).
+    pub fn attach_registry(&self, registry: Registry) {
+        *self.registry.write() = registry;
     }
 
     /// Record one finished solve.
@@ -62,6 +77,14 @@ impl Telemetry {
             wall_time: stats.wall_time,
             failed: outcome.is_failure(),
         });
+        let registry = self.registry.read().clone();
+        registry.incr("solver.calls");
+        if outcome.is_failure() {
+            registry.incr("solver.failures");
+        }
+        registry.add("solver.nodes", stats.nodes);
+        registry.add("solver.simplex_iterations", stats.simplex_iterations);
+        registry.observe("solver.solve", stats.wall_time);
     }
 
     /// Total solver invocations.

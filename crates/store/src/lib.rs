@@ -45,10 +45,12 @@ pub use replay::{MaintenancePolicy, ReplayStats};
 pub use wal::{WalOp, WalRecord};
 
 use paq_exec::ThreadPool;
+use paq_obs::Registry;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 fn io_err(path: &Path, source: std::io::Error) -> StoreError {
     StoreError::Io {
@@ -85,6 +87,11 @@ pub struct StoreConfig {
     /// per-table delta crosses the threshold — the same decision the
     /// live engine made, so recovery republishes identical state.
     pub maintenance: Option<MaintenancePolicy>,
+    /// Metrics sink for WAL/snapshot/replay latencies and counters
+    /// (`store.wal.append`, `store.wal.fsync`, `store.snapshot.write`,
+    /// `store.replay.*`). Disabled by default; the engine passes its
+    /// shared registry.
+    pub obs: Registry,
 }
 
 impl StoreConfig {
@@ -95,6 +102,7 @@ impl StoreConfig {
             sync: SyncPolicy::default(),
             injector: None,
             maintenance: None,
+            obs: Registry::disabled(),
         }
     }
 }
@@ -147,6 +155,7 @@ pub struct Store {
     wal_file: File,
     sync: SyncPolicy,
     injector: Option<Arc<dyn FaultInjector>>,
+    obs: Registry,
     poisoned: bool,
     stats: StoreStats,
 }
@@ -169,6 +178,7 @@ impl Store {
         config: StoreConfig,
         pool: Option<&ThreadPool>,
     ) -> StoreResult<(Store, RecoveredState)> {
+        let open_start = Instant::now();
         fs::create_dir_all(&config.dir).map_err(|e| io_err(&config.dir, e))?;
 
         // Snapshot first: its LSN bounds which WAL records still matter.
@@ -228,12 +238,18 @@ impl Store {
         let (state, replay_stats) =
             replay::replay(snapshot_state, suffix, pool, config.maintenance)?;
 
+        config.obs.add("store.replay.records", replayed);
+        config
+            .obs
+            .add("store.replay.tail_dropped_bytes", scan.dropped_bytes);
+        config.obs.observe("store.replay", open_start.elapsed());
         let store = Store {
             dir: config.dir,
             wal_path,
             wal_file,
             sync: config.sync,
             injector: config.injector,
+            obs: config.obs,
             poisoned: false,
             stats: StoreStats {
                 last_snapshot_lsn: snapshot_lsn,
@@ -264,6 +280,7 @@ impl Store {
             self.stats.wal_errors += 1;
             return Err(StoreError::Poisoned);
         }
+        let append_start = Instant::now();
         let frame = wal::encode_record(record);
         let write = match self.injector.as_ref() {
             None => self.wal_file.write_all(&frame),
@@ -295,11 +312,13 @@ impl Store {
                 self.stats.wal_records += 1;
                 self.stats.wal_bytes += frame.len() as u64;
                 self.stats.records_since_snapshot += 1;
+                self.obs.observe("store.wal.append", append_start.elapsed());
                 Ok(())
             }
             Err(e) => {
                 self.poisoned = true;
                 self.stats.wal_errors += 1;
+                self.obs.incr("store.wal.error");
                 Err(io_err(&self.wal_path, e))
             }
         }
@@ -311,16 +330,19 @@ impl Store {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
+        let sync_start = Instant::now();
         let synced = fault::gate(self.injector.as_ref(), FaultSite::WalSync)
             .and_then(|()| self.wal_file.sync_data());
         match synced {
             Ok(()) => {
                 self.stats.wal_syncs += 1;
+                self.obs.observe("store.wal.fsync", sync_start.elapsed());
                 Ok(())
             }
             Err(e) => {
                 self.poisoned = true;
                 self.stats.wal_errors += 1;
+                self.obs.incr("store.wal.error");
                 Err(io_err(&self.wal_path, e))
             }
         }
@@ -338,6 +360,7 @@ impl Store {
         if self.poisoned {
             return Err(StoreError::Poisoned);
         }
+        let snapshot_start = Instant::now();
         let (_path, size) =
             snapshot::write_snapshot_with(&self.dir, state, self.injector.as_ref())?;
         // Everything in the WAL is now subsumed; reset it to magic.
@@ -354,6 +377,8 @@ impl Store {
         self.stats.snapshots_written += 1;
         self.stats.last_snapshot_lsn = state.last_version;
         self.stats.records_since_snapshot = 0;
+        self.obs
+            .observe("store.snapshot.write", snapshot_start.elapsed());
         Ok(size)
     }
 

@@ -26,6 +26,7 @@
 //! | [`db`] | `PackageDb`: concurrent sessions over a shared table catalog + partition cache, Direct/SketchRefine planner |
 //! | [`store`] | `paq-store`: durable tiered storage — WAL + snapshots, crash recovery to warm-cache state |
 //! | [`server`] | `paq-server`: PaQL over a socket — wire protocol, concurrent server core, client library |
+//! | [`obs`] | `paq-obs`: metrics registry (counters/gauges/histograms), nested tracing spans, Prometheus-style exposition |
 //! | [`datagen`] | synthetic Galaxy / TPC-H datasets and workloads (§5.1) |
 //!
 //! ## Quickstart
@@ -90,6 +91,7 @@ pub use paq_datagen as datagen;
 pub use paq_db as db;
 pub use paq_exec as exec;
 pub use paq_lang as paql;
+pub use paq_obs as obs;
 pub use paq_partition as partition;
 pub use paq_relational as relational;
 pub use paq_server as server;
@@ -101,8 +103,8 @@ pub mod prelude {
     pub use paq_core::{Direct, Evaluator, Package, QueryFeatures, SketchRefine};
     pub use paq_db::{
         CacheOutcome, DbConfig, DbError, Durability, DurabilityStats, Execution, MaintenanceConfig,
-        MaintenanceStats, PackageDb, Route, RouteReason, RouterConfig, RouterVerdict, Strategy,
-        SyncPolicy,
+        MaintenanceStats, ObsConfig, PackageDb, Route, RouteReason, RouterConfig, RouterVerdict,
+        SlowQuery, Strategy, SyncPolicy,
     };
     pub use paq_lang::{parse_paql, Paql, PaqlBuilder};
     pub use paq_partition::{PartitionConfig, Partitioner};
