@@ -29,6 +29,15 @@
 //!   bench's concurrency), or the Prometheus exposition failed to
 //!   round-trip — the observability contract, checked structurally on
 //!   every host;
+//! * the `serving` section is missing, the columnar `RegisterTable`
+//!   encoding failed to beat the row-major payload byte-for-byte, or
+//!   the shed probe produced no typed `Busy` (admission control
+//!   stopped shedding over-quota work) — the serving contract, checked
+//!   structurally on every host; the fairness gate — interactive p99
+//!   under weighted-fair admission must beat the same workload under
+//!   FIFO — compares two latencies from the *same* fresh run but is
+//!   still **skipped when `host_cpus == 1`** (time-slicing one core
+//!   serializes the contending clients the gate needs);
 //! * observability overhead blew past [`MAX_OBS_OVERHEAD`]×: the
 //!   obs-on warm round-trip vs the obs-off control measured in the
 //!   same fresh run (same host, same process — much less noisy than a
@@ -377,6 +386,77 @@ fn main() {
                 failures.push(format!(
                     "obs-off warm round-trip is not positive ({off_ms}ms)"
                 ));
+            }
+        }
+    }
+
+    // --- serving: structure always, fairness timing unless 1 CPU ------
+    // Columnar-beats-row and typed-Busy shedding are deterministic
+    // properties of the code, gated on every host. The fairness A/B is
+    // an intra-run latency comparison like the obs overhead above, but
+    // it additionally needs the interactive and bulk clients to really
+    // contend — a single time-sliced core serializes them and the
+    // ordering becomes scheduler luck.
+    match fresh.get("serving") {
+        None => failures.push("serving section missing from the fresh artifact".to_owned()),
+        Some(serving) => {
+            let field = |key: &str| serving.get(key).and_then(Json::as_f64);
+            match (
+                field("columnar_register_bytes"),
+                field("row_register_bytes"),
+            ) {
+                (Some(columnar), Some(row)) => {
+                    if columnar >= row {
+                        failures.push(format!(
+                            "columnar RegisterTable ({columnar} bytes) did not beat the \
+                             row-major encoding ({row} bytes)"
+                        ));
+                    }
+                }
+                _ => failures
+                    .push("serving columnar/row RegisterTable byte counts missing".to_owned()),
+            }
+            if serving
+                .get("shed_probe")
+                .and_then(|p| p.get("typed_busy"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                < 1.0
+            {
+                failures.push(
+                    "shed probe saw no typed Busy — admission control never shed \
+                     over-quota work"
+                        .to_owned(),
+                );
+            }
+            let interactive_p99 = |mode: &str| {
+                serving
+                    .get(mode)
+                    .and_then(|m| m.get("interactive"))
+                    .and_then(|i| i.get("p99_ms"))
+                    .and_then(Json::as_f64)
+            };
+            match (interactive_p99("fair"), interactive_p99("fifo")) {
+                (None, _) | (_, None) => failures.push(format!(
+                    "serving interactive p99 datapoints missing (fair {:?}, fifo {:?})",
+                    interactive_p99("fair"),
+                    interactive_p99("fifo")
+                )),
+                _ if single_cpu => {
+                    println!("bench_gate: host_cpus == 1 — serving fairness gate skipped");
+                }
+                (Some(fair_ms), Some(fifo_ms)) => {
+                    println!(
+                        "bench_gate: serving fairness — interactive p99 {fair_ms:.3}ms \
+                         weighted-fair vs {fifo_ms:.3}ms FIFO"
+                    );
+                    if fair_ms >= fifo_ms {
+                        failures.push(format!(
+                            "weighted-fair admission no longer protects interactive latency \
+                             (p99 {fair_ms:.3}ms fair vs {fifo_ms:.3}ms FIFO)"
+                        ));
+                    }
+                }
             }
         }
     }

@@ -66,6 +66,18 @@
 //! section; `bench_gate` checks the structure on every host and the
 //! overhead ratio on multi-core runners only.
 //!
+//! A ninth family is the **serving loadgen** (wire protocol v7): one
+//! bulk tenant keeps a deep pipelined backlog outstanding while paced
+//! interactive clients measure round-trip latency, once under
+//! weighted-fair admission and once under the FIFO global-bound
+//! baseline — same server, same workload, only the dequeue discipline
+//! differs. A quota probe oversubmits a tight per-client quota to show
+//! shedding as typed `Busy` answers, and one `RegisterTable` body is
+//! encoded through both codecs to record the columnar-vs-row-major
+//! byte counts. All of it lands in the `serving` section; `bench_gate`
+//! checks the structure (columnar smaller, probe shed typed) on every
+//! host and fair-vs-FIFO interactive p99 on multi-core runners only.
+//!
 //! Knobs: `PAQ_REFINE_SCALE` (rows, default 12800),
 //! `PAQ_REFINE_THREADS` (parallel thread count, default 4),
 //! `PAQ_REFINE_REPS` (timing repetitions, min is kept, default 3),
@@ -260,7 +272,7 @@ struct ServerLatency {
 }
 
 fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
-    use paq_server::{spawn_tcp, Client, ExecOptions, RouteChoice, Server, ServerConfig};
+    use paq_server::{spawn_tcp, Client, RequestBuilder, Server, ServerConfig};
     use std::time::Instant;
 
     let server = Server::with_config(
@@ -276,13 +288,10 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
     // Pin the route: this figure tracks the wire + evaluator stack
     // across commits, so it must not flip strategies as the router's
     // telemetry (fed by the phases above) evolves mid-measurement.
-    let options = ExecOptions {
-        route: RouteChoice::ForceSketchRefine,
-        ..ExecOptions::default()
-    };
+    let request = RequestBuilder::query(paql).force_sketch_refine();
     let start = Instant::now();
-    let first = client
-        .execute_with("", paql, options.clone())
+    let first = request
+        .send(&mut client)
         .expect("server bench query must solve");
     let cold = start.elapsed();
     let expected = first.package();
@@ -293,9 +302,7 @@ fn measure_server(db: &PackageDb, paql: &str, warm_reps: u64) -> ServerLatency {
     let reps = warm_reps.max(1);
     for _ in 0..reps {
         let start = Instant::now();
-        let answer = client
-            .execute_with("", paql, options.clone())
-            .expect("warm request");
+        let answer = request.send(&mut client).expect("warm request");
         let elapsed = start.elapsed();
         assert_eq!(
             answer.package().members(),
@@ -574,7 +581,7 @@ fn measure_faults(plan_seed: u64) -> FaultsResult {
     use paq_chaos::{ChaosStream, FaultPlan, Trigger};
     use paq_relational::{DataType, Schema, Value};
     use paq_server::{
-        pipe_listener, Client, ExecOptions, RetryPolicy, RetryingClient, Server, ServerConfig,
+        pipe_listener, Client, RequestBuilder, RetryPolicy, RetryingClient, Server, ServerConfig,
     };
     use std::panic::AssertUnwindSafe;
     use std::time::Instant;
@@ -677,18 +684,15 @@ fn measure_faults(plan_seed: u64) -> FaultsResult {
                 .append_row_with_token("Chaos", appended_row(), Some(TOKEN))
                 .expect("tokened retry is answered from ack memory");
 
-            let exec = client
-                .execute_with(
-                    "Chaos",
-                    "SELECT PACKAGE(C) AS P FROM Chaos C REPEAT 0 \
-                     SUCH THAT COUNT(P.*) = 2 AND SUM(P.weight) <= 1000 \
-                     MAXIMIZE SUM(P.value)",
-                    ExecOptions {
-                        threads: Some(1),
-                        ..ExecOptions::default()
-                    },
-                )
-                .expect("query converges through the flaky pipe");
+            let exec = RequestBuilder::query(
+                "SELECT PACKAGE(C) AS P FROM Chaos C REPEAT 0 \
+                 SUCH THAT COUNT(P.*) = 2 AND SUM(P.weight) <= 1000 \
+                 MAXIMIZE SUM(P.value)",
+            )
+            .relation("Chaos")
+            .threads(1)
+            .send_retrying(&mut client)
+            .expect("query converges through the flaky pipe");
             // Every retried attempt was provoked by one surfaced typed
             // transient error.
             surfaced += client.retry_stats().retries;
@@ -884,6 +888,336 @@ fn measure_maintenance(seed: u64) -> MaintenanceResult {
         enabled,
         baseline,
         identical,
+    }
+}
+
+/// Latency distribution for one admission class in one loadgen mode.
+struct ClassLatency {
+    count: usize,
+    p50: Duration,
+    p99: Duration,
+}
+
+/// One pass of the serving loadgen: a bulk backlog plus paced
+/// interactive clients against a pipelined v7 server, fair or FIFO.
+struct LoadgenMode {
+    interactive: ClassLatency,
+    bulk: ClassLatency,
+    shed: u64,
+}
+
+/// The quota-shed probe: deliberate oversubmission against a tight
+/// per-client quota, every rejection surfacing as a typed `Busy`.
+struct ShedProbe {
+    quota: usize,
+    submitted: usize,
+    completed: usize,
+    typed_busy: usize,
+    server_shed: u64,
+}
+
+struct LoadgenResult {
+    workers: usize,
+    interactive_clients: usize,
+    interactive_requests: usize,
+    bulk_outstanding: usize,
+    fair: LoadgenMode,
+    fifo: LoadgenMode,
+    probe: ShedProbe,
+    columnar_rows: usize,
+    columnar_bytes: usize,
+    row_bytes: usize,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// An items-style knapsack table for the loadgen — small enough that
+/// every request routes DIRECT and solves in milliseconds, so queueing
+/// (not solving) dominates what the A/B measures.
+fn loadgen_table(n: usize, seed: u64) -> Table {
+    use paq_relational::{DataType, Schema, Value};
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 1000) as f64 / 10.0 + 1.0;
+        let w = (next() % 500) as f64 / 10.0 + 0.5;
+        t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+    }
+    t
+}
+
+const LOADGEN_WORKERS: usize = 4;
+const INTERACTIVE_CLIENTS: usize = 3;
+const INTERACTIVE_REQUESTS: usize = 16;
+const BULK_OUTSTANDING: usize = 12;
+
+const LOADGEN_BULK_QUERY: &str = "SELECT PACKAGE(R) AS P FROM Load R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 400 AND SUM(P.weight) <= 50000 MAXIMIZE SUM(P.value)";
+const LOADGEN_INTERACTIVE_QUERY: &str = "SELECT PACKAGE(R) AS P FROM Load R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.value)";
+
+/// One loadgen pass: a bulk connection keeps [`BULK_OUTSTANDING`]
+/// pipelined submissions in flight the whole time the interactive
+/// clients run, so their paced requests always land behind a saturated
+/// queue — the only variable between the two passes is the dequeue
+/// discipline (`fair`).
+fn run_loadgen_mode(db: &PackageDb, fair: bool) -> LoadgenMode {
+    use paq_server::{
+        pipe_listener, AdmissionConfig, Client, ClientError, HelloOptions, PipelinedClient,
+        RequestBuilder, Server, ServerConfig, ShedClass,
+    };
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
+
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: LOADGEN_WORKERS,
+            admission: AdmissionConfig {
+                fair,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    let connector = &connector;
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+
+    let (mut interactive, mut bulk_lat, shed) = std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+
+        // The bulk tenant: one pipelined connection that replenishes
+        // its backlog on every completion until told to stop.
+        let bulk_thread = scope.spawn(move || {
+            let mut client = PipelinedClient::handshake_as(
+                connector.connect().unwrap(),
+                HelloOptions {
+                    class: ShedClass::Bulk,
+                    client_id: 7,
+                },
+            )
+            .unwrap();
+            let request = RequestBuilder::query(LOADGEN_BULK_QUERY)
+                .relation("Load")
+                .force_direct()
+                .threads(1);
+            let mut outstanding = VecDeque::new();
+            let mut latencies = Vec::new();
+            loop {
+                while outstanding.len() < BULK_OUTSTANDING && !stop.load(Ordering::Acquire) {
+                    let submitted = Instant::now();
+                    outstanding.push_back((request.submit(&mut client).unwrap(), submitted));
+                }
+                let Some((ticket, submitted)) = outstanding.pop_front() else {
+                    break;
+                };
+                match client.wait(ticket) {
+                    Ok(_) => latencies.push(submitted.elapsed()),
+                    Err(ClientError::Busy { .. }) => {} // shed, counted server-side
+                    Err(e) => panic!("bulk loadgen request failed: {e}"),
+                }
+            }
+            latencies
+        });
+
+        let interactive_threads: Vec<_> = (0..INTERACTIVE_CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = PipelinedClient::handshake_as(
+                        connector.connect().unwrap(),
+                        HelloOptions {
+                            class: ShedClass::Interactive,
+                            client_id: 100 + i as u64,
+                        },
+                    )
+                    .unwrap();
+                    let request = RequestBuilder::query(LOADGEN_INTERACTIVE_QUERY)
+                        .relation("Load")
+                        .force_direct()
+                        .threads(1);
+                    let mut latencies = Vec::with_capacity(INTERACTIVE_REQUESTS);
+                    for _ in 0..INTERACTIVE_REQUESTS {
+                        let submitted = Instant::now();
+                        let ticket = request.submit(&mut client).unwrap();
+                        match client.wait(ticket) {
+                            Ok(_) => latencies.push(submitted.elapsed()),
+                            Err(ClientError::Busy { .. }) => {}
+                            Err(e) => panic!("interactive loadgen request failed: {e}"),
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    latencies
+                })
+            })
+            .collect();
+
+        let mut interactive = Vec::new();
+        for t in interactive_threads {
+            interactive.extend(t.join().expect("interactive loadgen thread"));
+        }
+        stop.store(true, Ordering::Release);
+        let bulk_lat = bulk_thread.join().expect("bulk loadgen thread");
+
+        // All four pinned handler workers are free again — a legacy
+        // connection shuts the server down so the serve thread joins.
+        let mut admin = Client::over(connector.connect().unwrap());
+        admin.shutdown().unwrap();
+        (interactive, bulk_lat, server.shed_requests())
+    });
+
+    interactive.sort();
+    bulk_lat.sort();
+    LoadgenMode {
+        interactive: ClassLatency {
+            count: interactive.len(),
+            p50: percentile(&interactive, 0.50),
+            p99: percentile(&interactive, 0.99),
+        },
+        bulk: ClassLatency {
+            count: bulk_lat.len(),
+            p50: percentile(&bulk_lat, 0.50),
+            p99: percentile(&bulk_lat, 0.99),
+        },
+        shed,
+    }
+}
+
+/// Oversubmit against a tight per-client quota: ten pipelined bulk
+/// queries into a quota of three, all in one write burst. The first
+/// three are admitted; with a multi-millisecond service time none can
+/// finish before the rest arrive, so every other tag comes back as a
+/// typed `Busy` naming the shed class.
+fn run_shed_probe(db: &PackageDb) -> ShedProbe {
+    use paq_server::{
+        pipe_listener, AdmissionConfig, Client, ClientError, HelloOptions, PipelinedClient,
+        RequestBuilder, Server, ServerConfig, ShedClass,
+    };
+
+    const QUOTA: usize = 3;
+    const SUBMITTED: usize = 10;
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                per_client_quota: QUOTA,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    let (completed, typed_busy, server_shed) = std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+        let mut client = PipelinedClient::handshake_as(
+            connector.connect().unwrap(),
+            HelloOptions {
+                class: ShedClass::Bulk,
+                client_id: 9,
+            },
+        )
+        .unwrap();
+        let request = RequestBuilder::query(LOADGEN_BULK_QUERY)
+            .relation("Load")
+            .force_direct()
+            .threads(1);
+        let tickets: Vec<_> = (0..SUBMITTED)
+            .map(|_| request.submit(&mut client).unwrap())
+            .collect();
+        let mut completed = 0;
+        let mut typed_busy = 0;
+        for ticket in tickets {
+            match client.wait(ticket) {
+                Ok(_) => completed += 1,
+                Err(ClientError::Busy {
+                    retry_after_ms,
+                    shed_class,
+                    ..
+                }) => {
+                    assert!(retry_after_ms > 0, "shed Busy must carry a pacing hint");
+                    assert_eq!(
+                        shed_class,
+                        Some(ShedClass::Bulk),
+                        "shed must name its class"
+                    );
+                    typed_busy += 1;
+                }
+                Err(e) => panic!("shed probe request failed: {e}"),
+            }
+        }
+        // Free the single pinned handler worker before shutting down.
+        drop(client);
+        let mut admin = Client::over(connector.connect().unwrap());
+        admin.shutdown().unwrap();
+        (completed, typed_busy, server.shed_requests())
+    });
+    ShedProbe {
+        quota: QUOTA,
+        submitted: SUBMITTED,
+        completed,
+        typed_busy,
+        server_shed,
+    }
+}
+
+/// The serving loadgen family: fairness A/B under a saturating bulk
+/// backlog, the quota-shed probe, and the columnar-vs-row encoding of
+/// one `RegisterTable` body.
+fn measure_loadgen(seed: u64) -> LoadgenResult {
+    use paq_server::{wire7, Request};
+
+    let db = PackageDb::with_config(DbConfig {
+        obs: ObsConfig {
+            enabled: false, // the A/B measures scheduling, not recording
+            ..ObsConfig::default()
+        },
+        ..DbConfig::default()
+    });
+    db.register_table("Load", loadgen_table(800, seed ^ 0x10AD));
+
+    let fair = run_loadgen_mode(&db, true);
+    let fifo = run_loadgen_mode(&db, false);
+    let probe = run_shed_probe(&db);
+
+    // Same table, both codecs: the legacy row-major payload vs the v7
+    // columnar chunks (typed columns, null bitmaps, per-chunk crc32).
+    let columnar_rows = 4096;
+    let request = Request::RegisterTable {
+        name: "Load".to_owned(),
+        table: galaxy_table(columnar_rows, seed ^ 0xC01),
+        token: None,
+    };
+    let row_bytes = request.encode().len();
+    let columnar_bytes = wire7::encode_request_v7(0, &request).len();
+
+    LoadgenResult {
+        workers: LOADGEN_WORKERS,
+        interactive_clients: INTERACTIVE_CLIENTS,
+        interactive_requests: INTERACTIVE_CLIENTS * INTERACTIVE_REQUESTS,
+        bulk_outstanding: BULK_OUTSTANDING,
+        fair,
+        fifo,
+        probe,
+        columnar_rows,
+        columnar_bytes,
+        row_bytes,
     }
 }
 
@@ -1175,6 +1509,45 @@ fn main() {
         maintenance.identical,
     );
 
+    // --- serving loadgen: fairness A/B, shed probe, columnar bytes ----
+    let serving = measure_loadgen(seed);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "serving loadgen ({} workers, {} interactive clients x {} requests against a \
+         {}-deep bulk backlog):",
+        serving.workers,
+        serving.interactive_clients,
+        serving.interactive_requests / serving.interactive_clients,
+        serving.bulk_outstanding,
+    );
+    for (label, mode) in [("fair", &serving.fair), ("fifo", &serving.fifo)] {
+        println!(
+            "  {label:<4} interactive p50 {:>8.3}ms p99 {:>8.3}ms ({} served)  \
+             bulk p50 {:>8.3}ms p99 {:>8.3}ms ({} served)  shed {}",
+            ms(mode.interactive.p50),
+            ms(mode.interactive.p99),
+            mode.interactive.count,
+            ms(mode.bulk.p50),
+            ms(mode.bulk.p99),
+            mode.bulk.count,
+            mode.shed,
+        );
+    }
+    println!(
+        "  shed probe: {} submitted into quota {} — {} completed, {} typed Busy \
+         ({} shed server-side); columnar RegisterTable {} bytes vs row-major {} \
+         ({:.1}% smaller, {} rows)",
+        serving.probe.submitted,
+        serving.probe.quota,
+        serving.probe.completed,
+        serving.probe.typed_busy,
+        serving.probe.server_shed,
+        serving.columnar_bytes,
+        serving.row_bytes,
+        (1.0 - serving.columnar_bytes as f64 / serving.row_bytes.max(1) as f64) * 100.0,
+        serving.columnar_rows,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"refine_parallel_waves\",");
@@ -1411,6 +1784,49 @@ fn main() {
     );
     let _ = writeln!(json, "    \"identical\": {}", maintenance.identical);
     json.push_str("  },\n");
+    json.push_str("  \"serving\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"transport\": \"in-process-pipe\", \"workers\": {}, \
+         \"interactive_clients\": {}, \"interactive_requests\": {}, \
+         \"bulk_outstanding\": {},",
+        serving.workers,
+        serving.interactive_clients,
+        serving.interactive_requests,
+        serving.bulk_outstanding,
+    );
+    for (key, mode) in [("fair", &serving.fair), ("fifo", &serving.fifo)] {
+        let _ = writeln!(
+            json,
+            "    \"{key}\": {{\"interactive\": {{\"count\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}}, \"bulk\": {{\"count\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}}, \"shed\": {}}},",
+            mode.interactive.count,
+            ms(mode.interactive.p50),
+            ms(mode.interactive.p99),
+            mode.bulk.count,
+            ms(mode.bulk.p50),
+            ms(mode.bulk.p99),
+            mode.shed,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"shed_probe\": {{\"submitted\": {}, \"quota\": {}, \"completed\": {}, \
+         \"typed_busy\": {}, \"server_shed\": {}}},",
+        serving.probe.submitted,
+        serving.probe.quota,
+        serving.probe.completed,
+        serving.probe.typed_busy,
+        serving.probe.server_shed,
+    );
+    let _ = writeln!(
+        json,
+        "    \"columnar_rows\": {}, \"columnar_register_bytes\": {}, \
+         \"row_register_bytes\": {}",
+        serving.columnar_rows, serving.columnar_bytes, serving.row_bytes,
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"total_seq_refine_ms\": {:.3},", total_seq * 1e3);
     let _ = writeln!(json, "  \"total_par_refine_ms\": {:.3},", total_par * 1e3);
     let _ = writeln!(json, "  \"total_speedup\": {speedup:.3},");
@@ -1456,6 +1872,28 @@ fn main() {
         faults.deduped,
         faults.handler_panics,
         faults.converged,
+    );
+    assert!(
+        serving.columnar_bytes < serving.row_bytes,
+        "the v7 columnar RegisterTable body must be smaller than the row-major \
+         one ({} vs {} bytes)",
+        serving.columnar_bytes,
+        serving.row_bytes,
+    );
+    assert!(
+        serving.probe.typed_busy >= 1 && serving.probe.completed >= 1,
+        "the quota probe must both admit and shed ({} completed, {} typed Busy)",
+        serving.probe.completed,
+        serving.probe.typed_busy,
+    );
+    assert!(
+        serving.fair.interactive.count == serving.interactive_requests
+            && serving.fifo.interactive.count == serving.interactive_requests,
+        "every paced interactive request must be served under default admission \
+         (fair {}, fifo {}, expected {})",
+        serving.fair.interactive.count,
+        serving.fifo.interactive.count,
+        serving.interactive_requests,
     );
     assert!(
         maintenance.identical

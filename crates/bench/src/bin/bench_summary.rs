@@ -35,6 +35,7 @@ const KNOWN_SECTIONS: &[&str] = &[
     "recovery",
     "faults",
     "maintenance",
+    "serving",
     "total_seq_refine_ms",
     "total_par_refine_ms",
     "total_speedup",
@@ -263,6 +264,64 @@ fn main() {
                 num(b, "p50_query_ms"),
             );
         }
+        println!();
+    }
+
+    if let Some(serving) = json.get("serving") {
+        println!("### High-throughput serving (pipelined v7, fair vs FIFO admission)");
+        println!();
+        println!(
+            "{} workers over {} · {} interactive clients × {} requests against a {}-deep \
+             bulk backlog",
+            num(serving, "workers"),
+            text(serving, "transport"),
+            num(serving, "interactive_clients"),
+            num(serving, "interactive_requests"),
+            num(serving, "bulk_outstanding"),
+        );
+        println!();
+        println!(
+            "| admission | interactive p50 (ms) | interactive p99 (ms) | served | bulk p50 (ms) \
+             | bulk p99 (ms) | served | shed |"
+        );
+        println!("|---|---:|---:|---:|---:|---:|---:|---:|");
+        for (label, key) in [("weighted-fair", "fair"), ("FIFO", "fifo")] {
+            let mode = serving.get(key).unwrap_or(&Json::Null);
+            let class = |name: &str| mode.get(name).cloned().unwrap_or(Json::Null);
+            let (interactive, bulk) = (class("interactive"), class("bulk"));
+            println!(
+                "| {label} | {:.3} | {:.3} | {} | {:.3} | {:.3} | {} | {} |",
+                num(&interactive, "p50_ms"),
+                num(&interactive, "p99_ms"),
+                num(&interactive, "count"),
+                num(&bulk, "p50_ms"),
+                num(&bulk, "p99_ms"),
+                num(&bulk, "count"),
+                num(mode, "shed"),
+            );
+        }
+        println!();
+        if let Some(probe) = serving.get("shed_probe") {
+            println!(
+                "shed probe: {} bulk submissions into a per-client quota of {} — {} completed, \
+                 **{} answered with typed `Busy`** ({} shed server-side)",
+                num(probe, "submitted"),
+                num(probe, "quota"),
+                num(probe, "completed"),
+                num(probe, "typed_busy"),
+                num(probe, "server_shed"),
+            );
+        }
+        let columnar = num(serving, "columnar_register_bytes");
+        let row = num(serving, "row_register_bytes");
+        println!(
+            "columnar `RegisterTable` **{:.1} KiB** vs row-major **{:.1} KiB** \
+             ({:.1}% smaller, {} rows)",
+            columnar / 1024.0,
+            row / 1024.0,
+            (1.0 - columnar / row) * 100.0,
+            num(serving, "columnar_rows"),
+        );
         println!();
     }
 

@@ -133,6 +133,17 @@ impl<S: Connection> Connection for ChaosStream<S> {
     fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.inner.set_read_poll(timeout)
     }
+
+    fn try_clone_writer(&self) -> io::Result<Self> {
+        // A clone would dodge injection bookkeeping (two handles, one
+        // plan cursor), so chaos streams refuse to split; the server
+        // then refuses the v7 handshake and the legacy protocol — the
+        // one the chaos suite exercises — is unaffected.
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "chaos streams cannot be split into reader and writer",
+        ))
+    }
 }
 
 /// An [`Acceptor`] wrapper: every accepted connection is wrapped in a

@@ -29,7 +29,7 @@ use paq_db::{DbConfig, Durability, PackageDb};
 use paq_relational::{DataType, Schema, Table, Value};
 use paq_server::wire::{Request, Response};
 use paq_server::{
-    pipe_listener, Acceptor, Client, ClientError, ExecOptions, FaultKind, RetryPolicy,
+    pipe_listener, Acceptor, Client, ClientError, FaultKind, RequestBuilder, RetryPolicy,
     RetryingClient, Server, ServerConfig,
 };
 
@@ -93,12 +93,12 @@ fn query(table: &str) -> String {
     )
 }
 
-/// Single-threaded solve so packages are bit-identical across runs.
-fn pinned() -> ExecOptions {
-    ExecOptions {
-        threads: Some(1),
-        ..ExecOptions::default()
-    }
+/// The suite's standard query against `table`, pinned to a
+/// single-threaded solve so packages are bit-identical across runs.
+fn pinned_query(table: &str) -> RequestBuilder {
+    RequestBuilder::query(query(table))
+        .relation(table)
+        .threads(1)
 }
 
 /// Wait (bounded) for a server-side condition that trails a client-side
@@ -199,9 +199,7 @@ fn wal_torn_write_poisons_store_and_acked_appends_survive_reopen() {
         storage_fault(client.append_row("Items", row()));
 
         // The read path is unaffected: queries still answer.
-        let exec = client
-            .execute_with("Items", &query("Items"), pinned())
-            .unwrap();
+        let exec = pinned_query("Items").send(&mut client).unwrap();
         assert!(!exec.package().is_empty());
         let stats = client.stats().unwrap();
         let durable = stats.durability.expect("durable server reports counters");
@@ -327,9 +325,7 @@ fn retrying_client_converges_through_flaky_transport() {
         for _ in 0..8 {
             client.append_row("Items", row()).unwrap();
         }
-        let exec = client
-            .execute_with("Items", &query("Items"), pinned())
-            .unwrap();
+        let exec = pinned_query("Items").send_retrying(&mut client).unwrap();
         assert_eq!(exec.rows, 38, "all 8 appends applied");
         assert!(!exec.package().is_empty());
 
@@ -461,9 +457,7 @@ fn stalled_mid_frame_client_gets_typed_timeout_and_server_survives() {
 
         // The handler is free again: a healthy client is served.
         let mut healthy = Client::over(connector.connect().unwrap());
-        let exec = healthy
-            .execute_with("Items", &query("Items"), pinned())
-            .unwrap();
+        let exec = pinned_query("Items").send(&mut healthy).unwrap();
         assert!(!exec.package().is_empty());
     });
     assert_eq!(server.frame_timeouts(), 1);
@@ -506,8 +500,8 @@ fn busy_overload_retry_honors_hint_and_converges() {
                         ..RetryPolicy::default()
                     },
                 );
-                let exec = client
-                    .execute_with("Items", &query("Items"), pinned())
+                let exec = pinned_query("Items")
+                    .send_retrying(&mut client)
                     .expect("retrying client must converge");
                 (exec, client.retry_stats())
             });
@@ -538,21 +532,14 @@ fn request_deadlines_surface_typed_timeouts() {
     with_server(&server, listener, || {
         let mut client = Client::over(connector.connect().unwrap());
 
-        let expired = ExecOptions {
-            deadline_ms: Some(0),
-            ..pinned()
-        };
-        match client.execute_with("Items", &query("Items"), expired) {
+        match pinned_query("Items").deadline_ms(0).send(&mut client) {
             Err(ClientError::Server(fault)) => assert_eq!(fault.kind, FaultKind::Timeout),
             other => panic!("expected Timeout, got {other:?}"),
         }
 
-        let generous = ExecOptions {
-            deadline_ms: Some(60_000),
-            ..pinned()
-        };
-        let exec = client
-            .execute_with("Items", &query("Items"), generous)
+        let exec = pinned_query("Items")
+            .deadline_ms(60_000)
+            .send(&mut client)
             .unwrap();
         assert!(!exec.package().is_empty());
     });
@@ -615,9 +602,7 @@ fn fixed_seed_chaos_outcome_is_identical_across_worker_counts() {
                             for _ in 0..4 {
                                 client.append_row(&table, row()).unwrap();
                             }
-                            let exec = client
-                                .execute_with(&table, &query(&table), pinned())
-                                .unwrap();
+                            let exec = pinned_query(&table).send_retrying(&mut client).unwrap();
                             Outcome {
                                 rows: exec.rows,
                                 pairs: exec.pairs.clone(),

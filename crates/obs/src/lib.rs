@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod names;
 pub mod prometheus;
 pub mod registry;
 pub mod span;

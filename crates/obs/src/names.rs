@@ -1,0 +1,38 @@
+//! Well-known metric names shared across crates.
+//!
+//! The registry keys on `&'static str`, so any crate *could* invent
+//! names ad hoc — and the engine-internal ones are established by their
+//! call sites. The serving-layer names below are shared between the
+//! server (which records them) and the bench/CI tooling (which asserts
+//! on them), so they live here once instead of as string literals that
+//! can drift apart.
+
+/// Counter: protocol-v7 handshakes completed (HelloAck sent), including
+/// ones negotiated down to a legacy version.
+pub const SERVER_HANDSHAKES: &str = "server.handshakes";
+
+/// Counter: pipelined (v7) request frames handed to the fair scheduler
+/// (shed arrivals included; see [`SERVER_SHED`] for those).
+pub const SERVER_PIPELINED: &str = "server.pipelined_requests";
+
+/// Counter: pipelined requests shed by admission control (quota
+/// exceeded, queue saturated, or evicted for higher-priority work);
+/// each was answered with a typed `Busy` carrying its shed class.
+pub const SERVER_SHED: &str = "server.admission.shed";
+
+/// Counter: shed requests whose admission class was interactive.
+pub const SERVER_SHED_INTERACTIVE: &str = "server.admission.shed.interactive";
+
+/// Counter: shed requests whose admission class was normal.
+pub const SERVER_SHED_NORMAL: &str = "server.admission.shed.normal";
+
+/// Counter: shed requests whose admission class was bulk.
+pub const SERVER_SHED_BULK: &str = "server.admission.shed.bulk";
+
+/// Histogram: time an admitted pipelined request waited in the fair
+/// scheduler between admission and the start of execution.
+pub const SERVER_FAIR_QUEUE_WAIT: &str = "server.fair.queue_wait";
+
+/// Counter: connections closed for never starting a frame within the
+/// server's idle timeout.
+pub const SERVER_IDLE_CLOSED: &str = "server.idle_closed";

@@ -32,5 +32,5 @@ pub mod value;
 pub use error::{RelError, RelResult};
 pub use expr::{BinOp, CmpOp, Expr};
 pub use schema::{ColumnDef, DataType, Schema};
-pub use table::{Column, Table};
+pub use table::{Column, ColumnChunk, Table};
 pub use value::Value;

@@ -245,6 +245,111 @@ impl Column {
             },
         }
     }
+
+    /// A borrowed, typed view over the contiguous row range
+    /// `start .. start + len` of this column — the zero-copy unit a
+    /// columnar wire encoder or storage layer works in. Panics when the
+    /// range exceeds the column (caller bug, like slicing).
+    pub fn chunk(&self, start: usize, len: usize) -> ColumnChunk<'_> {
+        let end = start + len;
+        match self {
+            Column::Int { data, nulls } => ColumnChunk::Int {
+                values: &data[start..end],
+                nulls: &nulls[start..end],
+            },
+            Column::Float { data, nulls } => ColumnChunk::Float {
+                values: &data[start..end],
+                nulls: &nulls[start..end],
+            },
+            Column::Bool { data, nulls } => ColumnChunk::Bool {
+                values: &data[start..end],
+                nulls: &nulls[start..end],
+            },
+            Column::Str { data, nulls } => ColumnChunk::Str {
+                values: &data[start..end],
+                nulls: &nulls[start..end],
+            },
+        }
+    }
+
+    /// Iterate the column as [`ColumnChunk`] views of at most
+    /// `chunk_rows` rows each (the final chunk may be shorter).
+    /// Panics when `chunk_rows` is zero.
+    pub fn chunks(&self, chunk_rows: usize) -> impl Iterator<Item = ColumnChunk<'_>> {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let total = self.len();
+        (0..total)
+            .step_by(chunk_rows)
+            .map(move |start| self.chunk(start, chunk_rows.min(total - start)))
+    }
+}
+
+/// A borrowed slice of one [`Column`]: typed values plus the parallel
+/// null mask for a contiguous row range. Masked slots hold the type's
+/// default (`0`, `0.0`, `false`, `""`), mirroring the owning column's
+/// invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColumnChunk<'a> {
+    /// Integer rows.
+    Int {
+        /// Cell values (masked entries hold 0).
+        values: &'a [i64],
+        /// Null mask, parallel to `values`.
+        nulls: &'a [bool],
+    },
+    /// Float rows.
+    Float {
+        /// Cell values (masked entries hold 0.0).
+        values: &'a [f64],
+        /// Null mask, parallel to `values`.
+        nulls: &'a [bool],
+    },
+    /// Boolean rows.
+    Bool {
+        /// Cell values (masked entries hold `false`).
+        values: &'a [bool],
+        /// Null mask, parallel to `values`.
+        nulls: &'a [bool],
+    },
+    /// String rows.
+    Str {
+        /// Cell values (masked entries hold `""`).
+        values: &'a [String],
+        /// Null mask, parallel to `values`.
+        nulls: &'a [bool],
+    },
+}
+
+impl ColumnChunk<'_> {
+    /// Rows in this chunk.
+    pub fn len(&self) -> usize {
+        self.nulls().len()
+    }
+
+    /// `true` when the chunk covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nulls().is_empty()
+    }
+
+    /// The null mask for the covered rows.
+    pub fn nulls(&self) -> &[bool] {
+        match self {
+            ColumnChunk::Int { nulls, .. }
+            | ColumnChunk::Float { nulls, .. }
+            | ColumnChunk::Bool { nulls, .. }
+            | ColumnChunk::Str { nulls, .. } => nulls,
+        }
+    }
+
+    /// The chunk's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnChunk::Int { .. } => DataType::Int,
+            ColumnChunk::Float { .. } => DataType::Float,
+            ColumnChunk::Bool { .. } => DataType::Bool,
+            ColumnChunk::Str { .. } => DataType::Str,
+        }
+    }
 }
 
 /// A columnar table: a [`Schema`] plus one [`Column`] per schema entry.

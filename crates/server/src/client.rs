@@ -73,10 +73,12 @@ impl<C: Read + Write> Client<C> {
                 in_flight,
                 max_in_flight,
                 retry_after_ms,
+                shed_class,
             })) => Err(ClientError::Busy {
                 in_flight,
                 max_in_flight,
                 retry_after_ms,
+                shed_class,
             }),
             Ok(Some(Response::Error(fault))) => Err(ClientError::Server(fault)),
             Ok(Some(response)) => {
@@ -96,25 +98,55 @@ impl<C: Read + Write> Client<C> {
 
     /// Execute a PaQL query with default options.
     pub fn execute(&mut self, paql: &str) -> ClientResult<RemoteExecution> {
-        self.execute_with("", paql, ExecOptions::default())
+        self.execute_opts("", paql, ExecOptions::default())
     }
 
     /// Execute a PaQL query; `relation`, when non-empty, must match the
     /// query's `FROM` relation, and `options` override the connection
     /// session's configuration for this request only.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build the request with `paq_server::api::RequestBuilder` and call \
+                `.send(&mut client)` instead"
+    )]
     pub fn execute_with(
         &mut self,
         relation: &str,
         paql: &str,
         options: ExecOptions,
     ) -> ClientResult<RemoteExecution> {
-        match self.roundtrip(&Request::Execute {
+        self.execute_opts(relation, paql, options)
+    }
+
+    /// Non-deprecated internal execute path shared by [`Client::execute`],
+    /// the deprecated free-form constructor above, and
+    /// [`RequestBuilder`](crate::api::RequestBuilder).
+    pub(crate) fn execute_opts(
+        &mut self,
+        relation: &str,
+        paql: &str,
+        options: ExecOptions,
+    ) -> ClientResult<RemoteExecution> {
+        self.execute_request(&Request::Execute {
             relation: relation.to_owned(),
             paql: paql.to_owned(),
             options,
-        })? {
+        })
+    }
+
+    /// Send a pre-built `Execute` request and decode the execution.
+    pub(crate) fn execute_request(&mut self, request: &Request) -> ClientResult<RemoteExecution> {
+        match self.roundtrip(request)? {
             Response::Executed(execution) => Ok(*execution),
             other => Err(unexpected("Executed", &other)),
+        }
+    }
+
+    /// Send a pre-built `Explain` request and decode the plan text.
+    pub(crate) fn explain_request(&mut self, request: &Request) -> ClientResult<String> {
+        match self.roundtrip(request)? {
+            Response::Explained { text } => Ok(text),
+            other => Err(unexpected("Explained", &other)),
         }
     }
 
@@ -212,7 +244,7 @@ impl<C: Read + Write> Client<C> {
     }
 }
 
-fn unexpected(wanted: &str, got: &Response) -> ClientError {
+pub(crate) fn unexpected(wanted: &str, got: &Response) -> ClientError {
     let variant = match got {
         Response::Executed(_) => "Executed",
         Response::Registered { .. } => "Registered",

@@ -91,6 +91,9 @@ pub enum ClientError {
         max_in_flight: u64,
         /// The server's pacing hint: wait this long before retrying.
         retry_after_ms: u64,
+        /// Which admission class was shed (v7 fairness admission only;
+        /// `None` for accept-time connection rejections and v6 peers).
+        shed_class: Option<crate::wire::ShedClass>,
     },
     /// The server reported an application-level error.
     Server(crate::wire::Fault),
@@ -145,11 +148,18 @@ impl fmt::Display for ClientError {
                 in_flight,
                 max_in_flight,
                 retry_after_ms,
-            } => write!(
-                f,
-                "server busy ({in_flight}/{max_in_flight} connections in flight); \
-                 retry in {retry_after_ms} ms"
-            ),
+                shed_class,
+            } => {
+                write!(
+                    f,
+                    "server busy ({in_flight}/{max_in_flight} in flight); \
+                     retry in {retry_after_ms} ms"
+                )?;
+                if let Some(class) = shed_class {
+                    write!(f, " (shed class: {})", class.label())?;
+                }
+                Ok(())
+            }
             ClientError::Server(fault) => write!(f, "server error: {fault}"),
             ClientError::UnexpectedResponse(detail) => {
                 write!(f, "unexpected response: {detail}")

@@ -60,21 +60,29 @@
 //! });
 //! ```
 
+pub(crate) mod admission;
+pub mod api;
 pub mod client;
 pub mod error;
+pub mod pipeline;
 pub mod retry;
 pub mod server;
 pub mod transport;
 pub mod wire;
+pub mod wire7;
 
+pub use api::RequestBuilder;
 pub use client::Client;
 pub use error::{ClientError, ClientResult, WireError, WireResult};
+pub use pipeline::{Completion, HelloOptions, PipelinedClient, Ticket};
 pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{
-    spawn_tcp, Accepted, Acceptor, Connection, Server, ServerConfig, TcpAcceptor, TcpServerHandle,
+    spawn_tcp, Accepted, Acceptor, AdmissionConfig, Connection, Server, ServerConfig, TcpAcceptor,
+    TcpServerHandle,
 };
 pub use transport::{duplex, pipe_listener, PipeConnector, PipeEnd, PipeListener};
 pub use wire::{
-    ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, RouteChoice, StatsReply,
-    WireReport, WireRouterVerdict, WireTimings, MAX_FRAME, WIRE_VERSION,
+    ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response, RouteChoice, ShedClass,
+    StatsReply, WireReport, WireRouterVerdict, WireTimings, MAX_FRAME, WIRE_VERSION,
 };
+pub use wire7::{Hello, HelloAck, CONTROL_TAG, WIRE_V7};

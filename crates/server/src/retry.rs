@@ -220,17 +220,34 @@ impl<C: Read + Write, F: FnMut() -> std::io::Result<C>> RetryingClient<C, F> {
 
     /// [`Client::execute`] with retries.
     pub fn execute(&mut self, paql: &str) -> ClientResult<RemoteExecution> {
-        self.execute_with("", paql, ExecOptions::default())
+        self.execute_opts("", paql, ExecOptions::default())
     }
 
     /// [`Client::execute_with`] with retries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build the request with `paq_server::api::RequestBuilder` and call \
+                `.send_retrying(&mut client)` instead"
+    )]
     pub fn execute_with(
         &mut self,
         relation: &str,
         paql: &str,
         options: ExecOptions,
     ) -> ClientResult<RemoteExecution> {
-        self.with_retry(|c| c.execute_with(relation, paql, options.clone()))
+        self.execute_opts(relation, paql, options)
+    }
+
+    /// Non-deprecated internal execute path shared by
+    /// [`RetryingClient::execute`], the deprecated free-form constructor
+    /// above, and [`RequestBuilder`](crate::api::RequestBuilder).
+    pub(crate) fn execute_opts(
+        &mut self,
+        relation: &str,
+        paql: &str,
+        options: ExecOptions,
+    ) -> ClientResult<RemoteExecution> {
+        self.with_retry(|c| c.execute_opts(relation, paql, options.clone()))
     }
 
     /// [`Client::explain`] with retries.

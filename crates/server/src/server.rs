@@ -27,6 +27,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,12 +38,15 @@ use paq_exec::ThreadPool;
 use paq_lang::parse_paql;
 use paq_obs::Registry;
 
-use crate::error::WireError;
+pub use crate::admission::AdmissionConfig;
+use crate::admission::{FairScheduler, PushOutcome, WindowGate};
+use crate::error::{WireError, WireResult};
 use crate::transport::{PipeEnd, PipeListener};
 use crate::wire::{
-    read_frame_deadline, ExecOptions, Fault, FaultKind, RemoteExecution, Request, Response,
-    StatsReply,
+    read_frame_deadline, write_frame, ExecOptions, Fault, FaultKind, RemoteExecution, Request,
+    Response, ShedClass, StatsReply,
 };
+use crate::wire7::{self, encode_response_v7, Hello, HelloAck, CONTROL_TAG, WIRE_V7};
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -89,6 +93,22 @@ pub struct ServerConfig {
     /// per-process, and clients should not retry mutations across a
     /// known restart boundary (a re-appended row duplicates).
     pub dedupe_capacity: usize,
+    /// Close a connection that has not **started** a frame within this
+    /// window (measured from accept and from the end of each frame).
+    /// The [`ServerConfig::frame_deadline`] slowloris guard only covers
+    /// frames in progress; this closes the gap for connections that
+    /// connect and say nothing, so idle peers cannot pin handler
+    /// workers forever. Resolution is
+    /// [`ServerConfig::poll_interval`] ticks. `None` disables.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection pipeline window for protocol-v7 connections: at
+    /// most this many of one connection's requests may be queued or
+    /// executing at once. Advertised to the client in the
+    /// [`HelloAck`] handshake answer.
+    pub pipeline_window: usize,
+    /// Fairness-aware admission control for pipelined (v7) requests;
+    /// see [`AdmissionConfig`].
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +121,9 @@ impl Default for ServerConfig {
             frame_deadline: Some(Duration::from_secs(30)),
             busy_retry_after: Duration::from_millis(50),
             dedupe_capacity: 1024,
+            idle_timeout: Some(Duration::from_secs(60)),
+            pipeline_window: 32,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -130,11 +153,26 @@ pub trait Acceptor {
 pub trait Connection: Read + Write + Send {
     /// Set (or clear) the read timeout used for idle polling.
     fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// A second handle onto the same stream for **writing** responses
+    /// while this handle keeps reading — the split the v7 pipelined
+    /// loop needs so executors complete responses out of order without
+    /// blocking the frame reader. Streams that cannot be split (e.g.
+    /// fault-injection wrappers) return `ErrorKind::Unsupported`; the
+    /// server then refuses the v7 handshake on that connection while
+    /// legacy request/response service stays unaffected.
+    fn try_clone_writer(&self) -> io::Result<Self>
+    where
+        Self: Sized;
 }
 
 impl Connection for TcpStream {
     fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(timeout)
+    }
+
+    fn try_clone_writer(&self) -> io::Result<Self> {
+        self.try_clone()
     }
 }
 
@@ -142,6 +180,10 @@ impl Connection for PipeEnd {
     fn set_read_poll(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         self.set_read_timeout(timeout);
         Ok(())
+    }
+
+    fn try_clone_writer(&self) -> io::Result<Self> {
+        Ok(self.try_clone())
     }
 }
 
@@ -261,12 +303,31 @@ struct ServerState {
     frame_timeouts: AtomicU64,
     deduped_mutations: AtomicU64,
     handler_panics: AtomicU64,
+    idle_closed: AtomicU64,
+    shed_requests: AtomicU64,
+    next_auto_client: AtomicU64,
     acked: Mutex<TokenCache>,
     /// The database's metrics registry (shared, not a copy): server-side
     /// figures — `server.queue_wait`, `server.handle`, frame-I/O
     /// latencies — land next to the engine's own, so one
     /// [`Request::Metrics`] snapshot covers the whole stack.
     obs: Registry,
+}
+
+/// One admitted pipelined (v7) request, queued in the
+/// [`FairScheduler`] until an executor picks it up. Carries everything
+/// the executor needs to answer independently of the connection's
+/// reader: the client's tag, a shared writer handle, the
+/// pipeline-window gate to release, and the connection's session.
+pub(crate) struct Work<C: Connection> {
+    tag: u32,
+    request: Request,
+    client: u64,
+    class: ShedClass,
+    writer: Arc<Mutex<C>>,
+    gate: Arc<WindowGate>,
+    session: PackageDb,
+    enqueued: Instant,
 }
 
 /// Decrements the in-flight connection count when a handler finishes,
@@ -284,7 +345,12 @@ impl Drop for InFlightGuard<'_> {
 pub struct Server {
     db: PackageDb,
     config: ServerConfig,
+    /// Connection handlers (frame readers), one per served connection.
     pool: ThreadPool,
+    /// Request executors draining the admission scheduler — separate
+    /// from `pool` so pipelined requests never wait behind blocked
+    /// readers (and vice versa).
+    exec_pool: ThreadPool,
     state: Arc<ServerState>,
 }
 
@@ -309,6 +375,7 @@ impl Server {
     /// A server with explicit configuration.
     pub fn with_config(db: PackageDb, config: ServerConfig) -> Self {
         let pool = ThreadPool::new(config.workers.max(1));
+        let exec_pool = ThreadPool::new(config.workers.max(1));
         // Seed the dedupe window from what the database's recovery
         // restored (empty for in-memory databases): a client retrying a
         // mutation acked before a crash gets its original ack back.
@@ -333,6 +400,7 @@ impl Server {
             db,
             config,
             pool,
+            exec_pool,
             state: Arc::new(state),
         }
     }
@@ -381,9 +449,25 @@ impl Server {
 
     /// Connection handlers that panicked. Each panic is contained to
     /// its own connection (the peer sees the stream close); the serve
-    /// loop keeps accepting.
+    /// loop keeps accepting. Pipelined-request panics are contained per
+    /// *request* and counted here too (the client receives a typed
+    /// [`FaultKind::Engine`] fault instead of a hang).
     pub fn handler_panics(&self) -> u64 {
         self.state.handler_panics.load(Ordering::Acquire)
+    }
+
+    /// Connections closed for never starting a frame within
+    /// [`ServerConfig::idle_timeout`].
+    pub fn idle_closed(&self) -> u64 {
+        self.state.idle_closed.load(Ordering::Acquire)
+    }
+
+    /// Pipelined requests shed by admission control (quota exceeded,
+    /// queue saturated, or evicted for higher-priority work); each was
+    /// answered with a typed [`Response::Busy`] carrying its shed
+    /// class.
+    pub fn shed_requests(&self) -> u64 {
+        self.state.shed_requests.load(Ordering::Acquire)
     }
 
     /// Ask the serve loop to stop accepting and drain. Also triggered
@@ -399,55 +483,75 @@ impl Server {
 
     /// Serve connections from `acceptor` until shutdown (or the
     /// listener closes), then drain in-flight handlers before
-    /// returning. The acceptor runs on the calling thread; handlers run
-    /// on the server's pool.
+    /// returning. The acceptor runs on the calling thread; connection
+    /// handlers (frame readers) run on the server's handler pool;
+    /// pipelined v7 requests execute on a separate executor pool fed by
+    /// the fairness-aware admission scheduler.
     pub fn serve<A: Acceptor>(&self, mut acceptor: A) {
         let state = Arc::clone(&self.state);
-        let panics = self.pool.serve_resilient(
-            || loop {
-                if state.shutdown.load(Ordering::Acquire) {
-                    return None;
-                }
-                match acceptor.poll(self.config.poll_interval) {
-                    Accepted::Conn(mut conn) => {
-                        // Backpressure: reject beyond the in-flight
-                        // bound with a typed Busy instead of queueing.
-                        let in_flight = state.in_flight.load(Ordering::Acquire);
-                        if in_flight >= self.config.max_in_flight {
-                            state.busy_rejections.fetch_add(1, Ordering::AcqRel);
-                            let _ = Response::Busy {
-                                in_flight: in_flight as u64,
-                                max_in_flight: self.config.max_in_flight as u64,
-                                retry_after_ms: self.config.busy_retry_after.as_millis() as u64,
-                            }
-                            .write_to(&mut conn);
-                            continue; // drop rejects the connection
-                        }
-                        state.in_flight.fetch_add(1, Ordering::AcqRel);
-                        // The accept timestamp rides along so the
-                        // handler can measure queue wait: the gap
-                        // between accept and the first handler
-                        // instruction is exactly the time the
-                        // connection spent waiting for a free worker.
-                        return Some((conn, Instant::now()));
+        let sched: FairScheduler<Work<A::Conn>> = FairScheduler::new(self.config.admission.clone());
+        self.exec_pool.scope(|scope| {
+            // Dedicated executor loops pull from the scheduler so the
+            // weighted-fair dequeue order *is* the execution order —
+            // fanning work onto a FIFO pool queue would erase it.
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    while let Some(work) = sched.pop() {
+                        self.execute_work(&sched, work);
                     }
-                    Accepted::Idle => continue,
-                    Accepted::Closed => return None,
-                }
-            },
-            |(conn, accepted_at)| {
-                let _guard = InFlightGuard(&state.in_flight);
-                state
-                    .obs
-                    .observe("server.queue_wait", accepted_at.elapsed());
-                self.handle_connection(conn);
-            },
-        );
-        // A panicking handler costs its own connection, never the
-        // server: the count is observable, the loop already went on.
-        self.state
-            .handler_panics
-            .fetch_add(panics, Ordering::AcqRel);
+                });
+            }
+            let panics = self.pool.serve_resilient(
+                || loop {
+                    if state.shutdown.load(Ordering::Acquire) {
+                        return None;
+                    }
+                    match acceptor.poll(self.config.poll_interval) {
+                        Accepted::Conn(mut conn) => {
+                            // Backpressure: reject beyond the in-flight
+                            // bound with a typed Busy instead of queueing.
+                            let in_flight = state.in_flight.load(Ordering::Acquire);
+                            if in_flight >= self.config.max_in_flight {
+                                state.busy_rejections.fetch_add(1, Ordering::AcqRel);
+                                let _ = Response::Busy {
+                                    in_flight: in_flight as u64,
+                                    max_in_flight: self.config.max_in_flight as u64,
+                                    retry_after_ms: self.config.busy_retry_after.as_millis() as u64,
+                                    shed_class: None,
+                                }
+                                .write_to(&mut conn);
+                                continue; // drop rejects the connection
+                            }
+                            state.in_flight.fetch_add(1, Ordering::AcqRel);
+                            // The accept timestamp rides along so the
+                            // handler can measure queue wait: the gap
+                            // between accept and the first handler
+                            // instruction is exactly the time the
+                            // connection spent waiting for a free worker.
+                            return Some((conn, Instant::now()));
+                        }
+                        Accepted::Idle => continue,
+                        Accepted::Closed => return None,
+                    }
+                },
+                |(conn, accepted_at)| {
+                    let _guard = InFlightGuard(&state.in_flight);
+                    state
+                        .obs
+                        .observe("server.queue_wait", accepted_at.elapsed());
+                    self.handle_connection(conn, &sched);
+                },
+            );
+            // A panicking handler costs its own connection, never the
+            // server: the count is observable, the loop already went on.
+            self.state
+                .handler_panics
+                .fetch_add(panics, Ordering::AcqRel);
+            // Every reader has returned, so nothing can push anymore:
+            // close the scheduler — executors drain what is queued,
+            // then their loops end and the scope joins them.
+            sched.close();
+        });
         // Graceful drain: every handler has finished, so nothing can
         // append concurrently — force whatever the WAL still buffers to
         // disk before the serve loop returns (best-effort: a failure
@@ -465,16 +569,92 @@ impl Server {
         Ok(())
     }
 
-    /// Drive one connection: read frames, dispatch, respond — until the
-    /// peer closes, the connection breaks, or shutdown drains it.
-    fn handle_connection<C: Connection>(&self, mut conn: C) {
+    /// Wait for the next request frame, polling shutdown and enforcing
+    /// [`ServerConfig::idle_timeout`]: a connection that has not even
+    /// *started* a frame within the window is treated as gone
+    /// (`Ok(None)`) and counted — the [`ServerConfig::frame_deadline`]
+    /// slowloris guard only covers frames in progress, this closes the
+    /// gap for peers that connect and say nothing.
+    fn read_request_frame<C: Connection>(&self, conn: &mut C) -> WireResult<Option<Vec<u8>>> {
+        let idle_start = Instant::now();
+        let mut idle_expired = false;
+        let result = read_frame_deadline(
+            conn,
+            || {
+                if self.state.shutdown.load(Ordering::Acquire) {
+                    return true;
+                }
+                match self.config.idle_timeout {
+                    Some(limit) if idle_start.elapsed() >= limit => {
+                        idle_expired = true;
+                        true
+                    }
+                    _ => false,
+                }
+            },
+            self.config.frame_deadline,
+        );
+        if idle_expired && matches!(result, Ok(None)) {
+            self.state.idle_closed.fetch_add(1, Ordering::AcqRel);
+            self.state.obs.incr(paq_obs::names::SERVER_IDLE_CLOSED);
+        }
+        result
+    }
+
+    /// Drive one connection. The first frame decides the protocol: a v7
+    /// [`Hello`] enters the pipelined loop ([`Server::serve_v7`]); any
+    /// other payload is served over the legacy request/response protocol
+    /// byte-identically to PR 4–9 servers ([`Server::serve_legacy`]).
+    fn handle_connection<C: Connection>(&self, mut conn: C, sched: &FairScheduler<Work<C>>) {
         if conn.set_read_poll(Some(self.config.poll_interval)).is_err() {
             return;
         }
+        self.state.obs.incr("server.connections");
+        let read_start = Instant::now();
+        let payload = match self.read_request_frame(&mut conn) {
+            Ok(Some(payload)) => {
+                self.state
+                    .obs
+                    .observe("server.frame.read", read_start.elapsed());
+                payload
+            }
+            // Peer closed, shutdown, or idle timeout before any frame.
+            Ok(None) => return,
+            // First frame stalled or broke: report in the legacy framing
+            // (we cannot know the peer's protocol yet) and close.
+            Err(WireError::DeadlineExpired { elapsed }) => {
+                self.state.frame_timeouts.fetch_add(1, Ordering::AcqRel);
+                let _ = Response::Error(Fault {
+                    kind: FaultKind::Timeout,
+                    message: format!("request frame still incomplete after {elapsed:?}"),
+                })
+                .write_to(&mut conn);
+                return;
+            }
+            Err(e) => {
+                let _ = Response::Error(Fault {
+                    kind: FaultKind::BadRequest,
+                    message: format!("unreadable frame: {e}"),
+                })
+                .write_to(&mut conn);
+                return;
+            }
+        };
+        if wire7::is_v7_payload(&payload) {
+            self.serve_v7(conn, &payload, sched);
+        } else {
+            self.serve_legacy(conn, Some(payload));
+        }
+    }
+
+    /// The legacy (v5/v6) request/response loop: read a frame, dispatch,
+    /// respond, repeat — until the peer closes, the connection breaks,
+    /// or shutdown drains it. `first` is a frame the protocol sniffer
+    /// already read; responses are byte-identical to pre-v7 servers.
+    fn serve_legacy<C: Connection>(&self, mut conn: C, mut first: Option<Vec<u8>>) {
         // One session per connection; its config is the base every
         // request's overrides apply to.
         let session = self.db.session();
-        self.state.obs.incr("server.connections");
         loop {
             // The read histogram covers the whole wait for a frame, so
             // for all but the first request on a pipelined connection it
@@ -482,17 +662,19 @@ impl Server {
             // slow/stalling senders, not server work (that's
             // `server.handle`).
             let read_start = Instant::now();
-            let payload = match read_frame_deadline(
-                &mut conn,
-                || self.state.shutdown.load(Ordering::Acquire),
-                self.config.frame_deadline,
-            ) {
-                Ok(Some(payload)) => {
-                    self.state
-                        .obs
-                        .observe("server.frame.read", read_start.elapsed());
-                    payload
-                }
+            let next = match first.take() {
+                // The sniffer already read (and timed) this frame.
+                Some(payload) => Ok(Some(payload)),
+                None => self.read_request_frame(&mut conn).inspect(|payload| {
+                    if payload.is_some() {
+                        self.state
+                            .obs
+                            .observe("server.frame.read", read_start.elapsed());
+                    }
+                }),
+            };
+            let payload = match next {
+                Ok(Some(payload)) => payload,
                 // Peer closed, or shutdown while idle: drain complete.
                 Ok(None) => return,
                 // A started frame stalled past the deadline: free the
@@ -561,6 +743,266 @@ impl Server {
                 return;
             }
         }
+    }
+
+    /// The pipelined v7 loop. `hello_payload` is the already-read first
+    /// frame (a v7 [`Hello`]). This thread stays the connection's only
+    /// *reader*: it decodes tagged request frames and offers them to the
+    /// admission scheduler; executors complete them out of order,
+    /// writing tagged responses through a cloned writer handle. The
+    /// per-connection [`WindowGate`] bounds how many of this
+    /// connection's requests are queued or executing at once.
+    fn serve_v7<C: Connection>(
+        &self,
+        mut conn: C,
+        hello_payload: &[u8],
+        sched: &FairScheduler<Work<C>>,
+    ) {
+        let hello = match Hello::decode(hello_payload) {
+            Ok(hello) => hello,
+            Err(e) => {
+                self.write_v7_error(
+                    &mut conn,
+                    CONTROL_TAG,
+                    FaultKind::BadRequest,
+                    format!("bad hello: {e}"),
+                );
+                return;
+            }
+        };
+        // Responses complete on executor threads while this thread keeps
+        // reading, so the connection must split into two handles. A
+        // stream that cannot be split refuses the handshake; the client
+        // falls back to the legacy protocol on a fresh connection.
+        let writer = match conn.try_clone_writer() {
+            Ok(writer) => Arc::new(Mutex::new(writer)),
+            Err(e) => {
+                self.write_v7_error(
+                    &mut conn,
+                    CONTROL_TAG,
+                    FaultKind::Engine,
+                    format!("connection cannot be split for pipelining: {e}"),
+                );
+                return;
+            }
+        };
+        let agreed = hello.max_version.min(WIRE_V7);
+        let ack = HelloAck {
+            version: agreed,
+            window: self.config.pipeline_window.max(1) as u64,
+        };
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if write_frame(&mut *w, &ack.encode()).is_err() {
+                return;
+            }
+        }
+        self.state.obs.incr(paq_obs::names::SERVER_HANDSHAKES);
+        if agreed < WIRE_V7 {
+            // Negotiated down: the rest of the connection speaks the
+            // legacy request/response protocol.
+            drop(writer);
+            return self.serve_legacy(conn, None);
+        }
+        // Client identity for per-client quotas: self-declared (so a
+        // client's connections share one quota), or a synthetic id
+        // counting down from the top so it cannot collide with declared
+        // ones.
+        let client = if hello.client_id != 0 {
+            hello.client_id
+        } else {
+            u64::MAX - self.state.next_auto_client.fetch_add(1, Ordering::AcqRel)
+        };
+        let class = hello.class;
+        let gate = Arc::new(WindowGate::new(self.config.pipeline_window));
+        let session = self.db.session();
+        loop {
+            let read_start = Instant::now();
+            let payload = match self.read_request_frame(&mut conn) {
+                Ok(Some(payload)) => {
+                    self.state
+                        .obs
+                        .observe("server.frame.read", read_start.elapsed());
+                    payload
+                }
+                // Peer closed, shutdown, or idle timeout: stop reading.
+                // Work already admitted still completes — executors hold
+                // their own writer handles.
+                Ok(None) => return,
+                Err(WireError::DeadlineExpired { elapsed }) => {
+                    self.state.frame_timeouts.fetch_add(1, Ordering::AcqRel);
+                    self.write_v7_fault(
+                        &writer,
+                        CONTROL_TAG,
+                        FaultKind::Timeout,
+                        format!("request frame still incomplete after {elapsed:?}"),
+                    );
+                    return;
+                }
+                Err(e) => {
+                    self.write_v7_fault(
+                        &writer,
+                        CONTROL_TAG,
+                        FaultKind::BadRequest,
+                        format!("unreadable frame: {e}"),
+                    );
+                    return;
+                }
+            };
+            let decode_start = Instant::now();
+            let (tag, request) = match wire7::decode_request_v7(&payload) {
+                Ok(decoded) => {
+                    self.state
+                        .obs
+                        .observe("server.request.decode", decode_start.elapsed());
+                    decoded
+                }
+                // Well-delimited but undecodable: the stream is still in
+                // sync. Answer on the frame's tag when it got far enough
+                // to carry one, else the control tag, and keep going.
+                Err(e) => {
+                    let tag = wire7::request_frame_tag(&payload).unwrap_or(CONTROL_TAG);
+                    self.state.served.fetch_add(1, Ordering::AcqRel);
+                    self.write_v7_fault(
+                        &writer,
+                        tag,
+                        FaultKind::BadRequest,
+                        format!("undecodable request: {e}"),
+                    );
+                    continue;
+                }
+            };
+            // Pipeline window: block the *reader* (not the executors)
+            // while this connection is at its in-flight bound. Giving up
+            // means shutdown arrived while blocked.
+            if !gate.acquire(|| self.state.shutdown.load(Ordering::Acquire)) {
+                return;
+            }
+            let work = Work {
+                tag,
+                request,
+                client,
+                class,
+                writer: Arc::clone(&writer),
+                gate: Arc::clone(&gate),
+                session: session.clone(),
+                enqueued: Instant::now(),
+            };
+            // Count the arrival *before* handing it to the scheduler: once
+            // pushed, an executor may complete the request and write its
+            // response ahead of anything this reader does next, and a client
+            // snapshotting metrics right after that response must already
+            // see the request counted.
+            self.state.obs.incr(paq_obs::names::SERVER_PIPELINED);
+            match sched.push(class, client, work) {
+                PushOutcome::Admitted => {}
+                PushOutcome::ShedIncoming(work) => self.shed_work(work),
+                PushOutcome::Evicted(victim) => self.shed_work(victim),
+            }
+        }
+    }
+
+    /// Answer a shed (or evicted) pipelined request with a typed
+    /// [`Response::Busy`] carrying its admission class, and release its
+    /// pipeline-window slot. The scheduler has already settled the
+    /// client-quota accounting for both shapes (never charged for a shed
+    /// arrival, refunded at eviction), so no [`FairScheduler::finish`]
+    /// here.
+    fn shed_work<C: Connection>(&self, work: Work<C>) {
+        self.state.shed_requests.fetch_add(1, Ordering::AcqRel);
+        self.state.served.fetch_add(1, Ordering::AcqRel);
+        self.state.obs.incr(paq_obs::names::SERVER_SHED);
+        self.state.obs.incr(match work.class {
+            ShedClass::Interactive => paq_obs::names::SERVER_SHED_INTERACTIVE,
+            ShedClass::Normal => paq_obs::names::SERVER_SHED_NORMAL,
+            ShedClass::Bulk => paq_obs::names::SERVER_SHED_BULK,
+        });
+        let response = Response::Busy {
+            in_flight: self.state.in_flight.load(Ordering::Acquire) as u64,
+            max_in_flight: self.config.max_in_flight as u64,
+            retry_after_ms: self.config.busy_retry_after.as_millis() as u64,
+            shed_class: Some(work.class),
+        };
+        let frame = encode_response_v7(work.tag, &response);
+        let mut w = work.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = write_frame(&mut *w, &frame);
+        drop(w);
+        work.gate.release();
+    }
+
+    /// Best-effort v7 fault on a bare (unsplit) connection.
+    fn write_v7_error<C: Connection>(
+        &self,
+        conn: &mut C,
+        tag: u32,
+        kind: FaultKind,
+        message: String,
+    ) {
+        let frame = encode_response_v7(tag, &Response::Error(Fault { kind, message }));
+        let _ = write_frame(conn, &frame);
+    }
+
+    /// Best-effort v7 fault through a shared writer handle.
+    fn write_v7_fault<C: Connection>(
+        &self,
+        writer: &Arc<Mutex<C>>,
+        tag: u32,
+        kind: FaultKind,
+        message: String,
+    ) {
+        let frame = encode_response_v7(tag, &Response::Error(Fault { kind, message }));
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = write_frame(&mut *w, &frame);
+    }
+
+    /// Execute one admitted pipelined request on an executor thread and
+    /// write its tagged response. A panicking handler costs only this
+    /// request: the client gets a typed fault on the same tag instead of
+    /// a hole in its pipeline.
+    fn execute_work<C: Connection>(&self, sched: &FairScheduler<Work<C>>, work: Work<C>) {
+        let Work {
+            tag,
+            request,
+            client,
+            class: _,
+            writer,
+            gate,
+            session,
+            enqueued,
+        } = work;
+        self.state
+            .obs
+            .observe(paq_obs::names::SERVER_FAIR_QUEUE_WAIT, enqueued.elapsed());
+        let handle_start = Instant::now();
+        let response = match catch_unwind(AssertUnwindSafe(|| self.dispatch(&session, request))) {
+            Ok(response) => response,
+            Err(_) => {
+                self.state.handler_panics.fetch_add(1, Ordering::AcqRel);
+                Response::Error(Fault {
+                    kind: FaultKind::Engine,
+                    message: "request handler panicked".to_string(),
+                })
+            }
+        };
+        self.state.obs.incr("server.requests");
+        self.state
+            .obs
+            .observe("server.handle", handle_start.elapsed());
+        self.state.served.fetch_add(1, Ordering::AcqRel);
+        let write_start = Instant::now();
+        let frame = encode_response_v7(tag, &response);
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            // A failed write means the client is gone; its remaining
+            // responses fail the same way and the reader has already
+            // seen the close.
+            let _ = write_frame(&mut *w, &frame);
+        }
+        self.state
+            .obs
+            .observe("server.response.write", write_start.elapsed());
+        gate.release();
+        sched.finish(client);
     }
 
     fn dispatch(&self, session: &PackageDb, request: Request) -> Response {

@@ -37,6 +37,31 @@ struct ChannelState {
     closed: bool,
 }
 
+/// Closes both directions of one pipe end when the **last** handle to
+/// that end drops — the analogue of an OS socket staying open while any
+/// `try_clone`d fd remains. A lone (never-cloned) end behaves exactly
+/// as before: its drop is the guard's drop.
+#[derive(Debug)]
+struct PipeGuard {
+    rx: Arc<Channel>,
+    tx: Arc<Channel>,
+}
+
+impl Drop for PipeGuard {
+    fn drop(&mut self) {
+        // Close both directions: the peer's reads see EOF once they
+        // drain what we wrote, and the peer's writes start failing.
+        for channel in [&self.tx, &self.rx] {
+            channel
+                .state
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .closed = true;
+            channel.ready.notify_all();
+        }
+    }
+}
+
 /// One end of an in-memory duplex byte stream; see the
 /// [module docs](self) for semantics.
 #[derive(Debug)]
@@ -48,24 +73,28 @@ pub struct PipeEnd {
     /// Read timeout (the in-memory analogue of
     /// `TcpStream::set_read_timeout`).
     read_timeout: Option<Duration>,
+    /// Shared close-on-last-drop guard (see [`PipeGuard`]).
+    guard: Arc<PipeGuard>,
+}
+
+fn pipe_end(rx: Arc<Channel>, tx: Arc<Channel>) -> PipeEnd {
+    let guard = Arc::new(PipeGuard {
+        rx: Arc::clone(&rx),
+        tx: Arc::clone(&tx),
+    });
+    PipeEnd {
+        rx,
+        tx,
+        read_timeout: None,
+        guard,
+    }
 }
 
 /// A connected pair of pipe ends.
 pub fn duplex() -> (PipeEnd, PipeEnd) {
     let a = Arc::new(Channel::default());
     let b = Arc::new(Channel::default());
-    (
-        PipeEnd {
-            rx: Arc::clone(&a),
-            tx: Arc::clone(&b),
-            read_timeout: None,
-        },
-        PipeEnd {
-            rx: b,
-            tx: a,
-            read_timeout: None,
-        },
-    )
+    (pipe_end(Arc::clone(&a), Arc::clone(&b)), pipe_end(b, a))
 }
 
 impl PipeEnd {
@@ -73,6 +102,21 @@ impl PipeEnd {
     /// `TcpStream::set_read_timeout`.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
         self.read_timeout = timeout;
+    }
+
+    /// A second handle onto the same end, mirroring
+    /// `TcpStream::try_clone`: both handles read from and write to the
+    /// same buffers, and the connection closes only when the last
+    /// handle drops. The v7 server uses this to split a connection into
+    /// a reader (the connection handler) and a writer (executors
+    /// completing responses out of order).
+    pub fn try_clone(&self) -> PipeEnd {
+        PipeEnd {
+            rx: Arc::clone(&self.rx),
+            tx: Arc::clone(&self.tx),
+            read_timeout: self.read_timeout,
+            guard: Arc::clone(&self.guard),
+        }
     }
 }
 
@@ -131,21 +175,6 @@ impl Write for PipeEnd {
 
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
-    }
-}
-
-impl Drop for PipeEnd {
-    fn drop(&mut self) {
-        // Close both directions: the peer's reads see EOF once they
-        // drain what we wrote, and the peer's writes start failing.
-        for channel in [&self.tx, &self.rx] {
-            channel
-                .state
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .closed = true;
-            channel.ready.notify_all();
-        }
     }
 }
 
@@ -250,6 +279,23 @@ mod tests {
         b.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"late");
         drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn clone_keeps_connection_open_until_last_handle_drops() {
+        let (a, mut b) = duplex();
+        let mut writer = a.try_clone();
+        drop(a); // reader handle gone, writer clone keeps the end alive
+        writer.write_all(b"still open").unwrap();
+        let mut buf = [0u8; 10];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"still open");
+        b.write_all(b"ok").unwrap(); // peer not closed yet
+        drop(writer); // last handle: now the connection closes
+        let mut out = Vec::new();
+        b.read_to_end(&mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(b.write(b"x").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
     }
 
     #[test]

@@ -212,17 +212,17 @@ fn read_full_deadline<R: Read>(
 /// more bytes than remain is a [`WireError::Malformed`] (the frame was
 /// fully read off the stream already, so a short payload is corruption,
 /// not a slow peer).
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
             Some(end) => {
@@ -238,11 +238,11 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn u8(&mut self) -> WireResult<u8> {
+    pub(crate) fn u8(&mut self) -> WireResult<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn bool(&mut self) -> WireResult<bool> {
+    pub(crate) fn bool(&mut self) -> WireResult<bool> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -250,12 +250,12 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn u64(&mut self) -> WireResult<u64> {
+    pub(crate) fn u64(&mut self) -> WireResult<u64> {
         let bytes = self.take(8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
-    fn usize(&mut self) -> WireResult<usize> {
+    pub(crate) fn usize(&mut self) -> WireResult<usize> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| WireError::Malformed(format!("count {v} overflows usize")))
     }
@@ -264,7 +264,7 @@ impl<'a> Cursor<'a> {
     /// trigger a huge up-front allocation: `min_elem` is the smallest
     /// possible encoding of one element, so more elements than
     /// remaining bytes / `min_elem` cannot decode anyway.
-    fn count(&mut self, min_elem: usize) -> WireResult<usize> {
+    pub(crate) fn count(&mut self, min_elem: usize) -> WireResult<usize> {
         let n = self.usize()?;
         let cap = self.buf.len() - self.pos;
         if n.saturating_mul(min_elem.max(1)) > cap {
@@ -275,22 +275,22 @@ impl<'a> Cursor<'a> {
         Ok(n)
     }
 
-    fn f64(&mut self) -> WireResult<f64> {
+    pub(crate) fn f64(&mut self) -> WireResult<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn i64(&mut self) -> WireResult<i64> {
+    pub(crate) fn i64(&mut self) -> WireResult<i64> {
         Ok(self.u64()? as i64)
     }
 
-    fn string(&mut self) -> WireResult<String> {
+    pub(crate) fn string(&mut self) -> WireResult<String> {
         let len = self.count(1)?;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| WireError::Malformed(format!("invalid utf-8 string: {e}")))
     }
 
-    fn finish(self) -> WireResult<()> {
+    pub(crate) fn finish(self) -> WireResult<()> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -302,24 +302,24 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bool(out: &mut Vec<u8>, v: bool) {
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(v as u8);
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     match v {
         Some(v) => {
             put_bool(out, true);
@@ -329,15 +329,15 @@ fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
-fn get_opt_u64(c: &mut Cursor<'_>) -> WireResult<Option<u64>> {
+pub(crate) fn get_opt_u64(c: &mut Cursor<'_>) -> WireResult<Option<u64>> {
     Ok(if c.bool()? { Some(c.u64()?) } else { None })
 }
 
-fn put_duration(out: &mut Vec<u8>, d: Duration) {
+pub(crate) fn put_duration(out: &mut Vec<u8>, d: Duration) {
     put_u64(out, u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
 }
 
-fn get_duration(c: &mut Cursor<'_>) -> WireResult<Duration> {
+pub(crate) fn get_duration(c: &mut Cursor<'_>) -> WireResult<Duration> {
     Ok(Duration::from_nanos(c.u64()?))
 }
 
@@ -345,7 +345,7 @@ fn get_duration(c: &mut Cursor<'_>) -> WireResult<Duration> {
 // Relational encodings
 // ---------------------------------------------------------------------
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(0),
         Value::Bool(b) => {
@@ -367,7 +367,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn get_value(c: &mut Cursor<'_>) -> WireResult<Value> {
+pub(crate) fn get_value(c: &mut Cursor<'_>) -> WireResult<Value> {
     Ok(match c.u8()? {
         0 => Value::Null,
         1 => Value::Bool(c.bool()?),
@@ -378,7 +378,7 @@ fn get_value(c: &mut Cursor<'_>) -> WireResult<Value> {
     })
 }
 
-fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
+pub(crate) fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
     out.push(match ty {
         DataType::Int => 0,
         DataType::Float => 1,
@@ -387,7 +387,7 @@ fn put_data_type(out: &mut Vec<u8>, ty: DataType) {
     });
 }
 
-fn get_data_type(c: &mut Cursor<'_>) -> WireResult<DataType> {
+pub(crate) fn get_data_type(c: &mut Cursor<'_>) -> WireResult<DataType> {
     Ok(match c.u8()? {
         0 => DataType::Int,
         1 => DataType::Float,
@@ -397,7 +397,7 @@ fn get_data_type(c: &mut Cursor<'_>) -> WireResult<DataType> {
     })
 }
 
-fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
     put_u64(out, schema.arity() as u64);
     for col in schema.columns() {
         put_string(out, &col.name);
@@ -405,7 +405,7 @@ fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
     }
 }
 
-fn get_schema(c: &mut Cursor<'_>) -> WireResult<Schema> {
+pub(crate) fn get_schema(c: &mut Cursor<'_>) -> WireResult<Schema> {
     let arity = c.count(9)?; // string length prefix + type tag
     let mut cols = Vec::with_capacity(arity);
     for _ in 0..arity {
@@ -419,7 +419,7 @@ fn get_schema(c: &mut Cursor<'_>) -> WireResult<Schema> {
     Ok(Schema::new(cols))
 }
 
-fn put_table(out: &mut Vec<u8>, table: &Table) {
+pub(crate) fn put_table(out: &mut Vec<u8>, table: &Table) {
     put_schema(out, table.schema());
     put_u64(out, table.num_rows() as u64);
     for i in 0..table.num_rows() {
@@ -429,7 +429,7 @@ fn put_table(out: &mut Vec<u8>, table: &Table) {
     }
 }
 
-fn get_table(c: &mut Cursor<'_>) -> WireResult<Table> {
+pub(crate) fn get_table(c: &mut Cursor<'_>) -> WireResult<Table> {
     let schema = get_schema(c)?;
     let rows = c.count(schema.arity())?;
     let mut table = Table::new(schema);
@@ -444,14 +444,14 @@ fn get_table(c: &mut Cursor<'_>) -> WireResult<Table> {
     Ok(table)
 }
 
-fn put_values(out: &mut Vec<u8>, row: &[Value]) {
+pub(crate) fn put_values(out: &mut Vec<u8>, row: &[Value]) {
     put_u64(out, row.len() as u64);
     for v in row {
         put_value(out, v);
     }
 }
 
-fn get_values(c: &mut Cursor<'_>) -> WireResult<Vec<Value>> {
+pub(crate) fn get_values(c: &mut Cursor<'_>) -> WireResult<Vec<Value>> {
     let n = c.count(1)?;
     (0..n).map(|_| get_value(c)).collect()
 }
@@ -512,7 +512,7 @@ impl From<RouteChoice> for paq_db::Route {
     }
 }
 
-fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
+pub(crate) fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
     out.push(match o.route {
         RouteChoice::Auto => 0,
         RouteChoice::ForceDirect => 1,
@@ -526,7 +526,7 @@ fn put_options(out: &mut Vec<u8>, o: &ExecOptions) {
     put_opt_u64(out, o.deadline_ms);
 }
 
-fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
+pub(crate) fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
     match v {
         Some(v) => {
             put_bool(out, true);
@@ -536,11 +536,11 @@ fn put_opt_bool(out: &mut Vec<u8>, v: Option<bool>) {
     }
 }
 
-fn get_opt_bool(c: &mut Cursor<'_>) -> WireResult<Option<bool>> {
+pub(crate) fn get_opt_bool(c: &mut Cursor<'_>) -> WireResult<Option<bool>> {
     Ok(if c.bool()? { Some(c.bool()?) } else { None })
 }
 
-fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
+pub(crate) fn get_options(c: &mut Cursor<'_>) -> WireResult<ExecOptions> {
     let route = match c.u8()? {
         0 => RouteChoice::Auto,
         1 => RouteChoice::ForceDirect,
@@ -613,47 +613,86 @@ pub enum Request {
     Metrics,
 }
 
+/// Encode a request's kind byte + body with the **row-major** (v6)
+/// table codec. Shared verbatim by the legacy framing and — with the
+/// `RegisterTable` arm swapped for the columnar codec — by the v7
+/// framing in [`crate::wire7`].
+pub(crate) fn put_request_body(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Execute {
+            relation,
+            paql,
+            options,
+        } => {
+            out.push(0);
+            put_string(out, relation);
+            put_string(out, paql);
+            put_options(out, options);
+        }
+        Request::RegisterTable { name, table, token } => {
+            out.push(1);
+            put_string(out, name);
+            put_table(out, table);
+            put_opt_u64(out, *token);
+        }
+        Request::AppendRow { name, row, token } => {
+            out.push(2);
+            put_string(out, name);
+            put_values(out, row);
+            put_opt_u64(out, *token);
+        }
+        Request::Explain {
+            relation,
+            paql,
+            options,
+        } => {
+            out.push(3);
+            put_string(out, relation);
+            put_string(out, paql);
+            put_options(out, options);
+        }
+        Request::Stats => out.push(4),
+        Request::Shutdown => out.push(5),
+        Request::Metrics => out.push(6),
+    }
+}
+
+/// Decode a request body given its already-consumed kind byte
+/// (counterpart of [`put_request_body`]).
+pub(crate) fn decode_request_body(c: &mut Cursor<'_>, kind: u8) -> WireResult<Request> {
+    Ok(match kind {
+        0 => Request::Execute {
+            relation: c.string()?,
+            paql: c.string()?,
+            options: get_options(c)?,
+        },
+        1 => Request::RegisterTable {
+            name: c.string()?,
+            table: get_table(c)?,
+            token: get_opt_u64(c)?,
+        },
+        2 => Request::AppendRow {
+            name: c.string()?,
+            row: get_values(c)?,
+            token: get_opt_u64(c)?,
+        },
+        3 => Request::Explain {
+            relation: c.string()?,
+            paql: c.string()?,
+            options: get_options(c)?,
+        },
+        4 => Request::Stats,
+        5 => Request::Shutdown,
+        6 => Request::Metrics,
+        tag => return Err(WireError::Malformed(format!("request tag {tag}"))),
+    })
+}
+
 impl Request {
     /// Encode into a standalone payload (version + tag + body).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![WIRE_VERSION];
-        match self {
-            Request::Execute {
-                relation,
-                paql,
-                options,
-            } => {
-                out.push(0);
-                put_string(&mut out, relation);
-                put_string(&mut out, paql);
-                put_options(&mut out, options);
-            }
-            Request::RegisterTable { name, table, token } => {
-                out.push(1);
-                put_string(&mut out, name);
-                put_table(&mut out, table);
-                put_opt_u64(&mut out, *token);
-            }
-            Request::AppendRow { name, row, token } => {
-                out.push(2);
-                put_string(&mut out, name);
-                put_values(&mut out, row);
-                put_opt_u64(&mut out, *token);
-            }
-            Request::Explain {
-                relation,
-                paql,
-                options,
-            } => {
-                out.push(3);
-                put_string(&mut out, relation);
-                put_string(&mut out, paql);
-                put_options(&mut out, options);
-            }
-            Request::Stats => out.push(4),
-            Request::Shutdown => out.push(5),
-            Request::Metrics => out.push(6),
-        }
+        put_request_body(&mut out, self);
         out
     }
 
@@ -661,32 +700,8 @@ impl Request {
     pub fn decode(payload: &[u8]) -> WireResult<Request> {
         let mut c = Cursor::new(payload);
         check_version(&mut c)?;
-        let req = match c.u8()? {
-            0 => Request::Execute {
-                relation: c.string()?,
-                paql: c.string()?,
-                options: get_options(&mut c)?,
-            },
-            1 => Request::RegisterTable {
-                name: c.string()?,
-                table: get_table(&mut c)?,
-                token: get_opt_u64(&mut c)?,
-            },
-            2 => Request::AppendRow {
-                name: c.string()?,
-                row: get_values(&mut c)?,
-                token: get_opt_u64(&mut c)?,
-            },
-            3 => Request::Explain {
-                relation: c.string()?,
-                paql: c.string()?,
-                options: get_options(&mut c)?,
-            },
-            4 => Request::Stats,
-            5 => Request::Shutdown,
-            6 => Request::Metrics,
-            tag => return Err(WireError::Malformed(format!("request tag {tag}"))),
-        };
+        let kind = c.u8()?;
+        let req = decode_request_body(&mut c, kind)?;
         c.finish()?;
         Ok(req)
     }
@@ -819,7 +834,7 @@ impl From<&RouterVerdict> for WireRouterVerdict {
     }
 }
 
-fn put_router_verdict(out: &mut Vec<u8>, v: &WireRouterVerdict) {
+pub(crate) fn put_router_verdict(out: &mut Vec<u8>, v: &WireRouterVerdict) {
     match v {
         WireRouterVerdict::Pinned => out.push(0),
         WireRouterVerdict::Model {
@@ -845,7 +860,7 @@ fn put_router_verdict(out: &mut Vec<u8>, v: &WireRouterVerdict) {
     }
 }
 
-fn get_router_verdict(c: &mut Cursor<'_>) -> WireResult<WireRouterVerdict> {
+pub(crate) fn get_router_verdict(c: &mut Cursor<'_>) -> WireResult<WireRouterVerdict> {
     Ok(match c.u8()? {
         0 => WireRouterVerdict::Pinned,
         1 => WireRouterVerdict::Model {
@@ -1016,7 +1031,7 @@ impl From<&paq_db::DbError> for Fault {
     }
 }
 
-fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
+pub(crate) fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
     out.push(match fault.kind {
         FaultKind::BadRequest => 0,
         FaultKind::UnknownTable => 1,
@@ -1033,7 +1048,7 @@ fn put_fault(out: &mut Vec<u8>, fault: &Fault) {
     put_string(out, &fault.message);
 }
 
-fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
+pub(crate) fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
     let kind = match c.u8()? {
         0 => FaultKind::BadRequest,
         1 => FaultKind::UnknownTable,
@@ -1054,7 +1069,7 @@ fn get_fault(c: &mut Cursor<'_>) -> WireResult<Fault> {
     })
 }
 
-fn put_registry_snapshot(out: &mut Vec<u8>, s: &RegistrySnapshot) {
+pub(crate) fn put_registry_snapshot(out: &mut Vec<u8>, s: &RegistrySnapshot) {
     put_u64(out, s.counters.len() as u64);
     for (name, value) in &s.counters {
         put_string(out, name);
@@ -1080,7 +1095,7 @@ fn put_registry_snapshot(out: &mut Vec<u8>, s: &RegistrySnapshot) {
     }
 }
 
-fn get_registry_snapshot(c: &mut Cursor<'_>) -> WireResult<RegistrySnapshot> {
+pub(crate) fn get_registry_snapshot(c: &mut Cursor<'_>) -> WireResult<RegistrySnapshot> {
     let mut s = RegistrySnapshot::default();
     let counters = c.count(9)?;
     for _ in 0..counters {
@@ -1132,6 +1147,51 @@ pub struct StatsReply {
     pub durability: Option<DurabilityStats>,
 }
 
+/// The scheduling class a v7 client declares in its
+/// [handshake](crate::wire7::Hello), and the class a request-level
+/// [`Response::Busy`] names as the one it shed. Order encodes
+/// priority: `Interactive` is served first and shed last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShedClass {
+    /// Latency-sensitive traffic: highest dequeue weight, shed last.
+    Interactive,
+    /// The default class for clients that do not declare one.
+    Normal,
+    /// Throughput-oriented bulk traffic: lowest priority, first to be
+    /// shed when the server saturates.
+    Bulk,
+}
+
+impl ShedClass {
+    /// Wire byte for this class.
+    pub(crate) fn wire_byte(self) -> u8 {
+        match self {
+            ShedClass::Interactive => 0,
+            ShedClass::Normal => 1,
+            ShedClass::Bulk => 2,
+        }
+    }
+
+    /// Decode a wire byte.
+    pub(crate) fn from_wire(byte: u8) -> WireResult<Self> {
+        Ok(match byte {
+            0 => ShedClass::Interactive,
+            1 => ShedClass::Normal,
+            2 => ShedClass::Bulk,
+            other => return Err(WireError::Malformed(format!("shed class byte {other}"))),
+        })
+    }
+
+    /// Static lowercase label, used as a metric-name suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedClass::Interactive => "interactive",
+            ShedClass::Normal => "normal",
+            ShedClass::Bulk => "bulk",
+        }
+    }
+}
+
 /// One server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -1168,6 +1228,11 @@ pub enum Response {
         /// reconnecting. Honored by the retrying client ahead of its
         /// exponential backoff schedule.
         retry_after_ms: u64,
+        /// Which admission class was shed, when the rejection came from
+        /// the v7 request-level fairness admission (`None` for the
+        /// connection-level bound, and always `None` on legacy frames —
+        /// the v6 codec does not carry this field).
+        shed_class: Option<ShedClass>,
     },
     /// Result of a [`Request::Metrics`]: the server's registry
     /// snapshot. Empty when the server's database was opened with
@@ -1175,6 +1240,182 @@ pub enum Response {
     Metrics(RegistrySnapshot),
     /// Application-level error; the connection stays usable.
     Error(Fault),
+}
+
+/// Encode everything of an `Executed` body *after* the member pairs —
+/// the part shared byte-for-byte between the row-major pair list of the
+/// legacy codec and the width-packed pair columns of the v7 codec.
+pub(crate) fn put_execution_after_pairs(out: &mut Vec<u8>, exec: &RemoteExecution) {
+    put_string(out, &exec.relation);
+    put_u64(out, exec.rows);
+    put_u64(out, exec.table_version);
+    put_bool(out, exec.direct);
+    put_router_verdict(out, &exec.router);
+    put_bool(out, exec.fell_back_to_direct);
+    put_string(out, &exec.explain);
+    match &exec.report {
+        Some(r) => {
+            put_bool(out, true);
+            put_u64(out, r.solver_calls);
+            put_u64(out, r.backtracks);
+            put_bool(out, r.used_hybrid);
+            put_u64(out, r.groups_refined);
+            put_u64(out, r.repartitions);
+            put_u64(out, r.attribute_drops);
+            put_u64(out, r.merges);
+            put_u64(out, r.waves);
+            put_u64(out, r.parallel_solves);
+            put_u64(out, r.conflict_requeues);
+            put_duration(out, r.sketch_time);
+            put_duration(out, r.refine_time);
+        }
+        None => put_bool(out, false),
+    }
+    put_duration(out, exec.timings.plan);
+    put_duration(out, exec.timings.partitioning);
+    put_duration(out, exec.timings.evaluate);
+    put_duration(out, exec.timings.total);
+}
+
+/// Decode the shared tail of an `Executed` body, combining it with
+/// already-decoded member pairs (counterpart of
+/// [`put_execution_after_pairs`]).
+pub(crate) fn get_execution_after_pairs(
+    c: &mut Cursor<'_>,
+    pairs: Vec<(u64, u64)>,
+) -> WireResult<RemoteExecution> {
+    let relation = c.string()?;
+    let rows = c.u64()?;
+    let table_version = c.u64()?;
+    let direct = c.bool()?;
+    let router = get_router_verdict(c)?;
+    let fell_back_to_direct = c.bool()?;
+    let explain = c.string()?;
+    let report = if c.bool()? {
+        Some(WireReport {
+            solver_calls: c.u64()?,
+            backtracks: c.u64()?,
+            used_hybrid: c.bool()?,
+            groups_refined: c.u64()?,
+            repartitions: c.u64()?,
+            attribute_drops: c.u64()?,
+            merges: c.u64()?,
+            waves: c.u64()?,
+            parallel_solves: c.u64()?,
+            conflict_requeues: c.u64()?,
+            sketch_time: get_duration(c)?,
+            refine_time: get_duration(c)?,
+        })
+    } else {
+        None
+    };
+    let timings = WireTimings {
+        plan: get_duration(c)?,
+        partitioning: get_duration(c)?,
+        evaluate: get_duration(c)?,
+        total: get_duration(c)?,
+    };
+    Ok(RemoteExecution {
+        pairs,
+        relation,
+        rows,
+        table_version,
+        direct,
+        router,
+        fell_back_to_direct,
+        explain,
+        report,
+        timings,
+    })
+}
+
+/// Encode a `Stats` body (shared verbatim by the legacy and v7 codecs).
+pub(crate) fn put_stats_body(out: &mut Vec<u8>, stats: &StatsReply) {
+    put_u64(out, stats.tables.len() as u64);
+    for t in &stats.tables {
+        put_string(out, &t.name);
+        put_u64(out, t.rows as u64);
+        put_u64(out, t.version);
+    }
+    put_u64(out, stats.cache.hits);
+    put_u64(out, stats.cache.misses);
+    put_u64(out, stats.cache.invalidations);
+    put_u64(out, stats.cache.entries as u64);
+    put_u64(out, stats.router.direct_samples as u64);
+    put_u64(out, stats.router.sketchrefine_samples as u64);
+    put_u64(out, stats.router.model_decisions);
+    put_u64(out, stats.router.fallback_decisions);
+    put_u64(out, stats.served);
+    match &stats.durability {
+        Some(d) => {
+            put_bool(out, true);
+            put_u64(out, d.wal_records);
+            put_u64(out, d.wal_bytes);
+            put_u64(out, d.wal_syncs);
+            put_u64(out, d.wal_errors);
+            put_u64(out, d.snapshots_written);
+            put_u64(out, d.last_snapshot_lsn);
+            put_u64(out, d.records_since_snapshot);
+            put_u64(out, d.recovered_tables);
+            put_u64(out, d.recovered_partitionings);
+            put_u64(out, d.recovered_telemetry);
+            put_u64(out, d.recovered_acks);
+            put_u64(out, d.wal_replayed_records);
+            put_u64(out, d.wal_tail_dropped_bytes);
+        }
+        None => put_bool(out, false),
+    }
+}
+
+/// Decode a `Stats` body (counterpart of [`put_stats_body`]).
+pub(crate) fn get_stats_body(c: &mut Cursor<'_>) -> WireResult<StatsReply> {
+    let n = c.count(24)?;
+    let mut tables = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.string()?;
+        let rows = c.usize()?;
+        let version = c.u64()?;
+        tables.push(TableStats {
+            name,
+            rows,
+            version,
+        });
+    }
+    Ok(StatsReply {
+        tables,
+        cache: CacheStats {
+            hits: c.u64()?,
+            misses: c.u64()?,
+            invalidations: c.u64()?,
+            entries: c.usize()?,
+        },
+        router: RouterStats {
+            direct_samples: c.usize()?,
+            sketchrefine_samples: c.usize()?,
+            model_decisions: c.u64()?,
+            fallback_decisions: c.u64()?,
+        },
+        served: c.u64()?,
+        durability: if c.bool()? {
+            Some(DurabilityStats {
+                wal_records: c.u64()?,
+                wal_bytes: c.u64()?,
+                wal_syncs: c.u64()?,
+                wal_errors: c.u64()?,
+                snapshots_written: c.u64()?,
+                last_snapshot_lsn: c.u64()?,
+                records_since_snapshot: c.u64()?,
+                recovered_tables: c.u64()?,
+                recovered_partitionings: c.u64()?,
+                recovered_telemetry: c.u64()?,
+                recovered_acks: c.u64()?,
+                wal_replayed_records: c.u64()?,
+                wal_tail_dropped_bytes: c.u64()?,
+            })
+        } else {
+            None
+        },
+    })
 }
 
 impl Response {
@@ -1189,35 +1430,7 @@ impl Response {
                     put_u64(&mut out, row);
                     put_u64(&mut out, mult);
                 }
-                put_string(&mut out, &exec.relation);
-                put_u64(&mut out, exec.rows);
-                put_u64(&mut out, exec.table_version);
-                put_bool(&mut out, exec.direct);
-                put_router_verdict(&mut out, &exec.router);
-                put_bool(&mut out, exec.fell_back_to_direct);
-                put_string(&mut out, &exec.explain);
-                match &exec.report {
-                    Some(r) => {
-                        put_bool(&mut out, true);
-                        put_u64(&mut out, r.solver_calls);
-                        put_u64(&mut out, r.backtracks);
-                        put_bool(&mut out, r.used_hybrid);
-                        put_u64(&mut out, r.groups_refined);
-                        put_u64(&mut out, r.repartitions);
-                        put_u64(&mut out, r.attribute_drops);
-                        put_u64(&mut out, r.merges);
-                        put_u64(&mut out, r.waves);
-                        put_u64(&mut out, r.parallel_solves);
-                        put_u64(&mut out, r.conflict_requeues);
-                        put_duration(&mut out, r.sketch_time);
-                        put_duration(&mut out, r.refine_time);
-                    }
-                    None => put_bool(&mut out, false),
-                }
-                put_duration(&mut out, exec.timings.plan);
-                put_duration(&mut out, exec.timings.partitioning);
-                put_duration(&mut out, exec.timings.evaluate);
-                put_duration(&mut out, exec.timings.total);
+                put_execution_after_pairs(&mut out, exec);
             }
             Response::Registered { version } => {
                 out.push(1);
@@ -1233,46 +1446,17 @@ impl Response {
             }
             Response::Stats(stats) => {
                 out.push(4);
-                put_u64(&mut out, stats.tables.len() as u64);
-                for t in &stats.tables {
-                    put_string(&mut out, &t.name);
-                    put_u64(&mut out, t.rows as u64);
-                    put_u64(&mut out, t.version);
-                }
-                put_u64(&mut out, stats.cache.hits);
-                put_u64(&mut out, stats.cache.misses);
-                put_u64(&mut out, stats.cache.invalidations);
-                put_u64(&mut out, stats.cache.entries as u64);
-                put_u64(&mut out, stats.router.direct_samples as u64);
-                put_u64(&mut out, stats.router.sketchrefine_samples as u64);
-                put_u64(&mut out, stats.router.model_decisions);
-                put_u64(&mut out, stats.router.fallback_decisions);
-                put_u64(&mut out, stats.served);
-                match &stats.durability {
-                    Some(d) => {
-                        put_bool(&mut out, true);
-                        put_u64(&mut out, d.wal_records);
-                        put_u64(&mut out, d.wal_bytes);
-                        put_u64(&mut out, d.wal_syncs);
-                        put_u64(&mut out, d.wal_errors);
-                        put_u64(&mut out, d.snapshots_written);
-                        put_u64(&mut out, d.last_snapshot_lsn);
-                        put_u64(&mut out, d.records_since_snapshot);
-                        put_u64(&mut out, d.recovered_tables);
-                        put_u64(&mut out, d.recovered_partitionings);
-                        put_u64(&mut out, d.recovered_telemetry);
-                        put_u64(&mut out, d.recovered_acks);
-                        put_u64(&mut out, d.wal_replayed_records);
-                        put_u64(&mut out, d.wal_tail_dropped_bytes);
-                    }
-                    None => put_bool(&mut out, false),
-                }
+                put_stats_body(&mut out, stats);
             }
             Response::ShuttingDown => out.push(5),
+            // The legacy codec does not carry `shed_class` — v6 peers
+            // decode these bytes unchanged; the class travels only in
+            // v7 frames.
             Response::Busy {
                 in_flight,
                 max_in_flight,
                 retry_after_ms,
+                shed_class: _,
             } => {
                 out.push(6);
                 put_u64(&mut out, *in_flight);
@@ -1302,107 +1486,18 @@ impl Response {
                 for _ in 0..n {
                     pairs.push((c.u64()?, c.u64()?));
                 }
-                let relation = c.string()?;
-                let rows = c.u64()?;
-                let table_version = c.u64()?;
-                let direct = c.bool()?;
-                let router = get_router_verdict(&mut c)?;
-                let fell_back_to_direct = c.bool()?;
-                let explain = c.string()?;
-                let report = if c.bool()? {
-                    Some(WireReport {
-                        solver_calls: c.u64()?,
-                        backtracks: c.u64()?,
-                        used_hybrid: c.bool()?,
-                        groups_refined: c.u64()?,
-                        repartitions: c.u64()?,
-                        attribute_drops: c.u64()?,
-                        merges: c.u64()?,
-                        waves: c.u64()?,
-                        parallel_solves: c.u64()?,
-                        conflict_requeues: c.u64()?,
-                        sketch_time: get_duration(&mut c)?,
-                        refine_time: get_duration(&mut c)?,
-                    })
-                } else {
-                    None
-                };
-                let timings = WireTimings {
-                    plan: get_duration(&mut c)?,
-                    partitioning: get_duration(&mut c)?,
-                    evaluate: get_duration(&mut c)?,
-                    total: get_duration(&mut c)?,
-                };
-                Response::Executed(Box::new(RemoteExecution {
-                    pairs,
-                    relation,
-                    rows,
-                    table_version,
-                    direct,
-                    router,
-                    fell_back_to_direct,
-                    explain,
-                    report,
-                    timings,
-                }))
+                Response::Executed(Box::new(get_execution_after_pairs(&mut c, pairs)?))
             }
             1 => Response::Registered { version: c.u64()? },
             2 => Response::Appended { version: c.u64()? },
             3 => Response::Explained { text: c.string()? },
-            4 => {
-                let n = c.count(24)?;
-                let mut tables = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let name = c.string()?;
-                    let rows = c.usize()?;
-                    let version = c.u64()?;
-                    tables.push(TableStats {
-                        name,
-                        rows,
-                        version,
-                    });
-                }
-                Response::Stats(StatsReply {
-                    tables,
-                    cache: CacheStats {
-                        hits: c.u64()?,
-                        misses: c.u64()?,
-                        invalidations: c.u64()?,
-                        entries: c.usize()?,
-                    },
-                    router: RouterStats {
-                        direct_samples: c.usize()?,
-                        sketchrefine_samples: c.usize()?,
-                        model_decisions: c.u64()?,
-                        fallback_decisions: c.u64()?,
-                    },
-                    served: c.u64()?,
-                    durability: if c.bool()? {
-                        Some(DurabilityStats {
-                            wal_records: c.u64()?,
-                            wal_bytes: c.u64()?,
-                            wal_syncs: c.u64()?,
-                            wal_errors: c.u64()?,
-                            snapshots_written: c.u64()?,
-                            last_snapshot_lsn: c.u64()?,
-                            records_since_snapshot: c.u64()?,
-                            recovered_tables: c.u64()?,
-                            recovered_partitionings: c.u64()?,
-                            recovered_telemetry: c.u64()?,
-                            recovered_acks: c.u64()?,
-                            wal_replayed_records: c.u64()?,
-                            wal_tail_dropped_bytes: c.u64()?,
-                        })
-                    } else {
-                        None
-                    },
-                })
-            }
+            4 => Response::Stats(get_stats_body(&mut c)?),
             5 => Response::ShuttingDown,
             6 => Response::Busy {
                 in_flight: c.u64()?,
                 max_in_flight: c.u64()?,
                 retry_after_ms: c.u64()?,
+                shed_class: None,
             },
             7 => Response::Error(get_fault(&mut c)?),
             8 => Response::Metrics(get_registry_snapshot(&mut c)?),

@@ -22,7 +22,7 @@ use std::{env, fs};
 use paq_db::{CacheOutcome, DbConfig, Durability, PackageDb, Route};
 use paq_lang::parse_paql;
 use paq_relational::{DataType, Schema, Table, Value};
-use paq_server::{spawn_tcp, Client, ExecOptions, RouteChoice, Server};
+use paq_server::{spawn_tcp, Client, RequestBuilder, Server};
 
 const QUERY: &str = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
      SUCH THAT COUNT(P.*) = 4 AND SUM(P.weight) <= 14 \
@@ -54,12 +54,11 @@ fn items(n: usize) -> Table {
 
 /// Pin the refine stage to one thread so the package is bit-for-bit
 /// reproducible across runs and processes.
-fn exec_options() -> ExecOptions {
-    ExecOptions {
-        route: RouteChoice::ForceSketchRefine,
-        threads: Some(1),
-        ..ExecOptions::default()
-    }
+fn exec_request() -> RequestBuilder {
+    RequestBuilder::query(QUERY)
+        .relation("Items")
+        .force_sketch_refine()
+        .threads(1)
 }
 
 // ---------------------------------------------------------------------
@@ -203,8 +202,8 @@ fn kill_dash_nine_then_restart_serves_warm_cache_answers() {
         let (child, addr) = spawn_server(&dir.0, "load", threads);
         let mut client = Client::connect(addr).expect("connect to load server");
 
-        let before = client
-            .execute_with("Items", QUERY, exec_options())
+        let before = exec_request()
+            .send(&mut client)
             .expect("query before the crash");
         assert!(!before.direct, "forced SKETCHREFINE");
         assert!(!before.pairs.is_empty());
@@ -258,8 +257,8 @@ fn kill_dash_nine_then_restart_serves_warm_cache_answers() {
         );
 
         // The same query, warm: byte-identical package, zero rebuilds.
-        let after = client
-            .execute_with("Items", QUERY, exec_options())
+        let after = exec_request()
+            .send(&mut client)
             .expect("query after the crash");
         assert_eq!(after.pairs, before.pairs, "package must be identical");
         assert_eq!(after.table_version, before.table_version);

@@ -1,0 +1,446 @@
+//! Protocol-v7 serving end to end: the version-negotiation handshake,
+//! request pipelining with out-of-order completion checked bit-identical
+//! to sequential execution (at 1 and 4 workers), columnar catalog
+//! mutations over one pipelined connection, fairness-aware shedding
+//! surfaced as typed `Busy` answers, the idle-connection reaper, and —
+//! via recorded golden frames — proof that a pure-v6 byte stream is
+//! still served exactly as before the redesign.
+
+use paq_db::{DbConfig, PackageDb, Route};
+use paq_lang::parse_paql;
+use paq_relational::{DataType, Schema, Table, Value};
+use paq_server::{
+    pipe_listener, wire, AdmissionConfig, Client, ClientError, Hello, HelloAck, HelloOptions,
+    PipelinedClient, RequestBuilder, Response, Server, ServerConfig, ShedClass, WIRE_V7,
+};
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Worker counts to sweep: pinned by `PAQ_THREADS` (the CI matrix),
+/// both 1 and 4 otherwise.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("PAQ_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) if n >= 1 => vec![n],
+        _ => vec![1, 4],
+    }
+}
+
+fn items_table(n: usize, salt: u64) -> Table {
+    let mut t = Table::new(Schema::from_pairs(&[
+        ("value", DataType::Float),
+        ("weight", DataType::Float),
+    ]));
+    let mut state = salt | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..n {
+        let v = (next() % 100) as f64 / 10.0 + 1.0;
+        let w = (next() % 50) as f64 / 10.0 + 0.5;
+        t.push_row(vec![Value::Float(v), Value::Float(w)]).unwrap();
+    }
+    t
+}
+
+const QUERIES: [&str; 3] = [
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 2 AND SUM(P.weight) <= 1000 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 3 AND SUM(P.weight) <= 1000 MAXIMIZE SUM(P.value)",
+    "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+     SUCH THAT COUNT(P.*) = 4 AND SUM(P.value) >= 0 MINIMIZE SUM(P.weight)",
+];
+
+fn test_db() -> PackageDb {
+    let db = PackageDb::with_config(DbConfig {
+        direct_threshold: 10,
+        default_groups: 5,
+        ..DbConfig::default()
+    });
+    db.register_table("Items", items_table(60, 0xA11CE));
+    db
+}
+
+/// The suite's standard query, pinned to one solver thread so packages
+/// are bit-identical across connections, orderings, and worker counts.
+fn pinned(paql: &str) -> RequestBuilder {
+    RequestBuilder::query(paql).relation("Items").threads(1)
+}
+
+#[test]
+fn handshake_negotiates_v7_and_advertises_the_window() {
+    let db = test_db();
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 2,
+            pipeline_window: 9,
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+        let mut client = PipelinedClient::handshake(connector.connect().unwrap()).unwrap();
+        assert_eq!(client.window(), 9, "HelloAck must carry the server window");
+
+        // The pipelined connection serves typed requests like any other.
+        let ticket = client.submit_stats().unwrap();
+        let stats = client.wait(ticket).unwrap();
+        assert_eq!(stats.tables[0].name, "Items");
+
+        let done = client.submit_shutdown().unwrap();
+        client.wait(done).unwrap();
+    });
+    assert!(server.is_shutting_down());
+}
+
+#[test]
+fn out_of_order_pipelined_results_match_sequential_bit_identically() {
+    for workers in worker_counts() {
+        let db = test_db();
+        let server = Server::with_config(
+            db.session(),
+            ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            },
+        );
+        let (connector, listener) = pipe_listener();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve(listener));
+
+            // Sequential baseline: one legacy connection, one request at
+            // a time, in submission order.
+            let submissions: Vec<&str> = (0..6).map(|i| QUERIES[i % QUERIES.len()]).collect();
+            let mut sequential = Client::over(connector.connect().unwrap());
+            let baseline: Vec<Vec<(u64, u64)>> = submissions
+                .iter()
+                .map(|paql| pinned(paql).send(&mut sequential).unwrap().pairs)
+                .collect();
+            // Free the handler worker (a connection pins one for its
+            // lifetime — at workers=1 the pipelined connection below
+            // would otherwise wait for the idle reaper).
+            drop(sequential);
+
+            // Pipelined: submit everything up front, then collect the
+            // tickets in REVERSE order — the out-of-order case the tag
+            // routing exists for. Every answer must be bit-identical to
+            // the sequential one for the same submission.
+            let mut pipelined = PipelinedClient::handshake(connector.connect().unwrap()).unwrap();
+            let tickets: Vec<_> = submissions
+                .iter()
+                .map(|paql| pinned(paql).submit(&mut pipelined).unwrap())
+                .collect();
+            let mut results = vec![Vec::new(); tickets.len()];
+            for (i, ticket) in tickets.iter().enumerate().rev() {
+                results[i] = pipelined.wait(*ticket).unwrap().pairs;
+            }
+            assert_eq!(
+                results, baseline,
+                "workers={workers}: pipelined answers diverged from sequential"
+            );
+            assert_eq!(
+                pipelined.completed_order().len(),
+                tickets.len(),
+                "every submission must have completed exactly once"
+            );
+
+            // In-process ground truth on the same shared state.
+            let local = db.session();
+            for (paql, pairs) in submissions.iter().zip(&baseline) {
+                let exec = local
+                    .execute_with(&parse_paql(paql).unwrap(), Route::Auto)
+                    .unwrap();
+                let members: Vec<(u64, u64)> = exec
+                    .package
+                    .members()
+                    .iter()
+                    .map(|&(row, mult)| (row as u64, mult))
+                    .collect();
+                assert_eq!(&members, pairs);
+            }
+
+            let done = pipelined.submit_shutdown().unwrap();
+            pipelined.wait(done).unwrap();
+        });
+    }
+}
+
+#[test]
+fn pipelined_catalog_mutations_travel_columnar_and_apply_in_order() {
+    let db = test_db();
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 1, // one executor → same-class submissions apply in order
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+        let mut client = PipelinedClient::handshake(connector.connect().unwrap()).unwrap();
+
+        // All submitted before the first wait: registration (the v7
+        // columnar body), an append, and the stats read-back ride the
+        // same pipelined connection.
+        let table = items_table(30, 0xBEEF);
+        let reg = client
+            .submit_register_table("Fresh", &table, Some(0xF00D))
+            .unwrap();
+        let row = vec![Value::Float(5.0), Value::Float(1.0)];
+        let app = client.submit_append_row("Fresh", row, None).unwrap();
+        let stats = client.submit_stats().unwrap();
+
+        let v1 = client.wait(reg).unwrap();
+        let v2 = client.wait(app).unwrap();
+        assert!(v2 > v1);
+        assert_eq!(db.table_version("Fresh").unwrap(), v2);
+        assert_eq!(db.table("Fresh").unwrap().num_rows(), 31);
+        let stats = client.wait(stats).unwrap();
+        assert!(stats
+            .tables
+            .iter()
+            .any(|t| t.name == "Fresh" && t.rows == 31));
+
+        // The registered rows are byte-identical to what was sent: the
+        // columnar codec is an encoding, not a transformation.
+        let round_tripped = db.table("Fresh").unwrap();
+        for i in 0..table.num_rows() {
+            assert_eq!(round_tripped.row(i), table.row(i), "row {i} diverged");
+        }
+
+        // The handshake and every pipelined request are counted.
+        let metrics = client.submit_metrics().unwrap();
+        let snapshot = client.wait(metrics).unwrap();
+        assert!(snapshot.counter(paq_obs::names::SERVER_HANDSHAKES) >= 1);
+        assert!(snapshot.counter(paq_obs::names::SERVER_PIPELINED) >= 4);
+
+        let done = client.submit_shutdown().unwrap();
+        client.wait(done).unwrap();
+    });
+}
+
+#[test]
+fn quota_shed_is_a_typed_busy_on_the_request_tag() {
+    let db = test_db();
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 1,
+            admission: AdmissionConfig {
+                per_client_quota: 0, // shed every pipelined arrival
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+        let mut client = PipelinedClient::handshake_as(
+            connector.connect().unwrap(),
+            HelloOptions {
+                class: ShedClass::Bulk,
+                client_id: 42,
+            },
+        )
+        .unwrap();
+
+        let ticket = pinned(QUERIES[0]).submit(&mut client).unwrap();
+        match client.wait(ticket) {
+            Err(ClientError::Busy {
+                retry_after_ms,
+                shed_class,
+                ..
+            }) => {
+                assert!(retry_after_ms > 0, "Busy carries a pacing hint");
+                assert_eq!(
+                    shed_class,
+                    Some(ShedClass::Bulk),
+                    "admission shed must name the class it dropped"
+                );
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert!(server.shed_requests() >= 1);
+        assert!(db.obs_registry().counter(paq_obs::names::SERVER_SHED) >= 1);
+        // Free the single handler worker for the legacy connection.
+        drop(client);
+
+        // Legacy connections bypass pipelined admission entirely — the
+        // same server still serves them.
+        let mut legacy = Client::over(connector.connect().unwrap());
+        assert!(!pinned(QUERIES[0])
+            .send(&mut legacy)
+            .unwrap()
+            .pairs
+            .is_empty());
+        legacy.shutdown().unwrap();
+    });
+}
+
+#[test]
+fn idle_connections_are_reaped_without_touching_active_ones() {
+    let db = test_db();
+    let server = Server::with_config(
+        db.session(),
+        ServerConfig {
+            workers: 1, // the idle peer pins the only handler until reaped
+            idle_timeout: Some(Duration::from_millis(50)),
+            poll_interval: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    );
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+
+        // Connect and say nothing: the idle reaper must free the worker.
+        let silent = connector.connect().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.idle_closed() == 0 {
+            assert!(Instant::now() < deadline, "idle connection never reaped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(silent);
+
+        // The freed worker serves a real client normally.
+        let mut client = Client::over(connector.connect().unwrap());
+        assert!(!pinned(QUERIES[0])
+            .send(&mut client)
+            .unwrap()
+            .pairs
+            .is_empty());
+        client.shutdown().unwrap();
+    });
+    assert_eq!(server.idle_closed(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Version negotiation and v6 byte-compatibility
+// ---------------------------------------------------------------------
+
+/// A recorded v6 `Request::Stats` frame (length prefix + payload), as
+/// emitted before the v7 redesign. The codec must keep producing — and
+/// the server keep serving — these exact bytes.
+const GOLDEN_V6_STATS_FRAME: &str = "000000020604";
+
+/// A recorded v6 `Request::Execute` frame: the suite's 2-item knapsack
+/// against `Items`, forced SKETCHREFINE (threshold 10, 5 groups, one
+/// solver thread).
+const GOLDEN_V6_EXECUTE_FRAME: &str = "00000091060005000000000000004974656d735b000000000000005\
+3454c454354205041434b41474528522920415320502046524f4d204974656d73205220524550454154203020535\
+54348205448415420434f554e5428502e2a29203d2032204d4158494d495a452053554d28502e76616c756529020\
+10a00000000000000010500000000000000010100000000000000000000";
+
+fn unhex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+#[test]
+fn v6_encoders_still_emit_the_recorded_frames() {
+    let mut framed = Vec::new();
+    paq_server::Request::Stats.write_to(&mut framed).unwrap();
+    assert_eq!(framed, unhex(GOLDEN_V6_STATS_FRAME), "Stats frame drifted");
+
+    let golden = unhex(GOLDEN_V6_EXECUTE_FRAME);
+    let paql = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+                SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.value)";
+    let mut framed = Vec::new();
+    RequestBuilder::query(paql)
+        .relation("Items")
+        .force_sketch_refine()
+        .direct_threshold(10)
+        .default_groups(5)
+        .threads(1)
+        .build()
+        .write_to(&mut framed)
+        .unwrap();
+    assert_eq!(framed, golden, "Execute frame drifted");
+}
+
+#[test]
+fn recorded_v6_frames_are_served_unchanged() {
+    let db = test_db();
+    let server = Server::new(db.session());
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+
+        // Replay the raw recorded bytes — no client library involved —
+        // and decode the answers with the legacy codec.
+        let mut conn = connector.connect().unwrap();
+        conn.write_all(&unhex(GOLDEN_V6_EXECUTE_FRAME)).unwrap();
+        let payload = wire::read_frame(&mut conn).unwrap().expect("answer");
+        let remote = match Response::decode(&payload).unwrap() {
+            Response::Executed(exec) => *exec,
+            other => panic!("expected Executed, got {other:?}"),
+        };
+        assert!(!remote.direct, "the recorded frame forces SKETCHREFINE");
+
+        conn.write_all(&unhex(GOLDEN_V6_STATS_FRAME)).unwrap();
+        let payload = wire::read_frame(&mut conn).unwrap().expect("answer");
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(stats) => assert_eq!(stats.tables[0].name, "Items"),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        drop(conn);
+
+        // Ground truth: the replayed execution matches in-process.
+        let paql = "SELECT PACKAGE(R) AS P FROM Items R REPEAT 0 \
+                    SUCH THAT COUNT(P.*) = 2 MAXIMIZE SUM(P.value)";
+        let local = db
+            .execute_with(&parse_paql(paql).unwrap(), Route::ForceSketchRefine)
+            .unwrap();
+        assert_eq!(remote.package().members(), local.package.members());
+
+        let mut client = Client::over(connector.connect().unwrap());
+        client.shutdown().unwrap();
+    });
+}
+
+#[test]
+fn hello_below_v7_downgrades_to_the_legacy_codec() {
+    let db = test_db();
+    let server = Server::new(db.session());
+    let (connector, listener) = pipe_listener();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.serve(listener));
+
+        // A client that tops out at v6: the server must answer the
+        // handshake with version 6 and then speak pure legacy frames on
+        // the same connection.
+        let mut conn = connector.connect().unwrap();
+        Hello {
+            max_version: WIRE_V7 - 1,
+            client_id: 0,
+            class: ShedClass::Normal,
+        }
+        .write_to(&mut conn)
+        .unwrap();
+        let ack = HelloAck::read_from(&mut conn).unwrap().expect("ack");
+        assert_eq!(ack.version, WIRE_V7 - 1, "server must not over-negotiate");
+
+        paq_server::Request::Stats.write_to(&mut conn).unwrap();
+        let payload = wire::read_frame(&mut conn).unwrap().expect("answer");
+        match Response::decode(&payload).unwrap() {
+            Response::Stats(stats) => assert_eq!(stats.tables[0].rows, 60),
+            other => panic!("expected a legacy Stats answer, got {other:?}"),
+        }
+        drop(conn);
+
+        let mut client = Client::over(connector.connect().unwrap());
+        client.shutdown().unwrap();
+    });
+}

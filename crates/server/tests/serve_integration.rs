@@ -18,8 +18,7 @@ use paq_db::{DbConfig, PackageDb, Route};
 use paq_lang::parse_paql;
 use paq_relational::{DataType, Schema, Table, Value};
 use paq_server::{
-    pipe_listener, spawn_tcp, Client, ClientError, ExecOptions, FaultKind, RouteChoice, Server,
-    ServerConfig,
+    pipe_listener, spawn_tcp, Client, ClientError, FaultKind, RequestBuilder, Server, ServerConfig,
 };
 
 /// Server pool size under test (`PAQ_THREADS`, default 4).
@@ -244,16 +243,11 @@ fn per_request_options_override_without_leaking() {
 
         // Same connection, one request overriding the threshold →
         // SKETCHREFINE, with the report counters shipped back.
-        let sketch = client
-            .execute_with(
-                "Items",
-                QUERIES[0],
-                ExecOptions {
-                    direct_threshold: Some(10),
-                    default_groups: Some(5),
-                    ..ExecOptions::default()
-                },
-            )
+        let sketch = RequestBuilder::query(QUERIES[0])
+            .relation("Items")
+            .direct_threshold(10)
+            .default_groups(5)
+            .send(&mut client)
             .unwrap();
         assert!(!sketch.direct, "{}", sketch.explain);
         let report = sketch.report.expect("SKETCHREFINE ships its report");
@@ -266,16 +260,10 @@ fn per_request_options_override_without_leaking() {
         assert_eq!(server.db().config().direct_threshold, 2_000);
 
         // Forced routing via wire options.
-        let forced = client
-            .execute_with(
-                "",
-                QUERIES[1],
-                ExecOptions {
-                    route: RouteChoice::ForceSketchRefine,
-                    default_groups: Some(5),
-                    ..ExecOptions::default()
-                },
-            )
+        let forced = RequestBuilder::query(QUERIES[1])
+            .force_sketch_refine()
+            .default_groups(5)
+            .send(&mut client)
             .unwrap();
         assert!(!forced.direct, "{}", forced.explain);
 
@@ -312,9 +300,14 @@ fn busy_backpressure_is_typed_and_recoverable() {
                     in_flight,
                     max_in_flight,
                     retry_after_ms,
+                    shed_class,
                 } => {
                     assert_eq!((in_flight, max_in_flight), (1, 1));
                     assert!(retry_after_ms > 0, "Busy carries a pacing hint");
+                    assert_eq!(
+                        shed_class, None,
+                        "accept-time rejection carries no admission class"
+                    );
                 }
                 _ => unreachable!(),
             },
@@ -409,7 +402,10 @@ fn faults_are_typed_and_connection_survives() {
         }
 
         // Relation guard.
-        match client.execute_with("Other", QUERIES[0], ExecOptions::default()) {
+        match RequestBuilder::query(QUERIES[0])
+            .relation("Other")
+            .send(&mut client)
+        {
             Err(ClientError::Server(fault)) => {
                 assert_eq!(fault.kind, FaultKind::BadRequest);
                 assert!(fault.message.contains("Other"), "{}", fault.message);

@@ -322,6 +322,11 @@ fn response() -> impl Strategy<Value = Response> {
                 in_flight,
                 max_in_flight,
                 retry_after_ms,
+                // The legacy codec cannot carry a shed class; encoding
+                // drops it and decoding restores `None`, so only `None`
+                // round-trips here (v7 carries `Some` — see the wire7
+                // suite).
+                shed_class: None,
             }
         ),
         fault().prop_map(Response::Error),
@@ -500,6 +505,7 @@ fn every_response_variant_round_trips() {
             in_flight: 64,
             max_in_flight: 64,
             retry_after_ms: 50,
+            shed_class: None,
         },
         Response::Error(Fault {
             kind: FaultKind::UnknownTable,
@@ -558,4 +564,209 @@ fn package_reconstruction_matches_pairs() {
     let package = execution.package();
     assert_eq!(package.members(), &[(1, 1), (3, 2)]);
     assert_eq!(package.cardinality(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v7: tagged frames, columnar tables, handshake
+// ---------------------------------------------------------------------
+
+use paq_server::{wire7, Hello, HelloAck, ShedClass, CONTROL_TAG, WIRE_V7};
+
+fn shed_class() -> impl Strategy<Value = ShedClass> {
+    prop_oneof![
+        Just(ShedClass::Interactive),
+        Just(ShedClass::Normal),
+        Just(ShedClass::Bulk),
+    ]
+}
+
+/// The legacy response vocabulary plus what only v7 can carry: a `Busy`
+/// with its shed admission class attached.
+fn response_v7() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        response(),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            (any::<bool>(), shed_class())
+        )
+            .prop_map(
+                |(in_flight, max_in_flight, retry_after_ms, (has_class, class))| Response::Busy {
+                    in_flight,
+                    max_in_flight,
+                    retry_after_ms,
+                    shed_class: has_class.then_some(class),
+                }
+            ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn v7_requests_round_trip_with_their_tag(tag in any::<u64>(), request in request()) {
+        let tag = tag as u32;
+        let payload = wire7::encode_request_v7(tag, &request);
+        prop_assert!(wire7::is_v7_payload(&payload));
+        let (back_tag, back) = wire7::decode_request_v7(&payload).unwrap();
+        prop_assert_eq!(back_tag, tag);
+        prop_assert_eq!(&back, &request);
+    }
+
+    #[test]
+    fn v7_responses_round_trip_with_their_tag(tag in any::<u64>(), response in response_v7()) {
+        let tag = tag as u32;
+        let payload = wire7::encode_response_v7(tag, &response);
+        prop_assert!(wire7::is_v7_payload(&payload));
+        let (back_tag, back) = wire7::decode_response_v7(&payload).unwrap();
+        prop_assert_eq!(back_tag, tag);
+        prop_assert_eq!(&back, &response);
+    }
+
+    #[test]
+    fn v7_columnar_register_table_round_trips(
+        tag in any::<u64>(),
+        name in "[a-zA-Z]{1,10}",
+        table in table(),
+        token in (any::<bool>(), any::<u64>()),
+    ) {
+        // RegisterTable is the one request body v7 re-encodes (typed
+        // columnar chunks with null bitmaps and per-chunk crc32), so it
+        // gets its own property on top of the all-variants one above.
+        let tag = tag as u32;
+        let (has_token, token) = token;
+        let request = Request::RegisterTable { name, table, token: has_token.then_some(token) };
+        let payload = wire7::encode_request_v7(tag, &request);
+        let (back_tag, back) = wire7::decode_request_v7(&payload).unwrap();
+        prop_assert_eq!(back_tag, tag);
+        prop_assert_eq!(&back, &request);
+    }
+
+    #[test]
+    fn v7_corrupt_request_bytes_never_panic(
+        request in request(),
+        pos in any::<u64>(),
+        byte in any::<u64>(),
+    ) {
+        // Single-byte corruption anywhere in the payload — including the
+        // columnar chunks, whose crc32 exists to catch exactly this —
+        // either still decodes (the byte was free) or fails typed.
+        let mut payload = wire7::encode_request_v7(42, &request);
+        let pos = (pos as usize) % payload.len();
+        payload[pos] = byte as u8;
+        let _ = wire7::decode_request_v7(&payload);
+    }
+
+    #[test]
+    fn v7_corrupt_response_bytes_never_panic(
+        response in response_v7(),
+        pos in any::<u64>(),
+        byte in any::<u64>(),
+    ) {
+        let mut payload = wire7::encode_response_v7(42, &response);
+        let pos = (pos as usize) % payload.len();
+        payload[pos] = byte as u8;
+        let _ = wire7::decode_response_v7(&payload);
+    }
+
+    #[test]
+    fn v7_truncated_payloads_are_typed_errors(request in request(), cut in 1usize..10_000) {
+        // Every strict prefix must fail: the decoder demands the full
+        // body and `finish()` forbids leftovers, so there is no prefix
+        // that parses as a smaller valid frame.
+        let payload = wire7::encode_request_v7(9, &request);
+        let cut = 1 + cut % (payload.len() - 1); // 1..len
+        match wire7::decode_request_v7(&payload[..cut]) {
+            Err(_) => {}
+            Ok((tag, req)) => return Err(TestCaseError::Fail(
+                format!("prefix {cut}/{} decoded as tag {tag} {req:?}", payload.len()),
+            )),
+        }
+    }
+
+    #[test]
+    fn v7_hello_round_trips(max_version in any::<u64>(), client_id in any::<u64>(), class in shed_class()) {
+        let hello = Hello { max_version: max_version as u8, client_id, class };
+        prop_assert_eq!(Hello::decode(&hello.encode()).unwrap(), hello);
+    }
+
+    #[test]
+    fn v7_hello_ack_round_trips(version in any::<u64>(), window in any::<u64>()) {
+        let ack = HelloAck { version: version as u8, window };
+        prop_assert_eq!(HelloAck::decode(&ack.encode()).unwrap(), ack);
+        // And framed over a byte stream, as the handshake sends it.
+        let mut buf = Vec::new();
+        ack.write_to(&mut buf).unwrap();
+        let mut stream = &buf[..];
+        prop_assert_eq!(HelloAck::read_from(&mut stream).unwrap(), Some(ack));
+        prop_assert_eq!(HelloAck::read_from(&mut stream).unwrap(), None);
+    }
+}
+
+#[test]
+fn v7_and_legacy_payloads_reject_each_other_typed() {
+    let request = Request::Stats;
+    let legacy = request.encode();
+    assert!(!wire7::is_v7_payload(&legacy));
+    assert!(matches!(
+        wire7::decode_request_v7(&legacy),
+        Err(WireError::Version { got: 6, want: 7 })
+    ));
+    let v7 = wire7::encode_request_v7(1, &request);
+    assert!(wire7::is_v7_payload(&v7));
+    assert!(matches!(
+        Request::decode(&v7),
+        Err(WireError::Version { got: 7, want: 6 })
+    ));
+    assert_eq!(WIRE_V7, 7);
+}
+
+#[test]
+fn v7_busy_with_class_survives_on_the_control_tag() {
+    // The shed path answers on the request's own tag, but handshake and
+    // framing faults use CONTROL_TAG; both must carry the class intact.
+    let busy = Response::Busy {
+        in_flight: 32,
+        max_in_flight: 32,
+        retry_after_ms: 25,
+        shed_class: Some(ShedClass::Bulk),
+    };
+    for tag in [0u32, 7, CONTROL_TAG] {
+        let (back_tag, back) =
+            wire7::decode_response_v7(&wire7::encode_response_v7(tag, &busy)).unwrap();
+        assert_eq!(back_tag, tag);
+        assert_eq!(back, busy);
+    }
+}
+
+#[test]
+fn v7_wide_packages_with_constant_multiplicity_round_trip() {
+    // Regression: a width-0 packed column (every value identical — the
+    // all-1 multiplicities of any plain package) occupies zero delta
+    // bytes per element, so its element count may legitimately exceed
+    // the bytes remaining in the frame. The decoder once rejected such
+    // frames as malformed once the package outgrew the trailing
+    // payload (~400 members).
+    for members in [1usize, 3, 400, 5000] {
+        let execution = RemoteExecution {
+            pairs: (0..members as u64).map(|row| (row, 1)).collect(),
+            relation: "Load".into(),
+            rows: members as u64,
+            table_version: 1,
+            direct: true,
+            router: WireRouterVerdict::Pinned,
+            fell_back_to_direct: false,
+            explain: String::new(),
+            report: None,
+            timings: WireTimings::default(),
+        };
+        let response = Response::Executed(Box::new(execution));
+        let encoded = wire7::encode_response_v7(9, &response);
+        let (tag, decoded) = wire7::decode_response_v7(&encoded)
+            .unwrap_or_else(|e| panic!("{members}-member package rejected: {e}"));
+        assert_eq!(tag, 9);
+        assert_eq!(decoded, response, "{members}-member package diverged");
+    }
 }

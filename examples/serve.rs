@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example serve`
 
 use package_queries::prelude::*;
-use package_queries::server::{spawn_tcp, ExecOptions};
+use package_queries::server::{spawn_tcp, RequestBuilder};
 use std::time::Instant;
 
 fn main() {
@@ -76,7 +76,10 @@ fn main() {
             scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect");
                 let start = Instant::now();
-                match client.execute_with("Recipes", paql, ExecOptions::default()) {
+                match RequestBuilder::query(paql)
+                    .relation("Recipes")
+                    .send(&mut client)
+                {
                     Ok(answer) => {
                         let latency = start.elapsed();
                         println!(
